@@ -1,0 +1,64 @@
+//! Micro-bench: IMCU population (build) throughput — the background cost
+//! that surges under the insert-heavy workload of Fig. 10.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use imadg_common::{ObjectId, Scn, ScnService, TenantId};
+use imadg_imcs::Imcu;
+use imadg_redo::LogBuffer;
+use imadg_storage::{DbaAllocator, Store};
+use imadg_txn::{InMemoryRegistry, LockTable, TxnIdService, TxnManager};
+use imadg_workload::{generate_row, wide_table_spec};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const OBJ: ObjectId = ObjectId(1);
+
+fn loaded_store(rows: usize) -> (Arc<Store>, Scn) {
+    let store = Arc::new(Store::new());
+    let scns = Arc::new(ScnService::new());
+    let txm = TxnManager::new(
+        store.clone(),
+        scns.clone(),
+        Arc::new(LogBuffer::new(imadg_common::RedoThreadId(1))),
+        Arc::new(TxnIdService::new()),
+        Arc::new(LockTable::new()),
+        Arc::new(InMemoryRegistry::new()),
+        Arc::new(DbaAllocator::default()),
+    );
+    txm.create_table(wide_table_spec(OBJ, 64)).unwrap();
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut tx = txm.begin(TenantId::DEFAULT);
+    for k in 0..rows as i64 {
+        txm.insert(&mut tx, OBJ, generate_row(k, &mut rng)).unwrap();
+    }
+    let scn = txm.commit(tx);
+    (store, scn)
+}
+
+fn bench_population(c: &mut Criterion) {
+    let mut g = c.benchmark_group("population");
+    g.sample_size(15);
+    for unit_rows in [2_048usize, 8_192] {
+        let (store, snapshot) = loaded_store(unit_rows);
+        let dbas = store.block_dbas(OBJ).unwrap();
+        let schema = store.table(OBJ).unwrap().schema.read().clone();
+        g.throughput(Throughput::Elements(unit_rows as u64));
+        g.bench_with_input(
+            BenchmarkId::new("build_wide_unit", unit_rows),
+            &unit_rows,
+            |b, _| {
+                b.iter(|| {
+                    Imcu::build(&store, OBJ, TenantId::DEFAULT, dbas.clone(), snapshot, &schema)
+                        .unwrap()
+                        .rows()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_population);
+criterion_main!(benches);

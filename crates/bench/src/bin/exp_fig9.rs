@@ -1,0 +1,42 @@
+//! Experiment: **Figure 9** — speedup in median, average and 95th-%ile
+//! query response times of Q1/Q2 with the *update-only* workload.
+//!
+//! Setup (paper §IV.A.1): 4000 ops/s — 70% updates and 29% index fetches
+//! on the primary, 1% ad-hoc full scans on the standby — run once without
+//! and once with DBIM-on-ADG. The paper reports ~100× faster scans plus a
+//! CPU transfer (primary 11.7% → 4.7% when scans are offloaded).
+
+use imadg_bench::{default_spec, maybe_json, setup_cluster, ExpScale, WIDE};
+use imadg_db::Placement;
+use imadg_workload::{report, run_oltap, OpMix, QueryId};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    println!("Fig. 9: update-only workload, {} rows, {:?} per run", scale.rows, scale.duration);
+    println!("Q1: {}", QueryId::Q1.sql());
+    println!("Q2: {}", QueryId::Q2.sql());
+
+    let mut runs = Vec::new();
+    for dbim in [false, true] {
+        let placement = if dbim { Placement::StandbyOnly } else { Placement::None };
+        let cluster = setup_cluster(default_spec(dbim), placement, scale.rows)
+            .expect("cluster setup");
+        let threads = cluster.start();
+        let metrics = run_oltap(&cluster, WIDE, &scale.oltap(OpMix::update_only(), true))
+            .expect("workload run");
+        drop(threads);
+        println!(
+            "\n-- DBIM-on-ADG {}: {:.0} ops/s achieved, {} scans --",
+            if dbim { "ENABLED" } else { "disabled" },
+            metrics.achieved_ops_per_sec,
+            metrics.scans_total
+        );
+        report::print_cpu("primary CPU", &metrics.primary_cpu);
+        report::print_cpu("standby CPU", &metrics.standby_cpu);
+        report::print_scan_sources(&metrics);
+        maybe_json(if dbim { "fig9_with" } else { "fig9_without" }, &metrics);
+        runs.push(metrics);
+    }
+    println!();
+    report::print_comparison("Fig. 9 — Q1/Q2 response times, update-only", &runs[0], &runs[1]);
+}

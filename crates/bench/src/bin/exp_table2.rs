@@ -1,0 +1,44 @@
+//! Experiment: **Table 2** — Q1 response times with the *scan-only*
+//! workload on the Primary vs the Standby, DBIM enabled on both.
+//!
+//! Setup (paper §IV.B): 4000 ops/s — 25% ad-hoc full scans, 75% index
+//! fetches, no DML. The paper reports near-identical response times
+//! (Primary 4.25/4.31/4.55 ms vs Standby 4.30/4.36/4.60 ms) and a direct
+//! CPU transfer: primary 8% → 0.5%, standby 0.3% → 7.9% when the scans
+//! move to the standby.
+
+use imadg_bench::{default_spec, maybe_json, setup_cluster, ExpScale, WIDE};
+use imadg_db::Placement;
+use imadg_workload::{report, run_oltap, OpMix, QueryId};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    println!("Table 2: scan-only workload, {} rows, {:?} per run", scale.rows, scale.duration);
+    println!("Q1: {}", QueryId::Q1.sql());
+
+    // DBIM on both sides (dimension-table style `Both` placement).
+    let cluster =
+        setup_cluster(default_spec(true), Placement::Both, scale.rows).expect("cluster setup");
+    let threads = cluster.start();
+
+    let on_primary = run_oltap(&cluster, WIDE, &scale.oltap(OpMix::scan_only(), false))
+        .expect("primary-side run");
+    let on_standby = run_oltap(&cluster, WIDE, &scale.oltap(OpMix::scan_only(), true))
+        .expect("standby-side run");
+    drop(threads);
+
+    println!("\n{}", report::latency_header());
+    println!("{}", report::latency_row("Q1 on Primary (DBIM)", &on_primary.q1));
+    println!("{}", report::latency_row("Q1 on Standby (DBIM)", &on_standby.q1));
+    let ratio = on_standby.q1.median_s / on_primary.q1.median_s.max(1e-12);
+    println!("standby/primary median ratio: {ratio:.2} (paper: 4.30/4.25 ≈ 1.01)");
+
+    println!("\nCPU transfer when scans move from Primary to Standby:");
+    report::print_cpu("  scans on primary — primary", &on_primary.primary_cpu);
+    report::print_cpu("  scans on primary — standby", &on_primary.standby_cpu);
+    report::print_cpu("  scans on standby — primary", &on_standby.primary_cpu);
+    report::print_cpu("  scans on standby — standby", &on_standby.standby_cpu);
+
+    maybe_json("table2_primary", &on_primary);
+    maybe_json("table2_standby", &on_standby);
+}

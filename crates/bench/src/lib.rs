@@ -1,0 +1,146 @@
+//! Shared harness for the paper-reproduction experiment binaries.
+//!
+//! Every binary scales through environment variables so the same code runs
+//! as a quick smoke test or a longer measurement:
+//!
+//! * `IMADG_ROWS`    — initial wide-table rows (default 20 000; paper: 6M)
+//! * `IMADG_SECS`    — run seconds per configuration (default 5; paper: 3600)
+//! * `IMADG_OPS`     — target ops/s (default 4000, as in the paper)
+//! * `IMADG_THREADS` — client threads (default 4)
+//! * `IMADG_CORES`   — simulated host cores for CPU% (default 16, the
+//!   paper's 2× 8-core Xeon E5-2690)
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use imadg_common::{ObjectId, Result};
+use imadg_db::{AdgCluster, ClusterSpec, Placement};
+use imadg_workload::{load_wide_table, wide_table_spec, OltapConfig, OpMix};
+
+/// The wide table's object id in every experiment.
+pub const WIDE: ObjectId = ObjectId(101);
+
+/// Rows per block used by the experiments (wide rows → few per block).
+pub const ROWS_PER_BLOCK: u16 = 64;
+
+/// Experiment scale knobs.
+#[derive(Debug, Clone)]
+pub struct ExpScale {
+    /// Initial table rows.
+    pub rows: usize,
+    /// Run length per configuration.
+    pub duration: Duration,
+    /// Target ops/s.
+    pub ops: f64,
+    /// Client threads.
+    pub threads: usize,
+    /// Simulated cores for CPU%.
+    pub cores: u32,
+}
+
+impl ExpScale {
+    /// Read the scale from the environment (defaults above).
+    pub fn from_env() -> ExpScale {
+        fn var<T: std::str::FromStr>(name: &str, default: T) -> T {
+            std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+        }
+        ExpScale {
+            rows: var("IMADG_ROWS", 50_000usize),
+            duration: Duration::from_secs_f64(var("IMADG_SECS", 5.0f64)),
+            ops: var("IMADG_OPS", 4000.0f64),
+            threads: var("IMADG_THREADS", 2usize),
+            cores: var("IMADG_CORES", 16u32),
+        }
+    }
+
+    /// Workload config with this scale and the given mix/scan side.
+    pub fn oltap(&self, mix: OpMix, scans_on_standby: bool) -> OltapConfig {
+        OltapConfig {
+            rows: self.rows,
+            duration: self.duration,
+            target_ops_per_sec: self.ops,
+            mix,
+            threads: self.threads,
+            scans_on_standby,
+            seed: 42,
+            cores: self.cores,
+        }
+    }
+}
+
+/// Provision a cluster with the wide table created, placed and loaded.
+pub fn setup_cluster(
+    spec: ClusterSpec,
+    placement: Placement,
+    rows: usize,
+) -> Result<Arc<AdgCluster>> {
+    let cluster = Arc::new(AdgCluster::new(spec)?);
+    cluster.create_table(wide_table_spec(WIDE, ROWS_PER_BLOCK))?;
+    cluster.set_placement(WIDE, placement)?;
+    load_wide_table(&cluster, WIDE, rows, 7)?;
+    // Deterministic warm-up: replicate everything and populate the IMCS on
+    // whichever side the placement selects.
+    cluster.sync()?;
+    if placement.on_primary() {
+        cluster.populate_primary()?;
+    }
+    Ok(cluster)
+}
+
+/// Spec for the standard single-instance experiment deployment.
+pub fn default_spec(dbim_on_adg: bool) -> ClusterSpec {
+    ClusterSpec { dbim_on_adg, ..Default::default() }
+}
+
+/// Print a JSON blob when `IMADG_JSON=1` (for EXPERIMENTS.md records).
+pub fn maybe_json<T: serde::Serialize>(tag: &str, value: &T) {
+    if std::env::var("IMADG_JSON").as_deref() == Ok("1") {
+        println!(
+            "JSON {tag} {}",
+            serde_json::to_string(value).expect("metrics serialize")
+        );
+    }
+}
+
+/// Pretty duration for logs.
+pub fn fmt_dur(d: Duration) -> String {
+    format!("{:.1}s", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imadg_workload::OpMix;
+
+    #[test]
+    fn oltap_config_carries_scale() {
+        let scale = ExpScale {
+            rows: 123,
+            duration: Duration::from_secs(2),
+            ops: 500.0,
+            threads: 3,
+            cores: 8,
+        };
+        let cfg = scale.oltap(OpMix::scan_only(), false);
+        assert_eq!(cfg.rows, 123);
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.cores, 8);
+        assert!(!cfg.scans_on_standby);
+        assert_eq!(cfg.target_ops_per_sec, 500.0);
+    }
+
+    #[test]
+    fn setup_cluster_populates_per_placement() {
+        use imadg_db::Placement;
+        let c = setup_cluster(default_spec(true), Placement::StandbyOnly, 200).unwrap();
+        assert_eq!(c.standby().instances()[0].imcs.populated_rows(), 200);
+        assert_eq!(c.primary().imcs.populated_rows(), 0);
+        let c = setup_cluster(default_spec(true), Placement::Both, 200).unwrap();
+        assert_eq!(c.primary().imcs.populated_rows(), 200);
+    }
+
+    #[test]
+    fn fmt_dur_renders_seconds() {
+        assert_eq!(fmt_dur(Duration::from_millis(1500)), "1.5s");
+    }
+}

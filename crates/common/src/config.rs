@@ -1,0 +1,187 @@
+//! Configuration for the replication pipeline, recovery, and the IMCS.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// Parallel redo apply configuration (standby media recovery).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Number of recovery worker processes. CVs are distributed to workers
+    /// by hashing the DBA (paper Fig. 3).
+    pub workers: usize,
+    /// How many redo entries the dispatcher hands to workers per batch.
+    pub dispatch_batch: usize,
+    /// Number of worklink nodes a recovery worker flushes per cooperative
+    /// flush visit before resuming redo apply (paper §III.D.2).
+    pub coop_flush_batch: usize,
+    /// Whether recovery workers participate in the invalidation flush.
+    /// Disabled only by the ablation harness; the coordinator then flushes
+    /// the whole worklink serially.
+    pub cooperative_flush: bool,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            workers: 4,
+            dispatch_batch: 256,
+            coop_flush_batch: 32,
+            cooperative_flush: true,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Validate the knobs.
+    pub fn validate(&self) -> Result<()> {
+        if self.workers == 0 {
+            return Err(Error::Config("recovery workers must be > 0".into()));
+        }
+        if self.dispatch_batch == 0 || self.coop_flush_batch == 0 {
+            return Err(Error::Config("batch sizes must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+/// In-Memory Column Store configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImcsConfig {
+    /// Max rows packed into a single IMCU.
+    pub imcu_max_rows: usize,
+    /// Number of hash buckets in the IM-ADG journal. Sized from the apply
+    /// parallelism to keep bucket-latch contention low (paper §III.C).
+    pub journal_buckets: usize,
+    /// Number of sorted partitions of the IM-ADG commit table (§III.D.1).
+    pub commit_table_partitions: usize,
+    /// Fraction of invalid rows in an IMCU above which repopulation is
+    /// triggered (repopulation heuristic, paper §II.B).
+    pub repopulate_threshold: f64,
+    /// Minimum published QuerySCN advance between repopulations of the same
+    /// IMCU, to avoid thrashing the hot edge IMCU (paper §IV.A.2).
+    pub repopulate_min_scn_gap: u64,
+    /// Pause inserted after each background IMCU (re)build, yielding the
+    /// CPU to queries and redo apply — population is a background activity
+    /// (paper §II.B). Microseconds; 0 disables.
+    pub build_pause_micros: u64,
+    /// Whether the primary annotates commit records with the "modified an
+    /// in-memory object" flag (specialized redo generation, §III.E). When
+    /// off, a partially-mined transaction pessimistically triggers coarse
+    /// invalidation.
+    pub commit_flag_annotation: bool,
+}
+
+impl Default for ImcsConfig {
+    fn default() -> Self {
+        ImcsConfig {
+            imcu_max_rows: 2 * 1024,
+            journal_buckets: 128,
+            commit_table_partitions: 4,
+            repopulate_threshold: 0.02,
+            repopulate_min_scn_gap: 2000,
+            build_pause_micros: 1000,
+            commit_flag_annotation: true,
+        }
+    }
+}
+
+impl ImcsConfig {
+    /// Validate the knobs.
+    pub fn validate(&self) -> Result<()> {
+        if self.imcu_max_rows == 0 {
+            return Err(Error::Config("imcu_max_rows must be > 0".into()));
+        }
+        if self.journal_buckets == 0 || self.commit_table_partitions == 0 {
+            return Err(Error::Config(
+                "journal buckets / commit table partitions must be > 0".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.repopulate_threshold) {
+            return Err(Error::Config("repopulate_threshold must be in [0,1]".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Redo shipping transport configuration (simulated network).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransportConfig {
+    /// One-way latency added to every shipped redo batch.
+    pub latency: Duration,
+    /// Max redo entries per shipped batch.
+    pub batch: usize,
+    /// Batch size for RAC invalidation-group messages from the standby
+    /// master to non-master instances (paper §III.F).
+    pub invalidation_batch: usize,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            latency: Duration::ZERO,
+            batch: 512,
+            invalidation_batch: 64,
+        }
+    }
+}
+
+/// Top-level system configuration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Media-recovery settings.
+    pub recovery: RecoveryConfig,
+    /// Column-store settings.
+    pub imcs: ImcsConfig,
+    /// Redo-shipping settings.
+    pub transport: TransportConfig,
+}
+
+impl SystemConfig {
+    /// Validate all sections.
+    pub fn validate(&self) -> Result<()> {
+        self.recovery.validate()?;
+        self.imcs.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        SystemConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let mut c = RecoveryConfig::default();
+        c.workers = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn bad_threshold_rejected() {
+        let mut c = ImcsConfig::default();
+        c.repopulate_threshold = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_buckets_rejected() {
+        let mut c = ImcsConfig::default();
+        c.journal_buckets = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn config_roundtrips_serde() {
+        let c = SystemConfig::default();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: SystemConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, c);
+    }
+}

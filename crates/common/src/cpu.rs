@@ -1,0 +1,154 @@
+//! Busy-time accounting used to reproduce the paper's CPU-transfer
+//! measurements (§IV.A: primary CPU 11.7% → 4.7% when scans are offloaded;
+//! §IV.B: 8% → 0.5% / 0.3% → 7.9%).
+//!
+//! Each database component (primary DML engine, standby scan engine,
+//! recovery workers, population workers, …) charges the wall time it spends
+//! actually working to a [`CpuAccount`]. Dividing accumulated busy time by
+//! elapsed wall time and the simulated core count yields a utilization
+//! percentage with the same semantics as the paper's host CPU%.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+/// A shareable busy-time counter for one component.
+#[derive(Debug, Clone, Default)]
+pub struct CpuAccount {
+    busy_nanos: Arc<AtomicU64>,
+}
+
+impl CpuAccount {
+    /// New account with zero accumulated time.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge an explicit duration.
+    pub fn charge(&self, d: Duration) {
+        self.busy_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Start a scoped timer; the elapsed time is charged when it drops.
+    pub fn timer(&self) -> BusyTimer<'_> {
+        BusyTimer { account: self, start: Instant::now() }
+    }
+
+    /// Total busy time accumulated so far.
+    pub fn busy(&self) -> Duration {
+        Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Reset the counter to zero (between experiment phases).
+    pub fn reset(&self) {
+        self.busy_nanos.store(0, Ordering::Relaxed);
+    }
+
+    /// Utilization percentage over `wall` elapsed time on `cores` cores.
+    pub fn utilization_pct(&self, wall: Duration, cores: u32) -> f64 {
+        if wall.is_zero() || cores == 0 {
+            return 0.0;
+        }
+        100.0 * self.busy().as_secs_f64() / (wall.as_secs_f64() * f64::from(cores))
+    }
+}
+
+/// RAII guard charging elapsed time to a [`CpuAccount`] on drop.
+#[derive(Debug)]
+pub struct BusyTimer<'a> {
+    account: &'a CpuAccount,
+    start: Instant,
+}
+
+impl Drop for BusyTimer<'_> {
+    fn drop(&mut self) {
+        self.account.charge(self.start.elapsed());
+    }
+}
+
+/// A CPU utilization report for one instance, as printed by the experiment
+/// harnesses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuReport {
+    /// Component name → utilization percent.
+    pub components: Vec<(String, f64)>,
+    /// Sum over components.
+    pub total_pct: f64,
+}
+
+impl CpuReport {
+    /// Build a report from `(name, account)` pairs.
+    pub fn collect(parts: &[(&str, &CpuAccount)], wall: Duration, cores: u32) -> CpuReport {
+        let components: Vec<(String, f64)> = parts
+            .iter()
+            .map(|(n, a)| (n.to_string(), a.utilization_pct(wall, cores)))
+            .collect();
+        let total_pct = components.iter().map(|(_, p)| p).sum();
+        CpuReport { components, total_pct }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates() {
+        let a = CpuAccount::new();
+        a.charge(Duration::from_millis(5));
+        a.charge(Duration::from_millis(7));
+        assert_eq!(a.busy(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn timer_charges_on_drop() {
+        let a = CpuAccount::new();
+        {
+            let _t = a.timer();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(a.busy() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn utilization_math() {
+        let a = CpuAccount::new();
+        a.charge(Duration::from_secs(1));
+        // 1s busy over 2s wall on 1 core = 50%.
+        assert!((a.utilization_pct(Duration::from_secs(2), 1) - 50.0).abs() < 1e-9);
+        // Same busy over 2 cores = 25%.
+        assert!((a.utilization_pct(Duration::from_secs(2), 2) - 25.0).abs() < 1e-9);
+        // Degenerate inputs.
+        assert_eq!(a.utilization_pct(Duration::ZERO, 1), 0.0);
+        assert_eq!(a.utilization_pct(Duration::from_secs(1), 0), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let a = CpuAccount::new();
+        a.charge(Duration::from_secs(1));
+        a.reset();
+        assert_eq!(a.busy(), Duration::ZERO);
+    }
+
+    #[test]
+    fn clones_share_the_counter() {
+        let a = CpuAccount::new();
+        let b = a.clone();
+        b.charge(Duration::from_millis(3));
+        assert_eq!(a.busy(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn report_sums_components() {
+        let a = CpuAccount::new();
+        let b = CpuAccount::new();
+        a.charge(Duration::from_secs(1));
+        b.charge(Duration::from_secs(3));
+        let r = CpuReport::collect(&[("a", &a), ("b", &b)], Duration::from_secs(4), 1);
+        assert!((r.total_pct - 100.0).abs() < 1e-9);
+        assert_eq!(r.components.len(), 2);
+    }
+}

@@ -1,0 +1,26 @@
+//! Kernel types shared by every `imadg` crate.
+//!
+//! This crate deliberately has no dependency on the rest of the workspace:
+//! it defines the vocabulary the whole system speaks — [`Scn`] (database
+//! time), [`Dba`] (block addresses), object/transaction/tenant identifiers,
+//! the common [`Error`] type, configuration knobs, latency statistics, and
+//! the busy-time accounting used to reproduce the paper's CPU-transfer
+//! measurements.
+
+pub mod config;
+pub mod cpu;
+pub mod error;
+pub mod fxhash;
+pub mod ids;
+pub mod object_set;
+pub mod stats;
+pub mod sync;
+
+pub use config::{ImcsConfig, RecoveryConfig, SystemConfig, TransportConfig};
+pub use cpu::{BusyTimer, CpuAccount, CpuReport};
+pub use error::{Error, Result};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
+pub use ids::{Dba, InstanceId, ObjectId, RedoThreadId, Scn, SlotId, TenantId, TxnId, WorkerId};
+pub use object_set::ObjectSet;
+pub use stats::LatencyStats;
+pub use sync::{QueryScnCell, QuiesceGuard, QuiesceLock, ScnService};

@@ -1,0 +1,75 @@
+//! A concurrent set of object ids.
+//!
+//! Used as the registry of in-memory-enabled objects: the primary's
+//! transaction manager consults it to annotate commit records (§III.E) and
+//! the standby's mining component consults it to decide which change
+//! vectors to sniff (§III.B).
+
+use std::collections::HashSet;
+
+use parking_lot::RwLock;
+
+use crate::ids::ObjectId;
+
+/// Concurrent object-id set.
+#[derive(Debug, Default)]
+pub struct ObjectSet {
+    inner: RwLock<HashSet<ObjectId>>,
+}
+
+impl ObjectSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `object`.
+    pub fn enable(&self, object: ObjectId) {
+        self.inner.write().insert(object);
+    }
+
+    /// Remove `object`.
+    pub fn disable(&self, object: ObjectId) {
+        self.inner.write().remove(&object);
+    }
+
+    /// Membership test.
+    pub fn is_enabled(&self, object: ObjectId) -> bool {
+        self.inner.read().contains(&object)
+    }
+
+    /// Snapshot of the members.
+    pub fn all(&self) -> Vec<ObjectId> {
+        self.inner.read().iter().copied().collect()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enable_disable() {
+        let s = ObjectSet::new();
+        assert!(s.is_empty());
+        s.enable(ObjectId(1));
+        s.enable(ObjectId(2));
+        assert!(s.is_enabled(ObjectId(1)));
+        assert_eq!(s.len(), 2);
+        s.disable(ObjectId(1));
+        assert!(!s.is_enabled(ObjectId(1)));
+        let mut all = s.all();
+        all.sort();
+        assert_eq!(all, vec![ObjectId(2)]);
+    }
+}

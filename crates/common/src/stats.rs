@@ -1,0 +1,161 @@
+//! Latency statistics: the paper reports median, average and 95th-percentile
+//! response times (Figs. 9–10, Table 2). [`LatencyStats`] collects samples
+//! and produces exactly those summaries.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of a latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Median (50th percentile), in seconds.
+    pub median_s: f64,
+    /// Arithmetic mean, in seconds.
+    pub average_s: f64,
+    /// 95th percentile, in seconds.
+    pub p95_s: f64,
+    /// Maximum observed, in seconds.
+    pub max_s: f64,
+}
+
+impl LatencySummary {
+    /// Median in milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        self.median_s * 1e3
+    }
+    /// Average in milliseconds.
+    pub fn average_ms(&self) -> f64 {
+        self.average_s * 1e3
+    }
+    /// p95 in milliseconds.
+    pub fn p95_ms(&self) -> f64 {
+        self.p95_s * 1e3
+    }
+}
+
+/// A reservoir of latency samples.
+///
+/// Stores raw samples (the experiments collect at most a few hundred
+/// thousand) and computes exact percentiles, which keeps the harness honest
+/// — no sketch error in reproduced numbers.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    samples_s: Vec<f64>,
+}
+
+impl LatencyStats {
+    /// Create an empty collector.
+    pub fn new() -> Self {
+        LatencyStats { samples_s: Vec::new() }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.samples_s.push(d.as_secs_f64());
+    }
+
+    /// Record a sample expressed in seconds.
+    pub fn record_secs(&mut self, s: f64) {
+        self.samples_s.push(s);
+    }
+
+    /// Merge another collector's samples into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples_s.extend_from_slice(&other.samples_s);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> usize {
+        self.samples_s.len()
+    }
+
+    /// Compute the summary. Returns a zeroed summary when empty.
+    pub fn summary(&self) -> LatencySummary {
+        if self.samples_s.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = self.samples_s.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency samples are finite"));
+        let count = sorted.len();
+        let sum: f64 = sorted.iter().sum();
+        LatencySummary {
+            count,
+            median_s: percentile(&sorted, 0.50),
+            average_s: sum / count as f64,
+            p95_s: percentile(&sorted, 0.95),
+            max_s: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Exact percentile by the nearest-rank method on a sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    debug_assert!((0.0..=1.0).contains(&p));
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = LatencyStats::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.median_s, 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut st = LatencyStats::new();
+        st.record(Duration::from_millis(10));
+        let s = st.summary();
+        assert_eq!(s.count, 1);
+        assert!((s.median_ms() - 10.0).abs() < 1e-9);
+        assert!((s.p95_ms() - 10.0).abs() < 1e-9);
+        assert!((s.average_ms() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_on_uniform_1_to_100() {
+        let mut st = LatencyStats::new();
+        for i in 1..=100 {
+            st.record_secs(i as f64);
+        }
+        let s = st.summary();
+        assert_eq!(s.median_s, 50.0);
+        assert_eq!(s.p95_s, 95.0);
+        assert_eq!(s.max_s, 100.0);
+        assert!((s.average_s - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyStats::new();
+        a.record_secs(1.0);
+        let mut b = LatencyStats::new();
+        b.record_secs(3.0);
+        a.merge(&b);
+        let s = a.summary();
+        assert_eq!(s.count, 2);
+        assert!((s.average_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_of_recording_is_irrelevant() {
+        let mut a = LatencyStats::new();
+        let mut b = LatencyStats::new();
+        for i in (1..=50).rev() {
+            a.record_secs(i as f64);
+        }
+        for i in 1..=50 {
+            b.record_secs(i as f64);
+        }
+        assert_eq!(a.summary(), b.summary());
+    }
+}

@@ -1,0 +1,169 @@
+//! Synchronization primitives specific to the DBIM-on-ADG protocols:
+//! the published QuerySCN cell and the quiesce lock (paper §III.A).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{RwLock, RwLockReadGuard};
+
+use crate::ids::Scn;
+
+/// The global SCN service: allocates strictly increasing SCNs on the
+/// primary. With RAC, all primary instances share one service (Oracle keeps
+/// RAC SCNs coherent with a Lamport scheme; a shared atomic models the same
+/// guarantee — globally unique, totally ordered SCNs).
+#[derive(Debug)]
+pub struct ScnService {
+    next: AtomicU64,
+}
+
+impl ScnService {
+    /// Service whose first allocated SCN is 1.
+    pub fn new() -> Self {
+        ScnService { next: AtomicU64::new(1) }
+    }
+
+    /// Allocate the next SCN.
+    #[inline]
+    pub fn next(&self) -> Scn {
+        Scn(self.next.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Highest SCN allocated so far (ZERO if none).
+    #[inline]
+    pub fn current(&self) -> Scn {
+        Scn(self.next.load(Ordering::Relaxed) - 1)
+    }
+}
+
+impl Default for ScnService {
+    fn default() -> Self {
+        ScnService::new()
+    }
+}
+
+/// The published QuerySCN: the consistency point queries on the standby
+/// run at (paper §II.A). Written only by the recovery coordinator; read by
+/// every query and by the population infrastructure.
+#[derive(Debug, Default)]
+pub struct QueryScnCell {
+    /// 0 encodes "no consistency point published yet".
+    value: AtomicU64,
+}
+
+impl QueryScnCell {
+    /// Cell with no published QuerySCN.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current QuerySCN, if one has been published.
+    #[inline]
+    pub fn get(&self) -> Option<Scn> {
+        match self.value.load(Ordering::Acquire) {
+            0 => None,
+            v => Some(Scn(v)),
+        }
+    }
+
+    /// Publish a new consistency point. QuerySCNs leapfrog but never move
+    /// backwards; a stale publish is ignored.
+    pub fn publish(&self, scn: Scn) {
+        debug_assert!(scn > Scn::ZERO, "SCN 0 is the 'unpublished' sentinel");
+        self.value.fetch_max(scn.0, Ordering::AcqRel);
+    }
+}
+
+/// The quiesce lock.
+///
+/// The recovery coordinator holds it exclusively for the *quiesce period* —
+/// from the moment it starts flushing invalidations for a new QuerySCN
+/// until the new QuerySCN is published. The population infrastructure
+/// captures an IMCU's snapshot SCN while holding it shared, which
+/// guarantees the captured snapshot is a published consistency point and
+/// that no flush-and-publish races past the capture.
+#[derive(Debug, Default)]
+pub struct QuiesceLock {
+    lock: RwLock<()>,
+}
+
+impl QuiesceLock {
+    /// Fresh lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enter the quiesce period (coordinator side). Blocks until in-flight
+    /// snapshot captures finish.
+    pub fn begin_quiesce(&self) -> QuiesceGuard<'_> {
+        QuiesceGuard { _guard: self.lock.write() }
+    }
+
+    /// Capture-side access: hold this while reading the QuerySCN for use as
+    /// an IMCU snapshot. Blocks while a quiesce period is in progress.
+    pub fn capture(&self) -> RwLockReadGuard<'_, ()> {
+        self.lock.read()
+    }
+
+    /// Non-blocking probe used by background population to skip work during
+    /// a quiesce period.
+    pub fn try_capture(&self) -> Option<RwLockReadGuard<'_, ()>> {
+        self.lock.try_read()
+    }
+}
+
+/// Guard marking an in-progress quiesce period.
+#[derive(Debug)]
+pub struct QuiesceGuard<'a> {
+    _guard: parking_lot::RwLockWriteGuard<'a, ()>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scn_service_monotonic() {
+        let s = ScnService::new();
+        let a = s.next();
+        let b = s.next();
+        assert_eq!(a, Scn(1));
+        assert_eq!(b, Scn(2));
+        assert_eq!(s.current(), Scn(2));
+    }
+
+    #[test]
+    fn query_scn_starts_unpublished() {
+        let c = QueryScnCell::new();
+        assert_eq!(c.get(), None);
+    }
+
+    #[test]
+    fn publish_monotonic() {
+        let c = QueryScnCell::new();
+        c.publish(Scn(10));
+        assert_eq!(c.get(), Some(Scn(10)));
+        c.publish(Scn(5)); // stale publish ignored
+        assert_eq!(c.get(), Some(Scn(10)));
+        c.publish(Scn(20));
+        assert_eq!(c.get(), Some(Scn(20)));
+    }
+
+    #[test]
+    fn quiesce_blocks_capture() {
+        let q = QuiesceLock::new();
+        {
+            let _g = q.begin_quiesce();
+            assert!(q.try_capture().is_none(), "capture blocked during quiesce");
+        }
+        assert!(q.try_capture().is_some(), "capture allowed after publish");
+    }
+
+    #[test]
+    fn concurrent_captures_allowed() {
+        let q = QuiesceLock::new();
+        let a = q.capture();
+        let b = q.try_capture();
+        assert!(b.is_some());
+        drop(a);
+    }
+}

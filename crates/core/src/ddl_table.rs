@@ -1,0 +1,95 @@
+//! The DDL Information Table (paper §III.G).
+//!
+//! DDL redo markers mined from the redo stream are buffered here, "similar
+//! to the IM-ADG Commit Table", and processed at QuerySCN advancement:
+//! IMCUs of objects whose definition changed are dropped, and
+//! dictionary-level changes are applied to the standby's catalog.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use imadg_common::Scn;
+use imadg_redo::RedoMarker;
+use parking_lot::Mutex;
+
+/// SCN-ordered buffer of mined DDL markers.
+#[derive(Debug, Default)]
+pub struct DdlTable {
+    entries: Mutex<BTreeMap<(Scn, u64), Arc<RedoMarker>>>,
+    seq: Mutex<u64>,
+}
+
+impl DdlTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffer a marker mined at `scn`.
+    pub fn insert(&self, scn: Scn, marker: Arc<RedoMarker>) {
+        let mut seq = self.seq.lock();
+        *seq += 1;
+        self.entries.lock().insert((scn, *seq), marker);
+    }
+
+    /// Remove and return every marker at or below `upto`, in SCN order.
+    pub fn take_upto(&self, upto: Scn) -> Vec<(Scn, Arc<RedoMarker>)> {
+        let mut entries = self.entries.lock();
+        let keep = entries.split_off(&(Scn(upto.0 + 1), 0));
+        std::mem::replace(&mut *entries, keep)
+            .into_iter()
+            .map(|((scn, _), m)| (scn, m))
+            .collect()
+    }
+
+    /// Number of buffered markers.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imadg_common::{ObjectId, TenantId};
+    use imadg_redo::DdlKind;
+
+    fn marker(obj: u32) -> Arc<RedoMarker> {
+        Arc::new(RedoMarker {
+            object: ObjectId(obj),
+            tenant: TenantId::DEFAULT,
+            ddl: DdlKind::DropColumn { name: "c".into() },
+        })
+    }
+
+    #[test]
+    fn take_upto_is_inclusive_and_ordered() {
+        let t = DdlTable::new();
+        t.insert(Scn(30), marker(3));
+        t.insert(Scn(10), marker(1));
+        t.insert(Scn(20), marker(2));
+        assert_eq!(t.len(), 3);
+        let taken = t.take_upto(Scn(20));
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[0].0, Scn(10));
+        assert_eq!(taken[1].0, Scn(20));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn same_scn_markers_kept_in_mining_order() {
+        let t = DdlTable::new();
+        t.insert(Scn(5), marker(1));
+        t.insert(Scn(5), marker(2));
+        let taken = t.take_upto(Scn(5));
+        assert_eq!(taken.len(), 2);
+        assert_eq!(taken[0].1.object, ObjectId(1));
+        assert_eq!(taken[1].1.object, ObjectId(2));
+        assert!(t.is_empty());
+    }
+}

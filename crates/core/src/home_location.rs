@@ -1,0 +1,86 @@
+//! The home-location map (paper §III.F).
+//!
+//! With a RAC standby, IMCUs are distributed across the instances' column
+//! stores by a hashing scheme; the map records which instance owns the
+//! units for a DBA range. The invalidation flush queries it to route
+//! invalidation groups to the right instance.
+
+use imadg_common::{Dba, InstanceId};
+
+/// DBA → owning-instance mapping for a RAC cluster.
+#[derive(Debug, Clone)]
+pub struct HomeLocationMap {
+    instances: Vec<InstanceId>,
+    /// Blocks per distribution stripe: consecutive blocks map to the same
+    /// instance so an IMCU's whole DBA range shares one home.
+    stripe: u64,
+}
+
+impl HomeLocationMap {
+    /// Map over `instances`, striping every `stripe` consecutive DBAs.
+    pub fn new(instances: Vec<InstanceId>, stripe: u64) -> HomeLocationMap {
+        assert!(!instances.is_empty(), "need at least one instance");
+        HomeLocationMap { instances, stripe: stripe.max(1) }
+    }
+
+    /// Single-instance map (non-RAC standby).
+    pub fn single(instance: InstanceId) -> HomeLocationMap {
+        HomeLocationMap::new(vec![instance], 1)
+    }
+
+    /// The instances in the map.
+    pub fn instances(&self) -> &[InstanceId] {
+        &self.instances
+    }
+
+    /// Home instance of a block.
+    pub fn instance_for(&self, dba: Dba) -> InstanceId {
+        let stripe_no = dba.0 / self.stripe;
+        self.instances[(stripe_no % self.instances.len() as u64) as usize]
+    }
+
+    /// Does this cluster have more than one instance?
+    pub fn is_clustered(&self) -> bool {
+        self.instances.len() > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn striping_keeps_ranges_together() {
+        let m = HomeLocationMap::new(vec![InstanceId(0), InstanceId(1)], 4);
+        // DBAs 0..4 → stripe 0 → instance 0; 4..8 → instance 1; 8..12 → 0.
+        for d in 0..4 {
+            assert_eq!(m.instance_for(Dba(d)), InstanceId(0));
+        }
+        for d in 4..8 {
+            assert_eq!(m.instance_for(Dba(d)), InstanceId(1));
+        }
+        assert_eq!(m.instance_for(Dba(8)), InstanceId(0));
+        assert!(m.is_clustered());
+    }
+
+    #[test]
+    fn single_instance_owns_everything() {
+        let m = HomeLocationMap::single(InstanceId(3));
+        for d in [0u64, 7, 1000] {
+            assert_eq!(m.instance_for(Dba(d)), InstanceId(3));
+        }
+        assert!(!m.is_clustered());
+    }
+
+    #[test]
+    fn distribution_is_roughly_even() {
+        let m = HomeLocationMap::new(vec![InstanceId(0), InstanceId(1), InstanceId(2)], 8);
+        let mut counts = [0usize; 3];
+        for d in 0..3000 {
+            counts[m.instance_for(Dba(d)).0 as usize] += 1;
+        }
+        for c in counts {
+            assert_eq!(c, 1000);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Invalidation records and groups.
+//!
+//! An invalidation record is the tuple the Mining Component notes down when
+//! it sniffs a CV against an in-memory-enabled object: *(object, DBA,
+//! changed row, tenant)*, associated with the generating transaction
+//! (paper §III.B, Fig. 6). At flush time records are organized into
+//! *invalidation groups* keyed by object so they can be routed to the SMUs
+//! (and, under RAC, to the owning instance) cheaply (§III.D, §III.F).
+
+use imadg_common::{Dba, ObjectId, Scn, SlotId, TenantId};
+use imadg_storage::RowLoc;
+
+/// One mined invalidation record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidationRecord {
+    /// Modified object.
+    pub object: ObjectId,
+    /// Modified block.
+    pub dba: Dba,
+    /// Modified row slot.
+    pub slot: SlotId,
+    /// Owning tenant.
+    pub tenant: TenantId,
+}
+
+impl InvalidationRecord {
+    /// The record's physical row location.
+    pub fn loc(&self) -> RowLoc {
+        RowLoc { dba: self.dba, slot: self.slot }
+    }
+}
+
+/// A batch of invalidations for one object from one committed transaction,
+/// ready to be flushed to SMUs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidationGroup {
+    /// Target object.
+    pub object: ObjectId,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Commit SCN of the transaction that made the changes.
+    pub commit_scn: Scn,
+    /// Modified row locations.
+    pub locs: Vec<RowLoc>,
+}
+
+/// Organize a transaction's records into per-object invalidation groups.
+pub fn group_records(
+    records: Vec<InvalidationRecord>,
+    commit_scn: Scn,
+) -> Vec<InvalidationGroup> {
+    let mut groups: Vec<InvalidationGroup> = Vec::new();
+    for r in records {
+        match groups.iter_mut().find(|g| g.object == r.object) {
+            Some(g) => g.locs.push(r.loc()),
+            None => groups.push(InvalidationGroup {
+                object: r.object,
+                tenant: r.tenant,
+                commit_scn,
+                locs: vec![r.loc()],
+            }),
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(obj: u32, dba: u64, slot: u16) -> InvalidationRecord {
+        InvalidationRecord {
+            object: ObjectId(obj),
+            dba: Dba(dba),
+            slot,
+            tenant: TenantId::DEFAULT,
+        }
+    }
+
+    #[test]
+    fn grouping_by_object() {
+        let groups = group_records(
+            vec![rec(1, 10, 0), rec(2, 20, 1), rec(1, 11, 2)],
+            Scn(100),
+        );
+        assert_eq!(groups.len(), 2);
+        let g1 = groups.iter().find(|g| g.object == ObjectId(1)).unwrap();
+        assert_eq!(g1.locs.len(), 2);
+        assert_eq!(g1.commit_scn, Scn(100));
+        let g2 = groups.iter().find(|g| g.object == ObjectId(2)).unwrap();
+        assert_eq!(g2.locs, vec![RowLoc { dba: Dba(20), slot: 1 }]);
+    }
+
+    #[test]
+    fn empty_records_no_groups() {
+        assert!(group_records(vec![], Scn(1)).is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! `imadg-core`: the DBIM-on-ADG infrastructure — the paper's contribution.
+//!
+//! Synchronized maintenance of the standby's In-Memory Column Store, driven
+//! purely by redo apply (paper §III):
+//!
+//! * **Mining Component** (§III.B) — piggybacks on recovery workers,
+//!   sniffing CVs against in-memory-enabled objects into invalidation
+//!   records, and transaction control information into the commit table;
+//! * **IM-ADG Journal** (§III.C) — txn-hashed buffer with bucket latches
+//!   and per-worker record areas;
+//! * **IM-ADG Commit Table** (§III.D.1) — partitioned, commit-SCN-sorted
+//!   nodes with direct anchor references;
+//! * **Invalidation Flush + Worklink + Cooperative Flush** (§III.D) — runs
+//!   under the quiesce lock during QuerySCN advancement;
+//! * **Coarse invalidation via the commit-record flag** (§III.E);
+//! * **RAC distribution with home locations, batching and pipelining**
+//!   (§III.F);
+//! * **DDL Information Table fed by redo markers** (§III.G).
+
+pub mod commit_table;
+pub mod ddl_table;
+pub mod flush;
+pub mod home_location;
+pub mod invalidation;
+pub mod journal;
+pub mod mining;
+pub mod pipeline;
+pub mod rac;
+pub mod worklink;
+
+pub use commit_table::{CommitNode, CommitTable};
+pub use ddl_table::DdlTable;
+pub use flush::{FlushStats, FlushTarget, InvalidationFlush, LocalFlushTarget};
+pub use home_location::HomeLocationMap;
+pub use invalidation::{group_records, InvalidationGroup, InvalidationRecord};
+pub use journal::{AnchorNode, Journal};
+pub use mining::{MiningComponent, MiningStats};
+pub use pipeline::DbimAdg;
+pub use rac::{RacEndpoint, RacFlushTarget, RacMessage};
+pub use worklink::Worklink;

@@ -1,0 +1,248 @@
+//! The Mining Component (paper §III.B).
+//!
+//! Piggybacks on the recovery workers via the [`ApplyObserver`] hooks:
+//! every applied CV against an in-memory-enabled object yields an
+//! invalidation record buffered in the IM-ADG Journal; transaction control
+//! information maintains the journal anchors and the IM-ADG Commit Table;
+//! DDL markers go to the DDL Information Table. The work done per CV is a
+//! set-membership test plus one push into a per-worker area — the "thin
+//! layer" the paper requires on the apply critical path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use imadg_common::{CpuAccount, ObjectSet, Scn, TenantId, TxnId, WorkerId};
+use imadg_recovery::ApplyObserver;
+use imadg_redo::{CommitRecord, RedoMarker};
+use imadg_storage::{ChangeOp, ChangeVector};
+
+use crate::commit_table::{CommitNode, CommitTable};
+use crate::ddl_table::DdlTable;
+use crate::invalidation::InvalidationRecord;
+use crate::journal::Journal;
+
+/// Counters exposed for the mining-overhead ablation.
+#[derive(Debug, Default)]
+pub struct MiningStats {
+    /// CVs inspected.
+    pub sniffed: AtomicU64,
+    /// Invalidation records buffered.
+    pub mined: AtomicU64,
+    /// Commit-table nodes created.
+    pub commits: AtomicU64,
+    /// Aborted transactions discarded from the journal.
+    pub aborts: AtomicU64,
+    /// DDL markers buffered.
+    pub markers: AtomicU64,
+}
+
+/// The mining component of one standby (master) instance.
+pub struct MiningComponent {
+    journal: Arc<Journal>,
+    commit_table: Arc<CommitTable>,
+    ddl_table: Arc<DdlTable>,
+    /// Objects enabled for population into the standby's IMCS.
+    enabled: Arc<ObjectSet>,
+    /// Mining busy time (part of the redo-apply overhead budget).
+    pub cpu: CpuAccount,
+    /// Event counters.
+    pub stats: MiningStats,
+}
+
+impl MiningComponent {
+    /// Wire the mining component over its tables.
+    pub fn new(
+        journal: Arc<Journal>,
+        commit_table: Arc<CommitTable>,
+        ddl_table: Arc<DdlTable>,
+        enabled: Arc<ObjectSet>,
+    ) -> MiningComponent {
+        MiningComponent {
+            journal,
+            commit_table,
+            ddl_table,
+            enabled,
+            cpu: CpuAccount::new(),
+            stats: MiningStats::default(),
+        }
+    }
+
+    /// The journal this component feeds.
+    pub fn journal(&self) -> &Arc<Journal> {
+        &self.journal
+    }
+
+    /// The commit table this component feeds.
+    pub fn commit_table(&self) -> &Arc<CommitTable> {
+        &self.commit_table
+    }
+}
+
+impl ApplyObserver for MiningComponent {
+    fn on_change(&self, worker: WorkerId, cv: &ChangeVector, _scn: Scn) {
+        let _t = self.cpu.timer();
+        self.stats.sniffed.fetch_add(1, Ordering::Relaxed);
+        if !self.enabled.is_enabled(cv.object) {
+            return;
+        }
+        let slot = match &cv.op {
+            // Space-management CVs don't invalidate row data.
+            ChangeOp::Format { .. } => return,
+            op => op.slot().expect("row change has a slot"),
+        };
+        let anchor = self.journal.anchor_or_create(cv.txn, cv.tenant);
+        anchor.add_record(
+            worker,
+            InvalidationRecord { object: cv.object, dba: cv.dba, slot, tenant: cv.tenant },
+        );
+        self.stats.mined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_begin(&self, _worker: WorkerId, txn: TxnId, tenant: TenantId, _scn: Scn) {
+        let _t = self.cpu.timer();
+        self.journal.anchor_or_create(txn, tenant).mark_begin();
+    }
+
+    fn on_commit(&self, _worker: WorkerId, record: &CommitRecord) {
+        let _t = self.cpu.timer();
+        let anchor = self.journal.anchor(record.txn);
+        // Skip transactions that provably touched nothing in-memory: the
+        // specialized annotation says false AND nothing was mined. This is
+        // the fast path that keeps the commit table small under pure-OLTP
+        // load against non-IMCS objects.
+        if record.modified_inmemory == Some(false) && anchor.is_none() {
+            return;
+        }
+        self.commit_table.insert(CommitNode {
+            txn: record.txn,
+            tenant: record.tenant,
+            commit_scn: record.commit_scn,
+            modified_inmemory: record.modified_inmemory,
+            anchor,
+        });
+        self.stats.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_abort(&self, _worker: WorkerId, txn: TxnId, _tenant: TenantId) {
+        let _t = self.cpu.timer();
+        if self.journal.remove(txn).is_some() {
+            self.stats.aborts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn on_marker(&self, _worker: WorkerId, marker: &RedoMarker, scn: Scn) {
+        let _t = self.cpu.timer();
+        self.ddl_table.insert(scn, Arc::new(marker.clone()));
+        self.stats.markers.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imadg_common::{Dba, ObjectId};
+    use imadg_redo::DdlKind;
+    use imadg_storage::{Row, Value};
+
+    fn component() -> MiningComponent {
+        let enabled = Arc::new(ObjectSet::new());
+        enabled.enable(ObjectId(1));
+        MiningComponent::new(
+            Arc::new(Journal::new(16, 4)),
+            Arc::new(CommitTable::new(2)),
+            Arc::new(DdlTable::new()),
+            enabled,
+        )
+    }
+
+    fn cv(obj: u32, txn: u64, op: ChangeOp) -> ChangeVector {
+        ChangeVector {
+            dba: Dba(10),
+            object: ObjectId(obj),
+            tenant: TenantId::DEFAULT,
+            txn: TxnId(txn),
+            op,
+        }
+    }
+
+    fn commit(txn: u64, scn: u64, flag: Option<bool>) -> CommitRecord {
+        CommitRecord {
+            txn: TxnId(txn),
+            tenant: TenantId::DEFAULT,
+            commit_scn: Scn(scn),
+            modified_inmemory: flag,
+        }
+    }
+
+    #[test]
+    fn sniffs_only_enabled_objects() {
+        let m = component();
+        let row = Row::new(vec![Value::Int(1)]);
+        m.on_change(WorkerId(0), &cv(1, 1, ChangeOp::Insert { slot: 0, row: row.clone() }), Scn(5));
+        m.on_change(WorkerId(0), &cv(2, 1, ChangeOp::Insert { slot: 0, row }), Scn(6));
+        assert_eq!(m.stats.sniffed.load(Ordering::Relaxed), 2);
+        assert_eq!(m.stats.mined.load(Ordering::Relaxed), 1);
+        assert_eq!(m.journal().total_records(), 1);
+    }
+
+    #[test]
+    fn format_cvs_not_mined() {
+        let m = component();
+        m.on_change(WorkerId(0), &cv(1, 1, ChangeOp::Format { capacity: 8 }), Scn(5));
+        assert_eq!(m.stats.mined.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn begin_marks_anchor() {
+        let m = component();
+        m.on_begin(WorkerId(0), TxnId(1), TenantId::DEFAULT, Scn(1));
+        assert!(m.journal().anchor(TxnId(1)).unwrap().has_begin());
+    }
+
+    #[test]
+    fn commit_links_anchor_into_commit_table() {
+        let m = component();
+        m.on_begin(WorkerId(0), TxnId(1), TenantId::DEFAULT, Scn(1));
+        let row = Row::new(vec![Value::Int(1)]);
+        m.on_change(WorkerId(1), &cv(1, 1, ChangeOp::Update { slot: 0, row }), Scn(2));
+        m.on_commit(WorkerId(0), &commit(1, 3, Some(true)));
+        assert_eq!(m.commit_table().len(), 1);
+        let nodes = m.commit_table().chop(Scn(3));
+        let anchor = nodes[0].anchor.as_ref().expect("anchor linked");
+        assert_eq!(anchor.record_count(), 1);
+        assert!(anchor.has_begin());
+    }
+
+    #[test]
+    fn flagged_clean_commits_skip_the_table() {
+        let m = component();
+        m.on_commit(WorkerId(0), &commit(1, 3, Some(false)));
+        assert!(m.commit_table().is_empty(), "clean txn needs no flush work");
+        // Without annotation the node must be kept (pessimistic).
+        m.on_commit(WorkerId(0), &commit(2, 4, None));
+        assert_eq!(m.commit_table().len(), 1);
+    }
+
+    #[test]
+    fn abort_discards_journal_state() {
+        let m = component();
+        let row = Row::new(vec![Value::Int(1)]);
+        m.on_change(WorkerId(0), &cv(1, 1, ChangeOp::Insert { slot: 0, row }), Scn(2));
+        assert_eq!(m.journal().len(), 1);
+        m.on_abort(WorkerId(0), TxnId(1), TenantId::DEFAULT);
+        assert!(m.journal().is_empty());
+        assert_eq!(m.stats.aborts.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn markers_buffered_in_ddl_table() {
+        let m = component();
+        let marker = RedoMarker {
+            object: ObjectId(1),
+            tenant: TenantId::DEFAULT,
+            ddl: DdlKind::DropColumn { name: "x".into() },
+        };
+        m.on_marker(WorkerId(0), &marker, Scn(9));
+        assert_eq!(m.stats.markers.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Assembly of the DBIM-on-ADG components for one standby deployment.
+//!
+//! [`DbimAdg`] bundles the journal, commit table, DDL table, mining
+//! component and invalidation flush, pre-wired so the database layer can
+//! hand the right pieces to media recovery: the mining component as an
+//! apply observer, and the flush component as both the QuerySCN-advance
+//! hook and the cooperative-flush helper.
+
+use std::sync::Arc;
+
+use imadg_common::{ImcsConfig, ObjectSet, Result};
+use imadg_recovery::{AdvanceHook, ApplyObserver, CoopHelper};
+use imadg_storage::Store;
+
+use crate::commit_table::CommitTable;
+use crate::ddl_table::DdlTable;
+use crate::flush::{FlushTarget, InvalidationFlush};
+use crate::journal::Journal;
+use crate::mining::MiningComponent;
+
+/// The wired DBIM-on-ADG infrastructure of a standby (master) instance.
+pub struct DbimAdg {
+    /// The IM-ADG Journal.
+    pub journal: Arc<Journal>,
+    /// The IM-ADG Commit Table.
+    pub commit_table: Arc<CommitTable>,
+    /// The DDL Information Table.
+    pub ddl_table: Arc<DdlTable>,
+    /// The mining component (plug into recovery workers).
+    pub mining: Arc<MiningComponent>,
+    /// The invalidation flush (plug into the coordinator and workers).
+    pub flush: Arc<InvalidationFlush>,
+}
+
+impl DbimAdg {
+    /// Wire everything.
+    ///
+    /// * `config` — journal bucket count, commit table partitions;
+    /// * `workers` — recovery parallelism (sizes per-worker journal areas);
+    /// * `enabled` — objects enabled for standby population (mining filter);
+    /// * `store` — the standby's storage (dictionary replay);
+    /// * `target` — local or RAC flush target.
+    pub fn new(
+        config: &ImcsConfig,
+        workers: usize,
+        enabled: Arc<ObjectSet>,
+        store: Arc<Store>,
+        target: Arc<dyn FlushTarget>,
+    ) -> Result<DbimAdg> {
+        config.validate()?;
+        let journal = Arc::new(Journal::new(config.journal_buckets, workers));
+        let commit_table = Arc::new(CommitTable::new(config.commit_table_partitions));
+        let ddl_table = Arc::new(DdlTable::new());
+        let mining = Arc::new(MiningComponent::new(
+            journal.clone(),
+            commit_table.clone(),
+            ddl_table.clone(),
+            enabled.clone(),
+        ));
+        let flush = Arc::new(InvalidationFlush::new(
+            journal.clone(),
+            commit_table.clone(),
+            ddl_table.clone(),
+            target,
+            store,
+            enabled,
+        ));
+        Ok(DbimAdg { journal, commit_table, ddl_table, mining, flush })
+    }
+
+    /// The mining component as a recovery-worker observer.
+    pub fn observer(&self) -> Arc<dyn ApplyObserver> {
+        self.mining.clone()
+    }
+
+    /// The flush component as the coordinator's advancement hook.
+    pub fn advance_hook(&self) -> Arc<dyn AdvanceHook> {
+        self.flush.clone()
+    }
+
+    /// The flush component as the workers' cooperative-flush helper.
+    pub fn coop_helper(&self) -> Arc<dyn CoopHelper> {
+        self.flush.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flush::LocalFlushTarget;
+    use imadg_imcs::ImcsStore;
+
+    #[test]
+    fn wiring_shares_tables() {
+        let adg = DbimAdg::new(
+            &ImcsConfig::default(),
+            4,
+            Arc::new(ObjectSet::new()),
+            Arc::new(Store::new()),
+            Arc::new(LocalFlushTarget::new(Arc::new(ImcsStore::new()))),
+        )
+        .unwrap();
+        assert!(Arc::ptr_eq(adg.mining.journal(), &adg.journal));
+        assert!(Arc::ptr_eq(adg.mining.commit_table(), &adg.commit_table));
+        let _: Arc<dyn ApplyObserver> = adg.observer();
+        let _: Arc<dyn AdvanceHook> = adg.advance_hook();
+        let _: Arc<dyn CoopHelper> = adg.coop_helper();
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let mut cfg = ImcsConfig::default();
+        cfg.journal_buckets = 0;
+        assert!(DbimAdg::new(
+            &cfg,
+            4,
+            Arc::new(ObjectSet::new()),
+            Arc::new(Store::new()),
+            Arc::new(LocalFlushTarget::new(Arc::new(ImcsStore::new()))),
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Worklinks (paper §III.D, Fig. 8).
+//!
+//! When the coordinator chops the commit table it strings the removed
+//! nodes onto a *worklink*: a shared queue that the coordinator and — with
+//! cooperative flush — the recovery workers drain together. The
+//! coordinator publishes the new QuerySCN once the worklink is empty.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::queue::SegQueue;
+
+use crate::commit_table::CommitNode;
+
+/// A drain-cooperatively queue of commit nodes.
+#[derive(Debug)]
+pub struct Worklink {
+    queue: SegQueue<CommitNode>,
+    /// Nodes popped but not yet fully flushed. Combined with queue
+    /// emptiness this tells the coordinator when everything is done.
+    in_flight: AtomicUsize,
+    total: usize,
+}
+
+impl Worklink {
+    /// Build from the chopped commit-table nodes.
+    pub fn new(nodes: Vec<CommitNode>) -> Worklink {
+        let total = nodes.len();
+        let queue = SegQueue::new();
+        for n in nodes {
+            queue.push(n);
+        }
+        Worklink { queue, in_flight: AtomicUsize::new(0), total }
+    }
+
+    /// Total nodes the worklink started with.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Claim up to `budget` nodes for flushing. The claimer must call
+    /// [`Worklink::complete`] for each claimed node.
+    pub fn claim(&self, budget: usize) -> Vec<CommitNode> {
+        let mut out = Vec::new();
+        while out.len() < budget {
+            match self.queue.pop() {
+                Some(n) => {
+                    self.in_flight.fetch_add(1, Ordering::AcqRel);
+                    out.push(n);
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Report one claimed node as flushed.
+    pub fn complete(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Is every node claimed *and* flushed?
+    pub fn drained(&self) -> bool {
+        self.queue.is_empty() && self.in_flight.load(Ordering::Acquire) == 0
+    }
+
+    /// Nodes still waiting to be claimed.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imadg_common::{Scn, TenantId, TxnId};
+
+    fn node(txn: u64) -> CommitNode {
+        CommitNode {
+            txn: TxnId(txn),
+            tenant: TenantId::DEFAULT,
+            commit_scn: Scn(txn),
+            modified_inmemory: None,
+            anchor: None,
+        }
+    }
+
+    #[test]
+    fn claim_and_complete() {
+        let wl = Worklink::new((0..10).map(node).collect());
+        assert_eq!(wl.total(), 10);
+        assert!(!wl.drained());
+        let batch = wl.claim(4);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(wl.pending(), 6);
+        assert!(!wl.drained(), "claimed but not completed");
+        for _ in &batch {
+            wl.complete();
+        }
+        assert!(!wl.drained(), "six still queued");
+        let rest = wl.claim(100);
+        assert_eq!(rest.len(), 6);
+        for _ in &rest {
+            wl.complete();
+        }
+        assert!(wl.drained());
+    }
+
+    #[test]
+    fn empty_worklink_is_drained() {
+        let wl = Worklink::new(vec![]);
+        assert!(wl.drained());
+        assert!(wl.claim(5).is_empty());
+    }
+
+    #[test]
+    fn concurrent_cooperative_drain() {
+        use std::sync::Arc;
+        let wl = Arc::new(Worklink::new((0..1000).map(node).collect()));
+        let mut handles = Vec::new();
+        let flushed = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let wl = wl.clone();
+            let flushed = flushed.clone();
+            handles.push(std::thread::spawn(move || loop {
+                let batch = wl.claim(16);
+                if batch.is_empty() {
+                    break;
+                }
+                for _ in &batch {
+                    flushed.fetch_add(1, Ordering::Relaxed);
+                    wl.complete();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(flushed.load(Ordering::Relaxed), 1000, "each node flushed exactly once");
+        assert!(wl.drained());
+    }
+}

@@ -1,0 +1,279 @@
+//! The full Active-Data-Guard deployment: primary cluster + standby
+//! cluster connected by redo shipping (paper Fig. 1).
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use imadg_common::{
+    Error, InstanceId, ObjectId, RedoThreadId, Result, ScnService, SystemConfig,
+};
+use imadg_redo::{redo_link, LogBuffer};
+use imadg_storage::{DbaAllocator, Store, TableSpec};
+use imadg_txn::{InMemoryRegistry, LockTable, TxnIdService, TxnManager};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+use crate::placement::Placement;
+use crate::primary::PrimaryInstance;
+use crate::standby::{StandbyCluster, StandbyThreads};
+
+/// Deployment shape.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Primary RAC instances (each gets its own redo thread).
+    pub primary_instances: usize,
+    /// Standby RAC instances (instance 0 runs SIRA media recovery).
+    pub standby_instances: usize,
+    /// Kernel configuration.
+    pub config: SystemConfig,
+    /// Enable the DBIM-on-ADG infrastructure on the standby.
+    pub dbim_on_adg: bool,
+    /// Annotate commit records with the in-memory flag (§III.E).
+    pub commit_annotation: bool,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            primary_instances: 1,
+            standby_instances: 1,
+            config: SystemConfig::default(),
+            dbim_on_adg: true,
+            commit_annotation: true,
+        }
+    }
+}
+
+/// A primary + standby deployment.
+pub struct AdgCluster {
+    /// The deployment shape.
+    pub spec: ClusterSpec,
+    scns: Arc<ScnService>,
+    primaries: Vec<Arc<PrimaryInstance>>,
+    standby: RwLock<Arc<StandbyCluster>>,
+    /// Objects enabled anywhere (commit-record annotation source).
+    annotation: Arc<InMemoryRegistry>,
+    placements: RwLock<HashMap<ObjectId, Placement>>,
+}
+
+impl AdgCluster {
+    /// Provision a cluster.
+    pub fn new(spec: ClusterSpec) -> Result<AdgCluster> {
+        spec.config.validate()?;
+        if spec.primary_instances == 0 {
+            return Err(Error::Config("need at least one primary instance".into()));
+        }
+        let scns = Arc::new(ScnService::new());
+        let txn_ids = Arc::new(TxnIdService::new());
+        let locks = Arc::new(LockTable::new());
+        let dbas = Arc::new(DbaAllocator::default());
+        let annotation = Arc::new(InMemoryRegistry::new());
+        let primary_store = Arc::new(Store::new());
+        let standby_store = Arc::new(Store::new());
+
+        let mut primaries = Vec::with_capacity(spec.primary_instances);
+        let mut receivers = Vec::with_capacity(spec.primary_instances);
+        for i in 0..spec.primary_instances {
+            let (sender, receiver) = redo_link(spec.config.transport.latency);
+            receivers.push(receiver);
+            let log = Arc::new(LogBuffer::new(RedoThreadId(i as u8 + 1)));
+            let mut txm = TxnManager::new(
+                primary_store.clone(),
+                scns.clone(),
+                log.clone(),
+                txn_ids.clone(),
+                locks.clone(),
+                annotation.clone(),
+                dbas.clone(),
+            );
+            txm.annotate_commits = spec.commit_annotation;
+            primaries.push(Arc::new(PrimaryInstance::new(
+                InstanceId(i as u8),
+                primary_store.clone(),
+                txm,
+                scns.clone(),
+                log,
+                sender,
+                &spec.config.transport,
+                &spec.config.imcs,
+            )?));
+        }
+
+        let standby = StandbyCluster::new(
+            &spec.config,
+            standby_store,
+            receivers,
+            spec.standby_instances,
+            spec.dbim_on_adg,
+        )?;
+
+        Ok(AdgCluster {
+            spec,
+            scns,
+            primaries,
+            standby: RwLock::new(standby),
+            annotation,
+            placements: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// Convenience: a default single-instance deployment.
+    pub fn single() -> Result<AdgCluster> {
+        AdgCluster::new(ClusterSpec::default())
+    }
+
+    /// The primary instances.
+    pub fn primaries(&self) -> &[Arc<PrimaryInstance>] {
+        &self.primaries
+    }
+
+    /// The first primary instance.
+    pub fn primary(&self) -> &Arc<PrimaryInstance> {
+        &self.primaries[0]
+    }
+
+    /// The standby cluster.
+    pub fn standby(&self) -> Arc<StandbyCluster> {
+        self.standby.read().clone()
+    }
+
+    /// The global SCN service.
+    pub fn scns(&self) -> &Arc<ScnService> {
+        &self.scns
+    }
+
+    /// Create a table: applied on the primary dictionary and replicated to
+    /// the standby through a DDL redo marker.
+    pub fn create_table(&self, spec: TableSpec) -> Result<()> {
+        self.primary().txm.create_table(spec)
+    }
+
+    /// Set an object's in-memory placement (services model, Fig. 2).
+    pub fn set_placement(&self, object: ObjectId, placement: Placement) -> Result<()> {
+        // Commit-record annotation covers objects enabled anywhere.
+        if placement.enabled_anywhere() {
+            self.annotation.enable(object);
+        } else {
+            self.annotation.disable(object);
+        }
+        for p in &self.primaries {
+            if placement.on_primary() {
+                p.population.enable(object);
+            } else {
+                p.population.disable(object);
+            }
+        }
+        let standby = self.standby();
+        if placement.on_standby() {
+            standby.enable_inmemory(object);
+        } else {
+            standby.disable_inmemory(object);
+        }
+        self.placements.write().insert(object, placement);
+        Ok(())
+    }
+
+    /// The object's current placement.
+    pub fn placement(&self, object: ObjectId) -> Placement {
+        self.placements.read().get(&object).copied().unwrap_or_default()
+    }
+
+    /// Ship all buffered redo from every primary instance.
+    pub fn ship_redo(&self) -> Result<usize> {
+        let mut total = 0;
+        for p in &self.primaries {
+            total += p.ship_redo()?;
+        }
+        Ok(total)
+    }
+
+    /// Deterministic full synchronization (step mode): ship redo, apply it,
+    /// advance the QuerySCN, and run population to a fixed point.
+    pub fn sync(&self) -> Result<()> {
+        let standby = self.standby();
+        loop {
+            let shipped = self.ship_redo()?;
+            standby.pump_until_idle()?;
+            let populated = standby.populate_until_idle()?;
+            // Population may race new shipping in tests; loop until stable.
+            if shipped == 0 && !populated.any() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Register an in-memory expression (paper §V) wherever the object is
+    /// placed; the next population pass materializes it as a virtual
+    /// column.
+    pub fn register_expression(&self, object: ObjectId, expr: imadg_imcs::ImExpression) {
+        let placement = self.placement(object);
+        if placement.on_primary() {
+            for p in &self.primaries {
+                p.imcs.register_expression(object, expr.clone());
+            }
+        }
+        if placement.on_standby() {
+            self.standby().register_expression(object, expr);
+        }
+    }
+
+    /// Run primary-side population to a fixed point (dual-format DBIM on
+    /// the primary, §II.B).
+    pub fn populate_primary(&self) -> Result<()> {
+        for p in &self.primaries {
+            p.population.run_until_idle()?;
+        }
+        Ok(())
+    }
+
+    /// Restart the standby cluster (paper §III.E): storage persists, every
+    /// in-memory structure — journal, commit table, IMCS — is lost, and
+    /// media recovery resumes on the same redo links.
+    pub fn restart_standby(&self) -> Result<()> {
+        let old = self.standby();
+        let receivers = old.recovery.take_receivers();
+        let new = StandbyCluster::new(
+            &self.spec.config,
+            old.store.clone(),
+            receivers,
+            self.spec.standby_instances,
+            self.spec.dbim_on_adg,
+        )?;
+        // Re-apply placements to the fresh cluster.
+        for (&object, &placement) in self.placements.read().iter() {
+            if placement.on_standby() {
+                new.enable_inmemory(object);
+            }
+        }
+        *self.standby.write() = new;
+        Ok(())
+    }
+
+    /// Spawn the full threaded deployment: redo shippers on every primary
+    /// plus the standby's recovery and population threads.
+    pub fn start(&self) -> ClusterThreads {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut shippers = Vec::new();
+        for p in &self.primaries {
+            shippers.push(p.start_shipper(stop.clone()));
+        }
+        let standby_threads = self.standby().start();
+        ClusterThreads { stop, shippers, _standby: standby_threads }
+    }
+}
+
+/// Guard over the deployment's background threads.
+pub struct ClusterThreads {
+    stop: Arc<AtomicBool>,
+    shippers: Vec<std::thread::JoinHandle<()>>,
+    _standby: StandbyThreads,
+}
+
+impl Drop for ClusterThreads {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in self.shippers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! `imadg-db`: the deployment façade.
+//!
+//! Wires the substrate crates into the paper's Fig. 1 topology: a primary
+//! (RAC) cluster generating redo, a standby (RAC) cluster maintained by
+//! parallel redo apply, the DBIM-on-ADG infrastructure keeping the
+//! standby's column store consistent at every published QuerySCN, and the
+//! placement policies (Fig. 2) that split the in-memory working set across
+//! the two sides.
+
+pub mod cluster;
+pub mod mira;
+pub mod placement;
+pub mod primary;
+pub mod query;
+pub mod standby;
+
+pub use cluster::{AdgCluster, ClusterSpec, ClusterThreads};
+pub use mira::{MiraInstance, MiraStandby};
+pub use placement::Placement;
+pub use primary::PrimaryInstance;
+pub use query::{execute_scan, QueryOutput};
+pub use standby::{StandbyCluster, StandbyInstance, StandbyStatus, StandbyThreads};
+
+// Re-export the vocabulary users need to drive a cluster.
+pub use imadg_common::{
+    Dba, Error, ImcsConfig, InstanceId, ObjectId, RecoveryConfig, Result, Scn, SystemConfig,
+    TenantId, TransportConfig, TxnId,
+};
+pub use imadg_imcs::{CmpOp, Expr, ExprPredicate, Filter, ImExpression, Predicate, ScanStats};
+pub use imadg_storage::{ColumnDef, ColumnType, Row, Schema, TableSpec, Value};

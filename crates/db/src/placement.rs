@@ -1,0 +1,58 @@
+//! In-memory placement policies (paper §I, Fig. 2).
+//!
+//! "For each partition of SALES data, the customer specifies either the
+//! standby or primary service, and for each dimension table, the customer
+//! specifies a service that includes both" — placement decides which
+//! instances' column stores populate an object, enabling the capacity-
+//! expansion and workload-isolation deployments the paper motivates.
+
+/// Which services an object's in-memory population is attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Not populated anywhere (row-store only).
+    #[default]
+    None,
+    /// Populated only in the primary's IMCS.
+    PrimaryOnly,
+    /// Populated only in the standby's IMCS (offload service).
+    StandbyOnly,
+    /// Populated on both (dimension tables for join processing).
+    Both,
+}
+
+impl Placement {
+    /// Should the primary's column store populate this object?
+    pub fn on_primary(self) -> bool {
+        matches!(self, Placement::PrimaryOnly | Placement::Both)
+    }
+
+    /// Should the standby's column store populate this object?
+    pub fn on_standby(self) -> bool {
+        matches!(self, Placement::StandbyOnly | Placement::Both)
+    }
+
+    /// Is the object in-memory enabled anywhere? (drives the commit-record
+    /// annotation, §III.E)
+    pub fn enabled_anywhere(self) -> bool {
+        self != Placement::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_matrix() {
+        assert!(!Placement::None.on_primary());
+        assert!(!Placement::None.on_standby());
+        assert!(!Placement::None.enabled_anywhere());
+        assert!(Placement::PrimaryOnly.on_primary());
+        assert!(!Placement::PrimaryOnly.on_standby());
+        assert!(!Placement::StandbyOnly.on_primary());
+        assert!(Placement::StandbyOnly.on_standby());
+        assert!(Placement::Both.on_primary());
+        assert!(Placement::Both.on_standby());
+        assert!(Placement::Both.enabled_anywhere());
+    }
+}

@@ -1,0 +1,175 @@
+//! A primary database instance: transaction processing, redo shipping, and
+//! (optionally) its own dual-format column store.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use imadg_common::{
+    CpuAccount, ImcsConfig, InstanceId, ObjectId, Result, Scn, ScnService, TenantId, TransportConfig,
+};
+use imadg_imcs::{Filter, ImcsStore, PopulationEngine, SnapshotSource};
+use imadg_redo::{LogBuffer, RedoSender, Shipper};
+use imadg_storage::{Row, RowLoc, Store};
+use imadg_txn::TxnManager;
+
+use crate::query::{execute_scan, QueryOutput};
+
+/// One primary (RAC) instance.
+pub struct PrimaryInstance {
+    /// Instance id (equals its redo thread number).
+    pub id: InstanceId,
+    /// The shared physical database.
+    pub store: Arc<Store>,
+    /// This instance's transaction manager.
+    pub txm: TxnManager,
+    scns: Arc<ScnService>,
+    log: Arc<LogBuffer>,
+    shipper: Shipper,
+    sender: RedoSender,
+    /// This instance's column store (primary-side DBIM).
+    pub imcs: Arc<ImcsStore>,
+    /// This instance's population engine.
+    pub population: Arc<PopulationEngine>,
+    /// Query busy time on this instance (CPU-transfer experiments).
+    pub query_cpu: CpuAccount,
+    /// DML busy time on this instance.
+    pub dml_cpu: CpuAccount,
+}
+
+impl PrimaryInstance {
+    /// Assemble one primary instance over the shared store.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: InstanceId,
+        store: Arc<Store>,
+        txm: TxnManager,
+        scns: Arc<ScnService>,
+        log: Arc<LogBuffer>,
+        sender: RedoSender,
+        transport: &TransportConfig,
+        imcs_config: &ImcsConfig,
+    ) -> Result<PrimaryInstance> {
+        let imcs = Arc::new(ImcsStore::new());
+        let population = Arc::new(PopulationEngine::new(
+            store.clone(),
+            imcs.clone(),
+            SnapshotSource::Primary(scns.clone()),
+            imcs_config.clone(),
+        )?);
+        Ok(PrimaryInstance {
+            id,
+            store,
+            txm,
+            scns,
+            log,
+            shipper: Shipper::new(transport.batch),
+            sender,
+            imcs,
+            population,
+            query_cpu: CpuAccount::new(),
+            dml_cpu: CpuAccount::new(),
+        })
+    }
+
+    /// The current SCN (primary queries run at database-current time).
+    pub fn current_scn(&self) -> Scn {
+        self.scns.current()
+    }
+
+    /// This instance's redo log generation statistics (Fig. 11).
+    pub fn log_stats(&self) -> imadg_redo::LogStats {
+        self.log.stats()
+    }
+
+    /// Highest SCN this instance has written redo for.
+    pub fn last_logged_scn(&self) -> Scn {
+        self.log.last_scn()
+    }
+
+    /// Ship all buffered redo to the standby (step mode). Emits a
+    /// heartbeat when the buffer was idle.
+    pub fn ship_redo(&self) -> Result<usize> {
+        self.shipper.ship_all(&self.log, &self.sender, self.scns.current())
+    }
+
+    /// Ship one batch (threaded shipper loop).
+    pub fn ship_once(&self) -> Result<usize> {
+        self.shipper.ship_once(&self.log, &self.sender, self.scns.current())
+    }
+
+    /// Run a filtered full scan on this instance at the current SCN.
+    pub fn scan(&self, object: ObjectId, filter: &Filter) -> Result<QueryOutput> {
+        let _t = self.query_cpu.timer();
+        execute_scan(
+            std::slice::from_ref(&self.imcs),
+            &self.store,
+            object,
+            filter,
+            self.scns.current(),
+        )
+    }
+
+    /// Index fetch by identity key at the current SCN.
+    pub fn fetch_by_key(&self, object: ObjectId, key: i64) -> Result<Option<(RowLoc, Row)>> {
+        let _t = self.query_cpu.timer();
+        self.store.fetch_by_key(object, key, self.scns.current(), None)
+    }
+
+    /// One auto-commit insert.
+    pub fn insert_one(&self, object: ObjectId, tenant: TenantId, values: Vec<imadg_storage::Value>) -> Result<Scn> {
+        let _t = self.dml_cpu.timer();
+        let mut tx = self.txm.begin(tenant);
+        match self.txm.insert(&mut tx, object, values) {
+            Ok(_) => Ok(self.txm.commit(tx)),
+            Err(e) => {
+                self.txm.abort(tx);
+                Err(e)
+            }
+        }
+    }
+
+    /// One auto-commit single-column update by key.
+    pub fn update_one(
+        &self,
+        object: ObjectId,
+        tenant: TenantId,
+        key: i64,
+        column: &str,
+        value: imadg_storage::Value,
+    ) -> Result<Scn> {
+        let _t = self.dml_cpu.timer();
+        let mut tx = self.txm.begin(tenant);
+        match self.txm.update_column_by_key(&mut tx, object, key, column, value) {
+            Ok(_) => Ok(self.txm.commit(tx)),
+            Err(e) => {
+                self.txm.abort(tx);
+                Err(e)
+            }
+        }
+    }
+
+    /// Garbage-collect version chains up to `horizon` (an SCN the caller
+    /// guarantees no primary reader or unpopulated snapshot predates).
+    /// Returns versions removed.
+    pub fn compact_versions(&self, horizon: Scn) -> Result<usize> {
+        let mut removed = 0usize;
+        for id in self.store.object_ids() {
+            removed += self.store.compact_object(id, horizon)?;
+        }
+        Ok(removed)
+    }
+
+    /// Spawn a background shipper thread (threaded deployments).
+    pub fn start_shipper(self: &Arc<Self>, stop: Arc<std::sync::atomic::AtomicBool>) -> std::thread::JoinHandle<()> {
+        let me = self.clone();
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                match me.ship_once() {
+                    Ok(0) => std::thread::sleep(Duration::from_micros(500)),
+                    Ok(_) => {}
+                    Err(_) => break, // standby gone (restart): exit quietly
+                }
+            }
+        })
+    }
+}

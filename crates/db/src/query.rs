@@ -1,0 +1,66 @@
+//! Query results and the shared scan executor.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use imadg_common::{ObjectId, Result, Scn};
+use imadg_imcs::{scan_cluster, Filter, ImcsStore, ScanStats};
+use imadg_storage::{Row, Store};
+
+/// Result of one query execution.
+#[derive(Debug)]
+pub struct QueryOutput {
+    /// Matching rows.
+    pub rows: Vec<Row>,
+    /// Did the In-Memory Scan Engine serve the query (vs a pure row-store
+    /// buffer-cache scan)?
+    pub used_imcs: bool,
+    /// Column-store provenance counters, when the IMCS served the query.
+    pub stats: Option<ScanStats>,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// The snapshot the query ran at.
+    pub snapshot: Scn,
+}
+
+impl QueryOutput {
+    /// Number of matching rows.
+    pub fn count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// Execute a filtered full scan: IMCS first (across the given column
+/// stores), row-store otherwise.
+pub fn execute_scan(
+    imcs_stores: &[Arc<ImcsStore>],
+    store: &Store,
+    object: ObjectId,
+    filter: &Filter,
+    snapshot: Scn,
+) -> Result<QueryOutput> {
+    let started = Instant::now();
+    if let Some(result) = scan_cluster(imcs_stores, store, object, filter, snapshot)? {
+        return Ok(QueryOutput {
+            rows: result.rows,
+            used_imcs: true,
+            stats: Some(result.stats),
+            elapsed: started.elapsed(),
+            snapshot,
+        });
+    }
+    // Buffer-cache scan: walk every block's version chains.
+    let mut rows = Vec::new();
+    store.scan_object(object, snapshot, None, |_, row| {
+        if filter.eval_row(row) {
+            rows.push(row.clone());
+        }
+    })?;
+    Ok(QueryOutput {
+        rows,
+        used_imcs: false,
+        stats: None,
+        elapsed: started.elapsed(),
+        snapshot,
+    })
+}

@@ -1,0 +1,459 @@
+//! The standby cluster: shared physical database, master-instance media
+//! recovery with the DBIM-on-ADG infrastructure, and per-instance column
+//! stores with population engines.
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use imadg_common::{
+    CpuAccount, Error, InstanceId, ObjectId, ObjectSet, QueryScnCell, QuiesceLock, Result, Scn,
+    SystemConfig,
+};
+use imadg_core::{DbimAdg, HomeLocationMap, LocalFlushTarget, RacEndpoint, RacFlushTarget};
+use imadg_imcs::{
+    scan_aggregate, scan_expression, AggregateResult, ExprPredicate, Filter, ImcsStore,
+    PopulationEngine, PopulationReport, SnapshotSource,
+};
+use imadg_recovery::{MediaRecovery, NoopAdvanceHook, RecoveryThreads};
+use imadg_redo::RedoReceiver;
+use imadg_storage::{Row, RowLoc, Store};
+
+use crate::query::{execute_scan, QueryOutput};
+
+/// A point-in-time health snapshot of the standby (observability:
+/// `V$`-view-style counters an operator would watch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandbyStatus {
+    /// Published QuerySCN (None before the first consistency point).
+    pub query_scn: Option<imadg_common::Scn>,
+    /// SCN media recovery has applied through (≥ QuerySCN).
+    pub applied_scn: imadg_common::Scn,
+    /// Successful QuerySCN advancements so far.
+    pub advances: u64,
+    /// Open transactions buffered in the IM-ADG journal.
+    pub journal_txns: usize,
+    /// Buffered invalidation records awaiting flush.
+    pub journal_records: usize,
+    /// Committed transactions awaiting the next advancement.
+    pub commit_table_pending: usize,
+    /// Rows populated in the column stores, summed over instances.
+    pub populated_rows: usize,
+    /// Invalidation records flushed to SMUs since startup.
+    pub flushed_records: u64,
+    /// Coarse (per-tenant) invalidations since startup.
+    pub coarse_invalidations: u64,
+}
+
+impl std::fmt::Display for StandbyStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "QuerySCN={} applied={} advances={} journal={}txn/{}rec pending_commits={}              populated_rows={} flushed={} coarse={}",
+            self.query_scn.map(|s| s.raw()).unwrap_or(0),
+            self.applied_scn.raw(),
+            self.advances,
+            self.journal_txns,
+            self.journal_records,
+            self.commit_table_pending,
+            self.populated_rows,
+            self.flushed_records,
+            self.coarse_invalidations,
+        )
+    }
+}
+
+/// One standby instance's query-facing state.
+pub struct StandbyInstance {
+    /// Instance id (0 = master / SIRA instance).
+    pub id: InstanceId,
+    /// This instance's column store.
+    pub imcs: Arc<ImcsStore>,
+    /// This instance's population engine.
+    pub population: Arc<PopulationEngine>,
+    /// Query busy time on this instance.
+    pub query_cpu: CpuAccount,
+}
+
+/// The standby deployment.
+pub struct StandbyCluster {
+    /// The shared physical standby database (datafiles — survives instance
+    /// restarts, unlike the in-memory DBIM-on-ADG state).
+    pub store: Arc<Store>,
+    /// Media recovery on the master instance.
+    pub recovery: Arc<MediaRecovery>,
+    /// The DBIM-on-ADG infrastructure (None = feature disabled baseline).
+    pub adg: Option<Arc<DbimAdg>>,
+    /// The published QuerySCN.
+    pub query_scn: Arc<QueryScnCell>,
+    /// The quiesce lock.
+    pub quiesce: Arc<QuiesceLock>,
+    /// Objects enabled for standby population (the mining filter).
+    pub enabled: Arc<ObjectSet>,
+    instances: Vec<Arc<StandbyInstance>>,
+    rac_endpoints: Vec<Arc<RacEndpoint>>,
+    home: HomeLocationMap,
+}
+
+impl StandbyCluster {
+    /// Assemble a standby over `receivers` (one per primary redo thread).
+    ///
+    /// `dbim_on_adg` toggles the paper's feature; when false, recovery runs
+    /// with no mining observers and a no-op advancement hook — the paper's
+    /// "without DBIM-on-ADG" baseline.
+    pub fn new(
+        config: &SystemConfig,
+        store: Arc<Store>,
+        receivers: Vec<RedoReceiver>,
+        instances: usize,
+        dbim_on_adg: bool,
+    ) -> Result<Arc<StandbyCluster>> {
+        config.validate()?;
+        let instances = instances.max(1);
+        let query_scn = Arc::new(QueryScnCell::new());
+        let quiesce = Arc::new(QuiesceLock::new());
+        let enabled = Arc::new(ObjectSet::new());
+
+        // Per-instance column stores; IMCUs distribute by home location.
+        let ids: Vec<InstanceId> = (0..instances).map(|i| InstanceId(i as u8)).collect();
+        // Stripe a few consecutive blocks per instance: population filters
+        // each instance's chunks to its home blocks, so units distribute
+        // evenly even for small tables.
+        let home = HomeLocationMap::new(ids.clone(), 4);
+        let mut stores: HashMap<InstanceId, Arc<ImcsStore>> = HashMap::new();
+        for &id in &ids {
+            stores.insert(id, Arc::new(ImcsStore::new()));
+        }
+
+        // Flush target: local for one instance, RAC distributor otherwise.
+        let (target, rac_endpoints): (Arc<dyn imadg_core::FlushTarget>, Vec<Arc<RacEndpoint>>) =
+            if instances == 1 {
+                (
+                    Arc::new(LocalFlushTarget::new(stores[&InstanceId::MASTER].clone())),
+                    Vec::new(),
+                )
+            } else {
+                let (t, eps) = RacFlushTarget::new(
+                    home.clone(),
+                    InstanceId::MASTER,
+                    stores.clone(),
+                    config.transport.invalidation_batch,
+                    Duration::ZERO,
+                );
+                (Arc::new(t), eps)
+            };
+
+        let adg = if dbim_on_adg {
+            Some(Arc::new(DbimAdg::new(
+                &config.imcs,
+                config.recovery.workers,
+                enabled.clone(),
+                store.clone(),
+                target,
+            )?))
+        } else {
+            None
+        };
+
+        let recovery = MediaRecovery::new(
+            &config.recovery,
+            store.clone(),
+            receivers,
+            adg.iter().map(|a| a.observer()).collect(),
+            adg.as_ref().map(|a| a.coop_helper()),
+            adg.as_ref()
+                .map(|a| a.advance_hook())
+                .unwrap_or_else(|| Arc::new(NoopAdvanceHook)),
+            query_scn.clone(),
+            quiesce.clone(),
+        )?;
+
+        // Instances with population engines.
+        let mut insts = Vec::with_capacity(instances);
+        for &id in &ids {
+            let mut engine = PopulationEngine::new(
+                store.clone(),
+                stores[&id].clone(),
+                SnapshotSource::Standby { query_scn: query_scn.clone(), quiesce: quiesce.clone() },
+                config.imcs.clone(),
+            )?;
+            if home.is_clustered() {
+                let home = home.clone();
+                engine.set_home_filter(Arc::new(move |dba| home.instance_for(dba) == id));
+            }
+            insts.push(Arc::new(StandbyInstance {
+                id,
+                imcs: stores[&id].clone(),
+                population: Arc::new(engine),
+                query_cpu: CpuAccount::new(),
+            }));
+        }
+
+        Ok(Arc::new(StandbyCluster {
+            store,
+            recovery,
+            adg,
+            query_scn,
+            quiesce,
+            enabled,
+            instances: insts,
+            rac_endpoints,
+            home,
+        }))
+    }
+
+    /// The standby instances.
+    pub fn instances(&self) -> &[Arc<StandbyInstance>] {
+        &self.instances
+    }
+
+    /// One instance by id.
+    pub fn instance(&self, id: InstanceId) -> Option<&Arc<StandbyInstance>> {
+        self.instances.iter().find(|i| i.id == id)
+    }
+
+    /// The home-location map.
+    pub fn home(&self) -> &HomeLocationMap {
+        &self.home
+    }
+
+    /// The published QuerySCN, or an error before the first publish.
+    pub fn current_query_scn(&self) -> Result<Scn> {
+        self.query_scn.get().ok_or(Error::NoQueryScn)
+    }
+
+    /// Enable an object for standby population: feeds the mining filter and
+    /// every instance's population engine.
+    pub fn enable_inmemory(&self, object: ObjectId) {
+        self.enabled.enable(object);
+        for i in &self.instances {
+            i.population.enable(object);
+        }
+    }
+
+    /// Disable an object: stops population and drops its units everywhere.
+    pub fn disable_inmemory(&self, object: ObjectId) {
+        self.enabled.disable(object);
+        for i in &self.instances {
+            i.population.disable(object);
+        }
+    }
+
+    /// One deterministic pass: apply available redo, advance the QuerySCN,
+    /// process RAC endpoint queues. Returns whether anything moved.
+    pub fn pump(&self) -> Result<bool> {
+        let moved = self.recovery.pump()?;
+        let mut rac_moved = false;
+        for ep in &self.rac_endpoints {
+            rac_moved |= ep.process_pending() > 0;
+        }
+        Ok(moved || rac_moved)
+    }
+
+    /// Pump until idle.
+    pub fn pump_until_idle(&self) -> Result<()> {
+        while self.pump()? {}
+        Ok(())
+    }
+
+    /// Run one population pass on every instance.
+    pub fn populate_once(&self) -> Result<PopulationReport> {
+        let mut total = PopulationReport::default();
+        for i in &self.instances {
+            let r = i.population.run_once()?;
+            total.populated += r.populated;
+            total.repopulated += r.repopulated;
+        }
+        Ok(total)
+    }
+
+    /// Populate to a fixed point.
+    pub fn populate_until_idle(&self) -> Result<PopulationReport> {
+        let mut total = PopulationReport::default();
+        loop {
+            let r = self.populate_once()?;
+            if !r.any() {
+                return Ok(total);
+            }
+            total.populated += r.populated;
+            total.repopulated += r.repopulated;
+        }
+    }
+
+    /// Run a filtered full scan at the published QuerySCN, fanning out
+    /// across every instance's column store (cross-instance PX).
+    pub fn scan(&self, object: ObjectId, filter: &Filter) -> Result<QueryOutput> {
+        let snapshot = self.current_query_scn()?;
+        let _t = self.instances[0].query_cpu.timer();
+        let stores: Vec<Arc<ImcsStore>> = self.instances.iter().map(|i| i.imcs.clone()).collect();
+        execute_scan(&stores, &self.store, object, filter, snapshot)
+    }
+
+    /// Scan filtered by an in-memory expression (paper §V) at the
+    /// published QuerySCN. Falls back to row-image evaluation when the
+    /// object has no column-store presence.
+    pub fn scan_expression_pred(
+        &self,
+        object: ObjectId,
+        pred: &ExprPredicate,
+    ) -> Result<QueryOutput> {
+        let snapshot = self.current_query_scn()?;
+        let _t = self.instances[0].query_cpu.timer();
+        let started = std::time::Instant::now();
+        let stores: Vec<Arc<ImcsStore>> = self.instances.iter().map(|i| i.imcs.clone()).collect();
+        if let Some(r) = scan_expression(&stores, &self.store, object, pred, snapshot)? {
+            return Ok(QueryOutput {
+                rows: r.rows,
+                used_imcs: true,
+                stats: Some(r.stats),
+                elapsed: started.elapsed(),
+                snapshot,
+            });
+        }
+        let mut rows = Vec::new();
+        self.store.scan_object(object, snapshot, None, |_, row| {
+            if pred.eval_row(row) {
+                rows.push(row.clone());
+            }
+        })?;
+        Ok(QueryOutput { rows, used_imcs: false, stats: None, elapsed: started.elapsed(), snapshot })
+    }
+
+    /// Aggregate one column over the rows matching `filter` at the
+    /// published QuerySCN (aggregation push-down, paper §V). Falls back to
+    /// a row-store aggregate when the object has no column-store presence.
+    pub fn aggregate(
+        &self,
+        object: ObjectId,
+        filter: &Filter,
+        column: &str,
+    ) -> Result<AggregateResult> {
+        let snapshot = self.current_query_scn()?;
+        let _t = self.instances[0].query_cpu.timer();
+        let ordinal = self.store.table(object)?.schema.read().ordinal(column)?;
+        let stores: Vec<Arc<ImcsStore>> = self.instances.iter().map(|i| i.imcs.clone()).collect();
+        if let Some(r) = scan_aggregate(&stores, &self.store, object, filter, ordinal, snapshot)? {
+            return Ok(r);
+        }
+        let mut r = AggregateResult::default();
+        self.store.scan_object(object, snapshot, None, |_, row| {
+            if filter.eval_row(row) {
+                r.aggs.add(row.get(ordinal));
+                r.stats.fallback_rows += 1;
+            }
+        })?;
+        Ok(r)
+    }
+
+    /// Register an in-memory expression on every instance's column store.
+    pub fn register_expression(&self, object: ObjectId, expr: imadg_imcs::ImExpression) {
+        for i in &self.instances {
+            i.imcs.register_expression(object, expr.clone());
+        }
+    }
+
+    /// Index fetch by identity key at the published QuerySCN.
+    pub fn fetch_by_key(&self, object: ObjectId, key: i64) -> Result<Option<(RowLoc, Row)>> {
+        let snapshot = self.current_query_scn()?;
+        let _t = self.instances[0].query_cpu.timer();
+        self.store.fetch_by_key(object, key, snapshot, None)
+    }
+
+    /// Garbage-collect row version chains no standby reader can need.
+    ///
+    /// The safe horizon is the minimum of the published QuerySCN and every
+    /// populated unit's snapshot SCN: queries read at the QuerySCN, SMU
+    /// fallbacks read at the QuerySCN, and repopulation carry-over never
+    /// reaches behind a unit's snapshot. Returns versions removed.
+    pub fn compact_versions(&self) -> Result<usize> {
+        let Some(query_scn) = self.query_scn.get() else { return Ok(0) };
+        let mut horizon = query_scn;
+        for inst in &self.instances {
+            for obj in inst.imcs.all_objects() {
+                for h in obj.handles() {
+                    horizon = horizon.min(h.imcu().snapshot);
+                }
+            }
+        }
+        if horizon == imadg_common::Scn::ZERO {
+            return Ok(0);
+        }
+        let mut removed = 0usize;
+        for id in self.store.object_ids() {
+            removed += self.store.compact_object(id, horizon)?;
+        }
+        Ok(removed)
+    }
+
+    /// Snapshot the standby's health counters.
+    pub fn status(&self) -> StandbyStatus {
+        let (journal_txns, journal_records, commit_table_pending, flushed, coarse) =
+            match &self.adg {
+                Some(adg) => (
+                    adg.journal.len(),
+                    adg.journal.total_records(),
+                    adg.commit_table.len(),
+                    adg.flush.stats.flushed_records.load(std::sync::atomic::Ordering::Relaxed),
+                    adg.flush
+                        .stats
+                        .coarse_invalidations
+                        .load(std::sync::atomic::Ordering::Relaxed),
+                ),
+                None => (0, 0, 0, 0, 0),
+            };
+        StandbyStatus {
+            query_scn: self.query_scn.get(),
+            applied_scn: self.recovery.applied_scn(),
+            advances: self.recovery.coordinator().advance_count(),
+            journal_txns,
+            journal_records,
+            commit_table_pending,
+            populated_rows: self.instances.iter().map(|i| i.imcs.populated_rows()).sum(),
+            flushed_records: flushed,
+            coarse_invalidations: coarse,
+        }
+    }
+
+    /// Spawn background threads: recovery plus one population loop per
+    /// instance. Returns guards that stop on drop.
+    pub fn start(self: &Arc<Self>) -> StandbyThreads {
+        let recovery = self.recovery.start();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for inst in &self.instances {
+            let engine = inst.population.clone();
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    match engine.run_once() {
+                        Ok(r) if r.any() => {
+                            // Yield between build quanta: population is a
+                            // background activity and must not starve
+                            // queries or redo apply (paper §II.B).
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        _ => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+            }));
+        }
+        StandbyThreads { _recovery: recovery, stop, handles }
+    }
+}
+
+/// Guard over standby background threads.
+pub struct StandbyThreads {
+    _recovery: RecoveryThreads,
+    stop: Arc<AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for StandbyThreads {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

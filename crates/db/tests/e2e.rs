@@ -1,0 +1,492 @@
+//! End-to-end tests of the full DBIM-on-ADG deployment: OLTP on the
+//! primary, redo-maintained column store on the standby, queries at the
+//! QuerySCN.
+
+use imadg_db::{
+    AdgCluster, ClusterSpec, CmpOp, ColumnType, Filter, ObjectId, Placement, Predicate, Schema,
+    TableSpec, TenantId, Value,
+};
+
+const OBJ: ObjectId = ObjectId(100);
+
+fn table_spec() -> TableSpec {
+    TableSpec {
+        id: OBJ,
+        name: "sales".into(),
+        tenant: TenantId::DEFAULT,
+        schema: Schema::of(&[
+            ("id", ColumnType::Int),
+            ("n1", ColumnType::Int),
+            ("c1", ColumnType::Varchar),
+        ]),
+        key_ordinal: 0,
+        rows_per_block: 16,
+    }
+}
+
+fn cluster(spec: ClusterSpec) -> AdgCluster {
+    let c = AdgCluster::new(spec).unwrap();
+    c.create_table(table_spec()).unwrap();
+    c.set_placement(OBJ, Placement::StandbyOnly).unwrap();
+    c
+}
+
+fn seed(c: &AdgCluster, from: i64, to: i64) {
+    let p = c.primary();
+    let mut tx = p.txm.begin(TenantId::DEFAULT);
+    for k in from..to {
+        p.txm
+            .insert(&mut tx, OBJ, vec![Value::Int(k), Value::Int(k % 10), Value::str(format!("c{}", k % 7))])
+            .unwrap();
+    }
+    p.txm.commit(tx);
+}
+
+fn filter(c: &AdgCluster, col: &str, v: Value) -> Filter {
+    let schema = c.primary().store.table(OBJ).unwrap().schema.read().clone();
+    Filter::of(Predicate::eq(&schema, col, v).unwrap())
+}
+
+#[test]
+fn standby_scan_uses_imcs_and_matches_row_store() {
+    let c = cluster(ClusterSpec::default());
+    seed(&c, 0, 200);
+    c.sync().unwrap();
+
+    let f = filter(&c, "n1", Value::Int(4));
+    let standby = c.standby();
+    let out = standby.scan(OBJ, &f).unwrap();
+    assert!(out.used_imcs, "standby must serve from the IMCS");
+    assert_eq!(out.count(), 20);
+    let stats = out.stats.unwrap();
+    assert_eq!(stats.fallback_rows, 0, "no DML since population → pure columnar");
+
+    // Primary (no IMCS placement) answers identically from the row store.
+    let p_out = c.primary().scan(OBJ, &f).unwrap();
+    assert!(!p_out.used_imcs);
+    assert_eq!(p_out.count(), 20);
+}
+
+#[test]
+fn updates_invalidate_and_standby_stays_consistent() {
+    let c = cluster(ClusterSpec::default());
+    seed(&c, 0, 100);
+    c.sync().unwrap();
+
+    // Update key 5's n1 from 5 → 77 on the primary.
+    c.primary().update_one(OBJ, TenantId::DEFAULT, 5, "n1", Value::Int(77)).unwrap();
+    c.sync().unwrap();
+
+    let standby = c.standby();
+    let out = standby.scan(OBJ, &filter(&c, "n1", Value::Int(77))).unwrap();
+    assert_eq!(out.count(), 1);
+    assert_eq!(out.rows[0][0], Value::Int(5));
+
+    let out_old = standby.scan(OBJ, &filter(&c, "n1", Value::Int(5))).unwrap();
+    let keys: Vec<i64> = out_old.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    assert!(!keys.contains(&5), "stale IMCU value must not be served");
+    assert_eq!(out_old.count(), 9);
+}
+
+#[test]
+fn inserts_reach_standby_scans() {
+    let c = cluster(ClusterSpec::default());
+    seed(&c, 0, 50);
+    c.sync().unwrap();
+    // New rows after population: covered-block inserts + fresh blocks.
+    seed(&c, 1000, 1040);
+    // Ship + apply + advance, but do NOT repopulate: rows must still appear
+    // via SMU inserts and uncovered-block scans.
+    c.ship_redo().unwrap();
+    c.standby().pump_until_idle().unwrap();
+    let out = c.standby().scan(OBJ, &Filter::all()).unwrap();
+    assert_eq!(out.count(), 90);
+    // After population catches up they move into the columnar path.
+    c.sync().unwrap();
+    let out = c.standby().scan(OBJ, &Filter::all()).unwrap();
+    assert_eq!(out.count(), 90);
+}
+
+#[test]
+fn deletes_disappear_from_standby() {
+    let c = cluster(ClusterSpec::default());
+    seed(&c, 0, 30);
+    c.sync().unwrap();
+    let p = c.primary();
+    let mut tx = p.txm.begin(TenantId::DEFAULT);
+    p.txm.delete_by_key(&mut tx, OBJ, 7).unwrap();
+    p.txm.commit(tx);
+    c.sync().unwrap();
+    let out = c.standby().scan(OBJ, &Filter::all()).unwrap();
+    assert_eq!(out.count(), 29);
+    assert!(out.rows.iter().all(|r| r[0] != Value::Int(7)));
+    assert_eq!(c.standby().fetch_by_key(OBJ, 7).unwrap(), None);
+}
+
+#[test]
+fn uncommitted_work_never_visible_on_standby() {
+    let c = cluster(ClusterSpec::default());
+    seed(&c, 0, 20);
+    c.sync().unwrap();
+    let p = c.primary();
+    let mut tx = p.txm.begin(TenantId::DEFAULT);
+    p.txm.update_column_by_key(&mut tx, OBJ, 3, "n1", Value::Int(500)).unwrap();
+    // Ship the in-flight change.
+    c.ship_redo().unwrap();
+    c.standby().pump_until_idle().unwrap();
+    let out = c.standby().scan(OBJ, &filter(&c, "n1", Value::Int(500))).unwrap();
+    assert_eq!(out.count(), 0, "uncommitted change invisible");
+    p.txm.commit(tx);
+    c.sync().unwrap();
+    let out = c.standby().scan(OBJ, &filter(&c, "n1", Value::Int(500))).unwrap();
+    assert_eq!(out.count(), 1);
+}
+
+#[test]
+fn without_dbim_standby_scans_row_store() {
+    let mut spec = ClusterSpec::default();
+    spec.dbim_on_adg = false;
+    let c = cluster(spec);
+    seed(&c, 0, 50);
+    c.ship_redo().unwrap();
+    c.standby().pump_until_idle().unwrap();
+    // Population can't proceed meaningfully without DBIM-on-ADG — the paper
+    // baseline runs row-store scans. (Population on a no-DBIM standby would
+    // go stale without invalidations; the engine is simply not driven.)
+    let out = c.standby().scan(OBJ, &filter(&c, "n1", Value::Int(4))).unwrap();
+    assert!(!out.used_imcs);
+    assert_eq!(out.count(), 5);
+}
+
+#[test]
+fn capacity_expansion_placement_split() {
+    // Fig. 2: one object on the primary IMCS, another on the standby IMCS.
+    let c = AdgCluster::new(ClusterSpec::default()).unwrap();
+    let mut hot = table_spec();
+    hot.id = ObjectId(1);
+    hot.name = "sales_current".into();
+    let mut cold = table_spec();
+    cold.id = ObjectId(2);
+    cold.name = "sales_history".into();
+    c.create_table(hot).unwrap();
+    c.create_table(cold).unwrap();
+    c.set_placement(ObjectId(1), Placement::PrimaryOnly).unwrap();
+    c.set_placement(ObjectId(2), Placement::StandbyOnly).unwrap();
+
+    let p = c.primary();
+    for obj in [ObjectId(1), ObjectId(2)] {
+        let mut tx = p.txm.begin(TenantId::DEFAULT);
+        for k in 0..40 {
+            p.txm
+                .insert(&mut tx, obj, vec![Value::Int(k), Value::Int(k % 5), Value::str("x")])
+                .unwrap();
+        }
+        p.txm.commit(tx);
+    }
+    c.sync().unwrap();
+    c.populate_primary().unwrap();
+
+    // Primary serves `hot` from its IMCS, `cold` from the row store.
+    assert!(p.scan(ObjectId(1), &Filter::all()).unwrap().used_imcs);
+    assert!(!p.scan(ObjectId(2), &Filter::all()).unwrap().used_imcs);
+    // Standby: the reverse.
+    let s = c.standby();
+    assert!(!s.scan(ObjectId(1), &Filter::all()).unwrap().used_imcs);
+    assert!(s.scan(ObjectId(2), &Filter::all()).unwrap().used_imcs);
+    // Row counts agree everywhere.
+    for obj in [ObjectId(1), ObjectId(2)] {
+        assert_eq!(p.scan(obj, &Filter::all()).unwrap().count(), 40);
+        assert_eq!(s.scan(obj, &Filter::all()).unwrap().count(), 40);
+    }
+}
+
+#[test]
+fn rac_primary_two_redo_streams() {
+    let mut spec = ClusterSpec::default();
+    spec.primary_instances = 2;
+    let c = cluster(spec);
+    // Interleave transactions across the two primary instances.
+    for k in 0..60i64 {
+        let p = &c.primaries()[(k % 2) as usize];
+        let mut tx = p.txm.begin(TenantId::DEFAULT);
+        p.txm
+            .insert(&mut tx, OBJ, vec![Value::Int(k), Value::Int(k % 10), Value::str("r")])
+            .unwrap();
+        p.txm.commit(tx);
+    }
+    c.sync().unwrap();
+    let out = c.standby().scan(OBJ, &Filter::all()).unwrap();
+    assert_eq!(out.count(), 60);
+    assert!(out.used_imcs);
+}
+
+#[test]
+fn rac_standby_distributes_units_and_scans_cluster_wide() {
+    let mut spec = ClusterSpec::default();
+    spec.standby_instances = 2;
+    let c = cluster(spec);
+    seed(&c, 0, 400);
+    c.sync().unwrap();
+
+    let s = c.standby();
+    let rows0 = s.instances()[0].imcs.populated_rows();
+    let rows1 = s.instances()[1].imcs.populated_rows();
+    assert_eq!(rows0 + rows1, 400, "all rows populated across the cluster");
+    assert!(rows0 > 0 && rows1 > 0, "home-location map splits units: {rows0}/{rows1}");
+
+    let out = s.scan(OBJ, &filter(&c, "n1", Value::Int(3))).unwrap();
+    assert!(out.used_imcs);
+    assert_eq!(out.count(), 40);
+
+    // Invalidations route to the owning instance (RAC flush path).
+    c.primary().update_one(OBJ, TenantId::DEFAULT, 3, "n1", Value::Int(99)).unwrap();
+    c.ship_redo().unwrap();
+    s.pump_until_idle().unwrap();
+    let out = s.scan(OBJ, &filter(&c, "n1", Value::Int(99))).unwrap();
+    assert_eq!(out.count(), 1);
+    let out = s.scan(OBJ, &filter(&c, "n1", Value::Int(3))).unwrap();
+    assert_eq!(out.count(), 39);
+}
+
+#[test]
+fn ddl_drop_column_propagates_and_drops_units() {
+    let c = cluster(ClusterSpec::default());
+    seed(&c, 0, 50);
+    c.sync().unwrap();
+    assert!(c.standby().scan(OBJ, &Filter::all()).unwrap().used_imcs);
+
+    c.primary()
+        .txm
+        .execute_ddl(OBJ, TenantId::DEFAULT, imadg_redo::DdlKind::DropColumn { name: "n1".into() })
+        .unwrap();
+    c.ship_redo().unwrap();
+    c.standby().pump_until_idle().unwrap();
+
+    // Standby dictionary updated; units dropped until repopulation.
+    let s = c.standby();
+    assert!(s.store.table(OBJ).unwrap().schema.read().ordinal("n1").is_err());
+    let out = s.scan(OBJ, &Filter::all()).unwrap();
+    assert!(!out.used_imcs, "units dropped by the DDL marker");
+    assert_eq!(out.count(), 50);
+    // Repopulation restores columnar service with the new schema.
+    s.populate_until_idle().unwrap();
+    let out = s.scan(OBJ, &Filter::all()).unwrap();
+    assert!(out.used_imcs);
+    assert_eq!(out.count(), 50);
+}
+
+#[test]
+fn standby_restart_resumes_and_preserves_consistency() {
+    let c = cluster(ClusterSpec::default());
+    seed(&c, 0, 60);
+    c.sync().unwrap();
+    assert!(c.standby().scan(OBJ, &Filter::all()).unwrap().used_imcs);
+
+    // Restart: IMCS and journal state lost; storage persists.
+    c.restart_standby().unwrap();
+
+    // More DML after the restart.
+    c.primary().update_one(OBJ, TenantId::DEFAULT, 1, "n1", Value::Int(42)).unwrap();
+    c.sync().unwrap();
+
+    let s = c.standby();
+    let out = s.scan(OBJ, &filter(&c, "n1", Value::Int(42))).unwrap();
+    assert_eq!(out.count(), 1);
+    let out = s.scan(OBJ, &Filter::all()).unwrap();
+    assert_eq!(out.count(), 60);
+}
+
+#[test]
+fn restart_mid_transaction_triggers_coarse_invalidation() {
+    let c = cluster(ClusterSpec::default());
+    seed(&c, 0, 60);
+    c.sync().unwrap();
+
+    // Start a transaction, ship its DML, then restart the standby before
+    // the commit arrives: its begin record is lost with the journal.
+    let p = c.primary();
+    let mut tx = p.txm.begin(TenantId::DEFAULT);
+    p.txm.update_column_by_key(&mut tx, OBJ, 2, "n1", Value::Int(888)).unwrap();
+    c.ship_redo().unwrap();
+    c.standby().pump_until_idle().unwrap();
+
+    c.restart_standby().unwrap();
+    // Populate the fresh IMCS *before* the commit is applied, so units
+    // exist for coarse invalidation to hit.
+    c.standby().pump_until_idle().unwrap();
+    c.standby().populate_until_idle().unwrap();
+
+    // Second half of the transaction arrives post-restart.
+    p.txm.update_column_by_key(&mut tx, OBJ, 3, "n1", Value::Int(999)).unwrap();
+    p.txm.commit(tx);
+    c.ship_redo().unwrap();
+    let s = c.standby();
+    s.pump_until_idle().unwrap();
+
+    // The flush found a partially-mined transaction → per-tenant coarse
+    // invalidation.
+    let adg = s.adg.as_ref().unwrap();
+    assert!(
+        adg.flush.stats.coarse_invalidations.load(std::sync::atomic::Ordering::Relaxed) >= 1,
+        "missing begin must trigger coarse invalidation"
+    );
+    // Queries remain correct: rows come from the row store.
+    let out = s.scan(OBJ, &filter(&c, "n1", Value::Int(888))).unwrap();
+    assert_eq!(out.count(), 1);
+    let out = s.scan(OBJ, &filter(&c, "n1", Value::Int(999))).unwrap();
+    assert_eq!(out.count(), 1);
+    // Repopulation restores columnar service.
+    s.populate_until_idle().unwrap();
+    let out = s.scan(OBJ, &Filter::all()).unwrap();
+    assert!(out.used_imcs);
+    assert_eq!(out.count(), 60);
+}
+
+#[test]
+fn range_predicates_on_standby() {
+    let mut spec = ClusterSpec::default();
+    spec.config.imcs.imcu_max_rows = 32; // several units → pruning observable
+    let c = cluster(spec);
+    seed(&c, 0, 100);
+    c.sync().unwrap();
+    let schema = c.primary().store.table(OBJ).unwrap().schema.read().clone();
+    let f = Filter::of(Predicate::new(&schema, "id", CmpOp::Ge, Value::Int(90)).unwrap());
+    let out = c.standby().scan(OBJ, &f).unwrap();
+    assert_eq!(out.count(), 10);
+    assert!(out.used_imcs);
+    // Storage index prunes most units for a tight range.
+    assert!(out.stats.unwrap().pruned_units > 0);
+}
+
+#[test]
+fn threaded_cluster_converges_under_load() {
+    let c = cluster(ClusterSpec::default());
+    let threads = c.start();
+    let p = c.primary();
+    for k in 0..200i64 {
+        let mut tx = p.txm.begin(TenantId::DEFAULT);
+        p.txm
+            .insert(&mut tx, OBJ, vec![Value::Int(k), Value::Int(k % 10), Value::str("t")])
+            .unwrap();
+        p.txm.commit(tx);
+    }
+    let final_scn = p.current_scn();
+    // Wait for the standby to catch up.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        if c.standby().query_scn.get().is_some_and(|q| q >= final_scn) {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "standby failed to catch up");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let out = c.standby().scan(OBJ, &Filter::all()).unwrap();
+    assert_eq!(out.count(), 200);
+    drop(threads);
+}
+
+#[test]
+fn ddl_add_column_propagates() {
+    let c = cluster(ClusterSpec::default());
+    seed(&c, 0, 20);
+    c.sync().unwrap();
+    c.primary()
+        .txm
+        .execute_ddl(
+            OBJ,
+            TenantId::DEFAULT,
+            imadg_redo::DdlKind::AddColumn { name: "n2".into(), ctype: ColumnType::Int },
+        )
+        .unwrap();
+    // Rows written after the DDL carry the new column.
+    let p = c.primary();
+    let mut tx = p.txm.begin(TenantId::DEFAULT);
+    p.txm
+        .insert(&mut tx, OBJ, vec![Value::Int(99), Value::Int(1), Value::str("x"), Value::Int(42)])
+        .unwrap();
+    p.txm.commit(tx);
+    c.sync().unwrap();
+
+    let s = c.standby();
+    let schema = s.store.table(OBJ).unwrap().schema.read().clone();
+    let ord = schema.ordinal("n2").unwrap();
+    let f = Filter::of(Predicate::eq(&schema, "n2", Value::Int(42)).unwrap());
+    let out = s.scan(OBJ, &f).unwrap();
+    assert_eq!(out.count(), 1);
+    assert_eq!(out.rows[0][0], Value::Int(99));
+    // Pre-DDL rows read NULL in the new column everywhere.
+    let (_, old) = s.fetch_by_key(OBJ, 1).unwrap().unwrap();
+    assert!(old.get(ord).is_null());
+}
+
+#[test]
+fn shipping_latency_delays_visibility() {
+    let mut spec = ClusterSpec::default();
+    spec.config.transport.latency = std::time::Duration::from_millis(60);
+    let c = cluster(spec);
+    seed(&c, 0, 10);
+    c.ship_redo().unwrap();
+    // Immediately after shipping, nothing is deliverable yet.
+    c.standby().pump_until_idle().unwrap();
+    assert!(c.standby().query_scn.get().is_none(), "redo still in flight");
+    std::thread::sleep(std::time::Duration::from_millis(80));
+    c.standby().pump_until_idle().unwrap();
+    c.standby().populate_until_idle().unwrap();
+    let out = c.standby().scan(OBJ, &Filter::all()).unwrap();
+    assert_eq!(out.count(), 10);
+}
+
+#[test]
+fn no_inmemory_marker_drops_standby_units() {
+    let c = cluster(ClusterSpec::default());
+    seed(&c, 0, 30);
+    c.sync().unwrap();
+    assert!(c.standby().scan(OBJ, &Filter::all()).unwrap().used_imcs);
+    c.primary()
+        .txm
+        .execute_ddl(OBJ, TenantId::DEFAULT, imadg_redo::DdlKind::SetInMemory { enabled: false })
+        .unwrap();
+    c.ship_redo().unwrap();
+    c.standby().pump_until_idle().unwrap();
+    let out = c.standby().scan(OBJ, &Filter::all()).unwrap();
+    assert!(!out.used_imcs, "units dropped by NO INMEMORY");
+    assert_eq!(out.count(), 30);
+    // Mining filter is off: further changes don't pile up in the journal.
+    c.primary().update_one(OBJ, TenantId::DEFAULT, 1, "n1", Value::Int(5)).unwrap();
+    c.sync().unwrap();
+    assert_eq!(c.standby().adg.as_ref().unwrap().journal.len(), 0);
+}
+
+#[test]
+fn status_reflects_pipeline_state() {
+    let c = cluster(ClusterSpec::default());
+    let s0 = c.standby().status();
+    assert_eq!(s0.query_scn, None);
+    assert_eq!(s0.populated_rows, 0);
+
+    seed(&c, 0, 40);
+    // Ship an in-flight transaction too.
+    let p = c.primary();
+    let mut tx = p.txm.begin(TenantId::DEFAULT);
+    p.txm.update_column_by_key(&mut tx, OBJ, 1, "n1", Value::Int(1)).unwrap();
+    c.ship_redo().unwrap();
+    c.standby().pump_until_idle().unwrap();
+    c.standby().populate_until_idle().unwrap();
+
+    let s1 = c.standby().status();
+    assert!(s1.query_scn.is_some());
+    assert!(s1.applied_scn >= s1.query_scn.unwrap());
+    assert!(s1.advances >= 1);
+    assert_eq!(s1.journal_txns, 1, "open txn buffered");
+    assert_eq!(s1.journal_records, 1);
+    assert_eq!(s1.populated_rows, 40);
+    assert!(s1.flushed_records >= 40);
+    assert_eq!(s1.coarse_invalidations, 0);
+    // Display renders every counter.
+    let text = s1.to_string();
+    assert!(text.contains("journal=1txn/1rec"));
+    assert!(text.contains("populated_rows=40"));
+    p.txm.commit(tx);
+    c.sync().unwrap();
+    assert_eq!(c.standby().status().journal_txns, 0);
+}

@@ -1,0 +1,132 @@
+//! Column units: the encoded per-column payload of an IMCU, with the
+//! encoding selector.
+
+use imadg_storage::{ColumnType, Value};
+
+use crate::encoding::dict::DictStrCu;
+use crate::encoding::plain::PlainIntCu;
+use crate::encoding::rle::RleIntCu;
+use crate::predicate::Predicate;
+
+/// Column-level min/max summary (the in-memory storage index input).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MinMax {
+    /// Integer bounds.
+    Int(i64, i64),
+    /// Lexicographic string bounds.
+    Str(std::sync::Arc<str>, std::sync::Arc<str>),
+    /// Column is entirely NULL in this unit.
+    AllNull,
+}
+
+/// One encoded column of an IMCU.
+#[derive(Debug, Clone)]
+pub enum ColumnCu {
+    /// Packed integers.
+    Plain(PlainIntCu),
+    /// Run-length-encoded integers.
+    Rle(RleIntCu),
+    /// Dictionary-encoded strings.
+    Dict(DictStrCu),
+}
+
+impl ColumnCu {
+    /// Encode `values` for a column of `ctype`, picking the encoding:
+    /// strings dictionary-encode; integers RLE when runs dominate, plain
+    /// otherwise.
+    pub fn build(ctype: ColumnType, values: &[Value]) -> ColumnCu {
+        match ctype {
+            ColumnType::Varchar => ColumnCu::Dict(DictStrCu::build(values)),
+            ColumnType::Int => {
+                if RleIntCu::worthwhile(values) {
+                    ColumnCu::Rle(RleIntCu::build(values))
+                } else {
+                    ColumnCu::Plain(PlainIntCu::build(values))
+                }
+            }
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnCu::Plain(c) => c.len(),
+            ColumnCu::Rle(c) => c.len(),
+            ColumnCu::Dict(c) => c.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Value at `row`.
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            ColumnCu::Plain(c) => c.get(row),
+            ColumnCu::Rle(c) => c.get(row),
+            ColumnCu::Dict(c) => c.get(row),
+        }
+    }
+
+    /// Min/max summary for the storage index.
+    pub fn min_max(&self) -> MinMax {
+        match self {
+            ColumnCu::Plain(c) => c.min_max().map(|(a, b)| MinMax::Int(a, b)),
+            ColumnCu::Rle(c) => c.min_max().map(|(a, b)| MinMax::Int(a, b)),
+            ColumnCu::Dict(c) => c.min_max().map(|(a, b)| MinMax::Str(a, b)),
+        }
+        .unwrap_or(MinMax::AllNull)
+    }
+
+    /// Append matching row ids to `out`.
+    pub fn scan(&self, pred: &Predicate, out: &mut Vec<u32>) {
+        match self {
+            ColumnCu::Plain(c) => c.scan(pred, out),
+            ColumnCu::Rle(c) => c.scan(pred, out),
+            ColumnCu::Dict(c) => c.scan(pred, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use imadg_storage::Schema;
+
+    #[test]
+    fn selector_picks_encodings() {
+        let runs: Vec<Value> = (0..256).map(|i| Value::Int(i / 64)).collect();
+        assert!(matches!(ColumnCu::build(ColumnType::Int, &runs), ColumnCu::Rle(_)));
+        let distinct: Vec<Value> = (0..256).map(Value::Int).collect();
+        assert!(matches!(ColumnCu::build(ColumnType::Int, &distinct), ColumnCu::Plain(_)));
+        let strs = vec![Value::str("a"), Value::str("b")];
+        assert!(matches!(ColumnCu::build(ColumnType::Varchar, &strs), ColumnCu::Dict(_)));
+    }
+
+    #[test]
+    fn uniform_access_across_encodings() {
+        let vals: Vec<Value> = (0..100).map(|i| Value::Int(i % 3)).collect();
+        for cu in [
+            ColumnCu::Plain(PlainIntCu::build(&vals)),
+            ColumnCu::Rle(RleIntCu::build(&vals)),
+        ] {
+            assert_eq!(cu.len(), 100);
+            assert_eq!(cu.get(4), Value::Int(1));
+            assert_eq!(cu.min_max(), MinMax::Int(0, 2));
+            let s = Schema::of(&[("n", ColumnType::Int)]);
+            let p = Predicate::new(&s, "n", CmpOp::Eq, Value::Int(2)).unwrap();
+            let mut out = Vec::new();
+            cu.scan(&p, &mut out);
+            assert_eq!(out.len(), 33);
+        }
+    }
+
+    #[test]
+    fn all_null_summary() {
+        let cu = ColumnCu::build(ColumnType::Int, &[Value::Null, Value::Null]);
+        assert_eq!(cu.min_max(), MinMax::AllNull);
+    }
+}

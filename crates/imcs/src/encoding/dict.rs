@@ -1,0 +1,217 @@
+//! Dictionary-encoded string column unit.
+//!
+//! The dominant IMCU encoding for varchar columns: distinct values live in
+//! a sorted dictionary, rows store fixed-width codes. Equality predicates
+//! reduce to one dictionary binary-search plus an integer-code scan; range
+//! predicates map to code-range scans because the dictionary is sorted.
+
+use std::sync::Arc;
+
+use imadg_storage::Value;
+
+use crate::predicate::{CmpOp, Predicate};
+
+/// Code reserved for NULL.
+const NULL_CODE: u32 = u32::MAX;
+
+/// Dictionary-encoded string column unit.
+#[derive(Debug, Clone)]
+pub struct DictStrCu {
+    /// Sorted distinct values.
+    dict: Vec<Arc<str>>,
+    /// Per-row dictionary codes (`NULL_CODE` = NULL).
+    codes: Vec<u32>,
+}
+
+impl DictStrCu {
+    /// Encode a slice of values (`Str` or `Null`).
+    ///
+    /// Hash-interns the distinct values first (O(n)), sorts only the
+    /// distinct set, then remaps codes — population builds whole IMCUs, so
+    /// this path must stay cheap (rebuild cost is the edge-IMCU churn cost
+    /// of the paper's Fig. 10).
+    pub fn build(values: &[Value]) -> DictStrCu {
+        let mut interner: imadg_common::FxHashMap<Arc<str>, u32> =
+            imadg_common::FxHashMap::default();
+        let mut provisional: Vec<u32> = Vec::with_capacity(values.len());
+        for v in values {
+            match v {
+                Value::Str(s) => {
+                    let next = interner.len() as u32;
+                    let id = *interner.entry(s.clone()).or_insert(next);
+                    provisional.push(id);
+                }
+                _ => provisional.push(NULL_CODE),
+            }
+        }
+        let mut entries: Vec<(Arc<str>, u32)> = interner.into_iter().collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut remap = vec![0u32; entries.len()];
+        for (sorted_idx, (_, prov)) in entries.iter().enumerate() {
+            remap[*prov as usize] = sorted_idx as u32;
+        }
+        let codes = provisional
+            .into_iter()
+            .map(|p| if p == NULL_CODE { NULL_CODE } else { remap[p as usize] })
+            .collect();
+        let dict = entries.into_iter().map(|(s, _)| s).collect();
+        DictStrCu { dict, codes }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Distinct-value count.
+    pub fn cardinality(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Value at `row`.
+    #[inline]
+    pub fn get(&self, row: usize) -> Value {
+        match self.codes[row] {
+            NULL_CODE => Value::Null,
+            c => Value::Str(self.dict[c as usize].clone()),
+        }
+    }
+
+    /// Lexicographic min/max over non-null values.
+    pub fn min_max(&self) -> Option<(Arc<str>, Arc<str>)> {
+        // Sorted dictionary: endpoints are the extremes — but only if some
+        // row references them; every dict entry came from a row, so yes.
+        Some((self.dict.first()?.clone(), self.dict.last()?.clone()))
+    }
+
+    /// Append rows matching `pred` to `out`.
+    ///
+    /// The comparison happens in code space: the sorted dictionary turns
+    /// the literal into a code bound, then the row loop is pure integer
+    /// compares.
+    pub fn scan(&self, pred: &Predicate, out: &mut Vec<u32>) {
+        let target = match &pred.value {
+            Value::Str(s) => s.as_ref(),
+            _ => return,
+        };
+        // Position of the literal in code space.
+        let pos = self.dict.binary_search_by(|d| d.as_ref().cmp(target));
+        // For each operator compute an inclusive code range [lo, hi] of
+        // matching codes, plus an optional excluded exact code (for Ne).
+        let (lo, hi, exclude) = match (pred.op, pos) {
+            (CmpOp::Eq, Ok(c)) => (c as u32, c as u32, None),
+            (CmpOp::Eq, Err(_)) => return,
+            (CmpOp::Ne, Ok(c)) => (0, self.dict.len().wrapping_sub(1) as u32, Some(c as u32)),
+            (CmpOp::Ne, Err(_)) => (0, self.dict.len().wrapping_sub(1) as u32, None),
+            (CmpOp::Lt, Ok(c)) | (CmpOp::Lt, Err(c)) => {
+                if c == 0 {
+                    return;
+                }
+                (0, (c - 1) as u32, None)
+            }
+            (CmpOp::Le, Ok(c)) => (0, c as u32, None),
+            (CmpOp::Le, Err(c)) => {
+                if c == 0 {
+                    return;
+                }
+                (0, (c - 1) as u32, None)
+            }
+            (CmpOp::Gt, Ok(c)) => {
+                if c + 1 >= self.dict.len() {
+                    return;
+                }
+                ((c + 1) as u32, (self.dict.len() - 1) as u32, None)
+            }
+            (CmpOp::Gt, Err(c)) | (CmpOp::Ge, Err(c)) => {
+                if c >= self.dict.len() {
+                    return;
+                }
+                (c as u32, (self.dict.len() - 1) as u32, None)
+            }
+            (CmpOp::Ge, Ok(c)) => (c as u32, (self.dict.len() - 1) as u32, None),
+        };
+        if self.dict.is_empty() {
+            return;
+        }
+        for (i, &c) in self.codes.iter().enumerate() {
+            if c != NULL_CODE && c >= lo && c <= hi && Some(c) != exclude {
+                out.push(i as u32);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imadg_storage::{ColumnType, Schema};
+
+    fn pred(op: CmpOp, s: &str) -> Predicate {
+        let sc = Schema::of(&[("c", ColumnType::Varchar)]);
+        Predicate::new(&sc, "c", op, Value::str(s)).unwrap()
+    }
+
+    fn cu(vals: &[&str]) -> DictStrCu {
+        let v: Vec<Value> = vals.iter().map(|s| Value::str(*s)).collect();
+        DictStrCu::build(&v)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = cu(&["b", "a", "b", "c"]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.cardinality(), 3);
+        assert_eq!(c.get(0), Value::str("b"));
+        assert_eq!(c.get(1), Value::str("a"));
+        assert_eq!(c.get(3), Value::str("c"));
+        let (lo, hi) = c.min_max().unwrap();
+        assert_eq!((lo.as_ref(), hi.as_ref()), ("a", "c"));
+    }
+
+    #[test]
+    fn nulls_roundtrip_and_never_match() {
+        let c = DictStrCu::build(&[Value::str("a"), Value::Null]);
+        assert_eq!(c.get(1), Value::Null);
+        let mut out = Vec::new();
+        c.scan(&pred(CmpOp::Ne, "zzz"), &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn eq_scan() {
+        let c = cu(&["x", "y", "x", "z"]);
+        let mut out = Vec::new();
+        c.scan(&pred(CmpOp::Eq, "x"), &mut out);
+        assert_eq!(out, vec![0, 2]);
+        out.clear();
+        c.scan(&pred(CmpOp::Eq, "absent"), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn range_scans_via_sorted_codes() {
+        let c = cu(&["b", "d", "a", "c"]);
+        let collect = |op, s: &str| {
+            let mut out = Vec::new();
+            c.scan(&pred(op, s), &mut out);
+            out
+        };
+        assert_eq!(collect(CmpOp::Lt, "c"), vec![0, 2]); // b, a
+        assert_eq!(collect(CmpOp::Le, "c"), vec![0, 2, 3]);
+        assert_eq!(collect(CmpOp::Gt, "b"), vec![1, 3]); // d, c
+        assert_eq!(collect(CmpOp::Ge, "b"), vec![0, 1, 3]);
+        assert_eq!(collect(CmpOp::Ne, "b"), vec![1, 2, 3]);
+        // Literal between dictionary entries.
+        assert_eq!(collect(CmpOp::Lt, "bb"), vec![0, 2]);
+        assert_eq!(collect(CmpOp::Ge, "bb"), vec![1, 3]);
+        // Out-of-range literals.
+        assert!(collect(CmpOp::Lt, "a").is_empty());
+        assert!(collect(CmpOp::Gt, "d").is_empty());
+        assert_eq!(collect(CmpOp::Ne, "nope").len(), 4);
+    }
+}

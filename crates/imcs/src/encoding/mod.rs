@@ -1,0 +1,7 @@
+//! IMCU column encodings: plain packed integers, run-length-encoded
+//! integers, dictionary-encoded strings (paper §II.B, "IMCUs employ
+//! techniques like data compression and encoding").
+
+pub mod dict;
+pub mod plain;
+pub mod rle;

@@ -1,0 +1,177 @@
+//! Plain (uncompressed) integer column unit: packed `i64` vector plus a
+//! null bitmap. The fast path for high-cardinality number columns.
+
+use imadg_storage::Value;
+
+use crate::predicate::{CmpOp, Predicate};
+
+/// Fixed-width integer column unit.
+#[derive(Debug, Clone)]
+pub struct PlainIntCu {
+    values: Vec<i64>,
+    /// One bit per row; set = NULL. Absent when the column has no NULLs.
+    nulls: Option<Vec<u64>>,
+}
+
+#[inline]
+fn bit(bits: &[u64], i: usize) -> bool {
+    bits[i >> 6] & (1 << (i & 63)) != 0
+}
+
+impl PlainIntCu {
+    /// Encode a slice of values (`Int` or `Null`).
+    pub fn build(values: &[Value]) -> PlainIntCu {
+        let mut out = Vec::with_capacity(values.len());
+        let mut nulls: Option<Vec<u64>> = None;
+        for (i, v) in values.iter().enumerate() {
+            match v {
+                Value::Int(x) => out.push(*x),
+                _ => {
+                    out.push(0);
+                    let bits =
+                        nulls.get_or_insert_with(|| vec![0u64; values.len().div_ceil(64)]);
+                    bits[i >> 6] |= 1 << (i & 63);
+                }
+            }
+        }
+        PlainIntCu { values: out, nulls }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at `row`.
+    #[inline]
+    pub fn get(&self, row: usize) -> Value {
+        if self.nulls.as_ref().is_some_and(|b| bit(b, row)) {
+            Value::Null
+        } else {
+            Value::Int(self.values[row])
+        }
+    }
+
+    /// Min/max over non-null values (storage index input).
+    pub fn min_max(&self) -> Option<(i64, i64)> {
+        let mut it = (0..self.len()).filter_map(|i| match self.get(i) {
+            Value::Int(x) => Some(x),
+            _ => None,
+        });
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for x in it {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        Some((lo, hi))
+    }
+
+    /// Append rows matching `pred` to `out` (tight loop over packed i64s —
+    /// the vectorizable inner scan the paper's In-Memory Scan Engine runs
+    /// with SIMD).
+    pub fn scan(&self, pred: &Predicate, out: &mut Vec<u32>) {
+        let target = match &pred.value {
+            Value::Int(x) => *x,
+            _ => return,
+        };
+        macro_rules! scan_op {
+            ($cmp:expr) => {
+                match &self.nulls {
+                    None => {
+                        for (i, &v) in self.values.iter().enumerate() {
+                            if $cmp(v, target) {
+                                out.push(i as u32);
+                            }
+                        }
+                    }
+                    Some(bits) => {
+                        for (i, &v) in self.values.iter().enumerate() {
+                            if !bit(bits, i) && $cmp(v, target) {
+                                out.push(i as u32);
+                            }
+                        }
+                    }
+                }
+            };
+        }
+        match pred.op {
+            CmpOp::Eq => scan_op!(|v, t| v == t),
+            CmpOp::Ne => scan_op!(|v, t| v != t),
+            CmpOp::Lt => scan_op!(|v, t| v < t),
+            CmpOp::Le => scan_op!(|v, t| v <= t),
+            CmpOp::Gt => scan_op!(|v, t| v > t),
+            CmpOp::Ge => scan_op!(|v, t| v >= t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imadg_storage::{ColumnType, Schema};
+
+    fn pred(op: CmpOp, x: i64) -> Predicate {
+        let s = Schema::of(&[("n", ColumnType::Int)]);
+        Predicate::new(&s, "n", op, Value::Int(x)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_without_nulls() {
+        let vals: Vec<Value> = (0..100).map(Value::Int).collect();
+        let cu = PlainIntCu::build(&vals);
+        assert_eq!(cu.len(), 100);
+        for i in 0..100 {
+            assert_eq!(cu.get(i), Value::Int(i as i64));
+        }
+        assert_eq!(cu.min_max(), Some((0, 99)));
+    }
+
+    #[test]
+    fn roundtrip_with_nulls() {
+        let vals = vec![Value::Int(5), Value::Null, Value::Int(-3)];
+        let cu = PlainIntCu::build(&vals);
+        assert_eq!(cu.get(0), Value::Int(5));
+        assert_eq!(cu.get(1), Value::Null);
+        assert_eq!(cu.get(2), Value::Int(-3));
+        assert_eq!(cu.min_max(), Some((-3, 5)));
+    }
+
+    #[test]
+    fn all_null_min_max() {
+        let cu = PlainIntCu::build(&[Value::Null, Value::Null]);
+        assert_eq!(cu.min_max(), None);
+    }
+
+    #[test]
+    fn scan_operators() {
+        let vals: Vec<Value> = [1i64, 5, 3, 5, 2].iter().copied().map(Value::Int).collect();
+        let cu = PlainIntCu::build(&vals);
+        let mut out = Vec::new();
+        cu.scan(&pred(CmpOp::Eq, 5), &mut out);
+        assert_eq!(out, vec![1, 3]);
+        out.clear();
+        cu.scan(&pred(CmpOp::Lt, 3), &mut out);
+        assert_eq!(out, vec![0, 4]);
+        out.clear();
+        cu.scan(&pred(CmpOp::Ge, 3), &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+        out.clear();
+        cu.scan(&pred(CmpOp::Ne, 5), &mut out);
+        assert_eq!(out, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn scan_skips_nulls() {
+        let vals = vec![Value::Int(1), Value::Null, Value::Int(1)];
+        let cu = PlainIntCu::build(&vals);
+        let mut out = Vec::new();
+        cu.scan(&pred(CmpOp::Ne, 99), &mut out);
+        assert_eq!(out, vec![0, 2], "NULL matches nothing, not even Ne");
+    }
+}

@@ -1,0 +1,347 @@
+//! In-Memory Columnar Units (IMCUs).
+//!
+//! An IMCU is a read-only columnar snapshot of a DBA range of one object,
+//! consistent as of its snapshot SCN (paper §II.B). It never changes after
+//! construction; transactional drift is tracked in the accompanying SMU and
+//! resolved by the scan engine.
+
+use std::collections::HashMap;
+
+use imadg_common::{Dba, ObjectId, Result, Scn, TenantId};
+use imadg_storage::{Row, RowLoc, Schema, Store, Value};
+
+use crate::column::ColumnCu;
+use crate::expression::ImExpression;
+
+/// Pre-computed per-column aggregates of one unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ColAgg {
+    /// Sum over non-null integer values (0 for string columns).
+    pub sum: i128,
+    /// Number of non-null values.
+    pub non_null: u64,
+}
+use crate::predicate::Predicate;
+use crate::storage_index::StorageIndex;
+
+/// A populated columnar unit.
+#[derive(Debug)]
+pub struct Imcu {
+    /// Owning object.
+    pub object: ObjectId,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Blocks this unit covers.
+    pub dbas: Vec<Dba>,
+    /// Snapshot SCN the data is consistent as of (a published QuerySCN on
+    /// the standby, §III.A).
+    pub snapshot: Scn,
+    /// Schema version at population time (§III.G: definition changes drop
+    /// the unit).
+    pub schema_version: u32,
+    /// Row-number → physical location.
+    locs: Vec<RowLoc>,
+    /// Physical location → row number (SMU reconciliation).
+    loc_index: HashMap<RowLoc, u32>,
+    /// Encoded columns: base columns at schema ordinals, then one virtual
+    /// column per in-memory expression (paper §V).
+    columns: Vec<ColumnCu>,
+    /// Names of the virtual (expression) columns, in storage order after
+    /// the base columns.
+    virtual_names: Vec<String>,
+    /// Number of base (schema) columns.
+    base_arity: usize,
+    /// Per-column pre-computed aggregates (aggregation push-down: COUNT /
+    /// SUM / non-null counts answered from unit metadata, paper §V
+    /// "aggregation push-down ... extended seamlessly to ADG").
+    col_aggs: Vec<ColAgg>,
+    /// Min/max storage index (covers virtual columns too).
+    pub storage_index: StorageIndex,
+    /// True until the population worker swaps real data in.
+    pending: bool,
+}
+
+impl Imcu {
+    /// Populate a unit covering `dbas` at `snapshot` by scanning the
+    /// row-store with Consistent Read.
+    pub fn build(
+        store: &Store,
+        object: ObjectId,
+        tenant: TenantId,
+        dbas: Vec<Dba>,
+        snapshot: Scn,
+        schema: &Schema,
+    ) -> Result<Imcu> {
+        Imcu::build_with_expressions(store, object, tenant, dbas, snapshot, schema, &[])
+    }
+
+    /// Populate a unit, additionally materializing the given in-memory
+    /// expressions as encoded virtual columns (paper §V: evaluated once at
+    /// population, filtered like any base column at scan).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_expressions(
+        store: &Store,
+        object: ObjectId,
+        tenant: TenantId,
+        dbas: Vec<Dba>,
+        snapshot: Scn,
+        schema: &Schema,
+        exprs: &[ImExpression],
+    ) -> Result<Imcu> {
+        let base_arity = schema.arity();
+        let mut locs: Vec<RowLoc> = Vec::new();
+        let mut col_values: Vec<Vec<Value>> = vec![Vec::new(); base_arity + exprs.len()];
+        store.scan_blocks(&dbas, snapshot, |loc, row| {
+            locs.push(loc);
+            for (ord, col) in col_values.iter_mut().enumerate().take(base_arity) {
+                col.push(row.get(ord).clone());
+            }
+            for (i, e) in exprs.iter().enumerate() {
+                col_values[base_arity + i].push(e.expr.eval(row));
+            }
+        })?;
+        let mut columns: Vec<ColumnCu> = schema
+            .all_columns()
+            .iter()
+            .enumerate()
+            .map(|(ord, def)| ColumnCu::build(def.ctype, &col_values[ord]))
+            .collect();
+        for (i, e) in exprs.iter().enumerate() {
+            let ctype = e.expr.result_type(schema)?;
+            columns.push(ColumnCu::build(ctype, &col_values[base_arity + i]));
+        }
+        let col_aggs: Vec<ColAgg> = col_values
+            .iter()
+            .map(|vals| {
+                let mut agg = ColAgg::default();
+                for v in vals {
+                    match v {
+                        Value::Int(x) => {
+                            agg.sum += i128::from(*x);
+                            agg.non_null += 1;
+                        }
+                        Value::Str(_) => agg.non_null += 1,
+                        Value::Null => {}
+                    }
+                }
+                agg
+            })
+            .collect();
+        let storage_index = StorageIndex::new(columns.iter().map(|c| c.min_max()).collect());
+        let loc_index = locs.iter().enumerate().map(|(i, &l)| (l, i as u32)).collect();
+        Ok(Imcu {
+            object,
+            tenant,
+            dbas,
+            snapshot,
+            schema_version: schema.version(),
+            locs,
+            loc_index,
+            columns,
+            virtual_names: exprs.iter().map(|e| e.name.clone()).collect(),
+            base_arity,
+            col_aggs,
+            storage_index,
+            pending: false,
+        })
+    }
+
+    /// Storage ordinal of a virtual (expression) column, if this unit
+    /// materialized it.
+    pub fn virtual_ordinal(&self, name: &str) -> Option<usize> {
+        self.virtual_names.iter().position(|n| n == name).map(|i| self.base_arity + i)
+    }
+
+    /// Pre-computed aggregates of one column (aggregation push-down).
+    pub fn column_agg(&self, ordinal: usize) -> Option<ColAgg> {
+        self.col_aggs.get(ordinal).copied()
+    }
+
+    /// A *pending* unit: claims its DBA range (so invalidation flushes have
+    /// an SMU to target from the moment of snapshot capture) but holds no
+    /// data yet. The population worker swaps the built unit in later; scans
+    /// treat pending units as fully-invalid and fall back to the row-store.
+    pub fn pending(
+        object: ObjectId,
+        tenant: TenantId,
+        dbas: Vec<Dba>,
+        snapshot: Scn,
+        schema_version: u32,
+    ) -> Imcu {
+        Imcu {
+            object,
+            tenant,
+            dbas,
+            snapshot,
+            schema_version,
+            locs: Vec::new(),
+            loc_index: HashMap::new(),
+            columns: Vec::new(),
+            virtual_names: Vec::new(),
+            base_arity: 0,
+            col_aggs: Vec::new(),
+            storage_index: StorageIndex::default(),
+            pending: true,
+        }
+    }
+
+    /// Is this a pending (not yet built) unit?
+    pub fn is_pending(&self) -> bool {
+        self.pending
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.locs.len()
+    }
+
+    /// Physical location of row `rownum`.
+    pub fn loc(&self, rownum: u32) -> RowLoc {
+        self.locs[rownum as usize]
+    }
+
+    /// Row number of a physical location, if the unit holds it.
+    pub fn rownum(&self, loc: RowLoc) -> Option<u32> {
+        self.loc_index.get(&loc).copied()
+    }
+
+    /// Reconstruct the full *base* row image of `rownum` (virtual columns
+    /// are not part of the row image).
+    pub fn materialize(&self, rownum: u32) -> Row {
+        Row::new(
+            self.columns
+                .iter()
+                .take(self.base_arity)
+                .map(|c| c.get(rownum as usize))
+                .collect(),
+        )
+    }
+
+    /// Read one column of one row.
+    pub fn value(&self, rownum: u32, ordinal: usize) -> Value {
+        self.columns
+            .get(ordinal)
+            .map(|c| c.get(rownum as usize))
+            .unwrap_or(Value::Null)
+    }
+
+    /// Scan one predicate through its encoded column; returns matching row
+    /// numbers in ascending order.
+    pub fn scan(&self, pred: &Predicate) -> Vec<u32> {
+        let mut out = Vec::new();
+        if let Some(col) = self.columns.get(pred.ordinal) {
+            col.scan(pred, &mut out);
+        }
+        out
+    }
+
+    /// All row numbers (driver for unfiltered scans).
+    pub fn all_rows(&self) -> impl Iterator<Item = u32> + '_ {
+        0..self.rows() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use imadg_common::TxnId;
+    use imadg_storage::{Block, ColumnType, RowVersion, TableSpec};
+
+    fn schema() -> Schema {
+        Schema::of(&[("id", ColumnType::Int), ("c", ColumnType::Varchar)])
+    }
+
+    /// Store with one block of `n` committed rows at SCN 5.
+    fn store_with_rows(n: i64) -> Store {
+        let s = Store::new();
+        s.create_table(TableSpec {
+            id: ObjectId(1),
+            name: "t".into(),
+            tenant: TenantId::DEFAULT,
+            schema: schema(),
+            key_ordinal: 0,
+            rows_per_block: 128,
+        })
+        .unwrap();
+        s.cache().install(Block::format(Dba(1), ObjectId(1), 128));
+        s.segment(ObjectId(1)).unwrap().lock().add_block(Dba(1));
+        s.txns().commit(TxnId(1), Scn(5));
+        let b = s.cache().get(Dba(1)).unwrap();
+        for i in 0..n {
+            b.write().chain_mut(i as u16).unwrap().push(RowVersion {
+                txn: TxnId(1),
+                scn: Scn(3),
+                data: Some(Row::new(vec![Value::Int(i), Value::str(format!("s{}", i % 3))])),
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn build_and_materialize() {
+        let s = store_with_rows(10);
+        let imcu =
+            Imcu::build(&s, ObjectId(1), TenantId::DEFAULT, vec![Dba(1)], Scn(5), &schema())
+                .unwrap();
+        assert_eq!(imcu.rows(), 10);
+        let r = imcu.materialize(4);
+        assert_eq!(r[0], Value::Int(4));
+        assert_eq!(r[1], Value::str("s1"));
+        assert_eq!(imcu.value(4, 0), Value::Int(4));
+        assert_eq!(imcu.loc(0), RowLoc { dba: Dba(1), slot: 0 });
+        assert_eq!(imcu.rownum(RowLoc { dba: Dba(1), slot: 7 }), Some(7));
+        assert_eq!(imcu.rownum(RowLoc { dba: Dba(99), slot: 0 }), None);
+    }
+
+    #[test]
+    fn snapshot_consistency() {
+        let s = store_with_rows(5);
+        // A later uncommitted write is not part of the unit.
+        s.txns().begin(TxnId(2));
+        let b = s.cache().get(Dba(1)).unwrap();
+        b.write().chain_mut(0).unwrap().push(RowVersion {
+            txn: TxnId(2),
+            scn: Scn(8),
+            data: Some(Row::new(vec![Value::Int(999), Value::str("zz")])),
+        });
+        let imcu =
+            Imcu::build(&s, ObjectId(1), TenantId::DEFAULT, vec![Dba(1)], Scn(5), &schema())
+                .unwrap();
+        assert_eq!(imcu.value(0, 0), Value::Int(0), "snapshot sees the committed image");
+    }
+
+    #[test]
+    fn predicate_scan() {
+        let s = store_with_rows(9);
+        let sc = schema();
+        let imcu =
+            Imcu::build(&s, ObjectId(1), TenantId::DEFAULT, vec![Dba(1)], Scn(5), &sc).unwrap();
+        let p = Predicate::eq(&sc, "c", Value::str("s0")).unwrap();
+        assert_eq!(imcu.scan(&p), vec![0, 3, 6]);
+        let p = Predicate::new(&sc, "id", CmpOp::Ge, Value::Int(7)).unwrap();
+        assert_eq!(imcu.scan(&p), vec![7, 8]);
+    }
+
+    #[test]
+    fn storage_index_reflects_contents() {
+        let s = store_with_rows(10);
+        let sc = schema();
+        let imcu =
+            Imcu::build(&s, ObjectId(1), TenantId::DEFAULT, vec![Dba(1)], Scn(5), &sc).unwrap();
+        let p = Predicate::new(&sc, "id", CmpOp::Gt, Value::Int(100)).unwrap();
+        assert!(!imcu.storage_index.may_match(&p), "out of range → prunable");
+        let p = Predicate::eq(&sc, "id", Value::Int(5)).unwrap();
+        assert!(imcu.storage_index.may_match(&p));
+    }
+
+    #[test]
+    fn empty_range_builds_empty_unit() {
+        let s = store_with_rows(0);
+        let imcu =
+            Imcu::build(&s, ObjectId(1), TenantId::DEFAULT, vec![Dba(1)], Scn(5), &schema())
+                .unwrap();
+        assert_eq!(imcu.rows(), 0);
+        assert_eq!(imcu.all_rows().count(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Scan predicates.
+//!
+//! The paper's analytic queries are selective single-column filters over
+//! the wide OLTAP table (Table 1: `WHERE n1 = :1`, `WHERE c1 = :2`). The
+//! scan engine evaluates predicates directly against encoded column units
+//! and falls back to row-image evaluation for invalid rows.
+
+use imadg_common::{Error, Result};
+use imadg_storage::{Row, Schema, Value};
+
+/// Comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply to a comparison ordering result.
+    #[inline]
+    pub fn matches(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// One column comparison: `column <op> literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Ordinal of the column in the stored row layout.
+    pub ordinal: usize,
+    /// Operator.
+    pub op: CmpOp,
+    /// Literal to compare against.
+    pub value: Value,
+}
+
+impl Predicate {
+    /// Build a predicate by column name against `schema`.
+    pub fn new(schema: &Schema, column: &str, op: CmpOp, value: Value) -> Result<Predicate> {
+        let ordinal = schema.ordinal(column)?;
+        let def = schema.column(column)?;
+        if !value.matches_type(def.ctype) {
+            return Err(Error::TypeMismatch { column: column.to_string() });
+        }
+        Ok(Predicate { ordinal, op, value })
+    }
+
+    /// Equality shorthand.
+    pub fn eq(schema: &Schema, column: &str, value: Value) -> Result<Predicate> {
+        Predicate::new(schema, column, CmpOp::Eq, value)
+    }
+
+    /// Evaluate against one value. SQL semantics: NULL never matches.
+    #[inline]
+    pub fn eval_value(&self, v: &Value) -> bool {
+        match (v, &self.value) {
+            (Value::Int(a), Value::Int(b)) => self.op.matches(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => self.op.matches(a.as_ref().cmp(b.as_ref())),
+            _ => false, // NULL or type mismatch: no match
+        }
+    }
+
+    /// Evaluate against a row image.
+    #[inline]
+    pub fn eval_row(&self, row: &Row) -> bool {
+        self.eval_value(row.get(self.ordinal))
+    }
+}
+
+/// A conjunction of predicates (empty = match everything).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Filter {
+    /// AND-ed terms.
+    pub terms: Vec<Predicate>,
+}
+
+impl Filter {
+    /// Filter that matches every row.
+    pub fn all() -> Filter {
+        Filter::default()
+    }
+
+    /// Single-term filter.
+    pub fn of(p: Predicate) -> Filter {
+        Filter { terms: vec![p] }
+    }
+
+    /// Does the row image satisfy every term?
+    #[inline]
+    pub fn eval_row(&self, row: &Row) -> bool {
+        self.terms.iter().all(|p| p.eval_row(row))
+    }
+
+    /// The leading term (driven through the encoded column scan); the rest
+    /// are verified on reconstructed values.
+    pub fn split_first(&self) -> Option<(&Predicate, &[Predicate])> {
+        self.terms.split_first()
+    }
+}
+
+impl From<Predicate> for Filter {
+    fn from(p: Predicate) -> Filter {
+        Filter::of(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imadg_storage::ColumnType;
+
+    fn schema() -> Schema {
+        Schema::of(&[("id", ColumnType::Int), ("n1", ColumnType::Int), ("c1", ColumnType::Varchar)])
+    }
+
+    #[test]
+    fn construction_checks_types() {
+        let s = schema();
+        assert!(Predicate::eq(&s, "n1", Value::Int(5)).is_ok());
+        assert!(matches!(
+            Predicate::eq(&s, "n1", Value::str("x")),
+            Err(Error::TypeMismatch { .. })
+        ));
+        assert!(Predicate::eq(&s, "nope", Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn int_comparisons() {
+        let s = schema();
+        let p = Predicate::new(&s, "n1", CmpOp::Lt, Value::Int(10)).unwrap();
+        assert!(p.eval_value(&Value::Int(9)));
+        assert!(!p.eval_value(&Value::Int(10)));
+        let p = Predicate::new(&s, "n1", CmpOp::Ge, Value::Int(10)).unwrap();
+        assert!(p.eval_value(&Value::Int(10)));
+        assert!(!p.eval_value(&Value::Int(9)));
+        let p = Predicate::new(&s, "n1", CmpOp::Ne, Value::Int(10)).unwrap();
+        assert!(p.eval_value(&Value::Int(9)));
+        assert!(!p.eval_value(&Value::Int(10)));
+    }
+
+    #[test]
+    fn null_never_matches() {
+        let s = schema();
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Ge] {
+            let p = Predicate::new(&s, "n1", op, Value::Int(10)).unwrap();
+            assert!(!p.eval_value(&Value::Null), "{op:?} on NULL");
+        }
+    }
+
+    #[test]
+    fn string_comparisons() {
+        let s = schema();
+        let p = Predicate::eq(&s, "c1", Value::str("abc")).unwrap();
+        assert!(p.eval_value(&Value::str("abc")));
+        assert!(!p.eval_value(&Value::str("abd")));
+        let p = Predicate::new(&s, "c1", CmpOp::Lt, Value::str("b")).unwrap();
+        assert!(p.eval_value(&Value::str("a")));
+        assert!(!p.eval_value(&Value::str("c")));
+    }
+
+    #[test]
+    fn filter_conjunction() {
+        let s = schema();
+        let f = Filter {
+            terms: vec![
+                Predicate::new(&s, "n1", CmpOp::Ge, Value::Int(5)).unwrap(),
+                Predicate::eq(&s, "c1", Value::str("x")).unwrap(),
+            ],
+        };
+        let hit = Row::new(vec![Value::Int(1), Value::Int(7), Value::str("x")]);
+        let miss = Row::new(vec![Value::Int(1), Value::Int(7), Value::str("y")]);
+        assert!(f.eval_row(&hit));
+        assert!(!f.eval_row(&miss));
+        assert!(Filter::all().eval_row(&miss));
+        assert_eq!(f.split_first().unwrap().1.len(), 1);
+    }
+}

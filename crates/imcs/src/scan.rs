@@ -1,0 +1,526 @@
+//! The In-Memory Scan Engine.
+//!
+//! Serves a filtered scan at a snapshot SCN by combining three sources
+//! (paper §II.B): (1) valid rows straight from encoded IMCUs — after
+//! storage-index pruning, (2) stale/new rows fetched from the row-store via
+//! Consistent Read (SMU reconciliation), and (3) row-store block scans for
+//! blocks no unit covers (the insert frontier beyond the edge IMCU).
+
+use std::collections::HashSet;
+
+use imadg_common::{ObjectId, Result, Scn};
+use imadg_storage::{Row, Store};
+
+use std::sync::Arc;
+
+use crate::expression::Expr;
+use crate::imcs_store::{ImcsStore, ObjectImcs};
+use crate::predicate::{CmpOp, Filter, Predicate};
+
+/// Where each result row came from (experiment instrumentation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Rows served from encoded IMCU data.
+    pub imcu_rows: usize,
+    /// Rows served via row-store fallback (SMU-invalid, post-snapshot
+    /// inserts, pending or coarse-invalidated units).
+    pub fallback_rows: usize,
+    /// Rows served from uncovered blocks.
+    pub uncovered_rows: usize,
+    /// Units skipped by the min/max storage index.
+    pub pruned_units: usize,
+    /// Units whose columns were scanned.
+    pub scanned_units: usize,
+    /// Units bypassed entirely (pending / all-invalid).
+    pub bypassed_units: usize,
+}
+
+impl ScanStats {
+    /// Total result rows.
+    pub fn total(&self) -> usize {
+        self.imcu_rows + self.fallback_rows + self.uncovered_rows
+    }
+}
+
+/// A completed scan.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// Matching row images.
+    pub rows: Vec<Row>,
+    /// Provenance counters.
+    pub stats: ScanStats,
+}
+
+/// Run a filtered scan of `object` at `snapshot` through the column store,
+/// falling back to the row-store where the IMCS is stale or uncovered.
+///
+/// Returns `Ok(None)` when the object has no column-store presence at all
+/// on this instance — the caller should run a plain row-store scan.
+pub fn scan(
+    imcs: &ImcsStore,
+    store: &Store,
+    object: ObjectId,
+    filter: &Filter,
+    snapshot: Scn,
+) -> Result<Option<ScanResult>> {
+    match imcs.object(object) {
+        Some(obj) => scan_entries(&[obj], store, object, filter, snapshot).map(Some),
+        None => Ok(None),
+    }
+}
+
+/// Cluster-wide scan over several instances' column stores (RAC standby:
+/// IMCUs are distributed by home location, so a query fans out across every
+/// instance's units — modelling Oracle's cross-instance parallel execution).
+pub fn scan_cluster(
+    stores: &[Arc<ImcsStore>],
+    store: &Store,
+    object: ObjectId,
+    filter: &Filter,
+    snapshot: Scn,
+) -> Result<Option<ScanResult>> {
+    let entries: Vec<Arc<ObjectImcs>> =
+        stores.iter().filter_map(|s| s.object(object)).collect();
+    if entries.is_empty() {
+        return Ok(None);
+    }
+    scan_entries(&entries, store, object, filter, snapshot).map(Some)
+}
+
+fn scan_entries(
+    entries: &[Arc<ObjectImcs>],
+    store: &Store,
+    object: ObjectId,
+    filter: &Filter,
+    snapshot: Scn,
+) -> Result<ScanResult> {
+    let mut result = ScanResult::default();
+    let mut covered: HashSet<imadg_common::Dba> = HashSet::new();
+
+    for handle in entries.iter().flat_map(|e| e.handles()) {
+        let (imcu, smu) = handle.pair();
+        covered.extend(imcu.dbas.iter().copied());
+        let view = smu.read();
+
+        if imcu.is_pending() || view.all_invalid() {
+            // No usable columnar data: serve the whole range from the
+            // row-store at the scan snapshot.
+            result.stats.bypassed_units += 1;
+            store.scan_blocks(&imcu.dbas, snapshot, |_, row| {
+                if filter.eval_row(row) {
+                    result.rows.push(row.clone());
+                    result.stats.fallback_rows += 1;
+                }
+            })?;
+            continue;
+        }
+
+        // Columnar path: drive the leading predicate through the encoded
+        // column, verify the rest on materialized rows.
+        let candidates: Vec<u32> = match filter.split_first() {
+            Some((head, _)) if !imcu.storage_index.may_match(head) => {
+                result.stats.pruned_units += 1;
+                Vec::new()
+            }
+            Some((head, _)) => {
+                result.stats.scanned_units += 1;
+                imcu.scan(head)
+            }
+            None => {
+                result.stats.scanned_units += 1;
+                imcu.all_rows().collect()
+            }
+        };
+        let rest: &[crate::predicate::Predicate] = match filter.split_first() {
+            Some((_, rest)) => rest,
+            None => &[],
+        };
+        for rn in candidates {
+            let loc = imcu.loc(rn);
+            if view.is_invalid(loc) {
+                continue; // served by the fallback pass below
+            }
+            let row = imcu.materialize(rn);
+            if rest.iter().all(|p| p.eval_row(&row)) {
+                result.rows.push(row);
+                result.stats.imcu_rows += 1;
+            }
+        }
+
+        // SMU reconciliation: every stale or newly-inserted location must
+        // be re-read from the row-store and re-filtered — its current value
+        // may match even though (or although) the frozen one did not.
+        // Batched by block: one latch per block, not per row. The SMU latch
+        // is released before the row-store fetches.
+        let mut fallback: Vec<imadg_storage::RowLoc> = Vec::with_capacity(view.fallback_count());
+        view.collect_fallback(&mut fallback);
+        drop(view);
+        store.fetch_rows_batched(&mut fallback, snapshot, |_, row| {
+            if filter.eval_row(row) {
+                result.rows.push(row.clone());
+                result.stats.fallback_rows += 1;
+            }
+        })?;
+    }
+
+    // Blocks beyond any unit's coverage (fresh inserts past the edge IMCU).
+    let uncovered: Vec<_> = store
+        .block_dbas(object)?
+        .into_iter()
+        .filter(|d| !covered.contains(d))
+        .collect();
+    if !uncovered.is_empty() {
+        store.scan_blocks(&uncovered, snapshot, |_, row| {
+            if filter.eval_row(row) {
+                result.rows.push(row.clone());
+                result.stats.uncovered_rows += 1;
+            }
+        })?;
+    }
+
+    Ok(result)
+}
+
+/// A predicate over a registered in-memory expression (paper §V):
+/// `<expr> <op> <literal>`, filtered through the precomputed virtual
+/// column when a unit materialized it, or by evaluating the expression
+/// over row images otherwise.
+#[derive(Debug, Clone)]
+pub struct ExprPredicate {
+    /// The registered expression's name.
+    pub name: String,
+    /// The expression (for row-image fallback evaluation).
+    pub expr: std::sync::Arc<Expr>,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal to compare against.
+    pub value: imadg_storage::Value,
+}
+
+impl ExprPredicate {
+    /// Evaluate against a row image.
+    pub fn eval_row(&self, row: &Row) -> bool {
+        let v = self.expr.eval(row);
+        match (&v, &self.value) {
+            (imadg_storage::Value::Int(a), imadg_storage::Value::Int(b)) => self.op.matches(a.cmp(b)),
+            (imadg_storage::Value::Str(a), imadg_storage::Value::Str(b)) => {
+                self.op.matches(a.as_ref().cmp(b.as_ref()))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Scan `object` filtered by an in-memory expression predicate.
+///
+/// Units that materialized the expression's virtual column are filtered in
+/// code space (with storage-index pruning on the virtual column); stale
+/// rows, pre-registration units, and uncovered blocks evaluate the
+/// expression per row image — correctness never depends on the virtual
+/// column being present.
+pub fn scan_expression(
+    stores: &[Arc<ImcsStore>],
+    store: &Store,
+    object: ObjectId,
+    pred: &ExprPredicate,
+    snapshot: Scn,
+) -> Result<Option<ScanResult>> {
+    let entries: Vec<Arc<ObjectImcs>> = stores.iter().filter_map(|s| s.object(object)).collect();
+    if entries.is_empty() {
+        return Ok(None);
+    }
+    let mut result = ScanResult::default();
+    let mut covered: HashSet<imadg_common::Dba> = HashSet::new();
+
+    for handle in entries.iter().flat_map(|e| e.handles()) {
+        let (imcu, smu) = handle.pair();
+        covered.extend(imcu.dbas.iter().copied());
+        let view = smu.read();
+
+        if imcu.is_pending() || view.all_invalid() {
+            result.stats.bypassed_units += 1;
+            store.scan_blocks(&imcu.dbas, snapshot, |_, row| {
+                if pred.eval_row(row) {
+                    result.rows.push(row.clone());
+                    result.stats.fallback_rows += 1;
+                }
+            })?;
+            continue;
+        }
+
+        let candidates: Vec<u32> = match imcu.virtual_ordinal(&pred.name) {
+            Some(vord) => {
+                // Fast path: the expression was materialized at population.
+                let vpred = Predicate { ordinal: vord, op: pred.op, value: pred.value.clone() };
+                if !imcu.storage_index.may_match(&vpred) {
+                    result.stats.pruned_units += 1;
+                    Vec::new()
+                } else {
+                    result.stats.scanned_units += 1;
+                    imcu.scan(&vpred)
+                }
+            }
+            None => {
+                // Unit predates the expression registration: evaluate over
+                // materialized rows (correct, just not accelerated).
+                result.stats.scanned_units += 1;
+                imcu.all_rows()
+                    .filter(|&rn| pred.eval_row(&imcu.materialize(rn)))
+                    .collect()
+            }
+        };
+        for rn in candidates {
+            let loc = imcu.loc(rn);
+            if view.is_invalid(loc) {
+                continue;
+            }
+            result.rows.push(imcu.materialize(rn));
+            result.stats.imcu_rows += 1;
+        }
+
+        let mut fallback: Vec<imadg_storage::RowLoc> = Vec::with_capacity(view.fallback_count());
+        view.collect_fallback(&mut fallback);
+        drop(view);
+        store.fetch_rows_batched(&mut fallback, snapshot, |_, row| {
+            if pred.eval_row(row) {
+                result.rows.push(row.clone());
+                result.stats.fallback_rows += 1;
+            }
+        })?;
+    }
+
+    let uncovered: Vec<_> = store
+        .block_dbas(object)?
+        .into_iter()
+        .filter(|d| !covered.contains(d))
+        .collect();
+    if !uncovered.is_empty() {
+        store.scan_blocks(&uncovered, snapshot, |_, row| {
+            if pred.eval_row(row) {
+                result.rows.push(row.clone());
+                result.stats.uncovered_rows += 1;
+            }
+        })?;
+    }
+    Ok(Some(result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{PopulationEngine, SnapshotSource};
+    use crate::predicate::Predicate;
+    use imadg_common::{ImcsConfig, RedoThreadId, ScnService, TenantId};
+    use imadg_redo::LogBuffer;
+    use imadg_storage::{ColumnType, DbaAllocator, Schema, TableSpec, Value};
+    use imadg_txn::{InMemoryRegistry, LockTable, TxnIdService, TxnManager};
+    use std::sync::Arc;
+
+    const OBJ: ObjectId = ObjectId(1);
+
+    struct Fixture {
+        txm: TxnManager,
+        store: Arc<Store>,
+        scns: Arc<ScnService>,
+        engine: PopulationEngine,
+    }
+
+    fn fixture() -> Fixture {
+        let store = Arc::new(Store::new());
+        let scns = Arc::new(ScnService::new());
+        let txm = TxnManager::new(
+            store.clone(),
+            scns.clone(),
+            Arc::new(LogBuffer::new(RedoThreadId(1))),
+            Arc::new(TxnIdService::new()),
+            Arc::new(LockTable::new()),
+            Arc::new(InMemoryRegistry::new()),
+            Arc::new(DbaAllocator::default()),
+        );
+        txm.create_table(TableSpec {
+            id: OBJ,
+            name: "t".into(),
+            tenant: TenantId::DEFAULT,
+            schema: Schema::of(&[
+                ("id", ColumnType::Int),
+                ("n1", ColumnType::Int),
+                ("c1", ColumnType::Varchar),
+            ]),
+            key_ordinal: 0,
+            rows_per_block: 8,
+        })
+        .unwrap();
+        let engine = PopulationEngine::new(
+            store.clone(),
+            Arc::new(ImcsStore::new()),
+            SnapshotSource::Primary(scns.clone()),
+            ImcsConfig { imcu_max_rows: 16, repopulate_min_scn_gap: 0, ..Default::default() },
+        )
+        .unwrap();
+        engine.enable(OBJ);
+        Fixture { txm, store, scns, engine }
+    }
+
+    fn seed(f: &Fixture, from: i64, to: i64) {
+        let mut tx = f.txm.begin(TenantId::DEFAULT);
+        for k in from..to {
+            f.txm
+                .insert(&mut tx, OBJ, vec![Value::Int(k), Value::Int(k % 10), Value::str(format!("c{}", k % 5))])
+                .unwrap();
+        }
+        f.txm.commit(tx);
+    }
+
+    fn schema(f: &Fixture) -> Schema {
+        f.store.table(OBJ).unwrap().schema.read().clone()
+    }
+
+    #[test]
+    fn pure_imcu_scan() {
+        let f = fixture();
+        seed(&f, 0, 100);
+        f.engine.run_once().unwrap();
+        let filt = Filter::of(Predicate::eq(&schema(&f), "n1", Value::Int(3)).unwrap());
+        let r = scan(f.engine.imcs(), &f.store, OBJ, &filt, f.scns.current())
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.rows.len(), 10);
+        assert_eq!(r.stats.imcu_rows, 10);
+        assert_eq!(r.stats.fallback_rows, 0);
+        assert_eq!(r.stats.uncovered_rows, 0);
+        for row in &r.rows {
+            assert_eq!(row[1], Value::Int(3));
+        }
+    }
+
+    #[test]
+    fn unpopulated_object_returns_none() {
+        let f = fixture();
+        seed(&f, 0, 10);
+        let r = scan(f.engine.imcs(), &f.store, OBJ, &Filter::all(), f.scns.current()).unwrap();
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn invalid_rows_served_from_row_store() {
+        let f = fixture();
+        seed(&f, 0, 50);
+        f.engine.run_once().unwrap();
+        // Update key 7's n1 from 7 to 42 and flush the invalidation by hand.
+        let mut tx = f.txm.begin(TenantId::DEFAULT);
+        let loc = f.txm.update_column_by_key(&mut tx, OBJ, 7, "n1", Value::Int(42)).unwrap();
+        let cscn = f.txm.commit(tx);
+        assert!(f.engine.imcs().invalidate(OBJ, loc, cscn));
+
+        let sc = schema(&f);
+        // The stale value no longer matches…
+        let filt7 = Filter::of(Predicate::eq(&sc, "n1", Value::Int(7)).unwrap());
+        let r = scan(f.engine.imcs(), &f.store, OBJ, &filt7, f.scns.current()).unwrap().unwrap();
+        let keys: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+        assert!(!keys.contains(&7), "updated row must not match its old value");
+        assert_eq!(r.rows.len(), 4, "17, 27, 37, 47 still match");
+        // …and the new value matches via fallback.
+        let filt42 = Filter::of(Predicate::eq(&sc, "n1", Value::Int(42)).unwrap());
+        let r = scan(f.engine.imcs(), &f.store, OBJ, &filt42, f.scns.current()).unwrap().unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.stats.fallback_rows, 1);
+        assert_eq!(r.rows[0][0], Value::Int(7));
+    }
+
+    #[test]
+    fn snapshot_respects_invalidated_rows_history() {
+        let f = fixture();
+        seed(&f, 0, 20);
+        f.engine.run_once().unwrap();
+        let before = f.scns.current();
+        let mut tx = f.txm.begin(TenantId::DEFAULT);
+        let loc = f.txm.update_column_by_key(&mut tx, OBJ, 3, "n1", Value::Int(99)).unwrap();
+        let cscn = f.txm.commit(tx);
+        f.engine.imcs().invalidate(OBJ, loc, cscn);
+        // Scanning at the *old* snapshot: fallback fetch resolves the old
+        // version through CR, so key 3 still matches n1=3.
+        let filt = Filter::of(Predicate::eq(&schema(&f), "n1", Value::Int(3)).unwrap());
+        let r = scan(f.engine.imcs(), &f.store, OBJ, &filt, before).unwrap().unwrap();
+        let keys: Vec<i64> = r.rows.iter().map(|row| row[0].as_int().unwrap()).collect();
+        assert!(keys.contains(&3), "CR at the old snapshot sees the old value");
+    }
+
+    #[test]
+    fn uncovered_blocks_scanned_from_row_store() {
+        let f = fixture();
+        seed(&f, 0, 32);
+        f.engine.run_once().unwrap();
+        seed(&f, 100, 110); // new blocks, not yet populated
+        let filt = Filter::all();
+        let r = scan(f.engine.imcs(), &f.store, OBJ, &filt, f.scns.current()).unwrap().unwrap();
+        assert_eq!(r.rows.len(), 42);
+        assert!(r.stats.uncovered_rows > 0);
+        // There can be edge overlap: the last covered block had free slots.
+        assert_eq!(r.stats.total(), 42);
+    }
+
+    #[test]
+    fn deleted_rows_disappear() {
+        let f = fixture();
+        seed(&f, 0, 10);
+        f.engine.run_once().unwrap();
+        let mut tx = f.txm.begin(TenantId::DEFAULT);
+        let loc = f.txm.delete_by_key(&mut tx, OBJ, 4).unwrap();
+        let cscn = f.txm.commit(tx);
+        f.engine.imcs().invalidate(OBJ, loc, cscn);
+        let r = scan(f.engine.imcs(), &f.store, OBJ, &Filter::all(), f.scns.current())
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.rows.len(), 9);
+        assert!(r.rows.iter().all(|row| row[0] != Value::Int(4)));
+    }
+
+    #[test]
+    fn storage_index_prunes_but_fallback_still_checked() {
+        let f = fixture();
+        seed(&f, 0, 64); // n1 ∈ [0,9]
+        f.engine.run_once().unwrap();
+        // Update key 5 to an out-of-range value and invalidate.
+        let mut tx = f.txm.begin(TenantId::DEFAULT);
+        let loc = f.txm.update_column_by_key(&mut tx, OBJ, 5, "n1", Value::Int(1000)).unwrap();
+        let cscn = f.txm.commit(tx);
+        f.engine.imcs().invalidate(OBJ, loc, cscn);
+        let filt = Filter::of(Predicate::eq(&schema(&f), "n1", Value::Int(1000)).unwrap());
+        let r = scan(f.engine.imcs(), &f.store, OBJ, &filt, f.scns.current()).unwrap().unwrap();
+        assert!(r.stats.pruned_units >= 1, "min/max excludes 1000 from frozen units");
+        assert_eq!(r.rows.len(), 1, "fallback row found despite pruning");
+        assert_eq!(r.rows[0][0], Value::Int(5));
+    }
+
+    #[test]
+    fn coarse_invalidated_units_bypass_to_row_store() {
+        let f = fixture();
+        seed(&f, 0, 30);
+        f.engine.run_once().unwrap();
+        f.engine.imcs().mark_tenant_invalid(TenantId::DEFAULT);
+        let r = scan(f.engine.imcs(), &f.store, OBJ, &Filter::all(), f.scns.current())
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.rows.len(), 30);
+        assert_eq!(r.stats.imcu_rows, 0);
+        assert!(r.stats.bypassed_units > 0);
+    }
+
+    #[test]
+    fn multi_term_filter() {
+        let f = fixture();
+        seed(&f, 0, 100);
+        f.engine.run_once().unwrap();
+        let sc = schema(&f);
+        let filt = Filter {
+            terms: vec![
+                Predicate::eq(&sc, "n1", Value::Int(3)).unwrap(),
+                Predicate::eq(&sc, "c1", Value::str("c3")).unwrap(),
+            ],
+        };
+        let r = scan(f.engine.imcs(), &f.store, OBJ, &filt, f.scns.current()).unwrap().unwrap();
+        // k % 10 == 3 and k % 5 == 3 → k ≡ 3 (mod 10) ∧ k ≡ 3 (mod 5) → k % 10 = 3.
+        // c1 = c{k%5}; k%10==3 → k%5==3 → matches. So all 10 rows match.
+        assert_eq!(r.rows.len(), 10);
+    }
+}

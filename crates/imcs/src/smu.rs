@@ -1,0 +1,282 @@
+//! Snapshot Metadata Units (SMUs).
+//!
+//! "A Snapshot Metadata Unit accompanies each IMCU and tracks the validity
+//! of the data populated in its corresponding IMCU" (paper §II.B). The
+//! invalidation-flush component marks rows stale as the QuerySCN advances;
+//! the scan engine reconciles IMCU data against the SMU and fetches stale
+//! rows from the row-store instead.
+//!
+//! Invalidations are keyed by *physical location* and carry the commit SCN
+//! of the invalidating transaction. Keeping the SCN makes repopulation
+//! carry-over exact: when a unit is rebuilt at snapshot `S`, entries with
+//! commit SCN ≤ `S` are absorbed by the rebuild and dropped; later entries
+//! transfer to the fresh SMU.
+
+use std::collections::HashMap;
+
+use imadg_common::Scn;
+use imadg_storage::RowLoc;
+use parking_lot::RwLock;
+
+/// Mutable validity state for one IMCU.
+#[derive(Debug, Default)]
+pub struct Smu {
+    inner: RwLock<SmuState>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct SmuState {
+    /// Rows present in the IMCU whose current version is newer than the
+    /// unit's snapshot: location → earliest invalidating commit SCN.
+    invalid: HashMap<RowLoc, Scn>,
+    /// Rows inserted into covered blocks *after* the unit's snapshot (the
+    /// unit has no rownum for them): location → inserting commit SCN.
+    inserted: HashMap<RowLoc, Scn>,
+    /// Coarse invalidation: the whole unit is unusable (§III.E).
+    all_invalid: bool,
+}
+
+/// A consistent read-only view of an SMU, taken once per scan.
+#[derive(Debug, Clone)]
+pub struct SmuView {
+    state: SmuState,
+}
+
+/// Borrowed, lock-held SMU view (no cloning).
+pub struct SmuReadGuard<'a> {
+    guard: parking_lot::RwLockReadGuard<'a, SmuState>,
+}
+
+impl SmuReadGuard<'_> {
+    /// Is the whole unit invalid?
+    pub fn all_invalid(&self) -> bool {
+        self.guard.all_invalid
+    }
+
+    /// Is this IMCU row stale? (see [`SmuView::is_invalid`])
+    pub fn is_invalid(&self, loc: RowLoc) -> bool {
+        self.guard.all_invalid
+            || self.guard.invalid.contains_key(&loc)
+            || self.guard.inserted.contains_key(&loc)
+    }
+
+    /// Copy out the fallback locations (invalidated rows + post-snapshot
+    /// inserts).
+    pub fn collect_fallback(&self, out: &mut Vec<RowLoc>) {
+        out.extend(self.guard.invalid.keys().copied());
+        out.extend(self.guard.inserted.keys().copied());
+    }
+
+    /// Total fallback locations.
+    pub fn fallback_count(&self) -> usize {
+        self.guard.invalid.len() + self.guard.inserted.len()
+    }
+}
+
+impl SmuView {
+    /// Is the whole unit invalid?
+    pub fn all_invalid(&self) -> bool {
+        self.state.all_invalid
+    }
+
+    /// Is this IMCU row stale?
+    ///
+    /// Checks the insert map too: after a repopulation carry-over, a
+    /// location first seen as a post-snapshot insert may now be present in
+    /// the rebuilt unit while still carrying a newer change — it must be
+    /// served from the row-store, not from the unit.
+    pub fn is_invalid(&self, loc: RowLoc) -> bool {
+        self.state.all_invalid
+            || self.state.invalid.contains_key(&loc)
+            || self.state.inserted.contains_key(&loc)
+    }
+
+    /// Locations needing row-store fallback: every invalidated row plus
+    /// every post-snapshot insert into covered blocks.
+    pub fn fallback_locs(&self) -> impl Iterator<Item = RowLoc> + '_ {
+        self.state.invalid.keys().chain(self.state.inserted.keys()).copied()
+    }
+
+    /// Number of invalidated IMCU rows.
+    pub fn invalid_count(&self) -> usize {
+        self.state.invalid.len()
+    }
+
+    /// Number of tracked post-snapshot inserts.
+    pub fn inserted_count(&self) -> usize {
+        self.state.inserted.len()
+    }
+}
+
+impl Smu {
+    /// Fresh, fully-valid SMU.
+    pub fn new() -> Smu {
+        Smu::default()
+    }
+
+    /// Mark an IMCU row stale as of `commit_scn` (invalidation flush).
+    ///
+    /// Repeated invalidations keep the *latest* commit SCN: a rebuild at
+    /// snapshot `S` absorbs changes committed at or before `S`, so an entry
+    /// must survive carry-over iff its newest invalidating commit is > `S`.
+    pub fn invalidate_row(&self, loc: RowLoc, commit_scn: Scn) {
+        let mut s = self.inner.write();
+        let e = s.invalid.entry(loc).or_insert(commit_scn);
+        *e = (*e).max(commit_scn);
+    }
+
+    /// Record a post-snapshot insert into a covered block. Later changes to
+    /// the same inserted row keep the latest commit SCN (same carry-over
+    /// rule as `invalidate_row`).
+    pub fn record_insert(&self, loc: RowLoc, commit_scn: Scn) {
+        let mut s = self.inner.write();
+        let e = s.inserted.entry(loc).or_insert(commit_scn);
+        *e = (*e).max(commit_scn);
+    }
+
+    /// Coarse invalidation: disable the whole unit (§III.E).
+    pub fn mark_all_invalid(&self) {
+        self.inner.write().all_invalid = true;
+    }
+
+    /// Snapshot the state for one scan (clones the maps — use
+    /// [`Smu::read`] on hot paths).
+    pub fn view(&self) -> SmuView {
+        SmuView { state: self.inner.read().clone() }
+    }
+
+    /// Lock-held view for the scan hot path: no map cloning. The guard
+    /// blocks invalidation flushes for its (short) lifetime, mirroring the
+    /// SMU latch scans and flushes share in the paper's design (§II.B:
+    /// "SMUs provide concurrency control").
+    pub fn read(&self) -> SmuReadGuard<'_> {
+        SmuReadGuard { guard: self.inner.read() }
+    }
+
+    /// Fraction of the unit's `rows` that are stale (repopulation
+    /// heuristic input). Post-snapshot inserts count toward staleness: they
+    /// force row-store fallbacks just like invalid rows.
+    pub fn staleness(&self, rows: usize) -> f64 {
+        let s = self.inner.read();
+        if s.all_invalid {
+            return 1.0;
+        }
+        if rows == 0 {
+            // An empty unit with tracked inserts is pure fallback: fully stale.
+            return if s.inserted.is_empty() { 0.0 } else { 1.0 };
+        }
+        (s.invalid.len() + s.inserted.len()) as f64 / rows as f64
+    }
+
+    /// Build the successor SMU for a unit rebuilt at snapshot `rebuild`:
+    /// keep only entries whose commit SCN is newer than the rebuild
+    /// snapshot (older ones are absorbed into the new unit's data).
+    pub fn carry_over(&self, rebuild: Scn) -> Smu {
+        let s = self.inner.read();
+        let mut fresh = SmuState::default();
+        for (&loc, &scn) in &s.invalid {
+            if scn > rebuild {
+                fresh.invalid.insert(loc, scn);
+            }
+        }
+        for (&loc, &scn) in &s.inserted {
+            if scn > rebuild {
+                fresh.inserted.insert(loc, scn);
+            }
+        }
+        Smu { inner: RwLock::new(fresh) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imadg_common::Dba;
+
+    fn loc(d: u64, s: u16) -> RowLoc {
+        RowLoc { dba: Dba(d), slot: s }
+    }
+
+    #[test]
+    fn invalidate_and_view() {
+        let smu = Smu::new();
+        smu.invalidate_row(loc(1, 0), Scn(10));
+        let v = smu.view();
+        assert!(v.is_invalid(loc(1, 0)));
+        assert!(!v.is_invalid(loc(1, 1)));
+        assert_eq!(v.invalid_count(), 1);
+        assert_eq!(v.fallback_locs().count(), 1);
+    }
+
+    #[test]
+    fn repeated_invalidation_keeps_latest_scn() {
+        let smu = Smu::new();
+        smu.invalidate_row(loc(1, 0), Scn(10));
+        smu.invalidate_row(loc(1, 0), Scn(20));
+        // A rebuild at 15 absorbs the SCN-10 change but NOT the SCN-20 one:
+        // the entry must survive carry-over.
+        let fresh = smu.carry_over(Scn(15));
+        assert_eq!(fresh.view().invalid_count(), 1);
+        // A rebuild at 25 absorbs both.
+        assert_eq!(smu.carry_over(Scn(25)).view().invalid_count(), 0);
+    }
+
+    #[test]
+    fn inserts_tracked_and_treated_invalid() {
+        let smu = Smu::new();
+        smu.record_insert(loc(2, 3), Scn(8));
+        let v = smu.view();
+        assert!(
+            v.is_invalid(loc(2, 3)),
+            "an inserted loc must never be served from a unit that holds it (carry-over case)"
+        );
+        assert_eq!(v.inserted_count(), 1);
+        assert_eq!(v.invalid_count(), 0);
+        assert_eq!(v.fallback_locs().count(), 1);
+    }
+
+    #[test]
+    fn staleness_fraction() {
+        let smu = Smu::new();
+        assert_eq!(smu.staleness(100), 0.0);
+        for i in 0..10 {
+            smu.invalidate_row(loc(1, i), Scn(5));
+        }
+        smu.record_insert(loc(9, 0), Scn(6));
+        assert!((smu.staleness(100) - 0.11).abs() < 1e-9);
+        smu.mark_all_invalid();
+        assert_eq!(smu.staleness(100), 1.0);
+    }
+
+    #[test]
+    fn staleness_of_empty_unit() {
+        let smu = Smu::new();
+        assert_eq!(smu.staleness(0), 0.0);
+        smu.record_insert(loc(1, 0), Scn(5));
+        assert_eq!(smu.staleness(0), 1.0, "inserts force fallback on an empty unit");
+    }
+
+    #[test]
+    fn carry_over_splits_on_rebuild_scn() {
+        let smu = Smu::new();
+        smu.invalidate_row(loc(1, 0), Scn(10));
+        smu.invalidate_row(loc(1, 1), Scn(30));
+        smu.record_insert(loc(1, 2), Scn(10));
+        smu.record_insert(loc(1, 3), Scn(30));
+        let fresh = smu.carry_over(Scn(20));
+        let v = fresh.view();
+        assert!(!v.is_invalid(loc(1, 0)), "absorbed by rebuild");
+        assert!(v.is_invalid(loc(1, 1)), "newer than rebuild: carried");
+        assert_eq!(v.inserted_count(), 1);
+        assert!(!v.all_invalid());
+    }
+
+    #[test]
+    fn all_invalid_dominates() {
+        let smu = Smu::new();
+        smu.mark_all_invalid();
+        let v = smu.view();
+        assert!(v.all_invalid());
+        assert!(v.is_invalid(loc(42, 42)));
+    }
+}

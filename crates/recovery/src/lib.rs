@@ -1,0 +1,21 @@
+//! `imadg-recovery`: standby media recovery (parallel redo apply).
+//!
+//! Implements the paper's §II.A machinery: the SCN-ordered merge output is
+//! hash-partitioned across recovery workers (Fig. 3); a coordinator tracks
+//! worker progress and establishes consistency points published as the
+//! QuerySCN, flushing column-store invalidations under the quiesce lock
+//! before each publish (§III.A, §III.D).
+
+pub mod coordinator;
+pub mod dispatch;
+pub mod observer;
+pub mod pipeline;
+pub mod progress;
+pub mod worker;
+
+pub use coordinator::{AdvanceHook, Coordinator, NoopAdvanceHook};
+pub use dispatch::Dispatcher;
+pub use observer::{ApplyObserver, CoopHelper, NoopHelper, NoopObserver};
+pub use pipeline::{MediaRecovery, RecoveryThreads};
+pub use progress::Progress;
+pub use worker::{work_queue, WorkItem, Worker};

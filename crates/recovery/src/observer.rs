@@ -1,0 +1,66 @@
+//! Observation hooks on the redo apply path.
+//!
+//! The DBIM-on-ADG Mining Component "piggybacks on the recovery workers to
+//! sniff each CV" (paper §III.B). Rather than hard-wiring the column-store
+//! into media recovery, workers invoke an [`ApplyObserver`] for every
+//! record they apply; the mining component (in `imadg-core`) implements it.
+
+use imadg_common::{Scn, TenantId, TxnId, WorkerId};
+use imadg_redo::{CommitRecord, RedoMarker};
+use imadg_storage::ChangeVector;
+
+/// Callbacks fired by recovery workers as they apply redo.
+///
+/// Implementations must be cheap and thread-safe: they run on the apply
+/// critical path, and the design goal is "extremely thin layers of overhead
+/// on the ADG architecture" (paper §I).
+pub trait ApplyObserver: Send + Sync {
+    /// A data change vector was applied by `worker` at `scn`.
+    fn on_change(&self, worker: WorkerId, cv: &ChangeVector, scn: Scn) {
+        let _ = (worker, cv, scn);
+    }
+
+    /// A transaction-begin control record was applied.
+    fn on_begin(&self, worker: WorkerId, txn: TxnId, tenant: TenantId, scn: Scn) {
+        let _ = (worker, txn, tenant, scn);
+    }
+
+    /// A commit record was applied.
+    fn on_commit(&self, worker: WorkerId, record: &CommitRecord) {
+        let _ = (worker, record);
+    }
+
+    /// An abort record was applied.
+    fn on_abort(&self, worker: WorkerId, txn: TxnId, tenant: TenantId) {
+        let _ = (worker, txn, tenant);
+    }
+
+    /// A DDL redo marker was applied at `scn`.
+    fn on_marker(&self, worker: WorkerId, marker: &RedoMarker, scn: Scn) {
+        let _ = (worker, marker, scn);
+    }
+}
+
+/// Observer that ignores everything (recovery without DBIM-on-ADG — the
+/// baseline configuration of the paper's experiments).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl ApplyObserver for NoopObserver {}
+
+/// Cooperative-flush participation hook (paper §III.D.2): recovery workers
+/// "periodically check if a worklink has been created" and help drain it.
+pub trait CoopHelper: Send + Sync {
+    /// Flush up to `budget` worklink nodes; returns how many were flushed.
+    fn help_flush(&self, budget: usize) -> usize;
+}
+
+/// Helper that never has work (baseline / cooperative flush disabled).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopHelper;
+
+impl CoopHelper for NoopHelper {
+    fn help_flush(&self, _budget: usize) -> usize {
+        0
+    }
+}

@@ -1,0 +1,235 @@
+//! Media-recovery pipeline assembly: receivers → log merger → dispatcher →
+//! recovery workers → coordinator.
+//!
+//! The pipeline runs in two modes with identical logic:
+//! * **step mode** — [`MediaRecovery::pump`] drains every stage on the
+//!   caller's thread, deterministically (tests);
+//! * **threaded mode** — [`MediaRecovery::start`] spawns one ingest/
+//!   coordinator thread plus one thread per recovery worker (workload
+//!   experiments).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use imadg_common::{
+    CpuAccount, QueryScnCell, QuiesceLock, RecoveryConfig, Result, Scn, WorkerId,
+};
+use imadg_redo::{LogMerger, RedoReceiver};
+use imadg_storage::Store;
+use parking_lot::Mutex;
+
+use crate::coordinator::{AdvanceHook, Coordinator};
+use crate::dispatch::Dispatcher;
+use crate::observer::{ApplyObserver, CoopHelper};
+use crate::progress::Progress;
+use crate::worker::{work_queue, Worker};
+
+/// The standby's media-recovery engine.
+pub struct MediaRecovery {
+    receivers: Mutex<Vec<RedoReceiver>>,
+    merger: Mutex<LogMerger>,
+    dispatcher: Mutex<Dispatcher>,
+    workers: Vec<Arc<Mutex<Worker>>>,
+    progress: Arc<Progress>,
+    coordinator: Arc<Coordinator>,
+    /// Busy time of the ingest/merge/dispatch stage.
+    pub ingest_cpu: CpuAccount,
+}
+
+impl MediaRecovery {
+    /// Assemble the pipeline.
+    ///
+    /// * `receivers` — one per primary redo thread (RAC streams).
+    /// * `observers` — mining hooks fired by every worker.
+    /// * `coop` — cooperative-flush helper, or `None` when DBIM-on-ADG is
+    ///   disabled / cooperative flush is ablated.
+    /// * `hook` — the invalidation flush run during QuerySCN advancement.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        config: &RecoveryConfig,
+        store: Arc<Store>,
+        receivers: Vec<RedoReceiver>,
+        observers: Vec<Arc<dyn ApplyObserver>>,
+        coop: Option<Arc<dyn CoopHelper>>,
+        hook: Arc<dyn AdvanceHook>,
+        query_scn: Arc<QueryScnCell>,
+        quiesce: Arc<QuiesceLock>,
+    ) -> Result<Arc<MediaRecovery>> {
+        config.validate()?;
+        let streams = receivers.len().max(1);
+        let progress = Arc::new(Progress::new(config.workers));
+        let mut senders = Vec::with_capacity(config.workers);
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let (tx, rx) = work_queue();
+            senders.push(tx);
+            let mut w = Worker::new(WorkerId(i as u16), rx, store.clone(), observers.clone());
+            if let Some(h) = &coop {
+                if config.cooperative_flush {
+                    w.set_coop(h.clone(), 64, config.coop_flush_batch);
+                }
+            }
+            workers.push(Arc::new(Mutex::new(w)));
+        }
+        let coordinator = Arc::new(Coordinator::new(
+            progress.clone(),
+            query_scn,
+            quiesce,
+            hook,
+        ));
+        Ok(Arc::new(MediaRecovery {
+            receivers: Mutex::new(receivers),
+            merger: Mutex::new(LogMerger::new(streams)),
+            dispatcher: Mutex::new(Dispatcher::new(senders)),
+            workers,
+            progress,
+            coordinator,
+            ingest_cpu: CpuAccount::new(),
+        }))
+    }
+
+    /// The coordinator (QuerySCN access, advancement stats).
+    pub fn coordinator(&self) -> &Arc<Coordinator> {
+        &self.coordinator
+    }
+
+    /// Shared apply-progress tracker.
+    pub fn progress(&self) -> &Arc<Progress> {
+        &self.progress
+    }
+
+    /// Per-worker CPU accounts (apply busy time).
+    pub fn worker_cpu(&self) -> Vec<CpuAccount> {
+        self.workers.iter().map(|w| w.lock().cpu.clone()).collect()
+    }
+
+    /// Ingest available redo from the transport into the merger and
+    /// dispatch whatever became releasable. Returns items dispatched.
+    pub fn ingest_once(&self) -> Result<usize> {
+        let _t = self.ingest_cpu.timer();
+        let mut receivers = self.receivers.lock();
+        let mut merger = self.merger.lock();
+        for (i, rx) in receivers.iter_mut().enumerate() {
+            let records = rx.drain_ready()?;
+            if !records.is_empty() {
+                merger.push(i, records);
+            }
+        }
+        let ready = merger.pop_ready();
+        drop(merger);
+        drop(receivers);
+        if ready.is_empty() {
+            return Ok(0);
+        }
+        self.dispatcher.lock().dispatch(ready)
+    }
+
+    /// Run every worker's queue to exhaustion (step mode).
+    pub fn drain_workers(&self) -> Result<usize> {
+        let mut total = 0usize;
+        for w in &self.workers {
+            let mut guard = w.lock();
+            let n = guard.run_batch(usize::MAX)?;
+            self.progress.report(guard.id, guard.applied_through());
+            total += n;
+        }
+        Ok(total)
+    }
+
+    /// One full synchronous pass: ingest → apply → advance. Returns true
+    /// when any stage made progress.
+    pub fn pump(&self) -> Result<bool> {
+        let dispatched = self.ingest_once()?;
+        let applied = self.drain_workers()?;
+        let advanced = self.coordinator.try_advance().is_some();
+        Ok(dispatched > 0 || applied > 0 || advanced)
+    }
+
+    /// Pump until the pipeline is fully drained (step mode).
+    pub fn pump_until_idle(&self) -> Result<()> {
+        while self.pump()? {}
+        Ok(())
+    }
+
+    /// Spawn background threads: one ingest/coordinator loop plus one loop
+    /// per worker. Returns a guard that stops and joins them on drop.
+    pub fn start(self: &Arc<Self>) -> RecoveryThreads {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+
+        // Ingest + coordinator loop (the "recovery coordinator process").
+        {
+            let me = self.clone();
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let moved = me.ingest_once().expect("redo ingest failed") > 0;
+                    let advanced = me.coordinator.try_advance().is_some();
+                    if !moved && !advanced {
+                        std::thread::sleep(Duration::from_micros(500));
+                    }
+                }
+            }));
+        }
+
+        // Worker loops.
+        for w in &self.workers {
+            let w = w.clone();
+            let progress = self.progress.clone();
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let mut guard = w.lock();
+                    let n = guard.run_batch(1024).expect("redo apply failed");
+                    let (id, through) = (guard.id, guard.applied_through());
+                    drop(guard);
+                    progress.report(id, through);
+                    if n == 0 {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }));
+        }
+
+        RecoveryThreads { stop, handles }
+    }
+
+    /// Applied SCN (the coordinator's consistency-point candidate).
+    pub fn applied_scn(&self) -> Scn {
+        self.progress.min()
+    }
+
+    /// Detach the redo receivers from this (stopped) pipeline so a restarted
+    /// standby instance can resume recovery on the same links. Models an
+    /// ADG instance restart: storage persists, in-memory state is lost.
+    pub fn take_receivers(&self) -> Vec<RedoReceiver> {
+        std::mem::take(&mut *self.receivers.lock())
+    }
+}
+
+/// Guard over the pipeline's background threads.
+pub struct RecoveryThreads {
+    stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl RecoveryThreads {
+    /// Signal all threads to stop and join them.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RecoveryThreads {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! `imadg-redo`: the redo layer.
+//!
+//! Change vectors are defined by `imadg-storage`; this crate wraps them in
+//! redo records with transaction control information (begin / commit /
+//! abort), DDL redo markers, per-thread log buffers with latched SCN
+//! allocation, the shipping transport with simulated network latency, and
+//! the standby-side SCN-ordered log merger (paper §II.A, §III.E, §III.G).
+
+pub mod log_buffer;
+pub mod marker;
+pub mod merger;
+pub mod record;
+pub mod transport;
+
+pub use log_buffer::{LogBuffer, LogStats};
+pub use marker::{DdlKind, RedoMarker};
+pub use merger::LogMerger;
+pub use record::{CommitRecord, RedoPayload, RedoRecord};
+pub use transport::{redo_link, RedoReceiver, RedoSender, Shipper};

@@ -1,0 +1,71 @@
+//! DDL redo markers.
+//!
+//! DBIM-on-ADG introduces *redo markers* — records "similar to redo records
+//! but used to indicate changes to non-persistent objects" (paper §III.G).
+//! The standby's mining component buffers marker information in the DDL
+//! Information Table and drops affected IMCUs when the QuerySCN advances
+//! past the DDL.
+
+use imadg_common::{ObjectId, TenantId};
+use imadg_storage::{ColumnType, TableSpec};
+
+/// The DDL operation a marker describes.
+#[derive(Debug, Clone)]
+pub enum DdlKind {
+    /// CREATE TABLE: the standby registers the object in its dictionary.
+    CreateTable(TableSpec),
+    /// Dictionary-only ADD COLUMN.
+    AddColumn {
+        /// New column name.
+        name: String,
+        /// New column type.
+        ctype: ColumnType,
+    },
+    /// Dictionary-only DROP COLUMN.
+    DropColumn {
+        /// Dropped column name.
+        name: String,
+    },
+    /// `ALTER TABLE ... [NO] INMEMORY` issued on the primary: propagated so
+    /// the standby can drop IMCUs when the object leaves the in-memory set.
+    SetInMemory {
+        /// New enablement state.
+        enabled: bool,
+    },
+}
+
+impl DdlKind {
+    /// Does this DDL change the object's definition in a way that
+    /// invalidates existing IMCUs (schema shape change)?
+    pub fn changes_definition(&self) -> bool {
+        matches!(
+            self,
+            DdlKind::AddColumn { .. } | DdlKind::DropColumn { .. } | DdlKind::SetInMemory { enabled: false }
+        )
+    }
+}
+
+/// A redo marker: DDL metadata travelling inside the redo stream.
+#[derive(Debug, Clone)]
+pub struct RedoMarker {
+    /// Object the DDL targets.
+    pub object: ObjectId,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// The operation.
+    pub ddl: DdlKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn definition_change_classification() {
+        assert!(DdlKind::DropColumn { name: "c".into() }.changes_definition());
+        assert!(DdlKind::AddColumn { name: "c".into(), ctype: ColumnType::Int }
+            .changes_definition());
+        assert!(DdlKind::SetInMemory { enabled: false }.changes_definition());
+        assert!(!DdlKind::SetInMemory { enabled: true }.changes_definition());
+    }
+}

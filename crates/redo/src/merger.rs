@@ -1,0 +1,182 @@
+//! The standby Log Merger.
+//!
+//! "On the Standby instance, a Log Merger process orders the redo records
+//! based on their SCN" (paper §II.A). With a RAC primary, several redo
+//! threads generate interleaved streams; the merger buffers each stream and
+//! releases records in global SCN order, bounded by the *watermark* — the
+//! minimum SCN every stream is known to have reached. Idle streams advance
+//! the watermark through heartbeat records.
+
+use std::collections::VecDeque;
+
+use imadg_common::Scn;
+
+use crate::record::{RedoPayload, RedoRecord};
+
+#[derive(Debug, Default)]
+struct StreamState {
+    buffer: VecDeque<RedoRecord>,
+    /// Highest SCN seen from this stream (heartbeats included).
+    last_seen: Scn,
+}
+
+/// SCN-merging buffer over N redo streams.
+#[derive(Debug)]
+pub struct LogMerger {
+    streams: Vec<StreamState>,
+    /// Highest SCN ever emitted (merge output is non-decreasing).
+    emitted: Scn,
+}
+
+impl LogMerger {
+    /// Merger over `streams` redo threads.
+    pub fn new(streams: usize) -> Self {
+        assert!(streams > 0, "merger needs at least one stream");
+        LogMerger {
+            streams: (0..streams).map(|_| StreamState::default()).collect(),
+            emitted: Scn::ZERO,
+        }
+    }
+
+    /// Feed records received from stream `idx`. Heartbeats advance the
+    /// stream's watermark contribution and are swallowed; data records are
+    /// buffered for ordered release.
+    pub fn push(&mut self, idx: usize, records: Vec<RedoRecord>) {
+        let s = &mut self.streams[idx];
+        for r in records {
+            debug_assert!(
+                r.scn >= s.last_seen,
+                "streams must deliver in non-decreasing SCN order"
+            );
+            s.last_seen = s.last_seen.max(r.scn);
+            if !matches!(r.payload, RedoPayload::Heartbeat) {
+                s.buffer.push_back(r);
+            }
+        }
+    }
+
+    /// The merge watermark: records at or below it are safe to release.
+    pub fn watermark(&self) -> Scn {
+        self.streams.iter().map(|s| s.last_seen).min().unwrap_or(Scn::ZERO)
+    }
+
+    /// Release the next run of records in global SCN order, up to the
+    /// watermark. Ties across streams break by stream index, keeping the
+    /// output deterministic.
+    pub fn pop_ready(&mut self) -> Vec<RedoRecord> {
+        let watermark = self.watermark();
+        let mut out = Vec::new();
+        loop {
+            let mut best: Option<(usize, Scn)> = None;
+            for (i, s) in self.streams.iter().enumerate() {
+                if let Some(head) = s.buffer.front() {
+                    if head.scn <= watermark
+                        && best.is_none_or(|(_, scn)| head.scn < scn)
+                    {
+                        best = Some((i, head.scn));
+                    }
+                }
+            }
+            match best {
+                Some((i, scn)) => {
+                    debug_assert!(scn >= self.emitted, "merge output must be ordered");
+                    self.emitted = scn;
+                    out.push(self.streams[i].buffer.pop_front().expect("head exists"));
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Records buffered but not yet releasable (waiting on the watermark).
+    pub fn held_back(&self) -> usize {
+        self.streams.iter().map(|s| s.buffer.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imadg_common::RedoThreadId;
+
+    fn rec(thread: u8, scn: u64) -> RedoRecord {
+        RedoRecord {
+            thread: RedoThreadId(thread),
+            scn: Scn(scn),
+            payload: RedoPayload::Change(vec![]),
+        }
+    }
+
+    fn hb(thread: u8, scn: u64) -> RedoRecord {
+        RedoRecord { thread: RedoThreadId(thread), scn: Scn(scn), payload: RedoPayload::Heartbeat }
+    }
+
+    #[test]
+    fn single_stream_passthrough() {
+        let mut m = LogMerger::new(1);
+        m.push(0, vec![rec(1, 1), rec(1, 3), rec(1, 5)]);
+        let out = m.pop_ready();
+        assert_eq!(out.iter().map(|r| r.scn.0).collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn merge_interleaves_two_streams() {
+        let mut m = LogMerger::new(2);
+        m.push(0, vec![rec(1, 1), rec(1, 4)]);
+        m.push(1, vec![rec(2, 2), rec(2, 3)]);
+        let out = m.pop_ready();
+        // Stream 0 reached 4, stream 1 reached 3 → watermark 3.
+        assert_eq!(out.iter().map(|r| r.scn.0).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(m.held_back(), 1, "scn 4 awaits stream 1 progress");
+        // A heartbeat from stream 1 releases it.
+        m.push(1, vec![hb(2, 9)]);
+        let out = m.pop_ready();
+        assert_eq!(out.iter().map(|r| r.scn.0).collect::<Vec<_>>(), vec![4]);
+    }
+
+    #[test]
+    fn empty_stream_holds_everything() {
+        let mut m = LogMerger::new(2);
+        m.push(0, vec![rec(1, 1)]);
+        assert!(m.pop_ready().is_empty(), "stream 1 silent → watermark 0");
+        assert_eq!(m.held_back(), 1);
+    }
+
+    #[test]
+    fn heartbeats_swallowed_but_advance_watermark() {
+        let mut m = LogMerger::new(2);
+        m.push(0, vec![rec(1, 5)]);
+        m.push(1, vec![hb(2, 10)]);
+        let out = m.pop_ready();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].scn, Scn(5));
+        assert_eq!(m.watermark(), Scn(5));
+    }
+
+    #[test]
+    fn output_is_globally_sorted() {
+        let mut m = LogMerger::new(3);
+        m.push(0, vec![rec(1, 2), rec(1, 7), rec(1, 11)]);
+        m.push(1, vec![rec(2, 1), rec(2, 9)]);
+        m.push(2, vec![rec(3, 5), rec(3, 12)]);
+        let out = m.pop_ready();
+        let scns: Vec<u64> = out.iter().map(|r| r.scn.0).collect();
+        let mut sorted = scns.clone();
+        sorted.sort_unstable();
+        assert_eq!(scns, sorted);
+        // Watermark = min(11, 9, 12) = 9 → releasable: 1,2,5,7,9.
+        assert_eq!(scns, vec![1, 2, 5, 7, 9]);
+    }
+
+    #[test]
+    fn tie_breaks_deterministically_by_stream() {
+        let mut m = LogMerger::new(2);
+        m.push(0, vec![rec(1, 5)]);
+        m.push(1, vec![rec(2, 5)]);
+        let out = m.pop_ready();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].thread, RedoThreadId(1));
+        assert_eq!(out[1].thread, RedoThreadId(2));
+    }
+}

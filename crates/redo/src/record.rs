@@ -1,0 +1,154 @@
+//! Redo records: the units shipped from the primary to the standby.
+//!
+//! A redo record groups change vectors generated at one SCN (paper §II.A).
+//! Transaction control information — begin, commit, abort — travels as
+//! dedicated records; the commit record carries the commit SCN and, with
+//! *specialized redo generation* enabled (§III.E), a flag saying whether the
+//! transaction modified any object enabled for in-memory population.
+
+use imadg_common::{RedoThreadId, Scn, TenantId, TxnId};
+use imadg_storage::{ChangeOp, ChangeVector, Value};
+
+use crate::marker::RedoMarker;
+
+/// A transaction's commit record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitRecord {
+    /// Committing transaction.
+    pub txn: TxnId,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// The commit SCN: the database time at which the transaction's changes
+    /// become atomically visible.
+    pub commit_scn: Scn,
+    /// Specialized redo annotation: `Some(true)` when the transaction
+    /// modified an in-memory-enabled object, `Some(false)` when it did not,
+    /// `None` when annotation is disabled on the primary (the standby must
+    /// then assume pessimistically, §III.E).
+    pub modified_inmemory: Option<bool>,
+}
+
+/// Payload of one redo record.
+#[derive(Debug, Clone)]
+pub enum RedoPayload {
+    /// Transaction begin control record.
+    Begin {
+        /// The starting transaction.
+        txn: TxnId,
+        /// Owning tenant.
+        tenant: TenantId,
+    },
+    /// Data changes: all CVs were generated at this record's SCN.
+    Change(Vec<ChangeVector>),
+    /// Transaction commit ("a commit CV applied to a special block").
+    Commit(CommitRecord),
+    /// Transaction rollback.
+    Abort {
+        /// The aborting transaction.
+        txn: TxnId,
+        /// Owning tenant.
+        tenant: TenantId,
+    },
+    /// DDL redo marker (changes to non-persistent structures, §III.G).
+    Marker(RedoMarker),
+    /// SCN heartbeat: lets the standby's log merger advance its watermark
+    /// past idle redo threads (RAC instances write periodic heartbeat redo).
+    Heartbeat,
+}
+
+/// One redo record.
+#[derive(Debug, Clone)]
+pub struct RedoRecord {
+    /// Generating redo thread (one per primary RAC instance).
+    pub thread: RedoThreadId,
+    /// SCN at which the record's changes were made.
+    pub scn: Scn,
+    /// The payload.
+    pub payload: RedoPayload,
+}
+
+impl RedoRecord {
+    /// Approximate wire size in bytes, for log-advancement plots (Fig. 11).
+    pub fn approx_bytes(&self) -> usize {
+        const HEADER: usize = 24;
+        HEADER
+            + match &self.payload {
+                RedoPayload::Begin { .. } | RedoPayload::Abort { .. } => 16,
+                RedoPayload::Commit(_) => 32,
+                RedoPayload::Heartbeat => 8,
+                RedoPayload::Marker(_) => 64,
+                RedoPayload::Change(cvs) => cvs.iter().map(cv_bytes).sum(),
+            }
+    }
+
+    /// The transaction this record belongs to, for control records.
+    pub fn control_txn(&self) -> Option<TxnId> {
+        match &self.payload {
+            RedoPayload::Begin { txn, .. } | RedoPayload::Abort { txn, .. } => Some(*txn),
+            RedoPayload::Commit(c) => Some(c.txn),
+            _ => None,
+        }
+    }
+}
+
+fn cv_bytes(cv: &ChangeVector) -> usize {
+    const CV_HEADER: usize = 40;
+    CV_HEADER
+        + match &cv.op {
+            ChangeOp::Format { .. } => 8,
+            ChangeOp::Delete { .. } => 8,
+            ChangeOp::Insert { row, .. } | ChangeOp::Update { row, .. } => {
+                8 + row
+                    .values()
+                    .iter()
+                    .map(|v| match v {
+                        Value::Null => 1,
+                        Value::Int(_) => 9,
+                        Value::Str(s) => 3 + s.len(),
+                    })
+                    .sum::<usize>()
+            }
+        }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imadg_common::{Dba, ObjectId};
+    use imadg_storage::Row;
+
+    fn rec(payload: RedoPayload) -> RedoRecord {
+        RedoRecord { thread: RedoThreadId(1), scn: Scn(10), payload }
+    }
+
+    #[test]
+    fn control_txn_extraction() {
+        let t = TxnId(5);
+        assert_eq!(rec(RedoPayload::Begin { txn: t, tenant: TenantId::DEFAULT }).control_txn(), Some(t));
+        assert_eq!(rec(RedoPayload::Abort { txn: t, tenant: TenantId::DEFAULT }).control_txn(), Some(t));
+        let c = CommitRecord { txn: t, tenant: TenantId::DEFAULT, commit_scn: Scn(10), modified_inmemory: Some(true) };
+        assert_eq!(rec(RedoPayload::Commit(c)).control_txn(), Some(t));
+        assert_eq!(rec(RedoPayload::Heartbeat).control_txn(), None);
+        assert_eq!(rec(RedoPayload::Change(vec![])).control_txn(), None);
+    }
+
+    #[test]
+    fn sizes_scale_with_row_payload() {
+        let small = rec(RedoPayload::Change(vec![ChangeVector {
+            dba: Dba(1),
+            object: ObjectId(1),
+            tenant: TenantId::DEFAULT,
+            txn: TxnId(1),
+            op: ChangeOp::Insert { slot: 0, row: Row::new(vec![Value::Int(1)]) },
+        }]));
+        let big = rec(RedoPayload::Change(vec![ChangeVector {
+            dba: Dba(1),
+            object: ObjectId(1),
+            tenant: TenantId::DEFAULT,
+            txn: TxnId(1),
+            op: ChangeOp::Insert { slot: 0, row: Row::new(vec![Value::str("x".repeat(100))]) },
+        }]));
+        assert!(big.approx_bytes() > small.approx_bytes());
+        assert!(rec(RedoPayload::Heartbeat).approx_bytes() < small.approx_bytes());
+    }
+}

@@ -1,0 +1,216 @@
+//! Redo shipping: the simulated network between primary and standby.
+//!
+//! The paper's primary ships redo over TCP/IP to a typically remote standby
+//! (§I). We model the link as an in-process channel with a configurable
+//! one-way latency; batches become visible to the receiver only after their
+//! `available_at` deadline, which reproduces shipping delay without real
+//! sockets (see DESIGN.md substitutions).
+
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use imadg_common::{Error, Result, Scn};
+
+use crate::log_buffer::LogBuffer;
+use crate::record::{RedoPayload, RedoRecord};
+
+struct Batch {
+    records: Vec<RedoRecord>,
+    available_at: Instant,
+}
+
+/// Sending half of a redo link.
+#[derive(Clone)]
+pub struct RedoSender {
+    tx: Sender<Batch>,
+    latency: Duration,
+}
+
+impl RedoSender {
+    /// Ship a batch of records.
+    pub fn send(&self, records: Vec<RedoRecord>) -> Result<()> {
+        self.tx
+            .send(Batch { records, available_at: Instant::now() + self.latency })
+            .map_err(|_| Error::TransportClosed)
+    }
+}
+
+/// Receiving half of a redo link. Single-consumer: owned by the standby's
+/// log merger pump.
+pub struct RedoReceiver {
+    rx: Receiver<Batch>,
+    /// A batch whose latency deadline has not yet passed.
+    pending: Option<Batch>,
+}
+
+impl RedoReceiver {
+    /// Non-blocking receive honouring shipping latency. `Ok(None)` means
+    /// nothing is deliverable right now.
+    pub fn try_recv(&mut self) -> Result<Option<Vec<RedoRecord>>> {
+        let batch = match self.pending.take() {
+            Some(b) => b,
+            None => match self.rx.try_recv() {
+                Ok(b) => b,
+                Err(TryRecvError::Empty) => return Ok(None),
+                Err(TryRecvError::Disconnected) => return Err(Error::TransportClosed),
+            },
+        };
+        if batch.available_at <= Instant::now() {
+            Ok(Some(batch.records))
+        } else {
+            self.pending = Some(batch);
+            Ok(None)
+        }
+    }
+
+    /// Drain everything currently deliverable.
+    pub fn drain_ready(&mut self) -> Result<Vec<RedoRecord>> {
+        let mut out = Vec::new();
+        while let Some(mut records) = self.try_recv()? {
+            out.append(&mut records);
+        }
+        Ok(out)
+    }
+}
+
+/// Create a redo link with the given one-way latency.
+pub fn redo_link(latency: Duration) -> (RedoSender, RedoReceiver) {
+    let (tx, rx) = unbounded();
+    (RedoSender { tx, latency }, RedoReceiver { rx, pending: None })
+}
+
+/// The shipping process of one redo thread: drains the log buffer into the
+/// link, emitting an SCN heartbeat when the buffer is idle so the standby's
+/// merge watermark keeps advancing.
+pub struct Shipper {
+    batch: usize,
+}
+
+impl Shipper {
+    /// Shipper draining up to `batch` records per call.
+    pub fn new(batch: usize) -> Self {
+        Shipper { batch: batch.max(1) }
+    }
+
+    /// Ship one batch. `current_scn` stamps the heartbeat when the buffer
+    /// is empty. Returns the number of data records shipped.
+    pub fn ship_once(
+        &self,
+        buffer: &LogBuffer,
+        sender: &RedoSender,
+        current_scn: Scn,
+    ) -> Result<usize> {
+        let records = buffer.drain(self.batch);
+        if records.is_empty() {
+            if current_scn > Scn::ZERO {
+                sender.send(vec![RedoRecord {
+                    thread: buffer.thread(),
+                    scn: current_scn,
+                    payload: RedoPayload::Heartbeat,
+                }])?;
+            }
+            return Ok(0);
+        }
+        let n = records.len();
+        sender.send(records)?;
+        Ok(n)
+    }
+
+    /// Ship until the buffer is drained (step-mode pump).
+    pub fn ship_all(
+        &self,
+        buffer: &LogBuffer,
+        sender: &RedoSender,
+        current_scn: Scn,
+    ) -> Result<usize> {
+        let mut total = 0;
+        loop {
+            let records = buffer.drain(self.batch);
+            if records.is_empty() {
+                break;
+            }
+            total += records.len();
+            sender.send(records)?;
+        }
+        if total == 0 && current_scn > Scn::ZERO {
+            sender.send(vec![RedoRecord {
+                thread: buffer.thread(),
+                scn: current_scn,
+                payload: RedoPayload::Heartbeat,
+            }])?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imadg_common::{RedoThreadId, ScnService};
+
+    fn hb(scn: u64) -> RedoRecord {
+        RedoRecord { thread: RedoThreadId(1), scn: Scn(scn), payload: RedoPayload::Heartbeat }
+    }
+
+    #[test]
+    fn zero_latency_delivers_immediately() {
+        let (tx, mut rx) = redo_link(Duration::ZERO);
+        tx.send(vec![hb(1), hb(2)]).unwrap();
+        assert_eq!(rx.drain_ready().unwrap().len(), 2);
+        assert!(rx.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let (tx, mut rx) = redo_link(Duration::from_millis(30));
+        tx.send(vec![hb(1)]).unwrap();
+        assert!(rx.try_recv().unwrap().is_none(), "not deliverable yet");
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(rx.try_recv().unwrap().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn ordering_preserved_across_batches() {
+        let (tx, mut rx) = redo_link(Duration::ZERO);
+        tx.send(vec![hb(1)]).unwrap();
+        tx.send(vec![hb(2)]).unwrap();
+        let got = rx.drain_ready().unwrap();
+        assert_eq!(got.iter().map(|r| r.scn.0).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn closed_link_errors() {
+        let (tx, rx) = redo_link(Duration::ZERO);
+        drop(rx);
+        assert!(tx.send(vec![hb(1)]).is_err());
+    }
+
+    #[test]
+    fn shipper_heartbeats_idle_buffer() {
+        let scns = ScnService::new();
+        scns.next(); // advance database time
+        let buf = LogBuffer::new(RedoThreadId(1));
+        let (tx, mut rx) = redo_link(Duration::ZERO);
+        let shipper = Shipper::new(8);
+        let shipped = shipper.ship_once(&buf, &tx, scns.current()).unwrap();
+        assert_eq!(shipped, 0);
+        let got = rx.drain_ready().unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(matches!(got[0].payload, RedoPayload::Heartbeat));
+        assert_eq!(got[0].scn, Scn(1));
+    }
+
+    #[test]
+    fn shipper_drains_buffer() {
+        let scns = ScnService::new();
+        let buf = LogBuffer::new(RedoThreadId(1));
+        for _ in 0..20 {
+            buf.log_with(&scns, |_| RedoPayload::Heartbeat);
+        }
+        let (tx, mut rx) = redo_link(Duration::ZERO);
+        let shipped = Shipper::new(8).ship_all(&buf, &tx, scns.current()).unwrap();
+        assert_eq!(shipped, 20);
+        assert_eq!(rx.drain_ready().unwrap().len(), 20);
+        assert_eq!(buf.pending(), 0);
+    }
+}

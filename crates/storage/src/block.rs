@@ -1,0 +1,304 @@
+//! Data blocks with per-row version chains.
+//!
+//! A block is the unit redo change vectors target (one CV per DBA). Each
+//! row slot carries a chain of versions; visibility is resolved against the
+//! transaction table per Oracle's Consistent Read model — a statement at
+//! snapshot SCN `S` sees, for each slot, the newest version whose
+//! transaction committed at or before `S`.
+//!
+//! The primary prevents write-write anomalies with row locks held to commit
+//! (an uncommitted head version blocks other writers), so commit SCNs along
+//! a chain are monotonically increasing and a newest-first walk is correct.
+
+use imadg_common::{Dba, Error, ObjectId, Result, Scn, SlotId, TxnId};
+
+use crate::row::Row;
+use crate::txn_table::{TxnState, TxnTable};
+
+/// One version of a row. `data == None` encodes a delete.
+#[derive(Debug, Clone)]
+pub struct RowVersion {
+    /// The transaction that wrote this version.
+    pub txn: TxnId,
+    /// SCN of the redo record that carried this change.
+    pub scn: Scn,
+    /// Row image; `None` marks the row deleted by `txn`.
+    pub data: Option<Row>,
+}
+
+/// A chain of versions for one slot, oldest first.
+#[derive(Debug, Clone, Default)]
+pub struct VersionChain {
+    versions: Vec<RowVersion>,
+}
+
+impl VersionChain {
+    /// Append a new version (the new chain head).
+    pub fn push(&mut self, v: RowVersion) {
+        self.versions.push(v);
+    }
+
+    /// Newest version, if any.
+    pub fn head(&self) -> Option<&RowVersion> {
+        self.versions.last()
+    }
+
+    /// All versions, oldest first.
+    pub fn versions(&self) -> &[RowVersion] {
+        &self.versions
+    }
+
+    /// Resolve the version visible at `snapshot`.
+    ///
+    /// `as_txn` is the reading transaction on the primary: its own
+    /// uncommitted (non-aborted) writes are visible to it.
+    pub fn visible(
+        &self,
+        snapshot: Scn,
+        as_txn: Option<TxnId>,
+        txns: &TxnTable,
+    ) -> Option<&RowVersion> {
+        for v in self.versions.iter().rev() {
+            if Some(v.txn) == as_txn {
+                match txns.state(v.txn) {
+                    TxnState::Aborted => continue,
+                    // Own writes: visible regardless of snapshot.
+                    _ => return Some(v),
+                }
+            }
+            match txns.state(v.txn) {
+                TxnState::Committed(c) if c <= snapshot => return Some(v),
+                _ => continue,
+            }
+        }
+        None
+    }
+
+    /// The row image visible at `snapshot` (None when the slot is empty,
+    /// deleted, or not yet visible).
+    pub fn visible_row(
+        &self,
+        snapshot: Scn,
+        as_txn: Option<TxnId>,
+        txns: &TxnTable,
+    ) -> Option<&Row> {
+        self.visible(snapshot, as_txn, txns).and_then(|v| v.data.as_ref())
+    }
+
+    /// Is the head version an uncommitted write by a transaction other than
+    /// `writer`? (Row-lock check on the primary.)
+    pub fn locked_by_other(&self, writer: TxnId, txns: &TxnTable) -> Option<TxnId> {
+        let head = self.head()?;
+        if head.txn == writer {
+            return None;
+        }
+        match txns.state(head.txn) {
+            TxnState::Active => Some(head.txn),
+            _ => None,
+        }
+    }
+
+    /// Drop versions no snapshot at or after `horizon` can ever see:
+    /// aborted versions and versions older than the newest one committed at
+    /// or before `horizon`. Returns how many versions were removed.
+    pub fn compact(&mut self, horizon: Scn, txns: &TxnTable) -> usize {
+        // Find the newest version committed <= horizon; everything older is dead.
+        let mut keep_from = 0usize;
+        for (i, v) in self.versions.iter().enumerate().rev() {
+            if matches!(txns.state(v.txn), TxnState::Committed(c) if c <= horizon) {
+                keep_from = i;
+                break;
+            }
+        }
+        let before = self.versions.len();
+        let mut i = 0usize;
+        self.versions.retain(|v| {
+            let idx = i;
+            i += 1;
+            idx >= keep_from && !matches!(txns.state(v.txn), TxnState::Aborted)
+        });
+        before - self.versions.len()
+    }
+}
+
+/// A data block: a DBA-addressed container of row slots.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Block address.
+    pub dba: Dba,
+    /// Owning segment's object id.
+    pub object: ObjectId,
+    /// Maximum number of row slots.
+    pub capacity: u16,
+    chains: Vec<VersionChain>,
+}
+
+impl Block {
+    /// Format an empty block.
+    pub fn format(dba: Dba, object: ObjectId, capacity: u16) -> Block {
+        Block { dba, object, capacity, chains: Vec::new() }
+    }
+
+    /// Number of slots ever used.
+    pub fn used_slots(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Version chain for `slot`, if the slot was ever written.
+    pub fn chain(&self, slot: SlotId) -> Option<&VersionChain> {
+        self.chains.get(slot as usize)
+    }
+
+    /// Mutable chain for `slot`, growing the slot directory as needed
+    /// (used by redo apply, which dictates slot numbers).
+    pub fn chain_mut(&mut self, slot: SlotId) -> Result<&mut VersionChain> {
+        if slot >= self.capacity {
+            return Err(Error::BadSlot { dba: self.dba, slot });
+        }
+        let idx = slot as usize;
+        if idx >= self.chains.len() {
+            self.chains.resize_with(idx + 1, VersionChain::default);
+        }
+        Ok(&mut self.chains[idx])
+    }
+
+    /// Iterate `(slot, chain)` over used slots.
+    pub fn chains(&self) -> impl Iterator<Item = (SlotId, &VersionChain)> {
+        self.chains.iter().enumerate().map(|(i, c)| (i as SlotId, c))
+    }
+
+    /// Compact every chain against `horizon`. Returns versions removed.
+    pub fn compact(&mut self, horizon: Scn, txns: &TxnTable) -> usize {
+        self.chains.iter_mut().map(|c| c.compact(horizon, txns)).sum()
+    }
+
+    /// Total number of stored versions (diagnostics).
+    pub fn version_count(&self) -> usize {
+        self.chains.iter().map(|c| c.versions().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn row(v: i64) -> Row {
+        Row::new(vec![Value::Int(v)])
+    }
+
+    fn ver(txn: u64, scn: u64, v: Option<i64>) -> RowVersion {
+        RowVersion { txn: TxnId(txn), scn: Scn(scn), data: v.map(row) }
+    }
+
+    #[test]
+    fn visibility_walks_newest_first() {
+        let txns = TxnTable::new();
+        txns.commit(TxnId(1), Scn(10));
+        txns.commit(TxnId(2), Scn(20));
+        let mut c = VersionChain::default();
+        c.push(ver(1, 5, Some(100)));
+        c.push(ver(2, 15, Some(200)));
+
+        assert!(c.visible_row(Scn(5), None, &txns).is_none());
+        assert_eq!(c.visible_row(Scn(10), None, &txns).unwrap()[0], Value::Int(100));
+        assert_eq!(c.visible_row(Scn(19), None, &txns).unwrap()[0], Value::Int(100));
+        assert_eq!(c.visible_row(Scn(20), None, &txns).unwrap()[0], Value::Int(200));
+    }
+
+    #[test]
+    fn own_uncommitted_writes_visible_to_owner_only() {
+        let txns = TxnTable::new();
+        txns.begin(TxnId(9));
+        let mut c = VersionChain::default();
+        c.push(ver(9, 5, Some(1)));
+        assert!(c.visible_row(Scn(100), None, &txns).is_none());
+        assert_eq!(c.visible_row(Scn(0), Some(TxnId(9)), &txns).unwrap()[0], Value::Int(1));
+    }
+
+    #[test]
+    fn aborted_versions_skipped_even_for_owner() {
+        let txns = TxnTable::new();
+        txns.commit(TxnId(1), Scn(10));
+        txns.abort(TxnId(2));
+        let mut c = VersionChain::default();
+        c.push(ver(1, 5, Some(100)));
+        c.push(ver(2, 15, Some(200)));
+        assert_eq!(c.visible_row(Scn(50), None, &txns).unwrap()[0], Value::Int(100));
+        assert_eq!(
+            c.visible_row(Scn(50), Some(TxnId(2)), &txns).unwrap()[0],
+            Value::Int(100),
+            "owner sees through its own aborted write"
+        );
+    }
+
+    #[test]
+    fn delete_yields_no_row() {
+        let txns = TxnTable::new();
+        txns.commit(TxnId(1), Scn(10));
+        txns.commit(TxnId(2), Scn(20));
+        let mut c = VersionChain::default();
+        c.push(ver(1, 5, Some(100)));
+        c.push(ver(2, 15, None));
+        assert!(c.visible_row(Scn(20), None, &txns).is_none(), "deleted");
+        assert!(c.visible(Scn(20), None, &txns).unwrap().data.is_none());
+        assert_eq!(c.visible_row(Scn(19), None, &txns).unwrap()[0], Value::Int(100));
+    }
+
+    #[test]
+    fn row_lock_detection() {
+        let txns = TxnTable::new();
+        txns.begin(TxnId(1));
+        let mut c = VersionChain::default();
+        c.push(ver(1, 5, Some(100)));
+        assert_eq!(c.locked_by_other(TxnId(2), &txns), Some(TxnId(1)));
+        assert_eq!(c.locked_by_other(TxnId(1), &txns), None, "own lock");
+        txns.commit(TxnId(1), Scn(10));
+        assert_eq!(c.locked_by_other(TxnId(2), &txns), None, "released at commit");
+    }
+
+    #[test]
+    fn compact_drops_dead_versions() {
+        let txns = TxnTable::new();
+        txns.commit(TxnId(1), Scn(10));
+        txns.commit(TxnId(2), Scn(20));
+        txns.abort(TxnId(3));
+        txns.commit(TxnId(4), Scn(40));
+        let mut c = VersionChain::default();
+        c.push(ver(1, 5, Some(1)));
+        c.push(ver(2, 15, Some(2)));
+        c.push(ver(3, 25, Some(3)));
+        c.push(ver(4, 35, Some(4)));
+        let removed = c.compact(Scn(30), &txns);
+        // Version of txn1 is shadowed by txn2 (committed <= 30); txn3 aborted.
+        assert_eq!(removed, 2);
+        assert_eq!(c.visible_row(Scn(30), None, &txns).unwrap()[0], Value::Int(2));
+        assert_eq!(c.visible_row(Scn(40), None, &txns).unwrap()[0], Value::Int(4));
+    }
+
+    #[test]
+    fn block_slot_management() {
+        let mut b = Block::format(Dba(1), ObjectId(1), 4);
+        assert_eq!(b.used_slots(), 0);
+        b.chain_mut(2).unwrap().push(ver(1, 1, Some(5)));
+        assert_eq!(b.used_slots(), 3, "slot directory grows to cover slot 2");
+        assert!(b.chain(2).unwrap().head().is_some());
+        assert!(b.chain(0).unwrap().head().is_none());
+        assert!(matches!(b.chain_mut(4), Err(Error::BadSlot { .. })), "beyond capacity");
+        assert_eq!(b.version_count(), 1);
+    }
+
+    #[test]
+    fn block_compact_sums() {
+        let txns = TxnTable::new();
+        txns.commit(TxnId(1), Scn(1));
+        txns.commit(TxnId(2), Scn(2));
+        let mut b = Block::format(Dba(1), ObjectId(1), 4);
+        for slot in 0..2 {
+            b.chain_mut(slot).unwrap().push(ver(1, 1, Some(1)));
+            b.chain_mut(slot).unwrap().push(ver(2, 2, Some(2)));
+        }
+        assert_eq!(b.compact(Scn(10), &txns), 2);
+        assert_eq!(b.version_count(), 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Redo change vectors (CVs).
+//!
+//! A CV describes a change to exactly one database block, identified by its
+//! DBA, and is tagged with the transaction that made it (paper §II.A).
+//! These are the units that parallel redo apply distributes across recovery
+//! workers and that the DBIM-on-ADG Mining Component "sniffs" (§III.B): a
+//! mined invalidation record is the tuple *(object, DBA, changed rows,
+//! tenant, txn)* — every field of which a CV carries.
+
+use imadg_common::{Dba, ObjectId, SlotId, TenantId, TxnId};
+
+use crate::row::Row;
+
+/// The block-level operation a CV performs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChangeOp {
+    /// Format a fresh block appended to the object's segment.
+    Format {
+        /// Row slots the new block can hold.
+        capacity: u16,
+    },
+    /// Insert a new row image at `slot`.
+    Insert {
+        /// Target slot.
+        slot: SlotId,
+        /// Full row image.
+        row: Row,
+    },
+    /// Write a new version of the row at `slot`.
+    Update {
+        /// Target slot.
+        slot: SlotId,
+        /// Full new row image.
+        row: Row,
+    },
+    /// Delete the row at `slot`.
+    Delete {
+        /// Target slot.
+        slot: SlotId,
+    },
+}
+
+impl ChangeOp {
+    /// The row slot this operation touches, if any (`Format` touches none).
+    pub fn slot(&self) -> Option<SlotId> {
+        match self {
+            ChangeOp::Format { .. } => None,
+            ChangeOp::Insert { slot, .. }
+            | ChangeOp::Update { slot, .. }
+            | ChangeOp::Delete { slot } => Some(*slot),
+        }
+    }
+
+    /// Does this operation modify row data (as opposed to space metadata)?
+    pub fn is_row_change(&self) -> bool {
+        !matches!(self, ChangeOp::Format { .. })
+    }
+}
+
+/// A change vector: one change to one block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChangeVector {
+    /// Target block.
+    pub dba: Dba,
+    /// Object the block belongs to (carried so the standby's mining
+    /// component can test in-memory enablement without a dictionary lookup).
+    pub object: ObjectId,
+    /// Tenant the object belongs to.
+    pub tenant: TenantId,
+    /// Transaction that generated the change.
+    pub txn: TxnId,
+    /// The operation.
+    pub op: ChangeOp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn slot_extraction() {
+        assert_eq!(ChangeOp::Format { capacity: 8 }.slot(), None);
+        assert_eq!(ChangeOp::Delete { slot: 3 }.slot(), Some(3));
+        let r = Row::new(vec![Value::Int(1)]);
+        assert_eq!(ChangeOp::Insert { slot: 1, row: r.clone() }.slot(), Some(1));
+        assert_eq!(ChangeOp::Update { slot: 2, row: r }.slot(), Some(2));
+    }
+
+    #[test]
+    fn row_change_classification() {
+        assert!(!ChangeOp::Format { capacity: 8 }.is_row_change());
+        assert!(ChangeOp::Delete { slot: 0 }.is_row_change());
+    }
+}

@@ -1,0 +1,112 @@
+//! The identity index: key → row location.
+//!
+//! The paper's OLTAP table has "an index on the identity column" (§IV.A)
+//! used by the fetch portion of the workload. Index maintenance happens in
+//! the change-vector apply path, so the standby's index is derived from the
+//! same redo stream as its blocks (see DESIGN.md substitution table: we
+//! derive index entries on apply instead of replaying physical index-block
+//! redo, which the paper does not study).
+//!
+//! Entries may point at versions that are not yet (or never become)
+//! visible; fetches resolve the version chain at the reader's snapshot.
+
+use std::collections::BTreeMap;
+
+use imadg_common::{Error, Result};
+use parking_lot::RwLock;
+
+use crate::segment::RowLoc;
+
+/// Concurrent ordered index on an integer key.
+#[derive(Debug, Default)]
+pub struct Index {
+    map: RwLock<BTreeMap<i64, RowLoc>>,
+}
+
+impl Index {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or move a key.
+    pub fn put(&self, key: i64, loc: RowLoc) {
+        self.map.write().insert(key, loc);
+    }
+
+    /// Remove a key (no-op when absent).
+    pub fn remove(&self, key: i64) {
+        self.map.write().remove(&key);
+    }
+
+    /// Location for `key`.
+    pub fn get(&self, key: i64) -> Result<RowLoc> {
+        self.map.read().get(&key).copied().ok_or(Error::KeyNotFound(key))
+    }
+
+    /// Does the index contain `key`?
+    pub fn contains(&self, key: i64) -> bool {
+        self.map.read().contains_key(&key)
+    }
+
+    /// Locations for keys in `[lo, hi]`, in key order.
+    pub fn range(&self, lo: i64, hi: i64) -> Vec<(i64, RowLoc)> {
+        self.map.read().range(lo..=hi).map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Number of indexed keys.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Largest key, if any (used to seed workload key ranges).
+    pub fn max_key(&self) -> Option<i64> {
+        self.map.read().keys().next_back().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imadg_common::Dba;
+
+    fn loc(dba: u64, slot: u16) -> RowLoc {
+        RowLoc { dba: Dba(dba), slot }
+    }
+
+    #[test]
+    fn put_get_remove() {
+        let idx = Index::new();
+        idx.put(10, loc(1, 0));
+        assert_eq!(idx.get(10).unwrap(), loc(1, 0));
+        assert!(idx.contains(10));
+        idx.remove(10);
+        assert!(matches!(idx.get(10), Err(Error::KeyNotFound(10))));
+        idx.remove(10); // absent: no-op
+    }
+
+    #[test]
+    fn put_overwrites() {
+        let idx = Index::new();
+        idx.put(1, loc(1, 0));
+        idx.put(1, loc(2, 3));
+        assert_eq!(idx.get(1).unwrap(), loc(2, 3));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn range_scan_ordered() {
+        let idx = Index::new();
+        for k in [5i64, 1, 3, 9] {
+            idx.put(k, loc(k as u64, 0));
+        }
+        let r = idx.range(2, 8);
+        assert_eq!(r.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![3, 5]);
+        assert_eq!(idx.max_key(), Some(9));
+    }
+}

@@ -1,0 +1,30 @@
+//! `imadg-storage`: the MVCC row-store substrate.
+//!
+//! Models the Oracle row-format side of the dual-format architecture
+//! (paper §II.B): DBA-addressed blocks in a buffer cache, per-row version
+//! chains resolved against a transaction table for Consistent Read,
+//! segments, an identity index, and the change-vector apply path shared by
+//! the primary's transaction manager and the standby's recovery workers.
+
+pub mod apply;
+pub mod block;
+pub mod buffer_cache;
+pub mod cv;
+pub mod index;
+pub mod row;
+pub mod schema;
+pub mod segment;
+pub mod store;
+pub mod txn_table;
+pub mod value;
+
+pub use block::{Block, RowVersion, VersionChain};
+pub use buffer_cache::BufferCache;
+pub use cv::{ChangeOp, ChangeVector};
+pub use index::Index;
+pub use row::Row;
+pub use schema::{ColumnDef, Schema};
+pub use segment::{DbaAllocator, RowLoc, Segment};
+pub use store::{Store, TableMeta, TableSpec};
+pub use txn_table::{TxnState, TxnTable};
+pub use value::{ColumnType, Value};

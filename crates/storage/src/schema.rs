@@ -1,0 +1,211 @@
+//! Table schemas with dictionary-only DDL semantics.
+//!
+//! Oracle performs many DDLs purely at the data-dictionary level without
+//! touching data blocks (paper §III.G). We model this by keeping dropped
+//! columns in place (marked `dropped`) and letting added columns read as
+//! NULL from rows written before the addition. Row images in blocks are
+//! never rewritten by DDL.
+
+use imadg_common::{Error, Result};
+
+use crate::value::{ColumnType, Value};
+
+/// Definition of one column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (unique within the live columns of a schema).
+    pub name: String,
+    /// Column type.
+    pub ctype: ColumnType,
+    /// Dictionary-only drop marker: the column still occupies its ordinal
+    /// in stored rows but is invisible to queries.
+    pub dropped: bool,
+}
+
+impl ColumnDef {
+    /// A live column.
+    pub fn new(name: impl Into<String>, ctype: ColumnType) -> ColumnDef {
+        ColumnDef { name: name.into(), ctype, dropped: false }
+    }
+}
+
+/// A table schema: an ordered list of columns plus a version number that is
+/// bumped by every DDL (the standby drops IMCUs for objects whose schema
+/// version changed, §III.G).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+    version: u32,
+}
+
+impl Schema {
+    /// Build a schema from live columns. Fails on duplicate names.
+    pub fn new(columns: Vec<ColumnDef>) -> Result<Schema> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|o| o.name == c.name && !o.dropped) {
+                return Err(Error::Config(format!("duplicate column `{}`", c.name)));
+            }
+        }
+        Ok(Schema { columns, version: 1 })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn of(cols: &[(&str, ColumnType)]) -> Schema {
+        Schema::new(cols.iter().map(|(n, t)| ColumnDef::new(*n, *t)).collect())
+            .expect("static schema must be well-formed")
+    }
+
+    /// Schema version; bumped by DDL.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// All columns, including dropped ones (ordinal-stable).
+    pub fn all_columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of stored ordinals (including dropped columns).
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Iterator over `(ordinal, def)` of live columns.
+    pub fn live_columns(&self) -> impl Iterator<Item = (usize, &ColumnDef)> {
+        self.columns.iter().enumerate().filter(|(_, c)| !c.dropped)
+    }
+
+    /// Ordinal of a live column by name.
+    pub fn ordinal(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| !c.dropped && c.name == name)
+            .ok_or_else(|| Error::UnknownColumn(name.to_string()))
+    }
+
+    /// Column definition by live name.
+    pub fn column(&self, name: &str) -> Result<&ColumnDef> {
+        Ok(&self.columns[self.ordinal(name)?])
+    }
+
+    /// Type-check a full row image against the live portion of the schema.
+    ///
+    /// The image must provide a value for every stored ordinal (dropped
+    /// columns accept anything — they are write-once leftovers).
+    pub fn check_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() > self.arity() {
+            return Err(Error::Config(format!(
+                "row has {} values, schema stores {}",
+                row.len(),
+                self.arity()
+            )));
+        }
+        for (i, v) in row.iter().enumerate() {
+            let c = &self.columns[i];
+            if !c.dropped && !v.matches_type(c.ctype) {
+                return Err(Error::TypeMismatch { column: c.name.clone() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Dictionary-only DROP COLUMN. Bumps the schema version.
+    pub fn drop_column(&mut self, name: &str) -> Result<()> {
+        let ord = self.ordinal(name)?;
+        self.columns[ord].dropped = true;
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Dictionary-only ADD COLUMN (reads as NULL for pre-existing rows).
+    /// Bumps the schema version.
+    pub fn add_column(&mut self, name: impl Into<String>, ctype: ColumnType) -> Result<()> {
+        let name = name.into();
+        if self.columns.iter().any(|c| !c.dropped && c.name == name) {
+            return Err(Error::Config(format!("column `{name}` already exists")));
+        }
+        self.columns.push(ColumnDef::new(name, ctype));
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Read column `ordinal` from a stored row image, applying the
+    /// "short rows read as NULL" rule for columns added after the row was
+    /// written.
+    #[inline]
+    pub fn read<'a>(&self, row: &'a [Value], ordinal: usize) -> &'a Value {
+        row.get(ordinal).unwrap_or(&Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::of(&[("id", ColumnType::Int), ("n1", ColumnType::Int), ("c1", ColumnType::Varchar)])
+    }
+
+    #[test]
+    fn ordinals_and_lookup() {
+        let s = sample();
+        assert_eq!(s.ordinal("id").unwrap(), 0);
+        assert_eq!(s.ordinal("c1").unwrap(), 2);
+        assert!(s.ordinal("nope").is_err());
+        assert_eq!(s.column("n1").unwrap().ctype, ColumnType::Int);
+        assert_eq!(s.version(), 1);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        assert!(Schema::new(vec![
+            ColumnDef::new("a", ColumnType::Int),
+            ColumnDef::new("a", ColumnType::Int),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn row_type_check() {
+        let s = sample();
+        assert!(s.check_row(&[Value::Int(1), Value::Int(2), Value::str("x")]).is_ok());
+        assert!(s.check_row(&[Value::Int(1), Value::str("bad"), Value::str("x")]).is_err());
+        assert!(s.check_row(&[Value::Null, Value::Null, Value::Null]).is_ok());
+        // Too-wide row rejected.
+        assert!(s
+            .check_row(&[Value::Int(1), Value::Int(2), Value::str("x"), Value::Int(9)])
+            .is_err());
+    }
+
+    #[test]
+    fn drop_column_is_dictionary_only() {
+        let mut s = sample();
+        s.drop_column("n1").unwrap();
+        assert_eq!(s.version(), 2);
+        assert_eq!(s.arity(), 3, "stored arity unchanged");
+        assert!(s.ordinal("n1").is_err());
+        // Live columns skip the dropped ordinal.
+        let live: Vec<usize> = s.live_columns().map(|(i, _)| i).collect();
+        assert_eq!(live, vec![0, 2]);
+    }
+
+    #[test]
+    fn add_column_reads_null_for_old_rows() {
+        let mut s = sample();
+        s.add_column("n2", ColumnType::Int).unwrap();
+        assert_eq!(s.version(), 2);
+        let old_row = [Value::Int(1), Value::Int(2), Value::str("x")];
+        let ord = s.ordinal("n2").unwrap();
+        assert!(s.read(&old_row, ord).is_null());
+    }
+
+    #[test]
+    fn add_duplicate_rejected_but_dropped_name_reusable() {
+        let mut s = sample();
+        assert!(s.add_column("n1", ColumnType::Int).is_err());
+        s.drop_column("n1").unwrap();
+        s.add_column("n1", ColumnType::Varchar).unwrap();
+        // New n1 lives at a fresh ordinal.
+        assert_eq!(s.ordinal("n1").unwrap(), 3);
+    }
+}

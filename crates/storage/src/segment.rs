@@ -1,0 +1,167 @@
+//! Segments: the ordered set of blocks backing one object.
+//!
+//! The primary's space layer allocates fresh DBAs and emits a `Format`
+//! change vector for each; the standby's segment map is rebuilt purely by
+//! applying those CVs, so both sides agree on the extent list without any
+//! out-of-band metadata exchange.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use imadg_common::{Dba, ObjectId, SlotId};
+
+/// A row's physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowLoc {
+    /// Block address.
+    pub dba: Dba,
+    /// Slot within the block.
+    pub slot: SlotId,
+}
+
+/// Global DBA allocator (primary side only).
+#[derive(Debug)]
+pub struct DbaAllocator {
+    next: AtomicU64,
+}
+
+impl DbaAllocator {
+    /// Start allocating from `first`.
+    pub fn new(first: u64) -> Self {
+        DbaAllocator { next: AtomicU64::new(first) }
+    }
+
+    /// Allocate a fresh DBA.
+    pub fn allocate(&self) -> Dba {
+        Dba(self.next.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Highest DBA handed out so far plus one.
+    pub fn high_water(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for DbaAllocator {
+    fn default() -> Self {
+        DbaAllocator::new(1)
+    }
+}
+
+/// Extent map and insert cursor for one object.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Owning object.
+    pub object: ObjectId,
+    /// Rows that fit in each block of this segment.
+    pub rows_per_block: u16,
+    blocks: Vec<Dba>,
+    /// Next free slot in the last block (primary insert cursor).
+    next_slot: u16,
+}
+
+impl Segment {
+    /// Empty segment.
+    pub fn new(object: ObjectId, rows_per_block: u16) -> Segment {
+        assert!(rows_per_block > 0, "blocks must hold at least one row");
+        Segment { object, rows_per_block, blocks: Vec::new(), next_slot: 0 }
+    }
+
+    /// Register a block appended to the segment (called when a `Format` CV
+    /// is generated on the primary or applied on the standby).
+    pub fn add_block(&mut self, dba: Dba) {
+        self.blocks.push(dba);
+        self.next_slot = 0;
+    }
+
+    /// All blocks, in allocation order.
+    pub fn blocks(&self) -> &[Dba] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Does the next insert need a fresh block?
+    pub fn needs_block(&self) -> bool {
+        self.blocks.is_empty() || self.next_slot >= self.rows_per_block
+    }
+
+    /// Claim the next insert location. Panics if `needs_block()`; callers
+    /// must allocate and `add_block` first.
+    pub fn claim_insert_slot(&mut self) -> RowLoc {
+        assert!(!self.needs_block(), "claim_insert_slot called on a full segment tail");
+        let loc = RowLoc {
+            dba: *self.blocks.last().expect("non-empty"),
+            slot: self.next_slot,
+        };
+        self.next_slot += 1;
+        loc
+    }
+
+    /// Rebuild the insert cursor after the standby is activated as a new
+    /// primary: position after the last used slot of the last block.
+    pub fn reset_cursor(&mut self, used_slots_in_last_block: u16) {
+        self.next_slot = used_slots_in_last_block;
+    }
+
+    /// Approximate committed row capacity = full blocks + cursor.
+    pub fn approx_rows(&self) -> usize {
+        if self.blocks.is_empty() {
+            0
+        } else {
+            (self.blocks.len() - 1) * self.rows_per_block as usize + self.next_slot as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_is_monotonic() {
+        let a = DbaAllocator::default();
+        let d1 = a.allocate();
+        let d2 = a.allocate();
+        assert!(d2.0 > d1.0);
+        assert_eq!(a.high_water(), 3);
+    }
+
+    #[test]
+    fn insert_cursor_walks_slots_then_blocks() {
+        let mut s = Segment::new(ObjectId(1), 2);
+        assert!(s.needs_block());
+        s.add_block(Dba(10));
+        let l0 = s.claim_insert_slot();
+        let l1 = s.claim_insert_slot();
+        assert_eq!((l0.dba, l0.slot), (Dba(10), 0));
+        assert_eq!((l1.dba, l1.slot), (Dba(10), 1));
+        assert!(s.needs_block());
+        s.add_block(Dba(11));
+        let l2 = s.claim_insert_slot();
+        assert_eq!((l2.dba, l2.slot), (Dba(11), 0));
+        assert_eq!(s.block_count(), 2);
+        assert_eq!(s.approx_rows(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "full segment tail")]
+    fn claim_on_full_tail_panics() {
+        let mut s = Segment::new(ObjectId(1), 1);
+        s.add_block(Dba(1));
+        s.claim_insert_slot();
+        s.claim_insert_slot();
+    }
+
+    #[test]
+    fn cursor_reset_for_activation() {
+        let mut s = Segment::new(ObjectId(1), 4);
+        s.add_block(Dba(1));
+        s.reset_cursor(3);
+        let l = s.claim_insert_slot();
+        assert_eq!(l.slot, 3);
+        assert!(s.needs_block());
+    }
+}

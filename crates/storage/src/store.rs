@@ -1,0 +1,350 @@
+//! The storage engine façade: catalog, buffer cache, transaction table,
+//! segments and indexes for one database instance (primary or standby).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use imadg_common::{Dba, Error, ObjectId, Result, Scn, TenantId, TxnId};
+use parking_lot::{Mutex, RwLock};
+
+use crate::buffer_cache::BufferCache;
+use crate::index::Index;
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::segment::{RowLoc, Segment};
+use crate::txn_table::TxnTable;
+
+/// Static description of a table at creation time.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Object id (assigned by the caller; identical on primary and standby).
+    pub id: ObjectId,
+    /// Table name.
+    pub name: String,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Column layout.
+    pub schema: Schema,
+    /// Ordinal of the identity column backing the unique index.
+    pub key_ordinal: usize,
+    /// Rows per data block.
+    pub rows_per_block: u16,
+}
+
+/// Catalog entry for a table.
+#[derive(Debug)]
+pub struct TableMeta {
+    /// Object id.
+    pub id: ObjectId,
+    /// Table name.
+    pub name: String,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Identity-index key ordinal.
+    pub key_ordinal: usize,
+    /// Rows per data block.
+    pub rows_per_block: u16,
+    /// Current schema (mutable via dictionary-only DDL).
+    pub schema: RwLock<Schema>,
+}
+
+impl TableMeta {
+    fn from_spec(spec: TableSpec) -> TableMeta {
+        TableMeta {
+            id: spec.id,
+            name: spec.name,
+            tenant: spec.tenant,
+            key_ordinal: spec.key_ordinal,
+            rows_per_block: spec.rows_per_block,
+            schema: RwLock::new(spec.schema),
+        }
+    }
+}
+
+/// The storage engine of one database instance.
+#[derive(Debug, Default)]
+pub struct Store {
+    cache: BufferCache,
+    txns: TxnTable,
+    tables: RwLock<HashMap<ObjectId, Arc<TableMeta>>>,
+    segments: RwLock<HashMap<ObjectId, Arc<Mutex<Segment>>>>,
+    indexes: RwLock<HashMap<ObjectId, Arc<Index>>>,
+}
+
+impl Store {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table. Called with identical specs on the primary and the
+    /// standby at provisioning time (datafiles pre-exist replication), or
+    /// driven by a `CreateTable` DDL redo marker at runtime.
+    pub fn create_table(&self, spec: TableSpec) -> Result<Arc<TableMeta>> {
+        if spec.key_ordinal >= spec.schema.arity() {
+            return Err(Error::Config(format!(
+                "key ordinal {} out of range for `{}`",
+                spec.key_ordinal, spec.name
+            )));
+        }
+        let id = spec.id;
+        let rows_per_block = spec.rows_per_block;
+        let mut tables = self.tables.write();
+        if tables.contains_key(&id) {
+            return Err(Error::Config(format!("object {id:?} already exists")));
+        }
+        let meta = Arc::new(TableMeta::from_spec(spec));
+        tables.insert(id, meta.clone());
+        self.segments
+            .write()
+            .insert(id, Arc::new(Mutex::new(Segment::new(id, rows_per_block))));
+        self.indexes.write().insert(id, Arc::new(Index::new()));
+        Ok(meta)
+    }
+
+    /// Catalog lookup by object id.
+    pub fn table(&self, id: ObjectId) -> Result<Arc<TableMeta>> {
+        self.tables.read().get(&id).cloned().ok_or(Error::UnknownObject(id))
+    }
+
+    /// Catalog lookup by name.
+    pub fn table_by_name(&self, name: &str) -> Result<Arc<TableMeta>> {
+        self.tables
+            .read()
+            .values()
+            .find(|t| t.name == name)
+            .cloned()
+            .ok_or_else(|| Error::UnknownColumn(format!("table `{name}`")))
+    }
+
+    /// All registered object ids.
+    pub fn object_ids(&self) -> Vec<ObjectId> {
+        self.tables.read().keys().copied().collect()
+    }
+
+    /// The object's segment.
+    pub fn segment(&self, id: ObjectId) -> Result<Arc<Mutex<Segment>>> {
+        self.segments.read().get(&id).cloned().ok_or(Error::UnknownObject(id))
+    }
+
+    /// The object's identity index.
+    pub fn index(&self, id: ObjectId) -> Result<Arc<Index>> {
+        self.indexes.read().get(&id).cloned().ok_or(Error::UnknownObject(id))
+    }
+
+    /// The buffer cache.
+    pub fn cache(&self) -> &BufferCache {
+        &self.cache
+    }
+
+    /// The transaction table.
+    pub fn txns(&self) -> &TxnTable {
+        &self.txns
+    }
+
+    /// Snapshot of the object's block list.
+    pub fn block_dbas(&self, id: ObjectId) -> Result<Vec<Dba>> {
+        Ok(self.segment(id)?.lock().blocks().to_vec())
+    }
+
+    /// Fetch the row image at `loc` visible at `snapshot`.
+    pub fn fetch_row(
+        &self,
+        loc: RowLoc,
+        snapshot: Scn,
+        as_txn: Option<TxnId>,
+    ) -> Result<Option<Row>> {
+        let block = self.cache.get(loc.dba)?;
+        let guard = block.read();
+        Ok(guard
+            .chain(loc.slot)
+            .and_then(|c| c.visible_row(snapshot, as_txn, &self.txns))
+            .cloned())
+    }
+
+    /// Fetch many row images at `snapshot`, locking each block once.
+    /// `locs` need not be sorted; rows that are deleted or not yet visible
+    /// are skipped. This is the SMU-fallback path of the scan engine, which
+    /// can touch thousands of locations per scan.
+    #[allow(clippy::ptr_arg)] // scratch vector is sorted in place
+    pub fn fetch_rows_batched<F: FnMut(RowLoc, &Row)>(
+        &self,
+        locs: &mut Vec<RowLoc>,
+        snapshot: Scn,
+        mut f: F,
+    ) -> Result<()> {
+        locs.sort_unstable();
+        let mut i = 0;
+        while i < locs.len() {
+            let dba = locs[i].dba;
+            let block = self.cache.get(dba)?;
+            let guard = block.read();
+            while i < locs.len() && locs[i].dba == dba {
+                if let Some(row) = guard
+                    .chain(locs[i].slot)
+                    .and_then(|c| c.visible_row(snapshot, None, &self.txns))
+                {
+                    f(locs[i], row);
+                }
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Index fetch: resolve `key` through the identity index at `snapshot`.
+    pub fn fetch_by_key(
+        &self,
+        id: ObjectId,
+        key: i64,
+        snapshot: Scn,
+        as_txn: Option<TxnId>,
+    ) -> Result<Option<(RowLoc, Row)>> {
+        let loc = match self.index(id)?.get(key) {
+            Ok(loc) => loc,
+            Err(Error::KeyNotFound(_)) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Ok(self.fetch_row(loc, snapshot, as_txn)?.map(|r| (loc, r)))
+    }
+
+    /// Full row-store scan of the object at `snapshot`, invoking `f` for
+    /// every visible row. This is the buffer-cache scan path queries fall
+    /// back to without the IMCS (and for rows invalidated in an IMCU).
+    pub fn scan_object<F: FnMut(RowLoc, &Row)>(
+        &self,
+        id: ObjectId,
+        snapshot: Scn,
+        as_txn: Option<TxnId>,
+        mut f: F,
+    ) -> Result<usize> {
+        let dbas = self.block_dbas(id)?;
+        let mut seen = 0usize;
+        for dba in dbas {
+            let block = self.cache.get(dba)?;
+            let guard = block.read();
+            for (slot, chain) in guard.chains() {
+                if let Some(row) = chain.visible_row(snapshot, as_txn, &self.txns) {
+                    f(RowLoc { dba, slot }, row);
+                    seen += 1;
+                }
+            }
+        }
+        Ok(seen)
+    }
+
+    /// Scan a specific set of blocks at `snapshot` (used by IMCU
+    /// population, which works in DBA ranges).
+    pub fn scan_blocks<F: FnMut(RowLoc, &Row)>(
+        &self,
+        dbas: &[Dba],
+        snapshot: Scn,
+        mut f: F,
+    ) -> Result<usize> {
+        let mut seen = 0usize;
+        for &dba in dbas {
+            let block = self.cache.get(dba)?;
+            let guard = block.read();
+            for (slot, chain) in guard.chains() {
+                if let Some(row) = chain.visible_row(snapshot, None, &self.txns) {
+                    f(RowLoc { dba, slot }, row);
+                    seen += 1;
+                }
+            }
+        }
+        Ok(seen)
+    }
+
+    /// Compact version chains of an object against `horizon` (an SCN no
+    /// live snapshot predates). Returns versions removed.
+    pub fn compact_object(&self, id: ObjectId, horizon: Scn) -> Result<usize> {
+        let dbas = self.block_dbas(id)?;
+        let mut removed = 0usize;
+        for dba in dbas {
+            let block = self.cache.get(dba)?;
+            removed += block.write().compact(horizon, &self.txns);
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{ColumnType, Value};
+
+    fn spec(id: u32) -> TableSpec {
+        TableSpec {
+            id: ObjectId(id),
+            name: format!("t{id}"),
+            tenant: TenantId::DEFAULT,
+            schema: Schema::of(&[("id", ColumnType::Int), ("v", ColumnType::Varchar)]),
+            key_ordinal: 0,
+            rows_per_block: 4,
+        }
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let s = Store::new();
+        s.create_table(spec(1)).unwrap();
+        assert_eq!(s.table(ObjectId(1)).unwrap().name, "t1");
+        assert_eq!(s.table_by_name("t1").unwrap().id, ObjectId(1));
+        assert!(s.table(ObjectId(9)).is_err());
+        assert!(s.table_by_name("nope").is_err());
+        assert_eq!(s.object_ids(), vec![ObjectId(1)]);
+    }
+
+    #[test]
+    fn duplicate_object_rejected() {
+        let s = Store::new();
+        s.create_table(spec(1)).unwrap();
+        assert!(s.create_table(spec(1)).is_err());
+    }
+
+    #[test]
+    fn bad_key_ordinal_rejected() {
+        let s = Store::new();
+        let mut sp = spec(1);
+        sp.key_ordinal = 5;
+        assert!(s.create_table(sp).is_err());
+    }
+
+    #[test]
+    fn fetch_from_empty_table() {
+        let s = Store::new();
+        s.create_table(spec(1)).unwrap();
+        assert_eq!(s.fetch_by_key(ObjectId(1), 42, Scn(10), None).unwrap(), None);
+        let mut n = 0;
+        s.scan_object(ObjectId(1), Scn(10), None, |_, _| n += 1).unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn scan_counts_visible_rows() {
+        use crate::block::{Block, RowVersion};
+        let s = Store::new();
+        s.create_table(spec(1)).unwrap();
+        // Manually install a block with one committed row.
+        s.cache().install(Block::format(Dba(7), ObjectId(1), 4));
+        s.segment(ObjectId(1)).unwrap().lock().add_block(Dba(7));
+        s.txns().commit(TxnId(1), Scn(5));
+        {
+            let b = s.cache().get(Dba(7)).unwrap();
+            b.write().chain_mut(0).unwrap().push(RowVersion {
+                txn: TxnId(1),
+                scn: Scn(3),
+                data: Some(Row::new(vec![Value::Int(1), Value::str("x")])),
+            });
+        }
+        let mut rows = Vec::new();
+        s.scan_object(ObjectId(1), Scn(5), None, |loc, r| rows.push((loc, r.clone())))
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, RowLoc { dba: Dba(7), slot: 0 });
+        // Invisible before commit SCN.
+        let mut n = 0;
+        s.scan_object(ObjectId(1), Scn(4), None, |_, _| n += 1).unwrap();
+        assert_eq!(n, 0);
+    }
+}

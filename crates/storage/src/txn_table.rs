@@ -1,0 +1,136 @@
+//! The transaction table: transaction id → state.
+//!
+//! On the primary this is written by the transaction manager; on the standby
+//! it is maintained by redo apply (a commit record is "a commit CV applied
+//! to a special block", paper §II.A). It lives in the storage layer because
+//! in Oracle the transaction table resides in undo segment headers — i.e. it
+//! is *persistent* and survives an instance restart, unlike the DBIM-on-ADG
+//! in-memory components.
+
+use std::collections::HashMap;
+
+use imadg_common::{Scn, TxnId};
+use parking_lot::RwLock;
+
+/// Lifecycle state of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// In progress: changes invisible to everyone but the owner.
+    Active,
+    /// Committed: changes visible to snapshots at or after the commit SCN.
+    Committed(Scn),
+    /// Rolled back: changes never visible.
+    Aborted,
+}
+
+const SHARDS: usize = 16;
+
+/// Concurrent transaction table, sharded by transaction id.
+#[derive(Debug, Default)]
+pub struct TxnTable {
+    shards: [RwLock<HashMap<TxnId, TxnState>>; SHARDS],
+}
+
+impl TxnTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn shard(&self, txn: TxnId) -> &RwLock<HashMap<TxnId, TxnState>> {
+        &self.shards[(txn.0 as usize) % SHARDS]
+    }
+
+    /// Record a transaction as active.
+    pub fn begin(&self, txn: TxnId) {
+        self.shard(txn).write().insert(txn, TxnState::Active);
+    }
+
+    /// Record a commit at `commit_scn`.
+    pub fn commit(&self, txn: TxnId, commit_scn: Scn) {
+        self.shard(txn).write().insert(txn, TxnState::Committed(commit_scn));
+    }
+
+    /// Record a rollback.
+    pub fn abort(&self, txn: TxnId) {
+        self.shard(txn).write().insert(txn, TxnState::Aborted);
+    }
+
+    /// Current state; unknown transactions read as `Active` (their commit
+    /// record simply has not arrived yet — the conservative answer for
+    /// visibility is "not yet visible").
+    #[inline]
+    pub fn state(&self, txn: TxnId) -> TxnState {
+        self.shard(txn).read().get(&txn).copied().unwrap_or(TxnState::Active)
+    }
+
+    /// Commit SCN if committed.
+    #[inline]
+    pub fn commit_scn(&self, txn: TxnId) -> Option<Scn> {
+        match self.state(txn) {
+            TxnState::Committed(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Is the transaction's data visible at `snapshot`?
+    #[inline]
+    pub fn visible_at(&self, txn: TxnId, snapshot: Scn) -> bool {
+        matches!(self.state(txn), TxnState::Committed(c) if c <= snapshot)
+    }
+
+    /// Number of tracked transactions (all states).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when no transactions are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let t = TxnTable::new();
+        let tx = TxnId(7);
+        assert_eq!(t.state(tx), TxnState::Active, "unknown defaults to active");
+        t.begin(tx);
+        assert_eq!(t.state(tx), TxnState::Active);
+        t.commit(tx, Scn(100));
+        assert_eq!(t.state(tx), TxnState::Committed(Scn(100)));
+        assert_eq!(t.commit_scn(tx), Some(Scn(100)));
+    }
+
+    #[test]
+    fn abort_never_visible() {
+        let t = TxnTable::new();
+        t.begin(TxnId(1));
+        t.abort(TxnId(1));
+        assert!(!t.visible_at(TxnId(1), Scn(u64::MAX)));
+    }
+
+    #[test]
+    fn visibility_boundary() {
+        let t = TxnTable::new();
+        t.commit(TxnId(2), Scn(50));
+        assert!(!t.visible_at(TxnId(2), Scn(49)));
+        assert!(t.visible_at(TxnId(2), Scn(50)), "visible exactly at commit SCN");
+        assert!(t.visible_at(TxnId(2), Scn(51)));
+    }
+
+    #[test]
+    fn len_counts_across_shards() {
+        let t = TxnTable::new();
+        for i in 0..100 {
+            t.begin(TxnId(i));
+        }
+        assert_eq!(t.len(), 100);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Column values.
+//!
+//! The synthetic OLTAP schema of the paper (§IV.A) uses three column kinds:
+//! an identity (number) column, 50 number columns and 50 varchar columns.
+//! [`Value`] models exactly those: `Int`, `Str` and SQL `NULL`.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit signed integer (Oracle NUMBER in the workload's usage).
+    Int,
+    /// Variable-length string (VARCHAR2).
+    Varchar,
+}
+
+/// A single column value.
+///
+/// Strings are reference-counted so that cloning a wide row (101 columns,
+/// 50 of them varchar) does not copy string payloads — row images travel
+/// inside change vectors from the primary to the standby and into the
+/// column-store population path.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// String value.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Is this SQL NULL?
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The integer payload, if any.
+    #[inline]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if any.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Does this value inhabit `ty` (NULL inhabits every type)?
+    pub fn matches_type(&self, ty: ColumnType) -> bool {
+        matches!(
+            (self, ty),
+            (Value::Null, _) | (Value::Int(_), ColumnType::Int) | (Value::Str(_), ColumnType::Varchar)
+        )
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Null.as_int(), None);
+        assert_eq!(Value::Int(5).as_str(), None);
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+    }
+
+    #[test]
+    fn type_matching() {
+        assert!(Value::Null.matches_type(ColumnType::Int));
+        assert!(Value::Null.matches_type(ColumnType::Varchar));
+        assert!(Value::Int(1).matches_type(ColumnType::Int));
+        assert!(!Value::Int(1).matches_type(ColumnType::Varchar));
+        assert!(Value::str("a").matches_type(ColumnType::Varchar));
+        assert!(!Value::str("a").matches_type(ColumnType::Int));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+        assert_eq!(Value::from(String::from("hi")), Value::str("hi"));
+    }
+
+    #[test]
+    fn string_clone_is_shallow() {
+        let v = Value::str("payload");
+        let w = v.clone();
+        if let (Value::Str(a), Value::Str(b)) = (&v, &w) {
+            assert!(Arc::ptr_eq(a, b));
+        } else {
+            panic!("expected strings");
+        }
+    }
+}

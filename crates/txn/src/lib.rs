@@ -1,0 +1,12 @@
+//! `imadg-txn`: the primary-side transaction manager.
+//!
+//! DML generates change vectors, logs them to the instance's redo thread
+//! and applies them locally through the same apply path the standby uses.
+//! Row locks are held until commit; commit records carry the commit SCN and
+//! the specialized in-memory annotation (paper §II.A, §III.E).
+
+pub mod lock_table;
+pub mod manager;
+
+pub use lock_table::LockTable;
+pub use manager::{InMemoryRegistry, Transaction, TxnIdService, TxnManager};

@@ -1,0 +1,271 @@
+//! The OLTAP workload driver (paper §IV).
+//!
+//! Replays the paper's experiment setup: N client threads issue a paced
+//! stream of operations drawn from an [`OpMix`] — DML and index fetches
+//! against the primary, ad-hoc Q1/Q2 full scans against the standby (or
+//! the primary, §IV.B) — while the cluster's background threads ship and
+//! apply redo, maintain the IM-ADG journal and flush invalidations. The
+//! same threads issue DML and scans, reproducing the backpressure the
+//! paper notes ("the setup uses the same set of threads").
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use imadg_common::{CpuReport, Error, LatencyStats, ObjectId, Result, TenantId};
+use imadg_db::{AdgCluster, Value};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::OltapMetrics;
+use crate::mix::{OpKind, OpMix};
+use crate::oltap::{generate_row, NUM_DOMAIN, STR_DOMAIN};
+use crate::queries::{build, QueryId};
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct OltapConfig {
+    /// Initial table rows (keys `0..rows` exist before the run).
+    pub rows: usize,
+    /// Run length.
+    pub duration: Duration,
+    /// Target operations per second across all threads (paper: 4000).
+    pub target_ops_per_sec: f64,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Client threads.
+    pub threads: usize,
+    /// Run the ad-hoc scans on the standby (vs the primary, §IV.B).
+    pub scans_on_standby: bool,
+    /// RNG seed.
+    pub seed: u64,
+    /// Simulated host core count for CPU%% reporting.
+    pub cores: u32,
+}
+
+impl Default for OltapConfig {
+    fn default() -> Self {
+        OltapConfig {
+            rows: 20_000,
+            duration: Duration::from_secs(5),
+            target_ops_per_sec: 4000.0,
+            mix: OpMix::update_only(),
+            threads: 4,
+            scans_on_standby: true,
+            seed: 42,
+            cores: 16,
+        }
+    }
+}
+
+#[derive(Default)]
+struct SharedStats {
+    q1: Mutex<LatencyStats>,
+    q2: Mutex<LatencyStats>,
+    fetch: Mutex<LatencyStats>,
+    update: Mutex<LatencyStats>,
+    insert: Mutex<LatencyStats>,
+    ops: AtomicU64,
+    conflicts: AtomicU64,
+    scans_total: AtomicU64,
+    scans_used_imcs: AtomicU64,
+    scan_imcu_rows: AtomicU64,
+    scan_fallback_rows: AtomicU64,
+    scan_uncovered_rows: AtomicU64,
+}
+
+/// Run the workload against a started cluster. The caller is responsible
+/// for loading the table and starting the cluster threads beforehand.
+pub fn run_oltap(
+    cluster: &Arc<AdgCluster>,
+    object: ObjectId,
+    cfg: &OltapConfig,
+) -> Result<OltapMetrics> {
+    // Reset CPU accounting so the report covers only this run.
+    reset_cpu(cluster);
+    let shared = Arc::new(SharedStats::default());
+    let next_key = Arc::new(AtomicI64::new(cfg.rows as i64));
+    let interval = Duration::from_secs_f64(cfg.threads as f64 / cfg.target_ops_per_sec);
+    let started = Instant::now();
+    let deadline = started + cfg.duration;
+
+    let mut handles = Vec::new();
+    for t in 0..cfg.threads {
+        let cluster = cluster.clone();
+        let shared = shared.clone();
+        let next_key = next_key.clone();
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || -> Result<()> {
+            let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(t as u64 * 7919));
+            let mut next = Instant::now();
+            let mut scan_flip = t % 2 == 0;
+            while Instant::now() < deadline {
+                let now = Instant::now();
+                if now < next {
+                    std::thread::sleep(next - now);
+                } else if now - next > Duration::from_millis(100) {
+                    // Fell far behind (slow scans without DBIM): shed the
+                    // debt instead of bursting — throughput drops, which is
+                    // exactly the backpressure effect the paper describes.
+                    next = now;
+                }
+                next += interval;
+                run_op(&cluster, object, &cfg, &mut rng, &mut scan_flip, &next_key, &shared)?;
+                shared.ops.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(())
+        }));
+    }
+    for h in handles {
+        h.join().expect("workload thread panicked")?;
+    }
+    let wall = started.elapsed();
+    Ok(collect_metrics(cluster, cfg, &shared, wall))
+}
+
+fn run_op(
+    cluster: &AdgCluster,
+    object: ObjectId,
+    cfg: &OltapConfig,
+    rng: &mut SmallRng,
+    scan_flip: &mut bool,
+    next_key: &AtomicI64,
+    shared: &SharedStats,
+) -> Result<()> {
+    let p = cluster.primary();
+    match cfg.mix.sample(rng) {
+        OpKind::Update => {
+            let key = rng.gen_range(0..cfg.rows as i64);
+            let col = format!("n{}", rng.gen_range(1..=2)); // hot columns n1/n2
+            let val = Value::Int(rng.gen_range(0..NUM_DOMAIN));
+            let t0 = Instant::now();
+            match p.update_one(object, TenantId::DEFAULT, key, &col, val) {
+                Ok(_) => shared.update.lock().record(t0.elapsed()),
+                Err(Error::WriteConflict { .. }) => {
+                    shared.conflicts.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        OpKind::Insert => {
+            let key = next_key.fetch_add(1, Ordering::Relaxed);
+            let row = generate_row(key, rng);
+            let t0 = Instant::now();
+            p.insert_one(object, TenantId::DEFAULT, row)?;
+            shared.insert.lock().record(t0.elapsed());
+        }
+        OpKind::Fetch => {
+            let key = rng.gen_range(0..cfg.rows as i64);
+            let t0 = Instant::now();
+            p.fetch_by_key(object, key)?;
+            shared.fetch.lock().record(t0.elapsed());
+        }
+        OpKind::Scan => {
+            let (qid, stats) = if *scan_flip {
+                (QueryId::Q1, &shared.q1)
+            } else {
+                (QueryId::Q2, &shared.q2)
+            };
+            *scan_flip = !*scan_flip;
+            let schema = p.store.table(object)?.schema.read().clone();
+            let bind = rng.gen_range(0..if qid == QueryId::Q1 { NUM_DOMAIN } else { STR_DOMAIN });
+            let filter = build(qid, &schema, bind)?;
+            let t0 = Instant::now();
+            let out = if cfg.scans_on_standby {
+                match cluster.standby().scan(object, &filter) {
+                    Ok(o) => o,
+                    // Before the first QuerySCN publish: skip the sample.
+                    Err(Error::NoQueryScn) => return Ok(()),
+                    Err(e) => return Err(e),
+                }
+            } else {
+                p.scan(object, &filter)?
+            };
+            stats.lock().record(t0.elapsed());
+            shared.scans_total.fetch_add(1, Ordering::Relaxed);
+            if out.used_imcs {
+                shared.scans_used_imcs.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(s) = out.stats {
+                shared.scan_imcu_rows.fetch_add(s.imcu_rows as u64, Ordering::Relaxed);
+                shared.scan_fallback_rows.fetch_add(s.fallback_rows as u64, Ordering::Relaxed);
+                shared.scan_uncovered_rows.fetch_add(s.uncovered_rows as u64, Ordering::Relaxed);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn reset_cpu(cluster: &AdgCluster) {
+    for p in cluster.primaries() {
+        p.dml_cpu.reset();
+        p.query_cpu.reset();
+        p.population.cpu.reset();
+    }
+    let s = cluster.standby();
+    s.recovery.ingest_cpu.reset();
+    for w in s.recovery.worker_cpu() {
+        w.reset();
+    }
+    for i in s.instances() {
+        i.query_cpu.reset();
+        i.population.cpu.reset();
+    }
+    if let Some(adg) = &s.adg {
+        adg.mining.cpu.reset();
+        adg.flush.cpu.reset();
+    }
+}
+
+fn collect_metrics(
+    cluster: &AdgCluster,
+    cfg: &OltapConfig,
+    shared: &SharedStats,
+    wall: Duration,
+) -> OltapMetrics {
+    let p = cluster.primary();
+    let s = cluster.standby();
+
+    let mut primary_parts: Vec<(&str, &imadg_common::CpuAccount)> =
+        vec![("dml", &p.dml_cpu), ("queries", &p.query_cpu), ("population", &p.population.cpu)];
+    let primary = CpuReport::collect(&std::mem::take(&mut primary_parts), wall, cfg.cores);
+
+    let worker_cpu = s.recovery.worker_cpu();
+    let mut standby_parts: Vec<(String, f64)> = Vec::new();
+    let apply_pct: f64 =
+        worker_cpu.iter().map(|c| c.utilization_pct(wall, cfg.cores)).sum::<f64>()
+            + s.recovery.ingest_cpu.utilization_pct(wall, cfg.cores);
+    standby_parts.push(("redo apply".into(), apply_pct));
+    let q_pct: f64 =
+        s.instances().iter().map(|i| i.query_cpu.utilization_pct(wall, cfg.cores)).sum();
+    standby_parts.push(("queries".into(), q_pct));
+    let pop_pct: f64 =
+        s.instances().iter().map(|i| i.population.cpu.utilization_pct(wall, cfg.cores)).sum();
+    standby_parts.push(("population".into(), pop_pct));
+    if let Some(adg) = &s.adg {
+        standby_parts.push(("mining".into(), adg.mining.cpu.utilization_pct(wall, cfg.cores)));
+        standby_parts.push(("inval flush".into(), adg.flush.cpu.utilization_pct(wall, cfg.cores)));
+    }
+    let standby_total: f64 = standby_parts.iter().map(|(_, v)| v).sum();
+
+    let ops = shared.ops.load(Ordering::Relaxed);
+    OltapMetrics {
+        q1: shared.q1.lock().summary(),
+        q2: shared.q2.lock().summary(),
+        fetch: shared.fetch.lock().summary(),
+        update: shared.update.lock().summary(),
+        insert: shared.insert.lock().summary(),
+        ops,
+        achieved_ops_per_sec: ops as f64 / wall.as_secs_f64(),
+        conflicts: shared.conflicts.load(Ordering::Relaxed),
+        scans_total: shared.scans_total.load(Ordering::Relaxed),
+        scans_used_imcs: shared.scans_used_imcs.load(Ordering::Relaxed),
+        scan_imcu_rows: shared.scan_imcu_rows.load(Ordering::Relaxed),
+        scan_fallback_rows: shared.scan_fallback_rows.load(Ordering::Relaxed),
+        scan_uncovered_rows: shared.scan_uncovered_rows.load(Ordering::Relaxed),
+        primary_cpu: primary,
+        standby_cpu: CpuReport { components: standby_parts, total_pct: standby_total },
+        wall_secs: wall.as_secs_f64(),
+    }
+}

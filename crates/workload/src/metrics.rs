@@ -1,0 +1,138 @@
+//! Workload result metrics.
+
+use imadg_common::cpu::CpuReport;
+use imadg_common::stats::LatencySummary;
+use serde::{Deserialize, Serialize};
+
+/// Everything one OLTAP run measured.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OltapMetrics {
+    /// Q1 (`n1 = :1`) scan response times.
+    pub q1: LatencySummary,
+    /// Q2 (`c1 = :2`) scan response times.
+    pub q2: LatencySummary,
+    /// Index-fetch response times.
+    pub fetch: LatencySummary,
+    /// Update response times.
+    pub update: LatencySummary,
+    /// Insert response times.
+    pub insert: LatencySummary,
+    /// Total operations issued.
+    pub ops: u64,
+    /// Achieved throughput.
+    pub achieved_ops_per_sec: f64,
+    /// Row-lock conflicts (retried by the workload).
+    pub conflicts: u64,
+    /// Ad-hoc scans issued.
+    pub scans_total: u64,
+    /// Scans served by the In-Memory Scan Engine.
+    pub scans_used_imcs: u64,
+    /// Result rows served from encoded IMCU data.
+    pub scan_imcu_rows: u64,
+    /// Result rows served via SMU fallback.
+    pub scan_fallback_rows: u64,
+    /// Result rows served from uncovered blocks.
+    pub scan_uncovered_rows: u64,
+    /// Primary-side CPU report.
+    pub primary_cpu: CpuReport,
+    /// Standby-side CPU report.
+    pub standby_cpu: CpuReport,
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+}
+
+impl OltapMetrics {
+    /// Speedup of this run's query latency over a baseline run's, per the
+    /// paper's Figs. 9–10 (baseline / this).
+    pub fn speedup_over(&self, baseline: &OltapMetrics) -> QuerySpeedup {
+        QuerySpeedup {
+            q1_median: ratio(baseline.q1.median_s, self.q1.median_s),
+            q1_average: ratio(baseline.q1.average_s, self.q1.average_s),
+            q1_p95: ratio(baseline.q1.p95_s, self.q1.p95_s),
+            q2_median: ratio(baseline.q2.median_s, self.q2.median_s),
+            q2_average: ratio(baseline.q2.average_s, self.q2.average_s),
+            q2_p95: ratio(baseline.q2.p95_s, self.q2.p95_s),
+        }
+    }
+}
+
+fn ratio(base: f64, new: f64) -> f64 {
+    if new <= 0.0 {
+        0.0
+    } else {
+        base / new
+    }
+}
+
+/// Latency speedups (baseline / improved) for both queries.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QuerySpeedup {
+    /// Q1 median speedup.
+    pub q1_median: f64,
+    /// Q1 average speedup.
+    pub q1_average: f64,
+    /// Q1 p95 speedup.
+    pub q1_p95: f64,
+    /// Q2 median speedup.
+    pub q2_median: f64,
+    /// Q2 average speedup.
+    pub q2_average: f64,
+    /// Q2 p95 speedup.
+    pub q2_p95: f64,
+}
+
+impl QuerySpeedup {
+    /// Smallest of the six speedups.
+    pub fn min(&self) -> f64 {
+        [self.q1_median, self.q1_average, self.q1_p95, self.q2_median, self.q2_average, self.q2_p95]
+            .into_iter()
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(median: f64) -> LatencySummary {
+        LatencySummary { count: 10, median_s: median, average_s: median, p95_s: median, max_s: median }
+    }
+
+    fn metrics(q_median: f64) -> OltapMetrics {
+        OltapMetrics {
+            q1: summary(q_median),
+            q2: summary(q_median),
+            fetch: LatencySummary::default(),
+            update: LatencySummary::default(),
+            insert: LatencySummary::default(),
+            ops: 0,
+            achieved_ops_per_sec: 0.0,
+            conflicts: 0,
+            scans_total: 0,
+            scans_used_imcs: 0,
+            scan_imcu_rows: 0,
+            scan_fallback_rows: 0,
+            scan_uncovered_rows: 0,
+            primary_cpu: CpuReport { components: vec![], total_pct: 0.0 },
+            standby_cpu: CpuReport { components: vec![], total_pct: 0.0 },
+            wall_secs: 1.0,
+        }
+    }
+
+    #[test]
+    fn speedup_math() {
+        let slow = metrics(0.100);
+        let fast = metrics(0.001);
+        let s = fast.speedup_over(&slow);
+        assert!((s.q1_median - 100.0).abs() < 1e-6);
+        assert!((s.min() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn metrics_serialize() {
+        let m = metrics(0.5);
+        let j = serde_json::to_string(&m).unwrap();
+        let back: OltapMetrics = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.q1.median_s, 0.5);
+    }
+}

@@ -1,0 +1,110 @@
+//! Operation mixes of the paper's experiments (§IV.A, §IV.B).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One workload operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Single-row update through the identity index (primary).
+    Update,
+    /// Single-row insert (primary).
+    Insert,
+    /// Index fetch by identity key.
+    Fetch,
+    /// Ad-hoc full-table scan (Q1/Q2).
+    Scan,
+}
+
+/// An operation mix in percent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    /// Percent updates.
+    pub update_pct: f64,
+    /// Percent inserts.
+    pub insert_pct: f64,
+    /// Percent index fetches.
+    pub fetch_pct: f64,
+    /// Percent ad-hoc scans.
+    pub scan_pct: f64,
+}
+
+impl OpMix {
+    /// §IV.A.1 update-only mix: 70% updates, 29% fetches, 1% scans.
+    pub fn update_only() -> OpMix {
+        OpMix { update_pct: 70.0, insert_pct: 0.0, fetch_pct: 29.0, scan_pct: 1.0 }
+    }
+
+    /// §IV.A.2 update+insert mix: 25% inserts, 40% updates, 34% fetches,
+    /// 1% scans.
+    pub fn update_insert() -> OpMix {
+        OpMix { update_pct: 40.0, insert_pct: 25.0, fetch_pct: 34.0, scan_pct: 1.0 }
+    }
+
+    /// §IV.B scan-only mix: 25% scans, 75% fetches, no DML.
+    pub fn scan_only() -> OpMix {
+        OpMix { update_pct: 0.0, insert_pct: 0.0, fetch_pct: 75.0, scan_pct: 25.0 }
+    }
+
+    /// Sum of the percentages.
+    pub fn total(&self) -> f64 {
+        self.update_pct + self.insert_pct + self.fetch_pct + self.scan_pct
+    }
+
+    /// Draw one operation.
+    pub fn sample(&self, rng: &mut SmallRng) -> OpKind {
+        let x = rng.gen_range(0.0..self.total());
+        if x < self.update_pct {
+            OpKind::Update
+        } else if x < self.update_pct + self.insert_pct {
+            OpKind::Insert
+        } else if x < self.update_pct + self.insert_pct + self.fetch_pct {
+            OpKind::Fetch
+        } else {
+            OpKind::Scan
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_mixes_sum_to_100() {
+        for m in [OpMix::update_only(), OpMix::update_insert(), OpMix::scan_only()] {
+            assert!((m.total() - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampling_tracks_percentages() {
+        let m = OpMix::update_only();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        const N: usize = 100_000;
+        for _ in 0..N {
+            match m.sample(&mut rng) {
+                OpKind::Update => counts[0] += 1,
+                OpKind::Insert => counts[1] += 1,
+                OpKind::Fetch => counts[2] += 1,
+                OpKind::Scan => counts[3] += 1,
+            }
+        }
+        assert!((counts[0] as f64 / N as f64 - 0.70).abs() < 0.01);
+        assert_eq!(counts[1], 0);
+        assert!((counts[2] as f64 / N as f64 - 0.29).abs() < 0.01);
+        assert!((counts[3] as f64 / N as f64 - 0.01).abs() < 0.005);
+    }
+
+    #[test]
+    fn scan_only_has_no_dml() {
+        let m = OpMix::scan_only();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let op = m.sample(&mut rng);
+            assert!(matches!(op, OpKind::Fetch | OpKind::Scan));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! The analytics queries of Table 1.
+//!
+//! | id | description | SQL |
+//! |----|-------------|-----|
+//! | Q1 | scan, filter a numeric column that may have been updated | `SELECT * FROM C101_6P1M_HASH WHERE n1 = :1` |
+//! | Q2 | scan, filter a varchar column that may have been updated | `SELECT * FROM C101_6P1M_HASH WHERE c1 = :2` |
+//!
+//! Both are forced through full scans — the workload builds no analytic
+//! indexes — so they exercise the raw IMCS + In-Memory Scan Engine path.
+
+use imadg_common::Result;
+use imadg_db::{Filter, Predicate, Schema, Value};
+
+use crate::oltap::str_value;
+
+/// Table 1 query ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryId {
+    /// `WHERE n1 = :1` — numeric filter.
+    Q1,
+    /// `WHERE c1 = :2` — varchar filter.
+    Q2,
+}
+
+impl QueryId {
+    /// The SQL text the paper lists (documentation/reporting).
+    pub fn sql(self) -> &'static str {
+        match self {
+            QueryId::Q1 => "SELECT * FROM C101_6P1M_HASH WHERE n1 = :1",
+            QueryId::Q2 => "SELECT * FROM C101_6P1M_HASH WHERE c1 = :2",
+        }
+    }
+}
+
+/// Q1 with bind `:1 = v`.
+pub fn q1(schema: &Schema, v: i64) -> Result<Filter> {
+    Ok(Filter::of(Predicate::eq(schema, "n1", Value::Int(v))?))
+}
+
+/// Q2 with bind `:2 = v` (a domain value index).
+pub fn q2(schema: &Schema, v: i64) -> Result<Filter> {
+    Ok(Filter::of(Predicate::eq(schema, "c1", Value::str(str_value(v)))?))
+}
+
+/// Build the filter for a query id and bind value.
+pub fn build(id: QueryId, schema: &Schema, bind: i64) -> Result<Filter> {
+    match id {
+        QueryId::Q1 => q1(schema, bind),
+        QueryId::Q2 => q2(schema, bind),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oltap::wide_schema;
+
+    #[test]
+    fn filters_target_the_right_columns() {
+        let s = wide_schema();
+        let f1 = q1(&s, 5).unwrap();
+        assert_eq!(f1.terms[0].ordinal, s.ordinal("n1").unwrap());
+        let f2 = q2(&s, 5).unwrap();
+        assert_eq!(f2.terms[0].ordinal, s.ordinal("c1").unwrap());
+        assert_eq!(f2.terms[0].value, Value::str("val_000005"));
+    }
+
+    #[test]
+    fn sql_texts_match_table_1() {
+        assert!(QueryId::Q1.sql().contains("n1 = :1"));
+        assert!(QueryId::Q2.sql().contains("c1 = :2"));
+    }
+}

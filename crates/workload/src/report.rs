@@ -1,0 +1,83 @@
+//! Plain-text reporting in the shape of the paper's tables and figures.
+
+use imadg_common::cpu::CpuReport;
+use imadg_common::stats::LatencySummary;
+
+use crate::metrics::{OltapMetrics, QuerySpeedup};
+
+/// Format one latency row: `label  median  average  p95` in milliseconds.
+pub fn latency_row(label: &str, s: &LatencySummary) -> String {
+    format!(
+        "{label:<28} {:>10.3} {:>10.3} {:>10.3} {:>8}",
+        s.median_ms(),
+        s.average_ms(),
+        s.p95_ms(),
+        s.count
+    )
+}
+
+/// Header matching [`latency_row`].
+pub fn latency_header() -> String {
+    format!(
+        "{:<28} {:>10} {:>10} {:>10} {:>8}",
+        "query", "median ms", "avg ms", "p95 ms", "samples"
+    )
+}
+
+/// Print a Fig. 9 / Fig. 10 style comparison of two runs.
+pub fn print_comparison(title: &str, without: &OltapMetrics, with: &OltapMetrics) {
+    println!("== {title} ==");
+    println!("{}", latency_header());
+    println!("{}", latency_row("Q1 without DBIM-on-ADG", &without.q1));
+    println!("{}", latency_row("Q1 with    DBIM-on-ADG", &with.q1));
+    println!("{}", latency_row("Q2 without DBIM-on-ADG", &without.q2));
+    println!("{}", latency_row("Q2 with    DBIM-on-ADG", &with.q2));
+    let s = with.speedup_over(without);
+    print_speedup(&s);
+    println!(
+        "throughput: {:.0} -> {:.0} ops/s (target sustained only with DBIM)",
+        without.achieved_ops_per_sec, with.achieved_ops_per_sec
+    );
+}
+
+/// Print the speedup block.
+pub fn print_speedup(s: &QuerySpeedup) {
+    println!(
+        "speedup Q1 median/avg/p95: {:.1}x / {:.1}x / {:.1}x",
+        s.q1_median, s.q1_average, s.q1_p95
+    );
+    println!(
+        "speedup Q2 median/avg/p95: {:.1}x / {:.1}x / {:.1}x",
+        s.q2_median, s.q2_average, s.q2_p95
+    );
+}
+
+/// Print a CPU report.
+pub fn print_cpu(label: &str, r: &CpuReport) {
+    let parts: Vec<String> =
+        r.components.iter().map(|(n, p)| format!("{n} {p:.1}%")).collect();
+    println!("{label}: total {:.1}%  [{}]", r.total_pct, parts.join(", "));
+}
+
+/// Print scan provenance counters.
+pub fn print_scan_sources(m: &OltapMetrics) {
+    println!(
+        "scans: {} total, {} via IMCS; rows from imcu/fallback/uncovered = {}/{}/{}",
+        m.scans_total, m.scans_used_imcs, m.scan_imcu_rows, m.scan_fallback_rows, m.scan_uncovered_rows
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_align() {
+        let s = LatencySummary { count: 3, median_s: 0.001, average_s: 0.002, p95_s: 0.003, max_s: 0.004 };
+        let row = latency_row("x", &s);
+        assert!(row.contains("1.000"));
+        assert!(row.contains("2.000"));
+        assert!(row.contains("3.000"));
+        assert_eq!(latency_header().split_whitespace().count(), 8); // "median ms" etc. split
+    }
+}

@@ -1,0 +1,83 @@
+//! # imadg — Database In-Memory on an Active-Standby replica
+//!
+//! A from-scratch Rust reproduction of *"Oracle Database In-Memory on
+//! Active Data Guard: Real-time Analytics on a Standby Database"*
+//! (ICDE 2020): a physical standby database maintained purely by parallel
+//! redo apply hosts a transactionally-consistent In-Memory Column Store,
+//! so analytic queries offload to the standby at columnar speeds while the
+//! primary runs OLTP.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use imadg::prelude::*;
+//!
+//! // One primary + one standby, DBIM-on-ADG enabled.
+//! let cluster = AdgCluster::single().unwrap();
+//! cluster
+//!     .create_table(TableSpec {
+//!         id: ObjectId(1),
+//!         name: "sales".into(),
+//!         tenant: TenantId::DEFAULT,
+//!         schema: Schema::of(&[("id", ColumnType::Int), ("amount", ColumnType::Int)]),
+//!         key_ordinal: 0,
+//!         rows_per_block: 64,
+//!     })
+//!     .unwrap();
+//! cluster.set_placement(ObjectId(1), Placement::StandbyOnly).unwrap();
+//!
+//! // OLTP on the primary.
+//! let p = cluster.primary();
+//! let mut tx = p.txm.begin(TenantId::DEFAULT);
+//! for k in 0..100 {
+//!     p.txm.insert(&mut tx, ObjectId(1), vec![Value::Int(k), Value::Int(k * 10)]).unwrap();
+//! }
+//! p.txm.commit(tx);
+//!
+//! // Replicate, apply, advance the QuerySCN, populate the column store.
+//! cluster.sync().unwrap();
+//!
+//! // Analytics on the standby, served from the IMCS.
+//! let schema = p.store.table(ObjectId(1)).unwrap().schema.read().clone();
+//! let filter = Filter::of(Predicate::eq(&schema, "amount", Value::Int(500)).unwrap());
+//! let out = cluster.standby().scan(ObjectId(1), &filter).unwrap();
+//! assert!(out.used_imcs);
+//! assert_eq!(out.count(), 1);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`imadg_common`] | SCNs, DBAs, ids, config, stats |
+//! | [`imadg_storage`] | MVCC row store, blocks, buffer cache, apply path |
+//! | [`imadg_redo`] | redo records, log buffers, shipping, log merger |
+//! | [`imadg_txn`] | primary transaction manager, row locks |
+//! | [`imadg_recovery`] | parallel redo apply, QuerySCN, quiesce |
+//! | [`imadg_imcs`] | IMCUs, SMUs, population, scan engine |
+//! | [`imadg_core`] | mining, IM-ADG journal/commit table, flush, RAC |
+//! | [`imadg_db`] | primary/standby clusters, placement, queries |
+//! | [`imadg_workload`] | the paper's OLTAP workload and reporting |
+
+pub use imadg_common as common;
+pub use imadg_core as core_adg;
+pub use imadg_db as db;
+pub use imadg_imcs as imcs;
+pub use imadg_recovery as recovery;
+pub use imadg_redo as redo;
+pub use imadg_storage as storage;
+pub use imadg_txn as txn;
+pub use imadg_workload as workload;
+
+/// The types most programs need.
+pub mod prelude {
+    pub use imadg_common::{
+        Dba, Error, ImcsConfig, InstanceId, ObjectId, RecoveryConfig, Result, Scn, SystemConfig,
+        TenantId, TransportConfig, TxnId,
+    };
+    pub use imadg_db::{
+        AdgCluster, ClusterSpec, CmpOp, ColumnDef, ColumnType, Filter, Placement, Predicate,
+        QueryOutput, Row, Schema, StandbyCluster, TableSpec, Value,
+    };
+    pub use imadg_workload::{OltapConfig, OpMix, QueryId};
+}

@@ -1,0 +1,104 @@
+//! Smoke tests of the OLTAP workload driver: short threaded runs of each
+//! paper mix, checking the measured artifacts are well-formed.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use imadg::prelude::*;
+use imadg::workload::{load_wide_table, run_oltap, wide_table_spec, OltapConfig, OpMix};
+
+const WIDE: ObjectId = ObjectId(101);
+
+fn cluster(rows: usize) -> Arc<AdgCluster> {
+    let c = Arc::new(AdgCluster::single().unwrap());
+    c.create_table(wide_table_spec(WIDE, 64)).unwrap();
+    c.set_placement(WIDE, Placement::StandbyOnly).unwrap();
+    load_wide_table(&c, WIDE, rows, 7).unwrap();
+    c.sync().unwrap();
+    c
+}
+
+fn config(rows: usize, mix: OpMix) -> OltapConfig {
+    OltapConfig {
+        rows,
+        duration: Duration::from_millis(700),
+        target_ops_per_sec: 800.0,
+        mix,
+        threads: 2,
+        scans_on_standby: true,
+        seed: 11,
+        cores: 16,
+    }
+}
+
+#[test]
+fn update_only_mix_produces_complete_metrics() {
+    let c = cluster(2_000);
+    let threads = c.start();
+    let m = run_oltap(&c, WIDE, &config(2_000, OpMix::update_only())).unwrap();
+    drop(threads);
+
+    assert!(m.ops > 100, "paced ops executed: {}", m.ops);
+    assert!(m.update.count > 0);
+    assert_eq!(m.insert.count, 0, "update-only mix never inserts");
+    assert!(m.fetch.count > 0);
+    assert!(m.achieved_ops_per_sec > 0.0);
+    assert!(m.wall_secs > 0.5);
+    // Scans ran via the column store.
+    assert_eq!(m.scans_used_imcs, m.scans_total);
+    // Latency summaries are internally consistent.
+    for s in [&m.q1, &m.q2, &m.update, &m.fetch] {
+        if s.count > 0 {
+            assert!(s.median_s <= s.p95_s + 1e-12);
+            assert!(s.p95_s <= s.max_s + 1e-12);
+        }
+    }
+    // CPU reports carry every expected component.
+    let names: Vec<&str> =
+        m.standby_cpu.components.iter().map(|(n, _)| n.as_str()).collect();
+    for want in ["redo apply", "queries", "population", "mining", "inval flush"] {
+        assert!(names.contains(&want), "missing component {want}: {names:?}");
+    }
+}
+
+#[test]
+fn insert_mix_grows_the_table_consistently() {
+    let c = cluster(1_000);
+    let threads = c.start();
+    let m = run_oltap(&c, WIDE, &config(1_000, OpMix::update_insert())).unwrap();
+    drop(threads);
+    assert!(m.insert.count > 0, "inserts executed");
+    // After the run the standby converges to the grown table.
+    c.sync().unwrap();
+    let standby = c.standby();
+    let total = standby.scan(WIDE, &Filter::all()).unwrap().count();
+    assert_eq!(total, 1_000 + m.insert.count as usize);
+}
+
+#[test]
+fn scan_only_mix_runs_on_primary_too() {
+    let c = cluster(1_000);
+    c.set_placement(WIDE, Placement::Both).unwrap();
+    c.sync().unwrap();
+    c.populate_primary().unwrap();
+    let threads = c.start();
+    let mut cfg = config(1_000, OpMix::scan_only());
+    cfg.scans_on_standby = false;
+    let m = run_oltap(&c, WIDE, &cfg).unwrap();
+    drop(threads);
+    assert_eq!(m.update.count + m.insert.count, 0);
+    assert!(m.scans_total > 0);
+    assert_eq!(m.scans_used_imcs, m.scans_total, "primary IMCS served the scans");
+}
+
+#[test]
+fn metrics_speedup_math_on_real_runs() {
+    let c = cluster(1_000);
+    let threads = c.start();
+    let a = run_oltap(&c, WIDE, &config(1_000, OpMix::update_only())).unwrap();
+    let b = run_oltap(&c, WIDE, &config(1_000, OpMix::update_only())).unwrap();
+    drop(threads);
+    let s = b.speedup_over(&a);
+    assert!(s.q1_median.is_finite());
+    assert!(s.min() >= 0.0);
+}
