@@ -6,8 +6,8 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use imadg_common::{Dba, ImcsConfig, ObjectId, ObjectSet, Scn, TenantId, TxnId, WorkerId};
-use imadg_core::{CommitNode, DbimAdg, LocalFlushTarget};
 use imadg_core::invalidation::InvalidationRecord;
+use imadg_core::{CommitNode, DbimAdg, LocalFlushTarget};
 use imadg_imcs::{ImcsStore, Imcu, ImcuHandle};
 use imadg_recovery::AdvanceHook;
 use imadg_storage::Store;

@@ -6,32 +6,36 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use imadg_common::{Dba, ObjectId, Scn, TenantId, TxnId, WorkerId};
-use imadg_core::{CommitNode, CommitTable, Journal};
 use imadg_core::invalidation::InvalidationRecord;
+use imadg_core::{CommitNode, CommitTable, Journal};
 
 fn bench_journal(c: &mut Criterion) {
     let mut g = c.benchmark_group("journal");
     g.throughput(Throughput::Elements(10_000));
     g.sample_size(20);
     for buckets in [16usize, 256] {
-        g.bench_with_input(BenchmarkId::new("mine_10k_records", buckets), &buckets, |b, &buckets| {
-            b.iter(|| {
-                let j = Journal::new(buckets, 4);
-                for i in 0..10_000u64 {
-                    let anchor = j.anchor_or_create(TxnId(i % 128), TenantId::DEFAULT);
-                    anchor.add_record(
-                        WorkerId((i % 4) as u16),
-                        InvalidationRecord {
-                            object: ObjectId(1),
-                            dba: Dba(i),
-                            slot: 0,
-                            tenant: TenantId::DEFAULT,
-                        },
-                    );
-                }
-                j.len()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("mine_10k_records", buckets),
+            &buckets,
+            |b, &buckets| {
+                b.iter(|| {
+                    let j = Journal::new(buckets, 4);
+                    for i in 0..10_000u64 {
+                        let anchor = j.anchor_or_create(TxnId(i % 128), TenantId::DEFAULT);
+                        anchor.add_record(
+                            WorkerId((i % 4) as u16),
+                            InvalidationRecord {
+                                object: ObjectId(1),
+                                dba: Dba(i),
+                                slot: 0,
+                                tenant: TenantId::DEFAULT,
+                            },
+                        );
+                    }
+                    j.len()
+                })
+            },
+        );
     }
 
     g.bench_function("drain_128_txns", |b| {

@@ -45,17 +45,13 @@ fn bench_population(c: &mut Criterion) {
         let dbas = store.block_dbas(OBJ).unwrap();
         let schema = store.table(OBJ).unwrap().schema.read().clone();
         g.throughput(Throughput::Elements(unit_rows as u64));
-        g.bench_with_input(
-            BenchmarkId::new("build_wide_unit", unit_rows),
-            &unit_rows,
-            |b, _| {
-                b.iter(|| {
-                    Imcu::build(&store, OBJ, TenantId::DEFAULT, dbas.clone(), snapshot, &schema)
-                        .unwrap()
-                        .rows()
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("build_wide_unit", unit_rows), &unit_rows, |b, _| {
+            b.iter(|| {
+                Imcu::build(&store, OBJ, TenantId::DEFAULT, dbas.clone(), snapshot, &schema)
+                    .unwrap()
+                    .rows()
+            })
+        });
     }
     g.finish();
 }

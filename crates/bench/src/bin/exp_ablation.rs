@@ -12,19 +12,16 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-
 use imadg_common::{Dba, InstanceId, ObjectId, ObjectSet, Scn, TenantId, TxnId, WorkerId};
-use imadg_core::{
-    CommitNode, CommitTable, DdlTable, HomeLocationMap, Journal, MiningComponent,
-    RacFlushTarget,
-};
 use imadg_core::flush::FlushTarget;
 use imadg_core::invalidation::{InvalidationGroup, InvalidationRecord};
+use imadg_core::{
+    CommitNode, CommitTable, DdlTable, HomeLocationMap, Journal, MiningComponent, RacFlushTarget,
+};
 use imadg_db::{TenantId as DbTenant, Value};
 use imadg_imcs::ImcsStore;
 use imadg_recovery::{work_queue, ApplyObserver, Worker};
 use imadg_storage::{ChangeOp, ChangeVector, ColumnType, Row, RowLoc, Schema, Store, TableSpec};
-
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -134,8 +131,7 @@ fn coop_flush() {
         for h in helpers {
             h.join().unwrap();
         }
-        let coop_flushed =
-            adg.flush.stats.coop_flushed.load(std::sync::atomic::Ordering::Relaxed);
+        let coop_flushed = adg.flush.stats.coop_flushed.load(std::sync::atomic::Ordering::Relaxed);
         println!(
             "  cooperative={coop:<5} {PENDING_TXNS} pending txns flushed in {:.1} ms \
              (worker-flushed nodes: {coop_flushed})",
@@ -192,7 +188,8 @@ fn journal_buckets() {
     const RECORDS: u64 = 400_000;
     const WORKERS: u64 = 4;
     for buckets in [1usize, 16, 256] {
-        let journal = Arc::new(Journal::new(buckets, WORKERS as usize));
+        let metrics = Arc::new(imadg_common::metrics::JournalMetrics::default());
+        let journal = Arc::new(Journal::with_metrics(buckets, WORKERS as usize, metrics.clone()));
         let started = Instant::now();
         let handles: Vec<_> = (0..WORKERS)
             .map(|w| {
@@ -220,10 +217,12 @@ fn journal_buckets() {
         }
         let elapsed = started.elapsed();
         println!(
-            "  buckets={buckets:<4} {} records in {:.0} ms ({:.2} M/s)",
+            "  buckets={buckets:<4} {} records in {:.0} ms ({:.2} M/s, \
+             {} bucket-latch waits)",
             RECORDS,
             elapsed.as_secs_f64() * 1e3,
-            RECORDS as f64 / elapsed.as_secs_f64() / 1e6
+            RECORDS as f64 / elapsed.as_secs_f64() / 1e6,
+            metrics.bucket_contention.get(),
         );
     }
 }
@@ -239,13 +238,8 @@ fn rac_batch() {
         }
         let home = HomeLocationMap::new(vec![InstanceId(0), InstanceId(1)], 1);
         // 20 µs simulated per-message interconnect cost.
-        let (target, _eps) = RacFlushTarget::new(
-            home,
-            InstanceId(0),
-            stores,
-            batch,
-            Duration::from_micros(20),
-        );
+        let (target, _eps) =
+            RacFlushTarget::new(home, InstanceId(0), stores, batch, Duration::from_micros(20));
         let started = Instant::now();
         for i in 0..GROUPS {
             target.flush_group(&InvalidationGroup {

@@ -13,18 +13,15 @@ use imadg_workload::{report, run_oltap, OpMix, QueryId};
 
 fn main() {
     let scale = ExpScale::from_env();
-    println!(
-        "Fig. 10: update+insert workload, {} rows, {:?} per run",
-        scale.rows, scale.duration
-    );
+    println!("Fig. 10: update+insert workload, {} rows, {:?} per run", scale.rows, scale.duration);
     println!("Q1: {}", QueryId::Q1.sql());
     println!("Q2: {}", QueryId::Q2.sql());
 
     let mut runs = Vec::new();
     for dbim in [false, true] {
         let placement = if dbim { Placement::StandbyOnly } else { Placement::None };
-        let cluster = setup_cluster(default_spec(dbim), placement, scale.rows)
-            .expect("cluster setup");
+        let cluster =
+            setup_cluster(default_spec(dbim), placement, scale.rows).expect("cluster setup");
         let threads = cluster.start();
         let metrics = run_oltap(&cluster, WIDE, &scale.oltap(OpMix::update_insert(), true))
             .expect("workload run");
@@ -38,6 +35,7 @@ fn main() {
         report::print_cpu("primary CPU", &metrics.primary_cpu);
         report::print_cpu("standby CPU", &metrics.standby_cpu);
         report::print_scan_sources(&metrics);
+        report::print_redo_summary(&metrics);
         maybe_json(if dbim { "fig10_with" } else { "fig10_without" }, &metrics);
         runs.push(metrics);
     }

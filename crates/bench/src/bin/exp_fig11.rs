@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use imadg_bench::{maybe_json, setup_cluster, ExpScale, WIDE};
-use imadg_db::{AdgCluster, ClusterSpec, Placement, TenantId, Value};
+use imadg_db::{AdgCluster, ClusterSpec, MetricsSnapshot, Placement, TenantId, Value};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -88,7 +88,7 @@ fn txn_mix_worker(
     })
 }
 
-fn run(dbim: bool, scale: &ExpScale) -> (Vec<Sample>, u64) {
+fn run(dbim: bool, scale: &ExpScale) -> (Vec<Sample>, u64, MetricsSnapshot) {
     let spec = ClusterSpec { primary_instances: 2, dbim_on_adg: dbim, ..Default::default() };
     let placement = if dbim { Placement::StandbyOnly } else { Placement::None };
     let cluster = setup_cluster(spec, placement, scale.rows).expect("cluster setup");
@@ -99,7 +99,9 @@ fn run(dbim: bool, scale: &ExpScale) -> (Vec<Sample>, u64) {
     // from the scale's ops/s target.
     let txns_per_sec = (scale.ops / 8.2 / scale.threads.max(2) as f64).max(1.0);
     let workers: Vec<_> = (0..scale.threads.max(2))
-        .map(|i| txn_mix_worker(cluster.clone(), scale.rows, i as u64 + 1, txns_per_sec, stop.clone()))
+        .map(|i| {
+            txn_mix_worker(cluster.clone(), scale.rows, i as u64 + 1, txns_per_sec, stop.clone())
+        })
         .collect();
 
     let started = Instant::now();
@@ -128,19 +130,36 @@ fn run(dbim: bool, scale: &ExpScale) -> (Vec<Sample>, u64) {
     let catchup_started = Instant::now();
     while cluster.standby().query_scn.get().is_none_or(|q| q < target) {
         std::thread::sleep(Duration::from_millis(1));
-        assert!(
-            catchup_started.elapsed() < Duration::from_secs(30),
-            "standby failed to catch up"
-        );
+        assert!(catchup_started.elapsed() < Duration::from_secs(30), "standby failed to catch up");
     }
     let catchup = catchup_started.elapsed();
+    let standby = cluster.standby().metrics();
+    let p1m = cluster.primaries()[0].metrics();
+    let p2m = cluster.primaries()[1].metrics();
     drop(threads);
     println!(
         "  {} txns committed; final catch-up took {:.0} ms",
         txns,
         catchup.as_secs_f64() * 1e3
     );
-    (samples, txns)
+    println!(
+        "  shipped: inst1 {} records / {} KB, inst2 {} records / {} KB ({} heartbeats total)",
+        p1m.transport.records_shipped,
+        p1m.transport.bytes_shipped / 1024,
+        p2m.transport.records_shipped,
+        p2m.transport.bytes_shipped / 1024,
+        p1m.transport.heartbeats + p2m.transport.heartbeats,
+    );
+    println!(
+        "  standby: merged {} records (stream skew {} SCNs), applied {} items, \
+         {} advances, quiesce mean {:.1}µs",
+        standby.merger.records_merged,
+        standby.merger.stream_skew,
+        standby.apply.items_applied,
+        standby.flush.advances,
+        standby.flush.quiesce_us.mean(),
+    );
+    (samples, txns, standby)
 }
 
 fn main() {
@@ -151,9 +170,9 @@ fn main() {
     );
 
     println!("\n-- baseline: DBIM-on-ADG disabled --");
-    let (base_samples, base_txns) = run(false, &scale);
+    let (base_samples, base_txns, _) = run(false, &scale);
     println!("\n-- DBIM-on-ADG enabled --");
-    let (samples, txns) = run(true, &scale);
+    let (samples, txns, standby_pipeline) = run(true, &scale);
 
     println!(
         "\n{:>7} {:>12} {:>12} {:>12} {:>12} {:>9}",
@@ -167,7 +186,11 @@ fn main() {
     }
 
     let avg_lag = |v: &[Sample]| {
-        if v.is_empty() { 0.0 } else { v.iter().map(|s| s.lag_scns as f64).sum::<f64>() / v.len() as f64 }
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().map(|s| s.lag_scns as f64).sum::<f64>() / v.len() as f64
+        }
     };
     let rel = |v: &[Sample]| {
         let last = v.last().map(|s| s.primary_scn.max(1)).unwrap_or(1);
@@ -184,5 +207,8 @@ fn main() {
         "committed txns: baseline {base_txns}, with DBIM-on-ADG {txns} \
          (redo apply throughput is not materially degraded)"
     );
+    println!("\n-- standby pipeline (DBIM-on-ADG run) --");
+    print!("{standby_pipeline}");
     maybe_json("fig11_series", &samples);
+    maybe_json("fig11_pipeline", &standby_pipeline);
 }

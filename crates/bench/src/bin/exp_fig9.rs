@@ -19,8 +19,8 @@ fn main() {
     let mut runs = Vec::new();
     for dbim in [false, true] {
         let placement = if dbim { Placement::StandbyOnly } else { Placement::None };
-        let cluster = setup_cluster(default_spec(dbim), placement, scale.rows)
-            .expect("cluster setup");
+        let cluster =
+            setup_cluster(default_spec(dbim), placement, scale.rows).expect("cluster setup");
         let threads = cluster.start();
         let metrics = run_oltap(&cluster, WIDE, &scale.oltap(OpMix::update_only(), true))
             .expect("workload run");
@@ -34,6 +34,10 @@ fn main() {
         report::print_cpu("primary CPU", &metrics.primary_cpu);
         report::print_cpu("standby CPU", &metrics.standby_cpu);
         report::print_scan_sources(&metrics);
+        report::print_redo_summary(&metrics);
+        if dbim {
+            report::print_pipeline("standby", &metrics.standby_pipeline);
+        }
         maybe_json(if dbim { "fig9_with" } else { "fig9_without" }, &metrics);
         runs.push(metrics);
     }

@@ -39,6 +39,15 @@ fn main() {
     report::print_cpu("  scans on standby — primary", &on_standby.primary_cpu);
     report::print_cpu("  scans on standby — standby", &on_standby.standby_cpu);
 
+    // Scan-engine stages confirm which side served the queries.
+    let pq = &on_primary.primary_pipeline.scan;
+    let sq = &on_standby.standby_pipeline.scan;
+    println!(
+        "\nscan engine: primary-side run served {} queries ({} via IMCS), \
+         standby-side run {} ({} via IMCS)",
+        pq.queries, pq.imcs_served, sq.queries, sq.imcs_served
+    );
+
     maybe_json("table2_primary", &on_primary);
     maybe_json("table2_standby", &on_standby);
 }

@@ -95,10 +95,7 @@ pub fn default_spec(dbim_on_adg: bool) -> ClusterSpec {
 /// Print a JSON blob when `IMADG_JSON=1` (for EXPERIMENTS.md records).
 pub fn maybe_json<T: serde::Serialize>(tag: &str, value: &T) {
     if std::env::var("IMADG_JSON").as_deref() == Ok("1") {
-        println!(
-            "JSON {tag} {}",
-            serde_json::to_string(value).expect("metrics serialize")
-        );
+        println!("JSON {tag} {}", serde_json::to_string(value).expect("metrics serialize"));
     }
 }
 

@@ -120,11 +120,7 @@ pub struct TransportConfig {
 
 impl Default for TransportConfig {
     fn default() -> Self {
-        TransportConfig {
-            latency: Duration::ZERO,
-            batch: 512,
-            invalidation_batch: 64,
-        }
+        TransportConfig { latency: Duration::ZERO, batch: 512, invalidation_batch: 64 }
     }
 }
 

@@ -81,10 +81,8 @@ pub struct CpuReport {
 impl CpuReport {
     /// Build a report from `(name, account)` pairs.
     pub fn collect(parts: &[(&str, &CpuAccount)], wall: Duration, cores: u32) -> CpuReport {
-        let components: Vec<(String, f64)> = parts
-            .iter()
-            .map(|(n, a)| (n.to_string(), a.utilization_pct(wall, cores)))
-            .collect();
+        let components: Vec<(String, f64)> =
+            parts.iter().map(|(n, a)| (n.to_string(), a.utilization_pct(wall, cores))).collect();
         let total_pct = components.iter().map(|(_, p)| p).sum();
         CpuReport { components, total_pct }
     }

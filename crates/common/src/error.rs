@@ -91,9 +91,6 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(Error::NoQueryScn, Error::NoQueryScn);
-        assert_ne!(
-            Error::UnknownObject(ObjectId(1)),
-            Error::UnknownObject(ObjectId(2))
-        );
+        assert_ne!(Error::UnknownObject(ObjectId(1)), Error::UnknownObject(ObjectId(2)));
     }
 }

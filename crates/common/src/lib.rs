@@ -12,6 +12,7 @@ pub mod cpu;
 pub mod error;
 pub mod fxhash;
 pub mod ids;
+pub mod metrics;
 pub mod object_set;
 pub mod stats;
 pub mod sync;
@@ -21,6 +22,10 @@ pub use cpu::{BusyTimer, CpuAccount, CpuReport};
 pub use error::{Error, Result};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use ids::{Dba, InstanceId, ObjectId, RedoThreadId, Scn, SlotId, TenantId, TxnId, WorkerId};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, PipelineTrace,
+    TraceEvent, TraceStage,
+};
 pub use object_set::ObjectSet;
 pub use stats::LatencyStats;
 pub use sync::{QueryScnCell, QuiesceGuard, QuiesceLock, ScnService};

@@ -1,0 +1,1057 @@
+//! Pipeline-wide metrics and tracing.
+//!
+//! One [`MetricsRegistry`] instance accompanies each deployment side (a
+//! primary instance, a standby cluster). Every pipeline stage — redo
+//! transport, log merger, recovery apply, mining, journal, commit table,
+//! invalidation flush, population, scan engine — holds an `Arc` to its
+//! stage-metrics struct and updates lock-light primitives on the hot path:
+//!
+//! * [`Counter`] — a monotonically increasing `AtomicU64`. Its API mirrors
+//!   `AtomicU64` (`fetch_add`, `load` taking an [`Ordering`]) so existing
+//!   call sites keep compiling when a plain atomic field migrates here.
+//! * [`Gauge`] — a last-value cell, refreshed by sampling (queue depths,
+//!   SCNs, table sizes) just before a snapshot is taken.
+//! * [`Histogram`] — fixed power-of-two buckets with count/sum/max. Used
+//!   for durations (recorded in microseconds) and for size distributions
+//!   (commit-table chop sizes).
+//!
+//! [`MetricsRegistry::snapshot`] projects everything into the plain-data,
+//! serde-serializable [`MetricsSnapshot`] — the single schema shared by
+//! `StandbyStatus`, the workload reports and the `exp_*` binaries.
+//!
+//! [`PipelineTrace`] is a bounded ring of [`TraceEvent`]s recording QuerySCN
+//! advancement (and other coarse stage transitions) for post-mortem
+//! inspection without unbounded memory growth.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing event counter.
+///
+/// Deliberately `AtomicU64`-shaped: stats structs that used to hold raw
+/// atomics (mining, flush) migrated their fields to `Counter` without any
+/// call-site churn — `stats.mined.fetch_add(1, Ordering::Relaxed)` and
+/// `stats.mined.load(Ordering::Relaxed)` still compile.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add `n`, returning the previous value (AtomicU64-compatible).
+    pub fn fetch_add(&self, n: u64, order: Ordering) -> u64 {
+        self.0.fetch_add(n, order)
+    }
+
+    /// Read the counter (AtomicU64-compatible).
+    pub fn load(&self, order: Ordering) -> u64 {
+        self.0.load(order)
+    }
+
+    /// Add `n` (relaxed).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one (relaxed).
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Read the counter (relaxed).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A sampled last-value cell (queue depth, SCN, table size).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Read the value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Keep the maximum of the current value and `v`.
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+/// Number of power-of-two histogram buckets. Bucket `i` counts values `v`
+/// with `v < 2^i` not already counted by a lower bucket; the last bucket
+/// absorbs everything beyond.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A lock-free bucketed histogram over `u64` values.
+///
+/// Durations are recorded in microseconds; size distributions record the
+/// raw value. Buckets are upper-bounded at powers of two: value `v` lands
+/// in bucket `ceil(log2(v + 1))`, clamped to the last bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for `v`.
+    fn bucket_index(v: u64) -> usize {
+        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Record one value.
+    pub fn record_value(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration, in microseconds.
+    pub fn record(&self, d: Duration) {
+        self.record_value(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Project to plain data.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// Plain-data projection of a [`Histogram`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Maximum recorded value.
+    pub max: u64,
+    /// Per-bucket counts; bucket `i` holds values in `[2^(i-1), 2^i)`
+    /// (bucket 0 holds zero, the last bucket absorbs overflow).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of recorded values, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the overflow
+    /// bucket).
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i + 1 >= HISTOGRAM_BUCKETS {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` from the bucket upper bounds.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage metrics
+// ---------------------------------------------------------------------------
+
+/// Redo transport (primary-side shipping).
+#[derive(Debug, Default)]
+pub struct TransportMetrics {
+    /// Data records shipped to the standby (heartbeats excluded).
+    pub records_shipped: Counter,
+    /// Approximate wire bytes shipped (data records).
+    pub bytes_shipped: Counter,
+    /// SCN heartbeats shipped on idle redo threads.
+    pub heartbeats: Counter,
+    /// Batches handed to the link.
+    pub batches_shipped: Counter,
+    /// Records still buffered in the log buffer (sampled).
+    pub queue_depth: Gauge,
+}
+
+impl TransportMetrics {
+    /// Project to plain data.
+    pub fn snapshot(&self) -> TransportSnapshot {
+        TransportSnapshot {
+            records_shipped: self.records_shipped.get(),
+            bytes_shipped: self.bytes_shipped.get(),
+            heartbeats: self.heartbeats.get(),
+            batches_shipped: self.batches_shipped.get(),
+            queue_depth: self.queue_depth.get(),
+        }
+    }
+}
+
+/// Plain-data projection of [`TransportMetrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportSnapshot {
+    /// Data records shipped.
+    pub records_shipped: u64,
+    /// Approximate wire bytes shipped.
+    pub bytes_shipped: u64,
+    /// Heartbeats shipped.
+    pub heartbeats: u64,
+    /// Batches shipped.
+    pub batches_shipped: u64,
+    /// Sampled log-buffer depth.
+    pub queue_depth: u64,
+}
+
+/// Standby log merger.
+#[derive(Debug, Default)]
+pub struct MergerMetrics {
+    /// Batches pushed into the merger.
+    pub merge_batches: Counter,
+    /// Data records released in global SCN order.
+    pub records_merged: Counter,
+    /// Heartbeats swallowed (watermark advancement only).
+    pub heartbeats_seen: Counter,
+    /// Records buffered awaiting the watermark (sampled).
+    pub held_back: Gauge,
+    /// The merge watermark SCN (sampled).
+    pub watermark: Gauge,
+    /// Max spread between stream last-seen SCNs (sampled) — RAC stream
+    /// skew the watermark must wait out.
+    pub stream_skew: Gauge,
+}
+
+impl MergerMetrics {
+    /// Project to plain data.
+    pub fn snapshot(&self) -> MergerSnapshot {
+        MergerSnapshot {
+            merge_batches: self.merge_batches.get(),
+            records_merged: self.records_merged.get(),
+            heartbeats_seen: self.heartbeats_seen.get(),
+            held_back: self.held_back.get(),
+            watermark: self.watermark.get(),
+            stream_skew: self.stream_skew.get(),
+        }
+    }
+}
+
+/// Plain-data projection of [`MergerMetrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergerSnapshot {
+    /// Batches pushed into the merger.
+    pub merge_batches: u64,
+    /// Data records released in SCN order.
+    pub records_merged: u64,
+    /// Heartbeats swallowed.
+    pub heartbeats_seen: u64,
+    /// Sampled held-back record count.
+    pub held_back: u64,
+    /// Sampled merge watermark.
+    pub watermark: u64,
+    /// Sampled stream skew in SCNs.
+    pub stream_skew: u64,
+}
+
+/// Recovery apply (dispatcher + workers + coordinator progress).
+#[derive(Debug, Default)]
+pub struct ApplyMetrics {
+    /// Data records handed to the dispatcher (equals records merged —
+    /// the conservation identity the e2e test checks).
+    pub records_dispatched: Counter,
+    /// Work items applied by workers (CVs fan out per record).
+    pub items_applied: Counter,
+    /// CVs applied, per worker (the Fig. 3 parallelism split).
+    worker_cvs: Mutex<Vec<Arc<Counter>>>,
+    /// SCN applied through by every worker (sampled).
+    pub applied_scn: Gauge,
+    /// Highest SCN seen from any redo stream (sampled).
+    pub shipped_scn: Gauge,
+    /// Apply lag: shipped SCN minus applied SCN (sampled).
+    pub apply_lag: Gauge,
+    /// The published QuerySCN (sampled; 0 before the first publish).
+    pub query_scn: Gauge,
+}
+
+impl ApplyMetrics {
+    /// The CVs-applied counter of worker `i`, growing the roster on first
+    /// use.
+    pub fn worker_counter(&self, i: usize) -> Arc<Counter> {
+        let mut v = self.worker_cvs.lock();
+        while v.len() <= i {
+            v.push(Arc::new(Counter::new()));
+        }
+        v[i].clone()
+    }
+
+    /// Project to plain data.
+    pub fn snapshot(&self) -> ApplySnapshot {
+        ApplySnapshot {
+            records_dispatched: self.records_dispatched.get(),
+            items_applied: self.items_applied.get(),
+            worker_cvs: self.worker_cvs.lock().iter().map(|c| c.get()).collect(),
+            applied_scn: self.applied_scn.get(),
+            shipped_scn: self.shipped_scn.get(),
+            apply_lag: self.apply_lag.get(),
+            query_scn: self.query_scn.get(),
+        }
+    }
+}
+
+/// Plain-data projection of [`ApplyMetrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApplySnapshot {
+    /// Data records handed to the dispatcher.
+    pub records_dispatched: u64,
+    /// Work items applied by workers.
+    pub items_applied: u64,
+    /// CVs applied per worker.
+    pub worker_cvs: Vec<u64>,
+    /// Sampled applied-through SCN.
+    pub applied_scn: u64,
+    /// Sampled highest shipped SCN.
+    pub shipped_scn: u64,
+    /// Sampled apply lag in SCNs.
+    pub apply_lag: u64,
+    /// Sampled published QuerySCN (0 = none yet).
+    pub query_scn: u64,
+}
+
+/// Mining component (paper §III.B). Field names match the pre-existing
+/// `MiningStats` so mining call sites and tests were untouched by the move
+/// into the shared registry.
+#[derive(Debug, Default)]
+pub struct MiningMetrics {
+    /// CVs inspected.
+    pub sniffed: Counter,
+    /// Invalidation records buffered.
+    pub mined: Counter,
+    /// Commit-table nodes created.
+    pub commits: Counter,
+    /// Aborted transactions discarded from the journal.
+    pub aborts: Counter,
+    /// DDL markers buffered.
+    pub markers: Counter,
+    /// Invalidation records discarded by aborts (closes the mined ==
+    /// flushed + discarded + pending conservation identity).
+    pub abort_discarded_records: Counter,
+}
+
+impl MiningMetrics {
+    /// Project to plain data.
+    pub fn snapshot(&self) -> MiningSnapshot {
+        MiningSnapshot {
+            sniffed: self.sniffed.get(),
+            mined: self.mined.get(),
+            commits: self.commits.get(),
+            aborts: self.aborts.get(),
+            markers: self.markers.get(),
+            abort_discarded_records: self.abort_discarded_records.get(),
+        }
+    }
+}
+
+/// Plain-data projection of [`MiningMetrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MiningSnapshot {
+    /// CVs inspected.
+    pub sniffed: u64,
+    /// Invalidation records buffered.
+    pub mined: u64,
+    /// Commit-table nodes created.
+    pub commits: u64,
+    /// Aborted transactions discarded.
+    pub aborts: u64,
+    /// DDL markers buffered.
+    pub markers: u64,
+    /// Records discarded by aborts.
+    pub abort_discarded_records: u64,
+}
+
+/// IM-ADG Journal (paper §III.C).
+#[derive(Debug, Default)]
+pub struct JournalMetrics {
+    /// Anchor nodes created.
+    pub anchors_created: Counter,
+    /// Bucket-latch contention: lock acquisitions that had to wait.
+    pub bucket_contention: Counter,
+    /// Open transactions anchored (sampled).
+    pub journal_txns: Gauge,
+    /// Buffered invalidation records (sampled).
+    pub journal_records: Gauge,
+}
+
+impl JournalMetrics {
+    /// Project to plain data.
+    pub fn snapshot(&self) -> JournalSnapshot {
+        JournalSnapshot {
+            anchors_created: self.anchors_created.get(),
+            bucket_contention: self.bucket_contention.get(),
+            journal_txns: self.journal_txns.get(),
+            journal_records: self.journal_records.get(),
+        }
+    }
+}
+
+/// Plain-data projection of [`JournalMetrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalSnapshot {
+    /// Anchor nodes created.
+    pub anchors_created: u64,
+    /// Bucket-latch contention events.
+    pub bucket_contention: u64,
+    /// Sampled anchored transactions.
+    pub journal_txns: u64,
+    /// Sampled buffered records.
+    pub journal_records: u64,
+}
+
+/// IM-ADG Commit Table (paper §III.D.1).
+#[derive(Debug, Default)]
+pub struct CommitTableMetrics {
+    /// Nodes inserted.
+    pub inserts: Counter,
+    /// Chop operations (one per QuerySCN advancement with pending work).
+    pub chops: Counter,
+    /// Nodes moved onto worklinks by chops.
+    pub chopped_txns: Counter,
+    /// Distribution of chop sizes (nodes per chop).
+    pub chop_size: Histogram,
+    /// Nodes awaiting the next advancement (sampled).
+    pub commit_table_pending: Gauge,
+}
+
+impl CommitTableMetrics {
+    /// Project to plain data.
+    pub fn snapshot(&self) -> CommitTableSnapshot {
+        CommitTableSnapshot {
+            inserts: self.inserts.get(),
+            chops: self.chops.get(),
+            chopped_txns: self.chopped_txns.get(),
+            chop_size: self.chop_size.snapshot(),
+            commit_table_pending: self.commit_table_pending.get(),
+        }
+    }
+}
+
+/// Plain-data projection of [`CommitTableMetrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitTableSnapshot {
+    /// Nodes inserted.
+    pub inserts: u64,
+    /// Chop operations.
+    pub chops: u64,
+    /// Nodes chopped onto worklinks.
+    pub chopped_txns: u64,
+    /// Chop-size distribution.
+    pub chop_size: HistogramSnapshot,
+    /// Sampled pending nodes.
+    pub commit_table_pending: u64,
+}
+
+/// Invalidation flush + QuerySCN advancement (paper §III.D). Field names
+/// match the pre-existing `FlushStats`.
+#[derive(Debug, Default)]
+pub struct FlushMetrics {
+    /// Transactions flushed off worklinks.
+    pub flushed_txns: Counter,
+    /// Invalidation records flushed to SMUs.
+    pub flushed_records: Counter,
+    /// Coarse (per-tenant) invalidations triggered.
+    pub coarse_invalidations: Counter,
+    /// DDL markers processed at advancement.
+    pub ddl_applied: Counter,
+    /// Worklink nodes flushed by cooperating recovery workers (vs the
+    /// coordinator) — the §III.D.2 ablation metric.
+    pub coop_flushed: Counter,
+    /// Per-object invalidation groups delivered to the flush target.
+    pub flush_groups: Counter,
+    /// Successful QuerySCN advancements.
+    pub advances: Counter,
+    /// Quiesce-period duration per advancement, in microseconds.
+    pub quiesce_us: Histogram,
+}
+
+impl FlushMetrics {
+    /// Project to plain data.
+    pub fn snapshot(&self) -> FlushSnapshot {
+        let flushed_txns = self.flushed_txns.get();
+        let coop = self.coop_flushed.get();
+        FlushSnapshot {
+            flushed_txns,
+            flushed_records: self.flushed_records.get(),
+            coarse_invalidations: self.coarse_invalidations.get(),
+            ddl_applied: self.ddl_applied.get(),
+            coop_flushed: coop,
+            coordinator_flushed: flushed_txns.saturating_sub(coop),
+            flush_groups: self.flush_groups.get(),
+            advances: self.advances.get(),
+            quiesce_us: self.quiesce_us.snapshot(),
+        }
+    }
+}
+
+/// Plain-data projection of [`FlushMetrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlushSnapshot {
+    /// Transactions flushed.
+    pub flushed_txns: u64,
+    /// Invalidation records flushed.
+    pub flushed_records: u64,
+    /// Coarse invalidations.
+    pub coarse_invalidations: u64,
+    /// DDL markers applied.
+    pub ddl_applied: u64,
+    /// Nodes flushed cooperatively by recovery workers.
+    pub coop_flushed: u64,
+    /// Nodes flushed by the coordinator itself.
+    pub coordinator_flushed: u64,
+    /// Invalidation groups delivered.
+    pub flush_groups: u64,
+    /// QuerySCN advancements.
+    pub advances: u64,
+    /// Quiesce-duration distribution (µs).
+    pub quiesce_us: HistogramSnapshot,
+}
+
+/// Population engine (paper §III.A).
+#[derive(Debug, Default)]
+pub struct PopulationMetrics {
+    /// New IMCUs built.
+    pub imcus_built: Counter,
+    /// Stale IMCUs rebuilt.
+    pub imcus_repopulated: Counter,
+    /// Population passes run.
+    pub passes: Counter,
+    /// Rows populated across column stores (sampled).
+    pub populated_rows: Gauge,
+}
+
+impl PopulationMetrics {
+    /// Project to plain data.
+    pub fn snapshot(&self) -> PopulationSnapshot {
+        PopulationSnapshot {
+            imcus_built: self.imcus_built.get(),
+            imcus_repopulated: self.imcus_repopulated.get(),
+            passes: self.passes.get(),
+            populated_rows: self.populated_rows.get(),
+        }
+    }
+}
+
+/// Plain-data projection of [`PopulationMetrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PopulationSnapshot {
+    /// New IMCUs built.
+    pub imcus_built: u64,
+    /// Stale IMCUs rebuilt.
+    pub imcus_repopulated: u64,
+    /// Population passes.
+    pub passes: u64,
+    /// Sampled populated rows.
+    pub populated_rows: u64,
+}
+
+/// The In-Memory Scan Engine as seen by the query API.
+#[derive(Debug, Default)]
+pub struct ScanEngineMetrics {
+    /// Queries executed through the unified query API.
+    pub queries: Counter,
+    /// Queries served by the IMCS.
+    pub imcs_served: Counter,
+    /// Queries that fell back to a pure row-store scan.
+    pub row_store_fallback: Counter,
+    /// Result rows served from encoded IMCU data.
+    pub imcu_rows: Counter,
+    /// Result rows served via SMU fallback.
+    pub fallback_rows: Counter,
+    /// Result rows served from uncovered blocks.
+    pub uncovered_rows: Counter,
+    /// Units skipped by the min/max storage index.
+    pub pruned_units: Counter,
+    /// Units whose columns were scanned.
+    pub scanned_units: Counter,
+    /// Query latency distribution (µs).
+    pub latency_us: Histogram,
+}
+
+impl ScanEngineMetrics {
+    /// Project to plain data.
+    pub fn snapshot(&self) -> ScanEngineSnapshot {
+        ScanEngineSnapshot {
+            queries: self.queries.get(),
+            imcs_served: self.imcs_served.get(),
+            row_store_fallback: self.row_store_fallback.get(),
+            imcu_rows: self.imcu_rows.get(),
+            fallback_rows: self.fallback_rows.get(),
+            uncovered_rows: self.uncovered_rows.get(),
+            pruned_units: self.pruned_units.get(),
+            scanned_units: self.scanned_units.get(),
+            latency_us: self.latency_us.snapshot(),
+        }
+    }
+}
+
+/// Plain-data projection of [`ScanEngineMetrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanEngineSnapshot {
+    /// Queries executed.
+    pub queries: u64,
+    /// Queries served by the IMCS.
+    pub imcs_served: u64,
+    /// Queries served by the row store only.
+    pub row_store_fallback: u64,
+    /// Rows from encoded IMCU data.
+    pub imcu_rows: u64,
+    /// Rows via SMU fallback.
+    pub fallback_rows: u64,
+    /// Rows from uncovered blocks.
+    pub uncovered_rows: u64,
+    /// Units pruned by storage indexes.
+    pub pruned_units: u64,
+    /// Units scanned.
+    pub scanned_units: u64,
+    /// Latency distribution (µs).
+    pub latency_us: HistogramSnapshot,
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+/// Which pipeline stage emitted a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceStage {
+    /// Redo shipping (primary).
+    Ship,
+    /// Log merge (standby ingest).
+    Merge,
+    /// Worker apply.
+    Apply,
+    /// QuerySCN advancement.
+    Advance,
+    /// Invalidation flush.
+    Flush,
+    /// IMCU population.
+    Populate,
+    /// Query execution.
+    Query,
+}
+
+/// One traced stage transition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Monotonic sequence number within the ring's lifetime.
+    pub seq: u64,
+    /// Emitting stage.
+    pub stage: TraceStage,
+    /// The SCN the event concerns (0 when not SCN-related).
+    pub scn: u64,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+#[derive(Debug, Default)]
+struct TraceRing {
+    events: std::collections::VecDeque<TraceEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded ring of pipeline trace events. Cheap to clone (shared ring);
+/// when full, the oldest event is dropped and accounted.
+#[derive(Debug, Clone)]
+pub struct PipelineTrace {
+    inner: Arc<Mutex<TraceRing>>,
+    capacity: usize,
+}
+
+impl Default for PipelineTrace {
+    fn default() -> Self {
+        PipelineTrace::new(256)
+    }
+}
+
+impl PipelineTrace {
+    /// Ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        PipelineTrace {
+            inner: Arc::new(Mutex::new(TraceRing::default())),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Record one event.
+    pub fn record(&self, stage: TraceStage, scn: u64, detail: impl Into<String>) {
+        let mut ring = self.inner.lock();
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        ring.events.push_back(TraceEvent { seq, stage, scn, detail: detail.into() });
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().events.iter().cloned().collect()
+    }
+
+    /// Events evicted by the capacity bound so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Total events ever recorded.
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().next_seq
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry + snapshot
+// ---------------------------------------------------------------------------
+
+/// The per-deployment-side metrics registry: one `Arc`'d stage-metrics
+/// struct per pipeline stage, plus the trace ring. Components receive their
+/// stage handle at construction and update it lock-light; gauges are
+/// refreshed by the owner just before [`MetricsRegistry::snapshot`].
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    /// Redo transport.
+    pub transport: Arc<TransportMetrics>,
+    /// Log merger.
+    pub merger: Arc<MergerMetrics>,
+    /// Recovery apply.
+    pub apply: Arc<ApplyMetrics>,
+    /// Mining component.
+    pub mining: Arc<MiningMetrics>,
+    /// IM-ADG Journal.
+    pub journal: Arc<JournalMetrics>,
+    /// IM-ADG Commit Table.
+    pub commit_table: Arc<CommitTableMetrics>,
+    /// Invalidation flush + advancement.
+    pub flush: Arc<FlushMetrics>,
+    /// Population engine.
+    pub population: Arc<PopulationMetrics>,
+    /// Scan engine / query API.
+    pub scan: Arc<ScanEngineMetrics>,
+    /// Trace ring.
+    pub trace: PipelineTrace,
+}
+
+impl MetricsRegistry {
+    /// A fresh registry with the given trace capacity.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        MetricsRegistry { trace: PipelineTrace::new(capacity), ..Default::default() }
+    }
+
+    /// Project every stage into one serializable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            transport: self.transport.snapshot(),
+            merger: self.merger.snapshot(),
+            apply: self.apply.snapshot(),
+            mining: self.mining.snapshot(),
+            journal: self.journal.snapshot(),
+            commit_table: self.commit_table.snapshot(),
+            flush: self.flush.snapshot(),
+            population: self.population.snapshot(),
+            scan: self.scan.snapshot(),
+            trace: self.trace.events(),
+        }
+    }
+}
+
+/// Point-in-time, serde-serializable projection of every pipeline stage.
+/// This is the one schema shared by `StandbyStatus`, workload reports and
+/// the experiment binaries.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Redo transport.
+    pub transport: TransportSnapshot,
+    /// Log merger.
+    pub merger: MergerSnapshot,
+    /// Recovery apply.
+    pub apply: ApplySnapshot,
+    /// Mining component.
+    pub mining: MiningSnapshot,
+    /// IM-ADG Journal.
+    pub journal: JournalSnapshot,
+    /// IM-ADG Commit Table.
+    pub commit_table: CommitTableSnapshot,
+    /// Invalidation flush + advancement.
+    pub flush: FlushSnapshot,
+    /// Population engine.
+    pub population: PopulationSnapshot,
+    /// Scan engine / query API.
+    pub scan: ScanEngineSnapshot,
+    /// Recent trace events (bounded).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "transport: records_shipped={} bytes_shipped={} heartbeats={} queue_depth={}",
+            self.transport.records_shipped,
+            self.transport.bytes_shipped,
+            self.transport.heartbeats,
+            self.transport.queue_depth,
+        )?;
+        writeln!(
+            f,
+            "merger: records_merged={} held_back={} watermark={} stream_skew={}",
+            self.merger.records_merged,
+            self.merger.held_back,
+            self.merger.watermark,
+            self.merger.stream_skew,
+        )?;
+        writeln!(
+            f,
+            "apply: query_scn={} applied_scn={} apply_lag={} items_applied={} worker_cvs={:?}",
+            self.apply.query_scn,
+            self.apply.applied_scn,
+            self.apply.apply_lag,
+            self.apply.items_applied,
+            self.apply.worker_cvs,
+        )?;
+        writeln!(
+            f,
+            "mining: sniffed={} mined={} commits={} aborts={}",
+            self.mining.sniffed, self.mining.mined, self.mining.commits, self.mining.aborts,
+        )?;
+        writeln!(
+            f,
+            "journal: journal_txns={} journal_records={} bucket_contention={}",
+            self.journal.journal_txns, self.journal.journal_records, self.journal.bucket_contention,
+        )?;
+        writeln!(
+            f,
+            "commit_table: commit_table_pending={} inserts={} chops={} mean_chop={:.1}",
+            self.commit_table.commit_table_pending,
+            self.commit_table.inserts,
+            self.commit_table.chops,
+            self.commit_table.chop_size.mean(),
+        )?;
+        writeln!(
+            f,
+            "flush: advances={} flushed_records={} coarse_invalidations={} coop_flushed={} \
+             coordinator_flushed={} quiesce_p95_us={}",
+            self.flush.advances,
+            self.flush.flushed_records,
+            self.flush.coarse_invalidations,
+            self.flush.coop_flushed,
+            self.flush.coordinator_flushed,
+            self.flush.quiesce_us.quantile(0.95),
+        )?;
+        writeln!(
+            f,
+            "population: populated_rows={} imcus_built={} imcus_repopulated={}",
+            self.population.populated_rows,
+            self.population.imcus_built,
+            self.population.imcus_repopulated,
+        )?;
+        write!(
+            f,
+            "scan: queries={} imcs_served={} row_store_fallback={} pruned_units={} \
+             latency_p95_us={}",
+            self.scan.queries,
+            self.scan.imcs_served,
+            self.scan.row_store_fallback,
+            self.scan.pruned_units,
+            self.scan.latency_us.quantile(0.95),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_atomicu64_compatible() {
+        let c = Counter::new();
+        // The exact call shapes mining/flush call sites use.
+        c.fetch_add(1, Ordering::Relaxed);
+        c.fetch_add(4, Ordering::Relaxed);
+        assert_eq!(c.load(Ordering::Relaxed), 5);
+        c.inc();
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn gauge_set_and_max() {
+        let g = Gauge::new();
+        g.set(7);
+        g.set_max(3);
+        assert_eq!(g.get(), 7);
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let h = Histogram::new();
+        h.record_value(0); // bucket 0
+        h.record_value(1); // bucket 1
+        h.record_value(2); // bucket 2
+        h.record_value(3); // bucket 2
+        h.record_value(1000); // bucket 10
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1006);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[10], 1);
+        assert!((s.mean() - 201.2).abs() < 1e-9);
+        assert_eq!(s.quantile(1.0), 1000, "max caps the overflowy bound");
+        assert_eq!(s.quantile(0.2), 0);
+    }
+
+    #[test]
+    fn histogram_records_durations_as_micros() {
+        let h = Histogram::new();
+        h.record(Duration::from_millis(3));
+        assert_eq!(h.snapshot().sum, 3000);
+    }
+
+    #[test]
+    fn trace_ring_is_bounded() {
+        let t = PipelineTrace::new(3);
+        for i in 0..5u64 {
+            t.record(TraceStage::Advance, i, format!("advance {i}"));
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 2, "oldest two dropped");
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.recorded(), 5);
+    }
+
+    #[test]
+    fn per_worker_counters_grow() {
+        let a = ApplyMetrics::default();
+        a.worker_counter(2).add(7);
+        a.worker_counter(0).add(1);
+        assert_eq!(a.snapshot().worker_cvs, vec![1, 0, 7]);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let reg = MetricsRegistry::default();
+        reg.transport.records_shipped.add(10);
+        reg.transport.bytes_shipped.add(4096);
+        reg.merger.records_merged.add(10);
+        reg.apply.records_dispatched.add(10);
+        reg.apply.worker_counter(1).add(6);
+        reg.mining.mined.add(4);
+        reg.journal.journal_txns.set(2);
+        reg.commit_table.chop_size.record_value(8);
+        reg.flush.quiesce_us.record(Duration::from_micros(120));
+        reg.population.imcus_built.add(3);
+        reg.scan.latency_us.record(Duration::from_micros(50));
+        reg.trace.record(TraceStage::Advance, 42, "publish");
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.transport.records_shipped, 10);
+        assert_eq!(back.apply.worker_cvs, vec![0, 6]);
+        assert_eq!(back.trace[0].stage, TraceStage::Advance);
+        // Display covers every stage line.
+        let text = snap.to_string();
+        for needle in [
+            "transport:",
+            "merger:",
+            "apply:",
+            "mining:",
+            "journal:",
+            "commit_table:",
+            "flush:",
+            "population:",
+            "scan:",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+
+    #[test]
+    fn flush_snapshot_splits_coop_vs_coordinator() {
+        let m = FlushMetrics::default();
+        m.flushed_txns.add(10);
+        m.coop_flushed.add(4);
+        let s = m.snapshot();
+        assert_eq!(s.coop_flushed, 4);
+        assert_eq!(s.coordinator_flushed, 6);
+    }
+}

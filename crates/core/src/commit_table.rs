@@ -11,6 +11,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use imadg_common::metrics::CommitTableMetrics;
 use imadg_common::{Scn, TenantId, TxnId};
 use parking_lot::Mutex;
 
@@ -37,13 +38,20 @@ pub struct CommitNode {
 #[derive(Debug)]
 pub struct CommitTable {
     partitions: Vec<Mutex<BTreeMap<(Scn, TxnId), CommitNode>>>,
+    metrics: Arc<CommitTableMetrics>,
 }
 
 impl CommitTable {
     /// Table with `partitions` sorted lists.
     pub fn new(partitions: usize) -> CommitTable {
+        Self::with_metrics(partitions, Arc::default())
+    }
+
+    /// Table reporting into a registry's commit-table stage.
+    pub fn with_metrics(partitions: usize, metrics: Arc<CommitTableMetrics>) -> CommitTable {
         CommitTable {
             partitions: (0..partitions.max(1)).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            metrics,
         }
     }
 
@@ -56,6 +64,7 @@ impl CommitTable {
     pub fn insert(&self, node: CommitNode) {
         let p = node.txn.bucket(self.partitions.len());
         self.partitions[p].lock().insert((node.commit_scn, node.txn), node);
+        self.metrics.inserts.inc();
     }
 
     /// Chop: remove and return every node with commit SCN ≤ `upto`, in
@@ -67,6 +76,11 @@ impl CommitTable {
             // split_off keeps the ≥-half in the original; we want the ≤-half.
             let keep = map.split_off(&(Scn(upto.0 + 1), TxnId(0)));
             out.extend(std::mem::replace(&mut *map, keep).into_values());
+        }
+        if !out.is_empty() {
+            self.metrics.chops.inc();
+            self.metrics.chopped_txns.add(out.len() as u64);
+            self.metrics.chop_size.record_value(out.len() as u64);
         }
         out
     }
@@ -83,10 +97,7 @@ impl CommitTable {
 
     /// The lowest pending commit SCN (diagnostics).
     pub fn min_pending(&self) -> Option<Scn> {
-        self.partitions
-            .iter()
-            .filter_map(|p| p.lock().keys().next().map(|(s, _)| *s))
-            .min()
+        self.partitions.iter().filter_map(|p| p.lock().keys().next().map(|(s, _)| *s)).min()
     }
 }
 

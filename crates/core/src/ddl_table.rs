@@ -36,10 +36,7 @@ impl DdlTable {
     pub fn take_upto(&self, upto: Scn) -> Vec<(Scn, Arc<RedoMarker>)> {
         let mut entries = self.entries.lock();
         let keep = entries.split_off(&(Scn(upto.0 + 1), 0));
-        std::mem::replace(&mut *entries, keep)
-            .into_iter()
-            .map(|((scn, _), m)| (scn, m))
-            .collect()
+        std::mem::replace(&mut *entries, keep).into_iter().map(|((scn, _), m)| (scn, m)).collect()
     }
 
     /// Number of buffered markers.

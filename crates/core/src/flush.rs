@@ -9,9 +9,10 @@
 //! the DDL Information Table are processed first (§III.G). Partially-mined
 //! transactions trigger per-tenant coarse invalidation (§III.E).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use imadg_common::metrics::FlushMetrics;
 use imadg_common::{CpuAccount, ObjectId, ObjectSet, Scn, TenantId};
 use imadg_imcs::ImcsStore;
 use imadg_recovery::{AdvanceHook, CoopHelper};
@@ -68,21 +69,10 @@ impl FlushTarget for LocalFlushTarget {
     fn synchronize(&self) {}
 }
 
-/// Flush event counters.
-#[derive(Debug, Default)]
-pub struct FlushStats {
-    /// Transactions flushed off worklinks.
-    pub flushed_txns: AtomicU64,
-    /// Invalidation records flushed to SMUs.
-    pub flushed_records: AtomicU64,
-    /// Coarse (per-tenant) invalidations triggered.
-    pub coarse_invalidations: AtomicU64,
-    /// DDL markers processed at advancement.
-    pub ddl_applied: AtomicU64,
-    /// Worklink nodes flushed by cooperating recovery workers (vs the
-    /// coordinator) — the §III.D.2 ablation metric.
-    pub coop_flushed: AtomicU64,
-}
+/// Flush event counters. Now the flush stage of the pipeline-wide
+/// [`MetricsRegistry`](imadg_common::MetricsRegistry); the old name stays
+/// as an alias for existing call sites.
+pub type FlushStats = FlushMetrics;
 
 /// The invalidation flush component.
 pub struct InvalidationFlush {
@@ -100,12 +90,12 @@ pub struct InvalidationFlush {
     coordinator_batch: usize,
     /// Flush busy time charged to the coordinator path.
     pub cpu: CpuAccount,
-    /// Event counters.
-    pub stats: FlushStats,
+    /// Event counters (shared with the pipeline metrics registry).
+    pub stats: Arc<FlushMetrics>,
 }
 
 impl InvalidationFlush {
-    /// Wire the flush component.
+    /// Wire the flush component with a private stats instance.
     pub fn new(
         journal: Arc<Journal>,
         commit_table: Arc<CommitTable>,
@@ -113,6 +103,20 @@ impl InvalidationFlush {
         target: Arc<dyn FlushTarget>,
         store: Arc<Store>,
         enabled: Arc<ObjectSet>,
+    ) -> InvalidationFlush {
+        Self::with_metrics(journal, commit_table, ddl_table, target, store, enabled, Arc::default())
+    }
+
+    /// Wire the flush component reporting into a registry's flush stage.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_metrics(
+        journal: Arc<Journal>,
+        commit_table: Arc<CommitTable>,
+        ddl_table: Arc<DdlTable>,
+        target: Arc<dyn FlushTarget>,
+        store: Arc<Store>,
+        enabled: Arc<ObjectSet>,
+        stats: Arc<FlushMetrics>,
     ) -> InvalidationFlush {
         InvalidationFlush {
             journal,
@@ -124,7 +128,7 @@ impl InvalidationFlush {
             current: RwLock::new(None),
             coordinator_batch: 32,
             cpu: CpuAccount::new(),
-            stats: FlushStats::default(),
+            stats,
         }
     }
 
@@ -153,6 +157,7 @@ impl InvalidationFlush {
             self.stats.flushed_records.fetch_add(records.len() as u64, Ordering::Relaxed);
             for group in group_records(records, node.commit_scn) {
                 self.target.flush_group(&group);
+                self.stats.flush_groups.fetch_add(1, Ordering::Relaxed);
             }
         }
         self.stats.flushed_txns.fetch_add(1, Ordering::Relaxed);

@@ -45,10 +45,7 @@ pub struct InvalidationGroup {
 }
 
 /// Organize a transaction's records into per-object invalidation groups.
-pub fn group_records(
-    records: Vec<InvalidationRecord>,
-    commit_scn: Scn,
-) -> Vec<InvalidationGroup> {
+pub fn group_records(records: Vec<InvalidationRecord>, commit_scn: Scn) -> Vec<InvalidationGroup> {
     let mut groups: Vec<InvalidationGroup> = Vec::new();
     for r in records {
         match groups.iter_mut().find(|g| g.object == r.object) {
@@ -69,20 +66,12 @@ mod tests {
     use super::*;
 
     fn rec(obj: u32, dba: u64, slot: u16) -> InvalidationRecord {
-        InvalidationRecord {
-            object: ObjectId(obj),
-            dba: Dba(dba),
-            slot,
-            tenant: TenantId::DEFAULT,
-        }
+        InvalidationRecord { object: ObjectId(obj), dba: Dba(dba), slot, tenant: TenantId::DEFAULT }
     }
 
     #[test]
     fn grouping_by_object() {
-        let groups = group_records(
-            vec![rec(1, 10, 0), rec(2, 20, 1), rec(1, 11, 2)],
-            Scn(100),
-        );
+        let groups = group_records(vec![rec(1, 10, 0), rec(2, 20, 1), rec(1, 11, 2)], Scn(100));
         assert_eq!(groups.len(), 2);
         let g1 = groups.iter().find(|g| g.object == ObjectId(1)).unwrap();
         assert_eq!(g1.locs.len(), 2);

@@ -12,10 +12,12 @@
 //!   record was mined; a missing begin after an instance restart marks the
 //!   transaction as partially mined (§III.E).
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use imadg_common::metrics::JournalMetrics;
 use imadg_common::{TenantId, TxnId, WorkerId};
 use parking_lot::Mutex;
 
@@ -85,15 +87,22 @@ impl AnchorNode {
 pub struct Journal {
     buckets: Vec<Mutex<HashMap<TxnId, Arc<AnchorNode>>>>,
     workers: usize,
+    metrics: Arc<JournalMetrics>,
 }
 
 impl Journal {
     /// Journal with `buckets` hash buckets and per-anchor areas for
     /// `workers` recovery workers.
     pub fn new(buckets: usize, workers: usize) -> Journal {
+        Self::with_metrics(buckets, workers, Arc::default())
+    }
+
+    /// Journal reporting into a registry's journal stage.
+    pub fn with_metrics(buckets: usize, workers: usize, metrics: Arc<JournalMetrics>) -> Journal {
         Journal {
             buckets: (0..buckets.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
             workers: workers.max(1),
+            metrics,
         }
     }
 
@@ -105,11 +114,23 @@ impl Journal {
     /// Get the anchor for `txn`, creating it under the bucket latch if
     /// missing.
     pub fn anchor_or_create(&self, txn: TxnId, tenant: TenantId) -> Arc<AnchorNode> {
-        let mut bucket = self.bucket(txn).lock();
-        bucket
-            .entry(txn)
-            .or_insert_with(|| Arc::new(AnchorNode::new(txn, tenant, self.workers)))
-            .clone()
+        let bucket = self.bucket(txn);
+        // Opportunistic try first so blocked acquisitions show up as
+        // bucket-latch contention in the journal metrics.
+        let mut guard = match bucket.try_lock() {
+            Some(g) => g,
+            None => {
+                self.metrics.bucket_contention.inc();
+                bucket.lock()
+            }
+        };
+        match guard.entry(txn) {
+            Entry::Occupied(e) => e.get().clone(),
+            Entry::Vacant(e) => {
+                self.metrics.anchors_created.inc();
+                e.insert(Arc::new(AnchorNode::new(txn, tenant, self.workers))).clone()
+            }
+        }
     }
 
     /// Look up an anchor without creating it.
@@ -147,12 +168,7 @@ mod tests {
     use imadg_common::{Dba, ObjectId};
 
     fn rec(dba: u64, slot: u16) -> InvalidationRecord {
-        InvalidationRecord {
-            object: ObjectId(1),
-            dba: Dba(dba),
-            slot,
-            tenant: TenantId::DEFAULT,
-        }
+        InvalidationRecord { object: ObjectId(1), dba: Dba(dba), slot, tenant: TenantId::DEFAULT }
     }
 
     #[test]
@@ -184,11 +200,7 @@ mod tests {
         assert_eq!(drained.len(), 3);
         assert_eq!(a.record_count(), 0);
         // Worker-0's records stay in mined order.
-        let w0: Vec<u64> = drained
-            .iter()
-            .filter(|r| r.dba.0 < 20)
-            .map(|r| r.dba.0)
-            .collect();
+        let w0: Vec<u64> = drained.iter().filter(|r| r.dba.0 < 20).map(|r| r.dba.0).collect();
         assert_eq!(w0, vec![10, 11]);
     }
 

@@ -8,9 +8,10 @@
 //! set-membership test plus one push into a per-worker area — the "thin
 //! layer" the paper requires on the apply critical path.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use imadg_common::metrics::MiningMetrics;
 use imadg_common::{CpuAccount, ObjectSet, Scn, TenantId, TxnId, WorkerId};
 use imadg_recovery::ApplyObserver;
 use imadg_redo::{CommitRecord, RedoMarker};
@@ -21,20 +22,10 @@ use crate::ddl_table::DdlTable;
 use crate::invalidation::InvalidationRecord;
 use crate::journal::Journal;
 
-/// Counters exposed for the mining-overhead ablation.
-#[derive(Debug, Default)]
-pub struct MiningStats {
-    /// CVs inspected.
-    pub sniffed: AtomicU64,
-    /// Invalidation records buffered.
-    pub mined: AtomicU64,
-    /// Commit-table nodes created.
-    pub commits: AtomicU64,
-    /// Aborted transactions discarded from the journal.
-    pub aborts: AtomicU64,
-    /// DDL markers buffered.
-    pub markers: AtomicU64,
-}
+/// Counters exposed for the mining-overhead ablation. Now the mining stage
+/// of the pipeline-wide [`MetricsRegistry`](imadg_common::MetricsRegistry);
+/// the old name stays as an alias for existing call sites.
+pub type MiningStats = MiningMetrics;
 
 /// The mining component of one standby (master) instance.
 pub struct MiningComponent {
@@ -45,26 +36,31 @@ pub struct MiningComponent {
     enabled: Arc<ObjectSet>,
     /// Mining busy time (part of the redo-apply overhead budget).
     pub cpu: CpuAccount,
-    /// Event counters.
-    pub stats: MiningStats,
+    /// Event counters (shared with the pipeline metrics registry).
+    pub stats: Arc<MiningMetrics>,
 }
 
 impl MiningComponent {
-    /// Wire the mining component over its tables.
+    /// Wire the mining component over its tables with a private stats
+    /// instance.
     pub fn new(
         journal: Arc<Journal>,
         commit_table: Arc<CommitTable>,
         ddl_table: Arc<DdlTable>,
         enabled: Arc<ObjectSet>,
     ) -> MiningComponent {
-        MiningComponent {
-            journal,
-            commit_table,
-            ddl_table,
-            enabled,
-            cpu: CpuAccount::new(),
-            stats: MiningStats::default(),
-        }
+        Self::with_metrics(journal, commit_table, ddl_table, enabled, Arc::default())
+    }
+
+    /// Wire the mining component reporting into a registry's mining stage.
+    pub fn with_metrics(
+        journal: Arc<Journal>,
+        commit_table: Arc<CommitTable>,
+        ddl_table: Arc<DdlTable>,
+        enabled: Arc<ObjectSet>,
+        stats: Arc<MiningMetrics>,
+    ) -> MiningComponent {
+        MiningComponent { journal, commit_table, ddl_table, enabled, cpu: CpuAccount::new(), stats }
     }
 
     /// The journal this component feeds.
@@ -125,8 +121,11 @@ impl ApplyObserver for MiningComponent {
 
     fn on_abort(&self, _worker: WorkerId, txn: TxnId, _tenant: TenantId) {
         let _t = self.cpu.timer();
-        if self.journal.remove(txn).is_some() {
+        if let Some(anchor) = self.journal.remove(txn) {
             self.stats.aborts.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .abort_discarded_records
+                .fetch_add(anchor.record_count() as u64, Ordering::Relaxed);
         }
     }
 

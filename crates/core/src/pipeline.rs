@@ -8,6 +8,7 @@
 
 use std::sync::Arc;
 
+use imadg_common::MetricsRegistry;
 use imadg_common::{ImcsConfig, ObjectSet, Result};
 use imadg_recovery::{AdvanceHook, ApplyObserver, CoopHelper};
 use imadg_storage::Store;
@@ -47,23 +48,45 @@ impl DbimAdg {
         store: Arc<Store>,
         target: Arc<dyn FlushTarget>,
     ) -> Result<DbimAdg> {
+        Self::with_metrics(config, workers, enabled, store, target, &MetricsRegistry::default())
+    }
+
+    /// Wire everything, reporting into the mining/journal/commit-table/flush
+    /// stages of `registry`.
+    pub fn with_metrics(
+        config: &ImcsConfig,
+        workers: usize,
+        enabled: Arc<ObjectSet>,
+        store: Arc<Store>,
+        target: Arc<dyn FlushTarget>,
+        registry: &MetricsRegistry,
+    ) -> Result<DbimAdg> {
         config.validate()?;
-        let journal = Arc::new(Journal::new(config.journal_buckets, workers));
-        let commit_table = Arc::new(CommitTable::new(config.commit_table_partitions));
+        let journal = Arc::new(Journal::with_metrics(
+            config.journal_buckets,
+            workers,
+            registry.journal.clone(),
+        ));
+        let commit_table = Arc::new(CommitTable::with_metrics(
+            config.commit_table_partitions,
+            registry.commit_table.clone(),
+        ));
         let ddl_table = Arc::new(DdlTable::new());
-        let mining = Arc::new(MiningComponent::new(
+        let mining = Arc::new(MiningComponent::with_metrics(
             journal.clone(),
             commit_table.clone(),
             ddl_table.clone(),
             enabled.clone(),
+            registry.mining.clone(),
         ));
-        let flush = Arc::new(InvalidationFlush::new(
+        let flush = Arc::new(InvalidationFlush::with_metrics(
             journal.clone(),
             commit_table.clone(),
             ddl_table.clone(),
             target,
             store,
             enabled,
+            registry.flush.clone(),
         ));
         Ok(DbimAdg { journal, commit_table, ddl_table, mining, flush })
     }

@@ -187,7 +187,11 @@ impl RacFlushTarget {
     fn flush_pending(&self) {
         let drained: Vec<(InstanceId, Vec<InvalidationGroup>)> = {
             let mut pending = self.pending.lock();
-            pending.iter_mut().filter(|(_, v)| !v.is_empty()).map(|(k, v)| (*k, std::mem::take(v))).collect()
+            pending
+                .iter_mut()
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(k, v)| (*k, std::mem::take(v)))
+                .collect()
         };
         for (inst, groups) in drained {
             self.send(inst, RacMessage::Invalidate(groups));
@@ -310,7 +314,10 @@ mod tests {
         target.flush_group(&group(1, 9, &[(1, 0), (5, 0)]));
         target.synchronize();
         assert!(h0.smu().view().is_invalid(RowLoc { dba: Dba(1), slot: 0 }), "local applied");
-        assert!(h1.smu().view().is_invalid(RowLoc { dba: Dba(5), slot: 0 }), "remote applied after sync");
+        assert!(
+            h1.smu().view().is_invalid(RowLoc { dba: Dba(5), slot: 0 }),
+            "remote applied after sync"
+        );
     }
 
     #[test]

@@ -4,9 +4,7 @@
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
-use imadg_common::{
-    Error, InstanceId, ObjectId, RedoThreadId, Result, ScnService, SystemConfig,
-};
+use imadg_common::{Error, InstanceId, ObjectId, RedoThreadId, Result, ScnService, SystemConfig};
 use imadg_redo::{redo_link, LogBuffer};
 use imadg_storage::{DbaAllocator, Store, TableSpec};
 use imadg_txn::{InMemoryRegistry, LockTable, TxnIdService, TxnManager};

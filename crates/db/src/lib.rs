@@ -18,13 +18,16 @@ pub use cluster::{AdgCluster, ClusterSpec, ClusterThreads};
 pub use mira::{MiraInstance, MiraStandby};
 pub use placement::Placement;
 pub use primary::PrimaryInstance;
-pub use query::{execute_scan, QueryOutput};
+pub use query::{execute_request, execute_scan, QueryOutput, QueryRequest};
 pub use standby::{StandbyCluster, StandbyInstance, StandbyStatus, StandbyThreads};
 
 // Re-export the vocabulary users need to drive a cluster.
 pub use imadg_common::{
-    Dba, Error, ImcsConfig, InstanceId, ObjectId, RecoveryConfig, Result, Scn, SystemConfig,
-    TenantId, TransportConfig, TxnId,
+    Dba, Error, ImcsConfig, InstanceId, MetricsRegistry, MetricsSnapshot, ObjectId, PipelineTrace,
+    RecoveryConfig, Result, Scn, SystemConfig, TenantId, TraceEvent, TraceStage, TransportConfig,
+    TxnId,
 };
-pub use imadg_imcs::{CmpOp, Expr, ExprPredicate, Filter, ImExpression, Predicate, ScanStats};
+pub use imadg_imcs::{
+    AggregateResult, CmpOp, Expr, ExprPredicate, Filter, ImExpression, Predicate, ScanStats,
+};
 pub use imadg_storage::{ColumnDef, ColumnType, Row, Schema, TableSpec, Value};

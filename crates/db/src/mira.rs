@@ -101,7 +101,10 @@ impl ApplyDemux {
                         } else {
                             RedoPayload::Change(cvs)
                         };
-                        self.send(i, RedoRecord { thread: record.thread, scn: record.scn, payload })?;
+                        self.send(
+                            i,
+                            RedoRecord { thread: record.thread, scn: record.scn, payload },
+                        )?;
                     }
                 }
                 // Control records and markers broadcast to every instance.

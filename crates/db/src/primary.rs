@@ -5,14 +5,15 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use imadg_common::{
-    CpuAccount, ImcsConfig, InstanceId, ObjectId, Result, Scn, ScnService, TenantId, TransportConfig,
+    CpuAccount, ImcsConfig, InstanceId, MetricsRegistry, MetricsSnapshot, ObjectId, Result, Scn,
+    ScnService, TenantId, TransportConfig,
 };
 use imadg_imcs::{Filter, ImcsStore, PopulationEngine, SnapshotSource};
 use imadg_redo::{LogBuffer, RedoSender, Shipper};
 use imadg_storage::{Row, RowLoc, Store};
 use imadg_txn::TxnManager;
 
-use crate::query::{execute_scan, QueryOutput};
+use crate::query::{execute_request, QueryOutput, QueryRequest};
 
 /// One primary (RAC) instance.
 pub struct PrimaryInstance {
@@ -34,6 +35,8 @@ pub struct PrimaryInstance {
     pub query_cpu: CpuAccount,
     /// DML busy time on this instance.
     pub dml_cpu: CpuAccount,
+    /// This instance's metrics registry (transport / population / scan).
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl PrimaryInstance {
@@ -49,25 +52,28 @@ impl PrimaryInstance {
         transport: &TransportConfig,
         imcs_config: &ImcsConfig,
     ) -> Result<PrimaryInstance> {
+        let metrics = Arc::new(MetricsRegistry::default());
         let imcs = Arc::new(ImcsStore::new());
-        let population = Arc::new(PopulationEngine::new(
+        let mut population = PopulationEngine::new(
             store.clone(),
             imcs.clone(),
             SnapshotSource::Primary(scns.clone()),
             imcs_config.clone(),
-        )?);
+        )?;
+        population.set_metrics(metrics.population.clone());
         Ok(PrimaryInstance {
             id,
             store,
             txm,
             scns,
             log,
-            shipper: Shipper::new(transport.batch),
+            shipper: Shipper::with_metrics(transport.batch, metrics.transport.clone()),
             sender,
             imcs,
-            population,
+            population: Arc::new(population),
             query_cpu: CpuAccount::new(),
             dml_cpu: CpuAccount::new(),
+            metrics,
         })
     }
 
@@ -97,16 +103,32 @@ impl PrimaryInstance {
         self.shipper.ship_once(&self.log, &self.sender, self.scns.current())
     }
 
-    /// Run a filtered full scan on this instance at the current SCN.
-    pub fn scan(&self, object: ObjectId, filter: &Filter) -> Result<QueryOutput> {
+    /// Execute a [`QueryRequest`] on this instance. Defaults to the
+    /// current SCN when the request carries no explicit snapshot.
+    pub fn query(&self, req: &QueryRequest) -> Result<QueryOutput> {
         let _t = self.query_cpu.timer();
-        execute_scan(
+        execute_request(
             std::slice::from_ref(&self.imcs),
             &self.store,
-            object,
-            filter,
+            req,
             self.scns.current(),
+            &self.metrics.scan,
+            &self.metrics.trace,
         )
+    }
+
+    /// Run a filtered full scan on this instance at the current SCN
+    /// (delegates to [`PrimaryInstance::query`]).
+    pub fn scan(&self, object: ObjectId, filter: &Filter) -> Result<QueryOutput> {
+        self.query(&QueryRequest::scan(object).filter(filter.clone()))
+    }
+
+    /// Snapshot this instance's metrics, refreshing the sampled gauges
+    /// (log-buffer depth, populated rows) first.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.transport.queue_depth.set(self.log.pending() as u64);
+        self.metrics.population.populated_rows.set(self.imcs.populated_rows() as u64);
+        self.metrics.snapshot()
     }
 
     /// Index fetch by identity key at the current SCN.
@@ -116,7 +138,12 @@ impl PrimaryInstance {
     }
 
     /// One auto-commit insert.
-    pub fn insert_one(&self, object: ObjectId, tenant: TenantId, values: Vec<imadg_storage::Value>) -> Result<Scn> {
+    pub fn insert_one(
+        &self,
+        object: ObjectId,
+        tenant: TenantId,
+        values: Vec<imadg_storage::Value>,
+    ) -> Result<Scn> {
         let _t = self.dml_cpu.timer();
         let mut tx = self.txm.begin(tenant);
         match self.txm.insert(&mut tx, object, values) {
@@ -160,7 +187,10 @@ impl PrimaryInstance {
     }
 
     /// Spawn a background shipper thread (threaded deployments).
-    pub fn start_shipper(self: &Arc<Self>, stop: Arc<std::sync::atomic::AtomicBool>) -> std::thread::JoinHandle<()> {
+    pub fn start_shipper(
+        self: &Arc<Self>,
+        stop: Arc<std::sync::atomic::AtomicBool>,
+    ) -> std::thread::JoinHandle<()> {
         let me = self.clone();
         std::thread::spawn(move || {
             while !stop.load(std::sync::atomic::Ordering::Relaxed) {

@@ -1,22 +1,100 @@
-//! Query results and the shared scan executor.
+//! The unified query API: request builder, results, and the shared
+//! executor that serves both the primary and the standby.
+//!
+//! A [`QueryRequest`] names an object, an optional filter, an optional
+//! in-memory expression predicate, an optional aggregate column, and an
+//! optional explicit snapshot SCN. One [`execute_request`] entrypoint
+//! resolves the plan (aggregate → expression scan → filtered scan), tries
+//! the In-Memory Scan Engine first, falls back to the row store, and
+//! records every execution in the scan-engine metrics stage.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use imadg_common::{ObjectId, Result, Scn};
-use imadg_imcs::{scan_cluster, Filter, ImcsStore, ScanStats};
+use imadg_common::metrics::ScanEngineMetrics;
+use imadg_common::{ObjectId, PipelineTrace, Result, Scn, TraceStage};
+use imadg_imcs::{
+    scan_aggregate, scan_cluster, scan_expression, AggregateResult, ExprPredicate, Filter,
+    ImcsStore, ScanStats,
+};
 use imadg_storage::{Row, Store};
+
+/// A declarative query against one object.
+///
+/// Build with [`QueryRequest::scan`] and refine with the chained setters:
+///
+/// ```ignore
+/// let req = QueryRequest::scan(orders)
+///     .filter(f)
+///     .aggregate("qty")
+///     .at(Scn(42));
+/// let out = standby.query(&req)?;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QueryRequest {
+    object: ObjectId,
+    filter: Filter,
+    expression: Option<ExprPredicate>,
+    aggregate: Option<String>,
+    snapshot: Option<Scn>,
+}
+
+impl QueryRequest {
+    /// A full scan of `object` (no filter).
+    pub fn scan(object: ObjectId) -> Self {
+        QueryRequest { object, ..Default::default() }
+    }
+
+    /// Restrict to rows matching `filter`.
+    pub fn filter(mut self, filter: Filter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Filter by an in-memory expression predicate (paper §V) instead of a
+    /// plain column filter.
+    pub fn expression(mut self, pred: ExprPredicate) -> Self {
+        self.expression = Some(pred);
+        self
+    }
+
+    /// Aggregate `column` over the matching rows (aggregation push-down,
+    /// paper §V) instead of returning row images.
+    pub fn aggregate(mut self, column: impl Into<String>) -> Self {
+        self.aggregate = Some(column.into());
+        self
+    }
+
+    /// Run at an explicit snapshot SCN instead of the session default
+    /// (current SCN on the primary, published QuerySCN on the standby).
+    pub fn at(mut self, snapshot: Scn) -> Self {
+        self.snapshot = Some(snapshot);
+        self
+    }
+
+    /// The target object.
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+
+    /// The explicit snapshot, when one was set.
+    pub fn snapshot(&self) -> Option<Scn> {
+        self.snapshot
+    }
+}
 
 /// Result of one query execution.
 #[derive(Debug)]
 pub struct QueryOutput {
-    /// Matching rows.
+    /// Matching rows (empty for aggregate queries).
     pub rows: Vec<Row>,
     /// Did the In-Memory Scan Engine serve the query (vs a pure row-store
     /// buffer-cache scan)?
     pub used_imcs: bool,
-    /// Column-store provenance counters, when the IMCS served the query.
+    /// Column-store provenance counters, when the IMCS served a row scan.
     pub stats: Option<ScanStats>,
+    /// The aggregates, when the request asked for them.
+    pub aggregate: Option<AggregateResult>,
     /// Wall-clock execution time.
     pub elapsed: Duration,
     /// The snapshot the query ran at.
@@ -30,8 +108,44 @@ impl QueryOutput {
     }
 }
 
+/// Execute `req` against the given column stores, falling back to the row
+/// store, recording the execution into `metrics` and `trace`.
+///
+/// `default_snapshot` is used when the request carries no explicit SCN.
+pub fn execute_request(
+    imcs_stores: &[Arc<ImcsStore>],
+    store: &Store,
+    req: &QueryRequest,
+    default_snapshot: Scn,
+    metrics: &ScanEngineMetrics,
+    trace: &PipelineTrace,
+) -> Result<QueryOutput> {
+    let snapshot = req.snapshot.unwrap_or(default_snapshot);
+    let started = Instant::now();
+    let out = if let Some(column) = &req.aggregate {
+        run_aggregate(imcs_stores, store, req, column, snapshot, started)?
+    } else if let Some(pred) = &req.expression {
+        run_expression(imcs_stores, store, req.object, pred, snapshot, started)?
+    } else {
+        run_scan(imcs_stores, store, req.object, &req.filter, snapshot, started)?
+    };
+    record_execution(metrics, &out);
+    trace.record(
+        TraceStage::Query,
+        snapshot.0,
+        format!(
+            "object={} rows={} {}",
+            req.object.0,
+            out.count(),
+            if out.used_imcs { "imcs" } else { "row-store" }
+        ),
+    );
+    Ok(out)
+}
+
 /// Execute a filtered full scan: IMCS first (across the given column
-/// stores), row-store otherwise.
+/// stores), row-store otherwise. Legacy entrypoint — no metrics recording;
+/// prefer [`execute_request`].
 pub fn execute_scan(
     imcs_stores: &[Arc<ImcsStore>],
     store: &Store,
@@ -39,12 +153,23 @@ pub fn execute_scan(
     filter: &Filter,
     snapshot: Scn,
 ) -> Result<QueryOutput> {
-    let started = Instant::now();
+    run_scan(imcs_stores, store, object, filter, snapshot, Instant::now())
+}
+
+fn run_scan(
+    imcs_stores: &[Arc<ImcsStore>],
+    store: &Store,
+    object: ObjectId,
+    filter: &Filter,
+    snapshot: Scn,
+    started: Instant,
+) -> Result<QueryOutput> {
     if let Some(result) = scan_cluster(imcs_stores, store, object, filter, snapshot)? {
         return Ok(QueryOutput {
             rows: result.rows,
             used_imcs: true,
             stats: Some(result.stats),
+            aggregate: None,
             elapsed: started.elapsed(),
             snapshot,
         });
@@ -60,7 +185,101 @@ pub fn execute_scan(
         rows,
         used_imcs: false,
         stats: None,
+        aggregate: None,
         elapsed: started.elapsed(),
         snapshot,
     })
+}
+
+fn run_expression(
+    imcs_stores: &[Arc<ImcsStore>],
+    store: &Store,
+    object: ObjectId,
+    pred: &ExprPredicate,
+    snapshot: Scn,
+    started: Instant,
+) -> Result<QueryOutput> {
+    if let Some(r) = scan_expression(imcs_stores, store, object, pred, snapshot)? {
+        return Ok(QueryOutput {
+            rows: r.rows,
+            used_imcs: true,
+            stats: Some(r.stats),
+            aggregate: None,
+            elapsed: started.elapsed(),
+            snapshot,
+        });
+    }
+    let mut rows = Vec::new();
+    store.scan_object(object, snapshot, None, |_, row| {
+        if pred.eval_row(row) {
+            rows.push(row.clone());
+        }
+    })?;
+    Ok(QueryOutput {
+        rows,
+        used_imcs: false,
+        stats: None,
+        aggregate: None,
+        elapsed: started.elapsed(),
+        snapshot,
+    })
+}
+
+fn run_aggregate(
+    imcs_stores: &[Arc<ImcsStore>],
+    store: &Store,
+    req: &QueryRequest,
+    column: &str,
+    snapshot: Scn,
+    started: Instant,
+) -> Result<QueryOutput> {
+    let ordinal = store.table(req.object)?.schema.read().ordinal(column)?;
+    if let Some(r) = scan_aggregate(imcs_stores, store, req.object, &req.filter, ordinal, snapshot)?
+    {
+        return Ok(QueryOutput {
+            rows: Vec::new(),
+            used_imcs: true,
+            stats: None,
+            aggregate: Some(r),
+            elapsed: started.elapsed(),
+            snapshot,
+        });
+    }
+    let mut r = AggregateResult::default();
+    store.scan_object(req.object, snapshot, None, |_, row| {
+        if req.filter.eval_row(row) {
+            r.aggs.add(row.get(ordinal));
+            r.stats.fallback_rows += 1;
+        }
+    })?;
+    Ok(QueryOutput {
+        rows: Vec::new(),
+        used_imcs: false,
+        stats: None,
+        aggregate: Some(r),
+        elapsed: started.elapsed(),
+        snapshot,
+    })
+}
+
+/// Fold one execution into the scan-engine metrics stage.
+fn record_execution(metrics: &ScanEngineMetrics, out: &QueryOutput) {
+    metrics.queries.inc();
+    if out.used_imcs {
+        metrics.imcs_served.inc();
+    } else {
+        metrics.row_store_fallback.inc();
+    }
+    if let Some(stats) = &out.stats {
+        metrics.imcu_rows.add(stats.imcu_rows as u64);
+        metrics.fallback_rows.add(stats.fallback_rows as u64);
+        metrics.uncovered_rows.add(stats.uncovered_rows as u64);
+        metrics.pruned_units.add(stats.pruned_units as u64);
+        metrics.scanned_units.add(stats.scanned_units as u64);
+    }
+    if let Some(agg) = &out.aggregate {
+        metrics.fallback_rows.add(agg.stats.fallback_rows as u64);
+        metrics.scanned_units.add(agg.stats.scanned_units as u64);
+    }
+    metrics.latency_us.record(out.elapsed);
 }

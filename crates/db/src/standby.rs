@@ -8,19 +8,19 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use imadg_common::{
-    CpuAccount, Error, InstanceId, ObjectId, ObjectSet, QueryScnCell, QuiesceLock, Result, Scn,
-    SystemConfig,
+    CpuAccount, Error, InstanceId, MetricsRegistry, MetricsSnapshot, ObjectId, ObjectSet,
+    QueryScnCell, QuiesceLock, Result, Scn, SystemConfig,
 };
 use imadg_core::{DbimAdg, HomeLocationMap, LocalFlushTarget, RacEndpoint, RacFlushTarget};
 use imadg_imcs::{
-    scan_aggregate, scan_expression, AggregateResult, ExprPredicate, Filter, ImcsStore,
-    PopulationEngine, PopulationReport, SnapshotSource,
+    AggregateResult, ExprPredicate, Filter, ImcsStore, PopulationEngine, PopulationReport,
+    SnapshotSource,
 };
 use imadg_recovery::{MediaRecovery, NoopAdvanceHook, RecoveryThreads};
 use imadg_redo::RedoReceiver;
 use imadg_storage::{Row, RowLoc, Store};
 
-use crate::query::{execute_scan, QueryOutput};
+use crate::query::{execute_request, QueryOutput, QueryRequest};
 
 /// A point-in-time health snapshot of the standby (observability:
 /// `V$`-view-style counters an operator would watch).
@@ -94,6 +94,8 @@ pub struct StandbyCluster {
     instances: Vec<Arc<StandbyInstance>>,
     rac_endpoints: Vec<Arc<RacEndpoint>>,
     home: HomeLocationMap,
+    /// The cluster-wide metrics registry every pipeline stage reports into.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl StandbyCluster {
@@ -114,6 +116,7 @@ impl StandbyCluster {
         let query_scn = Arc::new(QueryScnCell::new());
         let quiesce = Arc::new(QuiesceLock::new());
         let enabled = Arc::new(ObjectSet::new());
+        let metrics = Arc::new(MetricsRegistry::default());
 
         // Per-instance column stores; IMCUs distribute by home location.
         let ids: Vec<InstanceId> = (0..instances).map(|i| InstanceId(i as u8)).collect();
@@ -129,10 +132,7 @@ impl StandbyCluster {
         // Flush target: local for one instance, RAC distributor otherwise.
         let (target, rac_endpoints): (Arc<dyn imadg_core::FlushTarget>, Vec<Arc<RacEndpoint>>) =
             if instances == 1 {
-                (
-                    Arc::new(LocalFlushTarget::new(stores[&InstanceId::MASTER].clone())),
-                    Vec::new(),
-                )
+                (Arc::new(LocalFlushTarget::new(stores[&InstanceId::MASTER].clone())), Vec::new())
             } else {
                 let (t, eps) = RacFlushTarget::new(
                     home.clone(),
@@ -145,28 +145,28 @@ impl StandbyCluster {
             };
 
         let adg = if dbim_on_adg {
-            Some(Arc::new(DbimAdg::new(
+            Some(Arc::new(DbimAdg::with_metrics(
                 &config.imcs,
                 config.recovery.workers,
                 enabled.clone(),
                 store.clone(),
                 target,
+                &metrics,
             )?))
         } else {
             None
         };
 
-        let recovery = MediaRecovery::new(
+        let recovery = MediaRecovery::with_metrics(
             &config.recovery,
             store.clone(),
             receivers,
             adg.iter().map(|a| a.observer()).collect(),
             adg.as_ref().map(|a| a.coop_helper()),
-            adg.as_ref()
-                .map(|a| a.advance_hook())
-                .unwrap_or_else(|| Arc::new(NoopAdvanceHook)),
+            adg.as_ref().map(|a| a.advance_hook()).unwrap_or_else(|| Arc::new(NoopAdvanceHook)),
             query_scn.clone(),
             quiesce.clone(),
+            &metrics,
         )?;
 
         // Instances with population engines.
@@ -178,6 +178,7 @@ impl StandbyCluster {
                 SnapshotSource::Standby { query_scn: query_scn.clone(), quiesce: quiesce.clone() },
                 config.imcs.clone(),
             )?;
+            engine.set_metrics(metrics.population.clone());
             if home.is_clustered() {
                 let home = home.clone();
                 engine.set_home_filter(Arc::new(move |dba| home.instance_for(dba) == id));
@@ -200,6 +201,7 @@ impl StandbyCluster {
             instances: insts,
             rac_endpoints,
             home,
+            metrics,
         }))
     }
 
@@ -281,69 +283,53 @@ impl StandbyCluster {
         }
     }
 
-    /// Run a filtered full scan at the published QuerySCN, fanning out
-    /// across every instance's column store (cross-instance PX).
-    pub fn scan(&self, object: ObjectId, filter: &Filter) -> Result<QueryOutput> {
-        let snapshot = self.current_query_scn()?;
+    /// Execute a [`QueryRequest`] at the published QuerySCN (or the
+    /// request's explicit snapshot), fanning out across every instance's
+    /// column store (cross-instance PX).
+    pub fn query(&self, req: &QueryRequest) -> Result<QueryOutput> {
+        let snapshot = match req.snapshot() {
+            Some(s) => s,
+            None => self.current_query_scn()?,
+        };
         let _t = self.instances[0].query_cpu.timer();
         let stores: Vec<Arc<ImcsStore>> = self.instances.iter().map(|i| i.imcs.clone()).collect();
-        execute_scan(&stores, &self.store, object, filter, snapshot)
+        execute_request(
+            &stores,
+            &self.store,
+            req,
+            snapshot,
+            &self.metrics.scan,
+            &self.metrics.trace,
+        )
+    }
+
+    /// Run a filtered full scan at the published QuerySCN (delegates to
+    /// [`StandbyCluster::query`]).
+    pub fn scan(&self, object: ObjectId, filter: &Filter) -> Result<QueryOutput> {
+        self.query(&QueryRequest::scan(object).filter(filter.clone()))
     }
 
     /// Scan filtered by an in-memory expression (paper §V) at the
-    /// published QuerySCN. Falls back to row-image evaluation when the
-    /// object has no column-store presence.
+    /// published QuerySCN (delegates to [`StandbyCluster::query`]).
     pub fn scan_expression_pred(
         &self,
         object: ObjectId,
         pred: &ExprPredicate,
     ) -> Result<QueryOutput> {
-        let snapshot = self.current_query_scn()?;
-        let _t = self.instances[0].query_cpu.timer();
-        let started = std::time::Instant::now();
-        let stores: Vec<Arc<ImcsStore>> = self.instances.iter().map(|i| i.imcs.clone()).collect();
-        if let Some(r) = scan_expression(&stores, &self.store, object, pred, snapshot)? {
-            return Ok(QueryOutput {
-                rows: r.rows,
-                used_imcs: true,
-                stats: Some(r.stats),
-                elapsed: started.elapsed(),
-                snapshot,
-            });
-        }
-        let mut rows = Vec::new();
-        self.store.scan_object(object, snapshot, None, |_, row| {
-            if pred.eval_row(row) {
-                rows.push(row.clone());
-            }
-        })?;
-        Ok(QueryOutput { rows, used_imcs: false, stats: None, elapsed: started.elapsed(), snapshot })
+        self.query(&QueryRequest::scan(object).expression(pred.clone()))
     }
 
     /// Aggregate one column over the rows matching `filter` at the
-    /// published QuerySCN (aggregation push-down, paper §V). Falls back to
-    /// a row-store aggregate when the object has no column-store presence.
+    /// published QuerySCN (delegates to [`StandbyCluster::query`]).
     pub fn aggregate(
         &self,
         object: ObjectId,
         filter: &Filter,
         column: &str,
     ) -> Result<AggregateResult> {
-        let snapshot = self.current_query_scn()?;
-        let _t = self.instances[0].query_cpu.timer();
-        let ordinal = self.store.table(object)?.schema.read().ordinal(column)?;
-        let stores: Vec<Arc<ImcsStore>> = self.instances.iter().map(|i| i.imcs.clone()).collect();
-        if let Some(r) = scan_aggregate(&stores, &self.store, object, filter, ordinal, snapshot)? {
-            return Ok(r);
-        }
-        let mut r = AggregateResult::default();
-        self.store.scan_object(object, snapshot, None, |_, row| {
-            if filter.eval_row(row) {
-                r.aggs.add(row.get(ordinal));
-                r.stats.fallback_rows += 1;
-            }
-        })?;
-        Ok(r)
+        let out =
+            self.query(&QueryRequest::scan(object).filter(filter.clone()).aggregate(column))?;
+        Ok(out.aggregate.expect("aggregate request always carries aggregates"))
     }
 
     /// Register an in-memory expression on every instance's column store.
@@ -386,32 +372,35 @@ impl StandbyCluster {
         Ok(removed)
     }
 
-    /// Snapshot the standby's health counters.
+    /// Snapshot every pipeline stage's metrics, refreshing the sampled
+    /// gauges (merger depth, SCN positions, journal / commit-table /
+    /// population occupancy) first.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.recovery.refresh_gauges();
+        if let Some(adg) = &self.adg {
+            self.metrics.journal.journal_txns.set(adg.journal.len() as u64);
+            self.metrics.journal.journal_records.set(adg.journal.total_records() as u64);
+            self.metrics.commit_table.commit_table_pending.set(adg.commit_table.len() as u64);
+        }
+        let rows: usize = self.instances.iter().map(|i| i.imcs.populated_rows()).sum();
+        self.metrics.population.populated_rows.set(rows as u64);
+        self.metrics.snapshot()
+    }
+
+    /// Snapshot the standby's health counters — a cheap projection of
+    /// [`StandbyCluster::metrics`] keeping the `V$`-view field names.
     pub fn status(&self) -> StandbyStatus {
-        let (journal_txns, journal_records, commit_table_pending, flushed, coarse) =
-            match &self.adg {
-                Some(adg) => (
-                    adg.journal.len(),
-                    adg.journal.total_records(),
-                    adg.commit_table.len(),
-                    adg.flush.stats.flushed_records.load(std::sync::atomic::Ordering::Relaxed),
-                    adg.flush
-                        .stats
-                        .coarse_invalidations
-                        .load(std::sync::atomic::Ordering::Relaxed),
-                ),
-                None => (0, 0, 0, 0, 0),
-            };
+        let m = self.metrics();
         StandbyStatus {
             query_scn: self.query_scn.get(),
-            applied_scn: self.recovery.applied_scn(),
-            advances: self.recovery.coordinator().advance_count(),
-            journal_txns,
-            journal_records,
-            commit_table_pending,
-            populated_rows: self.instances.iter().map(|i| i.imcs.populated_rows()).sum(),
-            flushed_records: flushed,
-            coarse_invalidations: coarse,
+            applied_scn: Scn(m.apply.applied_scn),
+            advances: m.flush.advances,
+            journal_txns: m.journal.journal_txns as usize,
+            journal_records: m.journal.journal_records as usize,
+            commit_table_pending: m.commit_table.commit_table_pending as usize,
+            populated_rows: m.population.populated_rows as usize,
+            flushed_records: m.flush.flushed_records,
+            coarse_invalidations: m.flush.coarse_invalidations,
         }
     }
 

@@ -36,7 +36,11 @@ fn seed(c: &AdgCluster, from: i64, to: i64) {
     let mut tx = p.txm.begin(TenantId::DEFAULT);
     for k in from..to {
         p.txm
-            .insert(&mut tx, OBJ, vec![Value::Int(k), Value::Int(k % 10), Value::str(format!("c{}", k % 7))])
+            .insert(
+                &mut tx,
+                OBJ,
+                vec![Value::Int(k), Value::Int(k % 10), Value::str(format!("c{}", k % 7))],
+            )
             .unwrap();
     }
     p.txm.commit(tx);

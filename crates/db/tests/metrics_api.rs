@@ -1,0 +1,235 @@
+//! E2e tests of the metrics/tracing layer and the unified query API:
+//! record conservation across the pipeline after a full sync, serde
+//! round-trips of the snapshot, and `query()` parity with the legacy
+//! scan paths.
+
+use imadg_db::{
+    execute_scan, AdgCluster, ClusterSpec, ColumnType, Filter, MetricsSnapshot, ObjectId,
+    Placement, Predicate, QueryRequest, Schema, Scn, TableSpec, TenantId, TraceStage, Value,
+};
+
+const OBJ: ObjectId = ObjectId(100);
+const ROW_OBJ: ObjectId = ObjectId(101);
+
+fn table_spec(id: ObjectId, name: &str) -> TableSpec {
+    TableSpec {
+        id,
+        name: name.into(),
+        tenant: TenantId::DEFAULT,
+        schema: Schema::of(&[
+            ("id", ColumnType::Int),
+            ("n1", ColumnType::Int),
+            ("c1", ColumnType::Varchar),
+        ]),
+        key_ordinal: 0,
+        rows_per_block: 16,
+    }
+}
+
+/// A cluster with one IMCS-placed object and one row-store-only object.
+fn cluster() -> AdgCluster {
+    let c = AdgCluster::new(ClusterSpec::default()).unwrap();
+    c.create_table(table_spec(OBJ, "sales")).unwrap();
+    c.create_table(table_spec(ROW_OBJ, "refs")).unwrap();
+    c.set_placement(OBJ, Placement::StandbyOnly).unwrap();
+    c
+}
+
+fn seed(c: &AdgCluster, object: ObjectId, from: i64, to: i64) {
+    let p = c.primary();
+    let mut tx = p.txm.begin(TenantId::DEFAULT);
+    for k in from..to {
+        p.txm
+            .insert(
+                &mut tx,
+                object,
+                vec![Value::Int(k), Value::Int(k % 10), Value::str(format!("c{}", k % 7))],
+            )
+            .unwrap();
+    }
+    p.txm.commit(tx);
+}
+
+fn filter(c: &AdgCluster, object: ObjectId, col: &str, v: Value) -> Filter {
+    let schema = c.primary().store.table(object).unwrap().schema.read().clone();
+    Filter::of(Predicate::eq(&schema, col, v).unwrap())
+}
+
+fn sorted_keys(rows: &[imadg_db::Row]) -> Vec<i64> {
+    let mut keys: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    keys.sort_unstable();
+    keys
+}
+
+#[test]
+fn pipeline_metrics_conserve_records_across_sync() {
+    let c = cluster();
+    seed(&c, OBJ, 0, 200);
+    // Updates generate invalidations for already-populated blocks.
+    for k in 0..20 {
+        c.primary().update_one(OBJ, TenantId::DEFAULT, k, "n1", Value::Int(999)).unwrap();
+    }
+    // An aborted transaction: its mined journal records must be discarded,
+    // not flushed.
+    {
+        let p = c.primary();
+        let mut tx = p.txm.begin(TenantId::DEFAULT);
+        for k in 5000..5010 {
+            p.txm
+                .insert(&mut tx, OBJ, vec![Value::Int(k), Value::Int(0), Value::str("x")])
+                .unwrap();
+        }
+        p.txm.abort(tx);
+    }
+    c.sync().unwrap();
+
+    let pm = c.primary().metrics();
+    let sm = c.standby().metrics();
+
+    // Transport → merger → dispatcher: every data record shipped is merged
+    // exactly once and dispatched exactly once.
+    assert!(pm.transport.records_shipped > 0, "workload must ship redo");
+    assert_eq!(pm.transport.records_shipped, sm.merger.records_merged);
+    assert_eq!(sm.merger.records_merged, sm.apply.records_dispatched);
+
+    // Journal conservation: every mined invalidation record is either
+    // flushed to an SMU, discarded by an abort, or still buffered.
+    assert!(sm.mining.mined > 0, "mining must buffer invalidations");
+    assert!(sm.mining.abort_discarded_records > 0, "abort must discard records");
+    assert_eq!(
+        sm.mining.mined,
+        sm.flush.flushed_records + sm.mining.abort_discarded_records + sm.journal.journal_records,
+    );
+
+    // Advancement happened and the pipeline is drained.
+    assert!(sm.flush.advances > 0);
+    assert_eq!(sm.journal.journal_txns, 0, "sync leaves no open transactions");
+    assert_eq!(sm.commit_table.commit_table_pending, 0, "sync drains the commit table");
+    assert!(sm.apply.applied_scn > 0);
+    assert!(sm.apply.items_applied >= sm.apply.records_dispatched, "CVs fan out per record");
+    assert!(sm.population.imcus_built > 0);
+    assert!(sm.population.populated_rows as usize >= 200);
+}
+
+#[test]
+fn metrics_snapshot_round_trips_through_serde() {
+    let c = cluster();
+    seed(&c, OBJ, 0, 100);
+    c.sync().unwrap();
+
+    // Exercise the query API so the scan stage and trace ring are non-empty.
+    let standby = c.standby();
+    standby.query(&QueryRequest::scan(OBJ)).unwrap();
+    standby.query(&QueryRequest::scan(OBJ).filter(filter(&c, OBJ, "n1", Value::Int(4)))).unwrap();
+
+    let snap = standby.metrics();
+    assert!(snap.scan.queries >= 2);
+    assert_eq!(snap.scan.queries, snap.scan.imcs_served + snap.scan.row_store_fallback);
+    assert!(snap.scan.latency_us.count >= 2);
+
+    let json = serde_json::to_string(&snap).unwrap();
+    let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(snap, back, "snapshot must survive a serde round-trip");
+
+    // The trace ring recorded both the advancement and the queries.
+    assert!(snap.trace.iter().any(|e| e.stage == TraceStage::Advance));
+    assert!(snap.trace.iter().any(|e| e.stage == TraceStage::Query));
+}
+
+#[test]
+fn status_is_a_projection_of_metrics() {
+    let c = cluster();
+    seed(&c, OBJ, 0, 150);
+    for k in 0..10 {
+        c.primary().update_one(OBJ, TenantId::DEFAULT, k, "n1", Value::Int(555)).unwrap();
+    }
+    c.sync().unwrap();
+
+    let standby = c.standby();
+    let m = standby.metrics();
+    let s = standby.status();
+    assert_eq!(s.applied_scn.raw(), m.apply.applied_scn);
+    assert_eq!(s.advances, m.flush.advances);
+    assert_eq!(s.journal_txns as u64, m.journal.journal_txns);
+    assert_eq!(s.journal_records as u64, m.journal.journal_records);
+    assert_eq!(s.commit_table_pending as u64, m.commit_table.commit_table_pending);
+    assert_eq!(s.populated_rows as u64, m.population.populated_rows);
+    assert_eq!(s.flushed_records, m.flush.flushed_records);
+    assert_eq!(s.coarse_invalidations, m.flush.coarse_invalidations);
+    assert_eq!(s.query_scn.map(|x| x.raw()).unwrap_or(0), m.apply.query_scn);
+}
+
+#[test]
+fn unified_query_matches_legacy_paths_byte_for_byte() {
+    let c = cluster();
+    seed(&c, OBJ, 0, 120);
+    seed(&c, ROW_OBJ, 0, 60);
+    c.sync().unwrap();
+    let standby = c.standby();
+
+    // IMCS-served object: query() against the raw legacy executor.
+    let f = filter(&c, OBJ, "n1", Value::Int(4));
+    let out = standby.query(&QueryRequest::scan(OBJ).filter(f.clone())).unwrap();
+    assert!(out.used_imcs);
+    let snapshot = out.snapshot;
+    let stores: Vec<_> = standby.instances().iter().map(|i| i.imcs.clone()).collect();
+    let legacy = execute_scan(&stores, &standby.store, OBJ, &f, snapshot).unwrap();
+    assert_eq!(out.rows, legacy.rows, "IMCS-served rows must be byte-identical");
+    assert_eq!(out.used_imcs, legacy.used_imcs);
+
+    // Row-store-fallback object (never placed in-memory).
+    let f = filter(&c, ROW_OBJ, "n1", Value::Int(7));
+    let out = standby.query(&QueryRequest::scan(ROW_OBJ).filter(f.clone())).unwrap();
+    assert!(!out.used_imcs);
+    let legacy = execute_scan(&stores, &standby.store, ROW_OBJ, &f, out.snapshot).unwrap();
+    assert_eq!(out.rows, legacy.rows, "fallback rows must be byte-identical");
+
+    // The thin wrappers delegate to query(): identical row sets.
+    let f = filter(&c, OBJ, "n1", Value::Int(4));
+    let via_query = standby.query(&QueryRequest::scan(OBJ).filter(f.clone())).unwrap();
+    let via_scan = standby.scan(OBJ, &f).unwrap();
+    assert_eq!(via_query.rows, via_scan.rows);
+
+    // Aggregate through the builder equals the legacy aggregate method.
+    let agg_req =
+        standby.query(&QueryRequest::scan(OBJ).filter(f.clone()).aggregate("n1")).unwrap();
+    let agg_legacy = standby.aggregate(OBJ, &f, "n1").unwrap();
+    assert_eq!(agg_req.aggregate.unwrap(), agg_legacy);
+}
+
+#[test]
+fn explicit_snapshot_queries_read_the_past() {
+    let c = cluster();
+    seed(&c, OBJ, 0, 50);
+    c.sync().unwrap();
+    let standby = c.standby();
+    let old_scn = standby.current_query_scn().unwrap();
+    let before = standby.query(&QueryRequest::scan(OBJ)).unwrap();
+    assert_eq!(before.count(), 50);
+
+    seed(&c, OBJ, 1000, 1010);
+    c.sync().unwrap();
+
+    // At the new QuerySCN all 60 rows are visible; at the old one, 50.
+    let now = standby.query(&QueryRequest::scan(OBJ)).unwrap();
+    assert_eq!(now.count(), 60);
+    let past = standby.query(&QueryRequest::scan(OBJ).at(old_scn)).unwrap();
+    assert_eq!(past.count(), 50);
+    assert_eq!(past.snapshot, old_scn);
+    assert_eq!(sorted_keys(&past.rows), (0..50).collect::<Vec<_>>());
+
+    // A snapshot older than every unit's population SCN cannot be served
+    // from frozen columnar data — the scan must bypass to row-store CR,
+    // which sees nothing before the first commit.
+    let genesis = standby.query(&QueryRequest::scan(OBJ).at(Scn(1))).unwrap();
+    assert_eq!(genesis.count(), 0, "pre-population snapshot must see no rows");
+
+    // Primary honors explicit snapshots too (row-store MVCC path).
+    let p = c.primary();
+    let mid = p.current_scn();
+    seed(&c, ROW_OBJ, 0, 10);
+    let all = p.query(&QueryRequest::scan(ROW_OBJ)).unwrap();
+    assert_eq!(all.count(), 10);
+    let empty = p.query(&QueryRequest::scan(ROW_OBJ).at(mid)).unwrap();
+    assert_eq!(empty.count(), 0, "rows inserted after `mid` must be invisible");
+}

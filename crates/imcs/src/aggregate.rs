@@ -128,7 +128,7 @@ pub fn scan_aggregate(
         covered.extend(imcu.dbas.iter().copied());
         let view = smu.read();
 
-        if imcu.is_pending() || view.all_invalid() {
+        if imcu.is_pending() || view.all_invalid() || snapshot < imcu.snapshot {
             result.stats.bypassed_units += 1;
             store.scan_blocks(&imcu.dbas, snapshot, |_, row| {
                 if filter.eval_row(row) {
@@ -195,11 +195,8 @@ pub fn scan_aggregate(
         })?;
     }
 
-    let uncovered: Vec<_> = store
-        .block_dbas(object)?
-        .into_iter()
-        .filter(|d| !covered.contains(d))
-        .collect();
+    let uncovered: Vec<_> =
+        store.block_dbas(object)?.into_iter().filter(|d| !covered.contains(d)).collect();
     if !uncovered.is_empty() {
         store.scan_blocks(&uncovered, snapshot, |_, row| {
             if filter.eval_row(row) {

@@ -109,10 +109,8 @@ mod tests {
     #[test]
     fn uniform_access_across_encodings() {
         let vals: Vec<Value> = (0..100).map(|i| Value::Int(i % 3)).collect();
-        for cu in [
-            ColumnCu::Plain(PlainIntCu::build(&vals)),
-            ColumnCu::Rle(RleIntCu::build(&vals)),
-        ] {
+        for cu in [ColumnCu::Plain(PlainIntCu::build(&vals)), ColumnCu::Rle(RleIntCu::build(&vals))]
+        {
             assert_eq!(cu.len(), 100);
             assert_eq!(cu.get(4), Value::Int(1));
             assert_eq!(cu.min_max(), MinMax::Int(0, 2));

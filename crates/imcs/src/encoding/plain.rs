@@ -28,8 +28,7 @@ impl PlainIntCu {
                 Value::Int(x) => out.push(*x),
                 _ => {
                     out.push(0);
-                    let bits =
-                        nulls.get_or_insert_with(|| vec![0u64; values.len().div_ceil(64)]);
+                    let bits = nulls.get_or_insert_with(|| vec![0u64; values.len().div_ceil(64)]);
                     bits[i >> 6] |= 1 << (i & 63);
                 }
             }

@@ -209,20 +209,13 @@ impl Imcu {
     /// are not part of the row image).
     pub fn materialize(&self, rownum: u32) -> Row {
         Row::new(
-            self.columns
-                .iter()
-                .take(self.base_arity)
-                .map(|c| c.get(rownum as usize))
-                .collect(),
+            self.columns.iter().take(self.base_arity).map(|c| c.get(rownum as usize)).collect(),
         )
     }
 
     /// Read one column of one row.
     pub fn value(&self, rownum: u32, ordinal: usize) -> Value {
-        self.columns
-            .get(ordinal)
-            .map(|c| c.get(rownum as usize))
-            .unwrap_or(Value::Null)
+        self.columns.get(ordinal).map(|c| c.get(rownum as usize)).unwrap_or(Value::Null)
     }
 
     /// Scan one predicate through its encoded column; returns matching row
@@ -281,9 +274,8 @@ mod tests {
     #[test]
     fn build_and_materialize() {
         let s = store_with_rows(10);
-        let imcu =
-            Imcu::build(&s, ObjectId(1), TenantId::DEFAULT, vec![Dba(1)], Scn(5), &schema())
-                .unwrap();
+        let imcu = Imcu::build(&s, ObjectId(1), TenantId::DEFAULT, vec![Dba(1)], Scn(5), &schema())
+            .unwrap();
         assert_eq!(imcu.rows(), 10);
         let r = imcu.materialize(4);
         assert_eq!(r[0], Value::Int(4));
@@ -305,9 +297,8 @@ mod tests {
             scn: Scn(8),
             data: Some(Row::new(vec![Value::Int(999), Value::str("zz")])),
         });
-        let imcu =
-            Imcu::build(&s, ObjectId(1), TenantId::DEFAULT, vec![Dba(1)], Scn(5), &schema())
-                .unwrap();
+        let imcu = Imcu::build(&s, ObjectId(1), TenantId::DEFAULT, vec![Dba(1)], Scn(5), &schema())
+            .unwrap();
         assert_eq!(imcu.value(0, 0), Value::Int(0), "snapshot sees the committed image");
     }
 
@@ -338,9 +329,8 @@ mod tests {
     #[test]
     fn empty_range_builds_empty_unit() {
         let s = store_with_rows(0);
-        let imcu =
-            Imcu::build(&s, ObjectId(1), TenantId::DEFAULT, vec![Dba(1)], Scn(5), &schema())
-                .unwrap();
+        let imcu = Imcu::build(&s, ObjectId(1), TenantId::DEFAULT, vec![Dba(1)], Scn(5), &schema())
+            .unwrap();
         assert_eq!(imcu.rows(), 0);
         assert_eq!(imcu.all_rows().count(), 0);
     }

@@ -19,6 +19,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
+use imadg_common::metrics::PopulationMetrics;
 use imadg_common::{
     CpuAccount, Error, ImcsConfig, ObjectId, QueryScnCell, QuiesceLock, Result, Scn, ScnService,
 };
@@ -96,6 +97,7 @@ pub struct PopulationEngine {
     home_filter: Option<Arc<dyn Fn(imadg_common::Dba) -> bool + Send + Sync>>,
     /// Population busy time (the extra standby CPU of Fig. 10).
     pub cpu: CpuAccount,
+    metrics: Arc<PopulationMetrics>,
 }
 
 impl PopulationEngine {
@@ -115,7 +117,13 @@ impl PopulationEngine {
             enabled: RwLock::new(HashSet::new()),
             home_filter: None,
             cpu: CpuAccount::new(),
+            metrics: Arc::default(),
         })
+    }
+
+    /// Report population counts into a registry's population stage.
+    pub fn set_metrics(&mut self, metrics: Arc<PopulationMetrics>) {
+        self.metrics = metrics;
     }
 
     /// Restrict population to blocks the home-location map assigns to this
@@ -158,6 +166,9 @@ impl PopulationEngine {
             report.populated += self.populate_uncovered(object)?;
             report.repopulated += self.repopulate_stale(object)?;
         }
+        self.metrics.passes.inc();
+        self.metrics.imcus_built.add(report.populated as u64);
+        self.metrics.imcus_repopulated.add(report.repopulated as u64);
         Ok(report)
     }
 
@@ -214,7 +225,13 @@ impl PopulationEngine {
             // Steps 2-3: build online and swap in.
             let exprs = self.imcs.expressions(object);
             let imcu = Imcu::build_with_expressions(
-                &self.store, object, meta.tenant, chunk, snapshot, &schema, &exprs,
+                &self.store,
+                object,
+                meta.tenant,
+                chunk,
+                snapshot,
+                &schema,
+                &exprs,
             )?;
             handle.swap(imcu);
             built += 1;
@@ -241,7 +258,8 @@ impl PopulationEngine {
             // Throttle: don't rebuild for tiny snapshot advances unless the
             // unit is unusable (pending or coarse-invalidated).
             let forced = imcu.is_pending() || smu.view().all_invalid();
-            if !forced && snapshot.0.saturating_sub(imcu.snapshot.0) < self.config.repopulate_min_scn_gap
+            if !forced
+                && snapshot.0.saturating_sub(imcu.snapshot.0) < self.config.repopulate_min_scn_gap
             {
                 continue;
             }
@@ -250,7 +268,13 @@ impl PopulationEngine {
             }
             let exprs = self.imcs.expressions(object);
             let rebuiltu = Imcu::build_with_expressions(
-                &self.store, object, meta.tenant, dbas, snapshot, &schema, &exprs,
+                &self.store,
+                object,
+                meta.tenant,
+                dbas,
+                snapshot,
+                &schema,
+                &exprs,
             )?;
             handle.swap(rebuiltu);
             rebuilt += 1;
@@ -345,7 +369,11 @@ mod tests {
     fn new_blocks_extend_coverage() {
         let (txm, store, scns) = primary();
         load(&txm, 32); // 16 rows/block → 2 blocks
-        let cfg = ImcsConfig { imcu_max_rows: 16, repopulate_min_scn_gap: 1_000_000, ..Default::default() };
+        let cfg = ImcsConfig {
+            imcu_max_rows: 16,
+            repopulate_min_scn_gap: 1_000_000,
+            ..Default::default()
+        };
         let e = engine(store, scns, cfg);
         assert_eq!(e.run_once().unwrap().populated, 2);
         // Append 64 more rows with fresh keys → 4 new blocks.
@@ -428,7 +456,10 @@ mod tests {
         let e = PopulationEngine::new(
             store,
             Arc::new(ImcsStore::new()),
-            SnapshotSource::Standby { query_scn: query_scn.clone(), quiesce: Arc::new(QuiesceLock::new()) },
+            SnapshotSource::Standby {
+                query_scn: query_scn.clone(),
+                quiesce: Arc::new(QuiesceLock::new()),
+            },
             ImcsConfig::default(),
         )
         .unwrap();

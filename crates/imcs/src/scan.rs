@@ -79,8 +79,7 @@ pub fn scan_cluster(
     filter: &Filter,
     snapshot: Scn,
 ) -> Result<Option<ScanResult>> {
-    let entries: Vec<Arc<ObjectImcs>> =
-        stores.iter().filter_map(|s| s.object(object)).collect();
+    let entries: Vec<Arc<ObjectImcs>> = stores.iter().filter_map(|s| s.object(object)).collect();
     if entries.is_empty() {
         return Ok(None);
     }
@@ -102,9 +101,11 @@ fn scan_entries(
         covered.extend(imcu.dbas.iter().copied());
         let view = smu.read();
 
-        if imcu.is_pending() || view.all_invalid() {
-            // No usable columnar data: serve the whole range from the
-            // row-store at the scan snapshot.
+        if imcu.is_pending() || view.all_invalid() || snapshot < imcu.snapshot {
+            // No usable columnar data (the unit may also be frozen at a
+            // population SCN *after* the scan snapshot, and the SMU only
+            // records post-population changes): serve the whole range from
+            // the row-store at the scan snapshot.
             result.stats.bypassed_units += 1;
             store.scan_blocks(&imcu.dbas, snapshot, |_, row| {
                 if filter.eval_row(row) {
@@ -164,11 +165,8 @@ fn scan_entries(
     }
 
     // Blocks beyond any unit's coverage (fresh inserts past the edge IMCU).
-    let uncovered: Vec<_> = store
-        .block_dbas(object)?
-        .into_iter()
-        .filter(|d| !covered.contains(d))
-        .collect();
+    let uncovered: Vec<_> =
+        store.block_dbas(object)?.into_iter().filter(|d| !covered.contains(d)).collect();
     if !uncovered.is_empty() {
         store.scan_blocks(&uncovered, snapshot, |_, row| {
             if filter.eval_row(row) {
@@ -202,7 +200,9 @@ impl ExprPredicate {
     pub fn eval_row(&self, row: &Row) -> bool {
         let v = self.expr.eval(row);
         match (&v, &self.value) {
-            (imadg_storage::Value::Int(a), imadg_storage::Value::Int(b)) => self.op.matches(a.cmp(b)),
+            (imadg_storage::Value::Int(a), imadg_storage::Value::Int(b)) => {
+                self.op.matches(a.cmp(b))
+            }
             (imadg_storage::Value::Str(a), imadg_storage::Value::Str(b)) => {
                 self.op.matches(a.as_ref().cmp(b.as_ref()))
             }
@@ -237,7 +237,7 @@ pub fn scan_expression(
         covered.extend(imcu.dbas.iter().copied());
         let view = smu.read();
 
-        if imcu.is_pending() || view.all_invalid() {
+        if imcu.is_pending() || view.all_invalid() || snapshot < imcu.snapshot {
             result.stats.bypassed_units += 1;
             store.scan_blocks(&imcu.dbas, snapshot, |_, row| {
                 if pred.eval_row(row) {
@@ -264,9 +264,7 @@ pub fn scan_expression(
                 // Unit predates the expression registration: evaluate over
                 // materialized rows (correct, just not accelerated).
                 result.stats.scanned_units += 1;
-                imcu.all_rows()
-                    .filter(|&rn| pred.eval_row(&imcu.materialize(rn)))
-                    .collect()
+                imcu.all_rows().filter(|&rn| pred.eval_row(&imcu.materialize(rn))).collect()
             }
         };
         for rn in candidates {
@@ -289,11 +287,8 @@ pub fn scan_expression(
         })?;
     }
 
-    let uncovered: Vec<_> = store
-        .block_dbas(object)?
-        .into_iter()
-        .filter(|d| !covered.contains(d))
-        .collect();
+    let uncovered: Vec<_> =
+        store.block_dbas(object)?.into_iter().filter(|d| !covered.contains(d)).collect();
     if !uncovered.is_empty() {
         store.scan_blocks(&uncovered, snapshot, |_, row| {
             if pred.eval_row(row) {
@@ -365,7 +360,11 @@ mod tests {
         let mut tx = f.txm.begin(TenantId::DEFAULT);
         for k in from..to {
             f.txm
-                .insert(&mut tx, OBJ, vec![Value::Int(k), Value::Int(k % 10), Value::str(format!("c{}", k % 5))])
+                .insert(
+                    &mut tx,
+                    OBJ,
+                    vec![Value::Int(k), Value::Int(k % 10), Value::str(format!("c{}", k % 5))],
+                )
                 .unwrap();
         }
         f.txm.commit(tx);
@@ -381,9 +380,7 @@ mod tests {
         seed(&f, 0, 100);
         f.engine.run_once().unwrap();
         let filt = Filter::of(Predicate::eq(&schema(&f), "n1", Value::Int(3)).unwrap());
-        let r = scan(f.engine.imcs(), &f.store, OBJ, &filt, f.scns.current())
-            .unwrap()
-            .unwrap();
+        let r = scan(f.engine.imcs(), &f.store, OBJ, &filt, f.scns.current()).unwrap().unwrap();
         assert_eq!(r.rows.len(), 10);
         assert_eq!(r.stats.imcu_rows, 10);
         assert_eq!(r.stats.fallback_rows, 0);

@@ -69,7 +69,11 @@ mod tests {
     use imadg_storage::{ColumnType, Schema};
 
     fn idx() -> StorageIndex {
-        StorageIndex::new(vec![MinMax::Int(10, 20), MinMax::Str("b".into(), "d".into()), MinMax::AllNull])
+        StorageIndex::new(vec![
+            MinMax::Int(10, 20),
+            MinMax::Str("b".into(), "d".into()),
+            MinMax::AllNull,
+        ])
     }
 
     fn p(op: CmpOp, v: Value, ord: usize) -> Predicate {

@@ -10,7 +10,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use imadg_common::{LatencyStats, QueryScnCell, QuiesceLock, Scn};
+use imadg_common::metrics::{FlushMetrics, TraceStage};
+use imadg_common::{LatencyStats, PipelineTrace, QueryScnCell, QuiesceLock, Scn};
 use parking_lot::Mutex;
 
 use crate::progress::Progress;
@@ -45,15 +46,39 @@ pub struct Coordinator {
     /// benches on cooperative flush (§III.D.2).
     advance_latency: Mutex<LatencyStats>,
     advances: Mutex<u64>,
+    /// Flush-stage metrics (advancement counters, quiesce durations).
+    metrics: Arc<FlushMetrics>,
+    /// Pipeline trace ring; every advancement records an event.
+    trace: PipelineTrace,
 }
 
 impl Coordinator {
-    /// Build a coordinator.
+    /// Build a coordinator with private metrics.
     pub fn new(
         progress: Arc<Progress>,
         query_scn: Arc<QueryScnCell>,
         quiesce: Arc<QuiesceLock>,
         hook: Arc<dyn AdvanceHook>,
+    ) -> Self {
+        Self::with_metrics(
+            progress,
+            query_scn,
+            quiesce,
+            hook,
+            Arc::default(),
+            PipelineTrace::new(1),
+        )
+    }
+
+    /// Build a coordinator reporting into a registry's flush stage and
+    /// trace ring.
+    pub fn with_metrics(
+        progress: Arc<Progress>,
+        query_scn: Arc<QueryScnCell>,
+        quiesce: Arc<QuiesceLock>,
+        hook: Arc<dyn AdvanceHook>,
+        metrics: Arc<FlushMetrics>,
+        trace: PipelineTrace,
     ) -> Self {
         Coordinator {
             progress,
@@ -62,6 +87,8 @@ impl Coordinator {
             hook,
             advance_latency: Mutex::new(LatencyStats::new()),
             advances: Mutex::new(0),
+            metrics,
+            trace,
         }
     }
 
@@ -95,8 +122,16 @@ impl Coordinator {
             self.hook.flush_for_advance(target);
             self.query_scn.publish(target);
         }
-        self.advance_latency.lock().record(started.elapsed());
+        let elapsed = started.elapsed();
+        self.advance_latency.lock().record(elapsed);
         *self.advances.lock() += 1;
+        self.metrics.advances.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.metrics.quiesce_us.record(elapsed);
+        self.trace.record(
+            TraceStage::Advance,
+            target.0,
+            format!("QuerySCN published after {}µs quiesce", elapsed.as_micros()),
+        );
         Some(target)
     }
 

@@ -88,9 +88,7 @@ impl Dispatcher {
     }
 
     fn send(&self, worker: usize, item: WorkItem) -> Result<()> {
-        self.queues[worker]
-            .send(item)
-            .map_err(|_| imadg_common::Error::TransportClosed)
+        self.queues[worker].send(item).map_err(|_| imadg_common::Error::TransportClosed)
     }
 }
 
@@ -143,9 +141,7 @@ mod tests {
         d.dispatch(vec![change_record(7, &[1])]).unwrap();
         for r in [&r0, &r1] {
             let items: Vec<_> = r.try_iter().collect();
-            assert!(items
-                .iter()
-                .any(|i| matches!(i, WorkItem::Watermark(s) if *s == Scn(7))));
+            assert!(items.iter().any(|i| matches!(i, WorkItem::Watermark(s) if *s == Scn(7))));
         }
         assert_eq!(d.highest(), Scn(7));
     }

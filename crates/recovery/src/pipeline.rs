@@ -13,10 +13,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use imadg_common::metrics::{ApplyMetrics, MergerMetrics};
 use imadg_common::{
-    CpuAccount, QueryScnCell, QuiesceLock, RecoveryConfig, Result, Scn, WorkerId,
+    CpuAccount, MetricsRegistry, QueryScnCell, QuiesceLock, RecoveryConfig, Result, Scn, WorkerId,
 };
-use imadg_redo::{LogMerger, RedoReceiver};
+use imadg_redo::{LogMerger, RedoPayload, RedoReceiver};
 use imadg_storage::Store;
 use parking_lot::Mutex;
 
@@ -36,6 +37,8 @@ pub struct MediaRecovery {
     coordinator: Arc<Coordinator>,
     /// Busy time of the ingest/merge/dispatch stage.
     pub ingest_cpu: CpuAccount,
+    merger_metrics: Arc<MergerMetrics>,
+    apply_metrics: Arc<ApplyMetrics>,
 }
 
 impl MediaRecovery {
@@ -57,6 +60,33 @@ impl MediaRecovery {
         query_scn: Arc<QueryScnCell>,
         quiesce: Arc<QuiesceLock>,
     ) -> Result<Arc<MediaRecovery>> {
+        Self::with_metrics(
+            config,
+            store,
+            receivers,
+            observers,
+            coop,
+            hook,
+            query_scn,
+            quiesce,
+            &MetricsRegistry::default(),
+        )
+    }
+
+    /// Assemble the pipeline reporting into the merger/apply/flush stages
+    /// and trace ring of `registry`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_metrics(
+        config: &RecoveryConfig,
+        store: Arc<Store>,
+        receivers: Vec<RedoReceiver>,
+        observers: Vec<Arc<dyn ApplyObserver>>,
+        coop: Option<Arc<dyn CoopHelper>>,
+        hook: Arc<dyn AdvanceHook>,
+        query_scn: Arc<QueryScnCell>,
+        quiesce: Arc<QuiesceLock>,
+        registry: &MetricsRegistry,
+    ) -> Result<Arc<MediaRecovery>> {
         config.validate()?;
         let streams = receivers.len().max(1);
         let progress = Arc::new(Progress::new(config.workers));
@@ -66,6 +96,7 @@ impl MediaRecovery {
             let (tx, rx) = work_queue();
             senders.push(tx);
             let mut w = Worker::new(WorkerId(i as u16), rx, store.clone(), observers.clone());
+            w.set_metrics(registry.apply.clone());
             if let Some(h) = &coop {
                 if config.cooperative_flush {
                     w.set_coop(h.clone(), 64, config.coop_flush_batch);
@@ -73,11 +104,13 @@ impl MediaRecovery {
             }
             workers.push(Arc::new(Mutex::new(w)));
         }
-        let coordinator = Arc::new(Coordinator::new(
+        let coordinator = Arc::new(Coordinator::with_metrics(
             progress.clone(),
             query_scn,
             quiesce,
             hook,
+            registry.flush.clone(),
+            registry.trace.clone(),
         ));
         Ok(Arc::new(MediaRecovery {
             receivers: Mutex::new(receivers),
@@ -87,6 +120,8 @@ impl MediaRecovery {
             progress,
             coordinator,
             ingest_cpu: CpuAccount::new(),
+            merger_metrics: registry.merger.clone(),
+            apply_metrics: registry.apply.clone(),
         }))
     }
 
@@ -114,6 +149,10 @@ impl MediaRecovery {
         for (i, rx) in receivers.iter_mut().enumerate() {
             let records = rx.drain_ready()?;
             if !records.is_empty() {
+                let heartbeats =
+                    records.iter().filter(|r| matches!(r.payload, RedoPayload::Heartbeat)).count();
+                self.merger_metrics.heartbeats_seen.add(heartbeats as u64);
+                self.merger_metrics.merge_batches.inc();
                 merger.push(i, records);
             }
         }
@@ -123,6 +162,10 @@ impl MediaRecovery {
         if ready.is_empty() {
             return Ok(0);
         }
+        // pop_ready only releases data records (heartbeats are swallowed),
+        // so merger output == dispatcher input — the conservation identity.
+        self.merger_metrics.records_merged.add(ready.len() as u64);
+        self.apply_metrics.records_dispatched.add(ready.len() as u64);
         self.dispatcher.lock().dispatch(ready)
     }
 
@@ -199,6 +242,25 @@ impl MediaRecovery {
     /// Applied SCN (the coordinator's consistency-point candidate).
     pub fn applied_scn(&self) -> Scn {
         self.progress.min()
+    }
+
+    /// Refresh the sampled merger/apply gauges (held-back depth, watermark,
+    /// stream skew, applied/shipped SCNs, apply lag, QuerySCN). Called by
+    /// the owner just before a registry snapshot.
+    pub fn refresh_gauges(&self) {
+        let (held_back, watermark, max_seen, skew) = {
+            let m = self.merger.lock();
+            (m.held_back() as u64, m.watermark().0, m.max_seen().0, m.stream_skew())
+        };
+        self.merger_metrics.held_back.set(held_back);
+        self.merger_metrics.watermark.set(watermark);
+        self.merger_metrics.stream_skew.set(skew);
+        let applied = self.progress.min().0;
+        self.apply_metrics.applied_scn.set(applied);
+        self.apply_metrics.shipped_scn.set(max_seen);
+        self.apply_metrics.apply_lag.set(max_seen.saturating_sub(applied));
+        let query_scn = self.coordinator.query_scn().get().map_or(0, |s| s.0);
+        self.apply_metrics.query_scn.set(query_scn);
     }
 
     /// Detach the redo receivers from this (stopped) pipeline so a restarted

@@ -8,6 +8,7 @@
 use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
+use imadg_common::metrics::{ApplyMetrics, Counter as CvCounter};
 use imadg_common::{CpuAccount, Result, Scn, TenantId, TxnId, WorkerId};
 use imadg_redo::{CommitRecord, RedoMarker};
 use imadg_storage::{ChangeVector, Store};
@@ -91,6 +92,10 @@ pub struct Worker {
     coop_budget: usize,
     last_applied: Scn,
     applied_items: u64,
+    /// Apply-stage metrics (shared item counter).
+    metrics: Option<Arc<ApplyMetrics>>,
+    /// This worker's CVs-applied counter from the registry.
+    cv_counter: Option<Arc<CvCounter>>,
 }
 
 /// Create the queue for one worker.
@@ -117,6 +122,8 @@ impl Worker {
             coop_budget: 32,
             last_applied: Scn::ZERO,
             applied_items: 0,
+            metrics: None,
+            cv_counter: None,
         }
     }
 
@@ -126,6 +133,13 @@ impl Worker {
         self.helper = helper;
         self.coop_check_every = check_every.max(1);
         self.coop_budget = budget.max(1);
+    }
+
+    /// Report applied items into a registry's apply stage, including this
+    /// worker's per-worker CV counter.
+    pub fn set_metrics(&mut self, metrics: Arc<ApplyMetrics>) {
+        self.cv_counter = Some(metrics.worker_counter(self.id.0 as usize));
+        self.metrics = Some(metrics);
     }
 
     /// SCN this worker has applied through.
@@ -170,6 +184,9 @@ impl Worker {
         match item {
             WorkItem::Change { scn, cv } => {
                 self.store.apply_cv(&cv, scn)?;
+                if let Some(c) = &self.cv_counter {
+                    c.inc();
+                }
                 for o in &self.observers {
                     o.on_change(self.id, &cv, scn);
                 }
@@ -209,6 +226,9 @@ impl Worker {
         }
         self.last_applied = self.last_applied.max(scn);
         self.applied_items += 1;
+        if let Some(m) = &self.metrics {
+            m.items_applied.inc();
+        }
         Ok(())
     }
 }
@@ -281,7 +301,10 @@ mod tests {
         assert_eq!(n, 5);
         assert_eq!(w.applied_through(), Scn(9));
         assert_eq!(counter.0.load(Ordering::Relaxed), 2);
-        assert_eq!(s.fetch_by_key(ObjectId(1), 7, Scn(4), None).unwrap().unwrap().1[0], Value::Int(7));
+        assert_eq!(
+            s.fetch_by_key(ObjectId(1), 7, Scn(4), None).unwrap().unwrap().1[0],
+            Value::Int(7)
+        );
     }
 
     #[test]

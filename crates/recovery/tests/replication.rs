@@ -71,22 +71,12 @@ fn harness(workers: usize) -> Harness {
     )
     .unwrap();
 
-    Harness {
-        txm,
-        scns,
-        log,
-        shipper: Shipper::new(64),
-        sender,
-        standby_store,
-        recovery,
-    }
+    Harness { txm, scns, log, shipper: Shipper::new(64), sender, standby_store, recovery }
 }
 
 impl Harness {
     fn sync(&self) {
-        self.shipper
-            .ship_all(&self.log, &self.sender, self.scns.current())
-            .unwrap();
+        self.shipper.ship_all(&self.log, &self.sender, self.scns.current()).unwrap();
         self.recovery.pump_until_idle().unwrap();
     }
 
@@ -111,16 +101,9 @@ fn standby_converges_after_commits() {
 
     assert!(h.query_scn() >= cscn, "QuerySCN reaches the commit");
     let mut n = 0;
-    h.standby_store
-        .scan_object(OBJ, h.query_scn(), None, |_, _| n += 1)
-        .unwrap();
+    h.standby_store.scan_object(OBJ, h.query_scn(), None, |_, _| n += 1).unwrap();
     assert_eq!(n, 50);
-    let got = h
-        .standby_store
-        .fetch_by_key(OBJ, 7, h.query_scn(), None)
-        .unwrap()
-        .unwrap()
-        .1;
+    let got = h.standby_store.fetch_by_key(OBJ, 7, h.query_scn(), None).unwrap().unwrap().1;
     assert_eq!(got[1], Value::Int(70));
 }
 
@@ -159,9 +142,7 @@ fn updates_replicate_with_correct_versions() {
     h.txm.insert(&mut tx, OBJ, row(1, 10, "a")).unwrap();
     let scn_v1 = h.txm.commit(tx);
     let mut tx = h.txm.begin(TenantId::DEFAULT);
-    h.txm
-        .update_column_by_key(&mut tx, OBJ, 1, "n1", Value::Int(20))
-        .unwrap();
+    h.txm.update_column_by_key(&mut tx, OBJ, 1, "n1", Value::Int(20)).unwrap();
     let scn_v2 = h.txm.commit(tx);
     h.sync();
     // Standby sees the latest at its QuerySCN…
@@ -201,9 +182,7 @@ fn threaded_recovery_converges() {
         h.txm.insert(&mut tx, OBJ, row(round, round * 2, "t")).unwrap();
         let cscn = h.txm.commit(tx);
         expected.push((round, round * 2));
-        h.shipper
-            .ship_all(&h.log, &h.sender, h.scns.current())
-            .unwrap();
+        h.shipper.ship_all(&h.log, &h.sender, h.scns.current()).unwrap();
         if round == 19 {
             // Wait for the standby to reach the final commit.
             let deadline = std::time::Instant::now() + Duration::from_secs(10);

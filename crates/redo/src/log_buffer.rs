@@ -116,7 +116,8 @@ mod tests {
     fn log_with_allocates_ordered_scns() {
         let scns = ScnService::new();
         let buf = LogBuffer::new(RedoThreadId(1));
-        let s1 = buf.log_with(&scns, |_| RedoPayload::Begin { txn: TxnId(1), tenant: TenantId::DEFAULT });
+        let s1 = buf
+            .log_with(&scns, |_| RedoPayload::Begin { txn: TxnId(1), tenant: TenantId::DEFAULT });
         let s2 = buf.log_with(&scns, |_| RedoPayload::Heartbeat);
         assert!(s2 > s1);
         assert_eq!(buf.pending(), 2);
@@ -153,7 +154,15 @@ mod tests {
     #[should_panic(expected = "SCN-ordered")]
     fn out_of_order_push_panics() {
         let buf = LogBuffer::new(RedoThreadId(1));
-        buf.push(RedoRecord { thread: RedoThreadId(1), scn: Scn(5), payload: RedoPayload::Heartbeat });
-        buf.push(RedoRecord { thread: RedoThreadId(1), scn: Scn(3), payload: RedoPayload::Heartbeat });
+        buf.push(RedoRecord {
+            thread: RedoThreadId(1),
+            scn: Scn(5),
+            payload: RedoPayload::Heartbeat,
+        });
+        buf.push(RedoRecord {
+            thread: RedoThreadId(1),
+            scn: Scn(3),
+            payload: RedoPayload::Heartbeat,
+        });
     }
 }

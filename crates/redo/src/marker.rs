@@ -40,7 +40,9 @@ impl DdlKind {
     pub fn changes_definition(&self) -> bool {
         matches!(
             self,
-            DdlKind::AddColumn { .. } | DdlKind::DropColumn { .. } | DdlKind::SetInMemory { enabled: false }
+            DdlKind::AddColumn { .. }
+                | DdlKind::DropColumn { .. }
+                | DdlKind::SetInMemory { enabled: false }
         )
     }
 }
@@ -63,8 +65,9 @@ mod tests {
     #[test]
     fn definition_change_classification() {
         assert!(DdlKind::DropColumn { name: "c".into() }.changes_definition());
-        assert!(DdlKind::AddColumn { name: "c".into(), ctype: ColumnType::Int }
-            .changes_definition());
+        assert!(
+            DdlKind::AddColumn { name: "c".into(), ctype: ColumnType::Int }.changes_definition()
+        );
         assert!(DdlKind::SetInMemory { enabled: false }.changes_definition());
         assert!(!DdlKind::SetInMemory { enabled: true }.changes_definition());
     }

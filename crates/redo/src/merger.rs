@@ -44,10 +44,7 @@ impl LogMerger {
     pub fn push(&mut self, idx: usize, records: Vec<RedoRecord>) {
         let s = &mut self.streams[idx];
         for r in records {
-            debug_assert!(
-                r.scn >= s.last_seen,
-                "streams must deliver in non-decreasing SCN order"
-            );
+            debug_assert!(r.scn >= s.last_seen, "streams must deliver in non-decreasing SCN order");
             s.last_seen = s.last_seen.max(r.scn);
             if !matches!(r.payload, RedoPayload::Heartbeat) {
                 s.buffer.push_back(r);
@@ -70,9 +67,7 @@ impl LogMerger {
             let mut best: Option<(usize, Scn)> = None;
             for (i, s) in self.streams.iter().enumerate() {
                 if let Some(head) = s.buffer.front() {
-                    if head.scn <= watermark
-                        && best.is_none_or(|(_, scn)| head.scn < scn)
-                    {
+                    if head.scn <= watermark && best.is_none_or(|(_, scn)| head.scn < scn) {
                         best = Some((i, head.scn));
                     }
                 }
@@ -92,6 +87,17 @@ impl LogMerger {
     /// Records buffered but not yet releasable (waiting on the watermark).
     pub fn held_back(&self) -> usize {
         self.streams.iter().map(|s| s.buffer.len()).sum()
+    }
+
+    /// Highest SCN seen from any stream (heartbeats included).
+    pub fn max_seen(&self) -> Scn {
+        self.streams.iter().map(|s| s.last_seen).max().unwrap_or(Scn::ZERO)
+    }
+
+    /// Spread between the fastest and slowest stream's last-seen SCN — the
+    /// RAC stream skew the watermark has to wait out.
+    pub fn stream_skew(&self) -> u64 {
+        self.max_seen().0 - self.watermark().0
     }
 }
 

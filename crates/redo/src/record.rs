@@ -124,9 +124,20 @@ mod tests {
     #[test]
     fn control_txn_extraction() {
         let t = TxnId(5);
-        assert_eq!(rec(RedoPayload::Begin { txn: t, tenant: TenantId::DEFAULT }).control_txn(), Some(t));
-        assert_eq!(rec(RedoPayload::Abort { txn: t, tenant: TenantId::DEFAULT }).control_txn(), Some(t));
-        let c = CommitRecord { txn: t, tenant: TenantId::DEFAULT, commit_scn: Scn(10), modified_inmemory: Some(true) };
+        assert_eq!(
+            rec(RedoPayload::Begin { txn: t, tenant: TenantId::DEFAULT }).control_txn(),
+            Some(t)
+        );
+        assert_eq!(
+            rec(RedoPayload::Abort { txn: t, tenant: TenantId::DEFAULT }).control_txn(),
+            Some(t)
+        );
+        let c = CommitRecord {
+            txn: t,
+            tenant: TenantId::DEFAULT,
+            commit_scn: Scn(10),
+            modified_inmemory: Some(true),
+        };
         assert_eq!(rec(RedoPayload::Commit(c)).control_txn(), Some(t));
         assert_eq!(rec(RedoPayload::Heartbeat).control_txn(), None);
         assert_eq!(rec(RedoPayload::Change(vec![])).control_txn(), None);

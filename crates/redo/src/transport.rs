@@ -6,9 +6,11 @@
 //! `available_at` deadline, which reproduces shipping delay without real
 //! sockets (see DESIGN.md substitutions).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use imadg_common::metrics::TransportMetrics;
 use imadg_common::{Error, Result, Scn};
 
 use crate::log_buffer::LogBuffer;
@@ -84,12 +86,36 @@ pub fn redo_link(latency: Duration) -> (RedoSender, RedoReceiver) {
 /// merge watermark keeps advancing.
 pub struct Shipper {
     batch: usize,
+    metrics: Arc<TransportMetrics>,
 }
 
 impl Shipper {
     /// Shipper draining up to `batch` records per call.
     pub fn new(batch: usize) -> Self {
-        Shipper { batch: batch.max(1) }
+        Self::with_metrics(batch, Arc::default())
+    }
+
+    /// Shipper reporting into a registry's transport stage.
+    pub fn with_metrics(batch: usize, metrics: Arc<TransportMetrics>) -> Self {
+        Shipper { batch: batch.max(1), metrics }
+    }
+
+    fn send_heartbeat(&self, buffer: &LogBuffer, sender: &RedoSender, scn: Scn) -> Result<()> {
+        sender.send(vec![RedoRecord {
+            thread: buffer.thread(),
+            scn,
+            payload: RedoPayload::Heartbeat,
+        }])?;
+        self.metrics.heartbeats.inc();
+        self.metrics.batches_shipped.inc();
+        Ok(())
+    }
+
+    fn send_data(&self, sender: &RedoSender, records: Vec<RedoRecord>) -> Result<()> {
+        self.metrics.records_shipped.add(records.len() as u64);
+        self.metrics.bytes_shipped.add(records.iter().map(|r| r.approx_bytes() as u64).sum());
+        self.metrics.batches_shipped.inc();
+        sender.send(records)
     }
 
     /// Ship one batch. `current_scn` stamps the heartbeat when the buffer
@@ -103,16 +129,12 @@ impl Shipper {
         let records = buffer.drain(self.batch);
         if records.is_empty() {
             if current_scn > Scn::ZERO {
-                sender.send(vec![RedoRecord {
-                    thread: buffer.thread(),
-                    scn: current_scn,
-                    payload: RedoPayload::Heartbeat,
-                }])?;
+                self.send_heartbeat(buffer, sender, current_scn)?;
             }
             return Ok(0);
         }
         let n = records.len();
-        sender.send(records)?;
+        self.send_data(sender, records)?;
         Ok(n)
     }
 
@@ -130,14 +152,10 @@ impl Shipper {
                 break;
             }
             total += records.len();
-            sender.send(records)?;
+            self.send_data(sender, records)?;
         }
         if total == 0 && current_scn > Scn::ZERO {
-            sender.send(vec![RedoRecord {
-                thread: buffer.thread(),
-                scn: current_scn,
-                payload: RedoPayload::Heartbeat,
-            }])?;
+            self.send_heartbeat(buffer, sender, current_scn)?;
         }
         Ok(total)
     }

@@ -65,7 +65,8 @@ impl Store {
         }
 
         // Index maintenance: derive from the old/new key values.
-        let old_key = chain.head().and_then(|v| v.data.as_ref()).and_then(|r| key_of(r, meta.key_ordinal));
+        let old_key =
+            chain.head().and_then(|v| v.data.as_ref()).and_then(|r| key_of(r, meta.key_ordinal));
         let new_key = data.as_ref().and_then(|r| key_of(r, meta.key_ordinal));
 
         chain.push(RowVersion { txn: cv.txn, scn, data });
@@ -134,8 +135,7 @@ mod tests {
     fn format_then_insert_updates_index() {
         let s = store_with_table();
         s.apply_cv(&cv(ChangeOp::Format { capacity: 4 }, 1), Scn(1)).unwrap();
-        s.apply_cv(&cv(ChangeOp::Insert { slot: 0, row: row(42, "a") }, 1), Scn(2))
-            .unwrap();
+        s.apply_cv(&cv(ChangeOp::Insert { slot: 0, row: row(42, "a") }, 1), Scn(2)).unwrap();
         s.txns().commit(TxnId(1), Scn(3));
         let (loc, r) = s.fetch_by_key(ObjectId(1), 42, Scn(3), None).unwrap().unwrap();
         assert_eq!(loc.dba, Dba(100));
@@ -167,11 +167,9 @@ mod tests {
     fn update_and_delete_maintain_versions_and_index() {
         let s = store_with_table();
         s.apply_cv(&cv(ChangeOp::Format { capacity: 4 }, 1), Scn(1)).unwrap();
-        s.apply_cv(&cv(ChangeOp::Insert { slot: 0, row: row(1, "a") }, 1), Scn(2))
-            .unwrap();
+        s.apply_cv(&cv(ChangeOp::Insert { slot: 0, row: row(1, "a") }, 1), Scn(2)).unwrap();
         s.txns().commit(TxnId(1), Scn(3));
-        s.apply_cv(&cv(ChangeOp::Update { slot: 0, row: row(1, "b") }, 2), Scn(4))
-            .unwrap();
+        s.apply_cv(&cv(ChangeOp::Update { slot: 0, row: row(1, "b") }, 2), Scn(4)).unwrap();
         s.txns().commit(TxnId(2), Scn(5));
         // Both versions visible at their snapshots.
         assert_eq!(
@@ -196,10 +194,8 @@ mod tests {
     fn key_change_moves_index_entry() {
         let s = store_with_table();
         s.apply_cv(&cv(ChangeOp::Format { capacity: 4 }, 1), Scn(1)).unwrap();
-        s.apply_cv(&cv(ChangeOp::Insert { slot: 0, row: row(1, "a") }, 1), Scn(2))
-            .unwrap();
-        s.apply_cv(&cv(ChangeOp::Update { slot: 0, row: row(2, "a") }, 1), Scn(3))
-            .unwrap();
+        s.apply_cv(&cv(ChangeOp::Insert { slot: 0, row: row(1, "a") }, 1), Scn(2)).unwrap();
+        s.apply_cv(&cv(ChangeOp::Update { slot: 0, row: row(2, "a") }, 1), Scn(3)).unwrap();
         s.txns().commit(TxnId(1), Scn(4));
         let idx = s.index(ObjectId(1)).unwrap();
         assert!(!idx.contains(1));

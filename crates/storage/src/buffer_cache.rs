@@ -24,9 +24,7 @@ pub struct BufferCache {
 
 impl Default for BufferCache {
     fn default() -> Self {
-        BufferCache {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-        }
+        BufferCache { shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect() }
     }
 }
 
@@ -46,19 +44,12 @@ impl BufferCache {
     pub fn install(&self, block: Block) -> Arc<RwLock<Block>> {
         let dba = block.dba;
         let mut shard = self.shard(dba).write();
-        shard
-            .entry(dba)
-            .or_insert_with(|| Arc::new(RwLock::new(block)))
-            .clone()
+        shard.entry(dba).or_insert_with(|| Arc::new(RwLock::new(block))).clone()
     }
 
     /// Handle to a block.
     pub fn get(&self, dba: Dba) -> Result<Arc<RwLock<Block>>> {
-        self.shard(dba)
-            .read()
-            .get(&dba)
-            .cloned()
-            .ok_or(Error::UnknownBlock(dba))
+        self.shard(dba).read().get(&dba).cloned().ok_or(Error::UnknownBlock(dba))
     }
 
     /// Does the cache hold this block?

@@ -92,10 +92,7 @@ impl Segment {
     /// must allocate and `add_block` first.
     pub fn claim_insert_slot(&mut self) -> RowLoc {
         assert!(!self.needs_block(), "claim_insert_slot called on a full segment tail");
-        let loc = RowLoc {
-            dba: *self.blocks.last().expect("non-empty"),
-            slot: self.next_slot,
-        };
+        let loc = RowLoc { dba: *self.blocks.last().expect("non-empty"), slot: self.next_slot };
         self.next_slot += 1;
         loc
     }

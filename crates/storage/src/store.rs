@@ -95,9 +95,7 @@ impl Store {
         }
         let meta = Arc::new(TableMeta::from_spec(spec));
         tables.insert(id, meta.clone());
-        self.segments
-            .write()
-            .insert(id, Arc::new(Mutex::new(Segment::new(id, rows_per_block))));
+        self.segments.write().insert(id, Arc::new(Mutex::new(Segment::new(id, rows_per_block))));
         self.indexes.write().insert(id, Arc::new(Index::new()));
         Ok(meta)
     }
@@ -156,10 +154,7 @@ impl Store {
     ) -> Result<Option<Row>> {
         let block = self.cache.get(loc.dba)?;
         let guard = block.read();
-        Ok(guard
-            .chain(loc.slot)
-            .and_then(|c| c.visible_row(snapshot, as_txn, &self.txns))
-            .cloned())
+        Ok(guard.chain(loc.slot).and_then(|c| c.visible_row(snapshot, as_txn, &self.txns)).cloned())
     }
 
     /// Fetch many row images at `snapshot`, locking each block once.
@@ -338,8 +333,7 @@ mod tests {
             });
         }
         let mut rows = Vec::new();
-        s.scan_object(ObjectId(1), Scn(5), None, |loc, r| rows.push((loc, r.clone())))
-            .unwrap();
+        s.scan_object(ObjectId(1), Scn(5), None, |loc, r| rows.push((loc, r.clone()))).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].0, RowLoc { dba: Dba(7), slot: 0 });
         // Invisible before commit SCN.

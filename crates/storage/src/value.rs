@@ -66,7 +66,9 @@ impl Value {
     pub fn matches_type(&self, ty: ColumnType) -> bool {
         matches!(
             (self, ty),
-            (Value::Null, _) | (Value::Int(_), ColumnType::Int) | (Value::Str(_), ColumnType::Varchar)
+            (Value::Null, _)
+                | (Value::Int(_), ColumnType::Int)
+                | (Value::Str(_), ColumnType::Varchar)
         )
     }
 }

@@ -10,12 +10,10 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::lock_table::LockTable;
 use imadg_common::{Error, ObjectId, Result, Scn, ScnService, TenantId, TxnId};
 use imadg_redo::{CommitRecord, DdlKind, LogBuffer, RedoMarker, RedoPayload};
-use imadg_storage::{
-    ChangeOp, ChangeVector, DbaAllocator, Row, RowLoc, Store, TableSpec, Value,
-};
-use crate::lock_table::LockTable;
+use imadg_storage::{ChangeOp, ChangeVector, DbaAllocator, Row, RowLoc, Store, TableSpec, Value};
 
 /// Global transaction-id allocator (shared across primary RAC instances).
 #[derive(Debug, Default)]
@@ -114,9 +112,7 @@ impl TxnManager {
     }
 
     fn log_and_apply(&self, cv: ChangeVector) -> Result<Scn> {
-        let scn = self
-            .log
-            .log_with(&self.scns, |_| RedoPayload::Change(vec![cv.clone()]));
+        let scn = self.log.log_with(&self.scns, |_| RedoPayload::Change(vec![cv.clone()]));
         self.store.apply_cv(&cv, scn)?;
         Ok(scn)
     }
@@ -129,7 +125,12 @@ impl TxnManager {
     }
 
     /// Insert a full row; returns its location.
-    pub fn insert(&self, tx: &mut Transaction, object: ObjectId, values: Vec<Value>) -> Result<RowLoc> {
+    pub fn insert(
+        &self,
+        tx: &mut Transaction,
+        object: ObjectId,
+        values: Vec<Value>,
+    ) -> Result<RowLoc> {
         debug_assert!(!tx.finished);
         let meta = self.store.table(object)?;
         meta.schema.read().check_row(&values)?;
@@ -177,7 +178,13 @@ impl TxnManager {
     }
 
     /// Update the row at `loc` to a new full image.
-    pub fn update(&self, tx: &mut Transaction, object: ObjectId, loc: RowLoc, values: Vec<Value>) -> Result<()> {
+    pub fn update(
+        &self,
+        tx: &mut Transaction,
+        object: ObjectId,
+        loc: RowLoc,
+        values: Vec<Value>,
+    ) -> Result<()> {
         debug_assert!(!tx.finished);
         let meta = self.store.table(object)?;
         meta.schema.read().check_row(&values)?;
@@ -196,7 +203,13 @@ impl TxnManager {
 
     /// Look up `key`, apply `patch` to the current row image, and write the
     /// result. The read sees the transaction's own writes.
-    pub fn update_by_key<F>(&self, tx: &mut Transaction, object: ObjectId, key: i64, patch: F) -> Result<RowLoc>
+    pub fn update_by_key<F>(
+        &self,
+        tx: &mut Transaction,
+        object: ObjectId,
+        key: i64,
+        patch: F,
+    ) -> Result<RowLoc>
     where
         F: FnOnce(&Row) -> Vec<Value>,
     {
@@ -223,7 +236,12 @@ impl TxnManager {
     }
 
     /// Delete the row with identity `key`.
-    pub fn delete_by_key(&self, tx: &mut Transaction, object: ObjectId, key: i64) -> Result<RowLoc> {
+    pub fn delete_by_key(
+        &self,
+        tx: &mut Transaction,
+        object: ObjectId,
+        key: i64,
+    ) -> Result<RowLoc> {
         debug_assert!(!tx.finished);
         let snapshot = self.scns.current();
         let (loc, _) = self
@@ -245,7 +263,8 @@ impl TxnManager {
 
     /// Commit; returns the commit SCN.
     pub fn commit(&self, mut tx: Transaction) -> Scn {
-        let modified_inmemory = if self.annotate_commits { Some(tx.touched_inmemory) } else { None };
+        let modified_inmemory =
+            if self.annotate_commits { Some(tx.touched_inmemory) } else { None };
         let txn = tx.id;
         let tenant = tx.tenant;
         let store = self.store.clone();
@@ -295,8 +314,7 @@ impl TxnManager {
                 }
             }
         }
-        self.log
-            .log_with(&self.scns, |_| RedoPayload::Marker(RedoMarker { object, tenant, ddl }));
+        self.log.log_with(&self.scns, |_| RedoPayload::Marker(RedoMarker { object, tenant, ddl }));
         Ok(())
     }
 
@@ -381,11 +399,7 @@ mod tests {
         let got = txm.store().fetch_by_key(obj, 1, cscn, None).unwrap().unwrap().1;
         assert_eq!(got[1], Value::Int(10));
         // Invisible just before commit.
-        assert!(txm
-            .store()
-            .fetch_by_key(obj, 1, Scn(cscn.0 - 1), None)
-            .unwrap()
-            .is_none());
+        assert!(txm.store().fetch_by_key(obj, 1, Scn(cscn.0 - 1), None).unwrap().is_none());
     }
 
     #[test]
@@ -418,10 +432,7 @@ mod tests {
         txm.insert(&mut tx, obj, row(1, 10, "a")).unwrap();
         txm.commit(tx);
         let mut tx2 = txm.begin(TenantId::DEFAULT);
-        assert!(matches!(
-            txm.insert(&mut tx2, obj, row(1, 99, "b")),
-            Err(Error::DuplicateKey(1))
-        ));
+        assert!(matches!(txm.insert(&mut tx2, obj, row(1, 99, "b")), Err(Error::DuplicateKey(1))));
         txm.abort(tx2);
     }
 
@@ -515,11 +526,19 @@ mod tests {
     #[test]
     fn ddl_add_drop_column() {
         let (txm, obj) = setup();
-        txm.execute_ddl(obj, TenantId::DEFAULT, DdlKind::AddColumn { name: "n2".into(), ctype: ColumnType::Int })
-            .unwrap();
+        txm.execute_ddl(
+            obj,
+            TenantId::DEFAULT,
+            DdlKind::AddColumn { name: "n2".into(), ctype: ColumnType::Int },
+        )
+        .unwrap();
         let mut tx = txm.begin(TenantId::DEFAULT);
-        txm.insert(&mut tx, obj, vec![Value::Int(1), Value::Int(2), Value::str("a"), Value::Int(4)])
-            .unwrap();
+        txm.insert(
+            &mut tx,
+            obj,
+            vec![Value::Int(1), Value::Int(2), Value::str("a"), Value::Int(4)],
+        )
+        .unwrap();
         let cscn = txm.commit(tx);
         let meta = txm.store().table(obj).unwrap();
         let ord = meta.schema.read().ordinal("n2").unwrap();

@@ -162,11 +162,8 @@ fn run_op(
             shared.fetch.lock().record(t0.elapsed());
         }
         OpKind::Scan => {
-            let (qid, stats) = if *scan_flip {
-                (QueryId::Q1, &shared.q1)
-            } else {
-                (QueryId::Q2, &shared.q2)
-            };
+            let (qid, stats) =
+                if *scan_flip { (QueryId::Q1, &shared.q1) } else { (QueryId::Q2, &shared.q2) };
             *scan_flip = !*scan_flip;
             let schema = p.store.table(object)?.schema.read().clone();
             let bind = rng.gen_range(0..if qid == QueryId::Q1 { NUM_DOMAIN } else { STR_DOMAIN });
@@ -233,9 +230,8 @@ fn collect_metrics(
 
     let worker_cpu = s.recovery.worker_cpu();
     let mut standby_parts: Vec<(String, f64)> = Vec::new();
-    let apply_pct: f64 =
-        worker_cpu.iter().map(|c| c.utilization_pct(wall, cfg.cores)).sum::<f64>()
-            + s.recovery.ingest_cpu.utilization_pct(wall, cfg.cores);
+    let apply_pct: f64 = worker_cpu.iter().map(|c| c.utilization_pct(wall, cfg.cores)).sum::<f64>()
+        + s.recovery.ingest_cpu.utilization_pct(wall, cfg.cores);
     standby_parts.push(("redo apply".into(), apply_pct));
     let q_pct: f64 =
         s.instances().iter().map(|i| i.query_cpu.utilization_pct(wall, cfg.cores)).sum();
@@ -267,5 +263,7 @@ fn collect_metrics(
         primary_cpu: primary,
         standby_cpu: CpuReport { components: standby_parts, total_pct: standby_total },
         wall_secs: wall.as_secs_f64(),
+        primary_pipeline: p.metrics(),
+        standby_pipeline: s.metrics(),
     }
 }

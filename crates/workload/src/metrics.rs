@@ -2,6 +2,7 @@
 
 use imadg_common::cpu::CpuReport;
 use imadg_common::stats::LatencySummary;
+use imadg_common::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// Everything one OLTAP run measured.
@@ -39,6 +40,10 @@ pub struct OltapMetrics {
     pub standby_cpu: CpuReport,
     /// Wall-clock seconds the run took.
     pub wall_secs: f64,
+    /// Primary pipeline metrics at the end of the run.
+    pub primary_pipeline: MetricsSnapshot,
+    /// Standby pipeline metrics at the end of the run.
+    pub standby_pipeline: MetricsSnapshot,
 }
 
 impl OltapMetrics {
@@ -95,7 +100,13 @@ mod tests {
     use super::*;
 
     fn summary(median: f64) -> LatencySummary {
-        LatencySummary { count: 10, median_s: median, average_s: median, p95_s: median, max_s: median }
+        LatencySummary {
+            count: 10,
+            median_s: median,
+            average_s: median,
+            p95_s: median,
+            max_s: median,
+        }
     }
 
     fn metrics(q_median: f64) -> OltapMetrics {
@@ -116,6 +127,8 @@ mod tests {
             primary_cpu: CpuReport { components: vec![], total_pct: 0.0 },
             standby_cpu: CpuReport { components: vec![], total_pct: 0.0 },
             wall_secs: 1.0,
+            primary_pipeline: MetricsSnapshot::default(),
+            standby_pipeline: MetricsSnapshot::default(),
         }
     }
 

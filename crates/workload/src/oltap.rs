@@ -29,12 +29,8 @@ pub fn wide_schema() -> Schema {
     for i in 1..=VARCHAR_COLS {
         cols.push((format!("c{i}"), ColumnType::Varchar));
     }
-    Schema::new(
-        cols.into_iter()
-            .map(|(n, t)| imadg_db::ColumnDef::new(n, t))
-            .collect(),
-    )
-    .expect("static schema")
+    Schema::new(cols.into_iter().map(|(n, t)| imadg_db::ColumnDef::new(n, t)).collect())
+        .expect("static schema")
 }
 
 /// Table spec for the workload table (named after the paper's
@@ -70,7 +66,12 @@ pub fn generate_row(key: i64, rng: &mut SmallRng) -> Vec<Value> {
 
 /// Load `rows` wide rows (keys `0..rows`) through the primary, committing
 /// in batches so redo stays realistic.
-pub fn load_wide_table(cluster: &AdgCluster, object: ObjectId, rows: usize, seed: u64) -> Result<()> {
+pub fn load_wide_table(
+    cluster: &AdgCluster,
+    object: ObjectId,
+    rows: usize,
+    seed: u64,
+) -> Result<()> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let p = cluster.primary();
     const BATCH: usize = 512;

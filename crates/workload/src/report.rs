@@ -2,6 +2,7 @@
 
 use imadg_common::cpu::CpuReport;
 use imadg_common::stats::LatencySummary;
+use imadg_common::MetricsSnapshot;
 
 use crate::metrics::{OltapMetrics, QuerySpeedup};
 
@@ -54,8 +55,7 @@ pub fn print_speedup(s: &QuerySpeedup) {
 
 /// Print a CPU report.
 pub fn print_cpu(label: &str, r: &CpuReport) {
-    let parts: Vec<String> =
-        r.components.iter().map(|(n, p)| format!("{n} {p:.1}%")).collect();
+    let parts: Vec<String> = r.components.iter().map(|(n, p)| format!("{n} {p:.1}%")).collect();
     println!("{label}: total {:.1}%  [{}]", r.total_pct, parts.join(", "));
 }
 
@@ -63,7 +63,40 @@ pub fn print_cpu(label: &str, r: &CpuReport) {
 pub fn print_scan_sources(m: &OltapMetrics) {
     println!(
         "scans: {} total, {} via IMCS; rows from imcu/fallback/uncovered = {}/{}/{}",
-        m.scans_total, m.scans_used_imcs, m.scan_imcu_rows, m.scan_fallback_rows, m.scan_uncovered_rows
+        m.scans_total,
+        m.scans_used_imcs,
+        m.scan_imcu_rows,
+        m.scan_fallback_rows,
+        m.scan_uncovered_rows
+    );
+}
+
+/// Print one side's pipeline metrics snapshot, one line per stage.
+pub fn print_pipeline(label: &str, snap: &MetricsSnapshot) {
+    println!("-- {label} pipeline --");
+    print!("{snap}");
+}
+
+/// Print the redo-pipeline summary the figures are derived from: shipping
+/// volume on the primary, merge/apply/advancement counters on the standby.
+pub fn print_redo_summary(m: &OltapMetrics) {
+    let p = &m.primary_pipeline.transport;
+    let s = &m.standby_pipeline;
+    println!(
+        "redo: shipped {} records / {} bytes / {} heartbeats; merged {}; applied {} items",
+        p.records_shipped,
+        p.bytes_shipped,
+        p.heartbeats,
+        s.merger.records_merged,
+        s.apply.items_applied
+    );
+    println!(
+        "advance: {} QuerySCN publishes, quiesce mean {:.1}µs max {}µs; flushed {} records ({} coop)",
+        s.flush.advances,
+        s.flush.quiesce_us.mean(),
+        s.flush.quiesce_us.max,
+        s.flush.flushed_records,
+        s.flush.coop_flushed,
     );
 }
 
@@ -73,7 +106,13 @@ mod tests {
 
     #[test]
     fn rows_align() {
-        let s = LatencySummary { count: 3, median_s: 0.001, average_s: 0.002, p95_s: 0.003, max_s: 0.004 };
+        let s = LatencySummary {
+            count: 3,
+            median_s: 0.001,
+            average_s: 0.002,
+            p95_s: 0.003,
+            max_s: 0.004,
+        };
         let row = latency_row("x", &s);
         assert!(row.contains("1.000"));
         assert!(row.contains("2.000"));

@@ -56,10 +56,18 @@ fn main() -> Result<()> {
         p.txm.insert(&mut tx, DIM_REGION, vec![Value::Int(i as i64), Value::str(*name)])?;
     }
     for k in 0..2_000i64 {
-        p.txm.insert(&mut tx, SALES_CURRENT, vec![Value::Int(k), Value::Int(k % 4), Value::Int(k % 100)])?;
+        p.txm.insert(
+            &mut tx,
+            SALES_CURRENT,
+            vec![Value::Int(k), Value::Int(k % 4), Value::Int(k % 100)],
+        )?;
     }
     for k in 0..20_000i64 {
-        p.txm.insert(&mut tx, SALES_HISTORY, vec![Value::Int(k), Value::Int(k % 4), Value::Int(k % 100)])?;
+        p.txm.insert(
+            &mut tx,
+            SALES_HISTORY,
+            vec![Value::Int(k), Value::Int(k % 4), Value::Int(k % 100)],
+        )?;
     }
     p.txm.commit(tx);
 
@@ -69,10 +77,7 @@ fn main() -> Result<()> {
 
     // Effective IMCS capacity = primary units + standby units: the two
     // sides hold different objects.
-    println!(
-        "primary IMCS rows:  {:>6} (sales_2026_07 + dim_region)",
-        p.imcs.populated_rows()
-    );
+    println!("primary IMCS rows:  {:>6} (sales_2026_07 + dim_region)", p.imcs.populated_rows());
     println!(
         "standby IMCS rows:  {:>6} (sales_2025 + dim_region)",
         standby.instances()[0].imcs.populated_rows()
@@ -82,11 +87,7 @@ fn main() -> Result<()> {
     let cur_schema = p.store.table(SALES_CURRENT)?.schema.read().clone();
     let today = Filter::of(Predicate::new(&cur_schema, "amount", CmpOp::Ge, Value::Int(90))?);
     let out = p.scan(SALES_CURRENT, &today)?;
-    println!(
-        "primary scan of the hot month: {} rows, via IMCS: {}",
-        out.count(),
-        out.used_imcs
-    );
+    println!("primary scan of the hot month: {} rows, via IMCS: {}", out.count(), out.used_imcs);
     assert!(out.used_imcs);
 
     // Reporting on the standby → columnar, local; the primary row store is
@@ -120,7 +121,8 @@ fn main() -> Result<()> {
     let east_sales = standby.scan(SALES_HISTORY, &yearly)?;
     println!(
         "join on the standby: region {} had {} historical sales",
-        lookup[&2], east_sales.count()
+        lookup[&2],
+        east_sales.count()
     );
 
     // Cross-placement: asking the standby for the hot month falls back to

@@ -89,10 +89,7 @@ fn main() -> Result<()> {
     let slow = t0.elapsed();
     println!("row-by-row expression evaluation: {naive} rows in {slow:?}");
     assert_eq!(out.count(), naive);
-    println!(
-        "virtual-column speedup: {:.1}x",
-        slow.as_secs_f64() / fast.as_secs_f64().max(1e-9)
-    );
+    println!("virtual-column speedup: {:.1}x", slow.as_secs_f64() / fast.as_secs_f64().max(1e-9));
 
     // Aggregation push-down: SUM/MIN/MAX/COUNT of qty, O(1) per clean unit.
     let t0 = Instant::now();

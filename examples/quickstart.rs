@@ -38,11 +38,7 @@ fn main() -> Result<()> {
         primary.txm.insert(
             &mut tx,
             SALES,
-            vec![
-                Value::Int(k),
-                Value::str(regions[(k % 4) as usize]),
-                Value::Int(k % 500),
-            ],
+            vec![Value::Int(k), Value::str(regions[(k % 4) as usize]), Value::Int(k % 500)],
         )?;
     }
     let commit_scn = primary.txm.commit(tx);
@@ -66,7 +62,7 @@ fn main() -> Result<()> {
             Predicate::new(&schema, "amount", CmpOp::Ge, Value::Int(400))?,
         ],
     };
-    let out = standby.scan(SALES, &filter)?;
+    let out = standby.query(&QueryRequest::scan(SALES).filter(filter.clone()))?;
     println!(
         "standby scan: {} rows in {:?} (via IMCS: {})",
         out.count(),
@@ -74,6 +70,12 @@ fn main() -> Result<()> {
         out.used_imcs
     );
     assert!(out.used_imcs);
+
+    // The same request with `.aggregate` pushes COUNT/SUM/MIN/MAX down to
+    // the per-unit metadata instead of materializing rows.
+    let agg = standby.query(&QueryRequest::scan(SALES).filter(filter).aggregate("amount"))?;
+    let aggs = agg.aggregate.expect("aggregate request").aggs;
+    println!("aggregate push-down: COUNT={} SUM={}", aggs.count, aggs.sum);
 
     // 6. An update on the primary becomes visible on the standby at the
     //    next consistency point — and the stale columnar value is never
@@ -85,7 +87,16 @@ fn main() -> Result<()> {
     let hot = Filter::of(Predicate::eq(&schema, "amount", Value::Int(9999))?);
     let out = standby.scan(SALES, &hot)?;
     assert_eq!(out.count(), 1);
-    println!("after update: key 42 found via {} with amount 9999", if out.used_imcs { "IMCS + SMU fallback" } else { "row store" });
+    println!(
+        "after update: key 42 found via {} with amount 9999",
+        if out.used_imcs { "IMCS + SMU fallback" } else { "row store" }
+    );
+
+    // 7. Pipeline observability: every stage feeds one metrics registry
+    //    per side; records are conserved stage to stage.
+    let m = standby.metrics();
+    assert_eq!(m.merger.records_merged, m.apply.records_dispatched);
+    println!("\nstandby pipeline:\n{m}");
 
     Ok(())
 }

@@ -12,11 +12,7 @@ use imadg::prelude::*;
 const T: ObjectId = ObjectId(1);
 
 fn main() -> Result<()> {
-    let spec = ClusterSpec {
-        primary_instances: 2,
-        standby_instances: 2,
-        ..Default::default()
-    };
+    let spec = ClusterSpec { primary_instances: 2, standby_instances: 2, ..Default::default() };
     let cluster = AdgCluster::new(spec)?;
     cluster.create_table(TableSpec {
         id: T,
@@ -50,7 +46,9 @@ fn main() -> Result<()> {
     let standby = cluster.standby();
     let rows0 = standby.instances()[0].imcs.populated_rows();
     let rows1 = standby.instances()[1].imcs.populated_rows();
-    println!("IMCU distribution by home location: instance 0 = {rows0} rows, instance 1 = {rows1} rows");
+    println!(
+        "IMCU distribution by home location: instance 0 = {rows0} rows, instance 1 = {rows1} rows"
+    );
     // A handful of freshly-inserted rows may still ride the SMU fallback
     // path instead of a populated unit; scans stay complete either way.
     assert!(rows0 + rows1 >= 4_990);

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate. Fully offline: all dependencies are vendored under
+# third_party/, so this runs with no network access.
+#
+#   scripts/ci.sh            run the full gate
+#   scripts/ci.sh --fast     skip the release build (fmt + clippy + tests)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -q -- -D warnings
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+if [[ "$fast" == 0 ]]; then
+    echo "==> cargo build --release"
+    cargo build --workspace --release -q
+fi
+
+echo "CI gate passed."

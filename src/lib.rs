@@ -76,8 +76,8 @@ pub mod prelude {
         TenantId, TransportConfig, TxnId,
     };
     pub use imadg_db::{
-        AdgCluster, ClusterSpec, CmpOp, ColumnDef, ColumnType, Filter, Placement, Predicate,
-        QueryOutput, Row, Schema, StandbyCluster, TableSpec, Value,
+        AdgCluster, ClusterSpec, CmpOp, ColumnDef, ColumnType, Filter, MetricsSnapshot, Placement,
+        Predicate, QueryOutput, QueryRequest, Row, Schema, StandbyCluster, TableSpec, Value,
     };
     pub use imadg_workload::{OltapConfig, OpMix, QueryId};
 }

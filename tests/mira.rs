@@ -5,8 +5,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use imadg::prelude::*;
 use imadg::db::MiraStandby;
+use imadg::prelude::*;
 use imadg::redo::{redo_link, LogBuffer, Shipper};
 use imadg::storage::{DbaAllocator, Store};
 use imadg::txn::{InMemoryRegistry, LockTable, TxnIdService, TxnManager};
@@ -54,9 +54,8 @@ fn rig(instances: usize) -> Rig {
         Arc::new(DbaAllocator::default()),
     );
     let (sender, receiver) = redo_link(Duration::ZERO);
-    let mira =
-        MiraStandby::new(&SystemConfig::default(), standby_store, vec![receiver], instances)
-            .unwrap();
+    let mira = MiraStandby::new(&SystemConfig::default(), standby_store, vec![receiver], instances)
+        .unwrap();
     mira.enable_inmemory(OBJ);
     Rig { txm, scns, log, sender, shipper: Shipper::new(64), mira }
 }

@@ -54,8 +54,7 @@ fn update_only_mix_produces_complete_metrics() {
         }
     }
     // CPU reports carry every expected component.
-    let names: Vec<&str> =
-        m.standby_cpu.components.iter().map(|(n, _)| n.as_str()).collect();
+    let names: Vec<&str> = m.standby_cpu.components.iter().map(|(n, _)| n.as_str()).collect();
     for want in ["redo apply", "queries", "population", "mining", "inval flush"] {
         assert!(names.contains(&want), "missing component {want}: {names:?}");
     }

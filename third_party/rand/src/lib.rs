@@ -1,0 +1,175 @@
+//! Offline shim for the `rand` crate.
+//!
+//! Implements the subset the workload generators use: `SmallRng` seeded via
+//! `SeedableRng::seed_from_u64`, and `Rng::{gen_range, gen_bool}` over
+//! half-open and inclusive integer ranges plus half-open f64 ranges. The
+//! generator is xoshiro256++ seeded through splitmix64, so streams are
+//! deterministic for a given seed — which the experiment binaries rely on
+//! for reproducibility.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform u64 source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to [0, 1]).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Map a u64 to [0, 1) with 53 bits of precision.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic small-state generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range called with empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range called with empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000i64), b.gen_range(0..1_000_000i64));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let w = rng.gen_range(1u64..=5);
+            assert!((1..=5).contains(&w));
+            let f = rng.gen_range(0.0..3.5);
+            assert!((0.0..3.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.7)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((0.68..0.72).contains(&frac), "p=0.7 came out as {frac}");
+    }
+
+    #[test]
+    fn all_bounds_hit_in_small_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

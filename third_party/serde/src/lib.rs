@@ -1,0 +1,321 @@
+//! Offline shim for the `serde` crate.
+//!
+//! Real serde serializes through a visitor pair; this shim goes through a
+//! self-describing [`Content`] tree instead, which is all the workspace
+//! needs (JSON round-trips of metrics/config structs). The public surface
+//! matches the call sites: `serde::{Serialize, Deserialize}` traits, the
+//! same-named derive macros, and `serde_json::{to_string, from_str}` built
+//! on top of [`Content`].
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A self-describing serialized value (the shim's data model; JSON-shaped).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    /// Negative integers.
+    I64(i64),
+    /// Non-negative integers.
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Field-ordered map (struct fields keep declaration order).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Look up a struct field by name.
+    pub fn field(&self, name: &str) -> Option<&Content> {
+        self.as_map()?.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::I64(v) => Some(v),
+            Content::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::F64(v) => Some(v),
+            Content::I64(v) => Some(v as f64),
+            Content::U64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Type-level error produced when rebuilding a value from [`Content`].
+pub type DeError = String;
+
+/// Convert a value into [`Content`].
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Rebuild a value from [`Content`].
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+fn type_error(expected: &str, got: &Content) -> DeError {
+    format!("expected {expected}, got {got:?}")
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = content.as_u64().ok_or_else(|| type_error(stringify!($t), content))?;
+                <$t>::try_from(v).map_err(|_| format!("{v} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v < 0 { Content::I64(v) } else { Content::U64(v as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = content.as_i64().ok_or_else(|| type_error(stringify!($t), content))?;
+                <$t>::try_from(v).map_err(|_| format!("{v} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content.as_f64().ok_or_else(|| type_error("f64", content))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(f64::from_content(content)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(type_error("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(type_error("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq()
+            .ok_or_else(|| type_error("sequence", content))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let seq = content.as_seq().ok_or_else(|| type_error("tuple", content))?;
+                let expected = [$($idx),+].len();
+                if seq.len() != expected {
+                    return Err(format!("expected tuple of {expected}, got {}", seq.len()));
+                }
+                Ok(($($name::from_content(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+
+impl Serialize for Duration {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("secs".to_string(), Content::U64(self.as_secs())),
+            ("nanos".to_string(), Content::U64(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let secs = content
+            .field("secs")
+            .and_then(Content::as_u64)
+            .ok_or_else(|| type_error("duration {secs, nanos}", content))?;
+        let nanos = content
+            .field("nanos")
+            .and_then(Content::as_u64)
+            .ok_or_else(|| type_error("duration {secs, nanos}", content))?;
+        Ok(Duration::new(secs, nanos as u32))
+    }
+}
+
+impl<K: Serialize + ToString, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        let mut fields: Vec<(String, Content)> =
+            self.iter().map(|(k, v)| (k.to_string(), v.to_content())).collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<u64>::from_content(&None::<u64>.to_content()), Ok(None));
+        assert_eq!(Option::<u64>::from_content(&Some(3u64).to_content()), Ok(Some(3)));
+    }
+
+    #[test]
+    fn duration_round_trip() {
+        let d = Duration::new(3, 250_000_000);
+        assert_eq!(Duration::from_content(&d.to_content()), Ok(d));
+    }
+
+    #[test]
+    fn signed_crossing_zero() {
+        for v in [-3i64, 0, 7] {
+            assert_eq!(i64::from_content(&v.to_content()), Ok(v));
+        }
+    }
+
+    #[test]
+    fn tuple_and_vec() {
+        let v = vec![("a".to_string(), 1.5f64), ("b".to_string(), -2.0)];
+        let c = v.to_content();
+        assert_eq!(Vec::<(String, f64)>::from_content(&c), Ok(v));
+    }
+}

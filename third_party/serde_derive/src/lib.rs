@@ -1,0 +1,275 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the serde shim's
+//! `Content` model. Hand-rolled token walking instead of syn/quote (neither
+//! is available offline). Supported shapes — which cover every derive in the
+//! workspace: named-field structs, tuple structs (single-field ones
+//! serialize transparently, like real serde newtypes), and enums with unit
+//! variants (serialized as their variant name). Generic parameters and
+//! `#[serde(...)]` attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Skip one attribute (`#` followed by a bracket group) if present.
+fn skip_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip `pub` / `pub(crate)` if present.
+fn skip_vis(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs(&mut tokens);
+    skip_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g))
+                if matches!(g.delimiter(), Delimiter::Brace | Delimiter::Parenthesis) =>
+            {
+                break g;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde shim derive: generic types are not supported ({name})")
+            }
+            Some(_) => continue,
+            None => panic!("serde shim derive: no body found for {name}"),
+        }
+    };
+    let shape = match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Named(parse_named_fields(body.stream())),
+        ("struct", Delimiter::Parenthesis) => Shape::Tuple(count_tuple_fields(body.stream())),
+        ("enum", Delimiter::Brace) => Shape::UnitEnum(parse_unit_variants(body.stream())),
+        _ => panic!("serde shim derive: unsupported item shape for {name}"),
+    };
+    Item { name, shape }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&mut tokens);
+        skip_vis(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:`, got {other:?}"),
+        }
+        // Skip the type, honoring angle-bracket nesting so commas inside
+        // generics don't end the field.
+        let mut depth = 0i32;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    for tt in stream {
+        saw_token = true;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => fields += 1,
+            _ => {}
+        }
+    }
+    if saw_token {
+        fields + 1
+    } else {
+        0
+    }
+}
+
+fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => {
+                panic!("serde shim derive: only unit enum variants are supported")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip the value expression.
+                loop {
+                    match tokens.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                        Some(_) => {}
+                        None => break,
+                    }
+                }
+            }
+            None => break,
+            other => panic!("serde shim derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_content(&self.{i})")).collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Content::Str(::std::string::String::from(\"{v}\"))"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         content.field(\"{f}\").ok_or_else(|| \
+                         ::std::format!(\"missing field `{f}` in {name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {} }})", entries.join(", "))
+        }
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(content)?))"
+        ),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                .collect();
+            format!(
+                "let seq = content.as_seq().ok_or_else(|| \
+                 ::std::format!(\"expected sequence for {name}\"))?;\n\
+                 if seq.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::std::format!(\"expected {n} elements for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                entries.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match content {{\n\
+                 ::serde::Content::Str(s) => match s.as_str() {{\n\
+                 {},\n\
+                 other => ::std::result::Result::Err(\
+                 ::std::format!(\"unknown {name} variant `{{other}}`\")),\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(\
+                 ::std::format!(\"expected string for {name}, got {{other:?}}\")),\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(content: &::serde::Content) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Deserialize impl must parse")
+}
