@@ -43,6 +43,14 @@ pub enum Error {
     TransportClosed,
     /// Configuration rejected.
     Config(String),
+    /// A pipeline stage failed (error or panic); recorded by the runtime
+    /// health state and surfaced to callers awaiting the pipeline.
+    StageFailed {
+        /// Name of the failing stage.
+        stage: String,
+        /// The error message or panic payload.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -70,6 +78,9 @@ impl fmt::Display for Error {
             Error::NotPopulated(o) => write!(f, "object {o:?} not populated in the IMCS"),
             Error::TransportClosed => write!(f, "redo transport closed"),
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
+            Error::StageFailed { stage, reason } => {
+                write!(f, "pipeline stage `{stage}` failed: {reason}")
+            }
         }
     }
 }

@@ -7,6 +7,7 @@
 //! the busy-time accounting used to reproduce the paper's CPU-transfer
 //! measurements.
 
+pub mod clock;
 pub mod config;
 pub mod cpu;
 pub mod error;
@@ -14,8 +15,11 @@ pub mod fxhash;
 pub mod ids;
 pub mod metrics;
 pub mod object_set;
+pub mod runtime;
 pub mod stats;
 pub mod sync;
+
+pub use clock::Clock;
 
 pub use config::{ImcsConfig, RecoveryConfig, SystemConfig, TransportConfig};
 pub use cpu::{BusyTimer, CpuAccount, CpuReport};
@@ -24,8 +28,13 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use ids::{Dba, InstanceId, ObjectId, RedoThreadId, Scn, SlotId, TenantId, TxnId, WorkerId};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, PipelineTrace,
-    TraceEvent, TraceStage,
+    RuntimeMetrics, RuntimeSnapshot, StageRuntimeMetrics, StageRuntimeSnapshot, TraceEvent,
+    TraceStage,
 };
 pub use object_set::ObjectSet;
+pub use runtime::{
+    HealthState, Runtime, RuntimeHealth, Stage, StageFailure, StageId, StageOutcome, StepOutcome,
+    StepReport, StepScheduler, ThreadedRuntime, WakeToken,
+};
 pub use stats::LatencyStats;
 pub use sync::{QueryScnCell, QuiesceGuard, QuiesceLock, ScnService};

@@ -681,6 +681,109 @@ pub struct ScanEngineSnapshot {
 }
 
 // ---------------------------------------------------------------------------
+// Runtime (scheduler) observability
+// ---------------------------------------------------------------------------
+
+/// Scheduler-side metrics for one registered stage: how often it ran, how
+/// long each run quantum took, and how it parked/woke. Stage identities
+/// align with the registry's stage ids (`transport`, `merger`, `apply.N`,
+/// `flush`, `population.N`, …), so these land next to the stage's own
+/// counters in the snapshot.
+#[derive(Debug, Default)]
+pub struct StageRuntimeMetrics {
+    /// Run quanta executed.
+    pub runs: Counter,
+    /// Explicit wakeups received while parked (vs park-hint timeouts).
+    pub wakeups: Counter,
+    /// Times the stage parked idle.
+    pub parks: Counter,
+    /// Time spent parked, per park (µs).
+    pub park_us: Histogram,
+    /// Run-quantum duration (µs).
+    pub run_quantum_us: Histogram,
+}
+
+impl StageRuntimeMetrics {
+    /// Project to plain data.
+    pub fn snapshot(&self, stage: &str) -> StageRuntimeSnapshot {
+        StageRuntimeSnapshot {
+            stage: stage.to_string(),
+            runs: self.runs.get(),
+            wakeups: self.wakeups.get(),
+            parks: self.parks.get(),
+            park_us: self.park_us.snapshot(),
+            run_quantum_us: self.run_quantum_us.snapshot(),
+        }
+    }
+}
+
+/// Plain-data projection of [`StageRuntimeMetrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageRuntimeSnapshot {
+    /// Stage id.
+    pub stage: String,
+    /// Run quanta executed.
+    pub runs: u64,
+    /// Explicit wakeups received.
+    pub wakeups: u64,
+    /// Parks taken.
+    pub parks: u64,
+    /// Park-time distribution (µs).
+    pub park_us: HistogramSnapshot,
+    /// Run-quantum distribution (µs).
+    pub run_quantum_us: HistogramSnapshot,
+}
+
+/// Runtime-wide observability for one deployment side: the per-stage
+/// scheduler metrics roster plus the pipeline health cell the schedulers
+/// write failures into.
+#[derive(Debug, Default)]
+pub struct RuntimeMetrics {
+    stages: Mutex<Vec<(String, Arc<StageRuntimeMetrics>)>>,
+    /// Pipeline health; `Failed` once any stage errors or panics.
+    pub health: Arc<crate::runtime::HealthState>,
+}
+
+impl RuntimeMetrics {
+    /// The scheduler-metrics handle for stage `name`, creating it on first
+    /// use. Re-registering a stage (runtime rebuilt between runs) returns
+    /// the same handle so counters accumulate per side, not per run.
+    pub fn stage(&self, name: &str) -> Arc<StageRuntimeMetrics> {
+        let mut v = self.stages.lock();
+        if let Some((_, m)) = v.iter().find(|(n, _)| n == name) {
+            return m.clone();
+        }
+        let m = Arc::new(StageRuntimeMetrics::default());
+        v.push((name.to_string(), m.clone()));
+        m
+    }
+
+    /// Project to plain data.
+    pub fn snapshot(&self) -> RuntimeSnapshot {
+        RuntimeSnapshot {
+            failure: self.health.get().failure().cloned(),
+            stages: self.stages.lock().iter().map(|(n, m)| m.snapshot(n)).collect(),
+        }
+    }
+}
+
+/// Plain-data projection of [`RuntimeMetrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuntimeSnapshot {
+    /// The first stage failure, if any (`None` = healthy).
+    pub failure: Option<crate::runtime::StageFailure>,
+    /// Per-stage scheduler metrics, in registration order.
+    pub stages: Vec<StageRuntimeSnapshot>,
+}
+
+impl RuntimeSnapshot {
+    /// True when no stage failure has been recorded.
+    pub fn is_healthy(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Tracing
 // ---------------------------------------------------------------------------
 
@@ -802,6 +905,8 @@ pub struct MetricsRegistry {
     pub population: Arc<PopulationMetrics>,
     /// Scan engine / query API.
     pub scan: Arc<ScanEngineMetrics>,
+    /// Scheduler observability + pipeline health.
+    pub runtime: Arc<RuntimeMetrics>,
     /// Trace ring.
     pub trace: PipelineTrace,
 }
@@ -824,6 +929,7 @@ impl MetricsRegistry {
             flush: self.flush.snapshot(),
             population: self.population.snapshot(),
             scan: self.scan.snapshot(),
+            runtime: self.runtime.snapshot(),
             trace: self.trace.events(),
         }
     }
@@ -852,6 +958,8 @@ pub struct MetricsSnapshot {
     pub population: PopulationSnapshot,
     /// Scan engine / query API.
     pub scan: ScanEngineSnapshot,
+    /// Scheduler observability + pipeline health.
+    pub runtime: RuntimeSnapshot,
     /// Recent trace events (bounded).
     pub trace: Vec<TraceEvent>,
 }
@@ -919,7 +1027,7 @@ impl fmt::Display for MetricsSnapshot {
             self.population.imcus_built,
             self.population.imcus_repopulated,
         )?;
-        write!(
+        writeln!(
             f,
             "scan: queries={} imcs_served={} row_store_fallback={} pruned_units={} \
              latency_p95_us={}",
@@ -928,7 +1036,25 @@ impl fmt::Display for MetricsSnapshot {
             self.scan.row_store_fallback,
             self.scan.pruned_units,
             self.scan.latency_us.quantile(0.95),
-        )
+        )?;
+        let health = match &self.runtime.failure {
+            None => "ok".to_string(),
+            Some(fail) => format!("FAILED[{}]: {}", fail.stage, fail.reason),
+        };
+        write!(f, "runtime: health={health}")?;
+        for s in &self.runtime.stages {
+            write!(
+                f,
+                "\n  stage {}: runs={} wakeups={} parks={} park_p95_us={} quantum_p95_us={}",
+                s.stage,
+                s.runs,
+                s.wakeups,
+                s.parks,
+                s.park_us.quantile(0.95),
+                s.run_quantum_us.quantile(0.95),
+            )?;
+        }
+        Ok(())
     }
 }
 

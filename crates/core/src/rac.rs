@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use imadg_common::{InstanceId, ObjectId, TenantId};
+use imadg_common::{InstanceId, ObjectId, Result, Stage, StageOutcome, TenantId, WakeToken};
 use imadg_imcs::ImcsStore;
 use parking_lot::Mutex;
 
@@ -39,18 +39,34 @@ pub enum RacMessage {
 pub struct RacEndpoint {
     /// This instance.
     pub instance: InstanceId,
+    /// Stage id for the runtime (`rac.N`).
+    stage_name: String,
     rx: Mutex<Receiver<RacMessage>>,
     imcs: Arc<ImcsStore>,
     acked: Arc<AtomicU64>,
     /// Simulated per-message processing/network cost.
     per_message_cost: Duration,
     processed: AtomicU64,
+    /// Woken by the master's flush target on every send.
+    waker: Mutex<Option<WakeToken>>,
 }
 
 impl RacEndpoint {
     /// The local column store served by this endpoint.
     pub fn imcs(&self) -> &Arc<ImcsStore> {
         &self.imcs
+    }
+
+    /// Wake `token` whenever the master sends this endpoint a message, so
+    /// its stage parks instead of polling.
+    pub fn set_waker(&self, token: WakeToken) {
+        *self.waker.lock() = Some(token);
+    }
+
+    fn wake(&self) {
+        if let Some(w) = self.waker.lock().as_ref() {
+            w.wake();
+        }
     }
 
     /// Apply every pending message; returns how many were processed.
@@ -85,6 +101,18 @@ impl RacEndpoint {
     /// Total messages processed.
     pub fn processed(&self) -> u64 {
         self.processed.load(Ordering::Relaxed).max(self.acked.load(Ordering::Relaxed))
+    }
+}
+
+/// The endpoint's "local recovery coordinator" as a runtime stage
+/// (metrics id `rac.N`): drains the interconnect queue when woken.
+impl Stage for RacEndpoint {
+    fn name(&self) -> &str {
+        &self.stage_name
+    }
+
+    fn run_once(&self) -> Result<StageOutcome> {
+        Ok(if self.process_pending() > 0 { StageOutcome::Progress } else { StageOutcome::Idle })
     }
 }
 
@@ -136,11 +164,13 @@ impl RacFlushTarget {
             let acked = Arc::new(AtomicU64::new(0));
             let endpoint = Arc::new(RacEndpoint {
                 instance: inst,
+                stage_name: format!("rac.{}", inst.0),
                 rx: Mutex::new(rx),
                 imcs: store.clone(),
                 acked: acked.clone(),
                 per_message_cost,
                 processed: AtomicU64::new(0),
+                waker: Mutex::new(None),
             });
             endpoints.push(endpoint.clone());
             remotes.insert(inst, RemoteLink { tx, sent: AtomicU64::new(0), acked, endpoint });
@@ -165,6 +195,7 @@ impl RacFlushTarget {
         link.sent.fetch_add(1, Ordering::AcqRel);
         self.messages_sent.fetch_add(1, Ordering::Relaxed);
         let _ = link.tx.send(msg);
+        link.endpoint.wake();
     }
 
     fn enqueue_group(&self, inst: InstanceId, group: InvalidationGroup) {
@@ -364,27 +395,16 @@ mod tests {
         let (mut target, endpoints, stores) = cluster();
         target.inline_pump = false;
         let h1 = unit_on(&stores[&InstanceId(1)], 1, &[5]);
-        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
-        let pumps: Vec<_> = endpoints
-            .iter()
-            .map(|ep| {
-                let ep = ep.clone();
-                let stop = stop.clone();
-                std::thread::spawn(move || {
-                    while !stop.load(Ordering::Relaxed) {
-                        if ep.process_pending() == 0 {
-                            std::thread::sleep(Duration::from_micros(100));
-                        }
-                    }
-                })
-            })
-            .collect();
+        // Endpoints run as runtime stages, woken by the master's sends.
+        let mut rt = imadg_common::Runtime::new();
+        for ep in &endpoints {
+            let id = rt.register(ep.clone() as Arc<dyn Stage>, Arc::default());
+            ep.set_waker(rt.wake_token(id));
+        }
+        let threads = rt.start_threaded();
         target.flush_group(&group(1, 9, &[(5, 0)]));
         target.synchronize();
         assert!(h1.smu().view().is_invalid(RowLoc { dba: Dba(5), slot: 0 }));
-        stop.store(true, Ordering::Relaxed);
-        for p in pumps {
-            p.join().unwrap();
-        }
+        assert!(threads.shutdown().is_healthy());
     }
 }

@@ -1,10 +1,12 @@
 //! The full Active-Data-Guard deployment: primary cluster + standby
 //! cluster connected by redo shipping (paper Fig. 1).
 
-use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
-use imadg_common::{Error, InstanceId, ObjectId, RedoThreadId, Result, ScnService, SystemConfig};
+use imadg_common::{
+    Error, InstanceId, ObjectId, RedoThreadId, Result, Runtime, RuntimeHealth, ScnService,
+    StepScheduler, SystemConfig, ThreadedRuntime,
+};
 use imadg_redo::{redo_link, LogBuffer};
 use imadg_storage::{DbaAllocator, Store, TableSpec};
 use imadg_txn::{InMemoryRegistry, LockTable, TxnIdService, TxnManager};
@@ -13,7 +15,7 @@ use std::collections::HashMap;
 
 use crate::placement::Placement;
 use crate::primary::PrimaryInstance;
-use crate::standby::{StandbyCluster, StandbyThreads};
+use crate::standby::StandbyCluster;
 
 /// Deployment shape.
 #[derive(Debug, Clone)]
@@ -247,31 +249,52 @@ impl AdgCluster {
         Ok(())
     }
 
-    /// Spawn the full threaded deployment: redo shippers on every primary
-    /// plus the standby's recovery and population threads.
-    pub fn start(&self) -> ClusterThreads {
-        let stop = Arc::new(AtomicBool::new(false));
-        let mut shippers = Vec::new();
+    /// Build the deployment-wide stage runtime: every primary's redo
+    /// shipper plus all standby stages, with the cross-side wake edge
+    /// (each shipped batch wakes the standby's ingest stage). Primary
+    /// failures land in the owning instance's registry, standby failures in
+    /// the standby's; the runtime's own cell sees both.
+    pub fn build_runtime(&self) -> Runtime {
+        let standby = self.standby();
+        let mut rt = Runtime::new();
         for p in &self.primaries {
-            shippers.push(p.start_shipper(stop.clone()));
+            p.register_stages(&mut rt);
         }
-        let standby_threads = self.standby().start();
-        ClusterThreads { stop, shippers, _standby: standby_threads }
+        let ids = standby.register_stages(&mut rt);
+        let ingest_token = rt.wake_token(ids.ingest);
+        for p in &self.primaries {
+            p.set_send_waker(ingest_token.clone());
+        }
+        rt
+    }
+
+    /// Spawn the full threaded deployment: redo shippers on every primary
+    /// plus the standby's recovery, population and RAC stages.
+    pub fn start(&self) -> ClusterThreads {
+        ClusterThreads { inner: self.build_runtime().start_threaded() }
+    }
+
+    /// A deterministic single-thread scheduler over the full deployment:
+    /// the seed chooses the stage interleaving (interleaving stress tests).
+    pub fn step_scheduler(&self, seed: u64) -> StepScheduler {
+        self.build_runtime().into_step(seed)
     }
 }
 
-/// Guard over the deployment's background threads.
+/// Guard over the deployment's background threads; drains and stops them
+/// on drop.
 pub struct ClusterThreads {
-    stop: Arc<AtomicBool>,
-    shippers: Vec<std::thread::JoinHandle<()>>,
-    _standby: StandbyThreads,
+    inner: ThreadedRuntime,
 }
 
-impl Drop for ClusterThreads {
-    fn drop(&mut self) {
-        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
-        for h in self.shippers.drain(..) {
-            let _ = h.join();
-        }
+impl ClusterThreads {
+    /// Current deployment health (both sides).
+    pub fn health(&self) -> RuntimeHealth {
+        self.inner.health()
+    }
+
+    /// Drain every stage, join the threads, and return the final health.
+    pub fn shutdown(self) -> RuntimeHealth {
+        self.inner.shutdown()
     }
 }

@@ -5,8 +5,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use imadg_common::{
-    CpuAccount, ImcsConfig, InstanceId, MetricsRegistry, MetricsSnapshot, ObjectId, Result, Scn,
-    ScnService, TenantId, TransportConfig,
+    CpuAccount, ImcsConfig, InstanceId, MetricsRegistry, MetricsSnapshot, ObjectId, Result,
+    Runtime, Scn, ScnService, Stage, StageId, StageOutcome, TenantId, TransportConfig, WakeToken,
 };
 use imadg_imcs::{Filter, ImcsStore, PopulationEngine, SnapshotSource};
 use imadg_redo::{LogBuffer, RedoSender, Shipper};
@@ -186,20 +186,42 @@ impl PrimaryInstance {
         Ok(removed)
     }
 
-    /// Spawn a background shipper thread (threaded deployments).
-    pub fn start_shipper(
-        self: &Arc<Self>,
-        stop: Arc<std::sync::atomic::AtomicBool>,
-    ) -> std::thread::JoinHandle<()> {
-        let me = self.clone();
-        std::thread::spawn(move || {
-            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                match me.ship_once() {
-                    Ok(0) => std::thread::sleep(Duration::from_micros(500)),
-                    Ok(_) => {}
-                    Err(_) => break, // standby gone (restart): exit quietly
-                }
-            }
-        })
+    /// Wake `token` whenever this instance ships a batch (wires the
+    /// shipper to the standby's ingest stage across runtimes/sides).
+    pub fn set_send_waker(&self, token: WakeToken) {
+        self.sender.set_waker(token);
+    }
+
+    /// Register this instance's redo-shipper stage with `rt` (metrics id
+    /// `transport`): DML appends wake it through the log buffer, and a
+    /// transport error — previously a silent thread exit — now trips the
+    /// pipeline health state. The park hint keeps idle-SCN heartbeats
+    /// flowing so the standby's merge watermark advances.
+    pub fn register_stages(self: &Arc<Self>, rt: &mut Runtime) -> StageId {
+        let id = rt.register_with_health(
+            Arc::new(ShipperStage(self.clone())),
+            self.metrics.runtime.stage("transport"),
+            self.metrics.runtime.health.clone(),
+        );
+        self.log.set_waker(rt.wake_token(id));
+        id
+    }
+}
+
+/// The redo-shipping process of one primary instance as a runtime stage.
+struct ShipperStage(Arc<PrimaryInstance>);
+
+impl Stage for ShipperStage {
+    fn name(&self) -> &str {
+        "transport"
+    }
+
+    fn run_once(&self) -> Result<StageOutcome> {
+        Ok(if self.0.ship_once()? > 0 { StageOutcome::Progress } else { StageOutcome::Idle })
+    }
+
+    fn park_hint(&self) -> Duration {
+        // Heartbeat cadence: ship an idle-SCN heartbeat at least this often.
+        Duration::from_micros(500)
     }
 }

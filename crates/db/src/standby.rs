@@ -3,20 +3,20 @@
 //! stores with population engines.
 
 use std::collections::HashMap;
-use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
 
 use imadg_common::{
     CpuAccount, Error, InstanceId, MetricsRegistry, MetricsSnapshot, ObjectId, ObjectSet,
-    QueryScnCell, QuiesceLock, Result, Scn, SystemConfig,
+    QueryScnCell, QuiesceLock, Result, Runtime, RuntimeHealth, Scn, Stage, StageOutcome,
+    SystemConfig, ThreadedRuntime,
 };
 use imadg_core::{DbimAdg, HomeLocationMap, LocalFlushTarget, RacEndpoint, RacFlushTarget};
 use imadg_imcs::{
     AggregateResult, ExprPredicate, Filter, ImcsStore, PopulationEngine, PopulationReport,
     SnapshotSource,
 };
-use imadg_recovery::{MediaRecovery, NoopAdvanceHook, RecoveryThreads};
+use imadg_recovery::{MediaRecovery, NoopAdvanceHook, RecoveryStageIds};
 use imadg_redo::RedoReceiver;
 use imadg_storage::{Row, RowLoc, Store};
 
@@ -44,6 +44,10 @@ pub struct StandbyStatus {
     pub flushed_records: u64,
     /// Coarse (per-tenant) invalidations since startup.
     pub coarse_invalidations: u64,
+    /// Pipeline health: `Failed` once any stage errored or panicked (the
+    /// pipeline is then stopped — queries would otherwise serve data that
+    /// silently stopped advancing).
+    pub health: RuntimeHealth,
 }
 
 impl std::fmt::Display for StandbyStatus {
@@ -60,7 +64,8 @@ impl std::fmt::Display for StandbyStatus {
             self.populated_rows,
             self.flushed_records,
             self.coarse_invalidations,
-        )
+        )?;
+        write!(f, " health={}", self.health)
     }
 }
 
@@ -401,48 +406,82 @@ impl StandbyCluster {
             populated_rows: m.population.populated_rows as usize,
             flushed_records: m.flush.flushed_records,
             coarse_invalidations: m.flush.coarse_invalidations,
+            health: self.health(),
         }
     }
 
-    /// Spawn background threads: recovery plus one population loop per
-    /// instance. Returns guards that stop on drop.
-    pub fn start(self: &Arc<Self>) -> StandbyThreads {
-        let recovery = self.recovery.start();
-        let stop = Arc::new(AtomicBool::new(false));
-        let mut handles = Vec::new();
+    /// Current pipeline health (`Failed` once any stage errors or panics).
+    pub fn health(&self) -> RuntimeHealth {
+        self.metrics.runtime.health.get()
+    }
+
+    /// Register every standby stage with `rt`: the recovery pipeline
+    /// (ingest, apply workers, coordinator), one population stage per
+    /// instance, and the RAC endpoint stages of a multi-instance cluster.
+    /// Wake wiring: the coordinator (flush/advancement) wakes population —
+    /// an advanced QuerySCN is what creates population work — and the
+    /// master's flush target wakes the RAC endpoints on every send.
+    /// Failures are recorded in this cluster's registry health cell.
+    pub fn register_stages(self: &Arc<Self>, rt: &mut Runtime) -> RecoveryStageIds {
+        let health = self.metrics.runtime.health.clone();
+        let ids = self.recovery.register_stages(rt);
         for inst in &self.instances {
-            let engine = inst.population.clone();
-            let stop = stop.clone();
-            handles.push(std::thread::spawn(move || {
-                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                    match engine.run_once() {
-                        Ok(r) if r.any() => {
-                            // Yield between build quanta: population is a
-                            // background activity and must not starve
-                            // queries or redo apply (paper §II.B).
-                            std::thread::sleep(Duration::from_millis(1));
-                        }
-                        _ => std::thread::sleep(Duration::from_millis(5)),
-                    }
-                }
-            }));
+            let name = format!("population.{}", inst.id.0);
+            let pop = rt.register_with_health(
+                Arc::new(PopulationStage { name: name.clone(), engine: inst.population.clone() }),
+                self.metrics.runtime.stage(&name),
+                health.clone(),
+            );
+            rt.wire(ids.coordinator, pop);
         }
-        StandbyThreads { _recovery: recovery, stop, handles }
+        for ep in &self.rac_endpoints {
+            let id = rt.register_with_health(
+                ep.clone() as Arc<dyn Stage>,
+                self.metrics.runtime.stage(ep.name()),
+                health.clone(),
+            );
+            ep.set_waker(rt.wake_token(id));
+        }
+        ids
+    }
+
+    /// Spawn the standby's background threads on the stage runtime.
+    /// Returns a guard that drains and stops them on drop.
+    pub fn start(self: &Arc<Self>) -> StandbyThreads {
+        let mut rt = Runtime::with_health(self.metrics.runtime.health.clone());
+        self.register_stages(&mut rt);
+        StandbyThreads { _inner: rt.start_threaded() }
+    }
+}
+
+/// One instance's IMCU population engine as a runtime stage (metrics id
+/// `population.N`). Woken by QuerySCN advancement; throttled after each
+/// build quantum so population — a background activity — does not starve
+/// queries or redo apply (paper §II.B).
+struct PopulationStage {
+    name: String,
+    engine: Arc<PopulationEngine>,
+}
+
+impl Stage for PopulationStage {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run_once(&self) -> Result<StageOutcome> {
+        Ok(if self.engine.run_once()?.any() { StageOutcome::Progress } else { StageOutcome::Idle })
+    }
+
+    fn park_hint(&self) -> Duration {
+        Duration::from_millis(5)
+    }
+
+    fn throttle(&self) -> Option<Duration> {
+        Some(Duration::from_millis(1))
     }
 }
 
 /// Guard over standby background threads.
 pub struct StandbyThreads {
-    _recovery: RecoveryThreads,
-    stop: Arc<AtomicBool>,
-    handles: Vec<std::thread::JoinHandle<()>>,
-}
-
-impl Drop for StandbyThreads {
-    fn drop(&mut self) {
-        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-    }
+    _inner: ThreadedRuntime,
 }

@@ -163,6 +163,12 @@ impl PopulationEngine {
         let mut report = PopulationReport::default();
         let enabled: Vec<ObjectId> = self.enabled.read().iter().copied().collect();
         for object in enabled {
+            // An enabled object whose dictionary entry hasn't arrived yet
+            // (standby: the CREATE TABLE marker is still in flight) is not
+            // an error — there is simply nothing to populate yet.
+            if self.store.table(object).is_err() {
+                continue;
+            }
             report.populated += self.populate_uncovered(object)?;
             report.repopulated += self.repopulate_stale(object)?;
         }

@@ -6,28 +6,35 @@
 //!   one owner, so per-block apply order equals SCN order;
 //! * transaction control records go to `hash(txn) % workers` (the "special
 //!   block" of the transaction's undo segment header);
-//! * DDL markers go to worker 0;
+//! * DDL markers go to worker 0 — but CREATE TABLE is applied to the
+//!   dictionary *inline at dispatch*, because the new table's change
+//!   vectors hash to arbitrary workers and may be consumed before worker
+//!   0 reaches the marker;
 //! * after each dispatched batch, a watermark item carrying the batch's
 //!   highest SCN is sent to *every* worker, so workers that received no
 //!   work still advance their progress.
 
+use std::sync::Arc;
+
 use crossbeam::channel::Sender;
 use imadg_common::{Result, Scn};
 use imadg_redo::{RedoPayload, RedoRecord};
+use imadg_storage::Store;
 
 use crate::worker::WorkItem;
 
 /// Fan-out stage from merged redo to worker queues.
 pub struct Dispatcher {
     queues: Vec<Sender<WorkItem>>,
+    store: Arc<Store>,
     highest_dispatched: Scn,
 }
 
 impl Dispatcher {
     /// Dispatcher over the workers' queue senders.
-    pub fn new(queues: Vec<Sender<WorkItem>>) -> Self {
+    pub fn new(queues: Vec<Sender<WorkItem>>, store: Arc<Store>) -> Self {
         assert!(!queues.is_empty());
-        Dispatcher { queues, highest_dispatched: Scn::ZERO }
+        Dispatcher { queues, store, highest_dispatched: Scn::ZERO }
     }
 
     /// Number of workers.
@@ -73,6 +80,13 @@ impl Dispatcher {
                     items += 1;
                 }
                 RedoPayload::Marker(m) => {
+                    // Physical dictionary changes must exist before any of
+                    // the table's CVs — which are already being enqueued to
+                    // other workers in this same batch — get applied.
+                    // Idempotent on replay after restart.
+                    if let imadg_redo::DdlKind::CreateTable(spec) = &m.ddl {
+                        let _ = self.store.create_table(spec.clone());
+                    }
                     self.send(0, WorkItem::Marker { scn, marker: std::sync::Arc::new(m) })?;
                     items += 1;
                 }
@@ -121,7 +135,7 @@ mod tests {
     fn same_dba_routes_to_same_worker() {
         let (t0, r0) = work_queue();
         let (t1, r1) = work_queue();
-        let mut d = Dispatcher::new(vec![t0, t1]);
+        let mut d = Dispatcher::new(vec![t0, t1], Arc::new(Store::new()));
         d.dispatch(vec![change_record(1, &[42]), change_record(2, &[42])]).unwrap();
         let q0: Vec<_> = r0.try_iter().collect();
         let q1: Vec<_> = r1.try_iter().collect();
@@ -137,7 +151,7 @@ mod tests {
     fn watermark_reaches_all_workers() {
         let (t0, r0) = work_queue();
         let (t1, r1) = work_queue();
-        let mut d = Dispatcher::new(vec![t0, t1]);
+        let mut d = Dispatcher::new(vec![t0, t1], Arc::new(Store::new()));
         d.dispatch(vec![change_record(7, &[1])]).unwrap();
         for r in [&r0, &r1] {
             let items: Vec<_> = r.try_iter().collect();
@@ -150,7 +164,7 @@ mod tests {
     fn control_records_follow_txn_hash() {
         let (t0, r0) = work_queue();
         let (t1, r1) = work_queue();
-        let mut d = Dispatcher::new(vec![t0, t1]);
+        let mut d = Dispatcher::new(vec![t0, t1], Arc::new(Store::new()));
         let txn = TxnId(99);
         d.dispatch(vec![
             RedoRecord {
@@ -177,7 +191,7 @@ mod tests {
     #[test]
     fn empty_batch_is_noop() {
         let (t0, r0) = work_queue();
-        let mut d = Dispatcher::new(vec![t0]);
+        let mut d = Dispatcher::new(vec![t0], Arc::new(Store::new()));
         assert_eq!(d.dispatch(vec![]).unwrap(), 0);
         assert_eq!(r0.try_iter().count(), 0, "no watermark for empty batch");
     }

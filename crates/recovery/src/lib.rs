@@ -16,6 +16,6 @@ pub mod worker;
 pub use coordinator::{AdvanceHook, Coordinator, NoopAdvanceHook};
 pub use dispatch::Dispatcher;
 pub use observer::{ApplyObserver, CoopHelper, NoopHelper, NoopObserver};
-pub use pipeline::{MediaRecovery, RecoveryThreads};
+pub use pipeline::{MediaRecovery, RecoveryStageIds, RecoveryThreads};
 pub use progress::Progress;
 pub use worker::{work_queue, WorkItem, Worker};

@@ -3,19 +3,22 @@
 //!
 //! The pipeline runs in two modes with identical logic:
 //! * **step mode** — [`MediaRecovery::pump`] drains every stage on the
-//!   caller's thread, deterministically (tests);
-//! * **threaded mode** — [`MediaRecovery::start`] spawns one ingest/
-//!   coordinator thread plus one thread per recovery worker (workload
-//!   experiments).
+//!   caller's thread in a fixed order, or [`MediaRecovery::register_stages`]
+//!   hands the stages to a seeded `StepScheduler` for randomized
+//!   interleavings (tests);
+//! * **threaded mode** — [`MediaRecovery::start`] registers the same stages
+//!   with the shared runtime's threaded scheduler: the ingest stage wakes
+//!   the workers, the workers wake the coordinator, and an error or panic
+//!   in any stage trips the pipeline health state instead of dying in a
+//!   detached thread.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
-use imadg_common::metrics::{ApplyMetrics, MergerMetrics};
+use imadg_common::metrics::{ApplyMetrics, MergerMetrics, RuntimeMetrics};
 use imadg_common::{
-    CpuAccount, MetricsRegistry, QueryScnCell, QuiesceLock, RecoveryConfig, Result, Scn, WorkerId,
+    CpuAccount, MetricsRegistry, QueryScnCell, QuiesceLock, RecoveryConfig, Result, Runtime,
+    RuntimeHealth, Scn, Stage, StageId, StageOutcome, ThreadedRuntime, WorkerId,
 };
 use imadg_redo::{LogMerger, RedoPayload, RedoReceiver};
 use imadg_storage::Store;
@@ -39,6 +42,7 @@ pub struct MediaRecovery {
     pub ingest_cpu: CpuAccount,
     merger_metrics: Arc<MergerMetrics>,
     apply_metrics: Arc<ApplyMetrics>,
+    runtime_metrics: Arc<RuntimeMetrics>,
 }
 
 impl MediaRecovery {
@@ -115,13 +119,14 @@ impl MediaRecovery {
         Ok(Arc::new(MediaRecovery {
             receivers: Mutex::new(receivers),
             merger: Mutex::new(LogMerger::new(streams)),
-            dispatcher: Mutex::new(Dispatcher::new(senders)),
+            dispatcher: Mutex::new(Dispatcher::new(senders, store.clone())),
             workers,
             progress,
             coordinator,
             ingest_cpu: CpuAccount::new(),
             merger_metrics: registry.merger.clone(),
             apply_metrics: registry.apply.clone(),
+            runtime_metrics: registry.runtime.clone(),
         }))
     }
 
@@ -196,47 +201,53 @@ impl MediaRecovery {
         Ok(())
     }
 
-    /// Spawn background threads: one ingest/coordinator loop plus one loop
-    /// per worker. Returns a guard that stops and joins them on drop.
+    /// Register the pipeline's stages — ingest/merge/dispatch, one apply
+    /// stage per worker, and the advancement coordinator — with `rt`,
+    /// wiring the producer→consumer wake edges (ingest wakes workers,
+    /// workers wake the coordinator). Failures are recorded in this
+    /// pipeline's registry health cell.
+    pub fn register_stages(self: &Arc<Self>, rt: &mut Runtime) -> RecoveryStageIds {
+        let health = self.runtime_metrics.health.clone();
+        let ingest = rt.register_with_health(
+            Arc::new(IngestStage(self.clone())),
+            self.runtime_metrics.stage("merger"),
+            health.clone(),
+        );
+        let coordinator = rt.register_with_health(
+            Arc::new(CoordinatorStage(self.clone())),
+            self.runtime_metrics.stage("flush"),
+            health.clone(),
+        );
+        let mut workers = Vec::with_capacity(self.workers.len());
+        for (i, w) in self.workers.iter().enumerate() {
+            let id = rt.register_with_health(
+                Arc::new(WorkerStage {
+                    name: format!("apply.{i}"),
+                    worker: w.clone(),
+                    progress: self.progress.clone(),
+                }),
+                self.runtime_metrics.stage(&format!("apply.{i}")),
+                health.clone(),
+            );
+            rt.wire(ingest, id);
+            rt.wire(id, coordinator);
+            workers.push(id);
+        }
+        RecoveryStageIds { ingest, workers, coordinator }
+    }
+
+    /// Spawn background threads for the recovery stages alone (standalone
+    /// pipelines; `StandbyCluster` registers into a wider runtime instead).
+    /// Returns a guard that drains and joins them on drop.
     pub fn start(self: &Arc<Self>) -> RecoveryThreads {
-        let stop = Arc::new(AtomicBool::new(false));
-        let mut handles = Vec::new();
+        let mut rt = Runtime::with_health(self.runtime_metrics.health.clone());
+        self.register_stages(&mut rt);
+        RecoveryThreads { inner: Some(rt.start_threaded()) }
+    }
 
-        // Ingest + coordinator loop (the "recovery coordinator process").
-        {
-            let me = self.clone();
-            let stop = stop.clone();
-            handles.push(std::thread::spawn(move || {
-                while !stop.load(Ordering::Relaxed) {
-                    let moved = me.ingest_once().expect("redo ingest failed") > 0;
-                    let advanced = me.coordinator.try_advance().is_some();
-                    if !moved && !advanced {
-                        std::thread::sleep(Duration::from_micros(500));
-                    }
-                }
-            }));
-        }
-
-        // Worker loops.
-        for w in &self.workers {
-            let w = w.clone();
-            let progress = self.progress.clone();
-            let stop = stop.clone();
-            handles.push(std::thread::spawn(move || {
-                while !stop.load(Ordering::Relaxed) {
-                    let mut guard = w.lock();
-                    let n = guard.run_batch(1024).expect("redo apply failed");
-                    let (id, through) = (guard.id, guard.applied_through());
-                    drop(guard);
-                    progress.report(id, through);
-                    if n == 0 {
-                        std::thread::sleep(Duration::from_millis(1));
-                    }
-                }
-            }));
-        }
-
-        RecoveryThreads { stop, handles }
+    /// Current pipeline health (`Failed` once any stage errors or panics).
+    pub fn health(&self) -> RuntimeHealth {
+        self.runtime_metrics.health.get()
     }
 
     /// Applied SCN (the coordinator's consistency-point candidate).
@@ -271,27 +282,85 @@ impl MediaRecovery {
     }
 }
 
-/// Guard over the pipeline's background threads.
-pub struct RecoveryThreads {
-    stop: Arc<AtomicBool>,
-    handles: Vec<JoinHandle<()>>,
+/// Stage ids handed back by [`MediaRecovery::register_stages`], for wiring
+/// additional wake edges (population, cross-side tokens).
+pub struct RecoveryStageIds {
+    /// The ingest/merge/dispatch stage.
+    pub ingest: StageId,
+    /// One apply stage per recovery worker.
+    pub workers: Vec<StageId>,
+    /// The QuerySCN-advancement coordinator stage.
+    pub coordinator: StageId,
 }
 
-impl RecoveryThreads {
-    /// Signal all threads to stop and join them.
-    pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+/// Ingest/merge/dispatch as a runtime stage (metrics id `merger`). Woken by
+/// the transport sender on every shipped batch; the park hint bounds the
+/// wait for batches still in flight on a latency link.
+struct IngestStage(Arc<MediaRecovery>);
+
+impl Stage for IngestStage {
+    fn name(&self) -> &str {
+        "merger"
+    }
+
+    fn run_once(&self) -> Result<StageOutcome> {
+        Ok(if self.0.ingest_once()? > 0 { StageOutcome::Progress } else { StageOutcome::Idle })
+    }
+
+    fn park_hint(&self) -> Duration {
+        Duration::from_micros(500)
     }
 }
 
-impl Drop for RecoveryThreads {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+/// QuerySCN advancement as a runtime stage (metrics id `flush`). Woken by
+/// worker progress.
+struct CoordinatorStage(Arc<MediaRecovery>);
+
+impl Stage for CoordinatorStage {
+    fn name(&self) -> &str {
+        "flush"
+    }
+
+    fn run_once(&self) -> Result<StageOutcome> {
+        Ok(if self.0.coordinator.try_advance().is_some() {
+            StageOutcome::Progress
+        } else {
+            StageOutcome::Idle
+        })
+    }
+}
+
+/// One recovery worker's apply loop as a runtime stage (metrics id
+/// `apply.N`). Woken by the ingest stage on every dispatch.
+struct WorkerStage {
+    name: String,
+    worker: Arc<Mutex<Worker>>,
+    progress: Arc<Progress>,
+}
+
+impl Stage for WorkerStage {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run_once(&self) -> Result<StageOutcome> {
+        let mut guard = self.worker.lock();
+        let n = guard.run_batch(1024)?;
+        let (id, through) = (guard.id, guard.applied_through());
+        drop(guard);
+        self.progress.report(id, through);
+        Ok(if n > 0 { StageOutcome::Progress } else { StageOutcome::Idle })
+    }
+}
+
+/// Guard over a standalone recovery pipeline's background threads.
+pub struct RecoveryThreads {
+    inner: Option<ThreadedRuntime>,
+}
+
+impl RecoveryThreads {
+    /// Drain every stage, join the threads, and return the final health.
+    pub fn shutdown(mut self) -> RuntimeHealth {
+        self.inner.take().expect("threads joined once").shutdown()
     }
 }

@@ -16,4 +16,4 @@ pub use log_buffer::{LogBuffer, LogStats};
 pub use marker::{DdlKind, RedoMarker};
 pub use merger::LogMerger;
 pub use record::{CommitRecord, RedoPayload, RedoRecord};
-pub use transport::{redo_link, RedoReceiver, RedoSender, Shipper};
+pub use transport::{redo_link, redo_link_with_clock, RedoReceiver, RedoSender, Shipper};

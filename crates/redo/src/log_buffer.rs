@@ -10,7 +10,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use imadg_common::{RedoThreadId, Scn, ScnService};
+use imadg_common::{RedoThreadId, Scn, ScnService, WakeToken};
 use parking_lot::Mutex;
 
 use crate::record::{RedoPayload, RedoRecord};
@@ -32,6 +32,8 @@ pub struct LogBuffer {
     last_scn: AtomicU64,
     records: AtomicU64,
     bytes: AtomicU64,
+    /// Wakes the shipper stage on every append (threaded runtime).
+    waker: Mutex<Option<WakeToken>>,
 }
 
 impl LogBuffer {
@@ -43,6 +45,19 @@ impl LogBuffer {
             last_scn: AtomicU64::new(0),
             records: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
+            waker: Mutex::new(None),
+        }
+    }
+
+    /// Wake `token` whenever a record is appended, so the shipper stage
+    /// parks instead of polling.
+    pub fn set_waker(&self, token: WakeToken) {
+        *self.waker.lock() = Some(token);
+    }
+
+    fn wake(&self) {
+        if let Some(w) = self.waker.lock().as_ref() {
+            w.wake();
         }
     }
 
@@ -61,6 +76,8 @@ impl LogBuffer {
         let record = RedoRecord { thread: self.thread, scn, payload: make(scn) };
         self.account(&record);
         q.push_back(record);
+        drop(q);
+        self.wake();
         scn
     }
 
@@ -73,6 +90,8 @@ impl LogBuffer {
         }
         self.account(&record);
         q.push_back(record);
+        drop(q);
+        self.wake();
     }
 
     fn account(&self, record: &RedoRecord) {

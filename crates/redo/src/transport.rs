@@ -3,37 +3,57 @@
 //! The paper's primary ships redo over TCP/IP to a typically remote standby
 //! (§I). We model the link as an in-process channel with a configurable
 //! one-way latency; batches become visible to the receiver only after their
-//! `available_at` deadline, which reproduces shipping delay without real
-//! sockets (see DESIGN.md substitutions).
+//! `available_at_us` deadline on the link's [`Clock`], which reproduces
+//! shipping delay without real sockets (see DESIGN.md substitutions).
+//! Latency tests inject a manual clock and advance virtual time instead of
+//! sleeping the delay out.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use imadg_common::metrics::TransportMetrics;
-use imadg_common::{Error, Result, Scn};
+use imadg_common::{Clock, Error, Result, Scn, WakeToken};
 
 use crate::log_buffer::LogBuffer;
 use crate::record::{RedoPayload, RedoRecord};
 
 struct Batch {
     records: Vec<RedoRecord>,
-    available_at: Instant,
+    /// Clock micros at which the batch becomes deliverable.
+    available_at_us: u64,
 }
 
 /// Sending half of a redo link.
 #[derive(Clone)]
 pub struct RedoSender {
     tx: Sender<Batch>,
-    latency: Duration,
+    latency_us: u64,
+    clock: Clock,
+    /// Wakes the receiving stage on every send (threaded runtime). Shared
+    /// across clones so the standby can install it after link creation.
+    waker: Arc<parking_lot::Mutex<Option<WakeToken>>>,
 }
 
 impl RedoSender {
+    /// Wake `token` whenever a batch is shipped, so the standby's ingest
+    /// stage parks instead of polling.
+    pub fn set_waker(&self, token: WakeToken) {
+        *self.waker.lock() = Some(token);
+    }
+
     /// Ship a batch of records.
     pub fn send(&self, records: Vec<RedoRecord>) -> Result<()> {
         self.tx
-            .send(Batch { records, available_at: Instant::now() + self.latency })
-            .map_err(|_| Error::TransportClosed)
+            .send(Batch {
+                records,
+                available_at_us: self.clock.now_micros().saturating_add(self.latency_us),
+            })
+            .map_err(|_| Error::TransportClosed)?;
+        if let Some(w) = self.waker.lock().as_ref() {
+            w.wake();
+        }
+        Ok(())
     }
 }
 
@@ -41,6 +61,7 @@ impl RedoSender {
 /// log merger pump.
 pub struct RedoReceiver {
     rx: Receiver<Batch>,
+    clock: Clock,
     /// A batch whose latency deadline has not yet passed.
     pending: Option<Batch>,
 }
@@ -57,7 +78,7 @@ impl RedoReceiver {
                 Err(TryRecvError::Disconnected) => return Err(Error::TransportClosed),
             },
         };
-        if batch.available_at <= Instant::now() {
+        if batch.available_at_us <= self.clock.now_micros() {
             Ok(Some(batch.records))
         } else {
             self.pending = Some(batch);
@@ -75,10 +96,24 @@ impl RedoReceiver {
     }
 }
 
-/// Create a redo link with the given one-way latency.
+/// Create a redo link with the given one-way latency on the real clock.
 pub fn redo_link(latency: Duration) -> (RedoSender, RedoReceiver) {
+    redo_link_with_clock(latency, Clock::Real)
+}
+
+/// Create a redo link measuring its latency against an injected clock
+/// (virtual time in tests).
+pub fn redo_link_with_clock(latency: Duration, clock: Clock) -> (RedoSender, RedoReceiver) {
     let (tx, rx) = unbounded();
-    (RedoSender { tx, latency }, RedoReceiver { rx, pending: None })
+    (
+        RedoSender {
+            tx,
+            latency_us: latency.as_micros().min(u128::from(u64::MAX)) as u64,
+            clock: clock.clone(),
+            waker: Arc::default(),
+        },
+        RedoReceiver { rx, clock, pending: None },
+    )
 }
 
 /// The shipping process of one redo thread: drains the log buffer into the
@@ -180,11 +215,24 @@ mod tests {
 
     #[test]
     fn latency_delays_delivery() {
-        let (tx, mut rx) = redo_link(Duration::from_millis(30));
+        // Virtual time: no wall-clock sleeping, no flake.
+        let clock = Clock::manual();
+        let (tx, mut rx) = redo_link_with_clock(Duration::from_millis(30), clock.clone());
         tx.send(vec![hb(1)]).unwrap();
         assert!(rx.try_recv().unwrap().is_none(), "not deliverable yet");
-        std::thread::sleep(Duration::from_millis(40));
+        clock.advance(Duration::from_millis(29));
+        assert!(rx.try_recv().unwrap().is_none(), "still in flight");
+        clock.advance(Duration::from_millis(1));
         assert_eq!(rx.try_recv().unwrap().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn sender_wakes_receiver_token() {
+        let (tx, _rx) = redo_link(Duration::ZERO);
+        let token = WakeToken::new();
+        tx.set_waker(token.clone());
+        tx.send(vec![hb(1)]).unwrap();
+        assert!(token.park(Duration::from_secs(5)), "send latched a wake");
     }
 
     #[test]

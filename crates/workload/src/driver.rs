@@ -12,7 +12,10 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use imadg_common::{CpuReport, Error, LatencyStats, ObjectId, Result, TenantId};
+use imadg_common::{
+    CpuReport, Error, LatencyStats, ObjectId, Result, Runtime, RuntimeMetrics, Stage, StageOutcome,
+    TenantId,
+};
 use imadg_db::{AdgCluster, Value};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
@@ -77,6 +80,10 @@ struct SharedStats {
 
 /// Run the workload against a started cluster. The caller is responsible
 /// for loading the table and starting the cluster threads beforehand.
+///
+/// Each client is a [`Stage`] on its own runtime: the scheduler parks it
+/// until the next paced tick (no sleep-polling), and a client error or
+/// panic trips the runtime health instead of unwinding a raw thread.
 pub fn run_oltap(
     cluster: &Arc<AdgCluster>,
     object: ObjectId,
@@ -90,38 +97,104 @@ pub fn run_oltap(
     let started = Instant::now();
     let deadline = started + cfg.duration;
 
-    let mut handles = Vec::new();
+    let metrics = Arc::new(RuntimeMetrics::default());
+    let mut rt = Runtime::new();
     for t in 0..cfg.threads {
-        let cluster = cluster.clone();
-        let shared = shared.clone();
-        let next_key = next_key.clone();
-        let cfg = cfg.clone();
-        handles.push(std::thread::spawn(move || -> Result<()> {
-            let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(t as u64 * 7919));
-            let mut next = Instant::now();
-            let mut scan_flip = t % 2 == 0;
-            while Instant::now() < deadline {
-                let now = Instant::now();
-                if now < next {
-                    std::thread::sleep(next - now);
-                } else if now - next > Duration::from_millis(100) {
-                    // Fell far behind (slow scans without DBIM): shed the
-                    // debt instead of bursting — throughput drops, which is
-                    // exactly the backpressure effect the paper describes.
-                    next = now;
-                }
-                next += interval;
-                run_op(&cluster, object, &cfg, &mut rng, &mut scan_flip, &next_key, &shared)?;
-                shared.ops.fetch_add(1, Ordering::Relaxed);
-            }
-            Ok(())
-        }));
+        let name = format!("client.{t}");
+        rt.register(
+            Arc::new(ClientStage {
+                name: name.clone(),
+                cluster: cluster.clone(),
+                object,
+                cfg: cfg.clone(),
+                interval,
+                deadline,
+                next_key: next_key.clone(),
+                shared: shared.clone(),
+                state: Mutex::new(ClientState {
+                    rng: SmallRng::seed_from_u64(cfg.seed.wrapping_add(t as u64 * 7919)),
+                    next: Instant::now(),
+                    scan_flip: t % 2 == 0,
+                }),
+            }),
+            metrics.stage(&name),
+        );
     }
-    for h in handles {
-        h.join().expect("workload thread panicked")?;
+    // Every client reaches Shutdown at the deadline; join returns the
+    // first failure (if any) instead of a panicking `.expect`.
+    let health = rt.start_threaded().join();
+    if let Some(f) = health.failure() {
+        return Err(Error::StageFailed { stage: f.stage.clone(), reason: f.reason.clone() });
     }
     let wall = started.elapsed();
     Ok(collect_metrics(cluster, cfg, &shared, wall))
+}
+
+/// Mutable pacing state of one workload client, behind a lock so the
+/// stage stays `Sync` (only its scheduler thread ever takes it).
+struct ClientState {
+    rng: SmallRng,
+    next: Instant,
+    scan_flip: bool,
+}
+
+/// One paced workload client as a runtime stage.
+struct ClientStage {
+    name: String,
+    cluster: Arc<AdgCluster>,
+    object: ObjectId,
+    cfg: OltapConfig,
+    interval: Duration,
+    deadline: Instant,
+    next_key: Arc<AtomicI64>,
+    shared: Arc<SharedStats>,
+    state: Mutex<ClientState>,
+}
+
+impl Stage for ClientStage {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run_once(&self) -> Result<StageOutcome> {
+        let now = Instant::now();
+        if now >= self.deadline {
+            return Ok(StageOutcome::Shutdown);
+        }
+        let mut st = self.state.lock();
+        if now < st.next {
+            // Not yet due: park until the next tick (see `park_hint`).
+            return Ok(StageOutcome::Idle);
+        }
+        if now - st.next > Duration::from_millis(100) {
+            // Fell far behind (slow scans without DBIM): shed the debt
+            // instead of bursting — throughput drops, which is exactly
+            // the backpressure effect the paper describes.
+            st.next = now;
+        }
+        st.next += self.interval;
+        let ClientState { rng, scan_flip, .. } = &mut *st;
+        run_op(
+            &self.cluster,
+            self.object,
+            &self.cfg,
+            rng,
+            scan_flip,
+            &self.next_key,
+            &self.shared,
+        )?;
+        self.shared.ops.fetch_add(1, Ordering::Relaxed);
+        Ok(StageOutcome::Progress)
+    }
+
+    fn park_hint(&self) -> Duration {
+        // Park until the next paced tick or the deadline, whichever is
+        // sooner; clamp so a long interval still re-checks the deadline.
+        let until = self.state.lock().next.min(self.deadline);
+        until
+            .saturating_duration_since(Instant::now())
+            .clamp(Duration::from_micros(50), Duration::from_millis(1))
+    }
 }
 
 fn run_op(

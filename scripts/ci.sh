@@ -19,6 +19,16 @@ cargo clippy --workspace -q -- -D warnings
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+# Scheduler gates, run explicitly (and by name) even though --workspace
+# already includes them: a pinned-seed interleaving stress of the full
+# pipeline (P1/P2/P5 + determinism + failure surfacing) and a threaded
+# smoke (start → burst → drain → clean shutdown, no leaked threads).
+echo "==> interleaving stress (pinned seeds)"
+cargo test -p imadg-db --test interleavings -q
+
+echo "==> threaded smoke (start/burst/drain/shutdown)"
+cargo test -p imadg-db --test threaded_smoke -q
+
 if [[ "$fast" == 0 ]]; then
     echo "==> cargo build --release"
     cargo build --workspace --release -q

@@ -156,7 +156,8 @@ proptest! {
             queues.push(tx);
             receivers.push(rx);
         }
-        let mut dispatcher = Dispatcher::new(queues);
+        let mut dispatcher =
+            Dispatcher::new(queues, std::sync::Arc::new(imadg::storage::Store::new()));
         let records: Vec<RedoRecord> = cvs
             .iter()
             .enumerate()
