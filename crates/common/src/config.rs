@@ -106,7 +106,66 @@ impl ImcsConfig {
     }
 }
 
-/// Redo shipping transport configuration (simulated network).
+/// How redo travels from a primary instance to the standby.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkMode {
+    /// Lossless in-process channel (the original substitution; fastest).
+    #[default]
+    InProcess,
+    /// Framed link over an in-process byte pipe: length-prefixed,
+    /// checksummed, sequence-numbered frames with gap detection and
+    /// NAK/retransmission. The [`FaultPlan`] injects loss here.
+    Framed,
+    /// Framed link over a loopback TCP socket with heartbeat liveness and
+    /// reconnect backoff (the paper's deployment shape, §I).
+    Tcp,
+}
+
+/// A seeded fault-injection plan for a framed redo link. Probabilities are
+/// expressed per mille so the plan stays exactly reproducible from its
+/// seed; windows count link *ticks* (one tick per frame sent or service
+/// call), keeping the plan deterministic under the step scheduler.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// PRNG seed for every per-frame decision.
+    pub seed: u64,
+    /// Probability (‰) that a frame is silently dropped.
+    pub drop_per_mille: u32,
+    /// Probability (‰) that a frame is delivered twice.
+    pub duplicate_per_mille: u32,
+    /// Max frames a held frame may be reordered behind (0 = no reorder).
+    pub reorder_window: u32,
+    /// Extra ticks every frame is held before delivery (0 = none).
+    pub delay_ticks: u32,
+    /// Every `partition_every` ticks the link drops everything for
+    /// `partition_ticks` ticks (0 = never partition).
+    pub partition_every: u64,
+    /// Length of each partition window, in ticks.
+    pub partition_ticks: u64,
+    /// Every `disconnect_every` ticks the link "drops carrier": frames in
+    /// flight are lost and a reconnect is counted (0 = never).
+    pub disconnect_every: u64,
+}
+
+impl FaultPlan {
+    /// Validate the knobs.
+    pub fn validate(&self) -> Result<()> {
+        if self.drop_per_mille > 1000 || self.duplicate_per_mille > 1000 {
+            return Err(Error::Config("fault probabilities are per mille (0..=1000)".into()));
+        }
+        if self.drop_per_mille == 1000 {
+            return Err(Error::Config("dropping every frame can never converge".into()));
+        }
+        if self.partition_every > 0 && self.partition_ticks >= self.partition_every {
+            return Err(Error::Config(
+                "partition_ticks must be shorter than partition_every".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Redo shipping transport configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TransportConfig {
     /// One-way latency added to every shipped redo batch.
@@ -116,11 +175,57 @@ pub struct TransportConfig {
     /// Batch size for RAC invalidation-group messages from the standby
     /// master to non-master instances (paper §III.F).
     pub invalidation_batch: usize,
+    /// How redo travels to the standby.
+    pub mode: LinkMode,
+    /// Fault injection for framed links (`None` = clean link).
+    pub faults: Option<FaultPlan>,
+    /// Max sent frames retained on the primary for serving NAKs — the
+    /// bounded retained-redo window modelling gap resolution from
+    /// online/archived logs.
+    pub retained_window: usize,
+    /// Receiver polls between NAK retries while a gap stays open.
+    pub nak_retry_polls: u32,
+    /// Sender service calls with outstanding unACKed frames and no control
+    /// traffic before a liveness ping is sent.
+    pub ping_idle_polls: u32,
 }
 
 impl Default for TransportConfig {
     fn default() -> Self {
-        TransportConfig { latency: Duration::ZERO, batch: 512, invalidation_batch: 64 }
+        TransportConfig {
+            latency: Duration::ZERO,
+            batch: 512,
+            invalidation_batch: 64,
+            mode: LinkMode::InProcess,
+            faults: None,
+            retained_window: 4096,
+            nak_retry_polls: 8,
+            ping_idle_polls: 16,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// Validate the knobs.
+    pub fn validate(&self) -> Result<()> {
+        if self.batch == 0 || self.invalidation_batch == 0 {
+            return Err(Error::Config("transport batch sizes must be > 0".into()));
+        }
+        if self.retained_window == 0 {
+            return Err(Error::Config("retained_window must be > 0".into()));
+        }
+        if self.nak_retry_polls == 0 || self.ping_idle_polls == 0 {
+            return Err(Error::Config("protocol poll cadences must be > 0".into()));
+        }
+        if let Some(f) = &self.faults {
+            f.validate()?;
+            if self.mode == LinkMode::InProcess {
+                return Err(Error::Config(
+                    "fault injection requires a framed link (mode Framed or Tcp)".into(),
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -139,7 +244,8 @@ impl SystemConfig {
     /// Validate all sections.
     pub fn validate(&self) -> Result<()> {
         self.recovery.validate()?;
-        self.imcs.validate()
+        self.imcs.validate()?;
+        self.transport.validate()
     }
 }
 
@@ -170,6 +276,32 @@ mod tests {
     fn zero_buckets_rejected() {
         let mut c = ImcsConfig::default();
         c.journal_buckets = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn faults_on_inprocess_link_rejected() {
+        let mut c = TransportConfig::default();
+        c.faults = Some(FaultPlan::default());
+        assert!(c.validate().is_err());
+        c.mode = LinkMode::Framed;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_fault_plan_rejected() {
+        let mut c = TransportConfig { mode: LinkMode::Framed, ..TransportConfig::default() };
+        c.faults = Some(FaultPlan { drop_per_mille: 1000, ..FaultPlan::default() });
+        assert!(c.validate().is_err());
+        c.faults =
+            Some(FaultPlan { partition_every: 4, partition_ticks: 4, ..FaultPlan::default() });
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_retained_window_rejected() {
+        let mut c = TransportConfig::default();
+        c.retained_window = 0;
         assert!(c.validate().is_err());
     }
 

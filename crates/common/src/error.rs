@@ -41,6 +41,8 @@ pub enum Error {
     NotPopulated(ObjectId),
     /// Transport endpoint disconnected.
     TransportClosed,
+    /// A wire frame failed checksum or structural decoding.
+    WireCorrupt(String),
     /// Configuration rejected.
     Config(String),
     /// A pipeline stage failed (error or panic); recorded by the runtime
@@ -77,6 +79,7 @@ impl fmt::Display for Error {
             Error::NoQueryScn => write!(f, "no QuerySCN published yet"),
             Error::NotPopulated(o) => write!(f, "object {o:?} not populated in the IMCS"),
             Error::TransportClosed => write!(f, "redo transport closed"),
+            Error::WireCorrupt(msg) => write!(f, "corrupt wire frame: {msg}"),
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
             Error::StageFailed { stage, reason } => {
                 write!(f, "pipeline stage `{stage}` failed: {reason}")

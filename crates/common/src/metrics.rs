@@ -226,7 +226,10 @@ impl HistogramSnapshot {
 // Stage metrics
 // ---------------------------------------------------------------------------
 
-/// Redo transport (primary-side shipping).
+/// Redo transport. The primary side updates the shipping counters; on a
+/// framed/TCP link the standby side updates the gap-resolution counters
+/// (gaps, retransmits received, NAKs, duplicates) and the primary side the
+/// link-maintenance ones (retransmits served, reconnects, pings).
 #[derive(Debug, Default)]
 pub struct TransportMetrics {
     /// Data records shipped to the standby (heartbeats excluded).
@@ -239,6 +242,25 @@ pub struct TransportMetrics {
     pub batches_shipped: Counter,
     /// Records still buffered in the log buffer (sampled).
     pub queue_depth: Gauge,
+    /// Wire frames sent on a framed link (data + control).
+    pub frames_sent: Counter,
+    /// Wire frames received on a framed link (data + control).
+    pub frames_received: Counter,
+    /// Sequence gaps detected by the receiver (one per missing frame).
+    pub gaps_detected: Counter,
+    /// Gaps closed by a retransmitted frame arriving.
+    pub gaps_resolved: Counter,
+    /// Retransmitted data frames (served on the primary, received on the
+    /// standby — both sides count into their own registry).
+    pub retransmits: Counter,
+    /// NAK frames sent by the receiver to request retransmission.
+    pub naks_sent: Counter,
+    /// Duplicate data frames dropped by the receiver (exactly-once).
+    pub duplicates_dropped: Counter,
+    /// Link reconnects (TCP backoff cycles, injected disconnects).
+    pub reconnects: Counter,
+    /// Link-level liveness pings sent while the sender awaits ACKs.
+    pub link_pings: Counter,
 }
 
 impl TransportMetrics {
@@ -250,6 +272,15 @@ impl TransportMetrics {
             heartbeats: self.heartbeats.get(),
             batches_shipped: self.batches_shipped.get(),
             queue_depth: self.queue_depth.get(),
+            frames_sent: self.frames_sent.get(),
+            frames_received: self.frames_received.get(),
+            gaps_detected: self.gaps_detected.get(),
+            gaps_resolved: self.gaps_resolved.get(),
+            retransmits: self.retransmits.get(),
+            naks_sent: self.naks_sent.get(),
+            duplicates_dropped: self.duplicates_dropped.get(),
+            reconnects: self.reconnects.get(),
+            link_pings: self.link_pings.get(),
         }
     }
 }
@@ -267,6 +298,24 @@ pub struct TransportSnapshot {
     pub batches_shipped: u64,
     /// Sampled log-buffer depth.
     pub queue_depth: u64,
+    /// Wire frames sent (framed links).
+    pub frames_sent: u64,
+    /// Wire frames received (framed links).
+    pub frames_received: u64,
+    /// Sequence gaps detected.
+    pub gaps_detected: u64,
+    /// Gaps resolved by retransmission.
+    pub gaps_resolved: u64,
+    /// Retransmitted frames (served or received, per side).
+    pub retransmits: u64,
+    /// NAK frames sent.
+    pub naks_sent: u64,
+    /// Duplicate frames dropped.
+    pub duplicates_dropped: u64,
+    /// Link reconnects.
+    pub reconnects: u64,
+    /// Liveness pings sent.
+    pub link_pings: u64,
 }
 
 /// Standby log merger.
@@ -968,11 +1017,19 @@ impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "transport: records_shipped={} bytes_shipped={} heartbeats={} queue_depth={}",
+            "transport: records_shipped={} bytes_shipped={} heartbeats={} queue_depth={} \
+             gaps_detected={} gaps_resolved={} retransmits={} naks_sent={} dups_dropped={} \
+             reconnects={}",
             self.transport.records_shipped,
             self.transport.bytes_shipped,
             self.transport.heartbeats,
             self.transport.queue_depth,
+            self.transport.gaps_detected,
+            self.transport.gaps_resolved,
+            self.transport.retransmits,
+            self.transport.naks_sent,
+            self.transport.duplicates_dropped,
+            self.transport.reconnects,
         )?;
         writeln!(
             f,
@@ -1137,6 +1194,9 @@ mod tests {
         let reg = MetricsRegistry::default();
         reg.transport.records_shipped.add(10);
         reg.transport.bytes_shipped.add(4096);
+        reg.transport.gaps_detected.add(3);
+        reg.transport.gaps_resolved.add(3);
+        reg.transport.retransmits.add(2);
         reg.merger.records_merged.add(10);
         reg.apply.records_dispatched.add(10);
         reg.apply.worker_counter(1).add(6);
@@ -1152,6 +1212,9 @@ mod tests {
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
         assert_eq!(back.transport.records_shipped, 10);
+        assert_eq!(back.transport.gaps_detected, 3);
+        assert_eq!(back.transport.retransmits, 2);
+        assert!(snap.to_string().contains("gaps_detected=3"));
         assert_eq!(back.apply.worker_cvs, vec![0, 6]);
         assert_eq!(back.trace[0].stage, TraceStage::Advance);
         // Display covers every stage line.

@@ -4,10 +4,11 @@
 use std::sync::Arc;
 
 use imadg_common::{
-    Error, InstanceId, ObjectId, RedoThreadId, Result, Runtime, RuntimeHealth, ScnService,
+    Clock, Error, InstanceId, ObjectId, RedoThreadId, Result, Runtime, RuntimeHealth, ScnService,
     StepScheduler, SystemConfig, ThreadedRuntime,
 };
-use imadg_redo::{redo_link, LogBuffer};
+use imadg_net::build_link;
+use imadg_redo::LogBuffer;
 use imadg_storage::{DbaAllocator, Store, TableSpec};
 use imadg_txn::{InMemoryRegistry, LockTable, TxnIdService, TxnManager};
 use parking_lot::RwLock;
@@ -74,7 +75,16 @@ impl AdgCluster {
         let mut primaries = Vec::with_capacity(spec.primary_instances);
         let mut receivers = Vec::with_capacity(spec.primary_instances);
         for i in 0..spec.primary_instances {
-            let (sender, receiver) = redo_link(spec.config.transport.latency);
+            // One link per redo thread, in the configured mode. The fault
+            // seed decorrelates per-link chaos streams in multi-primary
+            // topologies while keeping the whole schedule deterministic.
+            let (sender, receiver) = build_link(
+                spec.config.transport.mode,
+                RedoThreadId(i as u8 + 1),
+                &spec.config.transport,
+                Clock::Real,
+                i as u64,
+            )?;
             receivers.push(receiver);
             let log = Arc::new(LogBuffer::new(RedoThreadId(i as u8 + 1)));
             let mut txm = TxnManager::new(
@@ -189,15 +199,29 @@ impl AdgCluster {
 
     /// Deterministic full synchronization (step mode): ship redo, apply it,
     /// advance the QuerySCN, and run population to a fixed point.
+    ///
+    /// On a lossy or latent link, "shipped nothing and populated nothing"
+    /// is not quiescence: frames may still be unacked on the primary side
+    /// or sitting in a receiver gap awaiting retransmission. Each loop
+    /// iteration runs a shipper service quantum (inside `ship_redo`) and a
+    /// full standby pump, which is exactly the polling the NAK/ping
+    /// protocol needs to converge.
     pub fn sync(&self) -> Result<()> {
         let standby = self.standby();
         loop {
             let shipped = self.ship_redo()?;
             standby.pump_until_idle()?;
             let populated = standby.populate_until_idle()?;
+            let pending = self.primaries.iter().any(|p| p.transport_pending())
+                || standby.recovery.transport_pending();
             // Population may race new shipping in tests; loop until stable.
             if shipped == 0 && !populated.any() {
-                return Ok(());
+                if !pending {
+                    return Ok(());
+                }
+                // Real-time media (TCP, latent channels) needs wall-clock
+                // progress, not just polling.
+                std::thread::yield_now();
             }
         }
     }

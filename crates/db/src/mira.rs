@@ -35,7 +35,7 @@ use imadg_common::{
 use imadg_core::{DbimAdg, HomeLocationMap, LocalFlushTarget};
 use imadg_imcs::{Filter, ImcsStore, PopulationEngine, PopulationReport, SnapshotSource};
 use imadg_recovery::{AdvanceHook, MediaRecovery, NoopAdvanceHook};
-use imadg_redo::{redo_link, LogMerger, RedoPayload, RedoReceiver, RedoRecord, RedoSender};
+use imadg_redo::{redo_link, LogMerger, RedoPayload, RedoRecord, RedoSender, RedoSource};
 use imadg_storage::Store;
 use parking_lot::Mutex;
 
@@ -62,7 +62,7 @@ pub struct MiraInstance {
 
 /// The demux: merged redo → per-instance streams.
 struct ApplyDemux {
-    receivers: Vec<RedoReceiver>,
+    receivers: Vec<Box<dyn RedoSource>>,
     merger: LogMerger,
     home: HomeLocationMap,
     outs: Vec<RedoSender>,
@@ -150,7 +150,7 @@ impl MiraStandby {
     pub fn new(
         config: &SystemConfig,
         store: Arc<Store>,
-        receivers: Vec<RedoReceiver>,
+        receivers: Vec<Box<dyn RedoSource>>,
         instances: usize,
     ) -> Result<Arc<MiraStandby>> {
         config.validate()?;
@@ -181,7 +181,7 @@ impl MiraStandby {
             let recovery = MediaRecovery::new(
                 &config.recovery,
                 store.clone(),
-                vec![rx],
+                vec![Box::new(rx) as Box<dyn RedoSource>],
                 vec![adg.observer()],
                 Some(adg.coop_helper()),
                 Arc::new(NoopAdvanceHook),

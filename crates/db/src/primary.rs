@@ -9,7 +9,7 @@ use imadg_common::{
     Runtime, Scn, ScnService, Stage, StageId, StageOutcome, TenantId, TransportConfig, WakeToken,
 };
 use imadg_imcs::{Filter, ImcsStore, PopulationEngine, SnapshotSource};
-use imadg_redo::{LogBuffer, RedoSender, Shipper};
+use imadg_redo::{LogBuffer, RedoSink, Shipper};
 use imadg_storage::{Row, RowLoc, Store};
 use imadg_txn::TxnManager;
 
@@ -26,7 +26,7 @@ pub struct PrimaryInstance {
     scns: Arc<ScnService>,
     log: Arc<LogBuffer>,
     shipper: Shipper,
-    sender: RedoSender,
+    sender: Box<dyn RedoSink>,
     /// This instance's column store (primary-side DBIM).
     pub imcs: Arc<ImcsStore>,
     /// This instance's population engine.
@@ -48,11 +48,14 @@ impl PrimaryInstance {
         txm: TxnManager,
         scns: Arc<ScnService>,
         log: Arc<LogBuffer>,
-        sender: RedoSender,
+        sender: Box<dyn RedoSink>,
         transport: &TransportConfig,
         imcs_config: &ImcsConfig,
     ) -> Result<PrimaryInstance> {
         let metrics = Arc::new(MetricsRegistry::default());
+        // Sender-side link counters (frames sent, retransmits served,
+        // reconnects, pings) land in this instance's registry.
+        sender.bind_metrics(metrics.transport.clone());
         let imcs = Arc::new(ImcsStore::new());
         let mut population = PopulationEngine::new(
             store.clone(),
@@ -95,12 +98,24 @@ impl PrimaryInstance {
     /// Ship all buffered redo to the standby (step mode). Emits a
     /// heartbeat when the buffer was idle.
     pub fn ship_redo(&self) -> Result<usize> {
-        self.shipper.ship_all(&self.log, &self.sender, self.scns.current())
+        self.shipper.ship_all(&self.log, self.sender.as_ref(), self.scns.current())
     }
 
     /// Ship one batch (threaded shipper loop).
     pub fn ship_once(&self) -> Result<usize> {
-        self.shipper.ship_once(&self.log, &self.sender, self.scns.current())
+        self.shipper.ship_once(&self.log, self.sender.as_ref(), self.scns.current())
+    }
+
+    /// Run one quantum of link protocol work (ACK/NAK processing,
+    /// retransmits, liveness pings). Returns whether anything moved.
+    pub fn transport_service(&self) -> Result<bool> {
+        self.sender.service()
+    }
+
+    /// Whether this instance's link still has frames in flight or unacked
+    /// (quiesce must wait for them).
+    pub fn transport_pending(&self) -> bool {
+        self.sender.pending()
     }
 
     /// Execute a [`QueryRequest`] on this instance. Defaults to the
@@ -217,7 +232,11 @@ impl Stage for ShipperStage {
     }
 
     fn run_once(&self) -> Result<StageOutcome> {
-        Ok(if self.0.ship_once()? > 0 { StageOutcome::Progress } else { StageOutcome::Idle })
+        let shipped = self.0.ship_once()?;
+        // Protocol work (a retransmit served, a ping sent) is progress too:
+        // gap resolution must not stall behind an idle log buffer.
+        let serviced = self.0.transport_service()?;
+        Ok(if shipped > 0 || serviced { StageOutcome::Progress } else { StageOutcome::Idle })
     }
 
     fn park_hint(&self) -> Duration {

@@ -17,7 +17,7 @@ use imadg_imcs::{
     SnapshotSource,
 };
 use imadg_recovery::{MediaRecovery, NoopAdvanceHook, RecoveryStageIds};
-use imadg_redo::RedoReceiver;
+use imadg_redo::RedoSource;
 use imadg_storage::{Row, RowLoc, Store};
 
 use crate::query::{execute_request, QueryOutput, QueryRequest};
@@ -112,7 +112,7 @@ impl StandbyCluster {
     pub fn new(
         config: &SystemConfig,
         store: Arc<Store>,
-        receivers: Vec<RedoReceiver>,
+        mut receivers: Vec<Box<dyn RedoSource>>,
         instances: usize,
         dbim_on_adg: bool,
     ) -> Result<Arc<StandbyCluster>> {
@@ -122,6 +122,12 @@ impl StandbyCluster {
         let quiesce = Arc::new(QuiesceLock::new());
         let enabled = Arc::new(ObjectSet::new());
         let metrics = Arc::new(MetricsRegistry::default());
+        // Receiver-side link counters (gaps detected/resolved, NAKs sent,
+        // duplicates dropped) land in the standby's registry. Rebinding on
+        // restart is deliberate: a fresh standby starts fresh counters.
+        for rx in &mut receivers {
+            rx.bind_metrics(metrics.transport.clone());
+        }
 
         // Per-instance column stores; IMCUs distribute by home location.
         let ids: Vec<InstanceId> = (0..instances).map(|i| InstanceId(i as u8)).collect();

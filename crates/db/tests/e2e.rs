@@ -440,6 +440,36 @@ fn shipping_latency_delays_visibility() {
     assert_eq!(out.count(), 10);
 }
 
+/// A latent link must not wake the standby's ingest stage at send time —
+/// the batch only becomes deliverable `latency` later, so an immediate
+/// wake is spurious (the stage would poll, find nothing due, and park
+/// again). The fix: the sender skips the wake for latent batches and the
+/// ingest stage's park hint re-arms at the next delivery deadline.
+#[test]
+fn latent_link_never_spuriously_wakes_ingest() {
+    let mut spec = ClusterSpec::default();
+    spec.config.transport.latency = std::time::Duration::from_millis(10);
+    let c = cluster(spec);
+    let threads = c.start();
+    seed(&c, 0, 50);
+    let final_scn = c.primary().current_scn();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    while !c.standby().query_scn.get().is_some_and(|q| q >= final_scn) {
+        assert!(std::time::Instant::now() < deadline, "standby failed to catch up");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    // Snapshot before shutdown: stopping the runtime broadcasts one final
+    // wake to every parked stage, which would count here.
+    let m = c.standby().metrics();
+    drop(threads);
+    let ingest = m.runtime.stages.iter().find(|s| s.stage == "merger").unwrap();
+    assert!(ingest.parks > 0, "ingest parked while batches were in flight");
+    assert_eq!(
+        ingest.wakeups, 0,
+        "every send on a latent link woke ingest before its delivery deadline"
+    );
+}
+
 #[test]
 fn no_inmemory_marker_drops_standby_units() {
     let c = cluster(ClusterSpec::default());

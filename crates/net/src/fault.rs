@@ -1,0 +1,298 @@
+//! Seeded fault injection below the reliable layer.
+//!
+//! [`FaultInjector`] wraps any [`FrameTx`] and perturbs the frame stream
+//! according to a [`FaultPlan`]: drop, duplicate, reorder, delay, periodic
+//! partitions, and carrier drops. Every decision comes from a splitmix64
+//! stream seeded by the plan, and all windows are measured in link *ticks*
+//! (one tick per `send` or `service` call), so a chaos schedule replays
+//! bit-for-bit under the deterministic step scheduler — no wall clock, no
+//! global RNG.
+//!
+//! The injector sits *below* sequencing: the reliable sender has already
+//! numbered and retained every frame, so whatever the injector mangles is
+//! recovered by NAK/retransmission above. Injecting here (rather than on
+//! records) is what makes the gap-resolution protocol the thing under test.
+
+use std::sync::Arc;
+
+use imadg_common::config::FaultPlan;
+use imadg_common::metrics::TransportMetrics;
+use imadg_common::{Result, WakeToken};
+use parking_lot::Mutex;
+
+use crate::pipe::FrameTx;
+
+/// Splitmix64: tiny, seedable, and good enough to decorrelate fault
+/// decisions. Local so the injector never perturbs any other RNG stream.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// True with probability `per_mille`/1000.
+    fn chance(&mut self, per_mille: u32) -> bool {
+        per_mille > 0 && self.below(1000) < u64::from(per_mille)
+    }
+}
+
+struct Held {
+    release_tick: u64,
+    /// Insertion order: ties on `release_tick` deliver in send order.
+    ord: u64,
+    frame: Vec<u8>,
+}
+
+struct State {
+    rng: Mix,
+    tick: u64,
+    next_ord: u64,
+    held: Vec<Held>,
+    metrics: Arc<TransportMetrics>,
+}
+
+/// A composable [`FrameTx`] wrapper injecting seeded faults.
+pub struct FaultInjector {
+    inner: Box<dyn FrameTx>,
+    plan: FaultPlan,
+    state: Mutex<State>,
+}
+
+impl FaultInjector {
+    /// Wrap `inner`, perturbing its frame stream per `plan`.
+    pub fn new(inner: Box<dyn FrameTx>, plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            inner,
+            state: Mutex::new(State {
+                rng: Mix(plan.seed ^ 0xfa_17_1e_57),
+                tick: 0,
+                next_ord: 0,
+                held: Vec::new(),
+                metrics: Arc::default(),
+            }),
+            plan,
+        }
+    }
+
+    /// Attach metrics for injector-visible events (carrier drops).
+    pub fn bind_metrics(&self, metrics: Arc<TransportMetrics>) {
+        self.state.lock().metrics = metrics;
+    }
+
+    fn partitioned(&self, tick: u64) -> bool {
+        self.plan.partition_every > 0
+            && (tick % self.plan.partition_every) < self.plan.partition_ticks
+    }
+
+    /// Advance the tick, apply tick-edge faults (carrier drop), then
+    /// forward every held frame that has come due. Returns whether any
+    /// frame reached the medium.
+    fn tick_and_release(&self, s: &mut State) -> Result<bool> {
+        s.tick += 1;
+        if self.plan.disconnect_every > 0 && s.tick.is_multiple_of(self.plan.disconnect_every) {
+            // Carrier drop: everything in flight is lost; the reliable
+            // layer reconnects logically and recovers via NAK.
+            s.held.clear();
+            s.metrics.reconnects.inc();
+        }
+        let due: Vec<usize> = (0..s.held.len())
+            .filter(|&i| s.held[i].release_tick <= s.tick && !self.partitioned(s.tick))
+            .collect();
+        if due.is_empty() {
+            return Ok(false);
+        }
+        let mut out: Vec<Held> = Vec::with_capacity(due.len());
+        for &i in due.iter().rev() {
+            out.push(s.held.swap_remove(i));
+        }
+        out.sort_by_key(|h| (h.release_tick, h.ord));
+        for h in out {
+            self.inner.send(h.frame)?;
+        }
+        Ok(true)
+    }
+}
+
+impl FrameTx for FaultInjector {
+    fn send(&self, frame: Vec<u8>) -> Result<()> {
+        let mut s = self.state.lock();
+        let s = &mut *s;
+        let tick = s.tick + 1;
+        let dropped = self.partitioned(tick) || s.rng.chance(self.plan.drop_per_mille);
+        if !dropped {
+            let copies = if s.rng.chance(self.plan.duplicate_per_mille) { 2 } else { 1 };
+            for _ in 0..copies {
+                let jitter = if self.plan.reorder_window > 0 {
+                    s.rng.below(u64::from(self.plan.reorder_window) + 1)
+                } else {
+                    0
+                };
+                let ord = s.next_ord;
+                s.next_ord += 1;
+                s.held.push(Held {
+                    release_tick: tick + u64::from(self.plan.delay_ticks) + jitter,
+                    ord,
+                    frame: frame.clone(),
+                });
+            }
+        }
+        self.tick_and_release(s)?;
+        Ok(())
+    }
+
+    fn service(&self) -> Result<bool> {
+        let mut s = self.state.lock();
+        let s = &mut *s;
+        let released = self.tick_and_release(s)?;
+        Ok(released || self.inner.service()?)
+    }
+
+    fn in_flight(&self) -> bool {
+        !self.state.lock().held.is_empty() || self.inner.in_flight()
+    }
+
+    fn set_waker(&self, token: WakeToken) {
+        self.inner.set_waker(token);
+    }
+
+    fn take_reconnected(&self) -> bool {
+        self.inner.take_reconnected()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipe::{channel_pipe, FrameRx};
+    use imadg_common::Clock;
+    use std::time::Duration;
+
+    fn plan() -> FaultPlan {
+        FaultPlan { seed: 7, ..FaultPlan::default() }
+    }
+
+    fn link(plan: FaultPlan) -> (FaultInjector, crate::pipe::ChannelRx) {
+        let (tx, rx) = channel_pipe(Duration::ZERO, Clock::Real);
+        (FaultInjector::new(Box::new(tx), plan), rx)
+    }
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let (tx, mut rx) = link(plan());
+        for i in 0..10u8 {
+            tx.send(vec![i]).unwrap();
+        }
+        tx.service().unwrap();
+        let got = rx.recv_ready().unwrap();
+        assert_eq!(got, (0..10u8).map(|i| vec![i]).collect::<Vec<_>>());
+        assert!(!tx.in_flight());
+    }
+
+    #[test]
+    fn full_drop_delivers_nothing() {
+        let (tx, mut rx) = link(FaultPlan { drop_per_mille: 999, seed: 1, ..plan() });
+        let mut delivered = 0;
+        for i in 0..200u8 {
+            tx.send(vec![i]).unwrap();
+            delivered += rx.recv_ready().unwrap().len();
+        }
+        assert!(delivered < 200, "999‰ drop must lose most frames");
+    }
+
+    #[test]
+    fn duplicates_are_produced() {
+        let (tx, mut rx) = link(FaultPlan { duplicate_per_mille: 500, seed: 2, ..plan() });
+        let mut delivered = 0;
+        for i in 0..100u8 {
+            tx.send(vec![i]).unwrap();
+        }
+        for _ in 0..100 {
+            tx.service().unwrap();
+            delivered += rx.recv_ready().unwrap().len();
+        }
+        assert!(delivered > 100, "500‰ duplication must inflate the stream: {delivered}");
+    }
+
+    #[test]
+    fn reorder_scrambles_but_loses_nothing() {
+        let (tx, mut rx) = link(FaultPlan { reorder_window: 4, seed: 3, ..plan() });
+        let mut got = Vec::new();
+        for i in 0..50u8 {
+            tx.send(vec![i]).unwrap();
+            got.extend(rx.recv_ready().unwrap());
+        }
+        for _ in 0..10 {
+            tx.service().unwrap();
+            got.extend(rx.recv_ready().unwrap());
+        }
+        assert!(!tx.in_flight());
+        assert_eq!(got.len(), 50, "reorder must not lose frames");
+        let mut sorted = got.clone();
+        sorted.sort();
+        assert_ne!(got, sorted, "window 4 over 50 frames should scramble something");
+    }
+
+    #[test]
+    fn partition_window_drops_everything_inside_it() {
+        let p = FaultPlan { partition_every: 10, partition_ticks: 5, seed: 4, ..plan() };
+        let (tx, mut rx) = link(p);
+        let mut delivered = 0;
+        for i in 0..40u8 {
+            tx.send(vec![i]).unwrap();
+            delivered += rx.recv_ready().unwrap().len();
+        }
+        for _ in 0..10 {
+            tx.service().unwrap();
+            delivered += rx.recv_ready().unwrap().len();
+        }
+        assert!(delivered < 40, "partition windows must eat frames: {delivered}");
+        assert!(delivered > 0, "frames outside partitions still flow");
+    }
+
+    #[test]
+    fn carrier_drop_clears_in_flight_and_counts_reconnect() {
+        let p = FaultPlan { delay_ticks: 100, disconnect_every: 8, seed: 5, ..plan() };
+        let (tx, _rx) = link(p);
+        let m: Arc<TransportMetrics> = Arc::default();
+        tx.bind_metrics(m.clone());
+        for i in 0..8u8 {
+            tx.send(vec![i]).unwrap();
+        }
+        assert!(!tx.in_flight(), "disconnect at tick 8 dropped held frames");
+        assert_eq!(m.reconnects.get(), 1);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = |seed: u64| {
+            let (tx, mut rx) = link(FaultPlan {
+                drop_per_mille: 200,
+                duplicate_per_mille: 100,
+                reorder_window: 3,
+                seed,
+                ..plan()
+            });
+            let mut got = Vec::new();
+            for i in 0..100u8 {
+                tx.send(vec![i]).unwrap();
+                got.extend(rx.recv_ready().unwrap());
+            }
+            for _ in 0..10 {
+                tx.service().unwrap();
+                got.extend(rx.recv_ready().unwrap());
+            }
+            got
+        };
+        assert_eq!(run(42), run(42), "same seed must replay the same schedule");
+        assert_ne!(run(42), run(43), "different seeds should diverge");
+    }
+}

@@ -1,0 +1,196 @@
+//! Networked redo transport for the primary → standby link.
+//!
+//! This crate turns redo shipping into a real subsystem (retiring the
+//! DESIGN.md "lossless in-process channel" substitution):
+//!
+//! * [`wire`] — length-prefixed, CRC-32-checksummed, sequence-numbered
+//!   frame format for redo batches and the gap-resolution control frames;
+//! * [`pipe`] — the frame-medium abstraction ([`pipe::FrameTx`] /
+//!   [`pipe::FrameRx`]) with an in-process channel implementation;
+//! * [`tcp`] — a non-blocking loopback-TCP medium with reconnect via
+//!   exponential backoff + jitter (the paper's deployment shape, §I);
+//! * [`fault`] — a composable, seeded [`fault::FaultInjector`] medium
+//!   wrapper (drop / duplicate / reorder / delay / partition / carrier
+//!   drop) that replays bit-for-bit under the step scheduler;
+//! * [`reliable`] — gap detection, NAK/retransmission from a bounded
+//!   retained-redo window, cumulative ACKs, and liveness pings, producing
+//!   an exactly-once in-order [`imadg_redo::RedoSource`] no matter what
+//!   the medium does.
+//!
+//! The [`framed_link`] / [`tcp_link`] constructors assemble the stack per
+//! [`LinkMode`]; `imadg-db`'s cluster wiring picks the mode from
+//! `TransportConfig`.
+
+pub mod fault;
+pub mod pipe;
+pub mod reliable;
+pub mod tcp;
+pub mod wire;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use imadg_common::config::{LinkMode, TransportConfig};
+use imadg_common::{Clock, RedoThreadId, Result};
+use imadg_redo::{redo_link_with_clock, RedoSink, RedoSource};
+
+pub use fault::FaultInjector;
+pub use reliable::{ReliableReceiver, ReliableSender};
+pub use tcp::TcpLink;
+
+use crate::pipe::{channel_pipe, FrameTx};
+
+/// Build a framed link over in-process byte pipes: the full wire codec,
+/// sequencing, and gap-resolution protocol, minus the socket. The
+/// configured `FaultPlan` (if any) wraps the data path; control frames
+/// travel losslessly (NAK retries already cover control loss, and a clean
+/// control path keeps step-mode convergence bounded).
+pub fn framed_link(
+    thread: RedoThreadId,
+    cfg: &TransportConfig,
+    clock: Clock,
+    fault_seed: u64,
+) -> (ReliableSender, ReliableReceiver) {
+    let (data_tx, data_rx) = channel_pipe(cfg.latency, clock.clone());
+    let (ctrl_tx, ctrl_rx) = channel_pipe(Duration::ZERO, clock);
+    let data_tx: Box<dyn FrameTx> = match &cfg.faults {
+        Some(plan) => {
+            let mut plan = plan.clone();
+            // Decorrelate the per-link fault streams in multi-primary
+            // topologies while keeping the whole schedule seed-determined.
+            plan.seed ^= fault_seed;
+            Box::new(FaultInjector::new(Box::new(data_tx), plan))
+        }
+        None => Box::new(data_tx),
+    };
+    (
+        ReliableSender::new(thread, data_tx, Box::new(ctrl_rx), cfg),
+        ReliableReceiver::new(thread, Box::new(data_rx), Box::new(ctrl_tx), cfg),
+    )
+}
+
+/// Build a framed link over a loopback TCP socket. Fails when the sandbox
+/// forbids sockets; callers should surface a visible notice and fall back
+/// or skip. Fault injection composes here too (applied above the socket).
+pub fn tcp_link(
+    thread: RedoThreadId,
+    cfg: &TransportConfig,
+    fault_seed: u64,
+) -> Result<(ReliableSender, ReliableReceiver, Arc<TcpLink>)> {
+    let link = Arc::new(TcpLink::loopback(fault_seed)?);
+    let (data_tx, ctrl_rx) = link.primary_halves();
+    let (data_rx, ctrl_tx) = link.standby_halves();
+    let data_tx: Box<dyn FrameTx> = match &cfg.faults {
+        Some(plan) => {
+            let mut plan = plan.clone();
+            plan.seed ^= fault_seed;
+            Box::new(FaultInjector::new(Box::new(data_tx), plan))
+        }
+        None => Box::new(data_tx),
+    };
+    Ok((
+        ReliableSender::new(thread, data_tx, Box::new(ctrl_rx), cfg),
+        ReliableReceiver::new(thread, Box::new(data_rx), Box::new(ctrl_tx), cfg),
+        link,
+    ))
+}
+
+/// Build the configured link kind for one redo thread, boxed for the
+/// cluster wiring. TCP construction errors propagate so callers can skip
+/// with a notice when sockets are unavailable.
+pub fn build_link(
+    mode: LinkMode,
+    thread: RedoThreadId,
+    cfg: &TransportConfig,
+    clock: Clock,
+    fault_seed: u64,
+) -> Result<(Box<dyn RedoSink>, Box<dyn RedoSource>)> {
+    match mode {
+        LinkMode::InProcess => {
+            let (tx, rx) = redo_link_with_clock(cfg.latency, clock);
+            Ok((Box::new(tx), Box::new(rx)))
+        }
+        LinkMode::Framed => {
+            let (tx, rx) = framed_link(thread, cfg, clock, fault_seed);
+            Ok((Box::new(tx), Box::new(rx)))
+        }
+        LinkMode::Tcp => {
+            let (tx, rx, _link) = tcp_link(thread, cfg, fault_seed)?;
+            Ok((Box::new(tx), Box::new(rx)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imadg_common::config::FaultPlan;
+    use imadg_common::metrics::TransportMetrics;
+    use imadg_common::Scn;
+    use imadg_redo::record::{RedoPayload, RedoRecord};
+
+    fn rec(scn: u64) -> RedoRecord {
+        RedoRecord { thread: RedoThreadId(1), scn: Scn(scn), payload: RedoPayload::Heartbeat }
+    }
+
+    /// The acceptance-criteria plan: 5% drop + 2% duplicate + reorder 8.
+    fn chaos_plan(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_per_mille: 50,
+            duplicate_per_mille: 20,
+            reorder_window: 8,
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn faulty_framed_link_converges_to_exact_delivery() {
+        for seed in 0..8u64 {
+            let cfg = TransportConfig {
+                mode: LinkMode::Framed,
+                faults: Some(chaos_plan(seed)),
+                nak_retry_polls: 4,
+                ping_idle_polls: 8,
+                ..TransportConfig::default()
+            };
+            let (tx, mut rx) = framed_link(RedoThreadId(1), &cfg, Clock::Real, seed);
+            let m: Arc<TransportMetrics> = Arc::default();
+            rx.bind_metrics(m.clone());
+
+            let mut got = Vec::new();
+            for scn in 1..=500u64 {
+                tx.send(vec![rec(scn)]).unwrap();
+                got.extend(rx.drain_ready().unwrap());
+                tx.service().unwrap();
+            }
+            for _ in 0..50_000 {
+                if got.len() == 500 && !tx.pending() && !rx.transport_pending() {
+                    break;
+                }
+                got.extend(rx.drain_ready().unwrap());
+                tx.service().unwrap();
+            }
+            assert_eq!(
+                got.iter().map(|r| r.scn.0).collect::<Vec<_>>(),
+                (1..=500).collect::<Vec<_>>(),
+                "seed {seed}: exactly-once in-order delivery under chaos"
+            );
+            assert!(!tx.pending() && !rx.transport_pending(), "seed {seed}: link quiesced");
+            assert_eq!(m.gaps_detected.get(), m.gaps_resolved.get(), "seed {seed}");
+            assert!(m.gaps_detected.get() > 0, "seed {seed}: 5% drop over 500 frames gaps");
+            assert!(m.retransmits.get() > 0, "seed {seed}: gaps imply retransmits");
+        }
+    }
+
+    #[test]
+    fn build_link_constructs_every_mode() {
+        let cfg = TransportConfig::default();
+        build_link(LinkMode::InProcess, RedoThreadId(1), &cfg, Clock::Real, 0).unwrap();
+        build_link(LinkMode::Framed, RedoThreadId(1), &cfg, Clock::Real, 0).unwrap();
+        match build_link(LinkMode::Tcp, RedoThreadId(1), &cfg, Clock::Real, 0) {
+            Ok(_) => {}
+            Err(_) => eprintln!("NOTICE: loopback sockets unavailable; TCP mode untested here"),
+        }
+    }
+}

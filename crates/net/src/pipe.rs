@@ -1,0 +1,188 @@
+//! Byte-frame pipes: the medium under a framed redo link.
+//!
+//! A pipe carries opaque wire frames (as produced by [`crate::wire::encode`])
+//! one way. The reliable layer runs the same protocol over any pipe pair —
+//! the in-process [`ChannelPipe`] here (with optional shipping latency), or
+//! a loopback TCP socket ([`crate::tcp`]). Keeping the medium behind these
+//! two small traits is what lets the [`crate::fault::FaultInjector`] slot in
+//! composably below the sequencing layer.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use imadg_common::{Clock, Error, Result, WakeToken};
+
+/// Transmitting end of a one-way frame pipe.
+pub trait FrameTx: Send + Sync {
+    /// Queue one complete wire frame for delivery.
+    fn send(&self, frame: Vec<u8>) -> Result<()>;
+
+    /// Run one quantum of medium work (release delayed frames, flush a
+    /// partial socket write, attempt a reconnect). Returns whether
+    /// anything moved.
+    fn service(&self) -> Result<bool> {
+        Ok(false)
+    }
+
+    /// Frames accepted but not yet handed to the medium (held by an
+    /// injector or an unflushed socket buffer).
+    fn in_flight(&self) -> bool {
+        false
+    }
+
+    /// Wake `token` whenever a sent frame is immediately deliverable at
+    /// the far end (zero-latency media only; latent media stay silent and
+    /// the receiver re-arms via [`FrameRx::time_to_next`]).
+    fn set_waker(&self, token: WakeToken) {
+        let _ = token;
+    }
+
+    /// Consume the medium's "connection was re-established" edge. The
+    /// reliable sender answers it with a `Hello` so the receiver re-ACKs
+    /// its cumulative position.
+    fn take_reconnected(&self) -> bool {
+        false
+    }
+}
+
+/// Receiving end of a one-way frame pipe.
+pub trait FrameRx: Send {
+    /// Drain every currently deliverable wire frame, in arrival order.
+    fn recv_ready(&mut self) -> Result<Vec<Vec<u8>>>;
+
+    /// Whether frames are queued or held for a latency deadline.
+    fn pending(&self) -> bool;
+
+    /// Time until the next held frame becomes deliverable, if the medium
+    /// is holding one.
+    fn time_to_next(&self) -> Option<Duration>;
+}
+
+struct Timed {
+    frame: Vec<u8>,
+    /// Clock micros at which the frame becomes deliverable.
+    available_at_us: u64,
+}
+
+/// Transmitting half of an in-process frame pipe.
+pub struct ChannelTx {
+    tx: Sender<Timed>,
+    latency_us: u64,
+    clock: Clock,
+    waker: Arc<parking_lot::Mutex<Option<WakeToken>>>,
+}
+
+/// Receiving half of an in-process frame pipe.
+pub struct ChannelRx {
+    rx: Receiver<Timed>,
+    clock: Clock,
+    /// A frame whose latency deadline has not yet passed.
+    held: Option<Timed>,
+}
+
+/// Create an in-process frame pipe with the given one-way latency.
+pub fn channel_pipe(latency: Duration, clock: Clock) -> (ChannelTx, ChannelRx) {
+    let (tx, rx) = unbounded();
+    (
+        ChannelTx {
+            tx,
+            latency_us: latency.as_micros().min(u128::from(u64::MAX)) as u64,
+            clock: clock.clone(),
+            waker: Arc::default(),
+        },
+        ChannelRx { rx, clock, held: None },
+    )
+}
+
+impl FrameTx for ChannelTx {
+    fn send(&self, frame: Vec<u8>) -> Result<()> {
+        self.tx
+            .send(Timed {
+                frame,
+                available_at_us: self.clock.now_micros().saturating_add(self.latency_us),
+            })
+            .map_err(|_| Error::TransportClosed)?;
+        if self.latency_us == 0 {
+            if let Some(w) = self.waker.lock().as_ref() {
+                w.wake();
+            }
+        }
+        Ok(())
+    }
+
+    fn set_waker(&self, token: WakeToken) {
+        *self.waker.lock() = Some(token);
+    }
+}
+
+impl ChannelRx {
+    fn next_due(&mut self) -> Result<Option<Vec<u8>>> {
+        let timed = match self.held.take() {
+            Some(t) => t,
+            None => match self.rx.try_recv() {
+                Ok(t) => t,
+                Err(TryRecvError::Empty) => return Ok(None),
+                Err(TryRecvError::Disconnected) => return Err(Error::TransportClosed),
+            },
+        };
+        if timed.available_at_us <= self.clock.now_micros() {
+            Ok(Some(timed.frame))
+        } else {
+            self.held = Some(timed);
+            Ok(None)
+        }
+    }
+}
+
+impl FrameRx for ChannelRx {
+    fn recv_ready(&mut self) -> Result<Vec<Vec<u8>>> {
+        let mut out = Vec::new();
+        while let Some(f) = self.next_due()? {
+            out.push(f);
+        }
+        Ok(out)
+    }
+
+    fn pending(&self) -> bool {
+        self.held.is_some() || !self.rx.is_empty()
+    }
+
+    fn time_to_next(&self) -> Option<Duration> {
+        let t = self.held.as_ref()?;
+        Some(Duration::from_micros(t.available_at_us.saturating_sub(self.clock.now_micros())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_flow_in_order() {
+        let (tx, mut rx) = channel_pipe(Duration::ZERO, Clock::Real);
+        tx.send(vec![1]).unwrap();
+        tx.send(vec![2, 2]).unwrap();
+        assert_eq!(rx.recv_ready().unwrap(), vec![vec![1], vec![2, 2]]);
+        assert!(!rx.pending());
+    }
+
+    #[test]
+    fn latency_holds_frames_until_due() {
+        let clock = Clock::manual();
+        let (tx, mut rx) = channel_pipe(Duration::from_millis(10), clock.clone());
+        tx.send(vec![7]).unwrap();
+        assert!(rx.recv_ready().unwrap().is_empty());
+        assert!(rx.pending());
+        assert_eq!(rx.time_to_next(), Some(Duration::from_millis(10)));
+        clock.advance(Duration::from_millis(10));
+        assert_eq!(rx.recv_ready().unwrap(), vec![vec![7]]);
+    }
+
+    #[test]
+    fn closed_pipe_errors() {
+        let (tx, rx) = channel_pipe(Duration::ZERO, Clock::Real);
+        drop(rx);
+        assert!(tx.send(vec![1]).is_err());
+    }
+}

@@ -20,7 +20,7 @@ use imadg_common::{
     CpuAccount, MetricsRegistry, QueryScnCell, QuiesceLock, RecoveryConfig, Result, Runtime,
     RuntimeHealth, Scn, Stage, StageId, StageOutcome, ThreadedRuntime, WorkerId,
 };
-use imadg_redo::{LogMerger, RedoPayload, RedoReceiver};
+use imadg_redo::{LogMerger, RedoPayload, RedoSource};
 use imadg_storage::Store;
 use parking_lot::Mutex;
 
@@ -32,7 +32,11 @@ use crate::worker::{work_queue, Worker};
 
 /// The standby's media-recovery engine.
 pub struct MediaRecovery {
-    receivers: Mutex<Vec<RedoReceiver>>,
+    receivers: Mutex<Vec<Box<dyn RedoSource>>>,
+    /// Latched when a drain performed link protocol work (ACK/NAK) even
+    /// though no records came out; consumed by the ingest stage so gap
+    /// resolution counts as progress under the step scheduler.
+    protocol_activity: std::sync::atomic::AtomicBool,
     merger: Mutex<LogMerger>,
     dispatcher: Mutex<Dispatcher>,
     workers: Vec<Arc<Mutex<Worker>>>,
@@ -48,7 +52,8 @@ pub struct MediaRecovery {
 impl MediaRecovery {
     /// Assemble the pipeline.
     ///
-    /// * `receivers` — one per primary redo thread (RAC streams).
+    /// * `receivers` — one [`RedoSource`] per primary redo thread (RAC
+    ///   streams): in-process channels, framed links, or TCP endpoints.
     /// * `observers` — mining hooks fired by every worker.
     /// * `coop` — cooperative-flush helper, or `None` when DBIM-on-ADG is
     ///   disabled / cooperative flush is ablated.
@@ -57,7 +62,7 @@ impl MediaRecovery {
     pub fn new(
         config: &RecoveryConfig,
         store: Arc<Store>,
-        receivers: Vec<RedoReceiver>,
+        receivers: Vec<Box<dyn RedoSource>>,
         observers: Vec<Arc<dyn ApplyObserver>>,
         coop: Option<Arc<dyn CoopHelper>>,
         hook: Arc<dyn AdvanceHook>,
@@ -83,7 +88,7 @@ impl MediaRecovery {
     pub fn with_metrics(
         config: &RecoveryConfig,
         store: Arc<Store>,
-        receivers: Vec<RedoReceiver>,
+        receivers: Vec<Box<dyn RedoSource>>,
         observers: Vec<Arc<dyn ApplyObserver>>,
         coop: Option<Arc<dyn CoopHelper>>,
         hook: Arc<dyn AdvanceHook>,
@@ -118,6 +123,7 @@ impl MediaRecovery {
         ));
         Ok(Arc::new(MediaRecovery {
             receivers: Mutex::new(receivers),
+            protocol_activity: std::sync::atomic::AtomicBool::new(false),
             merger: Mutex::new(LogMerger::new(streams)),
             dispatcher: Mutex::new(Dispatcher::new(senders, store.clone())),
             workers,
@@ -147,12 +153,17 @@ impl MediaRecovery {
 
     /// Ingest available redo from the transport into the merger and
     /// dispatch whatever became releasable. Returns items dispatched.
+    /// Link protocol work performed while draining (ACKs, NAKs) is
+    /// recorded and retrievable via [`MediaRecovery::take_protocol_activity`].
     pub fn ingest_once(&self) -> Result<usize> {
         let _t = self.ingest_cpu.timer();
         let mut receivers = self.receivers.lock();
         let mut merger = self.merger.lock();
         for (i, rx) in receivers.iter_mut().enumerate() {
             let records = rx.drain_ready()?;
+            if rx.take_protocol_activity() {
+                self.protocol_activity.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
             if !records.is_empty() {
                 let heartbeats =
                     records.iter().filter(|r| matches!(r.payload, RedoPayload::Heartbeat)).count();
@@ -277,8 +288,30 @@ impl MediaRecovery {
     /// Detach the redo receivers from this (stopped) pipeline so a restarted
     /// standby instance can resume recovery on the same links. Models an
     /// ADG instance restart: storage persists, in-memory state is lost.
-    pub fn take_receivers(&self) -> Vec<RedoReceiver> {
+    pub fn take_receivers(&self) -> Vec<Box<dyn RedoSource>> {
         std::mem::take(&mut *self.receivers.lock())
+    }
+
+    /// Consume the "a drain did link protocol work" latch (ACKs/NAKs sent
+    /// with no records released). Protocol work counts as stage progress:
+    /// gap resolution must keep the step scheduler driving the pipeline.
+    pub fn take_protocol_activity(&self) -> bool {
+        self.protocol_activity.swap(false, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Whether any redo source still holds undelivered transport state —
+    /// a latent batch in flight, an open gap, or out-of-order frames
+    /// buffered. Quiesce checks must not declare the standby caught up
+    /// while this is true.
+    pub fn transport_pending(&self) -> bool {
+        self.receivers.lock().iter().any(|r| r.transport_pending())
+    }
+
+    /// The soonest delivery deadline across sources holding a latent
+    /// batch, if any. Drives the ingest stage's park hint so delayed redo
+    /// is picked up right when it becomes due instead of on a poll tick.
+    pub fn next_transport_deadline(&self) -> Option<Duration> {
+        self.receivers.lock().iter().filter_map(|r| r.time_to_next()).min()
     }
 }
 
@@ -294,8 +327,10 @@ pub struct RecoveryStageIds {
 }
 
 /// Ingest/merge/dispatch as a runtime stage (metrics id `merger`). Woken by
-/// the transport sender on every shipped batch; the park hint bounds the
-/// wait for batches still in flight on a latency link.
+/// the transport sender when a shipped batch is deliverable *now*; for
+/// batches still in flight on a latency link the park hint re-arms the
+/// stage for the exact delivery deadline, so a latent send never wakes the
+/// stage early (no spurious wakeups).
 struct IngestStage(Arc<MediaRecovery>);
 
 impl Stage for IngestStage {
@@ -304,11 +339,16 @@ impl Stage for IngestStage {
     }
 
     fn run_once(&self) -> Result<StageOutcome> {
-        Ok(if self.0.ingest_once()? > 0 { StageOutcome::Progress } else { StageOutcome::Idle })
+        let dispatched = self.0.ingest_once()?;
+        Ok(if dispatched > 0 || self.0.take_protocol_activity() {
+            StageOutcome::Progress
+        } else {
+            StageOutcome::Idle
+        })
     }
 
     fn park_hint(&self) -> Duration {
-        Duration::from_micros(500)
+        self.0.next_transport_deadline().unwrap_or(Duration::from_micros(500))
     }
 }
 

@@ -62,7 +62,7 @@ fn harness(workers: usize) -> Harness {
     let recovery = MediaRecovery::new(
         &RecoveryConfig { workers, ..Default::default() },
         standby_store.clone(),
-        vec![receiver],
+        vec![Box::new(receiver) as Box<dyn imadg_redo::RedoSource>],
         vec![],
         None,
         Arc::new(NoopAdvanceHook),

@@ -16,4 +16,6 @@ pub use log_buffer::{LogBuffer, LogStats};
 pub use marker::{DdlKind, RedoMarker};
 pub use merger::LogMerger;
 pub use record::{CommitRecord, RedoPayload, RedoRecord};
-pub use transport::{redo_link, redo_link_with_clock, RedoReceiver, RedoSender, Shipper};
+pub use transport::{
+    redo_link, redo_link_with_clock, RedoReceiver, RedoSender, RedoSink, RedoSource, Shipper,
+};

@@ -1,13 +1,18 @@
-//! Redo shipping: the simulated network between primary and standby.
+//! Redo shipping: the link between primary and standby.
 //!
 //! The paper's primary ships redo over TCP/IP to a typically remote standby
-//! (§I). We model the link as an in-process channel with a configurable
-//! one-way latency; batches become visible to the receiver only after their
-//! `available_at_us` deadline on the link's [`Clock`], which reproduces
-//! shipping delay without real sockets (see DESIGN.md substitutions).
-//! Latency tests inject a manual clock and advance virtual time instead of
-//! sleeping the delay out.
+//! (§I). The link is abstracted behind [`RedoSink`] / [`RedoSource`] so the
+//! shipping and ingest stages are agnostic to how redo travels: the
+//! in-process channel below is the lossless baseline, and `imadg-net`
+//! provides framed links (in-process pipe or loopback TCP) with gap
+//! detection, NAK/retransmission, and seeded fault injection.
+//!
+//! The channel link models shipping delay without real sockets: batches
+//! become visible to the receiver only after their `available_at_us`
+//! deadline on the link's [`Clock`]. Latency tests inject a manual clock
+//! and advance virtual time instead of sleeping the delay out.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -18,26 +23,89 @@ use imadg_common::{Clock, Error, Result, Scn, WakeToken};
 use crate::log_buffer::LogBuffer;
 use crate::record::{RedoPayload, RedoRecord};
 
+/// Primary-side half of a redo link: accepts record batches and performs
+/// whatever protocol work the link needs (retransmits, liveness pings).
+pub trait RedoSink: Send + Sync {
+    /// Ship a batch of records.
+    fn send(&self, records: Vec<RedoRecord>) -> Result<()>;
+
+    /// Run one quantum of link protocol work — serve NAKs from the
+    /// retained window, trim on ACKs, emit liveness pings. Returns whether
+    /// anything was done. The lossless channel has no protocol.
+    fn service(&self) -> Result<bool> {
+        Ok(false)
+    }
+
+    /// Whether the link still holds state that needs servicing before the
+    /// pipeline can quiesce (unacknowledged frames in flight).
+    fn pending(&self) -> bool {
+        false
+    }
+
+    /// Wake `token` whenever shipped redo becomes deliverable *now*, so
+    /// the standby's ingest stage parks instead of polling. Latent links
+    /// must not wake on send — the receiver re-arms for the deadline via
+    /// [`RedoSource::time_to_next`].
+    fn set_waker(&self, token: WakeToken);
+
+    /// Attach the primary-side transport metrics (retransmits served,
+    /// reconnects, pings). Links are built before the owning registry, so
+    /// binding happens late.
+    fn bind_metrics(&self, metrics: Arc<TransportMetrics>) {
+        let _ = metrics;
+    }
+}
+
+/// Standby-side half of a redo link: yields records in ship order and
+/// reports how much transport state is still outstanding.
+pub trait RedoSource: Send {
+    /// Drain everything currently deliverable, in order. A reliable source
+    /// must deliver exactly-once in-order — the log merger downstream
+    /// asserts per-thread SCN monotonicity.
+    fn drain_ready(&mut self) -> Result<Vec<RedoRecord>>;
+
+    /// Whether the link still holds undelivered or unresolved state — a
+    /// latent batch in flight, an open gap, out-of-order frames buffered.
+    fn transport_pending(&self) -> bool;
+
+    /// Whether the last drain performed protocol work (sent a NAK or ACK)
+    /// even if no records came out. Protocol activity counts as stage
+    /// progress so the step scheduler keeps driving gap resolution.
+    fn take_protocol_activity(&mut self) -> bool {
+        false
+    }
+
+    /// Time until the next held batch becomes deliverable, if the link is
+    /// holding one for a latency deadline. Drives the ingest stage's park
+    /// hint so delayed redo is picked up exactly on time.
+    fn time_to_next(&self) -> Option<Duration>;
+
+    /// Attach the standby-side transport metrics (gaps, NAKs, duplicates).
+    fn bind_metrics(&mut self, metrics: Arc<TransportMetrics>) {
+        let _ = metrics;
+    }
+}
+
 struct Batch {
     records: Vec<RedoRecord>,
     /// Clock micros at which the batch becomes deliverable.
     available_at_us: u64,
 }
 
-/// Sending half of a redo link.
+/// Sending half of the in-process channel link.
 #[derive(Clone)]
 pub struct RedoSender {
     tx: Sender<Batch>,
     latency_us: u64,
     clock: Clock,
-    /// Wakes the receiving stage on every send (threaded runtime). Shared
-    /// across clones so the standby can install it after link creation.
+    /// Wakes the receiving stage on every zero-latency send (threaded
+    /// runtime). Shared across clones so the standby can install it after
+    /// link creation.
     waker: Arc<parking_lot::Mutex<Option<WakeToken>>>,
 }
 
 impl RedoSender {
-    /// Wake `token` whenever a batch is shipped, so the standby's ingest
-    /// stage parks instead of polling.
+    /// See [`RedoSink::set_waker`].
     pub fn set_waker(&self, token: WakeToken) {
         *self.waker.lock() = Some(token);
     }
@@ -50,15 +118,31 @@ impl RedoSender {
                 available_at_us: self.clock.now_micros().saturating_add(self.latency_us),
             })
             .map_err(|_| Error::TransportClosed)?;
-        if let Some(w) = self.waker.lock().as_ref() {
-            w.wake();
+        // Only a zero-latency batch is deliverable now; waking for a
+        // latent one would be spurious — the receiver finds nothing due
+        // and parks again. The ingest stage re-arms for the delivery
+        // deadline through `time_to_next` instead.
+        if self.latency_us == 0 {
+            if let Some(w) = self.waker.lock().as_ref() {
+                w.wake();
+            }
         }
         Ok(())
     }
 }
 
-/// Receiving half of a redo link. Single-consumer: owned by the standby's
-/// log merger pump.
+impl RedoSink for RedoSender {
+    fn send(&self, records: Vec<RedoRecord>) -> Result<()> {
+        RedoSender::send(self, records)
+    }
+
+    fn set_waker(&self, token: WakeToken) {
+        RedoSender::set_waker(self, token)
+    }
+}
+
+/// Receiving half of the in-process channel link. Single-consumer: owned
+/// by the standby's log merger pump.
 pub struct RedoReceiver {
     rx: Receiver<Batch>,
     clock: Clock,
@@ -96,6 +180,21 @@ impl RedoReceiver {
     }
 }
 
+impl RedoSource for RedoReceiver {
+    fn drain_ready(&mut self) -> Result<Vec<RedoRecord>> {
+        RedoReceiver::drain_ready(self)
+    }
+
+    fn transport_pending(&self) -> bool {
+        self.pending.is_some() || !self.rx.is_empty()
+    }
+
+    fn time_to_next(&self) -> Option<Duration> {
+        let b = self.pending.as_ref()?;
+        Some(Duration::from_micros(b.available_at_us.saturating_sub(self.clock.now_micros())))
+    }
+}
+
 /// Create a redo link with the given one-way latency on the real clock.
 pub fn redo_link(latency: Duration) -> (RedoSender, RedoReceiver) {
     redo_link_with_clock(latency, Clock::Real)
@@ -122,6 +221,12 @@ pub fn redo_link_with_clock(latency: Duration, clock: Clock) -> (RedoSender, Red
 pub struct Shipper {
     batch: usize,
     metrics: Arc<TransportMetrics>,
+    /// Highest SCN already signalled down the link (data or heartbeat). A
+    /// heartbeat is sent only when database time has advanced past it —
+    /// re-sending the same SCN adds no watermark information and, on a
+    /// reliable link, would keep generating frames (and ACK round-trips)
+    /// forever, so an idle pipeline could never quiesce.
+    signalled_scn: AtomicU64,
 }
 
 impl Shipper {
@@ -132,11 +237,11 @@ impl Shipper {
 
     /// Shipper reporting into a registry's transport stage.
     pub fn with_metrics(batch: usize, metrics: Arc<TransportMetrics>) -> Self {
-        Shipper { batch: batch.max(1), metrics }
+        Shipper { batch: batch.max(1), metrics, signalled_scn: AtomicU64::new(0) }
     }
 
-    fn send_heartbeat(&self, buffer: &LogBuffer, sender: &RedoSender, scn: Scn) -> Result<()> {
-        sender.send(vec![RedoRecord {
+    fn send_heartbeat(&self, buffer: &LogBuffer, sink: &dyn RedoSink, scn: Scn) -> Result<()> {
+        sink.send(vec![RedoRecord {
             thread: buffer.thread(),
             scn,
             payload: RedoPayload::Heartbeat,
@@ -146,30 +251,43 @@ impl Shipper {
         Ok(())
     }
 
-    fn send_data(&self, sender: &RedoSender, records: Vec<RedoRecord>) -> Result<()> {
+    /// Heartbeat only when database time moved past everything already
+    /// signalled down the link.
+    fn maybe_heartbeat(&self, buffer: &LogBuffer, sink: &dyn RedoSink, scn: Scn) -> Result<()> {
+        if scn > Scn::ZERO && scn.0 > self.signalled_scn.load(Ordering::Acquire) {
+            self.signalled_scn.store(scn.0, Ordering::Release);
+            self.send_heartbeat(buffer, sink, scn)?;
+        }
+        Ok(())
+    }
+
+    fn send_data(&self, sink: &dyn RedoSink, records: Vec<RedoRecord>) -> Result<()> {
         self.metrics.records_shipped.add(records.len() as u64);
         self.metrics.bytes_shipped.add(records.iter().map(|r| r.approx_bytes() as u64).sum());
         self.metrics.batches_shipped.inc();
-        sender.send(records)
+        if let Some(max) = records.iter().map(|r| r.scn.0).max() {
+            self.signalled_scn.fetch_max(max, Ordering::AcqRel);
+        }
+        sink.send(records)
     }
 
-    /// Ship one batch. `current_scn` stamps the heartbeat when the buffer
-    /// is empty. Returns the number of data records shipped.
+    /// Ship one batch and run one quantum of link protocol work.
+    /// `current_scn` stamps the heartbeat when the buffer is empty.
+    /// Returns the number of data records shipped.
     pub fn ship_once(
         &self,
         buffer: &LogBuffer,
-        sender: &RedoSender,
+        sink: &dyn RedoSink,
         current_scn: Scn,
     ) -> Result<usize> {
         let records = buffer.drain(self.batch);
-        if records.is_empty() {
-            if current_scn > Scn::ZERO {
-                self.send_heartbeat(buffer, sender, current_scn)?;
-            }
-            return Ok(0);
-        }
         let n = records.len();
-        self.send_data(sender, records)?;
+        if records.is_empty() {
+            self.maybe_heartbeat(buffer, sink, current_scn)?;
+        } else {
+            self.send_data(sink, records)?;
+        }
+        sink.service()?;
         Ok(n)
     }
 
@@ -177,7 +295,7 @@ impl Shipper {
     pub fn ship_all(
         &self,
         buffer: &LogBuffer,
-        sender: &RedoSender,
+        sink: &dyn RedoSink,
         current_scn: Scn,
     ) -> Result<usize> {
         let mut total = 0;
@@ -187,11 +305,12 @@ impl Shipper {
                 break;
             }
             total += records.len();
-            self.send_data(sender, records)?;
+            self.send_data(sink, records)?;
         }
-        if total == 0 && current_scn > Scn::ZERO {
-            self.send_heartbeat(buffer, sender, current_scn)?;
+        if total == 0 {
+            self.maybe_heartbeat(buffer, sink, current_scn)?;
         }
+        sink.service()?;
         Ok(total)
     }
 }
@@ -220,10 +339,14 @@ mod tests {
         let (tx, mut rx) = redo_link_with_clock(Duration::from_millis(30), clock.clone());
         tx.send(vec![hb(1)]).unwrap();
         assert!(rx.try_recv().unwrap().is_none(), "not deliverable yet");
+        assert!(RedoSource::transport_pending(&rx), "held batch counts as pending");
+        let eta = RedoSource::time_to_next(&rx).unwrap();
+        assert_eq!(eta, Duration::from_millis(30), "park hint targets the deadline");
         clock.advance(Duration::from_millis(29));
         assert!(rx.try_recv().unwrap().is_none(), "still in flight");
         clock.advance(Duration::from_millis(1));
         assert_eq!(rx.try_recv().unwrap().unwrap().len(), 1);
+        assert!(!RedoSource::transport_pending(&rx));
     }
 
     #[test]
@@ -233,6 +356,18 @@ mod tests {
         tx.set_waker(token.clone());
         tx.send(vec![hb(1)]).unwrap();
         assert!(token.park(Duration::from_secs(5)), "send latched a wake");
+    }
+
+    #[test]
+    fn latent_send_does_not_wake() {
+        // The spurious-wake fix: a batch that is not yet deliverable must
+        // not wake the ingest stage — it would find nothing and re-park.
+        let clock = Clock::manual();
+        let (tx, _rx) = redo_link_with_clock(Duration::from_millis(30), clock);
+        let token = WakeToken::new();
+        tx.set_waker(token.clone());
+        tx.send(vec![hb(1)]).unwrap();
+        assert!(!token.park(Duration::ZERO), "no wake latched for a latent batch");
     }
 
     #[test]
@@ -264,6 +399,22 @@ mod tests {
         assert_eq!(got.len(), 1);
         assert!(matches!(got[0].payload, RedoPayload::Heartbeat));
         assert_eq!(got[0].scn, Scn(1));
+    }
+
+    #[test]
+    fn shipper_dedups_heartbeats_at_same_scn() {
+        let scns = ScnService::new();
+        scns.next();
+        let buf = LogBuffer::new(RedoThreadId(1));
+        let (tx, mut rx) = redo_link(Duration::ZERO);
+        let shipper = Shipper::new(8);
+        for _ in 0..5 {
+            shipper.ship_once(&buf, &tx, scns.current()).unwrap();
+        }
+        assert_eq!(rx.drain_ready().unwrap().len(), 1, "one heartbeat per SCN advance");
+        scns.next();
+        shipper.ship_all(&buf, &tx, scns.current()).unwrap();
+        assert_eq!(rx.drain_ready().unwrap().len(), 1, "new SCN earns a fresh heartbeat");
     }
 
     #[test]

@@ -29,6 +29,21 @@ cargo test -p imadg-db --test interleavings -q
 echo "==> threaded smoke (start/burst/drain/shutdown)"
 cargo test -p imadg-db --test threaded_smoke -q
 
+# Transport chaos gate: 16 pinned seeds of frame drop/duplicate/reorder/
+# partition on the framed redo link, P1/P2/P5 at every cut, every gap
+# NAK-resolved at quiesce, plus the acceptance scenario (5% drop + 2%
+# duplicate + reorder 8 converging to the clean run's final state).
+echo "==> transport chaos (pinned seeds, framed link + fault injection)"
+cargo test -p imadg-db --test chaos_transport -q
+
+# TCP-loopback smoke: the same protocol over a real socket. Sandboxes
+# without loopback sockets skip gracefully — each test detects the failed
+# bind, prints a visible NOTICE, and passes — while real protocol bugs
+# over a working socket still fail the gate.
+echo "==> TCP loopback smoke (self-skips with a notice if sockets unavailable)"
+cargo test -p imadg-net tcp -q
+cargo test -p imadg-db --test chaos_transport tcp_loopback -q
+
 if [[ "$fast" == 0 ]]; then
     echo "==> cargo build --release"
     cargo build --workspace --release -q

@@ -63,6 +63,7 @@ pub use imadg_common as common;
 pub use imadg_core as core_adg;
 pub use imadg_db as db;
 pub use imadg_imcs as imcs;
+pub use imadg_net as net;
 pub use imadg_recovery as recovery;
 pub use imadg_redo as redo;
 pub use imadg_storage as storage;
@@ -72,8 +73,8 @@ pub use imadg_workload as workload;
 /// The types most programs need.
 pub mod prelude {
     pub use imadg_common::{
-        Dba, Error, ImcsConfig, InstanceId, ObjectId, RecoveryConfig, Result, Scn, SystemConfig,
-        TenantId, TransportConfig, TxnId,
+        Dba, Error, FaultPlan, ImcsConfig, InstanceId, LinkMode, ObjectId, RecoveryConfig, Result,
+        Scn, SystemConfig, TenantId, TransportConfig, TxnId,
     };
     pub use imadg_db::{
         AdgCluster, ClusterSpec, CmpOp, ColumnDef, ColumnType, Filter, MetricsSnapshot, Placement,

@@ -54,8 +54,13 @@ fn rig(instances: usize) -> Rig {
         Arc::new(DbaAllocator::default()),
     );
     let (sender, receiver) = redo_link(Duration::ZERO);
-    let mira = MiraStandby::new(&SystemConfig::default(), standby_store, vec![receiver], instances)
-        .unwrap();
+    let mira = MiraStandby::new(
+        &SystemConfig::default(),
+        standby_store,
+        vec![Box::new(receiver) as Box<dyn imadg_redo::RedoSource>],
+        instances,
+    )
+    .unwrap();
     mira.enable_inmemory(OBJ);
     Rig { txm, scns, log, sender, shipper: Shipper::new(64), mira }
 }
