@@ -1,0 +1,293 @@
+//! Machine-readable benchmark documents: the `BENCH_*.json` trajectory.
+//!
+//! Every perf-relevant PR appends datapoints produced by these schemas so
+//! the scan engine's trajectory is diffable across revisions. The schema
+//! is versioned and validated — `bench_scan --validate <file>` is a CI
+//! gate, so a malformed document fails the build instead of silently
+//! rotting in the repo.
+
+use serde::{Deserialize, Serialize};
+
+/// Version stamp for `BENCH_*.json` documents. Bump when a field changes
+/// meaning; readers reject versions they do not know.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// One measured configuration of the scan benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Configuration name (`row_store`, `scalar`, `vectorized_d1`, …).
+    pub name: String,
+    /// Parallel degree the configuration ran at (1 = serial).
+    pub degree: usize,
+    /// Timed iterations.
+    pub iterations: usize,
+    /// Rows matching the benchmark predicate (sanity anchor: every
+    /// configuration must agree).
+    pub matched_rows: u64,
+    /// Table rows scanned per second (table rows / mean latency).
+    pub rows_per_sec: f64,
+    /// Median per-iteration latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-iteration latency, microseconds.
+    pub p99_us: f64,
+    /// Mean-latency speedup over the `row_store` configuration.
+    pub speedup_vs_row_store: f64,
+    /// Mean-latency speedup over the `scalar` (PR-5 engine) configuration.
+    pub speedup_vs_scalar: f64,
+}
+
+/// The scan benchmark document (`BENCH_scan.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchScanDoc {
+    /// Schema version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Benchmark family; always `"scan"`.
+    pub bench: String,
+    /// Table rows scanned per iteration.
+    pub rows: usize,
+    /// Available CPU cores on the measuring host (contextualizes the
+    /// per-degree numbers: on a 1-core host degree > 1 cannot speed up
+    /// wall-clock).
+    pub cores: usize,
+    /// The benchmark predicate, human-readable.
+    pub query: String,
+    /// Measured configurations.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchScanDoc {
+    /// Structural validation: schema version, family tag, coherent
+    /// per-entry numbers. Returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "unknown schema_version {} (expected {BENCH_SCHEMA_VERSION})",
+                self.schema_version
+            ));
+        }
+        if self.bench != "scan" {
+            return Err(format!("bench family {:?} is not \"scan\"", self.bench));
+        }
+        if self.rows == 0 {
+            return Err("rows must be > 0".into());
+        }
+        if self.cores == 0 {
+            return Err("cores must be > 0".into());
+        }
+        if self.entries.is_empty() {
+            return Err("no entries".into());
+        }
+        let matched = self.entries[0].matched_rows;
+        for e in &self.entries {
+            if e.name.is_empty() {
+                return Err("entry with empty name".into());
+            }
+            if e.degree == 0 || e.iterations == 0 {
+                return Err(format!("{}: degree and iterations must be > 0", e.name));
+            }
+            if !(e.rows_per_sec.is_finite() && e.rows_per_sec > 0.0) {
+                return Err(format!("{}: rows_per_sec must be finite and > 0", e.name));
+            }
+            if !(e.p50_us.is_finite() && e.p99_us.is_finite() && e.p50_us > 0.0) {
+                return Err(format!("{}: percentiles must be finite and > 0", e.name));
+            }
+            if e.p99_us < e.p50_us {
+                return Err(format!("{}: p99 < p50", e.name));
+            }
+            if !(e.speedup_vs_row_store.is_finite() && e.speedup_vs_scalar.is_finite()) {
+                return Err(format!("{}: speedups must be finite", e.name));
+            }
+            if e.matched_rows != matched {
+                return Err(format!(
+                    "{}: matched_rows {} disagrees with {} — configurations scanned \
+                     different data",
+                    e.name, e.matched_rows, matched
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One workload run inside the OLTAP benchmark document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchOltapRun {
+    /// Run name (`without_dbim`, `with_dbim`).
+    pub name: String,
+    /// Achieved operation throughput.
+    pub achieved_ops_per_sec: f64,
+    /// Ad-hoc scans issued.
+    pub scans_total: u64,
+    /// Q1 (`n1 = :1`) median latency, seconds.
+    pub q1_median_s: f64,
+    /// Q1 95th-percentile latency, seconds.
+    pub q1_p95_s: f64,
+    /// Q2 (`c1 = :2`) median latency, seconds.
+    pub q2_median_s: f64,
+    /// Q2 95th-percentile latency, seconds.
+    pub q2_p95_s: f64,
+}
+
+/// The OLTAP benchmark document (`BENCH_oltap.json`), emitted by the
+/// Fig. 9 experiment binary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchOltapDoc {
+    /// Schema version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Benchmark family; always `"oltap"`.
+    pub bench: String,
+    /// Initial wide-table rows.
+    pub rows: usize,
+    /// Simulated host cores for CPU%.
+    pub cores: usize,
+    /// The measured runs.
+    pub runs: Vec<BenchOltapRun>,
+}
+
+impl BenchOltapDoc {
+    /// Structural validation; returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "unknown schema_version {} (expected {BENCH_SCHEMA_VERSION})",
+                self.schema_version
+            ));
+        }
+        if self.bench != "oltap" {
+            return Err(format!("bench family {:?} is not \"oltap\"", self.bench));
+        }
+        if self.rows == 0 || self.cores == 0 {
+            return Err("rows and cores must be > 0".into());
+        }
+        if self.runs.is_empty() {
+            return Err("no runs".into());
+        }
+        for r in &self.runs {
+            if r.name.is_empty() {
+                return Err("run with empty name".into());
+            }
+            if !(r.achieved_ops_per_sec.is_finite() && r.achieved_ops_per_sec >= 0.0) {
+                return Err(format!("{}: achieved_ops_per_sec must be finite", r.name));
+            }
+            for (label, v) in [
+                ("q1_median_s", r.q1_median_s),
+                ("q1_p95_s", r.q1_p95_s),
+                ("q2_median_s", r.q2_median_s),
+                ("q2_p95_s", r.q2_p95_s),
+            ] {
+                if !(v.is_finite() && v >= 0.0) {
+                    return Err(format!("{}: {label} must be finite and >= 0", r.name));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Percentile over already-sorted samples (nearest-rank; `p` in [0,100]).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Serialize `doc` to `path` as JSON.
+pub fn write_json<T: Serialize>(path: &str, doc: &T) -> std::io::Result<()> {
+    std::fs::write(path, serde_json::to_string(doc).expect("bench doc serialize"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str) -> BenchEntry {
+        BenchEntry {
+            name: name.into(),
+            degree: 1,
+            iterations: 5,
+            matched_rows: 42,
+            rows_per_sec: 1e6,
+            p50_us: 100.0,
+            p99_us: 150.0,
+            speedup_vs_row_store: 10.0,
+            speedup_vs_scalar: 2.0,
+        }
+    }
+
+    fn doc() -> BenchScanDoc {
+        BenchScanDoc {
+            schema_version: BENCH_SCHEMA_VERSION,
+            bench: "scan".into(),
+            rows: 1000,
+            cores: 1,
+            query: "n1 = 7".into(),
+            entries: vec![entry("row_store"), entry("vectorized_d1")],
+        }
+    }
+
+    #[test]
+    fn valid_doc_roundtrips() {
+        let d = doc();
+        d.validate().unwrap();
+        let s = serde_json::to_string(&d).unwrap();
+        let back: BenchScanDoc = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, d);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn malformed_docs_rejected() {
+        let mut d = doc();
+        d.schema_version = 99;
+        assert!(d.validate().is_err(), "wrong version");
+        let mut d = doc();
+        d.bench = "oltap".into();
+        assert!(d.validate().is_err(), "wrong family");
+        let mut d = doc();
+        d.entries.clear();
+        assert!(d.validate().is_err(), "no entries");
+        let mut d = doc();
+        d.entries[1].p99_us = 1.0;
+        assert!(d.validate().is_err(), "p99 < p50");
+        let mut d = doc();
+        d.entries[1].rows_per_sec = f64::NAN;
+        assert!(d.validate().is_err(), "NaN throughput");
+        let mut d = doc();
+        d.entries[1].matched_rows = 7;
+        assert!(d.validate().is_err(), "result-count disagreement");
+    }
+
+    #[test]
+    fn oltap_doc_validates() {
+        let d = BenchOltapDoc {
+            schema_version: BENCH_SCHEMA_VERSION,
+            bench: "oltap".into(),
+            rows: 100,
+            cores: 16,
+            runs: vec![BenchOltapRun {
+                name: "with_dbim".into(),
+                achieved_ops_per_sec: 4000.0,
+                scans_total: 10,
+                q1_median_s: 0.001,
+                q1_p95_s: 0.002,
+                q2_median_s: 0.001,
+                q2_p95_s: 0.002,
+            }],
+        };
+        d.validate().unwrap();
+        let mut bad = d.clone();
+        bad.runs[0].q1_p95_s = f64::INFINITY;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 50.0), 51.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

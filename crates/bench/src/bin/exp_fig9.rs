@@ -6,9 +6,23 @@
 //! and once with DBIM-on-ADG. The paper reports ~100× faster scans plus a
 //! CPU transfer (primary 11.7% → 4.7% when scans are offloaded).
 
+use imadg_bench::bench_output::{write_json, BenchOltapDoc, BenchOltapRun, BENCH_SCHEMA_VERSION};
 use imadg_bench::{default_spec, maybe_json, setup_cluster, ExpScale, WIDE};
 use imadg_db::Placement;
-use imadg_workload::{report, run_oltap, OpMix, QueryId};
+use imadg_workload::{report, run_oltap, OltapMetrics, OpMix, QueryId};
+
+/// Project one workload run into a `BENCH_oltap.json` entry.
+fn oltap_run(name: &str, m: &OltapMetrics) -> BenchOltapRun {
+    BenchOltapRun {
+        name: name.into(),
+        achieved_ops_per_sec: m.achieved_ops_per_sec,
+        scans_total: m.scans_total,
+        q1_median_s: m.q1.median_s,
+        q1_p95_s: m.q1.p95_s,
+        q2_median_s: m.q2.median_s,
+        q2_p95_s: m.q2.p95_s,
+    }
+}
 
 fn main() {
     let scale = ExpScale::from_env();
@@ -43,4 +57,18 @@ fn main() {
     }
     println!();
     report::print_comparison("Fig. 9 — Q1/Q2 response times, update-only", &runs[0], &runs[1]);
+
+    // The machine-readable trajectory datapoint for this experiment.
+    let out_path =
+        std::env::var("IMADG_BENCH_OLTAP_OUT").unwrap_or_else(|_| "BENCH_oltap.json".into());
+    let doc = BenchOltapDoc {
+        schema_version: BENCH_SCHEMA_VERSION,
+        bench: "oltap".into(),
+        rows: scale.rows,
+        cores: scale.cores as usize,
+        runs: vec![oltap_run("without_dbim", &runs[0]), oltap_run("with_dbim", &runs[1])],
+    };
+    doc.validate().expect("well-formed oltap document");
+    write_json(&out_path, &doc).expect("write BENCH_oltap.json");
+    println!("wrote {out_path}");
 }

@@ -10,6 +10,8 @@
 //! * `IMADG_CORES`   — simulated host cores for CPU% (default 16, the
 //!   paper's 2× 8-core Xeon E5-2690)
 
+pub mod bench_output;
+
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -72,6 +72,11 @@ pub struct ImcsConfig {
     /// off, a partially-mined transaction pessimistically triggers coarse
     /// invalidation.
     pub commit_flag_annotation: bool,
+    /// Parallel degree for scan/aggregate execution: per-unit scan tasks
+    /// fan out across this many query-scoped workers (paper §IV: the
+    /// standby's In-Memory Scan Engine parallelizes one query across
+    /// IMCUs). `1` = serial; `0` = one worker per available core.
+    pub scan_parallel_degree: usize,
 }
 
 impl Default for ImcsConfig {
@@ -84,6 +89,7 @@ impl Default for ImcsConfig {
             repopulate_min_scn_gap: 2000,
             build_pause_micros: 1000,
             commit_flag_annotation: true,
+            scan_parallel_degree: 1,
         }
     }
 }

@@ -685,6 +685,10 @@ pub struct ScanEngineMetrics {
     pub pruned_units: Counter,
     /// Units whose columns were scanned.
     pub scanned_units: Counter,
+    /// Per-unit scan tasks issued to the query-scoped worker pool.
+    pub parallel_tasks: Counter,
+    /// Queries executed with a parallel degree > 1.
+    pub parallel_queries: Counter,
     /// Query latency distribution (µs).
     pub latency_us: Histogram,
 }
@@ -701,6 +705,8 @@ impl ScanEngineMetrics {
             uncovered_rows: self.uncovered_rows.get(),
             pruned_units: self.pruned_units.get(),
             scanned_units: self.scanned_units.get(),
+            parallel_tasks: self.parallel_tasks.get(),
+            parallel_queries: self.parallel_queries.get(),
             latency_us: self.latency_us.snapshot(),
         }
     }
@@ -725,6 +731,10 @@ pub struct ScanEngineSnapshot {
     pub pruned_units: u64,
     /// Units scanned.
     pub scanned_units: u64,
+    /// Per-unit scan tasks issued to the worker pool.
+    pub parallel_tasks: u64,
+    /// Queries executed with a parallel degree > 1.
+    pub parallel_queries: u64,
     /// Latency distribution (µs).
     pub latency_us: HistogramSnapshot,
 }

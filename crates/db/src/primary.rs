@@ -37,6 +37,8 @@ pub struct PrimaryInstance {
     pub dml_cpu: CpuAccount,
     /// This instance's metrics registry (transport / population / scan).
     metrics: Arc<MetricsRegistry>,
+    /// Configured scan parallel degree (0 = one worker per core).
+    scan_degree: usize,
 }
 
 impl PrimaryInstance {
@@ -77,6 +79,7 @@ impl PrimaryInstance {
             query_cpu: CpuAccount::new(),
             dml_cpu: CpuAccount::new(),
             metrics,
+            scan_degree: imcs_config.scan_parallel_degree,
         })
     }
 
@@ -127,6 +130,7 @@ impl PrimaryInstance {
             &self.store,
             req,
             self.scns.current(),
+            self.scan_degree,
             &self.metrics.scan,
             &self.metrics.trace,
         )

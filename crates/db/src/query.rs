@@ -14,8 +14,8 @@ use std::time::{Duration, Instant};
 use imadg_common::metrics::ScanEngineMetrics;
 use imadg_common::{ObjectId, PipelineTrace, Result, Scn, TraceStage};
 use imadg_imcs::{
-    scan_aggregate, scan_cluster, scan_expression, AggregateResult, ExprPredicate, Filter,
-    ImcsStore, ScanStats,
+    scan_aggregate_parallel, scan_cluster_parallel, scan_expression_parallel, AggregateResult,
+    ExprPredicate, Filter, ImcsStore, ScanStats,
 };
 use imadg_storage::{Row, Store};
 
@@ -37,6 +37,7 @@ pub struct QueryRequest {
     expression: Option<ExprPredicate>,
     aggregate: Option<String>,
     snapshot: Option<Scn>,
+    parallel: Option<usize>,
 }
 
 impl QueryRequest {
@@ -72,6 +73,13 @@ impl QueryRequest {
         self
     }
 
+    /// Override the instance's configured scan parallel degree for this
+    /// query (`1` = serial, `0` = one worker per available core).
+    pub fn parallel(mut self, degree: usize) -> Self {
+        self.parallel = Some(degree);
+        self
+    }
+
     /// The target object.
     pub fn object(&self) -> ObjectId {
         self.object
@@ -80,6 +88,11 @@ impl QueryRequest {
     /// The explicit snapshot, when one was set.
     pub fn snapshot(&self) -> Option<Scn> {
         self.snapshot
+    }
+
+    /// The explicit parallel-degree override, when one was set.
+    pub fn parallel_degree(&self) -> Option<usize> {
+        self.parallel
     }
 }
 
@@ -99,6 +112,8 @@ pub struct QueryOutput {
     pub elapsed: Duration,
     /// The snapshot the query ran at.
     pub snapshot: Scn,
+    /// The resolved parallel degree the query executed with.
+    pub parallel_degree: usize,
 }
 
 impl QueryOutput {
@@ -111,23 +126,28 @@ impl QueryOutput {
 /// Execute `req` against the given column stores, falling back to the row
 /// store, recording the execution into `metrics` and `trace`.
 ///
-/// `default_snapshot` is used when the request carries no explicit SCN.
+/// `default_snapshot` is used when the request carries no explicit SCN;
+/// `default_degree` (the instance's configured scan parallel degree) when
+/// it carries no explicit `.parallel(..)` override. Degree `0` resolves to
+/// one worker per available core.
 pub fn execute_request(
     imcs_stores: &[Arc<ImcsStore>],
     store: &Store,
     req: &QueryRequest,
     default_snapshot: Scn,
+    default_degree: usize,
     metrics: &ScanEngineMetrics,
     trace: &PipelineTrace,
 ) -> Result<QueryOutput> {
     let snapshot = req.snapshot.unwrap_or(default_snapshot);
+    let degree = imadg_imcs::parallel::resolve_degree(req.parallel.unwrap_or(default_degree));
     let started = Instant::now();
     let out = if let Some(column) = &req.aggregate {
-        run_aggregate(imcs_stores, store, req, column, snapshot, started)?
+        run_aggregate(imcs_stores, store, req, column, snapshot, degree, started)?
     } else if let Some(pred) = &req.expression {
-        run_expression(imcs_stores, store, req.object, pred, snapshot, started)?
+        run_expression(imcs_stores, store, req.object, pred, snapshot, degree, started)?
     } else {
-        run_scan(imcs_stores, store, req.object, &req.filter, snapshot, started)?
+        run_scan(imcs_stores, store, req.object, &req.filter, snapshot, degree, started)?
     };
     record_execution(metrics, &out);
     trace.record(
@@ -153,18 +173,22 @@ pub fn execute_scan(
     filter: &Filter,
     snapshot: Scn,
 ) -> Result<QueryOutput> {
-    run_scan(imcs_stores, store, object, filter, snapshot, Instant::now())
+    run_scan(imcs_stores, store, object, filter, snapshot, 1, Instant::now())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_scan(
     imcs_stores: &[Arc<ImcsStore>],
     store: &Store,
     object: ObjectId,
     filter: &Filter,
     snapshot: Scn,
+    degree: usize,
     started: Instant,
 ) -> Result<QueryOutput> {
-    if let Some(result) = scan_cluster(imcs_stores, store, object, filter, snapshot)? {
+    if let Some(result) =
+        scan_cluster_parallel(imcs_stores, store, object, filter, snapshot, degree)?
+    {
         return Ok(QueryOutput {
             rows: result.rows,
             used_imcs: true,
@@ -172,6 +196,7 @@ fn run_scan(
             aggregate: None,
             elapsed: started.elapsed(),
             snapshot,
+            parallel_degree: degree,
         });
     }
     // Buffer-cache scan: walk every block's version chains.
@@ -188,18 +213,21 @@ fn run_scan(
         aggregate: None,
         elapsed: started.elapsed(),
         snapshot,
+        parallel_degree: degree,
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_expression(
     imcs_stores: &[Arc<ImcsStore>],
     store: &Store,
     object: ObjectId,
     pred: &ExprPredicate,
     snapshot: Scn,
+    degree: usize,
     started: Instant,
 ) -> Result<QueryOutput> {
-    if let Some(r) = scan_expression(imcs_stores, store, object, pred, snapshot)? {
+    if let Some(r) = scan_expression_parallel(imcs_stores, store, object, pred, snapshot, degree)? {
         return Ok(QueryOutput {
             rows: r.rows,
             used_imcs: true,
@@ -207,6 +235,7 @@ fn run_expression(
             aggregate: None,
             elapsed: started.elapsed(),
             snapshot,
+            parallel_degree: degree,
         });
     }
     let mut rows = Vec::new();
@@ -222,20 +251,30 @@ fn run_expression(
         aggregate: None,
         elapsed: started.elapsed(),
         snapshot,
+        parallel_degree: degree,
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_aggregate(
     imcs_stores: &[Arc<ImcsStore>],
     store: &Store,
     req: &QueryRequest,
     column: &str,
     snapshot: Scn,
+    degree: usize,
     started: Instant,
 ) -> Result<QueryOutput> {
     let ordinal = store.table(req.object)?.schema.read().ordinal(column)?;
-    if let Some(r) = scan_aggregate(imcs_stores, store, req.object, &req.filter, ordinal, snapshot)?
-    {
+    if let Some(r) = scan_aggregate_parallel(
+        imcs_stores,
+        store,
+        req.object,
+        &req.filter,
+        ordinal,
+        snapshot,
+        degree,
+    )? {
         return Ok(QueryOutput {
             rows: Vec::new(),
             used_imcs: true,
@@ -243,6 +282,7 @@ fn run_aggregate(
             aggregate: Some(r),
             elapsed: started.elapsed(),
             snapshot,
+            parallel_degree: degree,
         });
     }
     let mut r = AggregateResult::default();
@@ -259,6 +299,7 @@ fn run_aggregate(
         aggregate: Some(r),
         elapsed: started.elapsed(),
         snapshot,
+        parallel_degree: degree,
     })
 }
 
@@ -270,16 +311,21 @@ fn record_execution(metrics: &ScanEngineMetrics, out: &QueryOutput) {
     } else {
         metrics.row_store_fallback.inc();
     }
+    if out.used_imcs && out.parallel_degree > 1 {
+        metrics.parallel_queries.inc();
+    }
     if let Some(stats) = &out.stats {
         metrics.imcu_rows.add(stats.imcu_rows as u64);
         metrics.fallback_rows.add(stats.fallback_rows as u64);
         metrics.uncovered_rows.add(stats.uncovered_rows as u64);
         metrics.pruned_units.add(stats.pruned_units as u64);
         metrics.scanned_units.add(stats.scanned_units as u64);
+        metrics.parallel_tasks.add(stats.parallel_tasks as u64);
     }
     if let Some(agg) = &out.aggregate {
         metrics.fallback_rows.add(agg.stats.fallback_rows as u64);
         metrics.scanned_units.add(agg.stats.scanned_units as u64);
+        metrics.parallel_tasks.add(agg.stats.parallel_tasks as u64);
     }
     metrics.latency_us.record(out.elapsed);
 }

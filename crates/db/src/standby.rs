@@ -101,6 +101,8 @@ pub struct StandbyCluster {
     home: HomeLocationMap,
     /// The cluster-wide metrics registry every pipeline stage reports into.
     metrics: Arc<MetricsRegistry>,
+    /// Configured scan parallel degree (0 = one worker per core).
+    scan_degree: usize,
 }
 
 impl StandbyCluster {
@@ -213,6 +215,7 @@ impl StandbyCluster {
             rac_endpoints,
             home,
             metrics,
+            scan_degree: config.imcs.scan_parallel_degree,
         }))
     }
 
@@ -309,6 +312,7 @@ impl StandbyCluster {
             &self.store,
             req,
             snapshot,
+            self.scan_degree,
             &self.metrics.scan,
             &self.metrics.trace,
         )

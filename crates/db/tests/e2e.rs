@@ -347,6 +347,36 @@ fn restart_mid_transaction_triggers_coarse_invalidation() {
 }
 
 #[test]
+fn parallel_degree_is_invisible_to_results() {
+    use imadg_db::QueryRequest;
+    let mut spec = ClusterSpec::default();
+    spec.config.imcs.imcu_max_rows = 32; // several units → real fan-out
+    let c = cluster(spec);
+    seed(&c, 0, 300);
+    c.sync().unwrap();
+    // Post-population DML so some units answer through the SMU fallback.
+    let p = c.primary();
+    let mut tx = p.txm.begin(TenantId::DEFAULT);
+    for k in [7i64, 70, 140, 210] {
+        p.txm.update_column_by_key(&mut tx, OBJ, k, "n1", Value::Int(4)).unwrap();
+    }
+    p.txm.commit(tx);
+    c.sync().unwrap();
+
+    let f = filter(&c, "n1", Value::Int(4));
+    let standby = c.standby();
+    let serial = standby.query(&QueryRequest::scan(OBJ).filter(f.clone()).parallel(1)).unwrap();
+    assert!(serial.used_imcs);
+    for degree in [2usize, 4, 8] {
+        let par =
+            standby.query(&QueryRequest::scan(OBJ).filter(f.clone()).parallel(degree)).unwrap();
+        assert_eq!(par.parallel_degree, degree);
+        assert_eq!(par.rows, serial.rows, "rows and order at degree {degree}");
+        assert_eq!(par.stats, serial.stats, "provenance counters at degree {degree}");
+    }
+}
+
+#[test]
 fn range_predicates_on_standby() {
     let mut spec = ClusterSpec::default();
     spec.config.imcs.imcu_max_rows = 32; // several units → pruning observable

@@ -11,14 +11,14 @@
 //! * stale rows and uncovered blocks aggregate over row images fetched via
 //!   Consistent Read — the same reconciliation discipline as row scans.
 
-use std::collections::HashSet;
 use std::sync::Arc;
 
-use imadg_common::{ObjectId, Result, Scn};
-use imadg_storage::{Row, Store, Value};
+use imadg_common::{Dba, ObjectId, Result, Scn};
+use imadg_storage::{Store, Value};
 
 use crate::column::MinMax;
-use crate::imcs_store::{ImcsStore, ObjectImcs};
+use crate::imcs_store::{ImcsStore, ImcuHandle, ObjectImcs};
+use crate::parallel::run_indexed;
 use crate::predicate::Filter;
 
 /// Running aggregates over one column.
@@ -50,15 +50,30 @@ impl Aggregates {
         self.merge_max(v);
     }
 
-    fn merge_min(&mut self, v: &Value) {
+    /// Lower `min` to `v` if smaller (masked-kernel and merge entry point).
+    pub fn merge_min(&mut self, v: &Value) {
         if self.min.as_ref().is_none_or(|m| value_lt(v, m)) {
             self.min = Some(v.clone());
         }
     }
 
-    fn merge_max(&mut self, v: &Value) {
+    /// Raise `max` to `v` if larger (masked-kernel and merge entry point).
+    pub fn merge_max(&mut self, v: &Value) {
         if self.max.as_ref().is_none_or(|m| value_lt(m, v)) {
             self.max = Some(v.clone());
+        }
+    }
+
+    /// Fold another partial aggregate in (parallel per-unit reduce).
+    pub fn merge(&mut self, other: &Aggregates) {
+        self.count += other.count;
+        self.non_null += other.non_null;
+        self.sum += other.sum;
+        if let Some(m) = &other.min {
+            self.merge_min(m);
+        }
+        if let Some(m) = &other.max {
+            self.merge_max(m);
         }
     }
 
@@ -91,6 +106,20 @@ pub struct AggregateStats {
     pub bypassed_units: usize,
     /// Rows aggregated via row-store fallback.
     pub fallback_rows: usize,
+    /// Per-unit aggregate tasks issued to the worker pool (a function of
+    /// the unit count only — identical at every parallel degree).
+    pub parallel_tasks: usize,
+}
+
+impl AggregateStats {
+    /// Fold another unit's counters in (parallel per-unit reduce).
+    pub fn absorb(&mut self, other: &AggregateStats) {
+        self.pushdown_units += other.pushdown_units;
+        self.scanned_units += other.scanned_units;
+        self.bypassed_units += other.bypassed_units;
+        self.fallback_rows += other.fallback_rows;
+        self.parallel_tasks += other.parallel_tasks;
+    }
 }
 
 /// A completed aggregate scan.
@@ -100,6 +129,85 @@ pub struct AggregateResult {
     pub aggs: Aggregates,
     /// Provenance counters.
     pub stats: AggregateStats,
+}
+
+/// Aggregate one unit: bypass to the row-store when the columnar data is
+/// unusable; answer O(1) from unit metadata when possible; otherwise fold
+/// the selection bitmap straight through the encoded column — no row ever
+/// materializes on the columnar path.
+fn aggregate_unit(
+    handle: &ImcuHandle,
+    store: &Store,
+    filter: &Filter,
+    ordinal: usize,
+    snapshot: Scn,
+) -> Result<(AggregateResult, Vec<Dba>)> {
+    let (imcu, smu) = handle.pair();
+    let covered = imcu.dbas.clone();
+    let mut result = AggregateResult::default();
+    let view = smu.read();
+
+    if imcu.is_pending() || view.all_invalid() || snapshot < imcu.snapshot {
+        drop(view);
+        result.stats.bypassed_units = 1;
+        store.scan_blocks(&imcu.dbas, snapshot, |_, row| {
+            if filter.eval_row(row) {
+                result.aggs.add(row.get(ordinal));
+                result.stats.fallback_rows += 1;
+            }
+        })?;
+        return Ok((result, covered));
+    }
+
+    // O(1) push-down: unfiltered aggregate over a unit with no stale
+    // rows is fully answered by unit metadata.
+    let mut pushed_down = false;
+    if filter.terms.is_empty() && view.fallback_count() == 0 {
+        if let Some(agg) = imcu.column_agg(ordinal) {
+            result.stats.pushdown_units = 1;
+            result.aggs.count += imcu.rows() as u64;
+            result.aggs.non_null += agg.non_null;
+            result.aggs.sum += agg.sum;
+            if agg.non_null > 0 {
+                match imcu.storage_index.summary(ordinal) {
+                    Some(MinMax::Int(lo, hi)) => {
+                        result.aggs.merge_min(&Value::Int(*lo));
+                        result.aggs.merge_max(&Value::Int(*hi));
+                    }
+                    Some(MinMax::Str(lo, hi)) => {
+                        result.aggs.merge_min(&Value::Str(lo.clone()));
+                        result.aggs.merge_max(&Value::Str(hi.clone()));
+                    }
+                    _ => {}
+                }
+            }
+            pushed_down = true;
+        }
+    }
+
+    // Column path: evaluate every conjunct in column space, AND the SMU
+    // validity mask, and fold the aggregated column under the final
+    // bitmap — the aggregated column is the only data actually decoded.
+    if !pushed_down {
+        result.stats.scanned_units = 1;
+        if let Some(mut sel) = imcu.filter_bitmap(filter) {
+            if let Some(mask) = view.validity_mask(imcu.rows(), |l| imcu.rownum(l)) {
+                sel.and_assign(&mask);
+            }
+            imcu.aggregate_masked(ordinal, &sel, &mut result.aggs);
+        }
+    }
+
+    let mut fallback: Vec<imadg_storage::RowLoc> = Vec::with_capacity(view.fallback_count());
+    view.collect_fallback(&mut fallback);
+    drop(view);
+    store.fetch_rows_batched(&mut fallback, snapshot, |_, row| {
+        if filter.eval_row(row) {
+            result.aggs.add(row.get(ordinal));
+            result.stats.fallback_rows += 1;
+        }
+    })?;
+    Ok((result, covered))
 }
 
 /// Aggregate column `ordinal` of `object` over rows matching `filter`, at
@@ -113,94 +221,51 @@ pub fn scan_aggregate(
     ordinal: usize,
     snapshot: Scn,
 ) -> Result<Option<AggregateResult>> {
+    scan_aggregate_parallel(stores, store, object, filter, ordinal, snapshot, 1)
+}
+
+/// [`scan_aggregate`] with an explicit parallel degree (`<= 1` = serial):
+/// per-unit partial aggregates computed across the worker pool and merged
+/// in unit order.
+pub fn scan_aggregate_parallel(
+    stores: &[Arc<ImcsStore>],
+    store: &Store,
+    object: ObjectId,
+    filter: &Filter,
+    ordinal: usize,
+    snapshot: Scn,
+    degree: usize,
+) -> Result<Option<AggregateResult>> {
     let entries: Vec<Arc<ObjectImcs>> = stores.iter().filter_map(|s| s.object(object)).collect();
     if entries.is_empty() {
         return Ok(None);
     }
+    let handles: Vec<Arc<ImcuHandle>> = entries.iter().flat_map(|e| e.handles()).collect();
+    let partials = run_indexed(degree, handles.len(), |i| {
+        aggregate_unit(handles[i].as_ref(), store, filter, ordinal, snapshot)
+    });
+
     let mut result = AggregateResult::default();
-    let mut covered: HashSet<imadg_common::Dba> = HashSet::new();
-    let add_row = |result: &mut AggregateResult, row: &Row| {
-        result.aggs.add(row.get(ordinal));
-    };
-
-    for handle in entries.iter().flat_map(|e| e.handles()) {
-        let (imcu, smu) = handle.pair();
-        covered.extend(imcu.dbas.iter().copied());
-        let view = smu.read();
-
-        if imcu.is_pending() || view.all_invalid() || snapshot < imcu.snapshot {
-            result.stats.bypassed_units += 1;
-            store.scan_blocks(&imcu.dbas, snapshot, |_, row| {
-                if filter.eval_row(row) {
-                    add_row(&mut result, row);
-                    result.stats.fallback_rows += 1;
-                }
-            })?;
-            continue;
-        }
-
-        // O(1) push-down: unfiltered aggregate over a unit with no stale
-        // rows is fully answered by unit metadata.
-        if filter.terms.is_empty() && view.fallback_count() == 0 {
-            if let Some(agg) = imcu.column_agg(ordinal) {
-                result.stats.pushdown_units += 1;
-                result.aggs.count += imcu.rows() as u64;
-                result.aggs.non_null += agg.non_null;
-                result.aggs.sum += agg.sum;
-                if agg.non_null > 0 {
-                    match imcu.storage_index.summary(ordinal) {
-                        Some(MinMax::Int(lo, hi)) => {
-                            result.aggs.merge_min(&Value::Int(*lo));
-                            result.aggs.merge_max(&Value::Int(*hi));
-                        }
-                        Some(MinMax::Str(lo, hi)) => {
-                            result.aggs.merge_min(&Value::Str(lo.clone()));
-                            result.aggs.merge_max(&Value::Str(hi.clone()));
-                        }
-                        _ => {}
-                    }
-                }
-                continue;
-            }
-        }
-
-        // Column path: drive the leading predicate through its encoded
-        // column, verify the rest per candidate via column reads — the
-        // aggregated column is the only data actually decoded per row.
-        result.stats.scanned_units += 1;
-        let candidates: Vec<u32> = match filter.split_first() {
-            Some((head, _)) if !imcu.storage_index.may_match(head) => Vec::new(),
-            Some((head, _)) => imcu.scan(head),
-            None => imcu.all_rows().collect(),
-        };
-        let rest = filter.split_first().map(|(_, r)| r).unwrap_or(&[]);
-        for rn in candidates {
-            let loc = imcu.loc(rn);
-            if view.is_invalid(loc) {
-                continue;
-            }
-            if rest.iter().all(|p| p.eval_value(&imcu.value(rn, p.ordinal))) {
-                result.aggs.add(&imcu.value(rn, ordinal));
-            }
-        }
-
-        let mut fallback: Vec<imadg_storage::RowLoc> = Vec::with_capacity(view.fallback_count());
-        view.collect_fallback(&mut fallback);
-        drop(view);
-        store.fetch_rows_batched(&mut fallback, snapshot, |_, row| {
-            if filter.eval_row(row) {
-                add_row(&mut result, row);
-                result.stats.fallback_rows += 1;
-            }
-        })?;
+    let mut covered: Vec<Dba> = Vec::new();
+    for partial in partials {
+        let (p, dbas) = partial?;
+        result.aggs.merge(&p.aggs);
+        result.stats.absorb(&p.stats);
+        covered.extend(dbas);
     }
+    result.stats.parallel_tasks = handles.len();
 
-    let uncovered: Vec<_> =
-        store.block_dbas(object)?.into_iter().filter(|d| !covered.contains(d)).collect();
+    covered.sort_unstable();
+    covered.dedup();
+    let uncovered: Vec<Dba> = store
+        .block_dbas(object)?
+        .into_iter()
+        .filter(|d| covered.binary_search(d).is_err())
+        .collect();
     if !uncovered.is_empty() {
         store.scan_blocks(&uncovered, snapshot, |_, row| {
             if filter.eval_row(row) {
-                add_row(&mut result, row);
+                result.aggs.add(row.get(ordinal));
                 result.stats.fallback_rows += 1;
             }
         })?;

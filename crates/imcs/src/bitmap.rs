@@ -1,0 +1,243 @@
+//! Chunked selection bitmaps: the match-vector currency of the vectorized
+//! scan kernels.
+//!
+//! Every predicate kernel produces one bit per row, packed 64 rows to a
+//! word. Conjunctions AND whole words, SMU validity converts to the same
+//! mask form, and rows are materialized only for final survivors — the
+//! paper's In-Memory Scan Engine discipline (vector-at-a-time predicate
+//! evaluation over packed codes, §IV "In-Memory Scan Engine").
+//!
+//! Invariant: bits at positions `>= rows` are always zero, so word-level
+//! popcounts and ANDs never need edge masking.
+
+/// A fixed-length selection bitmap (one bit per row, 64 rows per word).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelBitmap {
+    words: Vec<u64>,
+    rows: usize,
+}
+
+impl SelBitmap {
+    /// All-zero bitmap over `rows` rows.
+    pub fn zeroes(rows: usize) -> SelBitmap {
+        SelBitmap { words: vec![0u64; rows.div_ceil(64)], rows }
+    }
+
+    /// All-one bitmap over `rows` rows (tail bits stay zero).
+    pub fn ones(rows: usize) -> SelBitmap {
+        let mut b = SelBitmap { words: vec![u64::MAX; rows.div_ceil(64)], rows };
+        b.mask_tail();
+        b
+    }
+
+    /// Number of rows covered.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The packed words (kernel output surface).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable packed words. Callers writing whole words must finish with
+    /// [`SelBitmap::mask_tail`] to restore the tail-zero invariant.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Zero every bit at a position `>= rows` (restores the invariant
+    /// after whole-word kernel writes).
+    pub fn mask_tail(&mut self) {
+        let tail = self.rows % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.rows);
+        self.words[i >> 6] |= 1 << (i & 63);
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.rows);
+        self.words[i >> 6] &= !(1 << (i & 63));
+    }
+
+    /// Is bit `i` set?
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.words[i >> 6] & (1 << (i & 63)) != 0
+    }
+
+    /// Set every bit in `[lo, hi)` (RLE run bursts).
+    pub fn set_range(&mut self, lo: usize, hi: usize) {
+        debug_assert!(lo <= hi && hi <= self.rows);
+        if lo >= hi {
+            return;
+        }
+        let (lw, hw) = (lo >> 6, (hi - 1) >> 6);
+        let lo_mask = u64::MAX << (lo & 63);
+        let hi_mask = u64::MAX >> (63 - ((hi - 1) & 63));
+        if lw == hw {
+            self.words[lw] |= lo_mask & hi_mask;
+        } else {
+            self.words[lw] |= lo_mask;
+            for w in &mut self.words[lw + 1..hw] {
+                *w = u64::MAX;
+            }
+            self.words[hw] |= hi_mask;
+        }
+    }
+
+    /// `self &= other` (conjunction of two match vectors).
+    pub fn and_assign(&mut self, other: &SelBitmap) {
+        debug_assert_eq!(self.rows, other.rows);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self &= !other` (subtract a mask, e.g. a null bitmap).
+    pub fn and_not_assign(&mut self, other_words: &[u64]) {
+        for (a, &b) in self.words.iter_mut().zip(other_words) {
+            *a &= !b;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Are no bits set?
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits in `[lo, hi)` (RLE masked aggregation).
+    pub fn count_range(&self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi && hi <= self.rows);
+        if lo >= hi {
+            return 0;
+        }
+        let (lw, hw) = (lo >> 6, (hi - 1) >> 6);
+        let lo_mask = u64::MAX << (lo & 63);
+        let hi_mask = u64::MAX >> (63 - ((hi - 1) & 63));
+        if lw == hw {
+            return (self.words[lw] & lo_mask & hi_mask).count_ones() as usize;
+        }
+        let mut n = (self.words[lw] & lo_mask).count_ones() as usize;
+        for w in &self.words[lw + 1..hw] {
+            n += w.count_ones() as usize;
+        }
+        n + (self.words[hw] & hi_mask).count_ones() as usize
+    }
+
+    /// Iterate the set row numbers in ascending order.
+    pub fn iter_ones(&self) -> SetBits<'_> {
+        SetBits {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Iterator over set bit positions (ascending).
+pub struct SetBits<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        Some((self.word_idx as u32) << 6 | bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ones_masks_tail() {
+        let b = SelBitmap::ones(70);
+        assert_eq!(b.count(), 70);
+        assert!(b.get(69));
+        let collected: Vec<u32> = b.iter_ones().collect();
+        assert_eq!(collected.len(), 70);
+        assert_eq!(collected[69], 69);
+    }
+
+    #[test]
+    fn set_clear_get() {
+        let mut b = SelBitmap::zeroes(130);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1));
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn set_range_spans_words() {
+        let mut b = SelBitmap::zeroes(200);
+        b.set_range(60, 140);
+        assert_eq!(b.count(), 80);
+        assert!(!b.get(59) && b.get(60) && b.get(139) && !b.get(140));
+        assert_eq!(b.count_range(60, 140), 80);
+        assert_eq!(b.count_range(0, 60), 0);
+        assert_eq!(b.count_range(100, 200), 40);
+        // Single-word range.
+        let mut c = SelBitmap::zeroes(64);
+        c.set_range(3, 7);
+        assert_eq!(c.iter_ones().collect::<Vec<_>>(), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn and_ops() {
+        let mut a = SelBitmap::ones(100);
+        let mut b = SelBitmap::zeroes(100);
+        b.set_range(10, 20);
+        a.and_assign(&b);
+        assert_eq!(a.count(), 10);
+        let nulls = vec![1u64 << 12, 0];
+        a.and_not_assign(&nulls);
+        assert_eq!(a.count(), 9);
+        assert!(!a.get(12));
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let b = SelBitmap::zeroes(0);
+        assert_eq!(b.count(), 0);
+        assert!(b.is_empty());
+        assert_eq!(b.iter_ones().count(), 0);
+        let o = SelBitmap::ones(0);
+        assert_eq!(o.count(), 0);
+    }
+}

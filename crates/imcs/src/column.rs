@@ -3,6 +3,8 @@
 
 use imadg_storage::{ColumnType, Value};
 
+use crate::aggregate::Aggregates;
+use crate::bitmap::SelBitmap;
 use crate::encoding::dict::DictStrCu;
 use crate::encoding::plain::PlainIntCu;
 use crate::encoding::rle::RleIntCu;
@@ -80,12 +82,43 @@ impl ColumnCu {
         .unwrap_or(MinMax::AllNull)
     }
 
-    /// Append matching row ids to `out`.
+    /// Append matching row ids to `out` (scalar reference path).
     pub fn scan(&self, pred: &Predicate, out: &mut Vec<u32>) {
         match self {
             ColumnCu::Plain(c) => c.scan(pred, out),
             ColumnCu::Rle(c) => c.scan(pred, out),
             ColumnCu::Dict(c) => c.scan(pred, out),
+        }
+    }
+
+    /// Write one match bit per row into `sel` (zeroed, sized to `len()`)
+    /// through the encoding's branchless kernel.
+    pub fn scan_bitmap(&self, pred: &Predicate, sel: &mut SelBitmap) {
+        match self {
+            ColumnCu::Plain(c) => c.scan_bitmap(pred, sel),
+            ColumnCu::Rle(c) => c.scan_bitmap(pred, sel),
+            ColumnCu::Dict(c) => c.scan_bitmap(pred, sel),
+        }
+    }
+
+    /// Append the values at the given rows (ascending) to `out` — the
+    /// batched column-at-a-time read under scan materialization, with the
+    /// encoding dispatched once per column instead of once per cell.
+    pub fn gather(&self, rows: &[u32], out: &mut Vec<Value>) {
+        match self {
+            ColumnCu::Plain(c) => c.gather(rows, out),
+            ColumnCu::Rle(c) => c.gather(rows, out),
+            ColumnCu::Dict(c) => c.gather(rows, out),
+        }
+    }
+
+    /// Fold the selected rows into `aggs` without materializing row
+    /// images (aggregation push-down over a selection bitmap).
+    pub fn aggregate_masked(&self, sel: &SelBitmap, aggs: &mut Aggregates) {
+        match self {
+            ColumnCu::Plain(c) => c.aggregate_masked(sel, aggs),
+            ColumnCu::Rle(c) => c.aggregate_masked(sel, aggs),
+            ColumnCu::Dict(c) => c.aggregate_masked(sel, aggs),
         }
     }
 }

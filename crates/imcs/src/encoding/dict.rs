@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use imadg_storage::Value;
 
+use crate::bitmap::SelBitmap;
 use crate::predicate::{CmpOp, Predicate};
 
 /// Code reserved for NULL.
@@ -82,6 +83,16 @@ impl DictStrCu {
         }
     }
 
+    /// Append the values at the given rows to `out` (batched gather: the
+    /// code loads are independent, so the CPU overlaps the cache misses).
+    pub fn gather(&self, rows: &[u32], out: &mut Vec<Value>) {
+        out.reserve(rows.len());
+        out.extend(rows.iter().map(|&rn| match self.codes[rn as usize] {
+            NULL_CODE => Value::Null,
+            c => Value::Str(self.dict[c as usize].clone()),
+        }));
+    }
+
     /// Lexicographic min/max over non-null values.
     pub fn min_max(&self) -> Option<(Arc<str>, Arc<str>)> {
         // Sorted dictionary: endpoints are the extremes — but only if some
@@ -89,57 +100,105 @@ impl DictStrCu {
         Some((self.dict.first()?.clone(), self.dict.last()?.clone()))
     }
 
-    /// Append rows matching `pred` to `out`.
-    ///
-    /// The comparison happens in code space: the sorted dictionary turns
-    /// the literal into a code bound, then the row loop is pure integer
-    /// compares.
-    pub fn scan(&self, pred: &Predicate, out: &mut Vec<u32>) {
+    /// Translate `pred` into an inclusive code range `[lo, hi]` plus an
+    /// excluded exact code (for `Ne`; [`NULL_CODE`] when nothing is
+    /// excluded — NULL never matches anyway). `None` means no row can
+    /// match. The empty-dictionary guard sits *above* the bound
+    /// computation so the `wrapping_sub`-based bounds are never formed for
+    /// an empty dict.
+    fn code_bounds(&self, pred: &Predicate) -> Option<(u32, u32, u32)> {
+        if self.dict.is_empty() {
+            return None;
+        }
         let target = match &pred.value {
             Value::Str(s) => s.as_ref(),
-            _ => return,
+            _ => return None,
         };
+        let last = (self.dict.len() - 1) as u32;
         // Position of the literal in code space.
         let pos = self.dict.binary_search_by(|d| d.as_ref().cmp(target));
-        // For each operator compute an inclusive code range [lo, hi] of
-        // matching codes, plus an optional excluded exact code (for Ne).
-        let (lo, hi, exclude) = match (pred.op, pos) {
-            (CmpOp::Eq, Ok(c)) => (c as u32, c as u32, None),
-            (CmpOp::Eq, Err(_)) => return,
-            (CmpOp::Ne, Ok(c)) => (0, self.dict.len().wrapping_sub(1) as u32, Some(c as u32)),
-            (CmpOp::Ne, Err(_)) => (0, self.dict.len().wrapping_sub(1) as u32, None),
-            (CmpOp::Lt, Ok(c)) | (CmpOp::Lt, Err(c)) => {
+        match (pred.op, pos) {
+            (CmpOp::Eq, Ok(c)) => Some((c as u32, c as u32, NULL_CODE)),
+            (CmpOp::Eq, Err(_)) => None,
+            (CmpOp::Ne, Ok(c)) => Some((0, last, c as u32)),
+            (CmpOp::Ne, Err(_)) => Some((0, last, NULL_CODE)),
+            (CmpOp::Lt, Ok(c) | Err(c)) | (CmpOp::Le, Err(c)) => {
                 if c == 0 {
-                    return;
+                    None
+                } else {
+                    Some((0, (c - 1) as u32, NULL_CODE))
                 }
-                (0, (c - 1) as u32, None)
             }
-            (CmpOp::Le, Ok(c)) => (0, c as u32, None),
-            (CmpOp::Le, Err(c)) => {
-                if c == 0 {
-                    return;
-                }
-                (0, (c - 1) as u32, None)
-            }
+            (CmpOp::Le, Ok(c)) => Some((0, c as u32, NULL_CODE)),
             (CmpOp::Gt, Ok(c)) => {
-                if c + 1 >= self.dict.len() {
-                    return;
+                if c as u32 >= last {
+                    None
+                } else {
+                    Some((c as u32 + 1, last, NULL_CODE))
                 }
-                ((c + 1) as u32, (self.dict.len() - 1) as u32, None)
             }
             (CmpOp::Gt, Err(c)) | (CmpOp::Ge, Err(c)) => {
                 if c >= self.dict.len() {
-                    return;
+                    None
+                } else {
+                    Some((c as u32, last, NULL_CODE))
                 }
-                (c as u32, (self.dict.len() - 1) as u32, None)
             }
-            (CmpOp::Ge, Ok(c)) => (c as u32, (self.dict.len() - 1) as u32, None),
-        };
-        if self.dict.is_empty() {
-            return;
+            (CmpOp::Ge, Ok(c)) => Some((c as u32, last, NULL_CODE)),
         }
+    }
+
+    /// Write one match bit per row into `sel` (zeroed, sized to `len()`):
+    /// one dictionary binary-search turns the literal into code bounds,
+    /// then the row loop is branchless u32 compares over the packed codes.
+    /// `NULL_CODE` rows never match (they exceed every valid `hi`).
+    pub fn scan_bitmap(&self, pred: &Predicate, sel: &mut SelBitmap) {
+        debug_assert_eq!(sel.rows(), self.len());
+        let Some((lo, hi, exclude)) = self.code_bounds(pred) else {
+            return;
+        };
+        let words = sel.words_mut();
+        for (w, chunk) in self.codes.chunks(64).enumerate() {
+            let mut m = 0u64;
+            for (b, &c) in chunk.iter().enumerate() {
+                m |= (((c >= lo) & (c <= hi) & (c != exclude)) as u64) << b;
+            }
+            words[w] = m;
+        }
+        sel.mask_tail();
+    }
+
+    /// Fold the selected rows into `aggs` in code space: null detection
+    /// and min/max tracking happen on codes, and only the final extremes
+    /// touch the dictionary.
+    pub fn aggregate_masked(&self, sel: &SelBitmap, aggs: &mut crate::aggregate::Aggregates) {
+        let mut min_max: Option<(u32, u32)> = None;
+        for rn in sel.iter_ones() {
+            let c = self.codes[rn as usize];
+            aggs.count += 1;
+            if c == NULL_CODE {
+                continue;
+            }
+            aggs.non_null += 1;
+            min_max = match min_max {
+                None => Some((c, c)),
+                Some((lo, hi)) => Some((lo.min(c), hi.max(c))),
+            };
+        }
+        if let Some((lo, hi)) = min_max {
+            aggs.merge_min(&Value::Str(self.dict[lo as usize].clone()));
+            aggs.merge_max(&Value::Str(self.dict[hi as usize].clone()));
+        }
+    }
+
+    /// Append rows matching `pred` to `out` — the scalar reference path
+    /// (kept as the parity baseline for the bitmap kernel).
+    pub fn scan(&self, pred: &Predicate, out: &mut Vec<u32>) {
+        let Some((lo, hi, exclude)) = self.code_bounds(pred) else {
+            return;
+        };
         for (i, &c) in self.codes.iter().enumerate() {
-            if c != NULL_CODE && c >= lo && c <= hi && Some(c) != exclude {
+            if c != NULL_CODE && c >= lo && c <= hi && c != exclude {
                 out.push(i as u32);
             }
         }
@@ -213,5 +272,49 @@ mod tests {
         assert!(collect(CmpOp::Lt, "a").is_empty());
         assert!(collect(CmpOp::Gt, "d").is_empty());
         assert_eq!(collect(CmpOp::Ne, "nope").len(), 4);
+    }
+
+    #[test]
+    fn empty_dict_scans_nothing() {
+        let c = DictStrCu::build(&[Value::Null, Value::Null]);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let mut out = Vec::new();
+            c.scan(&pred(op, "x"), &mut out);
+            assert!(out.is_empty(), "{op:?}");
+            let mut sel = SelBitmap::zeroes(c.len());
+            c.scan_bitmap(&pred(op, "x"), &mut sel);
+            assert!(sel.is_empty(), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn bitmap_kernel_matches_scalar() {
+        let vals: Vec<Value> = (0..150)
+            .map(|i| if i % 11 == 0 { Value::Null } else { Value::str(format!("s{}", i % 9)) })
+            .collect();
+        let c = DictStrCu::build(&vals);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for lit in ["s0", "s4", "s8", "absent", ""] {
+                let p = pred(op, lit);
+                let mut scalar = Vec::new();
+                c.scan(&p, &mut scalar);
+                let mut sel = SelBitmap::zeroes(c.len());
+                c.scan_bitmap(&p, &mut sel);
+                assert_eq!(sel.iter_ones().collect::<Vec<_>>(), scalar, "{op:?} {lit:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_aggregate_in_code_space() {
+        let c = DictStrCu::build(&[Value::str("m"), Value::Null, Value::str("a"), Value::str("z")]);
+        let mut sel = SelBitmap::ones(4);
+        sel.clear(3); // drop the "z"
+        let mut aggs = crate::aggregate::Aggregates::default();
+        c.aggregate_masked(&sel, &mut aggs);
+        assert_eq!(aggs.count, 3);
+        assert_eq!(aggs.non_null, 2);
+        assert_eq!(aggs.min, Some(Value::str("a")));
+        assert_eq!(aggs.max, Some(Value::str("m")));
     }
 }

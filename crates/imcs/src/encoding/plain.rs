@@ -1,16 +1,38 @@
-//! Plain (uncompressed) integer column unit: packed `i64` vector plus a
-//! null bitmap. The fast path for high-cardinality number columns.
+//! Plain (uncompressed) integer column unit: packed values plus a null
+//! bitmap. The fast path for high-cardinality number columns.
+//!
+//! Values are stored frame-of-reference packed when the column's non-null
+//! range fits in 32 bits (`value = base + u32 code`) — half the scan
+//! bandwidth of raw `i64`s, with predicates remapped into code space so
+//! the compare kernels never decode. Columns whose range genuinely needs
+//! 64 bits keep the wide layout.
 
 use imadg_storage::Value;
 
+use crate::bitmap::SelBitmap;
 use crate::predicate::{CmpOp, Predicate};
+
+/// Physical layout of the packed values.
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Full-width `i64`s: range exceeds 32 bits, or the unit is empty /
+    /// all-NULL (no base to subtract).
+    Wide(Vec<i64>),
+    /// Frame-of-reference codes: `value = base + code`, `base` = column
+    /// minimum. NULL rows store code 0 and are masked by the null bitmap.
+    Packed { base: i64, codes: Vec<u32> },
+}
 
 /// Fixed-width integer column unit.
 #[derive(Debug, Clone)]
 pub struct PlainIntCu {
-    values: Vec<i64>,
+    repr: Repr,
     /// One bit per row; set = NULL. Absent when the column has no NULLs.
     nulls: Option<Vec<u64>>,
+    /// Min/max over non-null values, computed once at build time (the
+    /// storage index re-reads it on every refresh — walking every row
+    /// through branchy `get()` there was pure waste).
+    bounds: Option<(i64, i64)>,
 }
 
 #[inline]
@@ -21,29 +43,65 @@ fn bit(bits: &[u64], i: usize) -> bool {
 impl PlainIntCu {
     /// Encode a slice of values (`Int` or `Null`).
     pub fn build(values: &[Value]) -> PlainIntCu {
-        let mut out = Vec::with_capacity(values.len());
+        let mut wide = Vec::with_capacity(values.len());
         let mut nulls: Option<Vec<u64>> = None;
+        let mut bounds: Option<(i64, i64)> = None;
         for (i, v) in values.iter().enumerate() {
             match v {
-                Value::Int(x) => out.push(*x),
+                Value::Int(x) => {
+                    wide.push(*x);
+                    bounds = match bounds {
+                        None => Some((*x, *x)),
+                        Some((lo, hi)) => Some((lo.min(*x), hi.max(*x))),
+                    };
+                }
                 _ => {
-                    out.push(0);
+                    wide.push(0);
                     let bits = nulls.get_or_insert_with(|| vec![0u64; values.len().div_ceil(64)]);
                     bits[i >> 6] |= 1 << (i & 63);
                 }
             }
         }
-        PlainIntCu { values: out, nulls }
+        let repr = match bounds {
+            Some((lo, hi)) if i128::from(hi) - i128::from(lo) <= i128::from(u32::MAX) => {
+                let codes = wide
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| {
+                        if nulls.as_ref().is_some_and(|b| bit(b, i)) {
+                            0
+                        } else {
+                            (v - lo) as u32
+                        }
+                    })
+                    .collect();
+                Repr::Packed { base: lo, codes }
+            }
+            _ => Repr::Wide(wide),
+        };
+        PlainIntCu { repr, nulls, bounds }
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.values.len()
+        match &self.repr {
+            Repr::Wide(v) => v.len(),
+            Repr::Packed { codes, .. } => codes.len(),
+        }
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.len() == 0
+    }
+
+    /// Non-null value at `row`, decoded to `i64`.
+    #[inline]
+    fn decode(&self, row: usize) -> i64 {
+        match &self.repr {
+            Repr::Wide(v) => v[row],
+            Repr::Packed { base, codes } => base + i64::from(codes[row]),
+        }
     }
 
     /// Value at `row`.
@@ -52,49 +110,136 @@ impl PlainIntCu {
         if self.nulls.as_ref().is_some_and(|b| bit(b, row)) {
             Value::Null
         } else {
-            Value::Int(self.values[row])
+            Value::Int(self.decode(row))
         }
     }
 
-    /// Min/max over non-null values (storage index input).
+    /// Min/max over non-null values (storage index input). Precomputed at
+    /// [`PlainIntCu::build`]; O(1).
     pub fn min_max(&self) -> Option<(i64, i64)> {
-        let mut it = (0..self.len()).filter_map(|i| match self.get(i) {
-            Value::Int(x) => Some(x),
-            _ => None,
-        });
-        let first = it.next()?;
-        let (mut lo, mut hi) = (first, first);
-        for x in it {
-            lo = lo.min(x);
-            hi = hi.max(x);
-        }
-        Some((lo, hi))
+        self.bounds
     }
 
-    /// Append rows matching `pred` to `out` (tight loop over packed i64s —
-    /// the vectorizable inner scan the paper's In-Memory Scan Engine runs
-    /// with SIMD).
+    /// Write one match bit per row into `sel` (which must be zeroed and
+    /// sized to `len()`): branchless chunked compares over the packed
+    /// column — the SIMD-friendly inner kernel of the paper's In-Memory
+    /// Scan Engine. Frame-of-reference units compare 4-byte codes against
+    /// the remapped literal; both layouts dispatch to an AVX-512 kernel
+    /// when the host supports it. Null rows never match.
+    pub fn scan_bitmap(&self, pred: &Predicate, sel: &mut SelBitmap) {
+        debug_assert_eq!(sel.rows(), self.len());
+        let target = match &pred.value {
+            Value::Int(x) => *x,
+            _ => return,
+        };
+        match &self.repr {
+            Repr::Wide(values) => scan_words(values, target, pred.op, sel.words_mut()),
+            Repr::Packed { base, codes } => {
+                let code_max = (self.bounds.expect("packed unit has bounds").1 - base) as u32;
+                match remap_to_codes(pred.op, target, *base, code_max) {
+                    CodeCmp::NoneMatch => {} // sel stays all-zero
+                    CodeCmp::AllMatch => {
+                        for w in sel.words_mut() {
+                            *w = u64::MAX;
+                        }
+                    }
+                    CodeCmp::Cmp(op, t) => scan_words_u32(codes, t, op, sel.words_mut()),
+                }
+            }
+        }
+        if let Some(bits) = &self.nulls {
+            sel.and_not_assign(bits);
+        }
+        sel.mask_tail();
+    }
+
+    /// Append the values at the given rows to `out` (batched gather: a
+    /// tight independent-load loop the CPU can overlap, unlike dependent
+    /// per-row [`PlainIntCu::get`] calls).
+    pub fn gather(&self, rows: &[u32], out: &mut Vec<Value>) {
+        out.reserve(rows.len());
+        match (&self.repr, &self.nulls) {
+            (Repr::Wide(values), None) => {
+                out.extend(rows.iter().map(|&rn| Value::Int(values[rn as usize])));
+            }
+            (Repr::Wide(values), Some(bits)) => out.extend(rows.iter().map(|&rn| {
+                if bit(bits, rn as usize) {
+                    Value::Null
+                } else {
+                    Value::Int(values[rn as usize])
+                }
+            })),
+            (Repr::Packed { base, codes }, None) => {
+                out.extend(rows.iter().map(|&rn| Value::Int(base + i64::from(codes[rn as usize]))));
+            }
+            (Repr::Packed { base, codes }, Some(bits)) => out.extend(rows.iter().map(|&rn| {
+                if bit(bits, rn as usize) {
+                    Value::Null
+                } else {
+                    Value::Int(base + i64::from(codes[rn as usize]))
+                }
+            })),
+        }
+    }
+
+    /// Fold the selected rows into `aggs` straight off the packed column:
+    /// no row materialization, null rows counted but not summed.
+    pub fn aggregate_masked(&self, sel: &SelBitmap, aggs: &mut crate::aggregate::Aggregates) {
+        let mut min_max: Option<(i64, i64)> = None;
+        for rn in sel.iter_ones() {
+            let i = rn as usize;
+            aggs.count += 1;
+            if self.nulls.as_ref().is_some_and(|b| bit(b, i)) {
+                continue;
+            }
+            let v = self.decode(i);
+            aggs.non_null += 1;
+            aggs.sum += i128::from(v);
+            min_max = match min_max {
+                None => Some((v, v)),
+                Some((lo, hi)) => Some((lo.min(v), hi.max(v))),
+            };
+        }
+        if let Some((lo, hi)) = min_max {
+            aggs.merge_min(&Value::Int(lo));
+            aggs.merge_max(&Value::Int(hi));
+        }
+    }
+
+    /// Append rows matching `pred` to `out` — the scalar reference path
+    /// (row-at-a-time decode with a branch per row), kept as the parity
+    /// baseline for the bitmap kernels and the BENCH trajectory.
     pub fn scan(&self, pred: &Predicate, out: &mut Vec<u32>) {
         let target = match &pred.value {
             Value::Int(x) => *x,
             _ => return,
         };
-        macro_rules! scan_op {
-            ($cmp:expr) => {
+        macro_rules! scan_repr {
+            ($values:expr, $decode:expr, $cmp:expr) => {
                 match &self.nulls {
                     None => {
-                        for (i, &v) in self.values.iter().enumerate() {
-                            if $cmp(v, target) {
+                        for (i, v) in $values.iter().enumerate() {
+                            if $cmp($decode(v), target) {
                                 out.push(i as u32);
                             }
                         }
                     }
                     Some(bits) => {
-                        for (i, &v) in self.values.iter().enumerate() {
-                            if !bit(bits, i) && $cmp(v, target) {
+                        for (i, v) in $values.iter().enumerate() {
+                            if !bit(bits, i) && $cmp($decode(v), target) {
                                 out.push(i as u32);
                             }
                         }
+                    }
+                }
+            };
+        }
+        macro_rules! scan_op {
+            ($cmp:expr) => {
+                match &self.repr {
+                    Repr::Wide(values) => scan_repr!(values, |v: &i64| *v, $cmp),
+                    Repr::Packed { base, codes } => {
+                        scan_repr!(codes, |c: &u32| base + i64::from(*c), $cmp)
                     }
                 }
             };
@@ -110,6 +255,187 @@ impl PlainIntCu {
     }
 }
 
+/// A predicate remapped into frame-of-reference code space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CodeCmp {
+    /// No non-null row can match (literal outside the code range).
+    NoneMatch,
+    /// Every non-null row matches.
+    AllMatch,
+    /// Compare codes against the remapped literal.
+    Cmp(CmpOp, u32),
+}
+
+/// Remap `<column> op target` into code space, where `code = value - base`
+/// and codes span `[0, code_max]`. Literals outside the range collapse the
+/// whole unit to none/all — the kernel never widens a code back to i64.
+fn remap_to_codes(op: CmpOp, target: i64, base: i64, code_max: u32) -> CodeCmp {
+    let t = i128::from(target) - i128::from(base);
+    let max = i128::from(code_max);
+    let in_range = (0..=max).contains(&t);
+    match op {
+        CmpOp::Eq if in_range => CodeCmp::Cmp(CmpOp::Eq, t as u32),
+        CmpOp::Eq => CodeCmp::NoneMatch,
+        CmpOp::Ne if in_range => CodeCmp::Cmp(CmpOp::Ne, t as u32),
+        CmpOp::Ne => CodeCmp::AllMatch,
+        CmpOp::Lt if t <= 0 => CodeCmp::NoneMatch,
+        CmpOp::Lt if t > max => CodeCmp::AllMatch,
+        CmpOp::Lt => CodeCmp::Cmp(CmpOp::Lt, t as u32),
+        CmpOp::Le if t < 0 => CodeCmp::NoneMatch,
+        CmpOp::Le if t >= max => CodeCmp::AllMatch,
+        CmpOp::Le => CodeCmp::Cmp(CmpOp::Le, t as u32),
+        CmpOp::Gt if t >= max => CodeCmp::NoneMatch,
+        CmpOp::Gt if t < 0 => CodeCmp::AllMatch,
+        CmpOp::Gt => CodeCmp::Cmp(CmpOp::Gt, t as u32),
+        CmpOp::Ge if t > max => CodeCmp::NoneMatch,
+        CmpOp::Ge if t <= 0 => CodeCmp::AllMatch,
+        CmpOp::Ge => CodeCmp::Cmp(CmpOp::Ge, t as u32),
+    }
+}
+
+/// Compare every value against `target` under `op`, packing one match bit
+/// per row into `words` (64 rows per word, tail bits undefined — the
+/// caller masks them). Runtime-dispatches to the AVX-512 kernel on hosts
+/// that have it; the portable kernel is the behavioral definition.
+fn scan_words(values: &[i64], target: i64, op: CmpOp, words: &mut [u64]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx512f") {
+        // SAFETY: the avx512f requirement was just verified at runtime.
+        unsafe { avx512::scan_words(values, target, op, words) };
+        return;
+    }
+    scan_words_portable(values, target, op, words);
+}
+
+/// [`scan_words`] over frame-of-reference codes (unsigned compares).
+fn scan_words_u32(codes: &[u32], target: u32, op: CmpOp, words: &mut [u64]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx512f") {
+        // SAFETY: the avx512f requirement was just verified at runtime.
+        unsafe { avx512::scan_words_u32(codes, target, op, words) };
+        return;
+    }
+    scan_words_u32_portable(codes, target, op, words);
+}
+
+macro_rules! portable_kernel {
+    ($values:expr, $target:expr, $op:expr, $words:expr) => {{
+        macro_rules! kernel {
+            ($cmp:expr) => {
+                for (w, chunk) in $values.chunks(64).enumerate() {
+                    let mut m = 0u64;
+                    for (b, &v) in chunk.iter().enumerate() {
+                        m |= ($cmp(v, $target) as u64) << b;
+                    }
+                    $words[w] = m;
+                }
+            };
+        }
+        match $op {
+            CmpOp::Eq => kernel!(|v, t| v == t),
+            CmpOp::Ne => kernel!(|v, t| v != t),
+            CmpOp::Lt => kernel!(|v, t| v < t),
+            CmpOp::Le => kernel!(|v, t| v <= t),
+            CmpOp::Gt => kernel!(|v, t| v > t),
+            CmpOp::Ge => kernel!(|v, t| v >= t),
+        }
+    }};
+}
+
+/// Portable branchless kernel: one compare + shift/or per row, 64-row
+/// accumulator words. Auto-vectorizes on most targets.
+fn scan_words_portable(values: &[i64], target: i64, op: CmpOp, words: &mut [u64]) {
+    portable_kernel!(values, target, op, words)
+}
+
+/// Portable u32 code kernel (same shape, unsigned compares).
+fn scan_words_u32_portable(codes: &[u32], target: u32, op: CmpOp, words: &mut [u64]) {
+    portable_kernel!(codes, target, op, words)
+}
+
+/// AVX-512 compare kernels: packed compares with the match mask coming
+/// straight out of the mask registers — 8 i64 lanes (`__mmask8`) or 16
+/// u32 code lanes (`__mmask16`) per instruction, mask fragments assembling
+/// one 64-row selection word.
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use std::arch::x86_64::{
+        _mm512_cmpeq_epi64_mask, _mm512_cmpeq_epu32_mask, _mm512_cmpge_epi64_mask,
+        _mm512_cmpge_epu32_mask, _mm512_cmpgt_epi64_mask, _mm512_cmpgt_epu32_mask,
+        _mm512_cmple_epi64_mask, _mm512_cmple_epu32_mask, _mm512_cmplt_epi64_mask,
+        _mm512_cmplt_epu32_mask, _mm512_cmpneq_epi64_mask, _mm512_cmpneq_epu32_mask,
+        _mm512_loadu_epi32, _mm512_loadu_epi64, _mm512_set1_epi32, _mm512_set1_epi64,
+    };
+
+    use crate::predicate::CmpOp;
+
+    macro_rules! simd_kernel {
+        ($values:expr, $target:expr, $words:expr, $groups:expr, $lanes:expr,
+         $load:ident, $cmp_vec:ident, $cmp_scalar:expr) => {{
+            let mut chunks = $values.chunks_exact(64);
+            let mut w = 0usize;
+            for chunk in chunks.by_ref() {
+                let mut m = 0u64;
+                for g in 0..$groups {
+                    // SAFETY: `g * $lanes + $lanes <= 64 == chunk.len()`.
+                    let v = $load(chunk.as_ptr().add(g * $lanes).cast());
+                    m |= ($cmp_vec(v, $target) as u64) << (g * $lanes);
+                }
+                $words[w] = m;
+                w += 1;
+            }
+            let tail = chunks.remainder();
+            if !tail.is_empty() {
+                let mut m = 0u64;
+                for (b, &v) in tail.iter().enumerate() {
+                    m |= ($cmp_scalar(v) as u64) << b;
+                }
+                $words[w] = m;
+            }
+        }};
+    }
+
+    /// # Safety
+    /// The caller must have verified `avx512f` is available.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn scan_words(values: &[i64], target: i64, op: CmpOp, words: &mut [u64]) {
+        let t = _mm512_set1_epi64(target);
+        macro_rules! k {
+            ($cmp_vec:ident, $cmp_scalar:expr) => {
+                simd_kernel!(values, t, words, 8, 8, _mm512_loadu_epi64, $cmp_vec, $cmp_scalar)
+            };
+        }
+        match op {
+            CmpOp::Eq => k!(_mm512_cmpeq_epi64_mask, |v| v == target),
+            CmpOp::Ne => k!(_mm512_cmpneq_epi64_mask, |v| v != target),
+            CmpOp::Lt => k!(_mm512_cmplt_epi64_mask, |v| v < target),
+            CmpOp::Le => k!(_mm512_cmple_epi64_mask, |v| v <= target),
+            CmpOp::Gt => k!(_mm512_cmpgt_epi64_mask, |v| v > target),
+            CmpOp::Ge => k!(_mm512_cmpge_epi64_mask, |v| v >= target),
+        }
+    }
+
+    /// # Safety
+    /// The caller must have verified `avx512f` is available.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn scan_words_u32(codes: &[u32], target: u32, op: CmpOp, words: &mut [u64]) {
+        let t = _mm512_set1_epi32(target as i32);
+        macro_rules! k {
+            ($cmp_vec:ident, $cmp_scalar:expr) => {
+                simd_kernel!(codes, t, words, 4, 16, _mm512_loadu_epi32, $cmp_vec, $cmp_scalar)
+            };
+        }
+        match op {
+            CmpOp::Eq => k!(_mm512_cmpeq_epu32_mask, |v| v == target),
+            CmpOp::Ne => k!(_mm512_cmpneq_epu32_mask, |v| v != target),
+            CmpOp::Lt => k!(_mm512_cmplt_epu32_mask, |v| v < target),
+            CmpOp::Le => k!(_mm512_cmple_epu32_mask, |v| v <= target),
+            CmpOp::Gt => k!(_mm512_cmpgt_epu32_mask, |v| v > target),
+            CmpOp::Ge => k!(_mm512_cmpge_epu32_mask, |v| v >= target),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,10 +446,13 @@ mod tests {
         Predicate::new(&s, "n", op, Value::Int(x)).unwrap()
     }
 
+    const ALL_OPS: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+
     #[test]
     fn roundtrip_without_nulls() {
         let vals: Vec<Value> = (0..100).map(Value::Int).collect();
         let cu = PlainIntCu::build(&vals);
+        assert!(matches!(cu.repr, Repr::Packed { .. }), "small range packs");
         assert_eq!(cu.len(), 100);
         for i in 0..100 {
             assert_eq!(cu.get(i), Value::Int(i as i64));
@@ -142,9 +471,21 @@ mod tests {
     }
 
     #[test]
+    fn wide_range_stays_wide() {
+        let vals = vec![Value::Int(i64::MIN), Value::Null, Value::Int(i64::MAX)];
+        let cu = PlainIntCu::build(&vals);
+        assert!(matches!(cu.repr, Repr::Wide(_)));
+        assert_eq!(cu.get(0), Value::Int(i64::MIN));
+        assert_eq!(cu.get(1), Value::Null);
+        assert_eq!(cu.get(2), Value::Int(i64::MAX));
+        assert_eq!(cu.min_max(), Some((i64::MIN, i64::MAX)));
+    }
+
+    #[test]
     fn all_null_min_max() {
         let cu = PlainIntCu::build(&[Value::Null, Value::Null]);
         assert_eq!(cu.min_max(), None);
+        assert_eq!(cu.get(0), Value::Null);
     }
 
     #[test]
@@ -160,17 +501,119 @@ mod tests {
         out.clear();
         cu.scan(&pred(CmpOp::Ge, 3), &mut out);
         assert_eq!(out, vec![1, 2, 3]);
-        out.clear();
-        cu.scan(&pred(CmpOp::Ne, 5), &mut out);
-        assert_eq!(out, vec![0, 2, 4]);
     }
 
     #[test]
-    fn scan_skips_nulls() {
-        let vals = vec![Value::Int(1), Value::Null, Value::Int(1)];
+    fn bitmap_kernel_matches_scalar() {
+        let vals: Vec<Value> =
+            (0..200).map(|i| if i % 7 == 0 { Value::Null } else { Value::Int(i % 13) }).collect();
         let cu = PlainIntCu::build(&vals);
-        let mut out = Vec::new();
-        cu.scan(&pred(CmpOp::Ne, 99), &mut out);
-        assert_eq!(out, vec![0, 2], "NULL matches nothing, not even Ne");
+        for op in ALL_OPS {
+            let p = pred(op, 6);
+            let mut scalar = Vec::new();
+            cu.scan(&p, &mut scalar);
+            let mut sel = SelBitmap::zeroes(cu.len());
+            cu.scan_bitmap(&p, &mut sel);
+            assert_eq!(sel.iter_ones().collect::<Vec<_>>(), scalar, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn bitmap_kernel_matches_scalar_wide_and_out_of_range() {
+        // Wide layout plus literals outside the packed code range (the
+        // none/all collapse arms of the remap).
+        let wide: Vec<Value> = (0..130)
+            .map(|i| Value::Int(if i % 2 == 0 { i64::MIN + i } else { i64::MAX - i }))
+            .collect();
+        let packed: Vec<Value> = (0..130).map(|i| Value::Int(50 + i % 20)).collect();
+        for vals in [wide, packed] {
+            let cu = PlainIntCu::build(&vals);
+            for target in [i64::MIN, -1, 0, 55, 69, 70, 1000, i64::MAX] {
+                for op in ALL_OPS {
+                    let p = pred(op, target);
+                    let mut scalar = Vec::new();
+                    cu.scan(&p, &mut scalar);
+                    let mut sel = SelBitmap::zeroes(cu.len());
+                    cu.scan_bitmap(&p, &mut sel);
+                    assert_eq!(
+                        sel.iter_ones().collect::<Vec<_>>(),
+                        scalar,
+                        "{op:?} target={target}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_matches_get() {
+        let wide = vec![Value::Int(i64::MIN), Value::Null, Value::Int(i64::MAX), Value::Int(0)];
+        let packed: Vec<Value> =
+            (0..100).map(|i| if i % 9 == 0 { Value::Null } else { Value::Int(i % 17) }).collect();
+        for vals in [wide, packed] {
+            let cu = PlainIntCu::build(&vals);
+            let rns: Vec<u32> = (0..cu.len() as u32).step_by(3).collect();
+            let mut gathered = Vec::new();
+            cu.gather(&rns, &mut gathered);
+            let individual: Vec<Value> = rns.iter().map(|&rn| cu.get(rn as usize)).collect();
+            assert_eq!(gathered, individual);
+        }
+    }
+
+    #[test]
+    fn dispatched_kernel_matches_portable() {
+        // Odd lengths exercise the SIMD tail path; values straddle the
+        // target so every operator selects a different set.
+        for len in [1usize, 7, 63, 64, 65, 200, 513] {
+            let values: Vec<i64> = (0..len as i64).map(|i| (i * 37) % 101 - 50).collect();
+            let codes: Vec<u32> = values.iter().map(|&v| (v + 50) as u32).collect();
+            for op in ALL_OPS {
+                let words = len.div_ceil(64);
+                let mut dispatched = vec![0u64; words];
+                let mut portable = vec![0u64; words];
+                scan_words(&values, 3, op, &mut dispatched);
+                scan_words_portable(&values, 3, op, &mut portable);
+                let mut dispatched32 = vec![0u64; words];
+                let mut portable32 = vec![0u64; words];
+                scan_words_u32(&codes, 53, op, &mut dispatched32);
+                scan_words_u32_portable(&codes, 53, op, &mut portable32);
+                // Tail bits are undefined; compare only the defined rows.
+                for i in 0..len {
+                    let b = |w: &[u64]| w[i >> 6] >> (i & 63) & 1;
+                    assert_eq!(b(&dispatched), b(&portable), "i64 len={len} op={op:?} row={i}");
+                    assert_eq!(b(&dispatched32), b(&portable32), "u32 len={len} op={op:?} row={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remap_covers_collapse_arms() {
+        use CodeCmp::*;
+        // codes span [0, 10] over base 100 → values 100..=110.
+        assert_eq!(remap_to_codes(CmpOp::Eq, 105, 100, 10), Cmp(CmpOp::Eq, 5));
+        assert_eq!(remap_to_codes(CmpOp::Eq, 99, 100, 10), NoneMatch);
+        assert_eq!(remap_to_codes(CmpOp::Ne, 111, 100, 10), AllMatch);
+        assert_eq!(remap_to_codes(CmpOp::Lt, 100, 100, 10), NoneMatch);
+        assert_eq!(remap_to_codes(CmpOp::Lt, 111, 100, 10), AllMatch);
+        assert_eq!(remap_to_codes(CmpOp::Le, 110, 100, 10), AllMatch);
+        assert_eq!(remap_to_codes(CmpOp::Gt, 110, 100, 10), NoneMatch);
+        assert_eq!(remap_to_codes(CmpOp::Ge, 100, 100, 10), AllMatch);
+        assert_eq!(remap_to_codes(CmpOp::Ge, 105, 100, 10), Cmp(CmpOp::Ge, 5));
+    }
+
+    #[test]
+    fn masked_aggregate_counts_nulls() {
+        let vals = vec![Value::Int(5), Value::Null, Value::Int(-3), Value::Int(9)];
+        let cu = PlainIntCu::build(&vals);
+        let mut sel = SelBitmap::ones(4);
+        sel.clear(3); // drop the 9
+        let mut aggs = crate::aggregate::Aggregates::default();
+        cu.aggregate_masked(&sel, &mut aggs);
+        assert_eq!(aggs.count, 3, "null row still counted by COUNT(*)");
+        assert_eq!(aggs.non_null, 2);
+        assert_eq!(aggs.sum, 2);
+        assert_eq!(aggs.min, Some(Value::Int(-3)));
+        assert_eq!(aggs.max, Some(Value::Int(5)));
     }
 }

@@ -6,6 +6,7 @@
 
 use imadg_storage::Value;
 
+use crate::bitmap::SelBitmap;
 use crate::predicate::Predicate;
 
 /// One run: `len` consecutive rows share `value` (`None` = NULL).
@@ -83,7 +84,7 @@ impl RleIntCu {
     }
 
     /// Append rows matching `pred` to `out`: one predicate evaluation per
-    /// run, then a row-id burst for matching runs.
+    /// run, then a row-id burst for matching runs (scalar reference path).
     pub fn scan(&self, pred: &Predicate, out: &mut Vec<u32>) {
         let mut at = 0u32;
         for r in &self.runs {
@@ -95,6 +96,76 @@ impl RleIntCu {
                 out.extend(at..at + r.len);
             }
             at += r.len;
+        }
+    }
+
+    /// Append the values at the given rows to `out`. `rows` must be
+    /// ascending (selection bitmaps iterate in row order), letting one
+    /// forward run walk serve the whole batch — O(runs + rows) instead of
+    /// O(runs) per row through [`RleIntCu::get`].
+    pub fn gather(&self, rows: &[u32], out: &mut Vec<Value>) {
+        out.reserve(rows.len());
+        let mut runs = self.runs.iter();
+        let mut run = runs.next();
+        let mut at = 0u32; // first row of the current run
+        for &rn in rows {
+            debug_assert!((rn as usize) < self.rows);
+            while let Some(r) = run {
+                if rn < at + r.len {
+                    break;
+                }
+                at += r.len;
+                run = runs.next();
+            }
+            out.push(match run.expect("row within bounds").value {
+                Some(x) => Value::Int(x),
+                None => Value::Null,
+            });
+        }
+    }
+
+    /// Write one match bit per row into `sel` (zeroed, sized to `len()`):
+    /// one predicate evaluation per run, then whole-word bit bursts for
+    /// matching runs.
+    pub fn scan_bitmap(&self, pred: &Predicate, sel: &mut SelBitmap) {
+        debug_assert_eq!(sel.rows(), self.len());
+        let mut at = 0usize;
+        for r in &self.runs {
+            let matched = match r.value {
+                Some(x) => pred.eval_value(&Value::Int(x)),
+                None => false,
+            };
+            if matched {
+                sel.set_range(at, at + r.len as usize);
+            }
+            at += r.len as usize;
+        }
+    }
+
+    /// Fold the selected rows into `aggs` run-at-a-time: a masked popcount
+    /// per run replaces per-row value decodes entirely.
+    pub fn aggregate_masked(&self, sel: &SelBitmap, aggs: &mut crate::aggregate::Aggregates) {
+        let mut at = 0usize;
+        let mut min_max: Option<(i64, i64)> = None;
+        for r in &self.runs {
+            let n = sel.count_range(at, at + r.len as usize) as u64;
+            at += r.len as usize;
+            if n == 0 {
+                continue;
+            }
+            aggs.count += n;
+            if let Some(x) = r.value {
+                aggs.non_null += n;
+                aggs.sum += i128::from(x) * i128::from(n);
+                min_max = match min_max {
+                    None => Some((x, x)),
+                    Some((lo, hi)) => Some((lo.min(x), hi.max(x))),
+                };
+            }
+        }
+        if let Some((lo, hi)) = min_max {
+            aggs.merge_min(&Value::Int(lo));
+            aggs.merge_max(&Value::Int(hi));
         }
     }
 
@@ -162,6 +233,44 @@ mod tests {
         out.clear();
         cu.scan(&pred(CmpOp::Lt, 5), &mut out);
         assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn bitmap_kernel_matches_scalar() {
+        let vals: Vec<Value> = (0..300)
+            .map(|i| if (i / 20) % 4 == 3 { Value::Null } else { Value::Int(i / 20) })
+            .collect();
+        let cu = RleIntCu::build(&vals);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let p = pred(op, 7);
+            let mut scalar = Vec::new();
+            cu.scan(&p, &mut scalar);
+            let mut sel = SelBitmap::zeroes(cu.len());
+            cu.scan_bitmap(&p, &mut sel);
+            assert_eq!(sel.iter_ones().collect::<Vec<_>>(), scalar, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn masked_aggregate_per_run() {
+        let vals: Vec<Value> = [Some(5), Some(5), None, None, Some(2), Some(2), Some(2)]
+            .iter()
+            .map(|v| match v {
+                Some(x) => Value::Int(*x),
+                None => Value::Null,
+            })
+            .collect();
+        let cu = RleIntCu::build(&vals);
+        let mut sel = SelBitmap::ones(7);
+        sel.clear(0); // drop one 5
+        sel.clear(6); // drop one 2
+        let mut aggs = crate::aggregate::Aggregates::default();
+        cu.aggregate_masked(&sel, &mut aggs);
+        assert_eq!(aggs.count, 5);
+        assert_eq!(aggs.non_null, 3);
+        assert_eq!(aggs.sum, 9);
+        assert_eq!(aggs.min, Some(Value::Int(2)));
+        assert_eq!(aggs.max, Some(Value::Int(5)));
     }
 
     #[test]

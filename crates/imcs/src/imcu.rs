@@ -213,19 +213,97 @@ impl Imcu {
         )
     }
 
+    /// Materialize every selected row of `sel` into `out`, in row order.
+    /// The batched sibling of [`Imcu::materialize`] for bitmap-driven
+    /// scans: selected rownums are known up front, so values are gathered
+    /// column-at-a-time (overlapping the scattered-column cache misses)
+    /// and each row image is built in a single allocation.
+    pub fn materialize_matches(&self, sel: &crate::bitmap::SelBitmap, out: &mut Vec<Row>) {
+        let rns: Vec<u32> = sel.iter_ones().collect();
+        if rns.is_empty() {
+            return;
+        }
+        let cols = &self.columns[..self.base_arity.min(self.columns.len())];
+        let mut scratch: Vec<Vec<Value>> = Vec::with_capacity(cols.len());
+        for c in cols {
+            let mut values = Vec::new();
+            c.gather(&rns, &mut values);
+            scratch.push(values);
+        }
+        out.reserve(rns.len());
+        for i in 0..rns.len() {
+            out.push(Row::from_iter_exact(
+                scratch.iter_mut().map(|col| std::mem::replace(&mut col[i], Value::Null)),
+            ));
+        }
+    }
+
     /// Read one column of one row.
     pub fn value(&self, rownum: u32, ordinal: usize) -> Value {
         self.columns.get(ordinal).map(|c| c.get(rownum as usize)).unwrap_or(Value::Null)
     }
 
     /// Scan one predicate through its encoded column; returns matching row
-    /// numbers in ascending order.
+    /// numbers in ascending order (scalar reference path).
     pub fn scan(&self, pred: &Predicate) -> Vec<u32> {
         let mut out = Vec::new();
         if let Some(col) = self.columns.get(pred.ordinal) {
             col.scan(pred, &mut out);
         }
         out
+    }
+
+    /// Evaluate one predicate through its encoding's branchless kernel into
+    /// a fresh selection bitmap. A missing ordinal selects nothing.
+    pub fn pred_bitmap(&self, pred: &Predicate) -> crate::bitmap::SelBitmap {
+        let mut sel = crate::bitmap::SelBitmap::zeroes(self.rows());
+        if let Some(col) = self.columns.get(pred.ordinal) {
+            col.scan_bitmap(pred, &mut sel);
+        }
+        sel
+    }
+
+    /// Evaluate a whole conjunction in column space: every term runs
+    /// through its encoded column's kernel and the per-term bitmaps are
+    /// AND-ed — only final survivors ever materialize. Returns `None` when
+    /// any term's min/max storage-index check excludes the unit (a failed
+    /// conjunct falsifies the conjunction, so the whole unit prunes).
+    pub fn filter_bitmap(
+        &self,
+        filter: &crate::predicate::Filter,
+    ) -> Option<crate::bitmap::SelBitmap> {
+        if filter.terms.iter().any(|p| !self.storage_index.may_match(p)) {
+            return None;
+        }
+        let mut acc: Option<crate::bitmap::SelBitmap> = None;
+        for p in &filter.terms {
+            let sel = self.pred_bitmap(p);
+            match &mut acc {
+                None => acc = Some(sel),
+                Some(a) => {
+                    a.and_assign(&sel);
+                    if a.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+        Some(acc.unwrap_or_else(|| crate::bitmap::SelBitmap::ones(self.rows())))
+    }
+
+    /// Fold the rows selected by `sel` into `aggs` straight off the encoded
+    /// column — aggregation push-down over a selection bitmap. A missing
+    /// ordinal aggregates as all-NULL (COUNT advances, nothing else).
+    pub fn aggregate_masked(
+        &self,
+        ordinal: usize,
+        sel: &crate::bitmap::SelBitmap,
+        aggs: &mut crate::aggregate::Aggregates,
+    ) {
+        match self.columns.get(ordinal) {
+            Some(col) => col.aggregate_masked(sel, aggs),
+            None => aggs.count += sel.count() as u64,
+        }
     }
 
     /// All row numbers (driver for unfiltered scans).
@@ -324,6 +402,49 @@ mod tests {
         assert!(!imcu.storage_index.may_match(&p), "out of range → prunable");
         let p = Predicate::eq(&sc, "id", Value::Int(5)).unwrap();
         assert!(imcu.storage_index.may_match(&p));
+    }
+
+    #[test]
+    fn filter_bitmap_conjunction_and_pruning() {
+        let s = store_with_rows(10);
+        let sc = schema();
+        let imcu =
+            Imcu::build(&s, ObjectId(1), TenantId::DEFAULT, vec![Dba(1)], Scn(5), &sc).unwrap();
+        let f = crate::predicate::Filter {
+            terms: vec![
+                Predicate::new(&sc, "id", CmpOp::Ge, Value::Int(3)).unwrap(),
+                Predicate::eq(&sc, "c", Value::str("s0")).unwrap(),
+            ],
+        };
+        let sel = imcu.filter_bitmap(&f).unwrap();
+        assert_eq!(sel.iter_ones().collect::<Vec<_>>(), vec![3, 6, 9]);
+        // Empty filter selects everything.
+        let all = imcu.filter_bitmap(&crate::predicate::Filter::all()).unwrap();
+        assert_eq!(all.count(), 10);
+        // Any out-of-range conjunct prunes the whole unit.
+        let pruned = crate::predicate::Filter {
+            terms: vec![
+                Predicate::eq(&sc, "c", Value::str("s0")).unwrap(),
+                Predicate::new(&sc, "id", CmpOp::Gt, Value::Int(100)).unwrap(),
+            ],
+        };
+        assert!(imcu.filter_bitmap(&pruned).is_none());
+    }
+
+    #[test]
+    fn masked_aggregate_over_unit() {
+        let s = store_with_rows(10);
+        let sc = schema();
+        let imcu =
+            Imcu::build(&s, ObjectId(1), TenantId::DEFAULT, vec![Dba(1)], Scn(5), &sc).unwrap();
+        let p = Predicate::new(&sc, "id", CmpOp::Lt, Value::Int(4)).unwrap();
+        let sel = imcu.filter_bitmap(&crate::predicate::Filter::of(p)).unwrap();
+        let mut aggs = crate::aggregate::Aggregates::default();
+        imcu.aggregate_masked(0, &sel, &mut aggs);
+        assert_eq!(aggs.count, 4);
+        assert_eq!(aggs.sum, 6);
+        assert_eq!(aggs.min, Some(Value::Int(0)));
+        assert_eq!(aggs.max, Some(Value::Int(3)));
     }
 
     #[test]

@@ -7,24 +7,33 @@
 //! the row-store (paper §II.B, §III.A).
 
 pub mod aggregate;
+pub mod bitmap;
 pub mod column;
 pub mod encoding;
 pub mod expression;
 pub mod imcs_store;
 pub mod imcu;
+pub mod parallel;
 pub mod population;
 pub mod predicate;
+pub mod scalar;
 pub mod scan;
 pub mod smu;
 pub mod storage_index;
 
-pub use aggregate::{scan_aggregate, AggregateResult, AggregateStats, Aggregates};
+pub use aggregate::{
+    scan_aggregate, scan_aggregate_parallel, AggregateResult, AggregateStats, Aggregates,
+};
+pub use bitmap::SelBitmap;
 pub use column::{ColumnCu, MinMax};
 pub use expression::{Expr, ImExpression};
 pub use imcs_store::{ImcsStore, ImcuHandle, ObjectImcs};
 pub use imcu::{ColAgg, Imcu};
 pub use population::{PopulationEngine, PopulationReport, SnapshotSource};
 pub use predicate::{CmpOp, Filter, Predicate};
-pub use scan::{scan, scan_cluster, scan_expression, ExprPredicate, ScanResult, ScanStats};
+pub use scan::{
+    scan, scan_cluster, scan_cluster_parallel, scan_expression, scan_expression_parallel,
+    scan_parallel, ExprPredicate, ScanResult, ScanStats,
+};
 pub use smu::{Smu, SmuView};
 pub use storage_index::StorageIndex;

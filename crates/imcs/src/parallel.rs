@@ -1,0 +1,75 @@
+//! Query-scoped parallel execution: fan one scan's per-unit tasks across a
+//! bounded pool of scoped worker threads and merge the partial results in
+//! deterministic task order (the paper's 16-core In-Memory Scan Engine
+//! parallelizes one query across IMCUs the same way, §IV).
+//!
+//! Workers pull task indices from a shared atomic cursor — no per-task
+//! thread spawn, no channel, no allocation beyond the result slots — and
+//! every partial lands in its own index slot, so the merged output is
+//! bit-identical regardless of scheduling (degree N ≡ degree 1).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Resolve a configured parallel degree: `0` means "one worker per
+/// available core", anything else is taken literally.
+pub fn resolve_degree(configured: usize) -> usize {
+    if configured == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        configured
+    }
+}
+
+/// Run `task(0..tasks)` with up to `degree` workers and return the results
+/// in task-index order. `degree <= 1` (or a single task) runs inline on
+/// the caller's thread — the serial path allocates nothing.
+pub fn run_indexed<T, F>(degree: usize, tasks: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if degree <= 1 || tasks <= 1 {
+        return (0..tasks).map(task).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = degree.min(tasks);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks {
+                    return;
+                }
+                *slots[i].lock() = Some(task(i));
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.into_inner().expect("every task slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = run_indexed(1, 37, |i| i * i);
+        let parallel = run_indexed(4, 37, |i| i * i);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[36], 36 * 36);
+    }
+
+    #[test]
+    fn zero_tasks() {
+        assert!(run_indexed(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn degree_resolution() {
+        assert_eq!(resolve_degree(3), 3);
+        assert!(resolve_degree(0) >= 1);
+    }
+}

@@ -5,16 +5,27 @@
 //! storage-index pruning, (2) stale/new rows fetched from the row-store via
 //! Consistent Read (SMU reconciliation), and (3) row-store block scans for
 //! blocks no unit covers (the insert frontier beyond the edge IMCU).
-
-use std::collections::HashSet;
-
-use imadg_common::{ObjectId, Result, Scn};
-use imadg_storage::{Row, Store};
+//!
+//! Predicates evaluate in *column space*: every conjunct runs through its
+//! encoding's branchless kernel into a chunked selection bitmap (64 rows
+//! per word), SMU validity converts to the same mask form, and the bitmaps
+//! AND together — only final survivors materialize row images. Units are
+//! independent scan tasks, so the whole walk fans out across a query-scoped
+//! worker pool ([`crate::parallel`]) and merges per-unit partials in unit
+//! order: results are bit-identical at every parallel degree. The old
+//! row-at-a-time engine survives in [`crate::scalar`] as the parity oracle
+//! and bench baseline.
 
 use std::sync::Arc;
 
+use imadg_common::{Dba, ObjectId, Result, Scn};
+use imadg_storage::{Row, Store};
+
+use crate::bitmap::SelBitmap;
 use crate::expression::Expr;
-use crate::imcs_store::{ImcsStore, ObjectImcs};
+use crate::imcs_store::{ImcsStore, ImcuHandle, ObjectImcs};
+use crate::imcu::Imcu;
+use crate::parallel::run_indexed;
 use crate::predicate::{CmpOp, Filter, Predicate};
 
 /// Where each result row came from (experiment instrumentation).
@@ -27,18 +38,32 @@ pub struct ScanStats {
     pub fallback_rows: usize,
     /// Rows served from uncovered blocks.
     pub uncovered_rows: usize,
-    /// Units skipped by the min/max storage index.
+    /// Units skipped by the min/max storage index (any conjunct excluded).
     pub pruned_units: usize,
     /// Units whose columns were scanned.
     pub scanned_units: usize,
     /// Units bypassed entirely (pending / all-invalid).
     pub bypassed_units: usize,
+    /// Per-unit scan tasks issued to the worker pool. A function of the
+    /// unit count only — identical at every parallel degree.
+    pub parallel_tasks: usize,
 }
 
 impl ScanStats {
     /// Total result rows.
     pub fn total(&self) -> usize {
         self.imcu_rows + self.fallback_rows + self.uncovered_rows
+    }
+
+    /// Fold another unit's counters in (parallel per-unit reduce).
+    pub fn absorb(&mut self, other: &ScanStats) {
+        self.imcu_rows += other.imcu_rows;
+        self.fallback_rows += other.fallback_rows;
+        self.uncovered_rows += other.uncovered_rows;
+        self.pruned_units += other.pruned_units;
+        self.scanned_units += other.scanned_units;
+        self.bypassed_units += other.bypassed_units;
+        self.parallel_tasks += other.parallel_tasks;
     }
 }
 
@@ -49,6 +74,145 @@ pub struct ScanResult {
     pub rows: Vec<Row>,
     /// Provenance counters.
     pub stats: ScanStats,
+}
+
+/// A predicate the unified unit-walk driver can evaluate both in column
+/// space (selection bitmap per unit) and against row images (row-store
+/// fallback). [`Filter`] and [`ExprPredicate`] are the two shapes.
+trait RowPredicate: Sync {
+    /// Row-image evaluation (fallback, bypass, and uncovered passes).
+    fn matches_row(&self, row: &Row) -> bool;
+
+    /// Column-space evaluation over one unit. `None` means the unit's
+    /// min/max storage index excludes it entirely (prune).
+    fn unit_bitmap(&self, imcu: &Imcu) -> Option<SelBitmap>;
+}
+
+impl RowPredicate for Filter {
+    fn matches_row(&self, row: &Row) -> bool {
+        self.eval_row(row)
+    }
+
+    fn unit_bitmap(&self, imcu: &Imcu) -> Option<SelBitmap> {
+        imcu.filter_bitmap(self)
+    }
+}
+
+/// One unit's contribution to a scan, merged by the driver in unit order.
+struct UnitPartial {
+    rows: Vec<Row>,
+    stats: ScanStats,
+    covered: Vec<Dba>,
+}
+
+/// Scan one unit: bypass to the row-store when the columnar data is
+/// unusable, otherwise bitmap-evaluate the predicate, AND the SMU validity
+/// mask, materialize survivors, and reconcile stale locations.
+fn scan_unit<P: RowPredicate>(
+    handle: &ImcuHandle,
+    store: &Store,
+    pred: &P,
+    snapshot: Scn,
+) -> Result<UnitPartial> {
+    let (imcu, smu) = handle.pair();
+    let mut partial =
+        UnitPartial { rows: Vec::new(), stats: ScanStats::default(), covered: imcu.dbas.clone() };
+    let view = smu.read();
+
+    if imcu.is_pending() || view.all_invalid() || snapshot < imcu.snapshot {
+        // No usable columnar data (the unit may also be frozen at a
+        // population SCN *after* the scan snapshot, and the SMU only
+        // records post-population changes): serve the whole range from
+        // the row-store at the scan snapshot.
+        drop(view);
+        partial.stats.bypassed_units = 1;
+        store.scan_blocks(&imcu.dbas, snapshot, |_, row| {
+            if pred.matches_row(row) {
+                partial.rows.push(row.clone());
+                partial.stats.fallback_rows += 1;
+            }
+        })?;
+        return Ok(partial);
+    }
+
+    // Columnar path: evaluate every conjunct in column space, AND the
+    // validity mask, materialize only the survivors.
+    match pred.unit_bitmap(&imcu) {
+        None => partial.stats.pruned_units = 1,
+        Some(mut sel) => {
+            partial.stats.scanned_units = 1;
+            if let Some(mask) = view.validity_mask(imcu.rows(), |l| imcu.rownum(l)) {
+                sel.and_assign(&mask);
+            }
+            imcu.materialize_matches(&sel, &mut partial.rows);
+            partial.stats.imcu_rows = partial.rows.len();
+        }
+    }
+
+    // SMU reconciliation: every stale or newly-inserted location must be
+    // re-read from the row-store and re-filtered — its current value may
+    // match even though (or although) the frozen one did not. Batched by
+    // block: one latch per block, not per row. The SMU latch is released
+    // before the row-store fetches.
+    let mut fallback: Vec<imadg_storage::RowLoc> = Vec::with_capacity(view.fallback_count());
+    view.collect_fallback(&mut fallback);
+    drop(view);
+    store.fetch_rows_batched(&mut fallback, snapshot, |_, row| {
+        if pred.matches_row(row) {
+            partial.rows.push(row.clone());
+            partial.stats.fallback_rows += 1;
+        }
+    })?;
+    Ok(partial)
+}
+
+/// The unified unit-walk driver behind every scan entry point: fan the
+/// per-unit tasks across `degree` workers, merge partials in unit order
+/// (deterministic at any degree), then sweep the uncovered block frontier.
+fn scan_units<P: RowPredicate>(
+    entries: &[Arc<ObjectImcs>],
+    store: &Store,
+    object: ObjectId,
+    pred: &P,
+    snapshot: Scn,
+    degree: usize,
+) -> Result<ScanResult> {
+    let handles: Vec<Arc<ImcuHandle>> = entries.iter().flat_map(|e| e.handles()).collect();
+    let partials = run_indexed(degree, handles.len(), |i| {
+        scan_unit(handles[i].as_ref(), store, pred, snapshot)
+    });
+
+    let mut result = ScanResult::default();
+    let mut covered: Vec<Dba> = Vec::new();
+    for partial in partials {
+        let p = partial?;
+        result.stats.absorb(&p.stats);
+        result.rows.extend(p.rows);
+        covered.extend(p.covered);
+    }
+    result.stats.parallel_tasks = handles.len();
+
+    // Blocks beyond any unit's coverage (fresh inserts past the edge
+    // IMCU). Sorted-vec membership instead of a hash set: the DBA lists
+    // are tiny and already nearly sorted, and `block_dbas` is a scan of
+    // its own — binary search beats per-DBA hashing here.
+    covered.sort_unstable();
+    covered.dedup();
+    let uncovered: Vec<Dba> = store
+        .block_dbas(object)?
+        .into_iter()
+        .filter(|d| covered.binary_search(d).is_err())
+        .collect();
+    if !uncovered.is_empty() {
+        store.scan_blocks(&uncovered, snapshot, |_, row| {
+            if pred.matches_row(row) {
+                result.rows.push(row.clone());
+                result.stats.uncovered_rows += 1;
+            }
+        })?;
+    }
+
+    Ok(result)
 }
 
 /// Run a filtered scan of `object` at `snapshot` through the column store,
@@ -63,8 +227,20 @@ pub fn scan(
     filter: &Filter,
     snapshot: Scn,
 ) -> Result<Option<ScanResult>> {
+    scan_parallel(imcs, store, object, filter, snapshot, 1)
+}
+
+/// [`scan`] with an explicit parallel degree (`<= 1` = serial).
+pub fn scan_parallel(
+    imcs: &ImcsStore,
+    store: &Store,
+    object: ObjectId,
+    filter: &Filter,
+    snapshot: Scn,
+    degree: usize,
+) -> Result<Option<ScanResult>> {
     match imcs.object(object) {
-        Some(obj) => scan_entries(&[obj], store, object, filter, snapshot).map(Some),
+        Some(obj) => scan_units(&[obj], store, object, filter, snapshot, degree).map(Some),
         None => Ok(None),
     }
 }
@@ -79,104 +255,23 @@ pub fn scan_cluster(
     filter: &Filter,
     snapshot: Scn,
 ) -> Result<Option<ScanResult>> {
-    let entries: Vec<Arc<ObjectImcs>> = stores.iter().filter_map(|s| s.object(object)).collect();
-    if entries.is_empty() {
-        return Ok(None);
-    }
-    scan_entries(&entries, store, object, filter, snapshot).map(Some)
+    scan_cluster_parallel(stores, store, object, filter, snapshot, 1)
 }
 
-fn scan_entries(
-    entries: &[Arc<ObjectImcs>],
+/// [`scan_cluster`] with an explicit parallel degree (`<= 1` = serial).
+pub fn scan_cluster_parallel(
+    stores: &[Arc<ImcsStore>],
     store: &Store,
     object: ObjectId,
     filter: &Filter,
     snapshot: Scn,
-) -> Result<ScanResult> {
-    let mut result = ScanResult::default();
-    let mut covered: HashSet<imadg_common::Dba> = HashSet::new();
-
-    for handle in entries.iter().flat_map(|e| e.handles()) {
-        let (imcu, smu) = handle.pair();
-        covered.extend(imcu.dbas.iter().copied());
-        let view = smu.read();
-
-        if imcu.is_pending() || view.all_invalid() || snapshot < imcu.snapshot {
-            // No usable columnar data (the unit may also be frozen at a
-            // population SCN *after* the scan snapshot, and the SMU only
-            // records post-population changes): serve the whole range from
-            // the row-store at the scan snapshot.
-            result.stats.bypassed_units += 1;
-            store.scan_blocks(&imcu.dbas, snapshot, |_, row| {
-                if filter.eval_row(row) {
-                    result.rows.push(row.clone());
-                    result.stats.fallback_rows += 1;
-                }
-            })?;
-            continue;
-        }
-
-        // Columnar path: drive the leading predicate through the encoded
-        // column, verify the rest on materialized rows.
-        let candidates: Vec<u32> = match filter.split_first() {
-            Some((head, _)) if !imcu.storage_index.may_match(head) => {
-                result.stats.pruned_units += 1;
-                Vec::new()
-            }
-            Some((head, _)) => {
-                result.stats.scanned_units += 1;
-                imcu.scan(head)
-            }
-            None => {
-                result.stats.scanned_units += 1;
-                imcu.all_rows().collect()
-            }
-        };
-        let rest: &[crate::predicate::Predicate] = match filter.split_first() {
-            Some((_, rest)) => rest,
-            None => &[],
-        };
-        for rn in candidates {
-            let loc = imcu.loc(rn);
-            if view.is_invalid(loc) {
-                continue; // served by the fallback pass below
-            }
-            let row = imcu.materialize(rn);
-            if rest.iter().all(|p| p.eval_row(&row)) {
-                result.rows.push(row);
-                result.stats.imcu_rows += 1;
-            }
-        }
-
-        // SMU reconciliation: every stale or newly-inserted location must
-        // be re-read from the row-store and re-filtered — its current value
-        // may match even though (or although) the frozen one did not.
-        // Batched by block: one latch per block, not per row. The SMU latch
-        // is released before the row-store fetches.
-        let mut fallback: Vec<imadg_storage::RowLoc> = Vec::with_capacity(view.fallback_count());
-        view.collect_fallback(&mut fallback);
-        drop(view);
-        store.fetch_rows_batched(&mut fallback, snapshot, |_, row| {
-            if filter.eval_row(row) {
-                result.rows.push(row.clone());
-                result.stats.fallback_rows += 1;
-            }
-        })?;
+    degree: usize,
+) -> Result<Option<ScanResult>> {
+    let entries: Vec<Arc<ObjectImcs>> = stores.iter().filter_map(|s| s.object(object)).collect();
+    if entries.is_empty() {
+        return Ok(None);
     }
-
-    // Blocks beyond any unit's coverage (fresh inserts past the edge IMCU).
-    let uncovered: Vec<_> =
-        store.block_dbas(object)?.into_iter().filter(|d| !covered.contains(d)).collect();
-    if !uncovered.is_empty() {
-        store.scan_blocks(&uncovered, snapshot, |_, row| {
-            if filter.eval_row(row) {
-                result.rows.push(row.clone());
-                result.stats.uncovered_rows += 1;
-            }
-        })?;
-    }
-
-    Ok(result)
+    scan_units(&entries, store, object, filter, snapshot, degree).map(Some)
 }
 
 /// A predicate over a registered in-memory expression (paper §V):
@@ -211,6 +306,37 @@ impl ExprPredicate {
     }
 }
 
+impl RowPredicate for ExprPredicate {
+    fn matches_row(&self, row: &Row) -> bool {
+        self.eval_row(row)
+    }
+
+    fn unit_bitmap(&self, imcu: &Imcu) -> Option<SelBitmap> {
+        match imcu.virtual_ordinal(&self.name) {
+            Some(vord) => {
+                // Fast path: the expression was materialized at population —
+                // filter the encoded virtual column like any base column.
+                let vpred = Predicate { ordinal: vord, op: self.op, value: self.value.clone() };
+                if !imcu.storage_index.may_match(&vpred) {
+                    return None;
+                }
+                Some(imcu.pred_bitmap(&vpred))
+            }
+            None => {
+                // Unit predates the expression registration: evaluate over
+                // materialized rows (correct, just not accelerated).
+                let mut sel = SelBitmap::zeroes(imcu.rows());
+                for rn in imcu.all_rows() {
+                    if self.eval_row(&imcu.materialize(rn)) {
+                        sel.set(rn as usize);
+                    }
+                }
+                Some(sel)
+            }
+        }
+    }
+}
+
 /// Scan `object` filtered by an in-memory expression predicate.
 ///
 /// Units that materialized the expression's virtual column are filtered in
@@ -225,79 +351,23 @@ pub fn scan_expression(
     pred: &ExprPredicate,
     snapshot: Scn,
 ) -> Result<Option<ScanResult>> {
+    scan_expression_parallel(stores, store, object, pred, snapshot, 1)
+}
+
+/// [`scan_expression`] with an explicit parallel degree (`<= 1` = serial).
+pub fn scan_expression_parallel(
+    stores: &[Arc<ImcsStore>],
+    store: &Store,
+    object: ObjectId,
+    pred: &ExprPredicate,
+    snapshot: Scn,
+    degree: usize,
+) -> Result<Option<ScanResult>> {
     let entries: Vec<Arc<ObjectImcs>> = stores.iter().filter_map(|s| s.object(object)).collect();
     if entries.is_empty() {
         return Ok(None);
     }
-    let mut result = ScanResult::default();
-    let mut covered: HashSet<imadg_common::Dba> = HashSet::new();
-
-    for handle in entries.iter().flat_map(|e| e.handles()) {
-        let (imcu, smu) = handle.pair();
-        covered.extend(imcu.dbas.iter().copied());
-        let view = smu.read();
-
-        if imcu.is_pending() || view.all_invalid() || snapshot < imcu.snapshot {
-            result.stats.bypassed_units += 1;
-            store.scan_blocks(&imcu.dbas, snapshot, |_, row| {
-                if pred.eval_row(row) {
-                    result.rows.push(row.clone());
-                    result.stats.fallback_rows += 1;
-                }
-            })?;
-            continue;
-        }
-
-        let candidates: Vec<u32> = match imcu.virtual_ordinal(&pred.name) {
-            Some(vord) => {
-                // Fast path: the expression was materialized at population.
-                let vpred = Predicate { ordinal: vord, op: pred.op, value: pred.value.clone() };
-                if !imcu.storage_index.may_match(&vpred) {
-                    result.stats.pruned_units += 1;
-                    Vec::new()
-                } else {
-                    result.stats.scanned_units += 1;
-                    imcu.scan(&vpred)
-                }
-            }
-            None => {
-                // Unit predates the expression registration: evaluate over
-                // materialized rows (correct, just not accelerated).
-                result.stats.scanned_units += 1;
-                imcu.all_rows().filter(|&rn| pred.eval_row(&imcu.materialize(rn))).collect()
-            }
-        };
-        for rn in candidates {
-            let loc = imcu.loc(rn);
-            if view.is_invalid(loc) {
-                continue;
-            }
-            result.rows.push(imcu.materialize(rn));
-            result.stats.imcu_rows += 1;
-        }
-
-        let mut fallback: Vec<imadg_storage::RowLoc> = Vec::with_capacity(view.fallback_count());
-        view.collect_fallback(&mut fallback);
-        drop(view);
-        store.fetch_rows_batched(&mut fallback, snapshot, |_, row| {
-            if pred.eval_row(row) {
-                result.rows.push(row.clone());
-                result.stats.fallback_rows += 1;
-            }
-        })?;
-    }
-
-    let uncovered: Vec<_> =
-        store.block_dbas(object)?.into_iter().filter(|d| !covered.contains(d)).collect();
-    if !uncovered.is_empty() {
-        store.scan_blocks(&uncovered, snapshot, |_, row| {
-            if pred.eval_row(row) {
-                result.rows.push(row.clone());
-                result.stats.uncovered_rows += 1;
-            }
-        })?;
-    }
-    Ok(Some(result))
+    scan_units(&entries, store, object, pred, snapshot, degree).map(Some)
 }
 
 #[cfg(test)]
@@ -385,6 +455,7 @@ mod tests {
         assert_eq!(r.stats.imcu_rows, 10);
         assert_eq!(r.stats.fallback_rows, 0);
         assert_eq!(r.stats.uncovered_rows, 0);
+        assert!(r.stats.parallel_tasks >= 1);
         for row in &r.rows {
             assert_eq!(row[1], Value::Int(3));
         }
@@ -519,5 +590,63 @@ mod tests {
         // k % 10 == 3 and k % 5 == 3 → k ≡ 3 (mod 10) ∧ k ≡ 3 (mod 5) → k % 10 = 3.
         // c1 = c{k%5}; k%10==3 → k%5==3 → matches. So all 10 rows match.
         assert_eq!(r.rows.len(), 10);
+    }
+
+    /// The vectorized path must agree with the preserved scalar reference
+    /// on a workload mixing valid IMCU rows, SMU fallbacks, and uncovered
+    /// blocks.
+    #[test]
+    fn vectorized_matches_scalar_reference() {
+        let f = fixture();
+        seed(&f, 0, 120);
+        f.engine.run_once().unwrap();
+        let mut tx = f.txm.begin(TenantId::DEFAULT);
+        let locs: Vec<_> = [3, 13, 23]
+            .iter()
+            .map(|&k| f.txm.update_column_by_key(&mut tx, OBJ, k, "n1", Value::Int(3)).unwrap())
+            .collect();
+        let cscn = f.txm.commit(tx);
+        for loc in locs {
+            f.engine.imcs().invalidate(OBJ, loc, cscn);
+        }
+        seed(&f, 500, 520); // uncovered frontier
+        let sc = schema(&f);
+        let snapshot = f.scns.current();
+        for filt in [
+            Filter::all(),
+            Filter::of(Predicate::eq(&sc, "n1", Value::Int(3)).unwrap()),
+            Filter {
+                terms: vec![
+                    Predicate::new(&sc, "n1", CmpOp::Ge, Value::Int(2)).unwrap(),
+                    Predicate::eq(&sc, "c1", Value::str("c2")).unwrap(),
+                ],
+            },
+        ] {
+            let v = scan(f.engine.imcs(), &f.store, OBJ, &filt, snapshot).unwrap().unwrap();
+            let s = crate::scalar::scan_scalar(f.engine.imcs(), &f.store, OBJ, &filt, snapshot)
+                .unwrap()
+                .unwrap();
+            assert_eq!(v.rows, s.rows, "filter {filt:?}");
+        }
+    }
+
+    /// Degree-N execution must return the same rows and stats as serial.
+    #[test]
+    fn parallel_degree_is_deterministic() {
+        let f = fixture();
+        seed(&f, 0, 200); // 16-row units → many per-unit tasks
+        f.engine.run_once().unwrap();
+        let filt = Filter::of(Predicate::eq(&schema(&f), "n1", Value::Int(4)).unwrap());
+        let snapshot = f.scns.current();
+        let serial =
+            scan_parallel(f.engine.imcs(), &f.store, OBJ, &filt, snapshot, 1).unwrap().unwrap();
+        for degree in [2, 4, 8] {
+            let par = scan_parallel(f.engine.imcs(), &f.store, OBJ, &filt, snapshot, degree)
+                .unwrap()
+                .unwrap();
+            assert_eq!(par.rows, serial.rows, "degree {degree}");
+            assert_eq!(par.stats, serial.stats, "degree {degree}");
+        }
+        assert!(serial.stats.parallel_tasks > 1);
     }
 }

@@ -67,6 +67,29 @@ impl SmuReadGuard<'_> {
         out.extend(self.guard.inserted.keys().copied());
     }
 
+    /// Convert the validity state to mask form for the bitmap scan path:
+    /// a bitmap over `rows` with a 1 for every row still served from the
+    /// unit. Returns `None` when every row is valid — the common case —
+    /// so fully-valid units skip the AND entirely. Stale locations are
+    /// translated to row numbers through `rownum` (post-snapshot inserts
+    /// have no rownum and are simply not present in the mask domain).
+    pub fn validity_mask(
+        &self,
+        rows: usize,
+        rownum: impl Fn(RowLoc) -> Option<u32>,
+    ) -> Option<crate::bitmap::SelBitmap> {
+        if self.fallback_count() == 0 {
+            return None;
+        }
+        let mut mask = crate::bitmap::SelBitmap::ones(rows);
+        for loc in self.guard.invalid.keys().chain(self.guard.inserted.keys()) {
+            if let Some(rn) = rownum(*loc) {
+                mask.clear(rn as usize);
+            }
+        }
+        Some(mask)
+    }
+
     /// Total fallback locations.
     pub fn fallback_count(&self) -> usize {
         self.guard.invalid.len() + self.guard.inserted.len()
@@ -269,6 +292,18 @@ mod tests {
         assert!(v.is_invalid(loc(1, 1)), "newer than rebuild: carried");
         assert_eq!(v.inserted_count(), 1);
         assert!(!v.all_invalid());
+    }
+
+    #[test]
+    fn validity_mask_forms() {
+        let smu = Smu::new();
+        assert!(smu.read().validity_mask(8, |_| None).is_none(), "fully valid → no mask");
+        smu.invalidate_row(loc(1, 2), Scn(5));
+        smu.record_insert(loc(1, 9), Scn(6));
+        let rownum = |l: RowLoc| if l.slot < 8 { Some(l.slot as u32) } else { None };
+        let mask = smu.read().validity_mask(8, rownum).unwrap();
+        assert!(!mask.get(2), "invalidated row cleared");
+        assert_eq!(mask.count(), 7, "insert without rownum leaves the mask alone");
     }
 
     #[test]

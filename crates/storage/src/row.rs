@@ -20,6 +20,14 @@ impl Row {
         Row(values.into())
     }
 
+    /// Build a row straight from an iterator. With an exact-size std
+    /// iterator (e.g. `map` over a slice) the shared image is allocated
+    /// once, skipping `Row::new`'s intermediate `Vec` — the hot path of
+    /// batched scan materialization.
+    pub fn from_iter_exact(values: impl Iterator<Item = Value>) -> Row {
+        Row(values.collect())
+    }
+
     /// Number of stored values.
     pub fn len(&self) -> usize {
         self.0.len()

@@ -44,9 +44,31 @@ echo "==> TCP loopback smoke (self-skips with a notice if sockets unavailable)"
 cargo test -p imadg-net tcp -q
 cargo test -p imadg-db --test chaos_transport tcp_loopback -q
 
+# Scan-engine parity gate: the vectorized bitmap kernels must be
+# bit-identical to the scalar reference engine (ops × encodings × null
+# densities × SMU invalidation patterns), and parallel degrees must be
+# invisible to results.
+echo "==> kernel parity (vectorized vs scalar reference)"
+cargo test -p imadg-imcs --test kernel_parity -q
+
 if [[ "$fast" == 0 ]]; then
     echo "==> cargo build --release"
     cargo build --workspace --release -q
+
+    # Bench-smoke gate: a tiny-scale bench_scan run must produce a
+    # schema-valid BENCH document, and the checked-in trajectory
+    # documents must still validate. Ratios are NOT asserted here — at
+    # smoke scale on a shared box they are noise; the gate catches
+    # schema drift and malformed emitters.
+    echo "==> bench smoke (tiny bench_scan run + schema validation)"
+    smoke_out="$(mktemp)"
+    IMADG_BENCH_ROWS=4000 IMADG_BENCH_ITERS=3 IMADG_BENCH_OUT="$smoke_out" \
+        ./target/release/bench_scan >/dev/null
+    ./target/release/bench_scan --validate "$smoke_out"
+    rm -f "$smoke_out"
+    for doc in BENCH_scan.json BENCH_oltap.json; do
+        [[ -f "$doc" ]] && ./target/release/bench_scan --validate "$doc"
+    done
 fi
 
 echo "CI gate passed."
