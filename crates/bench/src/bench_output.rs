@@ -184,6 +184,87 @@ impl BenchOltapDoc {
     }
 }
 
+/// One measured recovery scenario inside the recovery benchmark document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecoveryRun {
+    /// Scenario name (`restart_checkpointed`, `restart_uncheckpointed`,
+    /// `promotion`).
+    pub name: String,
+    /// Committed rows on the standby when disaster struck.
+    pub committed_rows: u64,
+    /// Redo records persisted to the standby's durable log pre-crash.
+    pub records_persisted: u64,
+    /// Records replayed from wal + archive during recovery (0 for
+    /// promotion-only runs).
+    pub replayed_records: u64,
+    /// Observer (mining) calls skipped below the checkpoint watermark.
+    pub mining_skipped: u64,
+    /// Wall-clock from disaster to a converged, queryable node, ms.
+    pub recovery_ms: f64,
+    /// Replay throughput (`replayed_records / recovery time`); 0 when
+    /// nothing was replayed.
+    pub replayed_records_per_sec: f64,
+}
+
+/// The recovery benchmark document (`BENCH_recovery.json`), emitted by
+/// the `exp_recovery` binary: standby crash-restart (with and without a
+/// recent checkpoint) and standby→primary promotion, timed end to end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecoveryDoc {
+    /// Schema version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Benchmark family; always `"recovery"`.
+    pub bench: String,
+    /// Committed table rows per scenario.
+    pub rows: usize,
+    /// Available CPU cores on the measuring host.
+    pub cores: usize,
+    /// The measured scenarios.
+    pub runs: Vec<BenchRecoveryRun>,
+}
+
+impl BenchRecoveryDoc {
+    /// Structural validation; returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "unknown schema_version {} (expected {BENCH_SCHEMA_VERSION})",
+                self.schema_version
+            ));
+        }
+        if self.bench != "recovery" {
+            return Err(format!("bench family {:?} is not \"recovery\"", self.bench));
+        }
+        if self.rows == 0 || self.cores == 0 {
+            return Err("rows and cores must be > 0".into());
+        }
+        if self.runs.is_empty() {
+            return Err("no runs".into());
+        }
+        for r in &self.runs {
+            if r.name.is_empty() {
+                return Err("run with empty name".into());
+            }
+            if r.committed_rows == 0 {
+                return Err(format!("{}: committed_rows must be > 0", r.name));
+            }
+            if !(r.recovery_ms.is_finite() && r.recovery_ms > 0.0) {
+                return Err(format!("{}: recovery_ms must be finite and > 0", r.name));
+            }
+            if !(r.replayed_records_per_sec.is_finite() && r.replayed_records_per_sec >= 0.0) {
+                return Err(format!(
+                    "{}: replayed_records_per_sec must be finite and >= 0",
+                    r.name
+                ));
+            }
+            if r.replayed_records > 0 && r.replayed_records_per_sec == 0.0 {
+                return Err(format!("{}: replayed records but zero replay throughput", r.name));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Percentile over already-sorted samples (nearest-rank; `p` in [0,100]).
 pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
@@ -280,6 +361,35 @@ mod tests {
         let mut bad = d.clone();
         bad.runs[0].q1_p95_s = f64::INFINITY;
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn recovery_doc_validates() {
+        let d = BenchRecoveryDoc {
+            schema_version: BENCH_SCHEMA_VERSION,
+            bench: "recovery".into(),
+            rows: 1000,
+            cores: 4,
+            runs: vec![BenchRecoveryRun {
+                name: "restart_checkpointed".into(),
+                committed_rows: 1000,
+                records_persisted: 1003,
+                replayed_records: 1003,
+                mining_skipped: 900,
+                recovery_ms: 12.5,
+                replayed_records_per_sec: 80_240.0,
+            }],
+        };
+        d.validate().unwrap();
+        let mut bad = d.clone();
+        bad.bench = "scan".into();
+        assert!(bad.validate().is_err(), "wrong family");
+        let mut bad = d.clone();
+        bad.runs[0].recovery_ms = 0.0;
+        assert!(bad.validate().is_err(), "zero recovery time");
+        let mut bad = d.clone();
+        bad.runs[0].replayed_records_per_sec = 0.0;
+        assert!(bad.validate().is_err(), "replayed records need throughput");
     }
 
     #[test]

@@ -26,7 +26,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use imadg_bench::bench_output::{
-    percentile, write_json, BenchEntry, BenchOltapDoc, BenchScanDoc, BENCH_SCHEMA_VERSION,
+    percentile, write_json, BenchEntry, BenchOltapDoc, BenchRecoveryDoc, BenchScanDoc,
+    BENCH_SCHEMA_VERSION,
 };
 use imadg_common::{ImcsConfig, ObjectId, ScnService, TenantId};
 use imadg_imcs::{scalar, ImcsStore, PopulationEngine, Predicate, SnapshotSource};
@@ -309,8 +310,19 @@ fn validate_file(path: &str) -> ExitCode {
             match as_oltap {
                 Ok(()) => "oltap",
                 Err(oltap_err) => {
-                    eprintln!("bench_scan --validate: {path}: {scan_err}; {oltap_err}");
-                    return ExitCode::FAILURE;
+                    let as_recovery = serde_json::from_str::<BenchRecoveryDoc>(&raw)
+                        .map_err(|e| format!("not a recovery document: {e}"))
+                        .and_then(|d| d.validate());
+                    match as_recovery {
+                        Ok(()) => "recovery",
+                        Err(rec_err) => {
+                            eprintln!(
+                                "bench_scan --validate: {path}: {scan_err}; {oltap_err}; \
+                                 {rec_err}"
+                            );
+                            return ExitCode::FAILURE;
+                        }
+                    }
                 }
             }
         }

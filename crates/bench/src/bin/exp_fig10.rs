@@ -7,7 +7,7 @@
 //! ~100× for update-only): highly concurrent invalidation + population on
 //! the insert frontier limits the columnar benefit.
 
-use imadg_bench::{default_spec, maybe_json, setup_cluster, ExpScale, WIDE};
+use imadg_bench::{default_builder, maybe_json, setup_cluster, ExpScale, WIDE};
 use imadg_db::Placement;
 use imadg_workload::{report, run_oltap, OpMix, QueryId};
 
@@ -21,7 +21,7 @@ fn main() {
     for dbim in [false, true] {
         let placement = if dbim { Placement::StandbyOnly } else { Placement::None };
         let cluster =
-            setup_cluster(default_spec(dbim), placement, scale.rows).expect("cluster setup");
+            setup_cluster(default_builder(dbim), placement, scale.rows).expect("cluster setup");
         let threads = cluster.start();
         let metrics = run_oltap(&cluster, WIDE, &scale.oltap(OpMix::update_insert(), true))
             .expect("workload run");

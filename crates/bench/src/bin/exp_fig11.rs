@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use imadg_bench::{maybe_json, setup_cluster, ExpScale, WIDE};
-use imadg_db::{AdgCluster, ClusterSpec, MetricsSnapshot, Placement, TenantId, Value};
+use imadg_db::{AdgCluster, MetricsSnapshot, NodeBuilder, Placement, TenantId, Value};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -89,9 +89,9 @@ fn txn_mix_worker(
 }
 
 fn run(dbim: bool, scale: &ExpScale) -> (Vec<Sample>, u64, MetricsSnapshot) {
-    let spec = ClusterSpec { primary_instances: 2, dbim_on_adg: dbim, ..Default::default() };
+    let builder = NodeBuilder::new().primaries(2).dbim_on_adg(dbim);
     let placement = if dbim { Placement::StandbyOnly } else { Placement::None };
-    let cluster = setup_cluster(spec, placement, scale.rows).expect("cluster setup");
+    let cluster = setup_cluster(builder, placement, scale.rows).expect("cluster setup");
     let threads = cluster.start();
 
     let stop = Arc::new(AtomicBool::new(false));

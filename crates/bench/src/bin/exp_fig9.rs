@@ -7,7 +7,7 @@
 //! CPU transfer (primary 11.7% → 4.7% when scans are offloaded).
 
 use imadg_bench::bench_output::{write_json, BenchOltapDoc, BenchOltapRun, BENCH_SCHEMA_VERSION};
-use imadg_bench::{default_spec, maybe_json, setup_cluster, ExpScale, WIDE};
+use imadg_bench::{default_builder, maybe_json, setup_cluster, ExpScale, WIDE};
 use imadg_db::Placement;
 use imadg_workload::{report, run_oltap, OltapMetrics, OpMix, QueryId};
 
@@ -34,7 +34,7 @@ fn main() {
     for dbim in [false, true] {
         let placement = if dbim { Placement::StandbyOnly } else { Placement::None };
         let cluster =
-            setup_cluster(default_spec(dbim), placement, scale.rows).expect("cluster setup");
+            setup_cluster(default_builder(dbim), placement, scale.rows).expect("cluster setup");
         let threads = cluster.start();
         let metrics = run_oltap(&cluster, WIDE, &scale.oltap(OpMix::update_only(), true))
             .expect("workload run");

@@ -7,7 +7,7 @@
 //! CPU transfer: primary 8% → 0.5%, standby 0.3% → 7.9% when the scans
 //! move to the standby.
 
-use imadg_bench::{default_spec, maybe_json, setup_cluster, ExpScale, WIDE};
+use imadg_bench::{default_builder, maybe_json, setup_cluster, ExpScale, WIDE};
 use imadg_db::Placement;
 use imadg_workload::{report, run_oltap, OpMix, QueryId};
 
@@ -18,7 +18,7 @@ fn main() {
 
     // DBIM on both sides (dimension-table style `Both` placement).
     let cluster =
-        setup_cluster(default_spec(true), Placement::Both, scale.rows).expect("cluster setup");
+        setup_cluster(default_builder(true), Placement::Both, scale.rows).expect("cluster setup");
     let threads = cluster.start();
 
     let on_primary = run_oltap(&cluster, WIDE, &scale.oltap(OpMix::scan_only(), false))

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use imadg_common::{ObjectId, Result};
-use imadg_db::{AdgCluster, ClusterSpec, Placement};
+use imadg_db::{AdgCluster, NodeBuilder, Placement};
 use imadg_workload::{load_wide_table, wide_table_spec, OltapConfig, OpMix};
 
 /// The wide table's object id in every experiment.
@@ -72,11 +72,11 @@ impl ExpScale {
 
 /// Provision a cluster with the wide table created, placed and loaded.
 pub fn setup_cluster(
-    spec: ClusterSpec,
+    builder: NodeBuilder,
     placement: Placement,
     rows: usize,
 ) -> Result<Arc<AdgCluster>> {
-    let cluster = Arc::new(AdgCluster::new(spec)?);
+    let cluster = builder.build()?;
     cluster.create_table(wide_table_spec(WIDE, ROWS_PER_BLOCK))?;
     cluster.set_placement(WIDE, placement)?;
     load_wide_table(&cluster, WIDE, rows, 7)?;
@@ -89,9 +89,9 @@ pub fn setup_cluster(
     Ok(cluster)
 }
 
-/// Spec for the standard single-instance experiment deployment.
-pub fn default_spec(dbim_on_adg: bool) -> ClusterSpec {
-    ClusterSpec { dbim_on_adg, ..Default::default() }
+/// Builder for the standard single-instance experiment deployment.
+pub fn default_builder(dbim_on_adg: bool) -> NodeBuilder {
+    NodeBuilder::new().dbim_on_adg(dbim_on_adg)
 }
 
 /// Print a JSON blob when `IMADG_JSON=1` (for EXPERIMENTS.md records).
@@ -131,10 +131,10 @@ mod tests {
     #[test]
     fn setup_cluster_populates_per_placement() {
         use imadg_db::Placement;
-        let c = setup_cluster(default_spec(true), Placement::StandbyOnly, 200).unwrap();
+        let c = setup_cluster(default_builder(true), Placement::StandbyOnly, 200).unwrap();
         assert_eq!(c.standby().instances()[0].imcs.populated_rows(), 200);
         assert_eq!(c.primary().imcs.populated_rows(), 0);
-        let c = setup_cluster(default_spec(true), Placement::Both, 200).unwrap();
+        let c = setup_cluster(default_builder(true), Placement::Both, 200).unwrap();
         assert_eq!(c.primary().imcs.populated_rows(), 200);
     }
 

@@ -235,6 +235,47 @@ impl TransportConfig {
     }
 }
 
+/// Redo durability configuration: the segmented on-disk log, the archive
+/// tier, and the standby checkpoint cadence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DurabilityConfig {
+    /// Root directory for durable state (`<dir>/primary/tN`,
+    /// `<dir>/standby/tN`, `<dir>/standby/checkpoint.json`). `None`
+    /// disables persistence — redo lives only in memory, as before.
+    pub dir: Option<String>,
+    /// Size bound after which the active wal segment is sealed and becomes
+    /// eligible for archival.
+    pub segment_max_bytes: u64,
+    /// Checkpoint every N successful QuerySCN advancements.
+    pub checkpoint_interval: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig { dir: None, segment_max_bytes: 256 * 1024, checkpoint_interval: 4 }
+    }
+}
+
+impl DurabilityConfig {
+    /// Whether durable persistence is enabled.
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Validate the knobs.
+    pub fn validate(&self) -> Result<()> {
+        if self.enabled() {
+            if self.segment_max_bytes < 1024 {
+                return Err(Error::Config("segment_max_bytes must be >= 1024".into()));
+            }
+            if self.checkpoint_interval == 0 {
+                return Err(Error::Config("checkpoint_interval must be > 0".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Top-level system configuration.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -244,6 +285,8 @@ pub struct SystemConfig {
     pub imcs: ImcsConfig,
     /// Redo-shipping settings.
     pub transport: TransportConfig,
+    /// Redo-durability settings.
+    pub durability: DurabilityConfig,
 }
 
 impl SystemConfig {
@@ -251,7 +294,17 @@ impl SystemConfig {
     pub fn validate(&self) -> Result<()> {
         self.recovery.validate()?;
         self.imcs.validate()?;
-        self.transport.validate()
+        self.transport.validate()?;
+        self.durability.validate()?;
+        if self.durability.enabled() && self.transport.mode == LinkMode::InProcess {
+            // Durable restart resumes the link at the fsynced sequence
+            // number; the in-process channel has no sequence numbers to
+            // resume from.
+            return Err(Error::Config(
+                "durability requires a framed link (mode Framed or Tcp)".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -308,6 +361,27 @@ mod tests {
     fn zero_retained_window_rejected() {
         let mut c = TransportConfig::default();
         c.retained_window = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn durability_on_inprocess_link_rejected() {
+        let mut c = SystemConfig::default();
+        c.durability.dir = Some("/tmp/imadg".into());
+        assert!(c.validate().is_err());
+        c.transport.mode = LinkMode::Framed;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_durability_knobs_rejected() {
+        let mut c = DurabilityConfig::default();
+        c.validate().unwrap();
+        c.dir = Some("/tmp/imadg".into());
+        c.segment_max_bytes = 16;
+        assert!(c.validate().is_err());
+        c.segment_max_bytes = 4096;
+        c.checkpoint_interval = 0;
         assert!(c.validate().is_err());
     }
 

@@ -43,6 +43,9 @@ pub enum Error {
     TransportClosed,
     /// A wire frame failed checksum or structural decoding.
     WireCorrupt(String),
+    /// A durability I/O operation failed (message stringified so the
+    /// error stays `Clone + Eq`).
+    Io(String),
     /// Configuration rejected.
     Config(String),
     /// A pipeline stage failed (error or panic); recorded by the runtime
@@ -80,6 +83,7 @@ impl fmt::Display for Error {
             Error::NotPopulated(o) => write!(f, "object {o:?} not populated in the IMCS"),
             Error::TransportClosed => write!(f, "redo transport closed"),
             Error::WireCorrupt(msg) => write!(f, "corrupt wire frame: {msg}"),
+            Error::Io(msg) => write!(f, "durability i/o error: {msg}"),
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
             Error::StageFailed { stage, reason } => {
                 write!(f, "pipeline stage `{stage}` failed: {reason}")

@@ -21,7 +21,10 @@ pub mod sync;
 
 pub use clock::Clock;
 
-pub use config::{FaultPlan, ImcsConfig, LinkMode, RecoveryConfig, SystemConfig, TransportConfig};
+pub use config::{
+    DurabilityConfig, FaultPlan, ImcsConfig, LinkMode, RecoveryConfig, SystemConfig,
+    TransportConfig,
+};
 pub use cpu::{BusyTimer, CpuAccount, CpuReport};
 pub use error::{Error, Result};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};

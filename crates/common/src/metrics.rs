@@ -628,6 +628,105 @@ pub struct FlushSnapshot {
     pub quiesce_us: HistogramSnapshot,
 }
 
+/// Redo durability: the on-disk segmented log (group commit + archiver),
+/// the standby checkpoint, and restart replay. Each side updates its own
+/// registry — the primary counts wal appends/fsyncs/archive retransmits,
+/// the standby additionally counts checkpoints, replay, and gated mining.
+#[derive(Debug, Default)]
+pub struct DurabilityMetrics {
+    /// Batches appended to the durable log (buffered for group commit).
+    pub appends: Counter,
+    /// Records written and fsynced to segments.
+    pub records_persisted: Counter,
+    /// Bytes written and fsynced to segments.
+    pub bytes_persisted: Counter,
+    /// fsync calls — one per group commit, batching every append of the
+    /// stage quantum.
+    pub fsyncs: Counter,
+    /// Active segments sealed after exceeding the size bound.
+    pub segments_sealed: Counter,
+    /// Sealed segments moved to the archive tier by the archiver.
+    pub segments_archived: Counter,
+    /// NAK gap-resolutions served from the durable log because the
+    /// requested sequence had left the in-memory retained window.
+    pub archive_retransmits: Counter,
+    /// Standby checkpoints written (applied-SCN watermark).
+    pub checkpoints: Counter,
+    /// Batches replayed from disk during a hard restart.
+    pub replayed_batches: Counter,
+    /// Records replayed from disk during a hard restart.
+    pub replayed_records: Counter,
+    /// DBIM observer calls skipped during restart replay because the
+    /// record's SCN was at or below the checkpoint watermark.
+    pub mining_skipped: Counter,
+    /// Highest sequence fsynced to disk (sampled).
+    pub durable_seq: Gauge,
+    /// The checkpointed SCN watermark (sampled).
+    pub checkpoint_scn: Gauge,
+    /// Segment files in the wal tier (sampled).
+    pub wal_segments: Gauge,
+    /// Segment files in the archive tier (sampled).
+    pub archived_segments: Gauge,
+}
+
+impl DurabilityMetrics {
+    /// Project to plain data.
+    pub fn snapshot(&self) -> DurabilitySnapshot {
+        DurabilitySnapshot {
+            appends: self.appends.get(),
+            records_persisted: self.records_persisted.get(),
+            bytes_persisted: self.bytes_persisted.get(),
+            fsyncs: self.fsyncs.get(),
+            segments_sealed: self.segments_sealed.get(),
+            segments_archived: self.segments_archived.get(),
+            archive_retransmits: self.archive_retransmits.get(),
+            checkpoints: self.checkpoints.get(),
+            replayed_batches: self.replayed_batches.get(),
+            replayed_records: self.replayed_records.get(),
+            mining_skipped: self.mining_skipped.get(),
+            durable_seq: self.durable_seq.get(),
+            checkpoint_scn: self.checkpoint_scn.get(),
+            wal_segments: self.wal_segments.get(),
+            archived_segments: self.archived_segments.get(),
+        }
+    }
+}
+
+/// Plain-data projection of [`DurabilityMetrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DurabilitySnapshot {
+    /// Batches appended.
+    pub appends: u64,
+    /// Records fsynced.
+    pub records_persisted: u64,
+    /// Bytes fsynced.
+    pub bytes_persisted: u64,
+    /// Group-commit fsyncs.
+    pub fsyncs: u64,
+    /// Segments sealed.
+    pub segments_sealed: u64,
+    /// Segments archived.
+    pub segments_archived: u64,
+    /// Retransmits served from the durable log.
+    pub archive_retransmits: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Batches replayed on restart.
+    pub replayed_batches: u64,
+    /// Records replayed on restart.
+    pub replayed_records: u64,
+    /// Observer calls skipped below the checkpoint watermark.
+    pub mining_skipped: u64,
+    /// Sampled durable sequence.
+    pub durable_seq: u64,
+    /// Sampled checkpoint SCN.
+    pub checkpoint_scn: u64,
+    /// Sampled wal-tier segment count.
+    pub wal_segments: u64,
+    /// Sampled archive-tier segment count.
+    pub archived_segments: u64,
+}
+
 /// Population engine (paper §III.A).
 #[derive(Debug, Default)]
 pub struct PopulationMetrics {
@@ -960,6 +1059,8 @@ pub struct MetricsRegistry {
     pub commit_table: Arc<CommitTableMetrics>,
     /// Invalidation flush + advancement.
     pub flush: Arc<FlushMetrics>,
+    /// Redo durability (on-disk log, checkpoint, restart replay).
+    pub durability: Arc<DurabilityMetrics>,
     /// Population engine.
     pub population: Arc<PopulationMetrics>,
     /// Scan engine / query API.
@@ -986,6 +1087,7 @@ impl MetricsRegistry {
             journal: self.journal.snapshot(),
             commit_table: self.commit_table.snapshot(),
             flush: self.flush.snapshot(),
+            durability: self.durability.snapshot(),
             population: self.population.snapshot(),
             scan: self.scan.snapshot(),
             runtime: self.runtime.snapshot(),
@@ -1013,6 +1115,8 @@ pub struct MetricsSnapshot {
     pub commit_table: CommitTableSnapshot,
     /// Invalidation flush + advancement.
     pub flush: FlushSnapshot,
+    /// Redo durability (on-disk log, checkpoint, restart replay).
+    pub durability: DurabilitySnapshot,
     /// Population engine.
     pub population: PopulationSnapshot,
     /// Scan engine / query API.
@@ -1086,6 +1190,19 @@ impl fmt::Display for MetricsSnapshot {
             self.flush.coop_flushed,
             self.flush.coordinator_flushed,
             self.flush.quiesce_us.quantile(0.95),
+        )?;
+        writeln!(
+            f,
+            "durability: fsyncs={} records_persisted={} durable_seq={} segments_archived={} \
+             archive_retransmits={} checkpoints={} checkpoint_scn={} replayed_records={}",
+            self.durability.fsyncs,
+            self.durability.records_persisted,
+            self.durability.durable_seq,
+            self.durability.segments_archived,
+            self.durability.archive_retransmits,
+            self.durability.checkpoints,
+            self.durability.checkpoint_scn,
+            self.durability.replayed_records,
         )?;
         writeln!(
             f,
@@ -1214,6 +1331,8 @@ mod tests {
         reg.journal.journal_txns.set(2);
         reg.commit_table.chop_size.record_value(8);
         reg.flush.quiesce_us.record(Duration::from_micros(120));
+        reg.durability.fsyncs.add(2);
+        reg.durability.durable_seq.set(9);
         reg.population.imcus_built.add(3);
         reg.scan.latency_us.record(Duration::from_micros(50));
         reg.trace.record(TraceStage::Advance, 42, "publish");
@@ -1237,6 +1356,7 @@ mod tests {
             "journal:",
             "commit_table:",
             "flush:",
+            "durability:",
             "population:",
             "scan:",
         ] {

@@ -22,6 +22,13 @@ impl ScnService {
         ScnService { next: AtomicU64::new(1) }
     }
 
+    /// Service whose first allocated SCN is `first` — used at standby
+    /// promotion so the new primary's SCNs continue past everything the
+    /// old primary ever applied.
+    pub fn starting_at(first: Scn) -> Self {
+        ScnService { next: AtomicU64::new(first.0.max(1)) }
+    }
+
     /// Allocate the next SCN.
     #[inline]
     pub fn next(&self) -> Scn {
@@ -129,6 +136,16 @@ mod tests {
         assert_eq!(a, Scn(1));
         assert_eq!(b, Scn(2));
         assert_eq!(s.current(), Scn(2));
+    }
+
+    #[test]
+    fn scn_service_starting_at_continues() {
+        let s = ScnService::starting_at(Scn(100));
+        assert_eq!(s.next(), Scn(100));
+        assert_eq!(s.current(), Scn(100));
+        // Scn(0) would underflow current(); clamp to a fresh service.
+        let s = ScnService::starting_at(Scn(0));
+        assert_eq!(s.next(), Scn(1));
     }
 
     #[test]

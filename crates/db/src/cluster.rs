@@ -1,67 +1,93 @@
 //! The full Active-Data-Guard deployment: primary cluster + standby
-//! cluster connected by redo shipping (paper Fig. 1).
+//! cluster connected by redo shipping (paper Fig. 1), plus the durability
+//! lifecycle — hard standby restart from on-disk redo and standby
+//! promotion after primary loss.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 
 use imadg_common::{
-    Clock, Error, InstanceId, ObjectId, RedoThreadId, Result, Runtime, RuntimeHealth, ScnService,
-    StepScheduler, SystemConfig, ThreadedRuntime,
+    Clock, Error, InstanceId, ObjectId, RedoThreadId, Result, Runtime, RuntimeHealth, Scn,
+    ScnService, StepScheduler, SystemConfig, ThreadedRuntime,
 };
-use imadg_net::build_link;
-use imadg_redo::LogBuffer;
+use imadg_net::{build_link, LinkDurability};
+use imadg_redo::{read_checkpoint, redo_link, DurableLog, LogBuffer, RedoSource, ReplaySource};
 use imadg_storage::{DbaAllocator, Store, TableSpec};
 use imadg_txn::{InMemoryRegistry, LockTable, TxnIdService, TxnManager};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 
 use crate::placement::Placement;
 use crate::primary::PrimaryInstance;
 use crate::standby::StandbyCluster;
 
-/// Deployment shape.
+/// Deployment shape (named-setter construction via [`crate::NodeBuilder`]).
 #[derive(Debug, Clone)]
-pub struct ClusterSpec {
+pub struct ClusterConfig {
     /// Primary RAC instances (each gets its own redo thread).
     pub primary_instances: usize,
     /// Standby RAC instances (instance 0 runs SIRA media recovery).
     pub standby_instances: usize,
     /// Kernel configuration.
-    pub config: SystemConfig,
+    pub system: SystemConfig,
     /// Enable the DBIM-on-ADG infrastructure on the standby.
     pub dbim_on_adg: bool,
     /// Annotate commit records with the in-memory flag (§III.E).
     pub commit_annotation: bool,
 }
 
-impl Default for ClusterSpec {
+impl Default for ClusterConfig {
     fn default() -> Self {
-        ClusterSpec {
+        ClusterConfig {
             primary_instances: 1,
             standby_instances: 1,
-            config: SystemConfig::default(),
+            system: SystemConfig::default(),
             dbim_on_adg: true,
             commit_annotation: true,
         }
     }
 }
 
+impl ClusterConfig {
+    fn durability_dir(&self) -> Option<PathBuf> {
+        self.system.durability.dir.as_ref().map(PathBuf::from)
+    }
+}
+
+/// Outcome of [`AdgCluster::promote`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromotionReport {
+    /// SCN the standby had applied through at promotion (every committed
+    /// transaction the lost primary shipped is at or below it).
+    pub applied_scn: Scn,
+    /// First SCN the promoted primary allocates.
+    pub resume_scn: Scn,
+    /// The QuerySCN the demoted standby stays frozen at (None if it never
+    /// published one).
+    pub frozen_query_scn: Option<Scn>,
+}
+
 /// A primary + standby deployment.
 pub struct AdgCluster {
     /// The deployment shape.
-    pub spec: ClusterSpec,
-    scns: Arc<ScnService>,
-    primaries: Vec<Arc<PrimaryInstance>>,
+    pub config: ClusterConfig,
+    scns: RwLock<Arc<ScnService>>,
+    primaries: RwLock<Vec<Arc<PrimaryInstance>>>,
     standby: RwLock<Arc<StandbyCluster>>,
     /// Objects enabled anywhere (commit-record annotation source).
     annotation: Arc<InMemoryRegistry>,
     placements: RwLock<HashMap<ObjectId, Placement>>,
+    /// Redo receivers parked during promotion: keeps the promoted
+    /// primary's outbound link alive with no standby attached.
+    detached: Mutex<Vec<Box<dyn RedoSource>>>,
 }
 
 impl AdgCluster {
     /// Provision a cluster.
-    pub fn new(spec: ClusterSpec) -> Result<AdgCluster> {
-        spec.config.validate()?;
-        if spec.primary_instances == 0 {
+    pub fn new(config: ClusterConfig) -> Result<Arc<AdgCluster>> {
+        config.system.validate()?;
+        if config.primary_instances == 0 {
             return Err(Error::Config("need at least one primary instance".into()));
         }
         let scns = Arc::new(ScnService::new());
@@ -71,22 +97,29 @@ impl AdgCluster {
         let annotation = Arc::new(InMemoryRegistry::new());
         let primary_store = Arc::new(Store::new());
         let standby_store = Arc::new(Store::new());
+        let dur_dir = config.durability_dir();
 
-        let mut primaries = Vec::with_capacity(spec.primary_instances);
-        let mut receivers = Vec::with_capacity(spec.primary_instances);
-        for i in 0..spec.primary_instances {
+        let mut primaries = Vec::with_capacity(config.primary_instances);
+        let mut receivers = Vec::with_capacity(config.primary_instances);
+        for i in 0..config.primary_instances {
             // One link per redo thread, in the configured mode. The fault
             // seed decorrelates per-link chaos streams in multi-primary
             // topologies while keeping the whole schedule deterministic.
+            let thread = RedoThreadId(i as u8 + 1);
+            let durability = match &dur_dir {
+                Some(dir) => Some(Self::open_link_logs(dir, &config.system, thread)?),
+                None => None,
+            };
             let (sender, receiver) = build_link(
-                spec.config.transport.mode,
-                RedoThreadId(i as u8 + 1),
-                &spec.config.transport,
+                config.system.transport.mode,
+                thread,
+                &config.system.transport,
                 Clock::Real,
                 i as u64,
+                durability,
             )?;
             receivers.push(receiver);
-            let log = Arc::new(LogBuffer::new(RedoThreadId(i as u8 + 1)));
+            let log = Arc::new(LogBuffer::new(thread));
             let mut txm = TxnManager::new(
                 primary_store.clone(),
                 scns.clone(),
@@ -96,7 +129,7 @@ impl AdgCluster {
                 annotation.clone(),
                 dbas.clone(),
             );
-            txm.annotate_commits = spec.commit_annotation;
+            txm.annotate_commits = config.commit_annotation;
             primaries.push(Arc::new(PrimaryInstance::new(
                 InstanceId(i as u8),
                 primary_store.clone(),
@@ -104,42 +137,107 @@ impl AdgCluster {
                 scns.clone(),
                 log,
                 sender,
-                &spec.config.transport,
-                &spec.config.imcs,
+                &config.system.transport,
+                &config.system.imcs,
             )?));
         }
 
+        // A pre-existing durability dir (cold start over surviving redo
+        // files) replays from disk before going live, gated at the last
+        // checkpoint.
+        let (receivers, mine_gate) = Self::prepare_receivers(receivers, dur_dir.as_deref())?;
         let standby = StandbyCluster::new(
-            &spec.config,
+            &config.system,
             standby_store,
             receivers,
-            spec.standby_instances,
-            spec.dbim_on_adg,
+            config.standby_instances,
+            config.dbim_on_adg,
         )?;
+        standby.set_mine_gate(mine_gate);
+        if let Some(dir) = &dur_dir {
+            standby.set_checkpoint(
+                Self::checkpoint_path(dir),
+                config.system.durability.checkpoint_interval,
+            );
+        }
 
-        Ok(AdgCluster {
-            spec,
-            scns,
-            primaries,
+        Ok(Arc::new(AdgCluster {
+            config,
+            scns: RwLock::new(scns),
+            primaries: RwLock::new(primaries),
             standby: RwLock::new(standby),
             annotation,
             placements: RwLock::new(HashMap::new()),
-        })
+            detached: Mutex::new(Vec::new()),
+        }))
     }
 
     /// Convenience: a default single-instance deployment.
-    pub fn single() -> Result<AdgCluster> {
-        AdgCluster::new(ClusterSpec::default())
+    pub fn single() -> Result<Arc<AdgCluster>> {
+        AdgCluster::new(ClusterConfig::default())
     }
 
-    /// The primary instances.
-    pub fn primaries(&self) -> &[Arc<PrimaryInstance>] {
-        &self.primaries
+    /// Open the per-thread wal/archive logs for one link's two ends.
+    fn open_link_logs(
+        dir: &Path,
+        system: &SystemConfig,
+        thread: RedoThreadId,
+    ) -> Result<LinkDurability> {
+        let seg = system.durability.segment_max_bytes;
+        Ok(LinkDurability {
+            primary: Arc::new(DurableLog::open(
+                dir.join("primary").join(format!("t{}", thread.0)),
+                seg,
+            )?),
+            standby: Arc::new(DurableLog::open(
+                dir.join("standby").join(format!("t{}", thread.0)),
+                seg,
+            )?),
+        })
+    }
+
+    /// The standby checkpoint file inside the durability dir.
+    fn checkpoint_path(dir: &Path) -> PathBuf {
+        dir.join("standby").join("checkpoint.json")
+    }
+
+    /// Wrap every receiver that has durable history in a [`ReplaySource`]
+    /// (disk batches first, then the live link) and read the checkpoint
+    /// the replayed mining should be gated at.
+    fn prepare_receivers(
+        receivers: Vec<Box<dyn RedoSource>>,
+        dir: Option<&Path>,
+    ) -> Result<(Vec<Box<dyn RedoSource>>, Scn)> {
+        let mine_gate = match dir {
+            Some(d) => read_checkpoint(Self::checkpoint_path(d))?.unwrap_or(Scn::ZERO),
+            None => Scn::ZERO,
+        };
+        let mut out = Vec::with_capacity(receivers.len());
+        for rx in receivers {
+            let wrapped = match rx.durable_log() {
+                Some(log) => {
+                    let batches = log.read_from(1)?;
+                    if batches.is_empty() {
+                        rx
+                    } else {
+                        Box::new(ReplaySource::new(batches, rx)) as Box<dyn RedoSource>
+                    }
+                }
+                None => rx,
+            };
+            out.push(wrapped);
+        }
+        Ok((out, mine_gate))
+    }
+
+    /// The primary instances (owned snapshot: promotion swaps the set).
+    pub fn primaries(&self) -> Vec<Arc<PrimaryInstance>> {
+        self.primaries.read().clone()
     }
 
     /// The first primary instance.
-    pub fn primary(&self) -> &Arc<PrimaryInstance> {
-        &self.primaries[0]
+    pub fn primary(&self) -> Arc<PrimaryInstance> {
+        self.primaries.read()[0].clone()
     }
 
     /// The standby cluster.
@@ -147,9 +245,9 @@ impl AdgCluster {
         self.standby.read().clone()
     }
 
-    /// The global SCN service.
-    pub fn scns(&self) -> &Arc<ScnService> {
-        &self.scns
+    /// The global SCN service (replaced on promotion).
+    pub fn scns(&self) -> Arc<ScnService> {
+        self.scns.read().clone()
     }
 
     /// Create a table: applied on the primary dictionary and replicated to
@@ -166,7 +264,7 @@ impl AdgCluster {
         } else {
             self.annotation.disable(object);
         }
-        for p in &self.primaries {
+        for p in self.primaries.read().iter() {
             if placement.on_primary() {
                 p.population.enable(object);
             } else {
@@ -191,7 +289,7 @@ impl AdgCluster {
     /// Ship all buffered redo from every primary instance.
     pub fn ship_redo(&self) -> Result<usize> {
         let mut total = 0;
-        for p in &self.primaries {
+        for p in self.primaries.read().iter() {
             total += p.ship_redo()?;
         }
         Ok(total)
@@ -212,7 +310,7 @@ impl AdgCluster {
             let shipped = self.ship_redo()?;
             standby.pump_until_idle()?;
             let populated = standby.populate_until_idle()?;
-            let pending = self.primaries.iter().any(|p| p.transport_pending())
+            let pending = self.primaries.read().iter().any(|p| p.transport_pending())
                 || standby.recovery.transport_pending();
             // Population may race new shipping in tests; loop until stable.
             if shipped == 0 && !populated.any() {
@@ -232,7 +330,7 @@ impl AdgCluster {
     pub fn register_expression(&self, object: ObjectId, expr: imadg_imcs::ImExpression) {
         let placement = self.placement(object);
         if placement.on_primary() {
-            for p in &self.primaries {
+            for p in self.primaries.read().iter() {
                 p.imcs.register_expression(object, expr.clone());
             }
         }
@@ -244,7 +342,7 @@ impl AdgCluster {
     /// Run primary-side population to a fixed point (dual-format DBIM on
     /// the primary, §II.B).
     pub fn populate_primary(&self) -> Result<()> {
-        for p in &self.primaries {
+        for p in self.primaries.read().iter() {
             p.population.run_until_idle()?;
         }
         Ok(())
@@ -257,20 +355,148 @@ impl AdgCluster {
         let old = self.standby();
         let receivers = old.recovery.take_receivers();
         let new = StandbyCluster::new(
-            &self.spec.config,
+            &self.config.system,
             old.store.clone(),
             receivers,
-            self.spec.standby_instances,
-            self.spec.dbim_on_adg,
+            self.config.standby_instances,
+            self.config.dbim_on_adg,
         )?;
-        // Re-apply placements to the fresh cluster.
-        for (&object, &placement) in self.placements.read().iter() {
-            if placement.on_standby() {
-                new.enable_inmemory(object);
-            }
-        }
+        self.arm_standby(&new)?;
         *self.standby.write() = new;
         Ok(())
+    }
+
+    /// Hard-crash the standby and restart it from disk: the physical store
+    /// and every in-memory structure are lost. The replacement rebuilds by
+    /// replaying the local durable redo files (mining gated at the last
+    /// checkpoint), then converges the unsynced tail through the gap
+    /// protocol — NAKs served from the primary's retained window and
+    /// archived logs. Requires durability (a framed or TCP link).
+    pub fn crash_restart_standby(&self) -> Result<()> {
+        let dir = self.config.durability_dir().ok_or_else(|| {
+            Error::Config("crash restart requires durability (NodeBuilder::durability)".into())
+        })?;
+        let old = self.standby();
+        let mut receivers = old.recovery.take_receivers();
+        for rx in receivers.iter_mut() {
+            // The crash loses the unsynced tee buffer and all reassembly
+            // state; the link rewinds to the durable position and
+            // announces it to the sender.
+            rx.reset_for_restart()?;
+        }
+        let (receivers, mine_gate) = Self::prepare_receivers(receivers, Some(&dir))?;
+        let new = StandbyCluster::new(
+            &self.config.system,
+            Arc::new(Store::new()),
+            receivers,
+            self.config.standby_instances,
+            self.config.dbim_on_adg,
+        )?;
+        new.set_mine_gate(mine_gate);
+        new.set_checkpoint(
+            Self::checkpoint_path(&dir),
+            self.config.system.durability.checkpoint_interval,
+        );
+        self.arm_standby(&new)?;
+        *self.standby.write() = new;
+        Ok(())
+    }
+
+    /// Re-apply recorded placements to a fresh standby cluster.
+    fn arm_standby(&self, standby: &Arc<StandbyCluster>) -> Result<()> {
+        for (&object, &placement) in self.placements.read().iter() {
+            if placement.on_standby() {
+                standby.enable_inmemory(object);
+            }
+        }
+        Ok(())
+    }
+
+    /// Promote the standby to primary after primary loss (role transition,
+    /// paper §I: the standby holds every committed transaction the lost
+    /// primary shipped).
+    ///
+    /// Runs terminal catch-up first — remaining gaps resolve through
+    /// NAK/retransmission — then builds a new primary instance directly
+    /// over the standby's physical store: SCN allocation resumes past the
+    /// applied SCN, the space and transaction-id allocators are seeded
+    /// past everything recovery replayed, and in-flight (uncommitted)
+    /// transactions from the old primary are implicitly rolled back — their
+    /// versions carry no commit SCN and stay invisible forever. The old
+    /// standby remains queryable at its frozen QuerySCN.
+    pub fn promote(&self) -> Result<PromotionReport> {
+        // Terminal catch-up: everything the lost primary got onto the wire
+        // (or into its retained window / archive) lands on the standby.
+        self.sync()?;
+        let standby = self.standby();
+        let applied = standby.recovery.applied_scn();
+        let frozen_query_scn = standby.query_scn.get();
+
+        // The old primary is gone; its instances and links go with it. The
+        // standby's receivers are parked: no more redo will arrive.
+        self.primaries.write().clear();
+        self.detached.lock().extend(standby.recovery.take_receivers());
+
+        let store = standby.store.clone();
+        // The replayed store has never inserted locally: rebuild every
+        // segment's insert cursor from block occupancy before the first
+        // local transaction, or new rows would shadow replayed slots.
+        store.reset_insert_cursors()?;
+        let scns = Arc::new(ScnService::starting_at(Scn(applied.raw() + 1)));
+        // Seed the space layer past every block recovery materialized.
+        let mut max_dba = 0u64;
+        for id in store.object_ids() {
+            for dba in store.block_dbas(id)? {
+                max_dba = max_dba.max(dba.0);
+            }
+        }
+        let dbas = Arc::new(DbaAllocator::new(max_dba + 1));
+        // Never reuse a replayed transaction id: a collision would
+        // resurrect orphaned uncommitted versions.
+        let txn_ids = Arc::new(TxnIdService::starting_at(store.txns().max_txn_id().0 + 1));
+        let locks = Arc::new(LockTable::new());
+        let thread = RedoThreadId(1);
+        let log = Arc::new(LogBuffer::new(thread));
+        let mut txm = TxnManager::new(
+            store.clone(),
+            scns.clone(),
+            log.clone(),
+            txn_ids,
+            locks,
+            self.annotation.clone(),
+            dbas,
+        );
+        txm.annotate_commits = self.config.commit_annotation;
+        // The promoted primary generates redo with no standby yet: ship
+        // into a parked in-process link (a future PR can re-attach a new
+        // standby to it).
+        let (sender, receiver) = redo_link(Duration::ZERO);
+        self.detached.lock().push(Box::new(receiver));
+        let promoted = Arc::new(PrimaryInstance::new(
+            InstanceId(0),
+            store,
+            txm,
+            scns.clone(),
+            log,
+            Box::new(sender),
+            &self.config.system.transport,
+            &self.config.system.imcs,
+        )?);
+        // The promoted side now populates its own column store for every
+        // object that was in-memory anywhere.
+        for (&object, &placement) in self.placements.read().iter() {
+            if placement.enabled_anywhere() {
+                promoted.population.enable(object);
+            }
+        }
+        promoted.population.run_until_idle()?;
+        *self.scns.write() = scns;
+        *self.primaries.write() = vec![promoted];
+        Ok(PromotionReport {
+            applied_scn: applied,
+            resume_scn: Scn(applied.raw() + 1),
+            frozen_query_scn,
+        })
     }
 
     /// Build the deployment-wide stage runtime: every primary's redo
@@ -281,12 +507,13 @@ impl AdgCluster {
     pub fn build_runtime(&self) -> Runtime {
         let standby = self.standby();
         let mut rt = Runtime::new();
-        for p in &self.primaries {
+        let primaries = self.primaries();
+        for p in &primaries {
             p.register_stages(&mut rt);
         }
         let ids = standby.register_stages(&mut rt);
         let ingest_token = rt.wake_token(ids.ingest);
-        for p in &self.primaries {
+        for p in &primaries {
             p.set_send_waker(ingest_token.clone());
         }
         rt

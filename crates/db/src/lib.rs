@@ -9,13 +9,15 @@
 
 pub mod cluster;
 pub mod mira;
+pub mod node;
 pub mod placement;
 pub mod primary;
 pub mod query;
 pub mod standby;
 
-pub use cluster::{AdgCluster, ClusterSpec, ClusterThreads};
+pub use cluster::{AdgCluster, ClusterConfig, ClusterThreads, PromotionReport};
 pub use mira::{MiraInstance, MiraStandby};
+pub use node::{Node, NodeBuilder, NodeRole};
 pub use placement::Placement;
 pub use primary::PrimaryInstance;
 pub use query::{execute_request, execute_scan, QueryOutput, QueryRequest};
@@ -23,9 +25,9 @@ pub use standby::{StandbyCluster, StandbyInstance, StandbyStatus, StandbyThreads
 
 // Re-export the vocabulary users need to drive a cluster.
 pub use imadg_common::{
-    Dba, Error, ImcsConfig, InstanceId, MetricsRegistry, MetricsSnapshot, ObjectId, PipelineTrace,
-    RecoveryConfig, Result, Scn, SystemConfig, TenantId, TraceEvent, TraceStage, TransportConfig,
-    TxnId,
+    Dba, Error, FaultPlan, ImcsConfig, InstanceId, LinkMode, MetricsRegistry, MetricsSnapshot,
+    ObjectId, PipelineTrace, RecoveryConfig, Result, Scn, SystemConfig, TenantId, TraceEvent,
+    TraceStage, TransportConfig, TxnId,
 };
 pub use imadg_imcs::{
     AggregateResult, CmpOp, Expr, ExprPredicate, Filter, ImExpression, Predicate, ScanStats,

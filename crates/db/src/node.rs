@@ -1,0 +1,323 @@
+//! The unified node-role API: every deployment is built by one
+//! [`NodeBuilder`] and handled through role-typed [`Node`]s.
+//!
+//! The paper's operational story (§I) is symmetric: a database *node* is
+//! primary or standby by **role**, not by type — promotion turns a standby
+//! into a primary without changing what callers hold. `Node` captures
+//! that: one handle, one `query()`, one `metrics()`, with the role
+//! deciding the route.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use imadg_common::{FaultPlan, LinkMode, MetricsSnapshot, Result, SystemConfig};
+
+use crate::cluster::{AdgCluster, ClusterConfig, PromotionReport};
+use crate::query::{QueryOutput, QueryRequest};
+
+/// Which side of the Data Guard configuration a [`Node`] fronts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Transaction processing + redo generation (queries run at the
+    /// current SCN).
+    Primary,
+    /// Media recovery + read-only analytics (queries run at the QuerySCN).
+    Standby,
+}
+
+/// A role-typed handle onto one side of a deployment.
+///
+/// Obtained from [`AdgCluster::node`]; cheap to clone. The handle
+/// re-resolves the underlying instance on every call, so it stays valid
+/// across [`AdgCluster::crash_restart_standby`] and [`AdgCluster::promote`].
+#[derive(Clone)]
+pub struct Node {
+    role: NodeRole,
+    cluster: Arc<AdgCluster>,
+}
+
+impl Node {
+    /// This node's role.
+    pub fn role(&self) -> NodeRole {
+        self.role
+    }
+
+    /// The deployment this node belongs to.
+    pub fn cluster(&self) -> &Arc<AdgCluster> {
+        &self.cluster
+    }
+
+    /// Execute a query on this node. Primary nodes answer at the current
+    /// SCN; standby nodes at the published QuerySCN.
+    pub fn query(&self, req: &QueryRequest) -> Result<QueryOutput> {
+        match self.role {
+            NodeRole::Primary => self.cluster.primary().query(req),
+            NodeRole::Standby => self.cluster.standby().query(req),
+        }
+    }
+
+    /// Snapshot this node's metrics (first primary instance, or the
+    /// standby registry).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        match self.role {
+            NodeRole::Primary => self.cluster.primary().metrics(),
+            NodeRole::Standby => self.cluster.standby().metrics(),
+        }
+    }
+
+    /// Promote the standby this node fronts to primary (primary-loss role
+    /// transition). Only valid on a standby handle; returns the new
+    /// primary-role handle alongside the report.
+    pub fn promote(&self) -> Result<(Node, PromotionReport)> {
+        match self.role {
+            NodeRole::Primary => {
+                Err(imadg_common::Error::Config("promote() is a standby-role operation".into()))
+            }
+            NodeRole::Standby => {
+                let report = self.cluster.promote()?;
+                Ok((self.cluster.node(NodeRole::Primary), report))
+            }
+        }
+    }
+}
+
+impl AdgCluster {
+    /// A role-typed handle onto this deployment.
+    pub fn node(self: &Arc<Self>, role: NodeRole) -> Node {
+        Node { role, cluster: self.clone() }
+    }
+}
+
+/// Named-setter builder for a full deployment.
+///
+/// ```
+/// use imadg_db::{NodeBuilder, LinkMode};
+///
+/// let cluster = NodeBuilder::new()
+///     .primaries(2)
+///     .link(LinkMode::Framed)
+///     .build()
+///     .unwrap();
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NodeBuilder {
+    config: ClusterConfig,
+}
+
+impl NodeBuilder {
+    /// A default single-primary, single-standby deployment over a lossless
+    /// in-process link.
+    pub fn new() -> NodeBuilder {
+        NodeBuilder::default()
+    }
+
+    /// Number of primary RAC instances (redo threads).
+    pub fn primaries(mut self, n: usize) -> Self {
+        self.config.primary_instances = n;
+        self
+    }
+
+    /// Number of standby RAC instances.
+    pub fn standbys(mut self, n: usize) -> Self {
+        self.config.standby_instances = n;
+        self
+    }
+
+    /// Enable/disable the DBIM-on-ADG infrastructure on the standby.
+    pub fn dbim_on_adg(mut self, on: bool) -> Self {
+        self.config.dbim_on_adg = on;
+        self
+    }
+
+    /// Enable/disable commit-record in-memory annotation (§III.E).
+    pub fn commit_annotation(mut self, on: bool) -> Self {
+        self.config.commit_annotation = on;
+        self
+    }
+
+    /// Replace the whole kernel configuration at once.
+    pub fn system(mut self, system: SystemConfig) -> Self {
+        self.config.system = system;
+        self
+    }
+
+    /// Replace the media-recovery section.
+    pub fn recovery(mut self, recovery: imadg_common::RecoveryConfig) -> Self {
+        self.config.system.recovery = recovery;
+        self
+    }
+
+    /// Replace the column-store section.
+    pub fn imcs(mut self, imcs: imadg_common::ImcsConfig) -> Self {
+        self.config.system.imcs = imcs;
+        self
+    }
+
+    /// Replace the transport section.
+    pub fn transport(mut self, transport: imadg_common::TransportConfig) -> Self {
+        self.config.system.transport = transport;
+        self
+    }
+
+    /// How redo travels to the standby.
+    pub fn link(mut self, mode: LinkMode) -> Self {
+        self.config.system.transport.mode = mode;
+        self
+    }
+
+    /// One-way latency added to every shipped redo batch.
+    pub fn latency(mut self, latency: Duration) -> Self {
+        self.config.system.transport.latency = latency;
+        self
+    }
+
+    /// Max redo entries per shipped batch.
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.config.system.transport.batch = batch;
+        self
+    }
+
+    /// Seeded fault injection on the redo links (framed/TCP modes only).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.config.system.transport.faults = Some(plan);
+        self
+    }
+
+    /// Max sent frames retained on the primary for serving NAKs.
+    pub fn retained_window(mut self, frames: usize) -> Self {
+        self.config.system.transport.retained_window = frames;
+        self
+    }
+
+    /// Receiver polls between NAK retries while a gap stays open.
+    pub fn nak_retry_polls(mut self, polls: u32) -> Self {
+        self.config.system.transport.nak_retry_polls = polls;
+        self
+    }
+
+    /// Sender idle polls before a liveness ping.
+    pub fn ping_idle_polls(mut self, polls: u32) -> Self {
+        self.config.system.transport.ping_idle_polls = polls;
+        self
+    }
+
+    /// Persist redo on both link ends under `dir` and checkpoint the
+    /// standby's applied SCN there. Requires a framed or TCP link.
+    pub fn durability(mut self, dir: impl Into<String>) -> Self {
+        self.config.system.durability.dir = Some(dir.into());
+        self
+    }
+
+    /// Size bound after which a wal segment seals (durability tier).
+    pub fn segment_bytes(mut self, bytes: u64) -> Self {
+        self.config.system.durability.segment_max_bytes = bytes;
+        self
+    }
+
+    /// Checkpoint every N successful QuerySCN advancements.
+    pub fn checkpoint_interval(mut self, advances: u64) -> Self {
+        self.config.system.durability.checkpoint_interval = advances;
+        self
+    }
+
+    /// Tune any kernel knob in place (escape hatch for settings without a
+    /// dedicated setter).
+    pub fn tune(mut self, f: impl FnOnce(&mut SystemConfig)) -> Self {
+        f(&mut self.config.system);
+        self
+    }
+
+    /// The accumulated [`ClusterConfig`] without building.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Validate the configuration and provision the deployment.
+    pub fn build(self) -> Result<Arc<AdgCluster>> {
+        AdgCluster::new(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imadg_common::{ObjectId, TenantId};
+    use imadg_imcs::Filter;
+    use imadg_storage::{ColumnType, Schema, TableSpec, Value};
+
+    use crate::placement::Placement;
+
+    fn seeded(cluster: &Arc<AdgCluster>) -> ObjectId {
+        let obj = ObjectId(1);
+        cluster
+            .create_table(TableSpec {
+                id: obj,
+                name: "t".into(),
+                tenant: TenantId::DEFAULT,
+                schema: Schema::of(&[("v", ColumnType::Int)]),
+                key_ordinal: 0,
+                rows_per_block: 64,
+            })
+            .unwrap();
+        cluster.set_placement(obj, Placement::StandbyOnly).unwrap();
+        for i in 0..10 {
+            cluster.primary().insert_one(obj, TenantId(0), vec![Value::Int(i)]).unwrap();
+        }
+        cluster.sync().unwrap();
+        obj
+    }
+
+    #[test]
+    fn role_routes_queries() {
+        let cluster = NodeBuilder::new().build().unwrap();
+        let obj = seeded(&cluster);
+        let req = QueryRequest::scan(obj).filter(Filter::all());
+        let p = cluster.node(NodeRole::Primary).query(&req).unwrap();
+        let s = cluster.node(NodeRole::Standby).query(&req).unwrap();
+        assert_eq!(p.rows.len(), 10);
+        assert_eq!(p.rows, s.rows, "both roles see the same committed data");
+    }
+
+    #[test]
+    fn promote_rejected_on_primary_handle() {
+        let cluster = NodeBuilder::new().build().unwrap();
+        assert!(cluster.node(NodeRole::Primary).promote().is_err());
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let b = NodeBuilder::new()
+            .primaries(2)
+            .standbys(3)
+            .dbim_on_adg(false)
+            .commit_annotation(false)
+            .link(LinkMode::Framed)
+            .latency(Duration::from_millis(1))
+            .batch(64)
+            .retained_window(32)
+            .nak_retry_polls(4)
+            .ping_idle_polls(9)
+            .segment_bytes(4096)
+            .checkpoint_interval(2)
+            .durability("/tmp/unused");
+        let c = b.config();
+        assert_eq!(c.primary_instances, 2);
+        assert_eq!(c.standby_instances, 3);
+        assert!(!c.dbim_on_adg);
+        assert!(!c.commit_annotation);
+        assert_eq!(c.system.transport.mode, LinkMode::Framed);
+        assert_eq!(c.system.transport.latency, Duration::from_millis(1));
+        assert_eq!(c.system.transport.batch, 64);
+        assert_eq!(c.system.transport.retained_window, 32);
+        assert_eq!(c.system.transport.nak_retry_polls, 4);
+        assert_eq!(c.system.transport.ping_idle_polls, 9);
+        assert_eq!(c.system.durability.segment_max_bytes, 4096);
+        assert_eq!(c.system.durability.checkpoint_interval, 2);
+        assert_eq!(c.system.durability.dir.as_deref(), Some("/tmp/unused"));
+    }
+
+    #[test]
+    fn durability_over_inprocess_rejected() {
+        assert!(NodeBuilder::new().durability("/tmp/unused").build().is_err());
+    }
+}

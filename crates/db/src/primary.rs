@@ -11,9 +11,21 @@ use imadg_common::{
 use imadg_imcs::{Filter, ImcsStore, PopulationEngine, SnapshotSource};
 use imadg_redo::{LogBuffer, RedoSink, Shipper};
 use imadg_storage::{Row, RowLoc, Store};
-use imadg_txn::TxnManager;
+use imadg_txn::{InvalidationSink, TxnManager};
 
 use crate::query::{execute_request, QueryOutput, QueryRequest};
+
+/// Commit-time bridge from the transaction manager into this instance's
+/// column store: committed row locations go stale in the SMUs so scans at
+/// later SCNs reconcile them from the row store (the primary-side analogue
+/// of the standby's flush component).
+struct ImcsInvalidation(Arc<ImcsStore>);
+
+impl InvalidationSink for ImcsInvalidation {
+    fn invalidate(&self, object: ObjectId, loc: RowLoc, commit_scn: Scn) {
+        self.0.invalidate(object, loc, commit_scn);
+    }
+}
 
 /// One primary (RAC) instance.
 pub struct PrimaryInstance {
@@ -43,11 +55,14 @@ pub struct PrimaryInstance {
 
 impl PrimaryInstance {
     /// Assemble one primary instance over the shared store.
+    ///
+    /// Crate-internal: deployments are assembled through
+    /// [`crate::NodeBuilder`] / [`crate::AdgCluster`].
     #[allow(clippy::too_many_arguments)]
-    pub fn new(
+    pub(crate) fn new(
         id: InstanceId,
         store: Arc<Store>,
-        txm: TxnManager,
+        mut txm: TxnManager,
         scns: Arc<ScnService>,
         log: Arc<LogBuffer>,
         sender: Box<dyn RedoSink>,
@@ -66,6 +81,7 @@ impl PrimaryInstance {
             imcs_config.clone(),
         )?;
         population.set_metrics(metrics.population.clone());
+        txm.set_invalidation_sink(Arc::new(ImcsInvalidation(imcs.clone())));
         Ok(PrimaryInstance {
             id,
             store,
@@ -138,6 +154,7 @@ impl PrimaryInstance {
 
     /// Run a filtered full scan on this instance at the current SCN
     /// (delegates to [`PrimaryInstance::query`]).
+    #[deprecated(note = "build a `QueryRequest` and call `query()`")]
     pub fn scan(&self, object: ObjectId, filter: &Filter) -> Result<QueryOutput> {
         self.query(&QueryRequest::scan(object).filter(filter.clone()))
     }

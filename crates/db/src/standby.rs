@@ -3,6 +3,7 @@
 //! stores with population engines.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -17,8 +18,9 @@ use imadg_imcs::{
     SnapshotSource,
 };
 use imadg_recovery::{MediaRecovery, NoopAdvanceHook, RecoveryStageIds};
-use imadg_redo::RedoSource;
+use imadg_redo::{write_checkpoint, RedoSource};
 use imadg_storage::{Row, RowLoc, Store};
+use parking_lot::Mutex;
 
 use crate::query::{execute_request, QueryOutput, QueryRequest};
 
@@ -103,6 +105,17 @@ pub struct StandbyCluster {
     metrics: Arc<MetricsRegistry>,
     /// Configured scan parallel degree (0 = one worker per core).
     scan_degree: usize,
+    /// Periodic checkpoint state (None when durability is off).
+    checkpoint: Mutex<Option<CheckpointState>>,
+}
+
+/// Standby checkpoint cadence: every `interval` QuerySCN advancements the
+/// current QuerySCN is atomically persisted, bounding how much redo a
+/// restarted standby re-mines.
+struct CheckpointState {
+    path: PathBuf,
+    interval: u64,
+    last_advances: u64,
 }
 
 impl StandbyCluster {
@@ -111,7 +124,10 @@ impl StandbyCluster {
     /// `dbim_on_adg` toggles the paper's feature; when false, recovery runs
     /// with no mining observers and a no-op advancement hook — the paper's
     /// "without DBIM-on-ADG" baseline.
-    pub fn new(
+    ///
+    /// Crate-internal: deployments are assembled through
+    /// [`crate::NodeBuilder`] / [`crate::AdgCluster`].
+    pub(crate) fn new(
         config: &SystemConfig,
         store: Arc<Store>,
         mut receivers: Vec<Box<dyn RedoSource>>,
@@ -216,7 +232,41 @@ impl StandbyCluster {
             home,
             metrics,
             scan_degree: config.imcs.scan_parallel_degree,
+            checkpoint: Mutex::new(None),
         }))
+    }
+
+    /// Install the checkpoint mining gate on every recovery worker (the
+    /// restart-from-disk replay path): DML at or below `gate` was mined
+    /// and journaled before the persisted checkpoint.
+    pub(crate) fn set_mine_gate(&self, gate: Scn) {
+        if gate > Scn::ZERO {
+            self.recovery.set_mine_gate(gate, self.metrics.durability.clone());
+        }
+    }
+
+    /// Arm the periodic checkpoint writer: every `interval` QuerySCN
+    /// advancements the current QuerySCN is persisted to `path`.
+    pub(crate) fn set_checkpoint(&self, path: PathBuf, interval: u64) {
+        *self.checkpoint.lock() =
+            Some(CheckpointState { path, interval: interval.max(1), last_advances: 0 });
+    }
+
+    /// Write a checkpoint if the advancement cadence is due. Returns
+    /// whether one was written.
+    pub fn maybe_checkpoint(&self) -> Result<bool> {
+        let mut guard = self.checkpoint.lock();
+        let Some(st) = guard.as_mut() else { return Ok(false) };
+        let advances = self.metrics.flush.advances.get();
+        if advances < st.last_advances + st.interval {
+            return Ok(false);
+        }
+        let Some(scn) = self.query_scn.get() else { return Ok(false) };
+        write_checkpoint(&st.path, scn)?;
+        st.last_advances = advances;
+        self.metrics.durability.checkpoints.inc();
+        self.metrics.durability.checkpoint_scn.set(scn.raw());
+        Ok(true)
     }
 
     /// The standby instances.
@@ -264,6 +314,9 @@ impl StandbyCluster {
         for ep in &self.rac_endpoints {
             rac_moved |= ep.process_pending() > 0;
         }
+        // The checkpoint quantum rides the pump in step mode (threaded
+        // mode registers a dedicated stage).
+        self.maybe_checkpoint()?;
         Ok(moved || rac_moved)
     }
 
@@ -320,12 +373,14 @@ impl StandbyCluster {
 
     /// Run a filtered full scan at the published QuerySCN (delegates to
     /// [`StandbyCluster::query`]).
+    #[deprecated(note = "build a `QueryRequest` and call `query()`")]
     pub fn scan(&self, object: ObjectId, filter: &Filter) -> Result<QueryOutput> {
         self.query(&QueryRequest::scan(object).filter(filter.clone()))
     }
 
     /// Scan filtered by an in-memory expression (paper §V) at the
     /// published QuerySCN (delegates to [`StandbyCluster::query`]).
+    #[deprecated(note = "build a `QueryRequest` with `.expression()` and call `query()`")]
     pub fn scan_expression_pred(
         &self,
         object: ObjectId,
@@ -336,6 +391,7 @@ impl StandbyCluster {
 
     /// Aggregate one column over the rows matching `filter` at the
     /// published QuerySCN (delegates to [`StandbyCluster::query`]).
+    #[deprecated(note = "build a `QueryRequest` with `.aggregate()` and call `query()`")]
     pub fn aggregate(
         &self,
         object: ObjectId,
@@ -452,6 +508,15 @@ impl StandbyCluster {
             );
             ep.set_waker(rt.wake_token(id));
         }
+        if self.checkpoint.lock().is_some() {
+            let ckpt = rt.register_with_health(
+                Arc::new(CheckpointStage(self.clone())),
+                self.metrics.runtime.stage("checkpoint"),
+                health.clone(),
+            );
+            // Advancement is what makes a checkpoint due.
+            rt.wire(ids.coordinator, ckpt);
+        }
         ids
     }
 
@@ -488,6 +553,25 @@ impl Stage for PopulationStage {
 
     fn throttle(&self) -> Option<Duration> {
         Some(Duration::from_millis(1))
+    }
+}
+
+/// The periodic standby checkpoint as a runtime stage (metrics id
+/// `checkpoint`). Woken by QuerySCN advancement; writes at the configured
+/// advancement cadence.
+struct CheckpointStage(Arc<StandbyCluster>);
+
+impl Stage for CheckpointStage {
+    fn name(&self) -> &str {
+        "checkpoint"
+    }
+
+    fn run_once(&self) -> Result<StageOutcome> {
+        Ok(if self.0.maybe_checkpoint()? { StageOutcome::Progress } else { StageOutcome::Idle })
+    }
+
+    fn park_hint(&self) -> Duration {
+        Duration::from_millis(5)
     }
 }
 

@@ -21,11 +21,12 @@
 //! state as a fault-free run.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use imadg_common::{FaultPlan, LinkMode, Scn, WorkerId};
 use imadg_db::{
-    AdgCluster, ClusterSpec, ColumnType, Filter, ObjectId, Placement, Schema, TableSpec, TenantId,
-    Value,
+    AdgCluster, ColumnType, Filter, NodeBuilder, ObjectId, Placement, QueryRequest, Schema,
+    TableSpec, TenantId, Value,
 };
 
 const OBJ: ObjectId = ObjectId(7);
@@ -44,8 +45,8 @@ fn table_spec(id: ObjectId) -> TableSpec {
     }
 }
 
-fn cluster(spec: ClusterSpec) -> AdgCluster {
-    let c = AdgCluster::new(spec).unwrap();
+fn cluster(builder: NodeBuilder) -> Arc<AdgCluster> {
+    let c = builder.build().unwrap();
     c.create_table(table_spec(OBJ)).unwrap();
     c.set_placement(OBJ, Placement::StandbyOnly).unwrap();
     c
@@ -98,7 +99,7 @@ fn model_at(log: &[(Scn, Op)], scn: Scn) -> BTreeMap<i64, i64> {
 fn check_p1(c: &AdgCluster, log: &[(Scn, Op)]) {
     let s = c.standby();
     let Some(q) = s.query_scn.get() else { return };
-    let out = s.scan(OBJ, &Filter::all()).unwrap();
+    let out = s.query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap();
     let got: BTreeMap<i64, i64> =
         out.rows.iter().map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap())).collect();
     let want = model_at(log, q);
@@ -139,18 +140,15 @@ fn fault_plan(seed: u64) -> FaultPlan {
 }
 
 /// Topology + framed link + fault plan for one seed.
-fn chaos_spec(seed: u64) -> ClusterSpec {
-    let mut spec = ClusterSpec {
-        primary_instances: 1 + (seed as usize % 2),
-        standby_instances: 1 + ((seed as usize / 2) % 2),
-        ..ClusterSpec::default()
-    };
-    spec.config.transport.mode = LinkMode::Framed;
-    spec.config.transport.faults = Some(fault_plan(seed));
-    // Tighter protocol cadences keep step-mode convergence short.
-    spec.config.transport.nak_retry_polls = 4;
-    spec.config.transport.ping_idle_polls = 8;
-    spec
+fn chaos_builder(seed: u64) -> NodeBuilder {
+    NodeBuilder::new()
+        .primaries(1 + (seed as usize % 2))
+        .standbys(1 + ((seed as usize / 2) % 2))
+        .link(LinkMode::Framed)
+        .faults(fault_plan(seed))
+        // Tighter protocol cadences keep step-mode convergence short.
+        .nak_retry_polls(4)
+        .ping_idle_polls(8)
 }
 
 /// Whether any link still holds undelivered state (unacked frames on a
@@ -162,7 +160,7 @@ fn transport_pending(c: &AdgCluster) -> bool {
 /// Drive one seeded chaos schedule to convergence; returns the gaps the
 /// standby detected (so the sweep can assert the faults actually bit).
 fn run_chaos_seed(seed: u64) -> u64 {
-    let c = cluster(chaos_spec(seed));
+    let c = cluster(chaos_builder(seed));
     let mut step = c.step_scheduler(seed);
     let mut rng = Mix(seed ^ 0x5eed_cafe);
     let mut log: Vec<(Scn, Op)> = Vec::new();
@@ -271,8 +269,8 @@ fn converge(c: &AdgCluster) {
 /// A fixed insert/update script; shipping after every transaction
 /// maximizes the frame count the fault plan can bite.
 /// Returns (final QuerySCN, populated rows, table state).
-fn scripted_outcome(spec: ClusterSpec) -> (Scn, usize, BTreeMap<i64, i64>) {
-    let c = cluster(spec);
+fn scripted_outcome(builder: NodeBuilder) -> (Scn, usize, BTreeMap<i64, i64>) {
+    let c = cluster(builder);
     let p = c.primary();
     for key in 0..120i64 {
         p.insert_one(OBJ, TenantId::DEFAULT, vec![Value::Int(key), Value::Int(key % 9)]).unwrap();
@@ -285,7 +283,7 @@ fn scripted_outcome(spec: ClusterSpec) -> (Scn, usize, BTreeMap<i64, i64>) {
     let q = c.standby().current_query_scn().unwrap();
     let rows: BTreeMap<i64, i64> = c
         .standby()
-        .scan(OBJ, &Filter::all())
+        .query(&QueryRequest::scan(OBJ).filter(Filter::all()))
         .unwrap()
         .rows
         .iter()
@@ -299,20 +297,17 @@ fn scripted_outcome(spec: ClusterSpec) -> (Scn, usize, BTreeMap<i64, i64>) {
 /// table state as a fault-free run, with real gap traffic on the wire.
 #[test]
 fn acceptance_chaos_matches_clean_run() {
-    let mut clean = ClusterSpec::default();
-    clean.config.transport.mode = LinkMode::Framed;
+    let clean = NodeBuilder::new().link(LinkMode::Framed);
     let (clean_q, clean_rows, clean_state) = scripted_outcome(clean);
 
-    let mut chaos = ClusterSpec::default();
-    chaos.config.transport.mode = LinkMode::Framed;
-    chaos.config.transport.faults = Some(FaultPlan {
+    let chaos = NodeBuilder::new().link(LinkMode::Framed).faults(FaultPlan {
         seed: 0xADC0_FFEE,
         drop_per_mille: 50,
         duplicate_per_mille: 20,
         reorder_window: 8,
         ..FaultPlan::default()
     });
-    let c = cluster(chaos.clone());
+    let c = cluster(chaos);
     let p = c.primary();
     for key in 0..120i64 {
         p.insert_one(OBJ, TenantId::DEFAULT, vec![Value::Int(key), Value::Int(key % 9)]).unwrap();
@@ -327,7 +322,7 @@ fn acceptance_chaos_matches_clean_run() {
     assert_eq!(c.standby().status().populated_rows, clean_rows, "populated rows diverged");
     let got: BTreeMap<i64, i64> = c
         .standby()
-        .scan(OBJ, &Filter::all())
+        .query(&QueryRequest::scan(OBJ).filter(Filter::all()))
         .unwrap()
         .rows
         .iter()
@@ -350,16 +345,13 @@ fn acceptance_chaos_matches_clean_run() {
 /// replaces step counting, heartbeat cadence drives the protocol quanta.
 #[test]
 fn threaded_chaos_converges() {
-    let mut spec = ClusterSpec::default();
-    spec.config.transport.mode = LinkMode::Framed;
-    spec.config.transport.faults = Some(FaultPlan {
+    let c = cluster(NodeBuilder::new().link(LinkMode::Framed).faults(FaultPlan {
         seed: 0x7EAD_ED,
         drop_per_mille: 50,
         duplicate_per_mille: 20,
         reorder_window: 8,
         ..FaultPlan::default()
-    });
-    let c = cluster(spec);
+    }));
     let threads = c.start();
     let p = c.primary();
     for key in 0..200i64 {
@@ -373,7 +365,7 @@ fn threaded_chaos_converges() {
     }
     let health = threads.shutdown();
     assert!(health.is_healthy(), "chaos must not fail the pipeline: {health}");
-    let out = c.standby().scan(OBJ, &Filter::all()).unwrap();
+    let out = c.standby().query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap();
     assert_eq!(out.count(), 200);
     let t = c.standby().metrics().transport;
     assert_eq!(t.gaps_detected, t.gaps_resolved, "open gaps after threaded quiesce");
@@ -388,9 +380,7 @@ fn threaded_chaos_converges() {
 /// sandbox forbids sockets.
 #[test]
 fn tcp_loopback_matches_inprocess_link() {
-    let mut tcp = ClusterSpec::default();
-    tcp.config.transport.mode = LinkMode::Tcp;
-    let tcp_cluster = match AdgCluster::new(tcp) {
+    let tcp_cluster = match NodeBuilder::new().link(LinkMode::Tcp).build() {
         Ok(c) => c,
         Err(e) => {
             eprintln!("NOTICE: loopback sockets unavailable ({e}); skipping TCP parity test");
@@ -416,7 +406,7 @@ fn tcp_loopback_matches_inprocess_link() {
         let m = c.standby().metrics();
         let rows: BTreeMap<i64, i64> = c
             .standby()
-            .scan(OBJ, &Filter::all())
+            .query(&QueryRequest::scan(OBJ).filter(Filter::all()))
             .unwrap()
             .rows
             .iter()
@@ -432,7 +422,7 @@ fn tcp_loopback_matches_inprocess_link() {
     };
 
     let over_tcp = run(&tcp_cluster);
-    let inprocess = cluster(ClusterSpec::default());
+    let inprocess = cluster(NodeBuilder::new());
     let baseline = run(&inprocess);
     assert_eq!(over_tcp, baseline, "TCP and in-process links must converge identically");
 

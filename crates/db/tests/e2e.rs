@@ -2,9 +2,11 @@
 //! primary, redo-maintained column store on the standby, queries at the
 //! QuerySCN.
 
+use std::sync::Arc;
+
 use imadg_db::{
-    AdgCluster, ClusterSpec, CmpOp, ColumnType, Filter, ObjectId, Placement, Predicate, Schema,
-    TableSpec, TenantId, Value,
+    AdgCluster, CmpOp, ColumnType, Filter, NodeBuilder, ObjectId, Placement, Predicate,
+    QueryRequest, Schema, TableSpec, TenantId, Value,
 };
 
 const OBJ: ObjectId = ObjectId(100);
@@ -24,8 +26,8 @@ fn table_spec() -> TableSpec {
     }
 }
 
-fn cluster(spec: ClusterSpec) -> AdgCluster {
-    let c = AdgCluster::new(spec).unwrap();
+fn cluster(builder: NodeBuilder) -> Arc<AdgCluster> {
+    let c = builder.build().unwrap();
     c.create_table(table_spec()).unwrap();
     c.set_placement(OBJ, Placement::StandbyOnly).unwrap();
     c
@@ -53,27 +55,27 @@ fn filter(c: &AdgCluster, col: &str, v: Value) -> Filter {
 
 #[test]
 fn standby_scan_uses_imcs_and_matches_row_store() {
-    let c = cluster(ClusterSpec::default());
+    let c = cluster(NodeBuilder::new());
     seed(&c, 0, 200);
     c.sync().unwrap();
 
     let f = filter(&c, "n1", Value::Int(4));
     let standby = c.standby();
-    let out = standby.scan(OBJ, &f).unwrap();
+    let out = standby.query(&QueryRequest::scan(OBJ).filter(f.clone())).unwrap();
     assert!(out.used_imcs, "standby must serve from the IMCS");
     assert_eq!(out.count(), 20);
     let stats = out.stats.unwrap();
     assert_eq!(stats.fallback_rows, 0, "no DML since population → pure columnar");
 
     // Primary (no IMCS placement) answers identically from the row store.
-    let p_out = c.primary().scan(OBJ, &f).unwrap();
+    let p_out = c.primary().query(&QueryRequest::scan(OBJ).filter(f.clone())).unwrap();
     assert!(!p_out.used_imcs);
     assert_eq!(p_out.count(), 20);
 }
 
 #[test]
 fn updates_invalidate_and_standby_stays_consistent() {
-    let c = cluster(ClusterSpec::default());
+    let c = cluster(NodeBuilder::new());
     seed(&c, 0, 100);
     c.sync().unwrap();
 
@@ -82,11 +84,13 @@ fn updates_invalidate_and_standby_stays_consistent() {
     c.sync().unwrap();
 
     let standby = c.standby();
-    let out = standby.scan(OBJ, &filter(&c, "n1", Value::Int(77))).unwrap();
+    let out =
+        standby.query(&QueryRequest::scan(OBJ).filter(filter(&c, "n1", Value::Int(77)))).unwrap();
     assert_eq!(out.count(), 1);
     assert_eq!(out.rows[0][0], Value::Int(5));
 
-    let out_old = standby.scan(OBJ, &filter(&c, "n1", Value::Int(5))).unwrap();
+    let out_old =
+        standby.query(&QueryRequest::scan(OBJ).filter(filter(&c, "n1", Value::Int(5)))).unwrap();
     let keys: Vec<i64> = out_old.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
     assert!(!keys.contains(&5), "stale IMCU value must not be served");
     assert_eq!(out_old.count(), 9);
@@ -94,7 +98,7 @@ fn updates_invalidate_and_standby_stays_consistent() {
 
 #[test]
 fn inserts_reach_standby_scans() {
-    let c = cluster(ClusterSpec::default());
+    let c = cluster(NodeBuilder::new());
     seed(&c, 0, 50);
     c.sync().unwrap();
     // New rows after population: covered-block inserts + fresh blocks.
@@ -103,17 +107,17 @@ fn inserts_reach_standby_scans() {
     // via SMU inserts and uncovered-block scans.
     c.ship_redo().unwrap();
     c.standby().pump_until_idle().unwrap();
-    let out = c.standby().scan(OBJ, &Filter::all()).unwrap();
+    let out = c.standby().query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap();
     assert_eq!(out.count(), 90);
     // After population catches up they move into the columnar path.
     c.sync().unwrap();
-    let out = c.standby().scan(OBJ, &Filter::all()).unwrap();
+    let out = c.standby().query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap();
     assert_eq!(out.count(), 90);
 }
 
 #[test]
 fn deletes_disappear_from_standby() {
-    let c = cluster(ClusterSpec::default());
+    let c = cluster(NodeBuilder::new());
     seed(&c, 0, 30);
     c.sync().unwrap();
     let p = c.primary();
@@ -121,7 +125,7 @@ fn deletes_disappear_from_standby() {
     p.txm.delete_by_key(&mut tx, OBJ, 7).unwrap();
     p.txm.commit(tx);
     c.sync().unwrap();
-    let out = c.standby().scan(OBJ, &Filter::all()).unwrap();
+    let out = c.standby().query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap();
     assert_eq!(out.count(), 29);
     assert!(out.rows.iter().all(|r| r[0] != Value::Int(7)));
     assert_eq!(c.standby().fetch_by_key(OBJ, 7).unwrap(), None);
@@ -129,7 +133,7 @@ fn deletes_disappear_from_standby() {
 
 #[test]
 fn uncommitted_work_never_visible_on_standby() {
-    let c = cluster(ClusterSpec::default());
+    let c = cluster(NodeBuilder::new());
     seed(&c, 0, 20);
     c.sync().unwrap();
     let p = c.primary();
@@ -138,26 +142,33 @@ fn uncommitted_work_never_visible_on_standby() {
     // Ship the in-flight change.
     c.ship_redo().unwrap();
     c.standby().pump_until_idle().unwrap();
-    let out = c.standby().scan(OBJ, &filter(&c, "n1", Value::Int(500))).unwrap();
+    let out = c
+        .standby()
+        .query(&QueryRequest::scan(OBJ).filter(filter(&c, "n1", Value::Int(500))))
+        .unwrap();
     assert_eq!(out.count(), 0, "uncommitted change invisible");
     p.txm.commit(tx);
     c.sync().unwrap();
-    let out = c.standby().scan(OBJ, &filter(&c, "n1", Value::Int(500))).unwrap();
+    let out = c
+        .standby()
+        .query(&QueryRequest::scan(OBJ).filter(filter(&c, "n1", Value::Int(500))))
+        .unwrap();
     assert_eq!(out.count(), 1);
 }
 
 #[test]
 fn without_dbim_standby_scans_row_store() {
-    let mut spec = ClusterSpec::default();
-    spec.dbim_on_adg = false;
-    let c = cluster(spec);
+    let c = cluster(NodeBuilder::new().dbim_on_adg(false));
     seed(&c, 0, 50);
     c.ship_redo().unwrap();
     c.standby().pump_until_idle().unwrap();
     // Population can't proceed meaningfully without DBIM-on-ADG — the paper
     // baseline runs row-store scans. (Population on a no-DBIM standby would
     // go stale without invalidations; the engine is simply not driven.)
-    let out = c.standby().scan(OBJ, &filter(&c, "n1", Value::Int(4))).unwrap();
+    let out = c
+        .standby()
+        .query(&QueryRequest::scan(OBJ).filter(filter(&c, "n1", Value::Int(4))))
+        .unwrap();
     assert!(!out.used_imcs);
     assert_eq!(out.count(), 5);
 }
@@ -165,7 +176,7 @@ fn without_dbim_standby_scans_row_store() {
 #[test]
 fn capacity_expansion_placement_split() {
     // Fig. 2: one object on the primary IMCS, another on the standby IMCS.
-    let c = AdgCluster::new(ClusterSpec::default()).unwrap();
+    let c = NodeBuilder::new().build().unwrap();
     let mut hot = table_spec();
     hot.id = ObjectId(1);
     hot.name = "sales_current".into();
@@ -191,24 +202,22 @@ fn capacity_expansion_placement_split() {
     c.populate_primary().unwrap();
 
     // Primary serves `hot` from its IMCS, `cold` from the row store.
-    assert!(p.scan(ObjectId(1), &Filter::all()).unwrap().used_imcs);
-    assert!(!p.scan(ObjectId(2), &Filter::all()).unwrap().used_imcs);
+    assert!(p.query(&QueryRequest::scan(ObjectId(1)).filter(Filter::all())).unwrap().used_imcs);
+    assert!(!p.query(&QueryRequest::scan(ObjectId(2)).filter(Filter::all())).unwrap().used_imcs);
     // Standby: the reverse.
     let s = c.standby();
-    assert!(!s.scan(ObjectId(1), &Filter::all()).unwrap().used_imcs);
-    assert!(s.scan(ObjectId(2), &Filter::all()).unwrap().used_imcs);
+    assert!(!s.query(&QueryRequest::scan(ObjectId(1)).filter(Filter::all())).unwrap().used_imcs);
+    assert!(s.query(&QueryRequest::scan(ObjectId(2)).filter(Filter::all())).unwrap().used_imcs);
     // Row counts agree everywhere.
     for obj in [ObjectId(1), ObjectId(2)] {
-        assert_eq!(p.scan(obj, &Filter::all()).unwrap().count(), 40);
-        assert_eq!(s.scan(obj, &Filter::all()).unwrap().count(), 40);
+        assert_eq!(p.query(&QueryRequest::scan(obj).filter(Filter::all())).unwrap().count(), 40);
+        assert_eq!(s.query(&QueryRequest::scan(obj).filter(Filter::all())).unwrap().count(), 40);
     }
 }
 
 #[test]
 fn rac_primary_two_redo_streams() {
-    let mut spec = ClusterSpec::default();
-    spec.primary_instances = 2;
-    let c = cluster(spec);
+    let c = cluster(NodeBuilder::new().primaries(2));
     // Interleave transactions across the two primary instances.
     for k in 0..60i64 {
         let p = &c.primaries()[(k % 2) as usize];
@@ -219,16 +228,14 @@ fn rac_primary_two_redo_streams() {
         p.txm.commit(tx);
     }
     c.sync().unwrap();
-    let out = c.standby().scan(OBJ, &Filter::all()).unwrap();
+    let out = c.standby().query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap();
     assert_eq!(out.count(), 60);
     assert!(out.used_imcs);
 }
 
 #[test]
 fn rac_standby_distributes_units_and_scans_cluster_wide() {
-    let mut spec = ClusterSpec::default();
-    spec.standby_instances = 2;
-    let c = cluster(spec);
+    let c = cluster(NodeBuilder::new().standbys(2));
     seed(&c, 0, 400);
     c.sync().unwrap();
 
@@ -238,7 +245,7 @@ fn rac_standby_distributes_units_and_scans_cluster_wide() {
     assert_eq!(rows0 + rows1, 400, "all rows populated across the cluster");
     assert!(rows0 > 0 && rows1 > 0, "home-location map splits units: {rows0}/{rows1}");
 
-    let out = s.scan(OBJ, &filter(&c, "n1", Value::Int(3))).unwrap();
+    let out = s.query(&QueryRequest::scan(OBJ).filter(filter(&c, "n1", Value::Int(3)))).unwrap();
     assert!(out.used_imcs);
     assert_eq!(out.count(), 40);
 
@@ -246,18 +253,18 @@ fn rac_standby_distributes_units_and_scans_cluster_wide() {
     c.primary().update_one(OBJ, TenantId::DEFAULT, 3, "n1", Value::Int(99)).unwrap();
     c.ship_redo().unwrap();
     s.pump_until_idle().unwrap();
-    let out = s.scan(OBJ, &filter(&c, "n1", Value::Int(99))).unwrap();
+    let out = s.query(&QueryRequest::scan(OBJ).filter(filter(&c, "n1", Value::Int(99)))).unwrap();
     assert_eq!(out.count(), 1);
-    let out = s.scan(OBJ, &filter(&c, "n1", Value::Int(3))).unwrap();
+    let out = s.query(&QueryRequest::scan(OBJ).filter(filter(&c, "n1", Value::Int(3)))).unwrap();
     assert_eq!(out.count(), 39);
 }
 
 #[test]
 fn ddl_drop_column_propagates_and_drops_units() {
-    let c = cluster(ClusterSpec::default());
+    let c = cluster(NodeBuilder::new());
     seed(&c, 0, 50);
     c.sync().unwrap();
-    assert!(c.standby().scan(OBJ, &Filter::all()).unwrap().used_imcs);
+    assert!(c.standby().query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap().used_imcs);
 
     c.primary()
         .txm
@@ -269,22 +276,22 @@ fn ddl_drop_column_propagates_and_drops_units() {
     // Standby dictionary updated; units dropped until repopulation.
     let s = c.standby();
     assert!(s.store.table(OBJ).unwrap().schema.read().ordinal("n1").is_err());
-    let out = s.scan(OBJ, &Filter::all()).unwrap();
+    let out = s.query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap();
     assert!(!out.used_imcs, "units dropped by the DDL marker");
     assert_eq!(out.count(), 50);
     // Repopulation restores columnar service with the new schema.
     s.populate_until_idle().unwrap();
-    let out = s.scan(OBJ, &Filter::all()).unwrap();
+    let out = s.query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap();
     assert!(out.used_imcs);
     assert_eq!(out.count(), 50);
 }
 
 #[test]
 fn standby_restart_resumes_and_preserves_consistency() {
-    let c = cluster(ClusterSpec::default());
+    let c = cluster(NodeBuilder::new());
     seed(&c, 0, 60);
     c.sync().unwrap();
-    assert!(c.standby().scan(OBJ, &Filter::all()).unwrap().used_imcs);
+    assert!(c.standby().query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap().used_imcs);
 
     // Restart: IMCS and journal state lost; storage persists.
     c.restart_standby().unwrap();
@@ -294,15 +301,15 @@ fn standby_restart_resumes_and_preserves_consistency() {
     c.sync().unwrap();
 
     let s = c.standby();
-    let out = s.scan(OBJ, &filter(&c, "n1", Value::Int(42))).unwrap();
+    let out = s.query(&QueryRequest::scan(OBJ).filter(filter(&c, "n1", Value::Int(42)))).unwrap();
     assert_eq!(out.count(), 1);
-    let out = s.scan(OBJ, &Filter::all()).unwrap();
+    let out = s.query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap();
     assert_eq!(out.count(), 60);
 }
 
 #[test]
 fn restart_mid_transaction_triggers_coarse_invalidation() {
-    let c = cluster(ClusterSpec::default());
+    let c = cluster(NodeBuilder::new());
     seed(&c, 0, 60);
     c.sync().unwrap();
 
@@ -335,23 +342,21 @@ fn restart_mid_transaction_triggers_coarse_invalidation() {
         "missing begin must trigger coarse invalidation"
     );
     // Queries remain correct: rows come from the row store.
-    let out = s.scan(OBJ, &filter(&c, "n1", Value::Int(888))).unwrap();
+    let out = s.query(&QueryRequest::scan(OBJ).filter(filter(&c, "n1", Value::Int(888)))).unwrap();
     assert_eq!(out.count(), 1);
-    let out = s.scan(OBJ, &filter(&c, "n1", Value::Int(999))).unwrap();
+    let out = s.query(&QueryRequest::scan(OBJ).filter(filter(&c, "n1", Value::Int(999)))).unwrap();
     assert_eq!(out.count(), 1);
     // Repopulation restores columnar service.
     s.populate_until_idle().unwrap();
-    let out = s.scan(OBJ, &Filter::all()).unwrap();
+    let out = s.query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap();
     assert!(out.used_imcs);
     assert_eq!(out.count(), 60);
 }
 
 #[test]
 fn parallel_degree_is_invisible_to_results() {
-    use imadg_db::QueryRequest;
-    let mut spec = ClusterSpec::default();
-    spec.config.imcs.imcu_max_rows = 32; // several units → real fan-out
-    let c = cluster(spec);
+    // Several units → real fan-out.
+    let c = cluster(NodeBuilder::new().tune(|s| s.imcs.imcu_max_rows = 32));
     seed(&c, 0, 300);
     c.sync().unwrap();
     // Post-population DML so some units answer through the SMU fallback.
@@ -378,14 +383,13 @@ fn parallel_degree_is_invisible_to_results() {
 
 #[test]
 fn range_predicates_on_standby() {
-    let mut spec = ClusterSpec::default();
-    spec.config.imcs.imcu_max_rows = 32; // several units → pruning observable
-    let c = cluster(spec);
+    // Several units → pruning observable.
+    let c = cluster(NodeBuilder::new().tune(|s| s.imcs.imcu_max_rows = 32));
     seed(&c, 0, 100);
     c.sync().unwrap();
     let schema = c.primary().store.table(OBJ).unwrap().schema.read().clone();
     let f = Filter::of(Predicate::new(&schema, "id", CmpOp::Ge, Value::Int(90)).unwrap());
-    let out = c.standby().scan(OBJ, &f).unwrap();
+    let out = c.standby().query(&QueryRequest::scan(OBJ).filter(f.clone())).unwrap();
     assert_eq!(out.count(), 10);
     assert!(out.used_imcs);
     // Storage index prunes most units for a tight range.
@@ -394,7 +398,7 @@ fn range_predicates_on_standby() {
 
 #[test]
 fn threaded_cluster_converges_under_load() {
-    let c = cluster(ClusterSpec::default());
+    let c = cluster(NodeBuilder::new());
     let threads = c.start();
     let p = c.primary();
     for k in 0..200i64 {
@@ -414,14 +418,14 @@ fn threaded_cluster_converges_under_load() {
         assert!(std::time::Instant::now() < deadline, "standby failed to catch up");
         std::thread::sleep(std::time::Duration::from_millis(2));
     }
-    let out = c.standby().scan(OBJ, &Filter::all()).unwrap();
+    let out = c.standby().query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap();
     assert_eq!(out.count(), 200);
     drop(threads);
 }
 
 #[test]
 fn ddl_add_column_propagates() {
-    let c = cluster(ClusterSpec::default());
+    let c = cluster(NodeBuilder::new());
     seed(&c, 0, 20);
     c.sync().unwrap();
     c.primary()
@@ -445,7 +449,7 @@ fn ddl_add_column_propagates() {
     let schema = s.store.table(OBJ).unwrap().schema.read().clone();
     let ord = schema.ordinal("n2").unwrap();
     let f = Filter::of(Predicate::eq(&schema, "n2", Value::Int(42)).unwrap());
-    let out = s.scan(OBJ, &f).unwrap();
+    let out = s.query(&QueryRequest::scan(OBJ).filter(f.clone())).unwrap();
     assert_eq!(out.count(), 1);
     assert_eq!(out.rows[0][0], Value::Int(99));
     // Pre-DDL rows read NULL in the new column everywhere.
@@ -455,9 +459,7 @@ fn ddl_add_column_propagates() {
 
 #[test]
 fn shipping_latency_delays_visibility() {
-    let mut spec = ClusterSpec::default();
-    spec.config.transport.latency = std::time::Duration::from_millis(60);
-    let c = cluster(spec);
+    let c = cluster(NodeBuilder::new().latency(std::time::Duration::from_millis(60)));
     seed(&c, 0, 10);
     c.ship_redo().unwrap();
     // Immediately after shipping, nothing is deliverable yet.
@@ -466,7 +468,7 @@ fn shipping_latency_delays_visibility() {
     std::thread::sleep(std::time::Duration::from_millis(80));
     c.standby().pump_until_idle().unwrap();
     c.standby().populate_until_idle().unwrap();
-    let out = c.standby().scan(OBJ, &Filter::all()).unwrap();
+    let out = c.standby().query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap();
     assert_eq!(out.count(), 10);
 }
 
@@ -477,9 +479,7 @@ fn shipping_latency_delays_visibility() {
 /// ingest stage's park hint re-arms at the next delivery deadline.
 #[test]
 fn latent_link_never_spuriously_wakes_ingest() {
-    let mut spec = ClusterSpec::default();
-    spec.config.transport.latency = std::time::Duration::from_millis(10);
-    let c = cluster(spec);
+    let c = cluster(NodeBuilder::new().latency(std::time::Duration::from_millis(10)));
     let threads = c.start();
     seed(&c, 0, 50);
     let final_scn = c.primary().current_scn();
@@ -502,17 +502,17 @@ fn latent_link_never_spuriously_wakes_ingest() {
 
 #[test]
 fn no_inmemory_marker_drops_standby_units() {
-    let c = cluster(ClusterSpec::default());
+    let c = cluster(NodeBuilder::new());
     seed(&c, 0, 30);
     c.sync().unwrap();
-    assert!(c.standby().scan(OBJ, &Filter::all()).unwrap().used_imcs);
+    assert!(c.standby().query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap().used_imcs);
     c.primary()
         .txm
         .execute_ddl(OBJ, TenantId::DEFAULT, imadg_redo::DdlKind::SetInMemory { enabled: false })
         .unwrap();
     c.ship_redo().unwrap();
     c.standby().pump_until_idle().unwrap();
-    let out = c.standby().scan(OBJ, &Filter::all()).unwrap();
+    let out = c.standby().query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap();
     assert!(!out.used_imcs, "units dropped by NO INMEMORY");
     assert_eq!(out.count(), 30);
     // Mining filter is off: further changes don't pile up in the journal.
@@ -523,7 +523,7 @@ fn no_inmemory_marker_drops_standby_units() {
 
 #[test]
 fn status_reflects_pipeline_state() {
-    let c = cluster(ClusterSpec::default());
+    let c = cluster(NodeBuilder::new());
     let s0 = c.standby().status();
     assert_eq!(s0.query_scn, None);
     assert_eq!(s0.populated_rows, 0);

@@ -18,11 +18,12 @@
 //! [`StandbyStatus`].
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use imadg_common::{MetricsSnapshot, Scn, StepOutcome, WorkerId};
 use imadg_db::{
-    AdgCluster, ClusterSpec, ColumnType, Filter, ObjectId, Placement, Schema, StandbyStatus,
-    TableSpec, TenantId, Value,
+    AdgCluster, ColumnType, Filter, NodeBuilder, ObjectId, Placement, QueryRequest, Schema,
+    StandbyStatus, TableSpec, TenantId, Value,
 };
 
 const OBJ: ObjectId = ObjectId(7);
@@ -41,8 +42,8 @@ fn table_spec(id: ObjectId) -> TableSpec {
     }
 }
 
-fn cluster(spec: ClusterSpec) -> AdgCluster {
-    let c = AdgCluster::new(spec).unwrap();
+fn cluster(builder: NodeBuilder) -> Arc<AdgCluster> {
+    let c = builder.build().unwrap();
     c.create_table(table_spec(OBJ)).unwrap();
     c.set_placement(OBJ, Placement::StandbyOnly).unwrap();
     c
@@ -94,7 +95,7 @@ fn model_at(log: &[(Scn, Op)], scn: Scn) -> BTreeMap<i64, i64> {
 fn check_p1(c: &AdgCluster, log: &[(Scn, Op)]) {
     let s = c.standby();
     let Some(q) = s.query_scn.get() else { return };
-    let out = s.scan(OBJ, &Filter::all()).unwrap();
+    let out = s.query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap();
     let got: BTreeMap<i64, i64> =
         out.rows.iter().map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap())).collect();
     let want = model_at(log, q);
@@ -123,12 +124,11 @@ fn check_p5(c: &AdgCluster, last: &mut [Scn]) {
 /// Drive one seeded schedule: scripted DML interleaved with RNG-chosen
 /// stage quanta, invariants checked after every burst.
 fn run_seed(seed: u64) {
-    let spec = ClusterSpec {
-        primary_instances: 1 + (seed as usize % 2),
-        standby_instances: 1 + ((seed as usize / 2) % 2),
-        ..ClusterSpec::default()
-    };
-    let c = cluster(spec);
+    let c = cluster(
+        NodeBuilder::new()
+            .primaries(1 + (seed as usize % 2))
+            .standbys(1 + ((seed as usize / 2) % 2)),
+    );
     let mut step = c.step_scheduler(seed);
     let mut rng = Mix(seed ^ 0x5eed_cafe);
     let mut log: Vec<(Scn, Op)> = Vec::new();
@@ -208,7 +208,7 @@ fn canonicalize(mut m: MetricsSnapshot) -> MetricsSnapshot {
 
 /// One fully scripted run: fixed DML script, fixed scheduler seed.
 fn scripted_run(seed: u64) -> (MetricsSnapshot, MetricsSnapshot) {
-    let c = cluster(ClusterSpec::default());
+    let c = cluster(NodeBuilder::new());
     let mut step = c.step_scheduler(seed);
     let mut rng = Mix(0xD0_0D);
     let p = c.primary();
@@ -243,7 +243,7 @@ fn inject_bad_redo(c: &AdgCluster) {
 
 #[test]
 fn injected_apply_error_surfaces_in_status_and_stops_pipeline() {
-    let c = cluster(ClusterSpec::default());
+    let c = cluster(NodeBuilder::new());
     inject_bad_redo(&c);
     let mut step = c.step_scheduler(3);
     let mut failed = false;
@@ -273,7 +273,7 @@ fn injected_apply_error_surfaces_in_status_and_stops_pipeline() {
 
 #[test]
 fn threaded_apply_error_stops_cluster_and_surfaces_in_status() {
-    let c = cluster(ClusterSpec::default());
+    let c = cluster(NodeBuilder::new());
     let threads = c.start();
     inject_bad_redo(&c);
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);

@@ -3,8 +3,10 @@
 //! round-trips of the snapshot, and `query()` parity with the legacy
 //! scan paths.
 
+use std::sync::Arc;
+
 use imadg_db::{
-    execute_scan, AdgCluster, ClusterSpec, ColumnType, Filter, MetricsSnapshot, ObjectId,
+    execute_scan, AdgCluster, ColumnType, Filter, MetricsSnapshot, NodeBuilder, ObjectId,
     Placement, Predicate, QueryRequest, Schema, Scn, TableSpec, TenantId, TraceStage, Value,
 };
 
@@ -27,8 +29,8 @@ fn table_spec(id: ObjectId, name: &str) -> TableSpec {
 }
 
 /// A cluster with one IMCS-placed object and one row-store-only object.
-fn cluster() -> AdgCluster {
-    let c = AdgCluster::new(ClusterSpec::default()).unwrap();
+fn cluster() -> Arc<AdgCluster> {
+    let c = NodeBuilder::new().build().unwrap();
     c.create_table(table_spec(OBJ, "sales")).unwrap();
     c.create_table(table_spec(ROW_OBJ, "refs")).unwrap();
     c.set_placement(OBJ, Placement::StandbyOnly).unwrap();
@@ -184,15 +186,19 @@ fn unified_query_matches_legacy_paths_byte_for_byte() {
     let legacy = execute_scan(&stores, &standby.store, ROW_OBJ, &f, out.snapshot).unwrap();
     assert_eq!(out.rows, legacy.rows, "fallback rows must be byte-identical");
 
-    // The thin wrappers delegate to query(): identical row sets.
+    // The deprecated thin wrappers delegate to query(): identical row
+    // sets. This parity oracle is the one sanctioned caller of the
+    // legacy delegates.
     let f = filter(&c, OBJ, "n1", Value::Int(4));
     let via_query = standby.query(&QueryRequest::scan(OBJ).filter(f.clone())).unwrap();
+    #[allow(deprecated)]
     let via_scan = standby.scan(OBJ, &f).unwrap();
     assert_eq!(via_query.rows, via_scan.rows);
 
     // Aggregate through the builder equals the legacy aggregate method.
     let agg_req =
         standby.query(&QueryRequest::scan(OBJ).filter(f.clone()).aggregate("n1")).unwrap();
+    #[allow(deprecated)]
     let agg_legacy = standby.aggregate(OBJ, &f, "n1").unwrap();
     assert_eq!(agg_req.aggregate.unwrap(), agg_legacy);
 }

@@ -6,8 +6,8 @@
 //! not perturbed by concurrently running sibling tests.
 
 use imadg_db::{
-    AdgCluster, ClusterSpec, ColumnType, Filter, ObjectId, Placement, Schema, TableSpec, TenantId,
-    Value,
+    ColumnType, Filter, NodeBuilder, ObjectId, Placement, QueryRequest, Schema, TableSpec,
+    TenantId, Value,
 };
 
 const OBJ: ObjectId = ObjectId(11);
@@ -26,8 +26,7 @@ fn thread_count() -> usize {
 fn start_burst_drain_shutdown_leaks_no_threads() {
     let baseline = thread_count();
 
-    let spec = ClusterSpec { primary_instances: 2, standby_instances: 2, ..Default::default() };
-    let c = AdgCluster::new(spec).unwrap();
+    let c = NodeBuilder::new().primaries(2).standbys(2).build().unwrap();
     c.create_table(TableSpec {
         id: OBJ,
         name: "smoke".into(),
@@ -57,7 +56,7 @@ fn start_burst_drain_shutdown_leaks_no_threads() {
         assert!(std::time::Instant::now() < deadline, "standby failed to catch up");
         std::thread::yield_now();
     }
-    let out = c.standby().scan(OBJ, &Filter::all()).unwrap();
+    let out = c.standby().query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap();
     assert_eq!(out.count(), 300);
 
     // Clean shutdown: healthy, and every stage thread joined.

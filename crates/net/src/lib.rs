@@ -31,14 +31,23 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use imadg_common::config::{LinkMode, TransportConfig};
-use imadg_common::{Clock, RedoThreadId, Result};
-use imadg_redo::{redo_link_with_clock, RedoSink, RedoSource};
+use imadg_common::{Clock, Error, RedoThreadId, Result};
+use imadg_redo::{redo_link_with_clock, DurableLog, RedoSink, RedoSource};
 
 pub use fault::FaultInjector;
 pub use reliable::{ReliableReceiver, ReliableSender};
 pub use tcp::TcpLink;
 
 use crate::pipe::{channel_pipe, FrameTx};
+
+/// Per-link durable logs to attach at construction: the primary side tees
+/// shipped batches into its write-ahead + archive tiers (serving NAKs past
+/// the in-memory retained window), the standby side tees in-order
+/// deliveries so a crashed standby re-mines from disk.
+pub struct LinkDurability {
+    pub primary: Arc<DurableLog>,
+    pub standby: Arc<DurableLog>,
+}
 
 /// Build a framed link over in-process byte pipes: the full wire codec,
 /// sequencing, and gap-resolution protocol, minus the socket. The
@@ -104,18 +113,30 @@ pub fn build_link(
     cfg: &TransportConfig,
     clock: Clock,
     fault_seed: u64,
+    durability: Option<LinkDurability>,
 ) -> Result<(Box<dyn RedoSink>, Box<dyn RedoSource>)> {
+    if durability.is_some() && mode == LinkMode::InProcess {
+        return Err(Error::Config("durability requires a framed link (mode Framed or Tcp)".into()));
+    }
     match mode {
         LinkMode::InProcess => {
             let (tx, rx) = redo_link_with_clock(cfg.latency, clock);
             Ok((Box::new(tx), Box::new(rx)))
         }
         LinkMode::Framed => {
-            let (tx, rx) = framed_link(thread, cfg, clock, fault_seed);
+            let (tx, mut rx) = framed_link(thread, cfg, clock, fault_seed);
+            if let Some(d) = durability {
+                tx.set_durable_log(d.primary);
+                rx.set_durable_log(d.standby);
+            }
             Ok((Box::new(tx), Box::new(rx)))
         }
         LinkMode::Tcp => {
-            let (tx, rx, _link) = tcp_link(thread, cfg, fault_seed)?;
+            let (tx, mut rx, _link) = tcp_link(thread, cfg, fault_seed)?;
+            if let Some(d) = durability {
+                tx.set_durable_log(d.primary);
+                rx.set_durable_log(d.standby);
+            }
             Ok((Box::new(tx), Box::new(rx)))
         }
     }
@@ -183,12 +204,69 @@ mod tests {
         }
     }
 
+    /// Standby crash with an unsynced tail: replay the durable prefix
+    /// from disk, then let the sender's liveness ping drive NAKs for the
+    /// lost tail — served from the retained window plus the primary's
+    /// archive (retained_window=4 keeps only the newest seqs in memory).
+    #[test]
+    fn durable_link_replays_and_catches_up_after_receiver_restart() {
+        let base = std::env::temp_dir().join(format!("imadg-netdur-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let p_log = Arc::new(DurableLog::open(base.join("p"), 4 * 1024).unwrap());
+        let s_log = Arc::new(DurableLog::open(base.join("s"), 4 * 1024).unwrap());
+        let cfg = TransportConfig {
+            mode: LinkMode::Framed,
+            retained_window: 4,
+            nak_retry_polls: 4,
+            ping_idle_polls: 4,
+            ..TransportConfig::default()
+        };
+        let (tx, mut rx) = framed_link(RedoThreadId(1), &cfg, Clock::Real, 7);
+        tx.set_durable_log(p_log.clone());
+        rx.set_durable_log(s_log.clone());
+
+        let mut live = Vec::new();
+        for scn in 1..=60u64 {
+            tx.send(vec![rec(scn)]).unwrap();
+            tx.service().unwrap();
+            live.extend(rx.drain_ready().unwrap());
+        }
+        rx.durable_sync().unwrap();
+        assert_eq!(s_log.durable_seq(), 60, "group commit persisted the drained prefix");
+        for scn in 61..=100u64 {
+            tx.send(vec![rec(scn)]).unwrap();
+            tx.service().unwrap();
+            live.extend(rx.drain_ready().unwrap());
+        }
+        assert_eq!(live.len(), 100);
+
+        // Crash: the unsynced standby tail (61..=100) is gone; reassembly
+        // state rewinds to the durable position.
+        rx.reset_for_restart().unwrap();
+        let replayed: Vec<RedoRecord> =
+            s_log.read_from(1).unwrap().into_iter().flat_map(|(_, r)| r).collect();
+        assert_eq!(replayed.len(), 60);
+        assert_eq!(replayed.last().unwrap().scn.0, 60);
+
+        let mut caught = Vec::new();
+        for _ in 0..50_000 {
+            tx.service().unwrap();
+            caught.extend(rx.drain_ready().unwrap());
+            if replayed.len() + caught.len() == 100 && !rx.transport_pending() {
+                break;
+            }
+        }
+        let scns: Vec<u64> = replayed.iter().chain(caught.iter()).map(|r| r.scn.0).collect();
+        assert_eq!(scns, (1..=100).collect::<Vec<_>>(), "disk replay + NAK catch-up is lossless");
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
     #[test]
     fn build_link_constructs_every_mode() {
         let cfg = TransportConfig::default();
-        build_link(LinkMode::InProcess, RedoThreadId(1), &cfg, Clock::Real, 0).unwrap();
-        build_link(LinkMode::Framed, RedoThreadId(1), &cfg, Clock::Real, 0).unwrap();
-        match build_link(LinkMode::Tcp, RedoThreadId(1), &cfg, Clock::Real, 0) {
+        build_link(LinkMode::InProcess, RedoThreadId(1), &cfg, Clock::Real, 0, None).unwrap();
+        build_link(LinkMode::Framed, RedoThreadId(1), &cfg, Clock::Real, 0, None).unwrap();
+        match build_link(LinkMode::Tcp, RedoThreadId(1), &cfg, Clock::Real, 0, None) {
             Ok(_) => {}
             Err(_) => eprintln!("NOTICE: loopback sockets unavailable; TCP mode untested here"),
         }

@@ -25,10 +25,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use imadg_common::config::TransportConfig;
-use imadg_common::metrics::TransportMetrics;
+use imadg_common::metrics::{DurabilityMetrics, TransportMetrics};
 use imadg_common::{RedoThreadId, Result, WakeToken};
 use imadg_redo::record::RedoRecord;
-use imadg_redo::{RedoSink, RedoSource};
+use imadg_redo::{DurableLog, RedoSink, RedoSource};
 use parking_lot::Mutex;
 
 use crate::pipe::{FrameRx, FrameTx};
@@ -44,6 +44,11 @@ struct SenderState {
     /// Service calls since the last control frame while data is unacked.
     idle_polls: u32,
     metrics: Arc<TransportMetrics>,
+    /// Primary-side durable tee: every sent batch is appended here and
+    /// group-committed in `service`, so NAKs for sequences evicted from
+    /// the retained window can be served from disk.
+    durable: Option<Arc<DurableLog>>,
+    durability_metrics: Arc<DurabilityMetrics>,
 }
 
 /// Primary-side endpoint of a reliable framed link.
@@ -77,8 +82,24 @@ impl ReliableSender {
                 retained: VecDeque::new(),
                 idle_polls: 0,
                 metrics: Arc::default(),
+                durable: None,
+                durability_metrics: Arc::default(),
             }),
         }
+    }
+
+    /// Attach a durable log: sent batches are teed to it and NAKs beyond
+    /// the retained window are answered from its wal/archive tiers. The
+    /// sender resumes numbering just past the log's durable position so a
+    /// restarted primary never reuses a sequence.
+    pub fn set_durable_log(&self, log: Arc<DurableLog>) {
+        let mut s = self.state.lock();
+        let durable = log.durable_seq();
+        if durable + 1 > s.next_seq {
+            s.next_seq = durable + 1;
+            s.acked_through = durable;
+        }
+        s.durable = Some(log);
     }
 
     /// Announce ourselves (used after a transport-level reconnect so the
@@ -90,7 +111,9 @@ impl ReliableSender {
 
     fn serve_nak(&self, s: &mut SenderState, from: u64, to: u64) -> Result<bool> {
         let mut served = false;
+        let mut window_low = u64::MAX;
         for &(seq, ref records) in s.retained.iter() {
+            window_low = window_low.min(seq);
             if seq >= from && seq <= to {
                 self.data_tx.send(wire::encode(&Frame::Data {
                     thread: self.thread,
@@ -105,6 +128,25 @@ impl ReliableSender {
             // The window is sorted; past `to` nothing more can match.
             if seq > to {
                 break;
+            }
+        }
+        // Sequences below the retained window have aged out of memory —
+        // gap resolution falls back to the archived/wal tiers on disk.
+        if from < window_low {
+            if let Some(log) = s.durable.clone() {
+                log.sync_if_pending()?;
+                for (seq, records) in log.read_range(from, to.min(window_low.saturating_sub(1)))? {
+                    self.data_tx.send(wire::encode(&Frame::Data {
+                        thread: self.thread,
+                        seq,
+                        retransmit: true,
+                        records,
+                    }))?;
+                    s.metrics.retransmits.inc();
+                    s.metrics.frames_sent.inc();
+                    s.durability_metrics.archive_retransmits.inc();
+                    served = true;
+                }
             }
         }
         Ok(served)
@@ -123,6 +165,11 @@ impl RedoSink for ReliableSender {
         // eviction only bites under extreme receiver silence.
         while s.retained.len() > self.retained_window {
             s.retained.pop_front();
+        }
+        if let Some(log) = &s.durable {
+            // Tee to the wal buffer; the fsync rides the next `service`
+            // quantum (group commit).
+            log.append_batch(seq, &records)?;
         }
         s.metrics.frames_sent.inc();
         self.data_tx.send(wire::encode(&Frame::Data {
@@ -160,7 +207,22 @@ impl RedoSink for ReliableSender {
                     s.idle_polls = 0;
                     progressed = true;
                 }
-                // Data/Ping/Hello never travel on the control pipe.
+                Frame::Hello { next_seq: resume, .. } => {
+                    // A restarted receiver announces its resume position
+                    // (just past its durable log): rewind the cumulative
+                    // ACK and re-serve the tail from the retained window
+                    // and archive — its earlier ACKs no longer stand.
+                    if resume > 0 && resume <= s.acked_through {
+                        s.acked_through = resume - 1;
+                    }
+                    let last_sent = s.next_seq - 1;
+                    if resume <= last_sent {
+                        self.serve_nak(&mut s, resume, last_sent)?;
+                    }
+                    s.idle_polls = 0;
+                    progressed = true;
+                }
+                // Data/Ping never travel on the control pipe.
                 _ => {}
             }
         }
@@ -178,7 +240,20 @@ impl RedoSink for ReliableSender {
                 progressed = true;
             }
         }
+        let durable = s.durable.clone();
         drop(s);
+        if let Some(log) = durable {
+            // Group commit: one fsync covers every batch sent since the
+            // last service quantum. The archiver quantum rides along,
+            // moving sealed segments to the archive tier.
+            if log.sync_if_pending()? {
+                progressed = true;
+            }
+            if log.archive_pending() {
+                log.archive_sealed()?;
+                progressed = true;
+            }
+        }
         Ok(self.data_tx.service()? || progressed)
     }
 
@@ -193,6 +268,14 @@ impl RedoSink for ReliableSender {
 
     fn bind_metrics(&self, metrics: Arc<TransportMetrics>) {
         self.state.lock().metrics = metrics;
+    }
+
+    fn bind_durability_metrics(&self, metrics: Arc<DurabilityMetrics>) {
+        let mut s = self.state.lock();
+        if let Some(log) = &s.durable {
+            log.set_metrics(metrics.clone());
+        }
+        s.durability_metrics = metrics;
     }
 }
 
@@ -214,6 +297,10 @@ pub struct ReliableReceiver {
     /// records.
     protocol_activity: bool,
     metrics: Arc<TransportMetrics>,
+    /// Standby-side durable tee: every batch delivered in order is
+    /// appended here (keyed by link sequence) and group-committed by the
+    /// recovery pipeline's `durable_sync` quantum.
+    durable: Option<Arc<DurableLog>>,
 }
 
 impl ReliableReceiver {
@@ -236,7 +323,20 @@ impl ReliableReceiver {
             polls_since_nak: 0,
             protocol_activity: false,
             metrics: Arc::default(),
+            durable: None,
         }
+    }
+
+    /// Attach a durable log teeing in-order deliveries. When the log
+    /// already holds history (reopened after a crash), delivery resumes
+    /// just past its durable position — everything earlier replays from
+    /// disk, everything later is NAK-resolved from the primary.
+    pub fn set_durable_log(&mut self, log: Arc<DurableLog>) {
+        let durable = log.durable_seq();
+        if durable + 1 > self.expected {
+            self.expected = durable + 1;
+        }
+        self.durable = Some(log);
     }
 
     fn send_ack(&mut self) -> Result<()> {
@@ -297,10 +397,18 @@ impl ReliableReceiver {
         }
         let new_gap = self.note_arrival(seq);
         if seq == self.expected {
+            // Tee strictly in delivery order so the on-disk log is gapless
+            // — out-of-order batches are teed when their gap fills.
+            if let Some(log) = &self.durable {
+                log.append_batch(seq, &records)?;
+            }
             out.extend(records);
             self.expected += 1;
             // Release the run of buffered successors this arrival unblocks.
             while let Some(buffered) = self.ooo.remove(&self.expected) {
+                if let Some(log) = &self.durable {
+                    log.append_batch(self.expected, &buffered)?;
+                }
                 out.extend(buffered);
                 self.expected += 1;
             }
@@ -377,6 +485,45 @@ impl RedoSource for ReliableReceiver {
 
     fn bind_metrics(&mut self, metrics: Arc<TransportMetrics>) {
         self.metrics = metrics;
+    }
+
+    fn bind_durability_metrics(&mut self, metrics: Arc<DurabilityMetrics>) {
+        if let Some(log) = &self.durable {
+            log.set_metrics(metrics);
+        }
+    }
+
+    fn durable_sync(&mut self) -> Result<bool> {
+        match &self.durable {
+            Some(log) => log.sync_if_pending(),
+            None => Ok(false),
+        }
+    }
+
+    fn durable_log(&self) -> Option<Arc<DurableLog>> {
+        self.durable.clone()
+    }
+
+    fn reset_for_restart(&mut self) -> Result<()> {
+        let Some(log) = &self.durable else {
+            return Ok(());
+        };
+        // The process died: the unsynced tee buffer and all in-memory
+        // reassembly state are gone. Delivery resumes at the durable
+        // position; anything the old incarnation had ACKed past it will
+        // arrive again (dup-dropped by sequence) or be re-NAKed from the
+        // primary's retained window and archive.
+        log.drop_unsynced();
+        self.expected = log.durable_seq() + 1;
+        self.ooo.clear();
+        self.missing.clear();
+        self.polls_since_nak = 0;
+        self.protocol_activity = false;
+        // Announce the resume position: the sender rewinds its cumulative
+        // ACK (our pre-crash ACKs no longer stand) and re-serves the tail.
+        self.ctrl_tx
+            .send(wire::encode(&Frame::Hello { thread: self.thread, next_seq: self.expected }))?;
+        Ok(())
     }
 }
 

@@ -2,19 +2,20 @@
 //!
 //! Every frame travels as `[len: u32 LE][crc32: u32 LE][payload]` where
 //! `len` is the payload length and the CRC-32 (IEEE) covers the payload
-//! only. The payload is a tag-prefixed binary encoding of [`Frame`]; redo
-//! records are encoded field-by-field with a hand-rolled codec (the
-//! workspace's serde shim is deliberately minimal, and a wire format wants
-//! explicit layout anyway).
+//! only. The payload is a tag-prefixed binary encoding of [`Frame`]; the
+//! record-level encoding lives in [`imadg_redo::codec`] and is shared with
+//! the on-disk segment format, so a batch persisted by the durable log is
+//! bit-identical to the one that travelled the link.
 //!
 //! Data frames carry a per-link sequence number assigned by the reliable
 //! sender; the `retransmit` flag marks frames re-served from the retained
 //! window in answer to a NAK, so the receiver can attribute them.
 
-use imadg_common::{Dba, Error, ObjectId, RedoThreadId, Result, Scn, TenantId, TxnId};
-use imadg_redo::marker::{DdlKind, RedoMarker};
-use imadg_redo::record::{CommitRecord, RedoPayload, RedoRecord};
-use imadg_storage::{ChangeOp, ChangeVector, ColumnDef, ColumnType, Row, Schema, TableSpec, Value};
+use imadg_common::{Error, RedoThreadId, Result};
+use imadg_redo::codec::{self, Cur};
+use imadg_redo::record::RedoRecord;
+
+pub use imadg_redo::codec::crc32;
 
 /// A protocol frame on a redo link.
 #[derive(Debug, Clone)]
@@ -74,403 +75,41 @@ const TAG_NAK: u8 = 2;
 const TAG_ACK: u8 = 3;
 const TAG_PING: u8 = 4;
 
-/// CRC-32 (IEEE 802.3, reflected poly 0xEDB88320), bitwise — no table, no
-/// external crate.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            crc = (crc >> 1) ^ (0xEDB8_8320 & 0u32.wrapping_sub(crc & 1));
-        }
-    }
-    !crc
-}
-
-// ---- primitive writers/readers ------------------------------------------
-
-fn put_u8(out: &mut Vec<u8>, v: u8) {
-    out.push(v);
-}
-
-fn put_u16(out: &mut Vec<u8>, v: u16) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
-    out.extend_from_slice(s.as_bytes());
-}
-
-/// A cursor over a frame payload; every read is bounds-checked so a
-/// corrupt-but-checksum-colliding frame still fails cleanly.
-struct Cur<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cur<'a> {
-    fn new(buf: &'a [u8]) -> Cur<'a> {
-        Cur { buf, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .filter(|&e| e <= self.buf.len())
-            .ok_or_else(|| Error::WireCorrupt("frame truncated".into()))?;
-        let s = &self.buf[self.pos..end];
-        self.pos = end;
-        Ok(s)
-    }
-
-    fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
-    }
-
-    fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn i64(&mut self) -> Result<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn str(&mut self) -> Result<String> {
-        let len = self.u32()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|_| Error::WireCorrupt("invalid utf-8 string".into()))
-    }
-
-    fn bool(&mut self) -> Result<bool> {
-        match self.u8()? {
-            0 => Ok(false),
-            1 => Ok(true),
-            t => Err(Error::WireCorrupt(format!("bad bool tag {t}"))),
-        }
-    }
-
-    fn done(&self) -> Result<()> {
-        if self.pos == self.buf.len() {
-            Ok(())
-        } else {
-            Err(Error::WireCorrupt("trailing bytes after frame".into()))
-        }
-    }
-}
-
-// ---- record codec --------------------------------------------------------
-
-fn put_value(out: &mut Vec<u8>, v: &Value) {
-    match v {
-        Value::Null => put_u8(out, 0),
-        Value::Int(i) => {
-            put_u8(out, 1);
-            put_u64(out, *i as u64);
-        }
-        Value::Str(s) => {
-            put_u8(out, 2);
-            put_str(out, s);
-        }
-    }
-}
-
-fn get_value(c: &mut Cur<'_>) -> Result<Value> {
-    match c.u8()? {
-        0 => Ok(Value::Null),
-        1 => Ok(Value::Int(c.i64()?)),
-        2 => Ok(Value::str(c.str()?)),
-        t => Err(Error::WireCorrupt(format!("bad value tag {t}"))),
-    }
-}
-
-fn put_row(out: &mut Vec<u8>, row: &Row) {
-    let vals = row.values();
-    put_u16(out, vals.len() as u16);
-    for v in vals {
-        put_value(out, v);
-    }
-}
-
-fn get_row(c: &mut Cur<'_>) -> Result<Row> {
-    let n = c.u16()? as usize;
-    let mut vals = Vec::with_capacity(n);
-    for _ in 0..n {
-        vals.push(get_value(c)?);
-    }
-    Ok(Row::new(vals))
-}
-
-fn put_op(out: &mut Vec<u8>, op: &ChangeOp) {
-    match op {
-        ChangeOp::Format { capacity } => {
-            put_u8(out, 0);
-            put_u16(out, *capacity);
-        }
-        ChangeOp::Insert { slot, row } => {
-            put_u8(out, 1);
-            put_u16(out, *slot);
-            put_row(out, row);
-        }
-        ChangeOp::Update { slot, row } => {
-            put_u8(out, 2);
-            put_u16(out, *slot);
-            put_row(out, row);
-        }
-        ChangeOp::Delete { slot } => {
-            put_u8(out, 3);
-            put_u16(out, *slot);
-        }
-    }
-}
-
-fn get_op(c: &mut Cur<'_>) -> Result<ChangeOp> {
-    match c.u8()? {
-        0 => Ok(ChangeOp::Format { capacity: c.u16()? }),
-        1 => Ok(ChangeOp::Insert { slot: c.u16()?, row: get_row(c)? }),
-        2 => Ok(ChangeOp::Update { slot: c.u16()?, row: get_row(c)? }),
-        3 => Ok(ChangeOp::Delete { slot: c.u16()? }),
-        t => Err(Error::WireCorrupt(format!("bad change-op tag {t}"))),
-    }
-}
-
-fn put_cv(out: &mut Vec<u8>, cv: &ChangeVector) {
-    put_u64(out, cv.dba.0);
-    put_u32(out, cv.object.0);
-    put_u16(out, cv.tenant.0);
-    put_u64(out, cv.txn.0);
-    put_op(out, &cv.op);
-}
-
-fn get_cv(c: &mut Cur<'_>) -> Result<ChangeVector> {
-    Ok(ChangeVector {
-        dba: Dba(c.u64()?),
-        object: ObjectId(c.u32()?),
-        tenant: TenantId(c.u16()?),
-        txn: TxnId(c.u64()?),
-        op: get_op(c)?,
-    })
-}
-
-fn put_ctype(out: &mut Vec<u8>, t: ColumnType) {
-    put_u8(
-        out,
-        match t {
-            ColumnType::Int => 0,
-            ColumnType::Varchar => 1,
-        },
-    );
-}
-
-fn get_ctype(c: &mut Cur<'_>) -> Result<ColumnType> {
-    match c.u8()? {
-        0 => Ok(ColumnType::Int),
-        1 => Ok(ColumnType::Varchar),
-        t => Err(Error::WireCorrupt(format!("bad column-type tag {t}"))),
-    }
-}
-
-fn put_spec(out: &mut Vec<u8>, spec: &TableSpec) {
-    put_u32(out, spec.id.0);
-    put_str(out, &spec.name);
-    put_u16(out, spec.tenant.0);
-    let cols = spec.schema.all_columns();
-    put_u16(out, cols.len() as u16);
-    for col in cols {
-        put_str(out, &col.name);
-        put_ctype(out, col.ctype);
-        put_u8(out, u8::from(col.dropped));
-    }
-    put_u32(out, spec.key_ordinal as u32);
-    put_u16(out, spec.rows_per_block);
-}
-
-fn get_spec(c: &mut Cur<'_>) -> Result<TableSpec> {
-    let id = ObjectId(c.u32()?);
-    let name = c.str()?;
-    let tenant = TenantId(c.u16()?);
-    let ncols = c.u16()? as usize;
-    let mut cols = Vec::with_capacity(ncols);
-    for _ in 0..ncols {
-        let cname = c.str()?;
-        let ctype = get_ctype(c)?;
-        let dropped = c.bool()?;
-        cols.push(ColumnDef { name: cname, ctype, dropped });
-    }
-    // CREATE TABLE markers always carry freshly-created (version 1)
-    // schemas, so rebuilding through the validating constructor is exact.
-    let schema = Schema::new(cols).map_err(|e| Error::WireCorrupt(e.to_string()))?;
-    let key_ordinal = c.u32()? as usize;
-    let rows_per_block = c.u16()?;
-    Ok(TableSpec { id, name, tenant, schema, key_ordinal, rows_per_block })
-}
-
-fn put_marker(out: &mut Vec<u8>, m: &RedoMarker) {
-    put_u32(out, m.object.0);
-    put_u16(out, m.tenant.0);
-    match &m.ddl {
-        DdlKind::CreateTable(spec) => {
-            put_u8(out, 0);
-            put_spec(out, spec);
-        }
-        DdlKind::AddColumn { name, ctype } => {
-            put_u8(out, 1);
-            put_str(out, name);
-            put_ctype(out, *ctype);
-        }
-        DdlKind::DropColumn { name } => {
-            put_u8(out, 2);
-            put_str(out, name);
-        }
-        DdlKind::SetInMemory { enabled } => {
-            put_u8(out, 3);
-            put_u8(out, u8::from(*enabled));
-        }
-    }
-}
-
-fn get_marker(c: &mut Cur<'_>) -> Result<RedoMarker> {
-    let object = ObjectId(c.u32()?);
-    let tenant = TenantId(c.u16()?);
-    let ddl = match c.u8()? {
-        0 => DdlKind::CreateTable(get_spec(c)?),
-        1 => DdlKind::AddColumn { name: c.str()?, ctype: get_ctype(c)? },
-        2 => DdlKind::DropColumn { name: c.str()? },
-        3 => DdlKind::SetInMemory { enabled: c.bool()? },
-        t => return Err(Error::WireCorrupt(format!("bad ddl tag {t}"))),
-    };
-    Ok(RedoMarker { object, tenant, ddl })
-}
-
-fn put_record(out: &mut Vec<u8>, r: &RedoRecord) {
-    put_u8(out, r.thread.0);
-    put_u64(out, r.scn.0);
-    match &r.payload {
-        RedoPayload::Begin { txn, tenant } => {
-            put_u8(out, 0);
-            put_u64(out, txn.0);
-            put_u16(out, tenant.0);
-        }
-        RedoPayload::Change(cvs) => {
-            put_u8(out, 1);
-            put_u32(out, cvs.len() as u32);
-            for cv in cvs {
-                put_cv(out, cv);
-            }
-        }
-        RedoPayload::Commit(cr) => {
-            put_u8(out, 2);
-            put_u64(out, cr.txn.0);
-            put_u16(out, cr.tenant.0);
-            put_u64(out, cr.commit_scn.0);
-            put_u8(
-                out,
-                match cr.modified_inmemory {
-                    None => 0,
-                    Some(false) => 1,
-                    Some(true) => 2,
-                },
-            );
-        }
-        RedoPayload::Abort { txn, tenant } => {
-            put_u8(out, 3);
-            put_u64(out, txn.0);
-            put_u16(out, tenant.0);
-        }
-        RedoPayload::Marker(m) => {
-            put_u8(out, 4);
-            put_marker(out, m);
-        }
-        RedoPayload::Heartbeat => put_u8(out, 5),
-    }
-}
-
-fn get_record(c: &mut Cur<'_>) -> Result<RedoRecord> {
-    let thread = RedoThreadId(c.u8()?);
-    let scn = Scn(c.u64()?);
-    let payload = match c.u8()? {
-        0 => RedoPayload::Begin { txn: TxnId(c.u64()?), tenant: TenantId(c.u16()?) },
-        1 => {
-            let n = c.u32()? as usize;
-            let mut cvs = Vec::with_capacity(n.min(4096));
-            for _ in 0..n {
-                cvs.push(get_cv(c)?);
-            }
-            RedoPayload::Change(cvs)
-        }
-        2 => {
-            let txn = TxnId(c.u64()?);
-            let tenant = TenantId(c.u16()?);
-            let commit_scn = Scn(c.u64()?);
-            let modified_inmemory = match c.u8()? {
-                0 => None,
-                1 => Some(false),
-                2 => Some(true),
-                t => return Err(Error::WireCorrupt(format!("bad commit-flag tag {t}"))),
-            };
-            RedoPayload::Commit(CommitRecord { txn, tenant, commit_scn, modified_inmemory })
-        }
-        3 => RedoPayload::Abort { txn: TxnId(c.u64()?), tenant: TenantId(c.u16()?) },
-        4 => RedoPayload::Marker(get_marker(c)?),
-        5 => RedoPayload::Heartbeat,
-        t => return Err(Error::WireCorrupt(format!("bad payload tag {t}"))),
-    };
-    Ok(RedoRecord { thread, scn, payload })
-}
-
 // ---- frame codec ---------------------------------------------------------
 
 fn encode_payload(frame: &Frame) -> Vec<u8> {
     let mut out = Vec::with_capacity(64);
     match frame {
         Frame::Hello { thread, next_seq } => {
-            put_u8(&mut out, TAG_HELLO);
-            put_u8(&mut out, thread.0);
-            put_u64(&mut out, *next_seq);
+            codec::put_u8(&mut out, TAG_HELLO);
+            codec::put_u8(&mut out, thread.0);
+            codec::put_u64(&mut out, *next_seq);
         }
         Frame::Data { thread, seq, retransmit, records } => {
-            put_u8(&mut out, TAG_DATA);
-            put_u8(&mut out, thread.0);
-            put_u64(&mut out, *seq);
-            put_u8(&mut out, u8::from(*retransmit));
-            put_u32(&mut out, records.len() as u32);
+            codec::put_u8(&mut out, TAG_DATA);
+            codec::put_u8(&mut out, thread.0);
+            codec::put_u64(&mut out, *seq);
+            codec::put_u8(&mut out, u8::from(*retransmit));
+            codec::put_u32(&mut out, records.len() as u32);
             for r in records {
-                put_record(&mut out, r);
+                codec::put_record(&mut out, r);
             }
         }
         Frame::Nak { thread, from, to } => {
-            put_u8(&mut out, TAG_NAK);
-            put_u8(&mut out, thread.0);
-            put_u64(&mut out, *from);
-            put_u64(&mut out, *to);
+            codec::put_u8(&mut out, TAG_NAK);
+            codec::put_u8(&mut out, thread.0);
+            codec::put_u64(&mut out, *from);
+            codec::put_u64(&mut out, *to);
         }
         Frame::Ack { thread, through } => {
-            put_u8(&mut out, TAG_ACK);
-            put_u8(&mut out, thread.0);
-            put_u64(&mut out, *through);
+            codec::put_u8(&mut out, TAG_ACK);
+            codec::put_u8(&mut out, thread.0);
+            codec::put_u64(&mut out, *through);
         }
         Frame::Ping { thread, next_seq } => {
-            put_u8(&mut out, TAG_PING);
-            put_u8(&mut out, thread.0);
-            put_u64(&mut out, *next_seq);
+            codec::put_u8(&mut out, TAG_PING);
+            codec::put_u8(&mut out, thread.0);
+            codec::put_u64(&mut out, *next_seq);
         }
     }
     out
@@ -487,7 +126,7 @@ fn decode_payload(payload: &[u8]) -> Result<Frame> {
             let n = c.u32()? as usize;
             let mut records = Vec::with_capacity(n.min(4096));
             for _ in 0..n {
-                records.push(get_record(&mut c)?);
+                records.push(codec::get_record(&mut c)?);
             }
             Frame::Data { thread, seq, retransmit, records }
         }
@@ -508,8 +147,8 @@ pub const WIRE_HEADER: usize = 8;
 pub fn encode(frame: &Frame) -> Vec<u8> {
     let payload = encode_payload(frame);
     let mut out = Vec::with_capacity(WIRE_HEADER + payload.len());
-    put_u32(&mut out, payload.len() as u32);
-    put_u32(&mut out, crc32(&payload));
+    codec::put_u32(&mut out, payload.len() as u32);
+    codec::put_u32(&mut out, crc32(&payload));
     out.extend_from_slice(&payload);
     out
 }
@@ -573,7 +212,10 @@ impl FrameAssembler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use imadg_storage::Schema;
+    use imadg_common::{Dba, ObjectId, Scn, TenantId, TxnId};
+    use imadg_redo::marker::{DdlKind, RedoMarker};
+    use imadg_redo::record::{CommitRecord, RedoPayload};
+    use imadg_storage::{ChangeOp, ChangeVector, ColumnType, Row, Schema, TableSpec, Value};
 
     fn sample_records() -> Vec<RedoRecord> {
         let spec = TableSpec {

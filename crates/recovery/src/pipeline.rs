@@ -88,7 +88,7 @@ impl MediaRecovery {
     pub fn with_metrics(
         config: &RecoveryConfig,
         store: Arc<Store>,
-        receivers: Vec<Box<dyn RedoSource>>,
+        mut receivers: Vec<Box<dyn RedoSource>>,
         observers: Vec<Arc<dyn ApplyObserver>>,
         coop: Option<Arc<dyn CoopHelper>>,
         hook: Arc<dyn AdvanceHook>,
@@ -97,6 +97,9 @@ impl MediaRecovery {
         registry: &MetricsRegistry,
     ) -> Result<Arc<MediaRecovery>> {
         config.validate()?;
+        for rx in receivers.iter_mut() {
+            rx.bind_durability_metrics(registry.durability.clone());
+        }
         let streams = receivers.len().max(1);
         let progress = Arc::new(Progress::new(config.workers));
         let mut senders = Vec::with_capacity(config.workers);
@@ -141,6 +144,16 @@ impl MediaRecovery {
         &self.coordinator
     }
 
+    /// Install the checkpoint mining gate on every worker: DML at or below
+    /// `gate` was mined and journaled before the checkpoint this replay
+    /// starts from, so its observer hooks are skipped (store side effects
+    /// still apply). Used on the restart-from-disk path.
+    pub fn set_mine_gate(&self, gate: Scn, metrics: Arc<imadg_common::metrics::DurabilityMetrics>) {
+        for w in &self.workers {
+            w.lock().set_mine_gate(gate, metrics.clone());
+        }
+    }
+
     /// Shared apply-progress tracker.
     pub fn progress(&self) -> &Arc<Progress> {
         &self.progress
@@ -163,6 +176,17 @@ impl MediaRecovery {
             let records = rx.drain_ready()?;
             if rx.take_protocol_activity() {
                 self.protocol_activity.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+            // Group commit of the standby redo tee: one fsync per ingest
+            // quantum covers every batch this drain delivered, and the
+            // archiver quantum moves sealed segments to the archive tier.
+            if rx.durable_sync()? {
+                self.protocol_activity.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+            if let Some(log) = rx.durable_log() {
+                if log.archive_pending() {
+                    log.archive_sealed()?;
+                }
             }
             if !records.is_empty() {
                 let heartbeats =

@@ -1,0 +1,671 @@
+//! On-disk redo persistence: segmented write-ahead files with group
+//! commit, a sealed-segment archive tier, and the standby checkpoint.
+//!
+//! Both link endpoints tee through a [`DurableLog`]: the primary persists
+//! every shipped batch (so NAK gap-resolution can be served from archived
+//! logs after the in-memory retained window evicts), and the standby
+//! persists every in-order delivered batch (so a crashed standby restarts
+//! from disk and re-joins the link at its durable position).
+//!
+//! ## Segment format
+//!
+//! A segment file is `[magic u32][version u32]` followed by entries of
+//! `[len u32][crc32 u32][payload]`, where the CRC covers the payload:
+//! `[seq u64][count u32][record…]` in the [`crate::codec`] encoding —
+//! bit-identical to the records that travelled the link. Segments are
+//! named by their first sequence number; when the active segment exceeds
+//! `segment_max_bytes` it is sealed and becomes eligible for archival
+//! (a rename from `wal/` to `archive/`).
+//!
+//! ## Group commit
+//!
+//! [`DurableLog::append_batch`] only buffers; [`DurableLog::sync_if_pending`]
+//! writes and fsyncs everything buffered since the last call. The callers
+//! are stage `run_once` quanta, so one fsync covers every batch of the
+//! quantum — fsync batching behind the existing Stage runtime, no extra
+//! threads or timers.
+//!
+//! ## Torn tails
+//!
+//! A crash can leave a half-written entry at the end of the newest
+//! segment. [`DurableLog::open`] detects it via the length/CRC envelope
+//! and truncates the file back to the last complete entry; everything
+//! before it is trusted (CRC-verified on read).
+
+use std::collections::VecDeque;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use imadg_common::metrics::DurabilityMetrics;
+use imadg_common::{Error, Result, Scn};
+use parking_lot::Mutex;
+
+use crate::codec;
+use crate::record::RedoRecord;
+use crate::transport::RedoSource;
+
+/// Segment file magic: `IMRL` ("in-memory redo log").
+const SEGMENT_MAGIC: u32 = 0x4C52_4D49;
+/// Segment format version; readers reject versions they do not know.
+const SEGMENT_VERSION: u32 = 1;
+/// Segment header size: `[magic u32][version u32]`.
+const SEGMENT_HEADER: u64 = 8;
+/// Entry header size: `[len u32][crc32 u32]`.
+const ENTRY_HEADER: usize = 8;
+
+fn io_err(ctx: &str, e: std::io::Error) -> Error {
+    Error::Io(format!("{ctx}: {e}"))
+}
+
+/// One `(seq, records)` batch read back from disk.
+pub type DiskBatch = (u64, Vec<RedoRecord>);
+
+fn segment_name(first_seq: u64) -> String {
+    format!("seg-{first_seq:020}.log")
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("seg-")?.strip_suffix(".log")?.parse().ok()
+}
+
+/// Sorted `(first_seq, path)` list of the segment files in `dir`.
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(io_err("list segments", e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("list segments", e))?;
+        let name = entry.file_name();
+        if let Some(first) = name.to_str().and_then(parse_segment_name) {
+            out.push((first, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Decode every complete entry in one segment file. Returns the batches
+/// and the byte offset just past the last complete entry. A torn tail
+/// (truncated or checksum-failing final bytes) stops the scan; corruption
+/// *before* the tail is only distinguishable by `strict` callers that know
+/// the file is sealed.
+fn read_segment(path: &Path) -> Result<(Vec<DiskBatch>, u64)> {
+    let bytes = fs::read(path).map_err(|e| io_err("read segment", e))?;
+    if bytes.len() < SEGMENT_HEADER as usize {
+        return Ok((Vec::new(), SEGMENT_HEADER.min(bytes.len() as u64)));
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if magic != SEGMENT_MAGIC {
+        return Err(Error::Io(format!("{}: bad segment magic {magic:#x}", path.display())));
+    }
+    if version != SEGMENT_VERSION {
+        return Err(Error::Io(format!("{}: unknown segment version {version}", path.display())));
+    }
+    let mut batches = Vec::new();
+    let mut pos = SEGMENT_HEADER as usize;
+    loop {
+        if pos + ENTRY_HEADER > bytes.len() {
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let start = pos + ENTRY_HEADER;
+        let Some(end) = start.checked_add(len).filter(|&e| e <= bytes.len()) else {
+            break; // torn tail: length runs past the file
+        };
+        let payload = &bytes[start..end];
+        if codec::crc32(payload) != crc {
+            break; // torn tail: entry half-written when the crash hit
+        }
+        let mut c = codec::Cur::new(payload);
+        let seq = c.u64()?;
+        let count = c.u32()? as usize;
+        let mut records = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            records.push(codec::get_record(&mut c)?);
+        }
+        c.done()?;
+        batches.push((seq, records));
+        pos = end;
+    }
+    Ok((batches, pos as u64))
+}
+
+struct ActiveSegment {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+}
+
+struct LogInner {
+    wal_dir: PathBuf,
+    archive_dir: PathBuf,
+    segment_max_bytes: u64,
+    active: Option<ActiveSegment>,
+    /// Encoded entries appended since the last sync (lost on crash).
+    buf: Vec<u8>,
+    /// First sequence number buffered in `buf`.
+    buf_first_seq: u64,
+    buf_records: u64,
+    /// Highest sequence appended (including unsynced).
+    appended_seq: u64,
+    /// Highest sequence fsynced to disk.
+    durable_seq: u64,
+    /// Sealed wal segments awaiting the archiver.
+    sealed: Vec<PathBuf>,
+}
+
+/// A segmented, group-committed on-disk redo log for one redo thread.
+pub struct DurableLog {
+    inner: Mutex<LogInner>,
+    metrics: Mutex<Arc<DurabilityMetrics>>,
+}
+
+impl DurableLog {
+    /// Open (or create) the log under `dir`, recovering the durable
+    /// position from existing segments and truncating any torn tail.
+    pub fn open(dir: impl AsRef<Path>, segment_max_bytes: u64) -> Result<DurableLog> {
+        let dir = dir.as_ref();
+        let wal_dir = dir.join("wal");
+        let archive_dir = dir.join("archive");
+        fs::create_dir_all(&wal_dir).map_err(|e| io_err("create wal dir", e))?;
+        fs::create_dir_all(&archive_dir).map_err(|e| io_err("create archive dir", e))?;
+
+        let mut durable_seq = 0u64;
+        for (_, path) in list_segments(&archive_dir)? {
+            let (batches, _) = read_segment(&path)?;
+            if let Some(&(seq, _)) = batches.last() {
+                durable_seq = durable_seq.max(seq);
+            }
+        }
+        // Every existing wal segment is sealed from this process's point of
+        // view (a restart performs a log switch); the newest may carry a
+        // torn tail from the crash — truncate it back to the last complete
+        // entry so later reads see only whole, checksummed batches.
+        let wal = list_segments(&wal_dir)?;
+        let mut sealed = Vec::new();
+        for (i, (_, path)) in wal.iter().enumerate() {
+            let (batches, good_len) = read_segment(path)?;
+            if let Some(&(seq, _)) = batches.last() {
+                durable_seq = durable_seq.max(seq);
+            }
+            if i == wal.len() - 1 {
+                let actual = fs::metadata(path).map_err(|e| io_err("stat segment", e))?.len();
+                if actual > good_len {
+                    let f = OpenOptions::new()
+                        .write(true)
+                        .open(path)
+                        .map_err(|e| io_err("open for truncate", e))?;
+                    f.set_len(good_len).map_err(|e| io_err("truncate torn tail", e))?;
+                    f.sync_data().map_err(|e| io_err("sync truncated segment", e))?;
+                }
+            }
+            sealed.push(path.clone());
+        }
+        Ok(DurableLog {
+            inner: Mutex::new(LogInner {
+                wal_dir,
+                archive_dir,
+                segment_max_bytes: segment_max_bytes.max(SEGMENT_HEADER + 64),
+                active: None,
+                buf: Vec::new(),
+                buf_first_seq: 0,
+                buf_records: 0,
+                appended_seq: durable_seq,
+                durable_seq,
+                sealed,
+            }),
+            metrics: Mutex::new(Arc::default()),
+        })
+    }
+
+    /// Report into a registry's durability stage.
+    pub fn set_metrics(&self, metrics: Arc<DurabilityMetrics>) {
+        *self.metrics.lock() = metrics;
+    }
+
+    fn metrics(&self) -> Arc<DurabilityMetrics> {
+        self.metrics.lock().clone()
+    }
+
+    /// Buffer one `(seq, records)` batch for the next group commit.
+    pub fn append_batch(&self, seq: u64, records: &[RedoRecord]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if seq <= inner.appended_seq {
+            // A retransmit of something already persisted (the sender tees
+            // NAK-served frames through the same path).
+            return Ok(());
+        }
+        let mut payload = Vec::with_capacity(64);
+        codec::put_u64(&mut payload, seq);
+        codec::put_u32(&mut payload, records.len() as u32);
+        for r in records {
+            codec::put_record(&mut payload, r);
+        }
+        if inner.buf.is_empty() {
+            inner.buf_first_seq = seq;
+        }
+        let crc = codec::crc32(&payload);
+        let len = payload.len() as u32;
+        inner.buf.extend_from_slice(&len.to_le_bytes());
+        inner.buf.extend_from_slice(&crc.to_le_bytes());
+        inner.buf.extend_from_slice(&payload);
+        inner.buf_records += records.len() as u64;
+        inner.appended_seq = seq;
+        let m = self.metrics();
+        m.appends.inc();
+        Ok(())
+    }
+
+    /// Group commit: write and fsync everything buffered since the last
+    /// call. One call per stage quantum batches every append of the
+    /// quantum behind a single fsync. Returns whether anything was synced.
+    pub fn sync_if_pending(&self) -> Result<bool> {
+        let mut inner = self.inner.lock();
+        if inner.buf.is_empty() {
+            return Ok(false);
+        }
+        if inner.active.is_none() {
+            let path = inner.wal_dir.join(segment_name(inner.buf_first_seq));
+            let mut file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .map_err(|e| io_err("open segment", e))?;
+            let mut header = Vec::with_capacity(SEGMENT_HEADER as usize);
+            codec::put_u32(&mut header, SEGMENT_MAGIC);
+            codec::put_u32(&mut header, SEGMENT_VERSION);
+            file.write_all(&header).map_err(|e| io_err("write segment header", e))?;
+            inner.active = Some(ActiveSegment { file, path, bytes: SEGMENT_HEADER });
+        }
+        let buf = std::mem::take(&mut inner.buf);
+        let records = std::mem::take(&mut inner.buf_records);
+        let seq = inner.appended_seq;
+        {
+            let active = inner.active.as_mut().expect("active segment open");
+            active.file.write_all(&buf).map_err(|e| io_err("write segment", e))?;
+            active.file.sync_data().map_err(|e| io_err("fsync segment", e))?;
+            active.bytes += buf.len() as u64;
+        }
+        inner.durable_seq = seq;
+        let m = self.metrics();
+        m.fsyncs.inc();
+        m.bytes_persisted.add(buf.len() as u64);
+        m.records_persisted.add(records);
+        m.durable_seq.set(seq);
+        if inner.active.as_ref().is_some_and(|a| a.bytes >= inner.segment_max_bytes) {
+            let active = inner.active.take().expect("active segment open");
+            inner.sealed.push(active.path);
+            m.segments_sealed.inc();
+        }
+        m.wal_segments.set(list_segments(&inner.wal_dir)?.len() as u64);
+        Ok(true)
+    }
+
+    /// Move sealed segments from the wal tier to the archive tier (the
+    /// background archiver's quantum). Returns segments moved.
+    pub fn archive_sealed(&self) -> Result<usize> {
+        let mut inner = self.inner.lock();
+        let sealed = std::mem::take(&mut inner.sealed);
+        let n = sealed.len();
+        for path in sealed {
+            let name = path.file_name().expect("segment has a name").to_owned();
+            let dst = inner.archive_dir.join(name);
+            fs::rename(&path, &dst).map_err(|e| io_err("archive segment", e))?;
+        }
+        if n > 0 {
+            let m = self.metrics();
+            m.segments_archived.add(n as u64);
+            m.wal_segments.set(list_segments(&inner.wal_dir)?.len() as u64);
+            m.archived_segments.set(list_segments(&inner.archive_dir)?.len() as u64);
+        }
+        Ok(n)
+    }
+
+    /// Whether sealed segments are waiting for [`DurableLog::archive_sealed`].
+    pub fn archive_pending(&self) -> bool {
+        !self.inner.lock().sealed.is_empty()
+    }
+
+    /// Highest sequence number fsynced to disk.
+    pub fn durable_seq(&self) -> u64 {
+        self.inner.lock().durable_seq
+    }
+
+    /// Highest sequence number appended (including unsynced buffer).
+    pub fn appended_seq(&self) -> u64 {
+        self.inner.lock().appended_seq
+    }
+
+    /// Simulate losing the group-commit buffer in a crash: everything
+    /// appended but not yet synced is discarded.
+    pub fn drop_unsynced(&self) {
+        let mut inner = self.inner.lock();
+        inner.buf.clear();
+        inner.buf_records = 0;
+        inner.appended_seq = inner.durable_seq;
+    }
+
+    /// Read every durable batch with sequence `>= from`, in sequence
+    /// order, spanning the archive tier and the wal tier.
+    pub fn read_from(&self, from: u64) -> Result<Vec<DiskBatch>> {
+        let inner = self.inner.lock();
+        let mut segments = list_segments(&inner.archive_dir)?;
+        segments.extend(list_segments(&inner.wal_dir)?);
+        segments.sort();
+        let mut out = Vec::new();
+        for (_, path) in segments {
+            let (batches, _) = read_segment(&path)?;
+            out.extend(batches.into_iter().filter(|&(seq, _)| seq >= from));
+        }
+        out.sort_by_key(|&(seq, _)| seq);
+        Ok(out)
+    }
+
+    /// Read the durable batches in `from..=to` (NAK gap-resolution beyond
+    /// the in-memory retained window).
+    pub fn read_range(&self, from: u64, to: u64) -> Result<Vec<DiskBatch>> {
+        let mut batches = self.read_from(from)?;
+        batches.retain(|&(seq, _)| seq <= to);
+        Ok(batches)
+    }
+}
+
+// ---- checkpoint ----------------------------------------------------------
+
+/// The standby checkpoint document: the applied-SCN watermark below which
+/// restart mining is skipped. Written atomically (tmp + rename).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Checkpoint {
+    /// The applied/published SCN watermark at checkpoint time.
+    pub scn: u64,
+}
+
+/// Write `scn` as the checkpoint at `path`, atomically.
+pub fn write_checkpoint(path: impl AsRef<Path>, scn: Scn) -> Result<()> {
+    let path = path.as_ref();
+    let doc = serde_json::to_string(&Checkpoint { scn: scn.0 })
+        .map_err(|e| Error::Io(format!("encode checkpoint: {e}")))?;
+    let tmp = path.with_extension("tmp");
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).map_err(|e| io_err("create checkpoint dir", e))?;
+    }
+    let mut f = File::create(&tmp).map_err(|e| io_err("create checkpoint", e))?;
+    f.write_all(doc.as_bytes()).map_err(|e| io_err("write checkpoint", e))?;
+    f.sync_data().map_err(|e| io_err("sync checkpoint", e))?;
+    fs::rename(&tmp, path).map_err(|e| io_err("rename checkpoint", e))?;
+    Ok(())
+}
+
+/// Read the checkpoint at `path`; `None` when no checkpoint was taken yet.
+pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<Option<Scn>> {
+    let bytes = match fs::read(path.as_ref()) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(io_err("read checkpoint", e)),
+    };
+    let text = String::from_utf8(bytes).map_err(|_| Error::Io("checkpoint is not utf-8".into()))?;
+    let doc: Checkpoint =
+        serde_json::from_str(&text).map_err(|e| Error::Io(format!("decode checkpoint: {e}")))?;
+    Ok(Some(Scn(doc.scn)))
+}
+
+// ---- restart replay ------------------------------------------------------
+
+/// Batches replayed per `drain_ready` call, so the recovery pipeline
+/// breathes (merge / dispatch / apply) between replay quanta instead of
+/// swallowing the whole log as one batch.
+const REPLAY_BATCHES_PER_DRAIN: usize = 64;
+
+/// A [`RedoSource`] that first replays durable on-disk batches in sequence
+/// order, then hands over to the live link — the hard-restart ingest path:
+/// local redo files cover everything synced before the crash, and the
+/// reset link (NAK gap resolution from the primary's archive) covers the
+/// unsynced tail.
+pub struct ReplaySource {
+    batches: VecDeque<DiskBatch>,
+    live: Box<dyn RedoSource>,
+    metrics: Arc<DurabilityMetrics>,
+}
+
+impl ReplaySource {
+    /// Wrap `live`, replaying `batches` first.
+    pub fn new(batches: Vec<DiskBatch>, live: Box<dyn RedoSource>) -> ReplaySource {
+        ReplaySource { batches: batches.into(), live, metrics: Arc::default() }
+    }
+
+    /// Batches still waiting to replay.
+    pub fn replay_remaining(&self) -> usize {
+        self.batches.len()
+    }
+}
+
+impl RedoSource for ReplaySource {
+    fn drain_ready(&mut self) -> Result<Vec<RedoRecord>> {
+        if self.batches.is_empty() {
+            return self.live.drain_ready();
+        }
+        let mut out = Vec::new();
+        for _ in 0..REPLAY_BATCHES_PER_DRAIN {
+            let Some((_, records)) = self.batches.pop_front() else { break };
+            self.metrics.replayed_batches.inc();
+            self.metrics.replayed_records.add(records.len() as u64);
+            out.extend(records);
+        }
+        Ok(out)
+    }
+
+    fn transport_pending(&self) -> bool {
+        !self.batches.is_empty() || self.live.transport_pending()
+    }
+
+    fn take_protocol_activity(&mut self) -> bool {
+        self.live.take_protocol_activity()
+    }
+
+    fn time_to_next(&self) -> Option<Duration> {
+        if self.batches.is_empty() {
+            self.live.time_to_next()
+        } else {
+            Some(Duration::ZERO)
+        }
+    }
+
+    fn bind_metrics(&mut self, metrics: Arc<imadg_common::metrics::TransportMetrics>) {
+        self.live.bind_metrics(metrics);
+    }
+
+    fn bind_durability_metrics(&mut self, metrics: Arc<DurabilityMetrics>) {
+        self.metrics = metrics.clone();
+        self.live.bind_durability_metrics(metrics);
+    }
+
+    fn durable_sync(&mut self) -> Result<bool> {
+        self.live.durable_sync()
+    }
+
+    fn durable_log(&self) -> Option<Arc<DurableLog>> {
+        self.live.durable_log()
+    }
+
+    fn reset_for_restart(&mut self) -> Result<()> {
+        // The restart builds its own full-disk replay over this source; any
+        // replay still pending in this now-stale wrapper must not deliver a
+        // second time (the merger would see SCNs run backwards).
+        self.batches.clear();
+        self.live.reset_for_restart()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RedoPayload;
+    use imadg_common::RedoThreadId;
+
+    fn rec(scn: u64) -> RedoRecord {
+        RedoRecord { thread: RedoThreadId(1), scn: Scn(scn), payload: RedoPayload::Heartbeat }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("imadg-durable-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_sync_read_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let log = DurableLog::open(&dir, 1 << 20).unwrap();
+        assert_eq!(log.durable_seq(), 0);
+        log.append_batch(1, &[rec(10), rec(11)]).unwrap();
+        log.append_batch(2, &[rec(12)]).unwrap();
+        assert_eq!(log.durable_seq(), 0, "append only buffers");
+        assert!(log.sync_if_pending().unwrap());
+        assert!(!log.sync_if_pending().unwrap(), "nothing pending after sync");
+        assert_eq!(log.durable_seq(), 2);
+        let got = log.read_from(1).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, 1);
+        assert_eq!(got[0].1.len(), 2);
+        assert_eq!(got[1].1[0].scn, Scn(12));
+        assert_eq!(log.read_from(2).unwrap().len(), 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn duplicate_appends_are_ignored() {
+        let dir = tmpdir("dup");
+        let log = DurableLog::open(&dir, 1 << 20).unwrap();
+        log.append_batch(1, &[rec(1)]).unwrap();
+        log.append_batch(1, &[rec(1)]).unwrap();
+        log.sync_if_pending().unwrap();
+        log.append_batch(1, &[rec(1)]).unwrap();
+        assert!(!log.sync_if_pending().unwrap(), "retransmit of durable seq dropped");
+        assert_eq!(log.read_from(1).unwrap().len(), 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn reopen_recovers_durable_position() {
+        let dir = tmpdir("reopen");
+        {
+            let log = DurableLog::open(&dir, 1 << 20).unwrap();
+            for seq in 1..=5 {
+                log.append_batch(seq, &[rec(seq * 10)]).unwrap();
+            }
+            log.sync_if_pending().unwrap();
+            // Unsynced tail: lost in the crash.
+            log.append_batch(6, &[rec(60)]).unwrap();
+        }
+        let log = DurableLog::open(&dir, 1 << 20).unwrap();
+        assert_eq!(log.durable_seq(), 5);
+        assert_eq!(log.read_from(1).unwrap().len(), 5);
+        // New appends after the log switch land in a fresh segment.
+        log.append_batch(6, &[rec(60)]).unwrap();
+        log.sync_if_pending().unwrap();
+        assert_eq!(log.read_from(1).unwrap().len(), 6);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmpdir("torn");
+        {
+            let log = DurableLog::open(&dir, 1 << 20).unwrap();
+            for seq in 1..=3 {
+                log.append_batch(seq, &[rec(seq)]).unwrap();
+            }
+            log.sync_if_pending().unwrap();
+        }
+        // Corrupt the tail: append garbage bytes half-resembling an entry.
+        let seg = list_segments(&dir.join("wal")).unwrap().pop().unwrap().1;
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&[0x55u8; 11]).unwrap();
+        drop(f);
+        let log = DurableLog::open(&dir, 1 << 20).unwrap();
+        assert_eq!(log.durable_seq(), 3, "complete entries survive the torn tail");
+        assert_eq!(log.read_from(1).unwrap().len(), 3);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn segments_seal_and_archive() {
+        let dir = tmpdir("seal");
+        // Tiny segments: every sync seals one.
+        let log = DurableLog::open(&dir, SEGMENT_HEADER + 64).unwrap();
+        for seq in 1..=4 {
+            log.append_batch(seq, &[rec(seq), rec(seq + 100)]).unwrap();
+            log.sync_if_pending().unwrap();
+        }
+        assert!(log.archive_pending());
+        let moved = log.archive_sealed().unwrap();
+        assert!(moved >= 2, "tiny segments sealed as the bound is crossed (moved {moved})");
+        assert!(!log.archive_pending());
+        assert!(!list_segments(&dir.join("archive")).unwrap().is_empty());
+        // Reads span both tiers, in order.
+        let got = log.read_from(1).unwrap();
+        assert_eq!(got.iter().map(|b| b.0).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert_eq!(log.read_range(2, 3).unwrap().len(), 2);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn drop_unsynced_models_crash_loss() {
+        let dir = tmpdir("crashloss");
+        let log = DurableLog::open(&dir, 1 << 20).unwrap();
+        log.append_batch(1, &[rec(1)]).unwrap();
+        log.sync_if_pending().unwrap();
+        log.append_batch(2, &[rec(2)]).unwrap();
+        assert_eq!(log.appended_seq(), 2);
+        log.drop_unsynced();
+        assert_eq!(log.appended_seq(), 1);
+        assert!(!log.sync_if_pending().unwrap());
+        // The dropped batch can be re-appended (it will arrive again via
+        // NAK once the link resumes at durable_seq + 1).
+        log.append_batch(2, &[rec(2)]).unwrap();
+        log.sync_if_pending().unwrap();
+        assert_eq!(log.durable_seq(), 2);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_is_atomic() {
+        let dir = tmpdir("ckpt");
+        let path = dir.join("checkpoint.json");
+        assert_eq!(read_checkpoint(&path).unwrap(), None);
+        write_checkpoint(&path, Scn(42)).unwrap();
+        assert_eq!(read_checkpoint(&path).unwrap(), Some(Scn(42)));
+        write_checkpoint(&path, Scn(99)).unwrap();
+        assert_eq!(read_checkpoint(&path).unwrap(), Some(Scn(99)));
+        assert!(!path.with_extension("tmp").exists(), "tmp renamed away");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn replay_source_drains_disk_then_delegates() {
+        let dir = tmpdir("replay");
+        let log = DurableLog::open(&dir, 1 << 20).unwrap();
+        for seq in 1..=3 {
+            log.append_batch(seq, &[rec(seq)]).unwrap();
+        }
+        log.sync_if_pending().unwrap();
+        let (live_tx, live_rx) = crate::transport::redo_link(Duration::ZERO);
+        live_tx.send(vec![rec(100)]).unwrap();
+        let mut src = ReplaySource::new(log.read_from(1).unwrap(), Box::new(live_rx));
+        assert!(src.transport_pending());
+        let replayed = src.drain_ready().unwrap();
+        assert_eq!(replayed.iter().map(|r| r.scn.0).collect::<Vec<_>>(), vec![1, 2, 3]);
+        let live = src.drain_ready().unwrap();
+        assert_eq!(live[0].scn, Scn(100));
+        let _ = fs::remove_dir_all(dir);
+    }
+}

@@ -6,12 +6,17 @@
 //! allocation, the shipping transport with simulated network latency, and
 //! the standby-side SCN-ordered log merger (paper §II.A, §III.E, §III.G).
 
+pub mod codec;
+pub mod durable;
 pub mod log_buffer;
 pub mod marker;
 pub mod merger;
 pub mod record;
 pub mod transport;
 
+pub use durable::{
+    read_checkpoint, write_checkpoint, Checkpoint, DiskBatch, DurableLog, ReplaySource,
+};
 pub use log_buffer::{LogBuffer, LogStats};
 pub use marker::{DdlKind, RedoMarker};
 pub use merger::LogMerger;

@@ -17,9 +17,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use imadg_common::metrics::TransportMetrics;
+use imadg_common::metrics::{DurabilityMetrics, TransportMetrics};
 use imadg_common::{Clock, Error, Result, Scn, WakeToken};
 
+use crate::durable::DurableLog;
 use crate::log_buffer::LogBuffer;
 use crate::record::{RedoPayload, RedoRecord};
 
@@ -54,6 +55,12 @@ pub trait RedoSink: Send + Sync {
     fn bind_metrics(&self, metrics: Arc<TransportMetrics>) {
         let _ = metrics;
     }
+
+    /// Attach the primary-side durability metrics (wal appends, fsyncs,
+    /// archive retransmits). No-op on links without a durable log.
+    fn bind_durability_metrics(&self, metrics: Arc<DurabilityMetrics>) {
+        let _ = metrics;
+    }
 }
 
 /// Standby-side half of a redo link: yields records in ship order and
@@ -83,6 +90,32 @@ pub trait RedoSource: Send {
     /// Attach the standby-side transport metrics (gaps, NAKs, duplicates).
     fn bind_metrics(&mut self, metrics: Arc<TransportMetrics>) {
         let _ = metrics;
+    }
+
+    /// Attach the standby-side durability metrics (tee appends, fsyncs,
+    /// restart replay). No-op on links without a durable log.
+    fn bind_durability_metrics(&mut self, metrics: Arc<DurabilityMetrics>) {
+        let _ = metrics;
+    }
+
+    /// Group-commit the standby-side durable tee: one fsync covering every
+    /// batch accepted since the last call. Returns whether anything was
+    /// synced. Sources without a durable log do nothing.
+    fn durable_sync(&mut self) -> Result<bool> {
+        Ok(false)
+    }
+
+    /// The durable log teeing this source's accepted batches, if any.
+    fn durable_log(&self) -> Option<Arc<DurableLog>> {
+        None
+    }
+
+    /// Model a hard process restart over a surviving medium: discard the
+    /// unsynced tee buffer and all in-memory reassembly state, and resume
+    /// delivery just past the durable sequence — subsequent gaps are
+    /// NAK-resolved from the primary's retained window or archive.
+    fn reset_for_restart(&mut self) -> Result<()> {
+        Ok(())
     }
 }
 

@@ -145,6 +145,23 @@ impl Store {
         Ok(self.segment(id)?.lock().blocks().to_vec())
     }
 
+    /// Rebuild every segment's insert cursor from physical block occupancy.
+    ///
+    /// A store maintained purely by redo apply never inserts locally, so
+    /// its cursors still sit at slot 0; activating it as a primary
+    /// (standby promotion) without this would hand out already-occupied
+    /// slots and shadow replayed rows.
+    pub fn reset_insert_cursors(&self) -> Result<()> {
+        for seg in self.segments.read().values() {
+            let mut seg = seg.lock();
+            if let Some(&last) = seg.blocks().last() {
+                let used = self.cache.get(last)?.read().used_slots();
+                seg.reset_cursor(used as u16);
+            }
+        }
+        Ok(())
+    }
+
     /// Fetch the row image at `loc` visible at `snapshot`.
     pub fn fetch_row(
         &self,

@@ -47,6 +47,18 @@ impl TxnTable {
         self.shard(txn).write().insert(txn, TxnState::Active);
     }
 
+    /// Highest transaction id this table has ever seen (0 when empty).
+    /// Promotion seeds the new primary's id allocator past it.
+    pub fn max_txn_id(&self) -> TxnId {
+        let mut max = 0u64;
+        for shard in &self.shards {
+            for txn in shard.read().keys() {
+                max = max.max(txn.0);
+            }
+        }
+        TxnId(max)
+    }
+
     /// Record a commit at `commit_scn`.
     pub fn commit(&self, txn: TxnId, commit_scn: Scn) {
         self.shard(txn).write().insert(txn, TxnState::Committed(commit_scn));

@@ -9,4 +9,4 @@ pub mod lock_table;
 pub mod manager;
 
 pub use lock_table::LockTable;
-pub use manager::{InMemoryRegistry, Transaction, TxnIdService, TxnManager};
+pub use manager::{InMemoryRegistry, InvalidationSink, Transaction, TxnIdService, TxnManager};

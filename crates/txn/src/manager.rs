@@ -27,6 +27,13 @@ impl TxnIdService {
         TxnIdService { next: AtomicU64::new(1) }
     }
 
+    /// Service whose first id is `first` (promotion: a new primary over a
+    /// recovered store must never reuse a replayed transaction id — a
+    /// collision would resurrect orphaned uncommitted versions).
+    pub fn starting_at(first: u64) -> Self {
+        TxnIdService { next: AtomicU64::new(first.max(1)) }
+    }
+
     /// Allocate a transaction id.
     pub fn next(&self) -> TxnId {
         TxnId(self.next.fetch_add(1, Ordering::Relaxed))
@@ -38,6 +45,16 @@ impl TxnIdService {
 /// records; the database layer maintains it when in-memory policies change.
 pub type InMemoryRegistry = imadg_common::ObjectSet;
 
+/// Commit-time staleness sink: the primary's own column store (when one is
+/// populated) learns which row locations each commit dirtied, so scans at
+/// later SCNs reconcile those rows from the row store instead of serving
+/// the frozen columnar image. The standby's equivalent is the DBIM-on-ADG
+/// flush; the primary wires its [`ImcsStore`] in directly.
+pub trait InvalidationSink: Send + Sync {
+    /// Mark one committed row location stale as of `commit_scn`.
+    fn invalidate(&self, object: ObjectId, loc: RowLoc, commit_scn: Scn);
+}
+
 /// An in-flight transaction handle.
 #[derive(Debug)]
 pub struct Transaction {
@@ -46,6 +63,7 @@ pub struct Transaction {
     /// Owning tenant.
     pub tenant: TenantId,
     locked: Vec<RowLoc>,
+    writes: Vec<(ObjectId, RowLoc)>,
     touched_objects: HashSet<ObjectId>,
     touched_inmemory: bool,
     finished: bool,
@@ -67,6 +85,7 @@ pub struct TxnManager {
     locks: Arc<LockTable>,
     inmemory: Arc<InMemoryRegistry>,
     dbas: Arc<DbaAllocator>,
+    invalidation: Option<Arc<dyn InvalidationSink>>,
     /// Whether commit records carry the in-memory annotation (§III.E).
     pub annotate_commits: bool,
 }
@@ -83,7 +102,22 @@ impl TxnManager {
         inmemory: Arc<InMemoryRegistry>,
         dbas: Arc<DbaAllocator>,
     ) -> Self {
-        TxnManager { store, scns, log, txn_ids, locks, inmemory, dbas, annotate_commits: true }
+        TxnManager {
+            store,
+            scns,
+            log,
+            txn_ids,
+            locks,
+            inmemory,
+            dbas,
+            invalidation: None,
+            annotate_commits: true,
+        }
+    }
+
+    /// Route commit-time staleness to a local column store.
+    pub fn set_invalidation_sink(&mut self, sink: Arc<dyn InvalidationSink>) {
+        self.invalidation = Some(sink);
     }
 
     /// The instance's store.
@@ -105,6 +139,7 @@ impl TxnManager {
             id,
             tenant,
             locked: Vec::new(),
+            writes: Vec::new(),
             touched_objects: HashSet::new(),
             touched_inmemory: false,
             finished: false,
@@ -166,6 +201,7 @@ impl TxnManager {
 
         self.locks.acquire(loc, tx.id)?;
         tx.locked.push(loc);
+        tx.writes.push((object, loc));
         self.note_touch(tx, object);
         self.log_and_apply(ChangeVector {
             dba: loc.dba,
@@ -190,6 +226,7 @@ impl TxnManager {
         meta.schema.read().check_row(&values)?;
         self.locks.acquire(loc, tx.id)?;
         tx.locked.push(loc);
+        tx.writes.push((object, loc));
         self.note_touch(tx, object);
         self.log_and_apply(ChangeVector {
             dba: loc.dba,
@@ -222,6 +259,7 @@ impl TxnManager {
         // Lock before building the new image so the read row is stable.
         self.locks.acquire(loc, tx.id)?;
         tx.locked.push(loc);
+        tx.writes.push((object, loc));
         let values = patch(&row);
         self.store.table(object)?.schema.read().check_row(&values)?;
         self.note_touch(tx, object);
@@ -250,6 +288,7 @@ impl TxnManager {
             .ok_or(Error::KeyNotFound(key))?;
         self.locks.acquire(loc, tx.id)?;
         tx.locked.push(loc);
+        tx.writes.push((object, loc));
         self.note_touch(tx, object);
         self.log_and_apply(ChangeVector {
             dba: loc.dba,
@@ -275,6 +314,11 @@ impl TxnManager {
             store.txns().commit(txn, scn);
             RedoPayload::Commit(CommitRecord { txn, tenant, commit_scn: scn, modified_inmemory })
         });
+        if let Some(sink) = &self.invalidation {
+            for &(object, loc) in &tx.writes {
+                sink.invalidate(object, loc, commit_scn);
+            }
+        }
         self.locks.release_all(&tx.locked, tx.id);
         tx.finished = true;
         commit_scn

@@ -16,7 +16,7 @@ use imadg_common::{
     CpuReport, Error, LatencyStats, ObjectId, Result, Runtime, RuntimeMetrics, Stage, StageOutcome,
     TenantId,
 };
-use imadg_db::{AdgCluster, Value};
+use imadg_db::{AdgCluster, QueryRequest, Value};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -242,15 +242,16 @@ fn run_op(
             let bind = rng.gen_range(0..if qid == QueryId::Q1 { NUM_DOMAIN } else { STR_DOMAIN });
             let filter = build(qid, &schema, bind)?;
             let t0 = Instant::now();
+            let req = QueryRequest::scan(object).filter(filter);
             let out = if cfg.scans_on_standby {
-                match cluster.standby().scan(object, &filter) {
+                match cluster.standby().query(&req) {
                     Ok(o) => o,
                     // Before the first QuerySCN publish: skip the sample.
                     Err(Error::NoQueryScn) => return Ok(()),
                     Err(e) => return Err(e),
                 }
             } else {
-                p.scan(object, &filter)?
+                p.query(&req)?
             };
             stats.lock().record(t0.elapsed());
             shared.scans_total.fetch_add(1, Ordering::Relaxed);

@@ -86,7 +86,7 @@ fn main() -> Result<()> {
     // Operational query on the primary → columnar, local.
     let cur_schema = p.store.table(SALES_CURRENT)?.schema.read().clone();
     let today = Filter::of(Predicate::new(&cur_schema, "amount", CmpOp::Ge, Value::Int(90))?);
-    let out = p.scan(SALES_CURRENT, &today)?;
+    let out = p.query(&QueryRequest::scan(SALES_CURRENT).filter(today.clone()))?;
     println!("primary scan of the hot month: {} rows, via IMCS: {}", out.count(), out.used_imcs);
     assert!(out.used_imcs);
 
@@ -94,7 +94,7 @@ fn main() -> Result<()> {
     // never touched.
     let hist_schema = p.store.table(SALES_HISTORY)?.schema.read().clone();
     let yearly = Filter::of(Predicate::eq(&hist_schema, "region_id", Value::Int(2))?);
-    let out = standby.scan(SALES_HISTORY, &yearly)?;
+    let out = standby.query(&QueryRequest::scan(SALES_HISTORY).filter(yearly.clone()))?;
     println!(
         "standby scan of the yearly history: {} rows, via IMCS: {}",
         out.count(),
@@ -105,20 +105,19 @@ fn main() -> Result<()> {
     // A simple hash join against the dimension, resolvable on either side
     // because dim_region is populated on both.
     let dim_schema = p.store.table(DIM_REGION)?.schema.read().clone();
-    for (side, dim_out) in [
-        ("primary", p.scan(DIM_REGION, &Filter::all())?),
-        ("standby", standby.scan(DIM_REGION, &Filter::all())?),
-    ] {
+    let dim_all = QueryRequest::scan(DIM_REGION).filter(Filter::all());
+    for (side, dim_out) in [("primary", p.query(&dim_all)?), ("standby", standby.query(&dim_all)?)]
+    {
         assert!(dim_out.used_imcs, "{side} should serve the dimension from its IMCS");
     }
-    let dim_out = standby.scan(DIM_REGION, &Filter::all())?;
+    let dim_out = standby.query(&dim_all)?;
     let name_ord = dim_schema.ordinal("name")?;
     let lookup: std::collections::HashMap<i64, String> = dim_out
         .rows
         .iter()
         .map(|r| (r[0].as_int().unwrap(), r.get(name_ord).as_str().unwrap().to_string()))
         .collect();
-    let east_sales = standby.scan(SALES_HISTORY, &yearly)?;
+    let east_sales = standby.query(&QueryRequest::scan(SALES_HISTORY).filter(yearly))?;
     println!(
         "join on the standby: region {} had {} historical sales",
         lookup[&2],
@@ -127,7 +126,7 @@ fn main() -> Result<()> {
 
     // Cross-placement: asking the standby for the hot month falls back to
     // the row store (still correct, just not columnar there).
-    let out = standby.scan(SALES_CURRENT, &today)?;
+    let out = standby.query(&QueryRequest::scan(SALES_CURRENT).filter(today))?;
     assert!(!out.used_imcs);
     println!(
         "standby scan of the hot month: {} rows via the row store (placement is PrimaryOnly)",

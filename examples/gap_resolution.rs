@@ -20,16 +20,16 @@ fn main() -> Result<()> {
     // A framed link with a seeded fault plan: every 40th link tick opens
     // a 12-tick partition window (everything sent inside it is lost), and
     // 3% of the remaining frames drop anyway.
-    let mut spec = ClusterSpec::default();
-    spec.config.transport.mode = LinkMode::Framed;
-    spec.config.transport.faults = Some(FaultPlan {
-        seed: 0xBAD_11,
-        drop_per_mille: 30,
-        partition_every: 40,
-        partition_ticks: 12,
-        ..FaultPlan::default()
-    });
-    let cluster = AdgCluster::new(spec)?;
+    let cluster = NodeBuilder::new()
+        .link(LinkMode::Framed)
+        .faults(FaultPlan {
+            seed: 0xBAD_11,
+            drop_per_mille: 30,
+            partition_every: 40,
+            partition_ticks: 12,
+            ..FaultPlan::default()
+        })
+        .build()?;
 
     cluster.create_table(TableSpec {
         id: ORDERS,
@@ -78,7 +78,7 @@ fn main() -> Result<()> {
     println!();
 
     assert_eq!(t.gaps_detected, t.gaps_resolved, "every gap closed");
-    let rows = cluster.standby().scan(ORDERS, &Filter::all())?;
+    let rows = cluster.standby().query(&QueryRequest::scan(ORDERS).filter(Filter::all()))?;
     println!(
         "standby QuerySCN {} — {} rows visible, exactly once, in order",
         cluster.standby().current_query_scn()?.raw(),

@@ -68,7 +68,7 @@ fn main() -> Result<()> {
         value: Value::Int(300),
     };
     let t0 = Instant::now();
-    let out = standby.scan_expression_pred(ORDERS, &pred)?;
+    let out = standby.query(&QueryRequest::scan(ORDERS).expression(pred.clone()))?;
     let fast = t0.elapsed();
     println!(
         "expression scan via virtual column: {} rows in {:?} (pruned {} / scanned {} units)",
@@ -93,7 +93,10 @@ fn main() -> Result<()> {
 
     // Aggregation push-down: SUM/MIN/MAX/COUNT of qty, O(1) per clean unit.
     let t0 = Instant::now();
-    let agg = standby.aggregate(ORDERS, &Filter::all(), "qty")?;
+    let agg = standby
+        .query(&QueryRequest::scan(ORDERS).filter(Filter::all()).aggregate("qty"))?
+        .aggregate
+        .expect("aggregate request");
     println!(
         "aggregate qty: count={} sum={} min={:?} max={:?} avg={:.2} in {:?} \
          ({} units answered from metadata)",
@@ -109,7 +112,10 @@ fn main() -> Result<()> {
 
     // Filtered aggregate: revenue of one code class.
     let f = Filter::of(Predicate::eq(&schema, "code", Value::str("c2"))?);
-    let agg = standby.aggregate(ORDERS, &f, "unit_price")?;
+    let agg = standby
+        .query(&QueryRequest::scan(ORDERS).filter(f).aggregate("unit_price"))?
+        .aggregate
+        .expect("aggregate request");
     println!(
         "filtered aggregate (code = 'c2'): count={} sum(unit_price)={}",
         agg.aggs.count, agg.aggs.sum

@@ -85,7 +85,7 @@ fn main() -> Result<()> {
     primary.txm.commit(tx);
     cluster.sync()?;
     let hot = Filter::of(Predicate::eq(&schema, "amount", Value::Int(9999))?);
-    let out = standby.scan(SALES, &hot)?;
+    let out = standby.query(&QueryRequest::scan(SALES).filter(hot))?;
     assert_eq!(out.count(), 1);
     println!(
         "after update: key 42 found via {} with amount 9999",

@@ -12,8 +12,7 @@ use imadg::prelude::*;
 const T: ObjectId = ObjectId(1);
 
 fn main() -> Result<()> {
-    let spec = ClusterSpec { primary_instances: 2, standby_instances: 2, ..Default::default() };
-    let cluster = AdgCluster::new(spec)?;
+    let cluster = NodeBuilder::new().primaries(2).standbys(2).build()?;
     cluster.create_table(TableSpec {
         id: T,
         name: "orders".into(),
@@ -57,7 +56,7 @@ fn main() -> Result<()> {
     // A standby query fans out across both instances' column stores.
     let schema = cluster.primary().store.table(T)?.schema.read().clone();
     let f = Filter::of(Predicate::eq(&schema, "status", Value::str("open"))?);
-    let out = standby.scan(T, &f)?;
+    let out = standby.query(&QueryRequest::scan(T).filter(f))?;
     println!("cluster-wide standby scan: {} open orders, via IMCS: {}", out.count(), out.used_imcs);
     assert!(out.used_imcs);
     assert_eq!(out.count(), 5_000 / 3 + 1);
@@ -74,7 +73,7 @@ fn main() -> Result<()> {
     }
     cluster.sync()?;
     let f = Filter::of(Predicate::eq(&schema, "status", Value::str("cancelled"))?);
-    let out = standby.scan(T, &f)?;
+    let out = standby.query(&QueryRequest::scan(T).filter(f))?;
     assert_eq!(out.count(), 4);
     println!("after cross-instance updates: {} cancelled orders visible consistently", out.count());
 

@@ -17,7 +17,7 @@ const ROWS: usize = 20_000;
 
 fn main() -> Result<()> {
     // Wide 101-column table placed on the standby's column store.
-    let cluster = Arc::new(AdgCluster::single()?);
+    let cluster = AdgCluster::single()?;
     cluster.create_table(wide_table_spec(WIDE, 64))?;
     cluster.set_placement(WIDE, Placement::StandbyOnly)?;
     load_wide_table(&cluster, WIDE, ROWS, 7)?;
@@ -62,7 +62,7 @@ fn main() -> Result<()> {
     for bind in 0..20i64 {
         let filter = q1(&schema, bind)?;
         let t0 = Instant::now();
-        let out = standby.scan(WIDE, &filter)?;
+        let out = standby.query(&QueryRequest::scan(WIDE).filter(filter))?;
         latencies.push(t0.elapsed());
         total_rows += out.count();
         assert!(out.used_imcs, "reporting must run through the IMCS");
@@ -79,7 +79,7 @@ fn main() -> Result<()> {
     // The same query on the primary has no IMCS there: full row-store scan.
     let filter = q1(&schema, 5)?;
     let t0 = Instant::now();
-    let p_out = cluster.primary().scan(WIDE, &filter)?;
+    let p_out = cluster.primary().query(&QueryRequest::scan(WIDE).filter(filter.clone()))?;
     println!(
         "the same query on the primary row store: {:?} ({} rows, via IMCS: {})",
         t0.elapsed(),
@@ -96,7 +96,7 @@ fn main() -> Result<()> {
     drop(threads);
     cluster.sync()?;
     let q = standby.current_query_scn()?;
-    let s_count = standby.scan(WIDE, &filter)?.count();
+    let s_count = standby.query(&QueryRequest::scan(WIDE).filter(filter.clone()))?.count();
     let mut p_count = 0;
     cluster.primary().store.scan_object(WIDE, q, None, |_, row| {
         if filter.eval_row(row) {

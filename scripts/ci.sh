@@ -44,6 +44,18 @@ echo "==> TCP loopback smoke (self-skips with a notice if sockets unavailable)"
 cargo test -p imadg-net tcp -q
 cargo test -p imadg-db --test chaos_transport tcp_loopback -q
 
+# Durability gate: the crash-point matrix (restart from disk only, must
+# converge bit-identically to an uncrashed twin), checkpoint resume,
+# double crash, and 16 pinned seeds of promotion under the acceptance
+# fault mix. Uses per-run directories under $TMPDIR; each test removes
+# its own directory on drop, and stale ones from killed runs are swept
+# here first.
+echo "==> durability gate (crash-point matrix + promotion under chaos)"
+rm -rf "${TMPDIR:-/tmp}"/imadg-twin-* "${TMPDIR:-/tmp}"/imadg-crash-* \
+    "${TMPDIR:-/tmp}"/imadg-ckpt-* "${TMPDIR:-/tmp}"/imadg-double-* \
+    "${TMPDIR:-/tmp}"/imadg-promo-* "${TMPDIR:-/tmp}"/imadg-roles-*
+cargo test -p imadg-db --test crash_recovery -q
+
 # Scan-engine parity gate: the vectorized bitmap kernels must be
 # bit-identical to the scalar reference engine (ops × encodings × null
 # densities × SMU invalidation patterns), and parallel degrees must be
@@ -66,7 +78,17 @@ if [[ "$fast" == 0 ]]; then
         ./target/release/bench_scan >/dev/null
     ./target/release/bench_scan --validate "$smoke_out"
     rm -f "$smoke_out"
-    for doc in BENCH_scan.json BENCH_oltap.json; do
+    # Recovery-smoke gate: a tiny exp_recovery run (real on-disk wal +
+    # checkpoint + promotion) must converge with zero committed loss and
+    # emit a schema-valid recovery document.
+    echo "==> recovery smoke (tiny exp_recovery run + schema validation)"
+    rec_out="$(mktemp)"
+    IMADG_BENCH_ROWS=2000 IMADG_BENCH_OUT="$rec_out" \
+        ./target/release/exp_recovery >/dev/null
+    ./target/release/bench_scan --validate "$rec_out"
+    rm -f "$rec_out"
+
+    for doc in BENCH_scan.json BENCH_oltap.json BENCH_recovery.json; do
         [[ -f "$doc" ]] && ./target/release/bench_scan --validate "$doc"
     done
 fi

@@ -77,8 +77,9 @@ pub mod prelude {
         Scn, SystemConfig, TenantId, TransportConfig, TxnId,
     };
     pub use imadg_db::{
-        AdgCluster, ClusterSpec, CmpOp, ColumnDef, ColumnType, Filter, MetricsSnapshot, Placement,
-        Predicate, QueryOutput, QueryRequest, Row, Schema, StandbyCluster, TableSpec, Value,
+        AdgCluster, ClusterConfig, CmpOp, ColumnDef, ColumnType, Filter, MetricsSnapshot, Node,
+        NodeBuilder, NodeRole, Placement, Predicate, PromotionReport, QueryOutput, QueryRequest,
+        Row, Schema, StandbyCluster, TableSpec, Value,
     };
     pub use imadg_workload::{OltapConfig, OpMix, QueryId};
 }

@@ -11,8 +11,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use imadg_db::{
-    AdgCluster, ClusterSpec, ColumnType, Filter, ObjectId, Placement, Schema, TableSpec, TenantId,
-    Value,
+    AdgCluster, ColumnType, Filter, NodeBuilder, ObjectId, Placement, QueryRequest, Schema,
+    TableSpec, TenantId, Value,
 };
 use proptest::prelude::*;
 
@@ -65,14 +65,16 @@ fn run_history(steps: Vec<Step>, standby_instances: usize) {
 /// `churn` forces tiny units plus repopulation on every pass, maximizing
 /// unit-swap / carry-over traffic during the history.
 fn run_history_with(steps: Vec<Step>, standby_instances: usize, churn: bool) {
-    let mut spec = ClusterSpec { standby_instances, ..Default::default() };
+    let mut builder = NodeBuilder::new().standbys(standby_instances);
     if churn {
-        spec.config.imcs.imcu_max_rows = 8;
-        spec.config.imcs.repopulate_threshold = 0.0;
-        spec.config.imcs.repopulate_min_scn_gap = 0;
-        spec.config.imcs.build_pause_micros = 0;
+        builder = builder.tune(|s| {
+            s.imcs.imcu_max_rows = 8;
+            s.imcs.repopulate_threshold = 0.0;
+            s.imcs.repopulate_min_scn_gap = 0;
+            s.imcs.build_pause_micros = 0;
+        });
     }
-    let cluster = AdgCluster::new(spec).unwrap();
+    let cluster = builder.build().unwrap();
     cluster
         .create_table(TableSpec {
             id: OBJ,
@@ -186,7 +188,7 @@ fn run_history_with(steps: Vec<Step>, standby_instances: usize, churn: bool) {
 
 fn check_matches_model(cluster: &AdgCluster, model: &BTreeMap<i64, i64>, ctx: &str) {
     let standby = cluster.standby();
-    let out = standby.scan(OBJ, &Filter::all()).unwrap();
+    let out = standby.query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap();
     let mut got: BTreeMap<i64, i64> = BTreeMap::new();
     for row in &out.rows {
         let prev = got.insert(row[0].as_int().unwrap(), row[1].as_int().unwrap());

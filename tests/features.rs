@@ -8,7 +8,7 @@ use imadg::prelude::*;
 
 const OBJ: ObjectId = ObjectId(1);
 
-fn cluster() -> AdgCluster {
+fn cluster() -> Arc<AdgCluster> {
     let c = AdgCluster::single().unwrap();
     c.create_table(TableSpec {
         id: OBJ,
@@ -71,7 +71,7 @@ fn expression_scan_uses_materialized_virtual_column() {
         value: Value::Int(60),
     };
     let standby = c.standby();
-    let out = standby.scan_expression_pred(OBJ, &pred).unwrap();
+    let out = standby.query(&QueryRequest::scan(OBJ).expression(pred.clone())).unwrap();
     assert!(out.used_imcs);
     // Verify against naive evaluation over a full row scan.
     let mut expected = 0usize;
@@ -112,7 +112,7 @@ fn expression_predicate_consistent_under_updates() {
         op: CmpOp::Ge,
         value: Value::Int(10_000),
     };
-    let out = c.standby().scan_expression_pred(OBJ, &pred).unwrap();
+    let out = c.standby().query(&QueryRequest::scan(OBJ).expression(pred.clone())).unwrap();
     assert_eq!(out.count(), 1, "updated row matches via expression fallback");
     assert_eq!(out.rows[0][0], Value::Int(3));
     assert!(out.stats.unwrap().fallback_rows >= 1, "served from the row store");
@@ -134,7 +134,7 @@ fn expression_works_without_materialization() {
         op: CmpOp::Ge,
         value: Value::Int(60),
     };
-    let out = c.standby().scan_expression_pred(OBJ, &pred).unwrap();
+    let out = c.standby().query(&QueryRequest::scan(OBJ).expression(pred.clone())).unwrap();
     assert!(out.used_imcs);
     let mut expected = 0usize;
     c.primary()
@@ -162,7 +162,7 @@ fn string_expression_scan() {
         op: CmpOp::Eq,
         value: Value::str("C1"),
     };
-    let out = c.standby().scan_expression_pred(OBJ, &pred).unwrap();
+    let out = c.standby().query(&QueryRequest::scan(OBJ).expression(pred.clone())).unwrap();
     assert_eq!(out.count(), 10);
 }
 
@@ -172,7 +172,11 @@ fn aggregate_pushdown_matches_naive() {
     seed(&c, 200);
     c.sync().unwrap();
     let standby = c.standby();
-    let r = standby.aggregate(OBJ, &Filter::all(), "qty").unwrap();
+    let r = standby
+        .query(&QueryRequest::scan(OBJ).filter(Filter::all()).aggregate("qty"))
+        .unwrap()
+        .aggregate
+        .unwrap();
     // k % 7 over 200 rows.
     let expected_sum: i128 = (0..200i128).map(|k| k % 7).sum();
     assert_eq!(r.aggs.count, 200);
@@ -191,7 +195,12 @@ fn filtered_aggregate_reads_only_needed_columns() {
     c.sync().unwrap();
     let schema = c.primary().store.table(OBJ).unwrap().schema.read().clone();
     let filter = Filter::of(Predicate::eq(&schema, "code", Value::str("c0")).unwrap());
-    let r = c.standby().aggregate(OBJ, &filter, "price").unwrap();
+    let r = c
+        .standby()
+        .query(&QueryRequest::scan(OBJ).filter(filter.clone()).aggregate("price"))
+        .unwrap()
+        .aggregate
+        .unwrap();
     let naive: (u64, i128) = {
         let mut count = 0;
         let mut sum = 0i128;
@@ -225,7 +234,12 @@ fn aggregate_stays_exact_under_dml() {
     c.ship_redo().unwrap();
     c.standby().pump_until_idle().unwrap();
 
-    let r = c.standby().aggregate(OBJ, &Filter::all(), "qty").unwrap();
+    let r = c
+        .standby()
+        .query(&QueryRequest::scan(OBJ).filter(Filter::all()).aggregate("qty"))
+        .unwrap()
+        .aggregate
+        .unwrap();
     let expected_sum: i128 =
         (0..80i128).filter(|&k| k != 6).map(|k| if k == 5 { 1000 } else { k % 7 }).sum();
     assert_eq!(r.aggs.count, 79);
@@ -253,7 +267,12 @@ fn aggregate_without_placement_uses_row_store() {
     }
     p.txm.commit(tx);
     c.sync().unwrap();
-    let r = c.standby().aggregate(OBJ, &Filter::all(), "qty").unwrap();
+    let r = c
+        .standby()
+        .query(&QueryRequest::scan(OBJ).filter(Filter::all()).aggregate("qty"))
+        .unwrap()
+        .aggregate
+        .unwrap();
     assert_eq!(r.aggs.count, 10);
     assert_eq!(r.aggs.sum, 45);
     assert_eq!(r.stats.pushdown_units, 0);

@@ -4,6 +4,7 @@
 //! journal hygiene.
 
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use imadg::prelude::*;
 
@@ -20,10 +21,8 @@ fn spec() -> TableSpec {
     }
 }
 
-fn cluster_with(spec_fn: impl FnOnce(&mut ClusterSpec)) -> AdgCluster {
-    let mut cs = ClusterSpec::default();
-    spec_fn(&mut cs);
-    let c = AdgCluster::new(cs).unwrap();
+fn cluster_with(configure: impl FnOnce(NodeBuilder) -> NodeBuilder) -> Arc<AdgCluster> {
+    let c = configure(NodeBuilder::new()).build().unwrap();
     c.create_table(spec()).unwrap();
     c.set_placement(OBJ, Placement::StandbyOnly).unwrap();
     c
@@ -41,7 +40,7 @@ fn seed(c: &AdgCluster, n: i64) {
 /// P3: every populated unit's snapshot SCN is a published QuerySCN.
 #[test]
 fn population_snapshots_are_published_query_scns() {
-    let c = cluster_with(|_| {});
+    let c = cluster_with(|b| b);
     let mut published = Vec::new();
     for round in 0..5 {
         let p = c.primary();
@@ -68,7 +67,7 @@ fn population_snapshots_are_published_query_scns() {
 /// QuerySCN — every flushable invalidation was flushed before publish.
 #[test]
 fn journal_drains_at_advancement() {
-    let c = cluster_with(|_| {});
+    let c = cluster_with(|b| b);
     seed(&c, 50);
     c.sync().unwrap();
     let standby = c.standby();
@@ -91,7 +90,7 @@ fn journal_drains_at_advancement() {
 /// Aborted transactions leave no journal residue.
 #[test]
 fn aborts_clean_the_journal() {
-    let c = cluster_with(|_| {});
+    let c = cluster_with(|b| b);
     seed(&c, 10);
     c.sync().unwrap();
     let p = c.primary();
@@ -106,14 +105,18 @@ fn aborts_clean_the_journal() {
     // The aborted update is invisible.
     let schema = p.store.table(OBJ).unwrap().schema.read().clone();
     let f = Filter::of(Predicate::eq(&schema, "v", Value::Int(5)).unwrap());
-    assert_eq!(c.standby().scan(OBJ, &f).unwrap().count(), 1, "only the seeded row v=5");
+    assert_eq!(
+        c.standby().query(&QueryRequest::scan(OBJ).filter(f.clone())).unwrap().count(),
+        1,
+        "only the seeded row v=5"
+    );
 }
 
 /// §III.E: without the specialized commit annotation, the standby must be
 /// pessimistic — but only when mining is actually incomplete.
 #[test]
 fn no_annotation_is_safe_but_not_needlessly_coarse() {
-    let c = cluster_with(|cs| cs.commit_annotation = false);
+    let c = cluster_with(|b| b.commit_annotation(false));
     seed(&c, 30);
     c.sync().unwrap();
     let standby = c.standby();
@@ -143,7 +146,7 @@ fn no_annotation_is_safe_but_not_needlessly_coarse() {
 /// Coarse invalidation is scoped to the offending tenant.
 #[test]
 fn coarse_invalidation_is_tenant_scoped() {
-    let c = AdgCluster::new(ClusterSpec::default()).unwrap();
+    let c = NodeBuilder::new().build().unwrap();
     let mut t1 = spec();
     t1.id = ObjectId(1);
     t1.tenant = TenantId(1);
@@ -197,7 +200,7 @@ fn coarse_invalidation_is_tenant_scoped() {
 /// skip SCNs but never move backwards.
 #[test]
 fn query_scn_leapfrogs_monotonically() {
-    let c = cluster_with(|cs| cs.config.recovery.workers = 8);
+    let c = cluster_with(|b| b.tune(|s| s.recovery.workers = 8));
     let mut last = Scn::ZERO;
     let mut gaps = Vec::new();
     for round in 0..8i64 {
@@ -220,7 +223,7 @@ fn query_scn_leapfrogs_monotonically() {
 /// Mining sniffs every row CV but only journals in-memory-enabled objects.
 #[test]
 fn mining_filters_by_enablement() {
-    let c = AdgCluster::new(ClusterSpec::default()).unwrap();
+    let c = NodeBuilder::new().build().unwrap();
     let mut inmem = spec();
     inmem.id = ObjectId(1);
     let mut plain = spec();
@@ -252,11 +255,13 @@ fn mining_filters_by_enablement() {
 /// invalidation churn; a scan never observes a torn unit swap.
 #[test]
 fn scans_never_observe_torn_swaps() {
-    let c = cluster_with(|cs| {
-        cs.config.imcs.imcu_max_rows = 64;
-        cs.config.imcs.repopulate_threshold = 0.0;
-        cs.config.imcs.repopulate_min_scn_gap = 0;
-        cs.config.imcs.build_pause_micros = 0;
+    let c = cluster_with(|b| {
+        b.tune(|s| {
+            s.imcs.imcu_max_rows = 64;
+            s.imcs.repopulate_threshold = 0.0;
+            s.imcs.repopulate_min_scn_gap = 0;
+            s.imcs.build_pause_micros = 0;
+        })
     });
     seed(&c, 200);
     c.sync().unwrap();
@@ -272,7 +277,7 @@ fn scans_never_observe_torn_swaps() {
         }
         p.txm.commit(tx);
         c.sync().unwrap();
-        let out = c.standby().scan(OBJ, &Filter::all()).unwrap();
+        let out = c.standby().query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap();
         assert_eq!(out.count(), 200, "round {round}");
         let mut keys: Vec<i64> = out.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
         keys.sort_unstable();
@@ -286,10 +291,12 @@ fn scans_never_observe_torn_swaps() {
 /// without changing query results.
 #[test]
 fn compaction_reclaims_versions_safely() {
-    let c = cluster_with(|cs| {
+    let c = cluster_with(|b| {
         // Freeze repopulation so unit snapshots pin an old horizon first.
-        cs.config.imcs.repopulate_threshold = 1.0;
-        cs.config.imcs.repopulate_min_scn_gap = u64::MAX;
+        b.tune(|s| {
+            s.imcs.repopulate_threshold = 1.0;
+            s.imcs.repopulate_min_scn_gap = u64::MAX;
+        })
     });
     seed(&c, 40);
     c.sync().unwrap();
@@ -319,12 +326,12 @@ fn compaction_reclaims_versions_safely() {
     assert!(removed > 300, "reclaimed old versions: {removed}");
 
     // Queries unchanged after compaction.
-    let out = standby.scan(OBJ, &Filter::all()).unwrap();
+    let out = standby.query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap();
     assert_eq!(out.count(), 40);
     assert!(out.rows.iter().all(|r| r[1] == Value::Int(9)));
 
     // Primary side compaction with an explicit horizon.
     let removed = p.compact_versions(p.current_scn()).unwrap();
     assert!(removed > 300);
-    assert_eq!(p.scan(OBJ, &Filter::all()).unwrap().count(), 40);
+    assert_eq!(p.query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap().count(), 40);
 }

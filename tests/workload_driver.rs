@@ -10,7 +10,7 @@ use imadg::workload::{load_wide_table, run_oltap, wide_table_spec, OltapConfig, 
 const WIDE: ObjectId = ObjectId(101);
 
 fn cluster(rows: usize) -> Arc<AdgCluster> {
-    let c = Arc::new(AdgCluster::single().unwrap());
+    let c = AdgCluster::single().unwrap();
     c.create_table(wide_table_spec(WIDE, 64)).unwrap();
     c.set_placement(WIDE, Placement::StandbyOnly).unwrap();
     load_wide_table(&c, WIDE, rows, 7).unwrap();
@@ -70,7 +70,7 @@ fn insert_mix_grows_the_table_consistently() {
     // After the run the standby converges to the grown table.
     c.sync().unwrap();
     let standby = c.standby();
-    let total = standby.scan(WIDE, &Filter::all()).unwrap().count();
+    let total = standby.query(&QueryRequest::scan(WIDE).filter(Filter::all())).unwrap().count();
     assert_eq!(total, 1_000 + m.insert.count as usize);
 }
 
