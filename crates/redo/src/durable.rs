@@ -669,3 +669,47 @@ mod tests {
         let _ = fs::remove_dir_all(dir);
     }
 }
+
+#[cfg(test)]
+mod review_repro {
+    use super::*;
+    use crate::record::RedoPayload;
+    use imadg_common::RedoThreadId;
+
+    fn rec(scn: u64) -> RedoRecord {
+        RedoRecord { thread: RedoThreadId(1), scn: Scn(scn), payload: RedoPayload::Heartbeat }
+    }
+
+    #[test]
+    fn reopen_after_header_only_torn_segment_collides() {
+        let dir = std::env::temp_dir().join(format!("imadg-collide-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        {
+            // Tiny segments: every sync seals the active segment.
+            let log = DurableLog::open(&dir, SEGMENT_HEADER + 1).unwrap();
+            log.append_batch(1, &[rec(1)]).unwrap();
+            log.sync_if_pending().unwrap(); // seg-1 sealed
+            log.append_batch(2, &[rec(2)]).unwrap();
+            log.sync_if_pending().unwrap(); // seg-2 sealed
+        }
+        // Crash tore seg-2's only entry: open() will truncate it to header-only.
+        let seg2 = list_segments(&dir.join("wal")).unwrap().pop().unwrap().1;
+        let f = OpenOptions::new().write(true).open(&seg2).unwrap();
+        f.set_len(SEGMENT_HEADER + 3).unwrap(); // partial entry header
+        drop(f);
+        {
+            let log = DurableLog::open(&dir, 1 << 20).unwrap();
+            assert_eq!(log.durable_seq(), 1);
+            // Re-append the lost batch (arrives again via NAK), same seq 2:
+            // the new active segment is also named seg-2 -> collision.
+            log.append_batch(2, &[rec(2)]).unwrap();
+            log.sync_if_pending().unwrap();
+            assert_eq!(log.read_from(1).unwrap().len(), 2, "both batches readable pre-reopen");
+        }
+        let log = DurableLog::open(&dir, 1 << 20).unwrap();
+        assert_eq!(log.durable_seq(), 2, "seq 2 must survive the second reopen");
+        assert_eq!(log.read_from(1).unwrap().len(), 2, "seq 2 must be readable after reopen");
+        let _ = fs::remove_dir_all(dir);
+    }
+}
