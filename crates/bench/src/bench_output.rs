@@ -126,6 +126,10 @@ pub struct BenchOltapRun {
     pub q2_median_s: f64,
     /// Q2 95th-percentile latency, seconds.
     pub q2_p95_s: f64,
+    /// Median commit-to-queryable staleness observed on the standby, µs.
+    pub staleness_p50_us: f64,
+    /// 99th-percentile commit-to-queryable staleness on the standby, µs.
+    pub staleness_p99_us: f64,
 }
 
 /// The OLTAP benchmark document (`BENCH_oltap.json`), emitted by the
@@ -174,10 +178,15 @@ impl BenchOltapDoc {
                 ("q1_p95_s", r.q1_p95_s),
                 ("q2_median_s", r.q2_median_s),
                 ("q2_p95_s", r.q2_p95_s),
+                ("staleness_p50_us", r.staleness_p50_us),
+                ("staleness_p99_us", r.staleness_p99_us),
             ] {
                 if !(v.is_finite() && v >= 0.0) {
                     return Err(format!("{}: {label} must be finite and >= 0", r.name));
                 }
+            }
+            if r.staleness_p99_us < r.staleness_p50_us {
+                return Err(format!("{}: staleness p99 below p50", r.name));
             }
         }
         Ok(())
@@ -204,6 +213,12 @@ pub struct BenchRecoveryRun {
     /// Replay throughput (`replayed_records / recovery time`); 0 when
     /// nothing was replayed.
     pub replayed_records_per_sec: f64,
+    /// Median commit-to-queryable staleness on the recovered node, µs
+    /// (covers redo applied after the restart/promotion).
+    pub staleness_p50_us: f64,
+    /// 99th-percentile commit-to-queryable staleness on the recovered
+    /// node, µs.
+    pub staleness_p99_us: f64,
 }
 
 /// The recovery benchmark document (`BENCH_recovery.json`), emitted by
@@ -256,6 +271,16 @@ impl BenchRecoveryDoc {
                     "{}: replayed_records_per_sec must be finite and >= 0",
                     r.name
                 ));
+            }
+            for (label, v) in
+                [("staleness_p50_us", r.staleness_p50_us), ("staleness_p99_us", r.staleness_p99_us)]
+            {
+                if !(v.is_finite() && v >= 0.0) {
+                    return Err(format!("{}: {label} must be finite and >= 0", r.name));
+                }
+            }
+            if r.staleness_p99_us < r.staleness_p50_us {
+                return Err(format!("{}: staleness p99 below p50", r.name));
             }
             if r.replayed_records > 0 && r.replayed_records_per_sec == 0.0 {
                 return Err(format!("{}: replayed records but zero replay throughput", r.name));
@@ -355,12 +380,17 @@ mod tests {
                 q1_p95_s: 0.002,
                 q2_median_s: 0.001,
                 q2_p95_s: 0.002,
+                staleness_p50_us: 350.0,
+                staleness_p99_us: 1200.0,
             }],
         };
         d.validate().unwrap();
         let mut bad = d.clone();
         bad.runs[0].q1_p95_s = f64::INFINITY;
         assert!(bad.validate().is_err());
+        let mut bad = d.clone();
+        bad.runs[0].staleness_p99_us = 100.0;
+        assert!(bad.validate().is_err(), "staleness p99 < p50");
     }
 
     #[test]
@@ -378,6 +408,8 @@ mod tests {
                 mining_skipped: 900,
                 recovery_ms: 12.5,
                 replayed_records_per_sec: 80_240.0,
+                staleness_p50_us: 420.0,
+                staleness_p99_us: 2100.0,
             }],
         };
         d.validate().unwrap();

@@ -11,8 +11,10 @@ use imadg_bench::{default_builder, maybe_json, setup_cluster, ExpScale, WIDE};
 use imadg_db::Placement;
 use imadg_workload::{report, run_oltap, OltapMetrics, OpMix, QueryId};
 
-/// Project one workload run into a `BENCH_oltap.json` entry.
+/// Project one workload run into a `BENCH_oltap.json` entry. Staleness
+/// percentiles come from the standby's commit-to-queryable histogram.
 fn oltap_run(name: &str, m: &OltapMetrics) -> BenchOltapRun {
+    let e2e = &m.standby_pipeline.staleness.e2e;
     BenchOltapRun {
         name: name.into(),
         achieved_ops_per_sec: m.achieved_ops_per_sec,
@@ -21,6 +23,8 @@ fn oltap_run(name: &str, m: &OltapMetrics) -> BenchOltapRun {
         q1_p95_s: m.q1.p95_s,
         q2_median_s: m.q2.median_s,
         q2_p95_s: m.q2.p95_s,
+        staleness_p50_us: e2e.p50() as f64,
+        staleness_p99_us: e2e.p99() as f64,
     }
 }
 

@@ -106,6 +106,7 @@ fn restart_scenario(name: &str, dir: &std::path::Path, rows: usize, ckpt: u64) -
         d.replayed_records,
         d.mining_skipped
     );
+    let staleness = &c.standby().metrics().staleness.e2e;
     BenchRecoveryRun {
         name: name.into(),
         committed_rows: committed,
@@ -114,6 +115,8 @@ fn restart_scenario(name: &str, dir: &std::path::Path, rows: usize, ckpt: u64) -
         mining_skipped: d.mining_skipped,
         recovery_ms: secs * 1e3,
         replayed_records_per_sec: d.replayed_records as f64 / secs,
+        staleness_p50_us: staleness.p50() as f64,
+        staleness_p99_us: staleness.p99() as f64,
     }
 }
 
@@ -133,6 +136,7 @@ fn promotion_scenario(dir: &std::path::Path, rows: usize) -> BenchRecoveryRun {
     assert_eq!(committed, rows as u64, "promotion: committed rows lost");
     let secs = elapsed.as_secs_f64().max(1e-9);
     println!("promotion: new primary serving {committed} rows in {:.1} ms", secs * 1e3);
+    let staleness = &new_primary.metrics().staleness.e2e;
     BenchRecoveryRun {
         name: "promotion".into(),
         committed_rows: committed,
@@ -141,6 +145,8 @@ fn promotion_scenario(dir: &std::path::Path, rows: usize) -> BenchRecoveryRun {
         mining_skipped: 0,
         recovery_ms: secs * 1e3,
         replayed_records_per_sec: 0.0,
+        staleness_p50_us: staleness.p50() as f64,
+        staleness_p99_us: staleness.p99() as f64,
     }
 }
 

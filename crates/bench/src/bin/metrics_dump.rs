@@ -1,0 +1,267 @@
+//! `metrics_dump` — exposition checker and snapshot differ for the
+//! machine-readable metrics formats.
+//!
+//! Modes:
+//!
+//! * *(no args)* — exercise a tiny deployment and print the Prometheus
+//!   text exposition for both roles.
+//! * `--jsonl` — same, but print one JSONL record per role (append the
+//!   output to a trajectory file between workload phases).
+//! * `--validate [FILE...]` — validate JSONL snapshot files (or, with no
+//!   files, a self-generated exposition in both formats): every line must
+//!   parse, every series value must be finite, and no histogram bucket
+//!   may be negative or NaN. Exit code 1 on any violation — wired into
+//!   `scripts/ci.sh`.
+//! * `--diff BEFORE AFTER` — per-metric deltas between two JSONL snapshot
+//!   files (last record per role wins); prints only metrics that changed.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use imadg_common::{ObjectId, TenantId};
+use imadg_db::{
+    ColumnType, Filter, NodeBuilder, NodeRole, Placement, QueryRequest, Schema, TableSpec, Value,
+};
+use serde::{Content, Deserialize};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("");
+    match mode {
+        "--validate" => validate(&args[1..]),
+        "--diff" => diff(&args[1..]),
+        "--jsonl" => {
+            for line in live_jsonl() {
+                println!("{line}");
+            }
+            ExitCode::SUCCESS
+        }
+        "" => {
+            print!("{}", live_prometheus());
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("metrics_dump: unknown mode {other:?}");
+            eprintln!("usage: metrics_dump [--jsonl | --validate [FILE...] | --diff BEFORE AFTER]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Spin up a minimal two-role deployment and push enough work through it
+/// that every pipeline stage (ship, merge, apply, publish, scan) has
+/// non-trivial counters.
+fn live_nodes() -> (imadg_db::Node, imadg_db::Node) {
+    let cluster = NodeBuilder::new().build().expect("deployment builds");
+    let obj = ObjectId(1);
+    cluster
+        .create_table(TableSpec {
+            id: obj,
+            name: "t".into(),
+            tenant: TenantId::DEFAULT,
+            schema: Schema::of(&[("v", ColumnType::Int)]),
+            key_ordinal: 0,
+            rows_per_block: 64,
+        })
+        .expect("table creates");
+    cluster.set_placement(obj, Placement::StandbyOnly).expect("placement set");
+    for i in 0..256 {
+        cluster.primary().insert_one(obj, TenantId(0), vec![Value::Int(i)]).expect("insert");
+    }
+    cluster.sync().expect("standby catches up");
+    let standby = cluster.node(NodeRole::Standby);
+    standby.query(&QueryRequest::scan(obj).filter(Filter::all())).expect("scan runs");
+    (cluster.node(NodeRole::Primary), standby)
+}
+
+fn live_prometheus() -> String {
+    let (primary, standby) = live_nodes();
+    format!("{}{}", primary.metrics_prometheus(), standby.metrics_prometheus())
+}
+
+fn live_jsonl() -> Vec<String> {
+    let (primary, standby) = live_nodes();
+    vec![primary.metrics_jsonl(), standby.metrics_jsonl()]
+}
+
+/// One parsed JSONL record.
+#[derive(Deserialize)]
+struct Record {
+    role: String,
+    metrics: Content,
+}
+
+/// Validate snapshot files, or a self-generated exposition when none are
+/// given.
+fn validate(files: &[String]) -> ExitCode {
+    let mut errors = 0usize;
+    if files.is_empty() {
+        errors += validate_prometheus("<live>", &live_prometheus());
+        for line in live_jsonl() {
+            errors += validate_jsonl_line("<live>", &line);
+        }
+    }
+    for path in files {
+        match std::fs::read_to_string(path) {
+            Ok(text) if text.trim_start().starts_with('{') => {
+                for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                    errors += validate_jsonl_line(path, line);
+                }
+            }
+            Ok(text) => errors += validate_prometheus(path, &text),
+            Err(e) => {
+                eprintln!("metrics_dump: {path}: {e}");
+                errors += 1;
+            }
+        }
+    }
+    if errors == 0 {
+        println!("metrics_dump: ok");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("metrics_dump: {errors} violation(s)");
+        ExitCode::FAILURE
+    }
+}
+
+/// Check every sample line of a Prometheus text exposition: a bare metric
+/// name, optional `{k="v",...}` labels, and a finite non-NaN value;
+/// counters and histogram bucket/count series must be non-negative.
+fn validate_prometheus(source: &str, text: &str) -> usize {
+    let mut errors = 0usize;
+    for (n, line) in text.lines().enumerate() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let bad = |msg: &str| eprintln!("{source}:{}: {msg}: {line}", n + 1);
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            bad("sample has no value");
+            errors += 1;
+            continue;
+        };
+        let name = series.split('{').next().unwrap_or("");
+        if name.is_empty()
+            || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            || name.starts_with(|c: char| c.is_ascii_digit())
+        {
+            bad("bad metric name");
+            errors += 1;
+        }
+        match value.parse::<f64>() {
+            Ok(v) if v.is_finite() => {
+                if v < 0.0 {
+                    bad("negative sample");
+                    errors += 1;
+                }
+            }
+            _ => {
+                bad("non-finite sample");
+                errors += 1;
+            }
+        }
+    }
+    errors
+}
+
+/// Parse one JSONL record and walk its metrics tree for NaN / negative
+/// leaves (histogram buckets included — they are plain numeric leaves).
+fn validate_jsonl_line(source: &str, line: &str) -> usize {
+    let record: Record = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{source}: unparseable JSONL record: {e}");
+            return 1;
+        }
+    };
+    if record.role != "primary" && record.role != "standby" {
+        eprintln!("{source}: unknown role {:?}", record.role);
+        return 1;
+    }
+    let mut errors = 0usize;
+    let mut check = |path: &str, c: &Content| match c {
+        Content::F64(v) if !v.is_finite() => {
+            eprintln!("{source}: {path}: non-finite value");
+            errors += 1;
+        }
+        Content::I64(v) if *v < 0 => {
+            eprintln!("{source}: {path}: negative value");
+            errors += 1;
+        }
+        _ => {}
+    };
+    walk(&format!("metrics[{}]", record.role), &record.metrics, &mut check);
+    errors
+}
+
+/// Depth-first walk over a metrics tree, visiting every leaf with its
+/// dotted path. Sequence elements keyed by their `name`/`stage` field when
+/// present, by index otherwise.
+fn walk(path: &str, c: &Content, visit: &mut dyn FnMut(&str, &Content)) {
+    match c {
+        Content::Map(fields) => {
+            for (k, v) in fields {
+                walk(&format!("{path}.{k}"), v, visit);
+            }
+        }
+        Content::Seq(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let tag = item.field("name").or_else(|| item.field("stage"));
+                let key = match tag {
+                    Some(Content::Str(s)) => s.clone(),
+                    _ => i.to_string(),
+                };
+                walk(&format!("{path}[{key}]"), item, visit);
+            }
+        }
+        leaf => visit(path, leaf),
+    }
+}
+
+/// Flatten every numeric leaf of the last record per role in a JSONL file.
+fn numeric_leaves(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut latest: BTreeMap<String, Content> = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let record: Record =
+            serde_json::from_str(line).map_err(|e| format!("{path}: unparseable record: {e}"))?;
+        latest.insert(record.role, record.metrics);
+    }
+    let mut leaves = BTreeMap::new();
+    for (role, metrics) in &latest {
+        walk(role, metrics, &mut |p, c| {
+            if let Some(v) = c.as_f64() {
+                leaves.insert(p.to_string(), v);
+            }
+        });
+    }
+    Ok(leaves)
+}
+
+/// Per-metric deltas between two JSONL snapshots.
+fn diff(args: &[String]) -> ExitCode {
+    let [before_path, after_path] = args else {
+        eprintln!("usage: metrics_dump --diff BEFORE AFTER");
+        return ExitCode::FAILURE;
+    };
+    let (before, after) = match (numeric_leaves(before_path), numeric_leaves(after_path)) {
+        (Ok(b), Ok(a)) => (b, a),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("metrics_dump: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut changed = 0usize;
+    for (name, a) in &after {
+        let b = before.get(name).copied().unwrap_or(0.0);
+        if (a - b).abs() > f64::EPSILON * b.abs().max(1.0) {
+            println!("{name} {b} -> {a} ({:+})", a - b);
+            changed += 1;
+        }
+    }
+    for name in before.keys().filter(|n| !after.contains_key(*n)) {
+        println!("{name} removed");
+        changed += 1;
+    }
+    println!("# {changed} metric(s) changed");
+    ExitCode::SUCCESS
+}

@@ -11,10 +11,12 @@ pub mod clock;
 pub mod config;
 pub mod cpu;
 pub mod error;
+pub mod export;
 pub mod fxhash;
 pub mod ids;
 pub mod metrics;
 pub mod object_set;
+pub mod profile;
 pub mod runtime;
 pub mod stats;
 pub mod sync;
@@ -27,14 +29,17 @@ pub use config::{
 };
 pub use cpu::{BusyTimer, CpuAccount, CpuReport};
 pub use error::{Error, Result};
+pub use export::{jsonl_line, prometheus_text};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use ids::{Dba, InstanceId, ObjectId, RedoThreadId, Scn, SlotId, TenantId, TxnId, WorkerId};
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, PipelineTrace,
-    RuntimeMetrics, RuntimeSnapshot, StageRuntimeMetrics, StageRuntimeSnapshot, TraceEvent,
+    Counter, Gauge, Histogram, HistogramSnapshot, LogHistogram, LogHistogramSnapshot,
+    MetricsRegistry, MetricsSnapshot, PipelineTrace, RuntimeMetrics, RuntimeSnapshot, ScnTrace,
+    StageRuntimeMetrics, StageRuntimeSnapshot, StalenessSnapshot, StalenessTracker, TraceEvent,
     TraceStage,
 };
 pub use object_set::ObjectSet;
+pub use profile::{QueryProfile, UnitTiming};
 pub use runtime::{
     HealthState, Runtime, RuntimeHealth, Stage, StageFailure, StageId, StageOutcome, StepOutcome,
     StepReport, StepScheduler, ThreadedRuntime, WakeToken,

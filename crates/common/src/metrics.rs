@@ -31,6 +31,8 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use crate::clock::Clock;
+
 // ---------------------------------------------------------------------------
 // Primitives
 // ---------------------------------------------------------------------------
@@ -219,6 +221,196 @@ impl HistogramSnapshot {
             }
         }
         self.max
+    }
+}
+
+/// Sub-bucket resolution of [`LogHistogram`]: every power-of-two range is
+/// split into `2^LOG_HISTOGRAM_SUB_BITS` linear sub-buckets, bounding the
+/// relative quantile error at `2^-LOG_HISTOGRAM_SUB_BITS` (12.5%).
+pub const LOG_HISTOGRAM_SUB_BITS: u32 = 3;
+
+const LOG_SUBS: usize = 1 << LOG_HISTOGRAM_SUB_BITS;
+
+/// Number of log-linear buckets in a [`LogHistogram`]: the identity range
+/// `0..2^SUB_BITS` plus `LOG_SUBS` sub-buckets per remaining octave.
+pub const LOG_HISTOGRAM_BUCKETS: usize = (64 - LOG_HISTOGRAM_SUB_BITS as usize + 1) * LOG_SUBS;
+
+/// A lock-light log-linear (HDR-style) histogram over `u64` values.
+///
+/// Where [`Histogram`]'s pure power-of-two buckets bound quantiles only to
+/// within 2×, this type keeps 8 linear sub-buckets per octave — accurate
+/// enough to report p50/p90/p99 latencies — while still recording with a
+/// single relaxed atomic increment and no allocation. Snapshots are sparse
+/// (only occupied buckets), serde-able, and mergeable across instances or
+/// runs.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; LOG_HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for `v`: identity below `2^SUB_BITS`, then
+    /// `(exp - SUB_BITS + 1) * LOG_SUBS + sub` where `exp = floor(log2 v)`
+    /// and `sub` is the next `SUB_BITS` bits below the leading one.
+    fn bucket_index(v: u64) -> usize {
+        if v < LOG_SUBS as u64 {
+            return v as usize;
+        }
+        let exp = 63 - v.leading_zeros();
+        let sub = (v >> (exp - LOG_HISTOGRAM_SUB_BITS)) as usize & (LOG_SUBS - 1);
+        (exp - LOG_HISTOGRAM_SUB_BITS + 1) as usize * LOG_SUBS + sub
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    fn bucket_lower(i: usize) -> u64 {
+        if i < LOG_SUBS {
+            return i as u64;
+        }
+        let exp = (i / LOG_SUBS) as u32 + LOG_HISTOGRAM_SUB_BITS - 1;
+        (1u64 << exp) + (((i % LOG_SUBS) as u64) << (exp - LOG_HISTOGRAM_SUB_BITS))
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i + 1 >= LOG_HISTOGRAM_BUCKETS {
+            u64::MAX
+        } else {
+            Self::bucket_lower(i + 1) - 1
+        }
+    }
+
+    /// Record one value.
+    pub fn record_value(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration, in microseconds.
+    pub fn record(&self, d: Duration) {
+        self.record_value(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Project to sparse plain data (occupied buckets only).
+    pub fn snapshot(&self) -> LogHistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push(LogBucket { index: i as u32, count: c });
+            }
+        }
+        LogHistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// One occupied bucket of a [`LogHistogramSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogBucket {
+    /// Bucket index (see [`LogHistogram`] bucket layout).
+    pub index: u32,
+    /// Samples in the bucket.
+    pub count: u64,
+}
+
+/// Sparse plain-data projection of a [`LogHistogram`]. Mergeable: summing
+/// two snapshots bucket-by-bucket equals recording both sample streams
+/// into one histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogHistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Maximum recorded value.
+    pub max: u64,
+    /// Occupied buckets, in index order.
+    pub buckets: Vec<LogBucket>,
+}
+
+impl LogHistogramSnapshot {
+    /// Arithmetic mean of recorded values, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fold another snapshot into this one (bucket-wise sum, max of maxes).
+    pub fn merge(&mut self, other: &LogHistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for b in &other.buckets {
+            match self.buckets.binary_search_by_key(&b.index, |x| x.index) {
+                Ok(i) => self.buckets[i].count += b.count,
+                Err(i) => self.buckets.insert(i, *b),
+            }
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` from the bucket upper bounds
+    /// (within 12.5% of the true value, capped at the recorded max).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= rank {
+                return LogHistogram::bucket_bound(b.index as usize).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
     }
 }
 
@@ -920,6 +1112,7 @@ impl RuntimeMetrics {
     pub fn snapshot(&self) -> RuntimeSnapshot {
         RuntimeSnapshot {
             failure: self.health.get().failure().cloned(),
+            stalls: self.health.stalls(),
             stages: self.stages.lock().iter().map(|(n, m)| m.snapshot(n)).collect(),
         }
     }
@@ -930,6 +1123,10 @@ impl RuntimeMetrics {
 pub struct RuntimeSnapshot {
     /// The first stage failure, if any (`None` = healthy).
     pub failure: Option<crate::runtime::StageFailure>,
+    /// Stall warnings: stages that sat idle with input pending beyond the
+    /// [`crate::runtime::STALL_IDLE_QUANTA`] threshold. Warnings, not
+    /// failures — the pipeline keeps running.
+    pub stalls: Vec<crate::runtime::StallWarning>,
     /// Per-stage scheduler metrics, in registration order.
     pub stages: Vec<StageRuntimeSnapshot>,
 }
@@ -1036,6 +1233,221 @@ impl PipelineTrace {
 }
 
 // ---------------------------------------------------------------------------
+// Commit-to-queryable staleness
+// ---------------------------------------------------------------------------
+
+/// In-flight per-commit stamps (µs on the tracker's clock; 0 = not reached).
+#[derive(Debug, Clone, Copy, Default)]
+struct CommitStamps {
+    born: u64,
+    recv: u64,
+    merge: u64,
+    apply: u64,
+}
+
+/// Stage-by-stage residency of one traced commit, µs. Produced for the
+/// slowest commits so a laggard can be explained stage by stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScnTrace {
+    /// Commit SCN.
+    pub scn: u64,
+    /// Generation → standby receipt (ship + wire + gap resolution).
+    pub transit_us: u64,
+    /// Receipt → merged out of the per-thread streams.
+    pub merge_wait_us: u64,
+    /// Merge → applied by a recovery worker.
+    pub apply_us: u64,
+    /// Apply → journal visibility (flush_for_advance done).
+    pub flush_us: u64,
+    /// Journal visibility → QuerySCN published.
+    pub publish_us: u64,
+    /// Generation → queryable (the paper's Fig. 5 staleness).
+    pub e2e_us: u64,
+}
+
+/// Bound on tracked in-flight commits; beyond it the oldest is evicted so
+/// a stalled standby cannot grow the map without limit.
+const STALENESS_INFLIGHT_CAP: usize = 65_536;
+
+/// How many slowest-commit traces the ring retains.
+pub const STALENESS_SLOWEST_CAP: usize = 16;
+
+/// Tracks commit-record latency through the pipeline: per-stage residency
+/// histograms plus the end-to-end commit-to-queryable staleness histogram
+/// (the paper's Fig. 5 analogue), and a ring of the slowest commits traced
+/// stage by stage.
+///
+/// All stamps come from the tracker's injectable [`Clock`], so deterministic
+/// `Manual`-clock runs under the `StepScheduler` reproduce bit-identical
+/// bucket counts. Stamping happens only for commit records (not every redo
+/// change), keeping the hot path to one clock read and one map touch.
+#[derive(Debug, Default)]
+pub struct StalenessTracker {
+    clock: Mutex<Clock>,
+    /// Generation → ship handoff (primary side).
+    pub ship: LogHistogram,
+    /// Generation → standby receipt (includes wire + gap resolution).
+    pub receive: LogHistogram,
+    /// Receipt → merged.
+    pub merge: LogHistogram,
+    /// Merged → applied.
+    pub apply: LogHistogram,
+    /// Applied → journal-visible (flush_for_advance).
+    pub flush: LogHistogram,
+    /// Journal-visible → QuerySCN published.
+    pub publish: LogHistogram,
+    /// Generation → queryable: the commit-to-queryable staleness.
+    pub e2e: LogHistogram,
+    inflight: Mutex<std::collections::BTreeMap<u64, CommitStamps>>,
+    slowest: Mutex<Vec<ScnTrace>>,
+}
+
+impl StalenessTracker {
+    /// Install the deployment's clock (defaults to [`Clock::Real`]). Clones
+    /// share time, so handing the cluster's manual clock here keeps stamps
+    /// deterministic.
+    pub fn set_clock(&self, clock: Clock) {
+        *self.clock.lock() = clock;
+    }
+
+    /// Current time on the tracker's clock, µs.
+    pub fn now_micros(&self) -> u64 {
+        self.clock.lock().now_micros()
+    }
+
+    /// Primary side: a commit record with generation stamp `born_us` was
+    /// handed to the redo link.
+    pub fn on_ship(&self, _scn: u64, born_us: u64) {
+        let now = self.now_micros();
+        self.ship.record_value(now.saturating_sub(born_us));
+    }
+
+    /// Standby side: a commit record arrived from the link (post gap
+    /// resolution). Starts tracking the commit in-flight.
+    pub fn on_receive(&self, scn: u64, born_us: u64) {
+        let now = self.now_micros();
+        self.receive.record_value(now.saturating_sub(born_us));
+        let mut inflight = self.inflight.lock();
+        if inflight.len() >= STALENESS_INFLIGHT_CAP {
+            let oldest = *inflight.keys().next().expect("non-empty at cap");
+            inflight.remove(&oldest);
+        }
+        // or_insert: a duplicate delivery must not restart the commit's
+        // residency measurement.
+        inflight.entry(scn).or_insert(CommitStamps {
+            born: born_us,
+            recv: now,
+            ..Default::default()
+        });
+    }
+
+    /// Standby side: the merger emitted the commit in SCN order.
+    pub fn on_merge(&self, scn: u64) {
+        let now = self.now_micros();
+        let mut inflight = self.inflight.lock();
+        if let Some(s) = inflight.get_mut(&scn) {
+            if s.merge == 0 {
+                s.merge = now;
+                self.merge.record_value(now.saturating_sub(s.recv));
+            }
+        }
+    }
+
+    /// Standby side: a recovery worker applied the commit.
+    pub fn on_apply(&self, scn: u64) {
+        let now = self.now_micros();
+        let mut inflight = self.inflight.lock();
+        if let Some(s) = inflight.get_mut(&scn) {
+            if s.apply == 0 {
+                s.apply = now;
+                self.apply.record_value(now.saturating_sub(s.merge.max(s.recv)));
+            }
+        }
+    }
+
+    /// Standby side: the QuerySCN advanced to `target`. `flush_us` is the
+    /// clock reading after `flush_for_advance` returned (journal
+    /// visibility), `publish_us` after the QuerySCN publish. Settles every
+    /// in-flight commit at or below `target`: records flush/publish/e2e
+    /// residencies and retires the slowest into the trace ring.
+    pub fn on_advance(&self, target: u64, flush_us: u64, publish_us: u64) {
+        let mut inflight = self.inflight.lock();
+        let mut remaining = inflight.split_off(&(target + 1));
+        std::mem::swap(&mut *inflight, &mut remaining);
+        let settled = remaining;
+        drop(inflight);
+        if settled.is_empty() {
+            return;
+        }
+        let mut slowest = self.slowest.lock();
+        for (scn, s) in settled {
+            let applied = s.apply.max(s.merge).max(s.recv);
+            let flushed = flush_us.max(applied);
+            let published = publish_us.max(flushed);
+            self.flush.record_value(flushed - applied);
+            self.publish.record_value(published - flushed);
+            let e2e = published.saturating_sub(s.born);
+            self.e2e.record_value(e2e);
+            let trace = ScnTrace {
+                scn,
+                transit_us: s.recv.saturating_sub(s.born),
+                merge_wait_us: s.merge.max(s.recv) - s.recv,
+                apply_us: applied - s.merge.max(s.recv),
+                flush_us: flushed - applied,
+                publish_us: published - flushed,
+                e2e_us: e2e,
+            };
+            let pos =
+                slowest.binary_search_by(|t: &ScnTrace| e2e.cmp(&t.e2e_us)).unwrap_or_else(|p| p);
+            if pos < STALENESS_SLOWEST_CAP {
+                slowest.insert(pos, trace);
+                slowest.truncate(STALENESS_SLOWEST_CAP);
+            }
+        }
+    }
+
+    /// Commits currently tracked between receipt and QuerySCN publish.
+    pub fn inflight(&self) -> usize {
+        self.inflight.lock().len()
+    }
+
+    /// Project to plain data.
+    pub fn snapshot(&self) -> StalenessSnapshot {
+        StalenessSnapshot {
+            ship: self.ship.snapshot(),
+            receive: self.receive.snapshot(),
+            merge: self.merge.snapshot(),
+            apply: self.apply.snapshot(),
+            flush: self.flush.snapshot(),
+            publish: self.publish.snapshot(),
+            e2e: self.e2e.snapshot(),
+            slowest: self.slowest.lock().clone(),
+        }
+    }
+}
+
+/// Plain-data projection of [`StalenessTracker`]. All histograms are in µs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StalenessSnapshot {
+    /// Generation → ship handoff (primary side).
+    pub ship: LogHistogramSnapshot,
+    /// Generation → standby receipt.
+    pub receive: LogHistogramSnapshot,
+    /// Receipt → merged.
+    pub merge: LogHistogramSnapshot,
+    /// Merged → applied.
+    pub apply: LogHistogramSnapshot,
+    /// Applied → journal-visible.
+    pub flush: LogHistogramSnapshot,
+    /// Journal-visible → QuerySCN published.
+    pub publish: LogHistogramSnapshot,
+    /// Generation → queryable (commit-to-queryable staleness).
+    pub e2e: LogHistogramSnapshot,
+    /// The slowest traced commits, worst first.
+    pub slowest: Vec<ScnTrace>,
+}
+
+// ---------------------------------------------------------------------------
 // Registry + snapshot
 // ---------------------------------------------------------------------------
 
@@ -1067,6 +1479,8 @@ pub struct MetricsRegistry {
     pub scan: Arc<ScanEngineMetrics>,
     /// Scheduler observability + pipeline health.
     pub runtime: Arc<RuntimeMetrics>,
+    /// Commit-to-queryable staleness tracking.
+    pub staleness: Arc<StalenessTracker>,
     /// Trace ring.
     pub trace: PipelineTrace,
 }
@@ -1091,6 +1505,7 @@ impl MetricsRegistry {
             population: self.population.snapshot(),
             scan: self.scan.snapshot(),
             runtime: self.runtime.snapshot(),
+            staleness: self.staleness.snapshot(),
             trace: self.trace.events(),
         }
     }
@@ -1123,6 +1538,8 @@ pub struct MetricsSnapshot {
     pub scan: ScanEngineSnapshot,
     /// Scheduler observability + pipeline health.
     pub runtime: RuntimeSnapshot,
+    /// Commit-to-queryable staleness histograms + slowest-commit traces.
+    pub staleness: StalenessSnapshot,
     /// Recent trace events (bounded).
     pub trace: Vec<TraceEvent>,
 }
@@ -1221,11 +1638,27 @@ impl fmt::Display for MetricsSnapshot {
             self.scan.pruned_units,
             self.scan.latency_us.quantile(0.95),
         )?;
+        writeln!(
+            f,
+            "staleness: e2e_count={} e2e_p50_us={} e2e_p99_us={} e2e_max_us={} inflight_traces={}",
+            self.staleness.e2e.count,
+            self.staleness.e2e.p50(),
+            self.staleness.e2e.p99(),
+            self.staleness.e2e.max,
+            self.staleness.slowest.len(),
+        )?;
         let health = match &self.runtime.failure {
             None => "ok".to_string(),
             Some(fail) => format!("FAILED[{}]: {}", fail.stage, fail.reason),
         };
-        write!(f, "runtime: health={health}")?;
+        write!(f, "runtime: health={health} stalls={}", self.runtime.stalls.len())?;
+        for w in &self.runtime.stalls {
+            write!(
+                f,
+                "\n  STALLED[{}]: idle for {} quanta with input pending",
+                w.stage, w.idle_quanta
+            )?;
+        }
         for s in &self.runtime.stages {
             write!(
                 f,
@@ -1372,5 +1805,171 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.coop_flushed, 4);
         assert_eq!(s.coordinator_flushed, 6);
+    }
+
+    #[test]
+    fn log_histogram_bucket_layout() {
+        // Identity below 2^SUB_BITS.
+        for v in 0..8u64 {
+            assert_eq!(LogHistogram::bucket_index(v), v as usize);
+        }
+        assert_eq!(LogHistogram::bucket_index(8), 8);
+        assert_eq!(LogHistogram::bucket_index(15), 15);
+        assert_eq!(LogHistogram::bucket_index(16), 16);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), LOG_HISTOGRAM_BUCKETS - 1);
+        // Every bucket's bounds invert the index function.
+        for i in 0..LOG_HISTOGRAM_BUCKETS {
+            let lo = LogHistogram::bucket_lower(i);
+            assert_eq!(LogHistogram::bucket_index(lo), i, "lower bound of {i}");
+            let hi = LogHistogram::bucket_bound(i);
+            assert_eq!(LogHistogram::bucket_index(hi), i, "upper bound of {i}");
+        }
+        // Sub-buckets bound relative error at 2^-SUB_BITS.
+        for v in [100u64, 1_000, 65_537, 1 << 40] {
+            let i = LogHistogram::bucket_index(v);
+            let width = LogHistogram::bucket_bound(i) - LogHistogram::bucket_lower(i) + 1;
+            assert!(width as f64 / v as f64 <= 0.125 + 1e-9, "v={v} width={width}");
+        }
+    }
+
+    #[test]
+    fn log_histogram_quantiles_and_merge() {
+        let h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record_value(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        let p50 = s.p50();
+        assert!((450..=562).contains(&p50), "p50={p50} should be within 12.5% of 500");
+        let p99 = s.p99();
+        assert!((980..=1000).contains(&p99), "p99={p99}");
+        assert_eq!(s.quantile(1.0), 1000, "max caps the last bucket bound");
+
+        // Merging two snapshots equals recording both streams into one.
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let both = LogHistogram::new();
+        for v in [3u64, 17, 900, 70_000] {
+            a.record_value(v);
+            both.record_value(v);
+        }
+        for v in [5u64, 17, 1 << 30] {
+            b.record_value(v);
+            both.record_value(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, both.snapshot());
+    }
+
+    #[test]
+    fn log_histogram_snapshot_round_trips_sparse() {
+        let h = LogHistogram::new();
+        h.record_value(7);
+        h.record_value(12_345);
+        let s = h.snapshot();
+        assert_eq!(s.buckets.len(), 2, "sparse: only occupied buckets serialize");
+        let json = serde_json::to_string(&s).unwrap();
+        let back: LogHistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn staleness_tracker_settles_stage_residencies() {
+        use std::sync::atomic::AtomicU64;
+        let ticks = Arc::new(AtomicU64::new(0));
+        let clock = Clock::Manual(ticks.clone());
+        let t = StalenessTracker::default();
+        t.set_clock(clock);
+
+        // SCN 5 born at t=0, received t=10, merged t=13, applied t=20,
+        // flush done t=30, published t=32.
+        ticks.store(10, Ordering::SeqCst);
+        t.on_receive(5, 0);
+        ticks.store(13, Ordering::SeqCst);
+        t.on_merge(5);
+        ticks.store(20, Ordering::SeqCst);
+        t.on_apply(5);
+        assert_eq!(t.inflight(), 1);
+        t.on_advance(5, 30, 32);
+        assert_eq!(t.inflight(), 0);
+
+        let s = t.snapshot();
+        assert_eq!(s.receive.count, 1);
+        assert_eq!(s.receive.max, 10);
+        assert_eq!(s.merge.max, 3);
+        assert_eq!(s.apply.max, 7);
+        assert_eq!(s.flush.max, 10);
+        assert_eq!(s.publish.max, 2);
+        assert_eq!(s.e2e.count, 1);
+        assert_eq!(s.e2e.max, 32);
+        assert_eq!(s.slowest.len(), 1);
+        let tr = s.slowest[0];
+        assert_eq!(tr.scn, 5);
+        assert_eq!(
+            tr.transit_us + tr.merge_wait_us + tr.apply_us + tr.flush_us + tr.publish_us,
+            tr.e2e_us,
+            "stage residencies partition the end-to-end staleness"
+        );
+    }
+
+    #[test]
+    fn staleness_duplicates_and_slowest_ring() {
+        use std::sync::atomic::AtomicU64;
+        let ticks = Arc::new(AtomicU64::new(0));
+        let t = StalenessTracker::default();
+        t.set_clock(Clock::Manual(ticks.clone()));
+        // Duplicate delivery keeps the first stamps.
+        ticks.store(10, Ordering::SeqCst);
+        t.on_receive(1, 0);
+        ticks.store(50, Ordering::SeqCst);
+        t.on_receive(1, 0);
+        t.on_merge(1);
+        t.on_apply(1);
+        t.on_advance(1, 50, 50);
+        let s = t.snapshot();
+        assert_eq!(s.receive.count, 2, "both deliveries observed in receive");
+        assert_eq!(s.e2e.count, 1, "but the commit settles once");
+        assert_eq!(s.slowest[0].transit_us, 10, "first delivery's stamp wins");
+
+        // Slowest ring keeps the worst STALENESS_SLOWEST_CAP, sorted desc.
+        let t2 = StalenessTracker::default();
+        let ticks2 = Arc::new(AtomicU64::new(0));
+        t2.set_clock(Clock::Manual(ticks2.clone()));
+        for scn in 1..=40u64 {
+            ticks2.store(scn * 100, Ordering::SeqCst);
+            t2.on_receive(scn, scn * 100 - scn); // e2e grows with scn
+            t2.on_merge(scn);
+            t2.on_apply(scn);
+            t2.on_advance(scn, scn * 100, scn * 100);
+        }
+        let s2 = t2.snapshot();
+        assert_eq!(s2.e2e.count, 40);
+        assert_eq!(s2.slowest.len(), STALENESS_SLOWEST_CAP);
+        assert_eq!(s2.slowest[0].scn, 40, "worst commit first");
+        assert!(s2.slowest.windows(2).all(|w| w[0].e2e_us >= w[1].e2e_us));
+    }
+
+    #[test]
+    fn staleness_advance_settles_all_at_or_below_target() {
+        use std::sync::atomic::AtomicU64;
+        let ticks = Arc::new(AtomicU64::new(0));
+        let t = StalenessTracker::default();
+        t.set_clock(Clock::Manual(ticks.clone()));
+        for scn in [3u64, 5, 9] {
+            ticks.store(scn, Ordering::SeqCst);
+            t.on_receive(scn, 0);
+            t.on_merge(scn);
+            t.on_apply(scn);
+        }
+        t.on_advance(5, 10, 11);
+        assert_eq!(t.inflight(), 1, "scn 9 still in flight");
+        let s = t.snapshot();
+        assert_eq!(s.e2e.count, 2);
+        t.on_advance(9, 12, 13);
+        assert_eq!(t.inflight(), 0);
+        assert_eq!(t.snapshot().e2e.count, 3);
     }
 }

@@ -82,7 +82,22 @@ pub trait Stage: Send + Sync {
     fn throttle(&self) -> Option<Duration> {
         None
     }
+
+    /// Whether upstream input is waiting for this stage right now. `None`
+    /// (the default) opts out of stall detection; `Some(true)` while the
+    /// stage keeps reporting [`StageOutcome::Idle`] for
+    /// [`STALL_IDLE_QUANTA`] consecutive quanta raises a one-shot
+    /// [`StallWarning`] in the health state — input exists but the stage
+    /// isn't consuming it.
+    fn input_pending(&self) -> Option<bool> {
+        None
+    }
 }
+
+/// Consecutive idle quanta with input pending before a stage is flagged as
+/// stalled. High enough that bounded internal back-off (e.g. the reliable
+/// transport's NAK retry polls) never trips it.
+pub const STALL_IDLE_QUANTA: u64 = 64;
 
 // ---------------------------------------------------------------------------
 // Wake tokens
@@ -184,11 +199,24 @@ impl std::fmt::Display for RuntimeHealth {
     }
 }
 
+/// A stall warning: a stage sat idle for [`STALL_IDLE_QUANTA`] consecutive
+/// quanta while its input queue reported pending work. Unlike a
+/// [`StageFailure`] this does not stop the pipeline — it flags a wedged or
+/// starved stage for the operator.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallWarning {
+    /// Name of the stalled stage.
+    pub stage: String,
+    /// Idle quanta observed when the warning fired.
+    pub idle_quanta: u64,
+}
+
 /// Shared health cell written by the schedulers, read by status/metrics
 /// projections. First failure wins; later ones are dropped.
 #[derive(Debug, Default)]
 pub struct HealthState {
     inner: parking_lot::Mutex<RuntimeHealth>,
+    stalls: parking_lot::Mutex<Vec<StallWarning>>,
 }
 
 impl HealthState {
@@ -216,6 +244,20 @@ impl HealthState {
                 reason: reason.into(),
             });
         }
+    }
+
+    /// Record a stall warning for `stage` (one warning per stage; repeats
+    /// are dropped). Does not change [`RuntimeHealth`].
+    pub fn record_stall(&self, stage: &str, idle_quanta: u64) {
+        let mut stalls = self.stalls.lock();
+        if stalls.iter().all(|s| s.stage != stage) {
+            stalls.push(StallWarning { stage: stage.to_string(), idle_quanta });
+        }
+    }
+
+    /// Stall warnings recorded so far, in detection order.
+    pub fn stalls(&self) -> Vec<StallWarning> {
+        self.stalls.lock().clone()
     }
 
     /// Map a recorded failure to an [`Error`], for callers that need a
@@ -264,6 +306,11 @@ impl StageEntry {
     fn record_failure(&self, stage: &str, reason: String) {
         self.health.record(stage, reason.clone());
         self.global_health.record(stage, reason);
+    }
+
+    fn record_stall(&self, stage: &str, idle_quanta: u64) {
+        self.health.record_stall(stage, idle_quanta);
+        self.global_health.record_stall(stage, idle_quanta);
     }
 }
 
@@ -378,6 +425,7 @@ impl Runtime {
                     metrics: e.metrics,
                     health: e.health,
                     live: true,
+                    idle_streak: 0,
                 })
                 .collect(),
             rng: SplitMix64::new(seed),
@@ -405,6 +453,7 @@ const DRAIN_QUANTA: usize = 100_000;
 fn stage_loop(entry: StageEntry, stop: Arc<AtomicBool>, all_tokens: Vec<WakeToken>) {
     let name = entry.stage.name().to_string();
     let mut drain_budget = DRAIN_QUANTA;
+    let mut idle_streak = 0u64;
     loop {
         let stopping = stop.load(Ordering::Acquire);
         let t0 = Instant::now();
@@ -424,6 +473,7 @@ fn stage_loop(entry: StageEntry, stop: Arc<AtomicBool>, all_tokens: Vec<WakeToke
             }
             Ok(Ok(StageOutcome::Shutdown)) => break,
             Ok(Ok(StageOutcome::Progress)) => {
+                idle_streak = 0;
                 for t in &entry.downstream {
                     t.wake();
                 }
@@ -442,6 +492,14 @@ fn stage_loop(entry: StageEntry, stop: Arc<AtomicBool>, all_tokens: Vec<WakeToke
                 if stopping {
                     // Drained: queue empty at stop time — graceful exit.
                     break;
+                }
+                if entry.stage.input_pending() == Some(true) {
+                    idle_streak += 1;
+                    if idle_streak == STALL_IDLE_QUANTA {
+                        entry.record_stall(&name, idle_streak);
+                    }
+                } else {
+                    idle_streak = 0;
                 }
                 park(&entry, entry.stage.park_hint());
             }
@@ -543,6 +601,7 @@ struct StepEntry {
     metrics: Arc<StageRuntimeMetrics>,
     health: Arc<HealthState>,
     live: bool,
+    idle_streak: u64,
 }
 
 /// What one [`StepScheduler::step`] did.
@@ -665,8 +724,22 @@ impl StepScheduler {
                 self.stopped = true;
                 StepOutcome::Failed
             }
-            Ok(Ok(StageOutcome::Progress)) => StepOutcome::Progress,
-            Ok(Ok(StageOutcome::Idle)) => StepOutcome::Idle,
+            Ok(Ok(StageOutcome::Progress)) => {
+                entry.idle_streak = 0;
+                StepOutcome::Progress
+            }
+            Ok(Ok(StageOutcome::Idle)) => {
+                if entry.stage.input_pending() == Some(true) {
+                    entry.idle_streak += 1;
+                    if entry.idle_streak == STALL_IDLE_QUANTA {
+                        entry.health.record_stall(&name, entry.idle_streak);
+                        self.health.record_stall(&name, entry.idle_streak);
+                    }
+                } else {
+                    entry.idle_streak = 0;
+                }
+                StepOutcome::Idle
+            }
             Ok(Ok(StageOutcome::Shutdown)) => {
                 entry.live = false;
                 StepOutcome::Shutdown
@@ -864,6 +937,48 @@ mod tests {
         assert_eq!(step.step().unwrap().outcome, StepOutcome::Shutdown);
         assert_eq!(step.step(), None, "no live stages remain");
         assert!(step.is_stopped());
+    }
+
+    /// A stage whose input queue always reports pending work it never
+    /// consumes — the wedged-consumer shape stall detection exists for.
+    struct WedgedStage;
+    impl Stage for WedgedStage {
+        fn name(&self) -> &str {
+            "wedged"
+        }
+        fn run_once(&self) -> Result<StageOutcome> {
+            Ok(StageOutcome::Idle)
+        }
+        fn input_pending(&self) -> Option<bool> {
+            Some(true)
+        }
+    }
+
+    #[test]
+    fn stall_warning_fires_once_after_threshold() {
+        let mut rt = Runtime::new();
+        rt.register(Arc::new(WedgedStage), Arc::default());
+        let health = rt.health();
+        let mut step = rt.into_step(11);
+        for _ in 0..STALL_IDLE_QUANTA - 1 {
+            step.step();
+        }
+        assert!(health.stalls().is_empty(), "below threshold: no warning");
+        step.step_n(3 * STALL_IDLE_QUANTA as usize);
+        let stalls = health.stalls();
+        assert_eq!(stalls.len(), 1, "one-shot per stage");
+        assert_eq!(stalls[0].stage, "wedged");
+        assert_eq!(stalls[0].idle_quanta, STALL_IDLE_QUANTA);
+        assert!(health.is_healthy(), "a stall is a warning, not a failure");
+    }
+
+    #[test]
+    fn idle_without_pending_input_never_stalls() {
+        let (rt, _, _) = wire_pair(4);
+        let health = rt.health();
+        let mut step = rt.into_step(2);
+        step.step_n(4 * STALL_IDLE_QUANTA as usize);
+        assert!(health.stalls().is_empty(), "default input_pending opts out");
     }
 
     #[test]

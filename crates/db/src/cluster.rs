@@ -35,6 +35,10 @@ pub struct ClusterConfig {
     pub dbim_on_adg: bool,
     /// Annotate commit records with the in-memory flag (§III.E).
     pub commit_annotation: bool,
+    /// Deployment-wide clock: redo generation stamps, transport pacing and
+    /// staleness histograms all read it. `Manual` makes latency tracing
+    /// deterministic under the step scheduler.
+    pub clock: Clock,
 }
 
 impl Default for ClusterConfig {
@@ -45,6 +49,7 @@ impl Default for ClusterConfig {
             system: SystemConfig::default(),
             dbim_on_adg: true,
             commit_annotation: true,
+            clock: Clock::Real,
         }
     }
 }
@@ -114,12 +119,12 @@ impl AdgCluster {
                 config.system.transport.mode,
                 thread,
                 &config.system.transport,
-                Clock::Real,
+                config.clock.clone(),
                 i as u64,
                 durability,
             )?;
             receivers.push(receiver);
-            let log = Arc::new(LogBuffer::new(thread));
+            let log = Arc::new(LogBuffer::with_clock(thread, config.clock.clone()));
             let mut txm = TxnManager::new(
                 primary_store.clone(),
                 scns.clone(),
@@ -139,6 +144,7 @@ impl AdgCluster {
                 sender,
                 &config.system.transport,
                 &config.system.imcs,
+                &config.clock,
             )?));
         }
 
@@ -152,6 +158,7 @@ impl AdgCluster {
             receivers,
             config.standby_instances,
             config.dbim_on_adg,
+            &config.clock,
         )?;
         standby.set_mine_gate(mine_gate);
         if let Some(dir) = &dur_dir {
@@ -360,6 +367,7 @@ impl AdgCluster {
             receivers,
             self.config.standby_instances,
             self.config.dbim_on_adg,
+            &self.config.clock,
         )?;
         self.arm_standby(&new)?;
         *self.standby.write() = new;
@@ -391,6 +399,7 @@ impl AdgCluster {
             receivers,
             self.config.standby_instances,
             self.config.dbim_on_adg,
+            &self.config.clock,
         )?;
         new.set_mine_gate(mine_gate);
         new.set_checkpoint(
@@ -456,7 +465,7 @@ impl AdgCluster {
         let txn_ids = Arc::new(TxnIdService::starting_at(store.txns().max_txn_id().0 + 1));
         let locks = Arc::new(LockTable::new());
         let thread = RedoThreadId(1);
-        let log = Arc::new(LogBuffer::new(thread));
+        let log = Arc::new(LogBuffer::with_clock(thread, self.config.clock.clone()));
         let mut txm = TxnManager::new(
             store.clone(),
             scns.clone(),
@@ -481,6 +490,7 @@ impl AdgCluster {
             Box::new(sender),
             &self.config.system.transport,
             &self.config.system.imcs,
+            &self.config.clock,
         )?);
         // The promoted side now populates its own column store for every
         // object that was in-memory anywhere.

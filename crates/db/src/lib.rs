@@ -26,8 +26,8 @@ pub use standby::{StandbyCluster, StandbyInstance, StandbyStatus, StandbyThreads
 // Re-export the vocabulary users need to drive a cluster.
 pub use imadg_common::{
     Dba, Error, FaultPlan, ImcsConfig, InstanceId, LinkMode, MetricsRegistry, MetricsSnapshot,
-    ObjectId, PipelineTrace, RecoveryConfig, Result, Scn, SystemConfig, TenantId, TraceEvent,
-    TraceStage, TransportConfig, TxnId,
+    ObjectId, PipelineTrace, QueryProfile, RecoveryConfig, Result, Scn, SystemConfig, TenantId,
+    TraceEvent, TraceStage, TransportConfig, TxnId, UnitTiming,
 };
 pub use imadg_imcs::{
     AggregateResult, CmpOp, Expr, ExprPredicate, Filter, ImExpression, Predicate, ScanStats,

@@ -103,7 +103,12 @@ impl ApplyDemux {
                         };
                         self.send(
                             i,
-                            RedoRecord { thread: record.thread, scn: record.scn, payload },
+                            RedoRecord {
+                                thread: record.thread,
+                                scn: record.scn,
+                                born_us: record.born_us,
+                                payload,
+                            },
                         )?;
                     }
                 }
@@ -115,6 +120,7 @@ impl ApplyDemux {
                             RedoRecord {
                                 thread: record.thread,
                                 scn: record.scn,
+                                born_us: record.born_us,
                                 payload: payload.clone(),
                             },
                         )?;

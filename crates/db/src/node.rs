@@ -65,6 +65,27 @@ impl Node {
         }
     }
 
+    /// The Prometheus label value / JSONL role tag for this node.
+    fn role_label(&self) -> &'static str {
+        match self.role {
+            NodeRole::Primary => "primary",
+            NodeRole::Standby => "standby",
+        }
+    }
+
+    /// This node's metrics in the Prometheus text exposition format, every
+    /// series labelled `role="primary"`/`role="standby"`.
+    pub fn metrics_prometheus(&self) -> String {
+        imadg_common::prometheus_text(&self.metrics(), &[("role", self.role_label())])
+    }
+
+    /// This node's metrics as one self-contained JSONL record
+    /// (`{"role": ..., "metrics": {...}}`) — append to a trajectory file
+    /// and diff snapshots with `metrics_dump --diff`.
+    pub fn metrics_jsonl(&self) -> String {
+        imadg_common::jsonl_line(self.role_label(), &self.metrics())
+    }
+
     /// Promote the standby this node fronts to primary (primary-loss role
     /// transition). Only valid on a standby handle; returns the new
     /// primary-role handle alongside the report.
@@ -220,6 +241,15 @@ impl NodeBuilder {
         self
     }
 
+    /// Install the deployment clock. Every timestamp in the system — redo
+    /// generation stamps, transport pacing, staleness histograms — reads
+    /// it; a [`imadg_common::Clock::manual`] clock makes latency tracing
+    /// bit-deterministic under the step scheduler.
+    pub fn clock(mut self, clock: imadg_common::Clock) -> Self {
+        self.config.clock = clock;
+        self
+    }
+
     /// Tune any kernel knob in place (escape hatch for settings without a
     /// dedicated setter).
     pub fn tune(mut self, f: impl FnOnce(&mut SystemConfig)) -> Self {
@@ -279,6 +309,22 @@ mod tests {
     }
 
     #[test]
+    fn export_carries_role_label() {
+        let cluster = NodeBuilder::new().build().unwrap();
+        let obj = seeded(&cluster);
+        let req = QueryRequest::scan(obj).filter(Filter::all());
+        cluster.node(NodeRole::Standby).query(&req).unwrap();
+
+        let text = cluster.node(NodeRole::Standby).metrics_prometheus();
+        assert!(text.contains("imadg_scan_queries{role=\"standby\"} 1"), "{text}");
+        assert!(text.contains("# TYPE imadg_staleness_e2e summary"));
+
+        let line = cluster.node(NodeRole::Primary).metrics_jsonl();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("{\"role\":\"primary\""), "{line}");
+    }
+
+    #[test]
     fn promote_rejected_on_primary_handle() {
         let cluster = NodeBuilder::new().build().unwrap();
         assert!(cluster.node(NodeRole::Primary).promote().is_err());
@@ -299,7 +345,8 @@ mod tests {
             .ping_idle_polls(9)
             .segment_bytes(4096)
             .checkpoint_interval(2)
-            .durability("/tmp/unused");
+            .durability("/tmp/unused")
+            .clock(imadg_common::Clock::manual());
         let c = b.config();
         assert_eq!(c.primary_instances, 2);
         assert_eq!(c.standby_instances, 3);
@@ -314,6 +361,7 @@ mod tests {
         assert_eq!(c.system.durability.segment_max_bytes, 4096);
         assert_eq!(c.system.durability.checkpoint_interval, 2);
         assert_eq!(c.system.durability.dir.as_deref(), Some("/tmp/unused"));
+        assert!(matches!(c.clock, imadg_common::Clock::Manual(_)));
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use imadg_common::{
-    CpuAccount, ImcsConfig, InstanceId, MetricsRegistry, MetricsSnapshot, ObjectId, Result,
+    Clock, CpuAccount, ImcsConfig, InstanceId, MetricsRegistry, MetricsSnapshot, ObjectId, Result,
     Runtime, Scn, ScnService, Stage, StageId, StageOutcome, TenantId, TransportConfig, WakeToken,
 };
 use imadg_imcs::{Filter, ImcsStore, PopulationEngine, SnapshotSource};
@@ -68,11 +68,19 @@ impl PrimaryInstance {
         sender: Box<dyn RedoSink>,
         transport: &TransportConfig,
         imcs_config: &ImcsConfig,
+        clock: &Clock,
     ) -> Result<PrimaryInstance> {
         let metrics = Arc::new(MetricsRegistry::default());
+        // Ship-stage residency stamps read the deployment clock, so manual
+        // clock runs trace deterministically.
+        metrics.staleness.set_clock(clock.clone());
         // Sender-side link counters (frames sent, retransmits served,
         // reconnects, pings) land in this instance's registry.
         sender.bind_metrics(metrics.transport.clone());
+        // Durability counters too (wal appends/fsyncs, archive
+        // retransmits) — previously unbound, so archive-served gap fills
+        // vanished into a detached default registry.
+        sender.bind_durability_metrics(metrics.durability.clone());
         let imcs = Arc::new(ImcsStore::new());
         let mut population = PopulationEngine::new(
             store.clone(),
@@ -88,7 +96,8 @@ impl PrimaryInstance {
             txm,
             scns,
             log,
-            shipper: Shipper::with_metrics(transport.batch, metrics.transport.clone()),
+            shipper: Shipper::with_metrics(transport.batch, metrics.transport.clone())
+                .with_staleness(metrics.staleness.clone()),
             sender,
             imcs,
             population: Arc::new(population),
@@ -263,5 +272,10 @@ impl Stage for ShipperStage {
     fn park_hint(&self) -> Duration {
         // Heartbeat cadence: ship an idle-SCN heartbeat at least this often.
         Duration::from_micros(500)
+    }
+
+    fn input_pending(&self) -> Option<bool> {
+        // Buffered redo the shipper keeps reporting Idle over = a stall.
+        Some(self.0.log.pending() > 0)
     }
 }

@@ -12,10 +12,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use imadg_common::metrics::ScanEngineMetrics;
-use imadg_common::{ObjectId, PipelineTrace, Result, Scn, TraceStage};
+use imadg_common::{ObjectId, PipelineTrace, QueryProfile, Result, Scn, TraceStage};
 use imadg_imcs::{
-    scan_aggregate_parallel, scan_cluster_parallel, scan_expression_parallel, AggregateResult,
-    ExprPredicate, Filter, ImcsStore, ScanStats,
+    scan_aggregate_parallel, scan_aggregate_profiled, scan_cluster_parallel, scan_cluster_profiled,
+    scan_expression_parallel, scan_expression_profiled, AggregateResult, ExprPredicate, Filter,
+    ImcsStore, ScanStats,
 };
 use imadg_storage::{Row, Store};
 
@@ -38,6 +39,7 @@ pub struct QueryRequest {
     aggregate: Option<String>,
     snapshot: Option<Scn>,
     parallel: Option<usize>,
+    profile: bool,
 }
 
 impl QueryRequest {
@@ -94,6 +96,20 @@ impl QueryRequest {
     pub fn parallel_degree(&self) -> Option<usize> {
         self.parallel
     }
+
+    /// Collect a per-query phase breakdown ([`QueryProfile`]): storage-index
+    /// pruning, columnar kernel time per IMCU, SMU journal merge, row-store
+    /// fallback, and parallel task skew. The profile rides back on
+    /// [`QueryOutput::profile`].
+    pub fn profile(mut self) -> Self {
+        self.profile = true;
+        self
+    }
+
+    /// Whether this request asked for a phase breakdown.
+    pub fn profiling(&self) -> bool {
+        self.profile
+    }
 }
 
 /// Result of one query execution.
@@ -114,6 +130,8 @@ pub struct QueryOutput {
     pub snapshot: Scn,
     /// The resolved parallel degree the query executed with.
     pub parallel_degree: usize,
+    /// Per-phase breakdown, when the request set [`QueryRequest::profile`].
+    pub profile: Option<QueryProfile>,
 }
 
 impl QueryOutput {
@@ -143,11 +161,29 @@ pub fn execute_request(
     let degree = imadg_imcs::parallel::resolve_degree(req.parallel.unwrap_or(default_degree));
     let started = Instant::now();
     let out = if let Some(column) = &req.aggregate {
-        run_aggregate(imcs_stores, store, req, column, snapshot, degree, started)?
+        run_aggregate(imcs_stores, store, req, column, snapshot, degree, started, req.profile)?
     } else if let Some(pred) = &req.expression {
-        run_expression(imcs_stores, store, req.object, pred, snapshot, degree, started)?
+        run_expression(
+            imcs_stores,
+            store,
+            req.object,
+            pred,
+            snapshot,
+            degree,
+            started,
+            req.profile,
+        )?
     } else {
-        run_scan(imcs_stores, store, req.object, &req.filter, snapshot, degree, started)?
+        run_scan(
+            imcs_stores,
+            store,
+            req.object,
+            &req.filter,
+            snapshot,
+            degree,
+            started,
+            req.profile,
+        )?
     };
     record_execution(metrics, &out);
     trace.record(
@@ -173,7 +209,17 @@ pub fn execute_scan(
     filter: &Filter,
     snapshot: Scn,
 ) -> Result<QueryOutput> {
-    run_scan(imcs_stores, store, object, filter, snapshot, 1, Instant::now())
+    run_scan(imcs_stores, store, object, filter, snapshot, 1, Instant::now(), false)
+}
+
+/// Phase breakdown for a pure row-store execution: everything is fallback
+/// time, serially on the calling thread.
+fn fallback_profile(started: Instant) -> QueryProfile {
+    QueryProfile {
+        fallback_us: started.elapsed().as_micros() as u64,
+        parallel_degree: 1,
+        ..Default::default()
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -185,10 +231,14 @@ fn run_scan(
     snapshot: Scn,
     degree: usize,
     started: Instant,
+    profile: bool,
 ) -> Result<QueryOutput> {
-    if let Some(result) =
+    let result = if profile {
+        scan_cluster_profiled(imcs_stores, store, object, filter, snapshot, degree)?
+    } else {
         scan_cluster_parallel(imcs_stores, store, object, filter, snapshot, degree)?
-    {
+    };
+    if let Some(result) = result {
         return Ok(QueryOutput {
             rows: result.rows,
             used_imcs: true,
@@ -197,6 +247,7 @@ fn run_scan(
             elapsed: started.elapsed(),
             snapshot,
             parallel_degree: degree,
+            profile: result.profile,
         });
     }
     // Buffer-cache scan: walk every block's version chains.
@@ -214,6 +265,7 @@ fn run_scan(
         elapsed: started.elapsed(),
         snapshot,
         parallel_degree: degree,
+        profile: profile.then(|| fallback_profile(started)),
     })
 }
 
@@ -226,8 +278,14 @@ fn run_expression(
     snapshot: Scn,
     degree: usize,
     started: Instant,
+    profile: bool,
 ) -> Result<QueryOutput> {
-    if let Some(r) = scan_expression_parallel(imcs_stores, store, object, pred, snapshot, degree)? {
+    let result = if profile {
+        scan_expression_profiled(imcs_stores, store, object, pred, snapshot, degree)?
+    } else {
+        scan_expression_parallel(imcs_stores, store, object, pred, snapshot, degree)?
+    };
+    if let Some(r) = result {
         return Ok(QueryOutput {
             rows: r.rows,
             used_imcs: true,
@@ -236,6 +294,7 @@ fn run_expression(
             elapsed: started.elapsed(),
             snapshot,
             parallel_degree: degree,
+            profile: r.profile,
         });
     }
     let mut rows = Vec::new();
@@ -252,6 +311,7 @@ fn run_expression(
         elapsed: started.elapsed(),
         snapshot,
         parallel_degree: degree,
+        profile: profile.then(|| fallback_profile(started)),
     })
 }
 
@@ -264,17 +324,32 @@ fn run_aggregate(
     snapshot: Scn,
     degree: usize,
     started: Instant,
+    profile: bool,
 ) -> Result<QueryOutput> {
     let ordinal = store.table(req.object)?.schema.read().ordinal(column)?;
-    if let Some(r) = scan_aggregate_parallel(
-        imcs_stores,
-        store,
-        req.object,
-        &req.filter,
-        ordinal,
-        snapshot,
-        degree,
-    )? {
+    let result = if profile {
+        scan_aggregate_profiled(
+            imcs_stores,
+            store,
+            req.object,
+            &req.filter,
+            ordinal,
+            snapshot,
+            degree,
+        )?
+    } else {
+        scan_aggregate_parallel(
+            imcs_stores,
+            store,
+            req.object,
+            &req.filter,
+            ordinal,
+            snapshot,
+            degree,
+        )?
+    };
+    if let Some(mut r) = result {
+        let prof = r.profile.take();
         return Ok(QueryOutput {
             rows: Vec::new(),
             used_imcs: true,
@@ -283,6 +358,7 @@ fn run_aggregate(
             elapsed: started.elapsed(),
             snapshot,
             parallel_degree: degree,
+            profile: prof,
         });
     }
     let mut r = AggregateResult::default();
@@ -300,6 +376,7 @@ fn run_aggregate(
         elapsed: started.elapsed(),
         snapshot,
         parallel_degree: degree,
+        profile: profile.then(|| fallback_profile(started)),
     })
 }
 

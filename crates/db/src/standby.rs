@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use imadg_common::{
-    CpuAccount, Error, InstanceId, MetricsRegistry, MetricsSnapshot, ObjectId, ObjectSet,
+    Clock, CpuAccount, Error, InstanceId, MetricsRegistry, MetricsSnapshot, ObjectId, ObjectSet,
     QueryScnCell, QuiesceLock, Result, Runtime, RuntimeHealth, Scn, Stage, StageOutcome,
     SystemConfig, ThreadedRuntime,
 };
@@ -46,6 +46,9 @@ pub struct StandbyStatus {
     pub flushed_records: u64,
     /// Coarse (per-tenant) invalidations since startup.
     pub coarse_invalidations: u64,
+    /// Gap-fill batches served from archived redo logs (an operator signal
+    /// that the standby fell behind the primary's retained window).
+    pub archive_retransmits: u64,
     /// Pipeline health: `Failed` once any stage errored or panicked (the
     /// pipeline is then stopped — queries would otherwise serve data that
     /// silently stopped advancing).
@@ -56,7 +59,7 @@ impl std::fmt::Display for StandbyStatus {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "QuerySCN={} applied={} advances={} journal={}txn/{}rec pending_commits={}              populated_rows={} flushed={} coarse={}",
+            "QuerySCN={} applied={} advances={} journal={}txn/{}rec pending_commits={}              populated_rows={} flushed={} coarse={} archive_retransmits={}",
             self.query_scn.map(|s| s.raw()).unwrap_or(0),
             self.applied_scn.raw(),
             self.advances,
@@ -66,6 +69,7 @@ impl std::fmt::Display for StandbyStatus {
             self.populated_rows,
             self.flushed_records,
             self.coarse_invalidations,
+            self.archive_retransmits,
         )?;
         write!(f, " health={}", self.health)
     }
@@ -133,6 +137,7 @@ impl StandbyCluster {
         mut receivers: Vec<Box<dyn RedoSource>>,
         instances: usize,
         dbim_on_adg: bool,
+        clock: &Clock,
     ) -> Result<Arc<StandbyCluster>> {
         config.validate()?;
         let instances = instances.max(1);
@@ -140,6 +145,9 @@ impl StandbyCluster {
         let quiesce = Arc::new(QuiesceLock::new());
         let enabled = Arc::new(ObjectSet::new());
         let metrics = Arc::new(MetricsRegistry::default());
+        // Staleness residency stamps (receive/merge/apply/publish) read the
+        // deployment clock; a shared Manual clock makes them deterministic.
+        metrics.staleness.set_clock(clock.clone());
         // Receiver-side link counters (gaps detected/resolved, NAKs sent,
         // duplicates dropped) land in the standby's registry. Rebinding on
         // restart is deliberate: a fresh standby starts fresh counters.
@@ -472,6 +480,7 @@ impl StandbyCluster {
             populated_rows: m.population.populated_rows as usize,
             flushed_records: m.flush.flushed_records,
             coarse_invalidations: m.flush.coarse_invalidations,
+            archive_retransmits: m.durability.archive_retransmits,
             health: self.health(),
         }
     }

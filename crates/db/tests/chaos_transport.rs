@@ -341,6 +341,86 @@ fn acceptance_chaos_matches_clean_run() {
     assert!(pt.retransmits >= t.retransmits, "primary served every retransmit received");
 }
 
+/// Staleness accounting under the acceptance fault plan (5% drop +
+/// reorder window 8): chaos may change *how long* commits take to become
+/// queryable, but never how many are accounted for, and never break the
+/// internal consistency of the per-stage residency decomposition.
+///
+/// * **Conservation** — every committed transaction settles into the
+///   end-to-end histogram exactly once: `e2e.count` matches a fault-free
+///   run of the same script (drops must not lose commits, duplicates and
+///   reordering must not double-count them), and the flush/publish stages
+///   settle in lockstep with it.
+/// * **Monotone consistency** — at quiesce the end-to-end staleness
+///   bounds every per-stage residency (`e2e.max >= stage.max`), and each
+///   slowest-commit trace decomposes exactly: the stage components sum to
+///   its `e2e_us`.
+#[test]
+fn chaos_staleness_conserved_and_consistent() {
+    let script = |builder: NodeBuilder| -> (u64, imadg_common::StalenessSnapshot) {
+        let c = cluster(builder);
+        let p = c.primary();
+        let mut commits = 0u64;
+        for key in 0..120i64 {
+            p.insert_one(OBJ, TenantId::DEFAULT, vec![Value::Int(key), Value::Int(key % 9)])
+                .unwrap();
+            commits += 1;
+            if key % 4 == 0 {
+                p.update_one(OBJ, TenantId::DEFAULT, key, "n1", Value::Int(key % 5)).unwrap();
+                commits += 1;
+            }
+            c.ship_redo().unwrap();
+        }
+        converge(&c);
+        (commits, c.standby().metrics().staleness)
+    };
+
+    let (clean_commits, clean) = script(NodeBuilder::new().link(LinkMode::Framed));
+    let (chaos_commits, chaos) =
+        script(NodeBuilder::new().link(LinkMode::Framed).faults(FaultPlan {
+            seed: 0x57A1_E0E5,
+            drop_per_mille: 50,
+            reorder_window: 8,
+            ..FaultPlan::default()
+        }));
+    assert_eq!(clean_commits, chaos_commits, "same script, same commit count");
+
+    for (tag, s) in [("clean", &clean), ("chaos", &chaos)] {
+        // Conservation: each commit settles exactly once, and the
+        // settle-time stages move in lockstep with the e2e histogram.
+        assert_eq!(s.e2e.count, clean_commits, "{tag}: settled commits");
+        assert_eq!(s.flush.count, s.e2e.count, "{tag}: flush settles with e2e");
+        assert_eq!(s.publish.count, s.e2e.count, "{tag}: publish settles with e2e");
+        // Duplicates may add receive samples; drops must never remove
+        // settled commits.
+        assert!(s.receive.count >= s.e2e.count, "{tag}: receive covers every settled commit");
+
+        // Monotone consistency: the end-to-end residency bounds every
+        // per-stage residency once everything has settled.
+        for (stage, h) in [
+            ("receive", &s.receive),
+            ("merge", &s.merge),
+            ("apply", &s.apply),
+            ("flush", &s.flush),
+            ("publish", &s.publish),
+        ] {
+            assert!(
+                s.e2e.max >= h.max,
+                "{tag}: e2e max {}us below {stage} residency {}us",
+                s.e2e.max,
+                h.max
+            );
+        }
+        // Each slowest-commit trace decomposes exactly into its stages.
+        assert!(!s.slowest.is_empty(), "{tag}: slowest ring populated");
+        for t in &s.slowest {
+            let sum = t.transit_us + t.merge_wait_us + t.apply_us + t.flush_us + t.publish_us;
+            assert_eq!(sum, t.e2e_us, "{tag}: scn {} stages must sum to e2e", t.scn);
+            assert!(t.e2e_us <= s.e2e.max, "{tag}: trace exceeds histogram max");
+        }
+    }
+}
+
 /// The same chaos converges under free-running threads: wall-clock pacing
 /// replaces step counting, heartbeat cadence drives the protocol quanta.
 #[test]

@@ -20,7 +20,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use imadg_common::{MetricsSnapshot, Scn, StepOutcome, WorkerId};
+use imadg_common::{Clock, MetricsSnapshot, Scn, StepOutcome, WorkerId};
 use imadg_db::{
     AdgCluster, ColumnType, Filter, NodeBuilder, ObjectId, Placement, QueryRequest, Schema,
     StandbyStatus, TableSpec, TenantId, Value,
@@ -206,9 +206,13 @@ fn canonicalize(mut m: MetricsSnapshot) -> MetricsSnapshot {
     m
 }
 
-/// One fully scripted run: fixed DML script, fixed scheduler seed.
+/// One fully scripted run: fixed DML script, fixed scheduler seed, and a
+/// manual clock advanced from the script's own RNG — every timestamp in
+/// the deployment (redo generation stamps, staleness residencies) is a
+/// pure function of the seed.
 fn scripted_run(seed: u64) -> (MetricsSnapshot, MetricsSnapshot) {
-    let c = cluster(NodeBuilder::new());
+    let clock = Clock::manual();
+    let c = cluster(NodeBuilder::new().clock(clock.clone()));
     let mut step = c.step_scheduler(seed);
     let mut rng = Mix(0xD0_0D);
     let p = c.primary();
@@ -217,6 +221,7 @@ fn scripted_run(seed: u64) -> (MetricsSnapshot, MetricsSnapshot) {
         if key % 3 == 0 {
             p.update_one(OBJ, TenantId::DEFAULT, key, "n1", Value::Int(key % 5)).unwrap();
         }
+        clock.advance(std::time::Duration::from_micros(1 + rng.below(400)));
         step.step_n(1 + rng.below(25) as usize);
     }
     step.drain().unwrap();
@@ -227,6 +232,10 @@ fn scripted_run(seed: u64) -> (MetricsSnapshot, MetricsSnapshot) {
 fn fixed_seed_replays_identical_counters() {
     let (p1, s1) = scripted_run(0xAD6);
     let (p2, s2) = scripted_run(0xAD6);
+    // The staleness histograms must replay bit-identically — including raw
+    // bucket counts — and must have measured something.
+    assert!(s1.staleness.e2e.count > 0, "scripted run produced e2e staleness samples");
+    assert_eq!(s1.staleness, s2.staleness, "staleness histograms diverged across replays");
     assert_eq!(canonicalize(p1), canonicalize(p2), "primary counters diverged across replays");
     assert_eq!(canonicalize(s1), canonicalize(s2), "standby counters diverged across replays");
 }

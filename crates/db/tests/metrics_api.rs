@@ -186,21 +186,71 @@ fn unified_query_matches_legacy_paths_byte_for_byte() {
     let legacy = execute_scan(&stores, &standby.store, ROW_OBJ, &f, out.snapshot).unwrap();
     assert_eq!(out.rows, legacy.rows, "fallback rows must be byte-identical");
 
-    // The deprecated thin wrappers delegate to query(): identical row
-    // sets. This parity oracle is the one sanctioned caller of the
-    // legacy delegates.
+    // Aggregate push-down through the builder equals an aggregate folded
+    // by hand from the row scan — an oracle with no deprecated delegate
+    // in the loop.
     let f = filter(&c, OBJ, "n1", Value::Int(4));
-    let via_query = standby.query(&QueryRequest::scan(OBJ).filter(f.clone())).unwrap();
-    #[allow(deprecated)]
-    let via_scan = standby.scan(OBJ, &f).unwrap();
-    assert_eq!(via_query.rows, via_scan.rows);
+    let rows = standby.query(&QueryRequest::scan(OBJ).filter(f.clone())).unwrap();
+    let agg = standby.query(&QueryRequest::scan(OBJ).filter(f.clone()).aggregate("n1")).unwrap();
+    let agg = agg.aggregate.unwrap();
+    assert_eq!(agg.aggs.count as usize, rows.count());
+    let sum: i128 = rows.rows.iter().map(|r| i128::from(r[1].as_int().unwrap())).sum();
+    assert_eq!(agg.aggs.sum, sum);
+}
 
-    // Aggregate through the builder equals the legacy aggregate method.
-    let agg_req =
-        standby.query(&QueryRequest::scan(OBJ).filter(f.clone()).aggregate("n1")).unwrap();
-    #[allow(deprecated)]
-    let agg_legacy = standby.aggregate(OBJ, &f, "n1").unwrap();
-    assert_eq!(agg_req.aggregate.unwrap(), agg_legacy);
+#[test]
+fn profiled_query_reports_phase_breakdown() {
+    let c = cluster();
+    seed(&c, OBJ, 0, 200);
+    seed(&c, ROW_OBJ, 0, 40);
+    // Stale rows force the journal-merge + fallback phases to do work.
+    for k in 0..15 {
+        c.primary().update_one(OBJ, TenantId::DEFAULT, k, "n1", Value::Int(777)).unwrap();
+    }
+    c.sync().unwrap();
+    let standby = c.standby();
+
+    // Unprofiled queries carry no profile.
+    let plain = standby.query(&QueryRequest::scan(OBJ)).unwrap();
+    assert!(plain.profile.is_none());
+
+    // Profiled IMCS scan: one task per unit, same row set as unprofiled.
+    let out = standby.query(&QueryRequest::scan(OBJ).profile()).unwrap();
+    assert!(out.used_imcs);
+    let prof = out.profile.as_ref().expect("profiled query returns a breakdown");
+    assert_eq!(prof.tasks.len(), out.stats.as_ref().unwrap().parallel_tasks);
+    assert!(prof.parallel_degree >= 1);
+    assert!(prof.task_skew() >= 1.0);
+    assert_eq!(out.rows.len(), plain.rows.len(), "profiling must not change results");
+    // Every task's phase times are bounded by its total.
+    for t in &prof.tasks {
+        assert!(t.kernel_us + t.merge_us + t.fallback_us <= t.total_us.max(1) * 2);
+    }
+
+    // A filter no unit can match prunes via the storage index; the index
+    // evaluation time routes to `pruning_us`, not `kernel_us`.
+    let f = filter(&c, OBJ, "n1", Value::Int(100_000));
+    let pruned = standby.query(&QueryRequest::scan(OBJ).filter(f).profile()).unwrap();
+    assert_eq!(pruned.count(), 0);
+    let pprof = pruned.profile.unwrap();
+    assert!(
+        pprof.tasks.iter().filter(|t| t.pruned).count() > 0,
+        "100000 lies outside every frozen unit's min/max"
+    );
+
+    // Aggregate and row-store-fallback paths carry profiles too.
+    let agg = standby.query(&QueryRequest::scan(OBJ).aggregate("n1").profile()).unwrap();
+    assert!(agg.profile.is_some());
+    let fb = standby.query(&QueryRequest::scan(ROW_OBJ).profile()).unwrap();
+    assert!(!fb.used_imcs);
+    let fbprof = fb.profile.unwrap();
+    assert!(fbprof.tasks.is_empty(), "row-store execution has no per-unit tasks");
+    assert_eq!(fbprof.parallel_degree, 1);
+
+    // Profiles are machine-readable: serde round-trip.
+    let json = serde_json::to_string(prof).unwrap();
+    let back: imadg_db::QueryProfile = serde_json::from_str(&json).unwrap();
+    assert_eq!(*prof, back);
 }
 
 #[test]

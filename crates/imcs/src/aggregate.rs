@@ -12,8 +12,9 @@
 //!   Consistent Read — the same reconciliation discipline as row scans.
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use imadg_common::{Dba, ObjectId, Result, Scn};
+use imadg_common::{Dba, ObjectId, QueryProfile, Result, Scn, UnitTiming};
 use imadg_storage::{Store, Value};
 
 use crate::column::MinMax;
@@ -129,6 +130,13 @@ pub struct AggregateResult {
     pub aggs: Aggregates,
     /// Provenance counters.
     pub stats: AggregateStats,
+    /// Phase timings, populated only on [`scan_aggregate_profiled`].
+    pub profile: Option<QueryProfile>,
+}
+
+/// Microseconds elapsed since `t` (profiler granularity).
+fn micros(t: Instant) -> u64 {
+    t.elapsed().as_micros() as u64
 }
 
 /// Aggregate one unit: bypass to the row-store when the columnar data is
@@ -141,7 +149,10 @@ fn aggregate_unit(
     filter: &Filter,
     ordinal: usize,
     snapshot: Scn,
-) -> Result<(AggregateResult, Vec<Dba>)> {
+    unit: usize,
+) -> Result<(AggregateResult, Vec<Dba>, UnitTiming)> {
+    let started = Instant::now();
+    let mut timing = UnitTiming { unit, ..Default::default() };
     let (imcu, smu) = handle.pair();
     let covered = imcu.dbas.clone();
     let mut result = AggregateResult::default();
@@ -150,17 +161,22 @@ fn aggregate_unit(
     if imcu.is_pending() || view.all_invalid() || snapshot < imcu.snapshot {
         drop(view);
         result.stats.bypassed_units = 1;
+        timing.bypassed = true;
+        let t = Instant::now();
         store.scan_blocks(&imcu.dbas, snapshot, |_, row| {
             if filter.eval_row(row) {
                 result.aggs.add(row.get(ordinal));
                 result.stats.fallback_rows += 1;
             }
         })?;
-        return Ok((result, covered));
+        timing.fallback_us = micros(t);
+        timing.total_us = micros(started);
+        return Ok((result, covered, timing));
     }
 
     // O(1) push-down: unfiltered aggregate over a unit with no stale
     // rows is fully answered by unit metadata.
+    let t = Instant::now();
     let mut pushed_down = false;
     if filter.terms.is_empty() && view.fallback_count() == 0 {
         if let Some(agg) = imcu.column_agg(ordinal) {
@@ -190,24 +206,43 @@ fn aggregate_unit(
     // bitmap — the aggregated column is the only data actually decoded.
     if !pushed_down {
         result.stats.scanned_units = 1;
-        if let Some(mut sel) = imcu.filter_bitmap(filter) {
-            if let Some(mask) = view.validity_mask(imcu.rows(), |l| imcu.rownum(l)) {
-                sel.and_assign(&mask);
+        match imcu.filter_bitmap(filter) {
+            Some(mut sel) => {
+                timing.kernel_us += micros(t);
+                let t = Instant::now();
+                if let Some(mask) = view.validity_mask(imcu.rows(), |l| imcu.rownum(l)) {
+                    sel.and_assign(&mask);
+                }
+                timing.merge_us = micros(t);
+                let t = Instant::now();
+                imcu.aggregate_masked(ordinal, &sel, &mut result.aggs);
+                timing.kernel_us += micros(t);
             }
-            imcu.aggregate_masked(ordinal, &sel, &mut result.aggs);
+            // Storage index excluded the whole unit.
+            None => {
+                timing.pruned = true;
+                timing.kernel_us += micros(t);
+            }
         }
+    } else {
+        timing.kernel_us += micros(t);
     }
 
+    let t = Instant::now();
     let mut fallback: Vec<imadg_storage::RowLoc> = Vec::with_capacity(view.fallback_count());
     view.collect_fallback(&mut fallback);
     drop(view);
+    timing.merge_us += micros(t);
+    let t = Instant::now();
     store.fetch_rows_batched(&mut fallback, snapshot, |_, row| {
         if filter.eval_row(row) {
             result.aggs.add(row.get(ordinal));
             result.stats.fallback_rows += 1;
         }
     })?;
-    Ok((result, covered))
+    timing.fallback_us += micros(t);
+    timing.total_us = micros(started);
+    Ok((result, covered, timing))
 }
 
 /// Aggregate column `ordinal` of `object` over rows matching `filter`, at
@@ -236,19 +271,52 @@ pub fn scan_aggregate_parallel(
     snapshot: Scn,
     degree: usize,
 ) -> Result<Option<AggregateResult>> {
+    aggregate_units(stores, store, object, filter, ordinal, snapshot, degree, false)
+}
+
+/// [`scan_aggregate_parallel`] with per-phase timing: the result's
+/// `profile` carries the pruning / kernel / journal-merge / fallback /
+/// uncovered split and one [`UnitTiming`] per parallel task.
+pub fn scan_aggregate_profiled(
+    stores: &[Arc<ImcsStore>],
+    store: &Store,
+    object: ObjectId,
+    filter: &Filter,
+    ordinal: usize,
+    snapshot: Scn,
+    degree: usize,
+) -> Result<Option<AggregateResult>> {
+    aggregate_units(stores, store, object, filter, ordinal, snapshot, degree, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn aggregate_units(
+    stores: &[Arc<ImcsStore>],
+    store: &Store,
+    object: ObjectId,
+    filter: &Filter,
+    ordinal: usize,
+    snapshot: Scn,
+    degree: usize,
+    profile: bool,
+) -> Result<Option<AggregateResult>> {
     let entries: Vec<Arc<ObjectImcs>> = stores.iter().filter_map(|s| s.object(object)).collect();
     if entries.is_empty() {
         return Ok(None);
     }
     let handles: Vec<Arc<ImcuHandle>> = entries.iter().flat_map(|e| e.handles()).collect();
     let partials = run_indexed(degree, handles.len(), |i| {
-        aggregate_unit(handles[i].as_ref(), store, filter, ordinal, snapshot)
+        aggregate_unit(handles[i].as_ref(), store, filter, ordinal, snapshot, i)
     });
 
     let mut result = AggregateResult::default();
+    let mut prof = profile.then(QueryProfile::default);
     let mut covered: Vec<Dba> = Vec::new();
     for partial in partials {
-        let (p, dbas) = partial?;
+        let (p, dbas, timing) = partial?;
+        if let Some(prof) = prof.as_mut() {
+            prof.absorb_task(timing);
+        }
         result.aggs.merge(&p.aggs);
         result.stats.absorb(&p.stats);
         covered.extend(dbas);
@@ -257,6 +325,7 @@ pub fn scan_aggregate_parallel(
 
     covered.sort_unstable();
     covered.dedup();
+    let t = Instant::now();
     let uncovered: Vec<Dba> = store
         .block_dbas(object)?
         .into_iter()
@@ -270,6 +339,11 @@ pub fn scan_aggregate_parallel(
             }
         })?;
     }
+    if let Some(prof) = prof.as_mut() {
+        prof.uncovered_us = micros(t);
+        prof.parallel_degree = degree.max(1);
+    }
+    result.profile = prof;
     Ok(Some(result))
 }
 

@@ -22,7 +22,8 @@ pub mod smu;
 pub mod storage_index;
 
 pub use aggregate::{
-    scan_aggregate, scan_aggregate_parallel, AggregateResult, AggregateStats, Aggregates,
+    scan_aggregate, scan_aggregate_parallel, scan_aggregate_profiled, AggregateResult,
+    AggregateStats, Aggregates,
 };
 pub use bitmap::SelBitmap;
 pub use column::{ColumnCu, MinMax};
@@ -32,8 +33,9 @@ pub use imcu::{ColAgg, Imcu};
 pub use population::{PopulationEngine, PopulationReport, SnapshotSource};
 pub use predicate::{CmpOp, Filter, Predicate};
 pub use scan::{
-    scan, scan_cluster, scan_cluster_parallel, scan_expression, scan_expression_parallel,
-    scan_parallel, ExprPredicate, ScanResult, ScanStats,
+    scan, scan_cluster, scan_cluster_parallel, scan_cluster_profiled, scan_expression,
+    scan_expression_parallel, scan_expression_profiled, scan_parallel, ExprPredicate, ScanResult,
+    ScanStats,
 };
 pub use smu::{Smu, SmuView};
 pub use storage_index::StorageIndex;

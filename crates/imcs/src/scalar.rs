@@ -42,7 +42,7 @@ pub fn scan_entries_scalar(
     filter: &Filter,
     snapshot: Scn,
 ) -> Result<ScanResult> {
-    let mut result = ScanResult { rows: Vec::new(), stats: ScanStats::default() };
+    let mut result = ScanResult { rows: Vec::new(), stats: ScanStats::default(), profile: None };
     let mut covered: HashSet<imadg_common::Dba> = HashSet::new();
 
     for handle in entries.iter().flat_map(|e| e.handles()) {

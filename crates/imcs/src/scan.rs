@@ -17,8 +17,9 @@
 //! and bench baseline.
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use imadg_common::{Dba, ObjectId, Result, Scn};
+use imadg_common::{Dba, ObjectId, QueryProfile, Result, Scn, UnitTiming};
 use imadg_storage::{Row, Store};
 
 use crate::bitmap::SelBitmap;
@@ -74,6 +75,13 @@ pub struct ScanResult {
     pub rows: Vec<Row>,
     /// Provenance counters.
     pub stats: ScanStats,
+    /// Phase timings, populated only on the `*_profiled` entry points.
+    pub profile: Option<QueryProfile>,
+}
+
+/// Microseconds elapsed since `t` (profiler granularity).
+fn micros(t: Instant) -> u64 {
+    t.elapsed().as_micros() as u64
 }
 
 /// A predicate the unified unit-walk driver can evaluate both in column
@@ -103,20 +111,31 @@ struct UnitPartial {
     rows: Vec<Row>,
     stats: ScanStats,
     covered: Vec<Dba>,
+    timing: UnitTiming,
 }
 
 /// Scan one unit: bypass to the row-store when the columnar data is
 /// unusable, otherwise bitmap-evaluate the predicate, AND the SMU validity
 /// mask, materialize survivors, and reconcile stale locations.
+///
+/// Phase timings are always collected (an `Instant` read per phase is
+/// noise next to the scan itself); the driver discards them unless the
+/// query asked for a profile.
 fn scan_unit<P: RowPredicate>(
     handle: &ImcuHandle,
     store: &Store,
     pred: &P,
     snapshot: Scn,
+    unit: usize,
 ) -> Result<UnitPartial> {
+    let started = Instant::now();
     let (imcu, smu) = handle.pair();
-    let mut partial =
-        UnitPartial { rows: Vec::new(), stats: ScanStats::default(), covered: imcu.dbas.clone() };
+    let mut partial = UnitPartial {
+        rows: Vec::new(),
+        stats: ScanStats::default(),
+        covered: imcu.dbas.clone(),
+        timing: UnitTiming { unit, ..Default::default() },
+    };
     let view = smu.read();
 
     if imcu.is_pending() || view.all_invalid() || snapshot < imcu.snapshot {
@@ -126,26 +145,40 @@ fn scan_unit<P: RowPredicate>(
         // the row-store at the scan snapshot.
         drop(view);
         partial.stats.bypassed_units = 1;
+        partial.timing.bypassed = true;
+        let t = Instant::now();
         store.scan_blocks(&imcu.dbas, snapshot, |_, row| {
             if pred.matches_row(row) {
                 partial.rows.push(row.clone());
                 partial.stats.fallback_rows += 1;
             }
         })?;
+        partial.timing.fallback_us = micros(t);
+        partial.timing.total_us = micros(started);
         return Ok(partial);
     }
 
     // Columnar path: evaluate every conjunct in column space, AND the
     // validity mask, materialize only the survivors.
+    let t = Instant::now();
     match pred.unit_bitmap(&imcu) {
-        None => partial.stats.pruned_units = 1,
+        None => {
+            partial.stats.pruned_units = 1;
+            partial.timing.pruned = true;
+            partial.timing.kernel_us = micros(t);
+        }
         Some(mut sel) => {
             partial.stats.scanned_units = 1;
+            partial.timing.kernel_us = micros(t);
+            let t = Instant::now();
             if let Some(mask) = view.validity_mask(imcu.rows(), |l| imcu.rownum(l)) {
                 sel.and_assign(&mask);
             }
+            partial.timing.merge_us = micros(t);
+            let t = Instant::now();
             imcu.materialize_matches(&sel, &mut partial.rows);
             partial.stats.imcu_rows = partial.rows.len();
+            partial.timing.kernel_us += micros(t);
         }
     }
 
@@ -154,15 +187,20 @@ fn scan_unit<P: RowPredicate>(
     // match even though (or although) the frozen one did not. Batched by
     // block: one latch per block, not per row. The SMU latch is released
     // before the row-store fetches.
+    let t = Instant::now();
     let mut fallback: Vec<imadg_storage::RowLoc> = Vec::with_capacity(view.fallback_count());
     view.collect_fallback(&mut fallback);
     drop(view);
+    partial.timing.merge_us += micros(t);
+    let t = Instant::now();
     store.fetch_rows_batched(&mut fallback, snapshot, |_, row| {
         if pred.matches_row(row) {
             partial.rows.push(row.clone());
             partial.stats.fallback_rows += 1;
         }
     })?;
+    partial.timing.fallback_us += micros(t);
+    partial.timing.total_us = micros(started);
     Ok(partial)
 }
 
@@ -176,16 +214,21 @@ fn scan_units<P: RowPredicate>(
     pred: &P,
     snapshot: Scn,
     degree: usize,
+    profile: bool,
 ) -> Result<ScanResult> {
     let handles: Vec<Arc<ImcuHandle>> = entries.iter().flat_map(|e| e.handles()).collect();
     let partials = run_indexed(degree, handles.len(), |i| {
-        scan_unit(handles[i].as_ref(), store, pred, snapshot)
+        scan_unit(handles[i].as_ref(), store, pred, snapshot, i)
     });
 
     let mut result = ScanResult::default();
+    let mut prof = profile.then(QueryProfile::default);
     let mut covered: Vec<Dba> = Vec::new();
     for partial in partials {
         let p = partial?;
+        if let Some(prof) = prof.as_mut() {
+            prof.absorb_task(p.timing);
+        }
         result.stats.absorb(&p.stats);
         result.rows.extend(p.rows);
         covered.extend(p.covered);
@@ -198,6 +241,7 @@ fn scan_units<P: RowPredicate>(
     // its own — binary search beats per-DBA hashing here.
     covered.sort_unstable();
     covered.dedup();
+    let t = Instant::now();
     let uncovered: Vec<Dba> = store
         .block_dbas(object)?
         .into_iter()
@@ -211,6 +255,11 @@ fn scan_units<P: RowPredicate>(
             }
         })?;
     }
+    if let Some(prof) = prof.as_mut() {
+        prof.uncovered_us = micros(t);
+        prof.parallel_degree = degree.max(1);
+    }
+    result.profile = prof;
 
     Ok(result)
 }
@@ -240,7 +289,7 @@ pub fn scan_parallel(
     degree: usize,
 ) -> Result<Option<ScanResult>> {
     match imcs.object(object) {
-        Some(obj) => scan_units(&[obj], store, object, filter, snapshot, degree).map(Some),
+        Some(obj) => scan_units(&[obj], store, object, filter, snapshot, degree, false).map(Some),
         None => Ok(None),
     }
 }
@@ -271,7 +320,25 @@ pub fn scan_cluster_parallel(
     if entries.is_empty() {
         return Ok(None);
     }
-    scan_units(&entries, store, object, filter, snapshot, degree).map(Some)
+    scan_units(&entries, store, object, filter, snapshot, degree, false).map(Some)
+}
+
+/// [`scan_cluster_parallel`] with per-phase timing: the result's
+/// `profile` carries the pruning / kernel / journal-merge / fallback /
+/// uncovered split and one [`UnitTiming`] per parallel task.
+pub fn scan_cluster_profiled(
+    stores: &[Arc<ImcsStore>],
+    store: &Store,
+    object: ObjectId,
+    filter: &Filter,
+    snapshot: Scn,
+    degree: usize,
+) -> Result<Option<ScanResult>> {
+    let entries: Vec<Arc<ObjectImcs>> = stores.iter().filter_map(|s| s.object(object)).collect();
+    if entries.is_empty() {
+        return Ok(None);
+    }
+    scan_units(&entries, store, object, filter, snapshot, degree, true).map(Some)
 }
 
 /// A predicate over a registered in-memory expression (paper §V):
@@ -367,7 +434,24 @@ pub fn scan_expression_parallel(
     if entries.is_empty() {
         return Ok(None);
     }
-    scan_units(&entries, store, object, pred, snapshot, degree).map(Some)
+    scan_units(&entries, store, object, pred, snapshot, degree, false).map(Some)
+}
+
+/// [`scan_expression_parallel`] with per-phase timing (see
+/// [`scan_cluster_profiled`]).
+pub fn scan_expression_profiled(
+    stores: &[Arc<ImcsStore>],
+    store: &Store,
+    object: ObjectId,
+    pred: &ExprPredicate,
+    snapshot: Scn,
+    degree: usize,
+) -> Result<Option<ScanResult>> {
+    let entries: Vec<Arc<ObjectImcs>> = stores.iter().filter_map(|s| s.object(object)).collect();
+    if entries.is_empty() {
+        return Ok(None);
+    }
+    scan_units(&entries, store, object, pred, snapshot, degree, true).map(Some)
 }
 
 #[cfg(test)]

@@ -151,7 +151,12 @@ mod tests {
     use imadg_redo::record::{RedoPayload, RedoRecord};
 
     fn rec(scn: u64) -> RedoRecord {
-        RedoRecord { thread: RedoThreadId(1), scn: Scn(scn), payload: RedoPayload::Heartbeat }
+        RedoRecord {
+            thread: RedoThreadId(1),
+            scn: Scn(scn),
+            born_us: 0,
+            payload: RedoPayload::Heartbeat,
+        }
     }
 
     /// The acceptance-criteria plan: 5% drop + 2% duplicate + reorder 8.

@@ -539,7 +539,12 @@ mod tests {
     }
 
     fn rec(scn: u64) -> RedoRecord {
-        RedoRecord { thread: RedoThreadId(1), scn: Scn(scn), payload: RedoPayload::Heartbeat }
+        RedoRecord {
+            thread: RedoThreadId(1),
+            scn: Scn(scn),
+            born_us: 0,
+            payload: RedoPayload::Heartbeat,
+        }
     }
 
     /// A framed link over raw channel pipes, plus a handle to the data tx

@@ -230,6 +230,7 @@ mod tests {
             RedoRecord {
                 thread: RedoThreadId(1),
                 scn: Scn(10),
+                born_us: 0,
                 payload: RedoPayload::Marker(RedoMarker {
                     object: ObjectId(7),
                     tenant: TenantId::DEFAULT,
@@ -239,11 +240,13 @@ mod tests {
             RedoRecord {
                 thread: RedoThreadId(1),
                 scn: Scn(11),
+                born_us: 7,
                 payload: RedoPayload::Begin { txn: TxnId(3), tenant: TenantId::DEFAULT },
             },
             RedoRecord {
                 thread: RedoThreadId(1),
                 scn: Scn(11),
+                born_us: 8,
                 payload: RedoPayload::Change(vec![
                     ChangeVector {
                         dba: Dba(42),
@@ -274,6 +277,7 @@ mod tests {
             RedoRecord {
                 thread: RedoThreadId(1),
                 scn: Scn(12),
+                born_us: 9,
                 payload: RedoPayload::Commit(CommitRecord {
                     txn: TxnId(3),
                     tenant: TenantId::DEFAULT,
@@ -284,9 +288,15 @@ mod tests {
             RedoRecord {
                 thread: RedoThreadId(1),
                 scn: Scn(13),
+                born_us: 10,
                 payload: RedoPayload::Abort { txn: TxnId(4), tenant: TenantId::DEFAULT },
             },
-            RedoRecord { thread: RedoThreadId(1), scn: Scn(14), payload: RedoPayload::Heartbeat },
+            RedoRecord {
+                thread: RedoThreadId(1),
+                scn: Scn(14),
+                born_us: 11,
+                payload: RedoPayload::Heartbeat,
+            },
         ]
     }
 

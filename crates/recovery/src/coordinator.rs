@@ -10,7 +10,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use imadg_common::metrics::{FlushMetrics, TraceStage};
+use imadg_common::metrics::{FlushMetrics, StalenessTracker, TraceStage};
 use imadg_common::{LatencyStats, PipelineTrace, QueryScnCell, QuiesceLock, Scn};
 use parking_lot::Mutex;
 
@@ -48,6 +48,9 @@ pub struct Coordinator {
     advances: Mutex<u64>,
     /// Flush-stage metrics (advancement counters, quiesce durations).
     metrics: Arc<FlushMetrics>,
+    /// Commit-to-queryable staleness: settles every in-flight commit at or
+    /// below the published SCN.
+    staleness: Arc<StalenessTracker>,
     /// Pipeline trace ring; every advancement records an event.
     trace: PipelineTrace,
 }
@@ -66,18 +69,21 @@ impl Coordinator {
             quiesce,
             hook,
             Arc::default(),
+            Arc::default(),
             PipelineTrace::new(1),
         )
     }
 
-    /// Build a coordinator reporting into a registry's flush stage and
-    /// trace ring.
+    /// Build a coordinator reporting into a registry's flush stage,
+    /// staleness tracker, and trace ring.
+    #[allow(clippy::too_many_arguments)]
     pub fn with_metrics(
         progress: Arc<Progress>,
         query_scn: Arc<QueryScnCell>,
         quiesce: Arc<QuiesceLock>,
         hook: Arc<dyn AdvanceHook>,
         metrics: Arc<FlushMetrics>,
+        staleness: Arc<StalenessTracker>,
         trace: PipelineTrace,
     ) -> Self {
         Coordinator {
@@ -88,6 +94,7 @@ impl Coordinator {
             advance_latency: Mutex::new(LatencyStats::new()),
             advances: Mutex::new(0),
             metrics,
+            staleness,
             trace,
         }
     }
@@ -115,13 +122,17 @@ impl Coordinator {
             }
         }
         let started = Instant::now();
+        let (flush_us, publish_us);
         {
             // Quiesce period: population may not capture snapshots while
             // invalidations for `target` are in flight (paper §III.A).
             let _quiesce = self.quiesce.begin_quiesce();
             self.hook.flush_for_advance(target);
+            flush_us = self.staleness.now_micros();
             self.query_scn.publish(target);
+            publish_us = self.staleness.now_micros();
         }
+        self.staleness.on_advance(target.0, flush_us, publish_us);
         let elapsed = started.elapsed();
         self.advance_latency.lock().record(elapsed);
         *self.advances.lock() += 1;

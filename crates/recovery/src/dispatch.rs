@@ -117,6 +117,7 @@ mod tests {
         RedoRecord {
             thread: RedoThreadId(1),
             scn: Scn(scn),
+            born_us: 0,
             payload: RedoPayload::Change(
                 dbas.iter()
                     .map(|&d| ChangeVector {
@@ -170,11 +171,13 @@ mod tests {
             RedoRecord {
                 thread: RedoThreadId(1),
                 scn: Scn(1),
+                born_us: 0,
                 payload: RedoPayload::Begin { txn, tenant: TenantId::DEFAULT },
             },
             RedoRecord {
                 thread: RedoThreadId(1),
                 scn: Scn(2),
+                born_us: 0,
                 payload: RedoPayload::Abort { txn, tenant: TenantId::DEFAULT },
             },
         ])

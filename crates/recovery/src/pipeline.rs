@@ -15,7 +15,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use imadg_common::metrics::{ApplyMetrics, MergerMetrics, RuntimeMetrics};
+use imadg_common::metrics::{ApplyMetrics, MergerMetrics, RuntimeMetrics, StalenessTracker};
 use imadg_common::{
     CpuAccount, MetricsRegistry, QueryScnCell, QuiesceLock, RecoveryConfig, Result, Runtime,
     RuntimeHealth, Scn, Stage, StageId, StageOutcome, ThreadedRuntime, WorkerId,
@@ -47,6 +47,7 @@ pub struct MediaRecovery {
     merger_metrics: Arc<MergerMetrics>,
     apply_metrics: Arc<ApplyMetrics>,
     runtime_metrics: Arc<RuntimeMetrics>,
+    staleness: Arc<StalenessTracker>,
 }
 
 impl MediaRecovery {
@@ -109,6 +110,7 @@ impl MediaRecovery {
             senders.push(tx);
             let mut w = Worker::new(WorkerId(i as u16), rx, store.clone(), observers.clone());
             w.set_metrics(registry.apply.clone());
+            w.set_staleness(registry.staleness.clone());
             if let Some(h) = &coop {
                 if config.cooperative_flush {
                     w.set_coop(h.clone(), 64, config.coop_flush_batch);
@@ -122,6 +124,7 @@ impl MediaRecovery {
             quiesce,
             hook,
             registry.flush.clone(),
+            registry.staleness.clone(),
             registry.trace.clone(),
         ));
         Ok(Arc::new(MediaRecovery {
@@ -136,6 +139,7 @@ impl MediaRecovery {
             merger_metrics: registry.merger.clone(),
             apply_metrics: registry.apply.clone(),
             runtime_metrics: registry.runtime.clone(),
+            staleness: registry.staleness.clone(),
         }))
     }
 
@@ -193,6 +197,11 @@ impl MediaRecovery {
                     records.iter().filter(|r| matches!(r.payload, RedoPayload::Heartbeat)).count();
                 self.merger_metrics.heartbeats_seen.add(heartbeats as u64);
                 self.merger_metrics.merge_batches.inc();
+                for r in &records {
+                    if matches!(r.payload, RedoPayload::Commit(_)) {
+                        self.staleness.on_receive(r.scn.0, r.born_us);
+                    }
+                }
                 merger.push(i, records);
             }
         }
@@ -201,6 +210,11 @@ impl MediaRecovery {
         drop(receivers);
         if ready.is_empty() {
             return Ok(0);
+        }
+        for r in &ready {
+            if matches!(r.payload, RedoPayload::Commit(_)) {
+                self.staleness.on_merge(r.scn.0);
+            }
         }
         // pop_ready only releases data records (heartbeats are swallowed),
         // so merger output == dispatcher input — the conservation identity.
@@ -373,6 +387,10 @@ impl Stage for IngestStage {
 
     fn park_hint(&self) -> Duration {
         self.0.next_transport_deadline().unwrap_or(Duration::from_micros(500))
+    }
+
+    fn input_pending(&self) -> Option<bool> {
+        Some(self.0.transport_pending())
     }
 }
 

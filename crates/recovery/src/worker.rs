@@ -103,6 +103,8 @@ pub struct Worker {
     /// DDL markers and watermarks are never gated.
     mine_gate: Scn,
     durability_metrics: Arc<DurabilityMetrics>,
+    /// Stamps the apply point of commit records, when attached.
+    staleness: Option<Arc<imadg_common::metrics::StalenessTracker>>,
 }
 
 /// Create the queue for one worker.
@@ -133,7 +135,13 @@ impl Worker {
             cv_counter: None,
             mine_gate: Scn::ZERO,
             durability_metrics: Arc::default(),
+            staleness: None,
         }
+    }
+
+    /// Record commit-record apply stamps into `tracker`.
+    pub fn set_staleness(&mut self, tracker: Arc<imadg_common::metrics::StalenessTracker>) {
+        self.staleness = Some(tracker);
     }
 
     /// Install the checkpoint mining gate (restart replay path).
@@ -229,6 +237,9 @@ impl Worker {
             }
             WorkItem::Commit { scn, record } => {
                 self.store.txns().commit(record.txn, record.commit_scn);
+                if let Some(t) = &self.staleness {
+                    t.on_apply(scn.0);
+                }
                 if self.mines(scn) {
                     for o in &self.observers {
                         o.on_commit(self.id, &record);

@@ -338,6 +338,7 @@ pub fn get_marker(c: &mut Cur<'_>) -> Result<RedoMarker> {
 pub fn put_record(out: &mut Vec<u8>, r: &RedoRecord) {
     put_u8(out, r.thread.0);
     put_u64(out, r.scn.0);
+    put_u64(out, r.born_us);
     match &r.payload {
         RedoPayload::Begin { txn, tenant } => {
             put_u8(out, 0);
@@ -382,6 +383,7 @@ pub fn put_record(out: &mut Vec<u8>, r: &RedoRecord) {
 pub fn get_record(c: &mut Cur<'_>) -> Result<RedoRecord> {
     let thread = RedoThreadId(c.u8()?);
     let scn = Scn(c.u64()?);
+    let born_us = c.u64()?;
     let payload = match c.u8()? {
         0 => RedoPayload::Begin { txn: TxnId(c.u64()?), tenant: TenantId(c.u16()?) },
         1 => {
@@ -409,7 +411,7 @@ pub fn get_record(c: &mut Cur<'_>) -> Result<RedoRecord> {
         5 => RedoPayload::Heartbeat,
         t => return Err(Error::WireCorrupt(format!("bad payload tag {t}"))),
     };
-    Ok(RedoRecord { thread, scn, payload })
+    Ok(RedoRecord { thread, scn, born_us, payload })
 }
 
 #[cfg(test)]
@@ -430,6 +432,7 @@ mod tests {
             RedoRecord {
                 thread: RedoThreadId(1),
                 scn: Scn(10),
+                born_us: 0,
                 payload: RedoPayload::Marker(RedoMarker {
                     object: ObjectId(7),
                     tenant: TenantId::DEFAULT,
@@ -439,11 +442,13 @@ mod tests {
             RedoRecord {
                 thread: RedoThreadId(1),
                 scn: Scn(11),
+                born_us: 7,
                 payload: RedoPayload::Begin { txn: TxnId(3), tenant: TenantId::DEFAULT },
             },
             RedoRecord {
                 thread: RedoThreadId(1),
                 scn: Scn(11),
+                born_us: 8,
                 payload: RedoPayload::Change(vec![ChangeVector {
                     dba: Dba(42),
                     object: ObjectId(7),
@@ -458,6 +463,7 @@ mod tests {
             RedoRecord {
                 thread: RedoThreadId(1),
                 scn: Scn(12),
+                born_us: 9,
                 payload: RedoPayload::Commit(CommitRecord {
                     txn: TxnId(3),
                     tenant: TenantId::DEFAULT,
@@ -468,9 +474,15 @@ mod tests {
             RedoRecord {
                 thread: RedoThreadId(1),
                 scn: Scn(13),
+                born_us: 10,
                 payload: RedoPayload::Abort { txn: TxnId(4), tenant: TenantId::DEFAULT },
             },
-            RedoRecord { thread: RedoThreadId(1), scn: Scn(14), payload: RedoPayload::Heartbeat },
+            RedoRecord {
+                thread: RedoThreadId(1),
+                scn: Scn(14),
+                born_us: 11,
+                payload: RedoPayload::Heartbeat,
+            },
         ]
     }
 

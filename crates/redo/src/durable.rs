@@ -511,7 +511,12 @@ mod tests {
     use imadg_common::RedoThreadId;
 
     fn rec(scn: u64) -> RedoRecord {
-        RedoRecord { thread: RedoThreadId(1), scn: Scn(scn), payload: RedoPayload::Heartbeat }
+        RedoRecord {
+            thread: RedoThreadId(1),
+            scn: Scn(scn),
+            born_us: 0,
+            payload: RedoPayload::Heartbeat,
+        }
     }
 
     fn tmpdir(tag: &str) -> PathBuf {
@@ -677,7 +682,12 @@ mod review_repro {
     use imadg_common::RedoThreadId;
 
     fn rec(scn: u64) -> RedoRecord {
-        RedoRecord { thread: RedoThreadId(1), scn: Scn(scn), payload: RedoPayload::Heartbeat }
+        RedoRecord {
+            thread: RedoThreadId(1),
+            scn: Scn(scn),
+            born_us: 0,
+            payload: RedoPayload::Heartbeat,
+        }
     }
 
     #[test]

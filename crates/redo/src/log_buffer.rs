@@ -10,7 +10,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use imadg_common::{RedoThreadId, Scn, ScnService, WakeToken};
+use imadg_common::{Clock, RedoThreadId, Scn, ScnService, WakeToken};
 use parking_lot::Mutex;
 
 use crate::record::{RedoPayload, RedoRecord};
@@ -32,19 +32,29 @@ pub struct LogBuffer {
     last_scn: AtomicU64,
     records: AtomicU64,
     bytes: AtomicU64,
+    /// Stamps each appended record's `born_us` (staleness origin).
+    clock: Clock,
     /// Wakes the shipper stage on every append (threaded runtime).
     waker: Mutex<Option<WakeToken>>,
 }
 
 impl LogBuffer {
-    /// Empty buffer for `thread`.
+    /// Empty buffer for `thread`, stamping generation times off the real
+    /// clock.
     pub fn new(thread: RedoThreadId) -> Self {
+        LogBuffer::with_clock(thread, Clock::Real)
+    }
+
+    /// Empty buffer for `thread` stamping `born_us` off `clock` (manual
+    /// clocks keep deterministic runs bit-identical).
+    pub fn with_clock(thread: RedoThreadId, clock: Clock) -> Self {
         LogBuffer {
             thread,
             queue: Mutex::new(VecDeque::new()),
             last_scn: AtomicU64::new(0),
             records: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
+            clock,
             waker: Mutex::new(None),
         }
     }
@@ -73,7 +83,12 @@ impl LogBuffer {
     pub fn log_with<F: FnOnce(Scn) -> RedoPayload>(&self, scns: &ScnService, make: F) -> Scn {
         let mut q = self.queue.lock();
         let scn = scns.next();
-        let record = RedoRecord { thread: self.thread, scn, payload: make(scn) };
+        let record = RedoRecord {
+            thread: self.thread,
+            scn,
+            born_us: self.clock.now_micros(),
+            payload: make(scn),
+        };
         self.account(&record);
         q.push_back(record);
         drop(q);
@@ -176,11 +191,13 @@ mod tests {
         buf.push(RedoRecord {
             thread: RedoThreadId(1),
             scn: Scn(5),
+            born_us: 0,
             payload: RedoPayload::Heartbeat,
         });
         buf.push(RedoRecord {
             thread: RedoThreadId(1),
             scn: Scn(3),
+            born_us: 0,
             payload: RedoPayload::Heartbeat,
         });
     }

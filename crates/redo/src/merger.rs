@@ -110,12 +110,18 @@ mod tests {
         RedoRecord {
             thread: RedoThreadId(thread),
             scn: Scn(scn),
+            born_us: 0,
             payload: RedoPayload::Change(vec![]),
         }
     }
 
     fn hb(thread: u8, scn: u64) -> RedoRecord {
-        RedoRecord { thread: RedoThreadId(thread), scn: Scn(scn), payload: RedoPayload::Heartbeat }
+        RedoRecord {
+            thread: RedoThreadId(thread),
+            scn: Scn(scn),
+            born_us: 0,
+            payload: RedoPayload::Heartbeat,
+        }
     }
 
     #[test]

@@ -63,6 +63,10 @@ pub struct RedoRecord {
     pub thread: RedoThreadId,
     /// SCN at which the record's changes were made.
     pub scn: Scn,
+    /// Generation timestamp (µs on the deployment clock), stamped when the
+    /// record entered the log buffer. Travels on the wire and to disk so
+    /// the standby can measure commit-to-queryable staleness; 0 = unstamped.
+    pub born_us: u64,
     /// The payload.
     pub payload: RedoPayload,
 }
@@ -118,7 +122,7 @@ mod tests {
     use imadg_storage::Row;
 
     fn rec(payload: RedoPayload) -> RedoRecord {
-        RedoRecord { thread: RedoThreadId(1), scn: Scn(10), payload }
+        RedoRecord { thread: RedoThreadId(1), scn: Scn(10), born_us: 0, payload }
     }
 
     #[test]

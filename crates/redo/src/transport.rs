@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use imadg_common::metrics::{DurabilityMetrics, TransportMetrics};
+use imadg_common::metrics::{DurabilityMetrics, StalenessTracker, TransportMetrics};
 use imadg_common::{Clock, Error, Result, Scn, WakeToken};
 
 use crate::durable::DurableLog;
@@ -254,6 +254,8 @@ pub fn redo_link_with_clock(latency: Duration, clock: Clock) -> (RedoSender, Red
 pub struct Shipper {
     batch: usize,
     metrics: Arc<TransportMetrics>,
+    /// Records commit-record generation→ship residency, when attached.
+    staleness: Option<Arc<StalenessTracker>>,
     /// Highest SCN already signalled down the link (data or heartbeat). A
     /// heartbeat is sent only when database time has advanced past it —
     /// re-sending the same SCN adds no watermark information and, on a
@@ -270,13 +272,20 @@ impl Shipper {
 
     /// Shipper reporting into a registry's transport stage.
     pub fn with_metrics(batch: usize, metrics: Arc<TransportMetrics>) -> Self {
-        Shipper { batch: batch.max(1), metrics, signalled_scn: AtomicU64::new(0) }
+        Shipper { batch: batch.max(1), metrics, staleness: None, signalled_scn: AtomicU64::new(0) }
+    }
+
+    /// Record generation→ship residency of commit records into `tracker`.
+    pub fn with_staleness(mut self, tracker: Arc<StalenessTracker>) -> Self {
+        self.staleness = Some(tracker);
+        self
     }
 
     fn send_heartbeat(&self, buffer: &LogBuffer, sink: &dyn RedoSink, scn: Scn) -> Result<()> {
         sink.send(vec![RedoRecord {
             thread: buffer.thread(),
             scn,
+            born_us: 0,
             payload: RedoPayload::Heartbeat,
         }])?;
         self.metrics.heartbeats.inc();
@@ -300,6 +309,13 @@ impl Shipper {
         self.metrics.batches_shipped.inc();
         if let Some(max) = records.iter().map(|r| r.scn.0).max() {
             self.signalled_scn.fetch_max(max, Ordering::AcqRel);
+        }
+        if let Some(t) = &self.staleness {
+            for r in &records {
+                if matches!(r.payload, RedoPayload::Commit(_)) {
+                    t.on_ship(r.scn.0, r.born_us);
+                }
+            }
         }
         sink.send(records)
     }
@@ -354,7 +370,12 @@ mod tests {
     use imadg_common::{RedoThreadId, ScnService};
 
     fn hb(scn: u64) -> RedoRecord {
-        RedoRecord { thread: RedoThreadId(1), scn: Scn(scn), payload: RedoPayload::Heartbeat }
+        RedoRecord {
+            thread: RedoThreadId(1),
+            scn: Scn(scn),
+            born_us: 0,
+            payload: RedoPayload::Heartbeat,
+        }
     }
 
     #[test]

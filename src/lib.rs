@@ -45,6 +45,57 @@
 //! assert_eq!(out.count(), 1);
 //! ```
 //!
+//! ## Measuring staleness
+//!
+//! Every commit record carries a birth stamp; the standby settles it
+//! through per-stage residency histograms and one end-to-end
+//! commit-to-queryable histogram. Queries opt into a per-phase profile
+//! with [`QueryRequest::profile`](imadg_db::QueryRequest::profile), and
+//! both node roles export Prometheus text / JSONL snapshots:
+//!
+//! ```
+//! use imadg::prelude::*;
+//!
+//! let cluster = AdgCluster::single().unwrap();
+//! cluster
+//!     .create_table(TableSpec {
+//!         id: ObjectId(1),
+//!         name: "sales".into(),
+//!         tenant: TenantId::DEFAULT,
+//!         schema: Schema::of(&[("id", ColumnType::Int), ("amount", ColumnType::Int)]),
+//!         key_ordinal: 0,
+//!         rows_per_block: 64,
+//!     })
+//!     .unwrap();
+//! cluster.set_placement(ObjectId(1), Placement::StandbyOnly).unwrap();
+//! let p = cluster.primary();
+//! for k in 0..50 {
+//!     p.insert_one(ObjectId(1), TenantId::DEFAULT, vec![Value::Int(k), Value::Int(k * 10)])
+//!         .unwrap();
+//! }
+//! cluster.sync().unwrap();
+//!
+//! // Commit-to-queryable staleness, measured on the standby.
+//! let st = cluster.standby().metrics().staleness;
+//! assert_eq!(st.e2e.count, 50);
+//! assert!(st.e2e.p99() >= st.e2e.p50());
+//! assert!(!st.slowest.is_empty());
+//!
+//! // Per-query phase breakdown.
+//! let out = cluster
+//!     .standby()
+//!     .query(&QueryRequest::scan(ObjectId(1)).filter(Filter::all()).profile())
+//!     .unwrap();
+//! let prof = out.profile.unwrap();
+//! assert!(prof.task_skew() >= 1.0);
+//!
+//! // Machine-readable export from a role-typed handle.
+//! let text = cluster.node(NodeRole::Standby).metrics_prometheus();
+//! assert!(text.contains("# TYPE imadg_staleness_e2e summary"));
+//! let line = cluster.node(NodeRole::Primary).metrics_jsonl();
+//! assert!(line.starts_with("{\"role\":\"primary\""));
+//! ```
+//!
 //! ## Crate map
 //!
 //! | crate | role |

@@ -114,6 +114,7 @@ proptest! {
             let r = RedoRecord {
                 thread: imadg::common::RedoThreadId(stream as u8),
                 scn: Scn(scn),
+                born_us: 0,
                 payload: RedoPayload::Change(vec![]),
             };
             streams[stream].push(r.clone());
@@ -128,6 +129,7 @@ proptest! {
             merger.push(i, vec![RedoRecord {
                 thread: imadg::common::RedoThreadId(i as u8),
                 scn: Scn(scn),
+                born_us: 0,
                 payload: RedoPayload::Heartbeat,
             }]);
         }
@@ -164,6 +166,7 @@ proptest! {
             .map(|(i, &(dba, slot))| RedoRecord {
                 thread: imadg::common::RedoThreadId(1),
                 scn: Scn(i as u64 + 1),
+                born_us: 0,
                 payload: RedoPayload::Change(vec![ChangeVector {
                     dba: Dba(dba),
                     object: ObjectId(1),

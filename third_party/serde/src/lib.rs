@@ -77,6 +77,20 @@ impl Content {
 /// Type-level error produced when rebuilding a value from [`Content`].
 pub type DeError = String;
 
+// `Content` is its own serialized form, so pre-built trees (e.g. envelope
+// objects wrapping a typed snapshot) pass straight through the format layer.
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
 /// Convert a value into [`Content`].
 pub trait Serialize {
     fn to_content(&self) -> Content;
