@@ -251,3 +251,23 @@ mod tests {
         assert_eq!(parsed.metrics.staleness.e2e.count, 1);
     }
 }
+
+#[cfg(test)]
+mod review_check {
+    use super::*;
+    use crate::metrics::Histogram;
+    #[test]
+    fn dense_histogram_projection_quantile() {
+        let h = Histogram::new();
+        for _ in 0..100 { h.record_value(250); } // 250us latencies
+        let snap = h.snapshot();
+        // direct dense quantile
+        let direct = snap.quantile(0.5);
+        // via the export shim
+        let content = snap.to_content();
+        let fields = content.as_map().unwrap();
+        let projected = histogram_of(fields).expect("recognized as histogram");
+        let via_export = projected.quantile(0.5);
+        panic!("direct={direct} via_export={via_export}");
+    }
+}
