@@ -290,6 +290,160 @@ impl BenchRecoveryDoc {
     }
 }
 
+/// One standby's view inside a reader-farm configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchFarmStandby {
+    /// Standby name (`sb0`, `sb1`, …).
+    pub name: String,
+    /// Routed scans this standby served.
+    pub routed_queries: u64,
+    /// Median commit-to-queryable staleness on this standby, µs.
+    pub staleness_p50_us: f64,
+    /// 99th-percentile commit-to-queryable staleness, µs.
+    pub staleness_p99_us: f64,
+    /// Applied SCN at the end of the run.
+    pub applied_scn: u64,
+    /// Published QuerySCN at the end of the run.
+    pub published_query_scn: u64,
+    /// SCN gap to the primary at the end of the run.
+    pub scn_gap: u64,
+}
+
+/// One farm size (standby count) measured by `exp_readerfarm`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchFarmRun {
+    /// Run name (`farm_1`, `farm_2`, `farm_4`).
+    pub name: String,
+    /// Standbys in the farm.
+    pub standby_count: usize,
+    /// Aggregate routed scans completed across all standbys.
+    pub scans_total: u64,
+    /// Scans the router offloaded to a standby.
+    pub scans_offloaded: u64,
+    /// Scans that fell back to the primary.
+    pub scans_primary: u64,
+    /// Aggregate standby-offloaded scan throughput, scans/s.
+    pub offloaded_scans_per_sec: f64,
+    /// Per-standby breakdown.
+    pub standbys: Vec<BenchFarmStandby>,
+}
+
+/// The reader-farm benchmark document (`BENCH_readerfarm.json`): aggregate
+/// standby-offloaded scan throughput vs. farm size, plus per-standby
+/// staleness percentiles, emitted by the `exp_readerfarm` binary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReaderFarmDoc {
+    /// Schema version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Benchmark family; always `"readerfarm"`.
+    pub bench: String,
+    /// Wide-table rows per run.
+    pub rows: usize,
+    /// Available CPU cores on the measuring host.
+    pub cores: usize,
+    /// The measured farm sizes, ascending standby count.
+    pub runs: Vec<BenchFarmRun>,
+}
+
+impl BenchReaderFarmDoc {
+    /// Minimum aggregate offloaded-throughput scaling required between the
+    /// smallest and largest farm (the PR-9 acceptance floor).
+    pub const MIN_SCALING: f64 = 1.7;
+
+    /// Structural validation; returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "unknown schema_version {} (expected {BENCH_SCHEMA_VERSION})",
+                self.schema_version
+            ));
+        }
+        if self.bench != "readerfarm" {
+            return Err(format!("bench family {:?} is not \"readerfarm\"", self.bench));
+        }
+        if self.rows == 0 || self.cores == 0 {
+            return Err("rows and cores must be > 0".into());
+        }
+        if self.runs.len() < 2 {
+            return Err("need at least two farm sizes to measure scaling".into());
+        }
+        let mut prev_count = 0usize;
+        for r in &self.runs {
+            if r.name.is_empty() {
+                return Err("run with empty name".into());
+            }
+            if r.standby_count == 0 {
+                return Err(format!("{}: standby_count must be > 0", r.name));
+            }
+            if r.standby_count <= prev_count {
+                return Err(format!("{}: farm sizes must be ascending", r.name));
+            }
+            prev_count = r.standby_count;
+            if r.standbys.len() != r.standby_count {
+                return Err(format!(
+                    "{}: {} standby records for a {}-standby farm",
+                    r.name,
+                    r.standbys.len(),
+                    r.standby_count
+                ));
+            }
+            if !(r.offloaded_scans_per_sec.is_finite() && r.offloaded_scans_per_sec > 0.0) {
+                return Err(format!("{}: offloaded_scans_per_sec must be finite and > 0", r.name));
+            }
+            if r.scans_offloaded + r.scans_primary != r.scans_total {
+                return Err(format!("{}: offloaded + primary != total scans", r.name));
+            }
+            let routed_sum: u64 = r.standbys.iter().map(|s| s.routed_queries).sum();
+            if routed_sum != r.scans_offloaded {
+                return Err(format!(
+                    "{}: per-standby routed_queries sum {} disagrees with scans_offloaded {}",
+                    r.name, routed_sum, r.scans_offloaded
+                ));
+            }
+            for s in &r.standbys {
+                if s.name.is_empty() {
+                    return Err(format!("{}: standby with empty name", r.name));
+                }
+                for (label, v) in [
+                    ("staleness_p50_us", s.staleness_p50_us),
+                    ("staleness_p99_us", s.staleness_p99_us),
+                ] {
+                    if !(v.is_finite() && v >= 0.0) {
+                        return Err(format!(
+                            "{}/{}: {label} must be finite and >= 0",
+                            r.name, s.name
+                        ));
+                    }
+                }
+                if s.staleness_p99_us < s.staleness_p50_us {
+                    return Err(format!("{}/{}: staleness p99 below p50", r.name, s.name));
+                }
+                if s.published_query_scn > s.applied_scn {
+                    return Err(format!(
+                        "{}/{}: published QuerySCN {} ahead of applied SCN {}",
+                        r.name, s.name, s.published_query_scn, s.applied_scn
+                    ));
+                }
+            }
+        }
+        // The acceptance floor: largest farm must out-offload the smallest
+        // by MIN_SCALING in aggregate standby throughput.
+        let first = &self.runs[0];
+        let last = &self.runs[self.runs.len() - 1];
+        let scaling = last.offloaded_scans_per_sec / first.offloaded_scans_per_sec;
+        if !(scaling.is_finite() && scaling >= Self::MIN_SCALING) {
+            return Err(format!(
+                "aggregate offloaded throughput scaled only {scaling:.2}x from {} to {} \
+                 standbys (floor {:.1}x)",
+                first.standby_count,
+                last.standby_count,
+                Self::MIN_SCALING
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Percentile over already-sorted samples (nearest-rank; `p` in [0,100]).
 pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
@@ -422,6 +576,68 @@ mod tests {
         let mut bad = d.clone();
         bad.runs[0].replayed_records_per_sec = 0.0;
         assert!(bad.validate().is_err(), "replayed records need throughput");
+    }
+
+    fn farm_standby(name: &str, routed: u64) -> BenchFarmStandby {
+        BenchFarmStandby {
+            name: name.into(),
+            routed_queries: routed,
+            staleness_p50_us: 200.0,
+            staleness_p99_us: 900.0,
+            applied_scn: 5000,
+            published_query_scn: 5000,
+            scn_gap: 0,
+        }
+    }
+
+    fn farm_run(name: &str, count: usize, per_standby: u64, rate: f64) -> BenchFarmRun {
+        BenchFarmRun {
+            name: name.into(),
+            standby_count: count,
+            scans_total: per_standby * count as u64 + 3,
+            scans_offloaded: per_standby * count as u64,
+            scans_primary: 3,
+            offloaded_scans_per_sec: rate,
+            standbys: (0..count).map(|i| farm_standby(&format!("sb{i}"), per_standby)).collect(),
+        }
+    }
+
+    #[test]
+    fn readerfarm_doc_validates() {
+        let d = BenchReaderFarmDoc {
+            schema_version: BENCH_SCHEMA_VERSION,
+            bench: "readerfarm".into(),
+            rows: 1000,
+            cores: 16,
+            runs: vec![
+                farm_run("farm_1", 1, 100, 1000.0),
+                farm_run("farm_2", 2, 100, 1800.0),
+                farm_run("farm_4", 4, 100, 3400.0),
+            ],
+        };
+        d.validate().unwrap();
+        let s = serde_json::to_string(&d).unwrap();
+        let back: BenchReaderFarmDoc = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, d);
+
+        let mut bad = d.clone();
+        bad.runs[2].offloaded_scans_per_sec = 1500.0;
+        assert!(bad.validate().is_err(), "sub-floor scaling must fail");
+        let mut bad = d.clone();
+        bad.runs[1].standbys.pop();
+        assert!(bad.validate().is_err(), "standby record count mismatch");
+        let mut bad = d.clone();
+        bad.runs[1].scans_offloaded += 1;
+        assert!(bad.validate().is_err(), "offloaded/total mismatch");
+        let mut bad = d.clone();
+        bad.runs[0].standbys[0].published_query_scn = 9999;
+        assert!(bad.validate().is_err(), "QuerySCN ahead of applied SCN");
+        let mut bad = d.clone();
+        bad.runs.truncate(1);
+        assert!(bad.validate().is_err(), "one farm size cannot show scaling");
+        let mut bad = d;
+        bad.runs.swap(0, 2);
+        assert!(bad.validate().is_err(), "farm sizes must ascend");
     }
 
     #[test]

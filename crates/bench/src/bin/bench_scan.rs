@@ -26,8 +26,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use imadg_bench::bench_output::{
-    percentile, write_json, BenchEntry, BenchOltapDoc, BenchRecoveryDoc, BenchScanDoc,
-    BENCH_SCHEMA_VERSION,
+    percentile, write_json, BenchEntry, BenchOltapDoc, BenchReaderFarmDoc, BenchRecoveryDoc,
+    BenchScanDoc, BENCH_SCHEMA_VERSION,
 };
 use imadg_common::{ImcsConfig, ObjectId, ScnService, TenantId};
 use imadg_imcs::{scalar, ImcsStore, PopulationEngine, Predicate, SnapshotSource};
@@ -316,11 +316,19 @@ fn validate_file(path: &str) -> ExitCode {
                     match as_recovery {
                         Ok(()) => "recovery",
                         Err(rec_err) => {
-                            eprintln!(
-                                "bench_scan --validate: {path}: {scan_err}; {oltap_err}; \
-                                 {rec_err}"
-                            );
-                            return ExitCode::FAILURE;
+                            let as_farm = serde_json::from_str::<BenchReaderFarmDoc>(&raw)
+                                .map_err(|e| format!("not a readerfarm document: {e}"))
+                                .and_then(|d| d.validate());
+                            match as_farm {
+                                Ok(()) => "readerfarm",
+                                Err(farm_err) => {
+                                    eprintln!(
+                                        "bench_scan --validate: {path}: {scan_err}; \
+                                         {oltap_err}; {rec_err}; {farm_err}"
+                                    );
+                                    return ExitCode::FAILURE;
+                                }
+                            }
                         }
                     }
                 }

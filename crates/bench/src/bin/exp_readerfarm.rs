@@ -1,0 +1,231 @@
+//! `exp_readerfarm` — reader-farm scale-out behind `BENCH_readerfarm.json`.
+//!
+//! The paper's pitch for IM on ADG is offload: analytics leave the primary
+//! and land on standby reader nodes. This experiment measures the farm
+//! variant (PR 9): one primary fanning redo out to 1 / 2 / 4 named
+//! standbys, a staleness-bounded router spreading scans across them, and
+//! a live DML stream keeping every standby's apply pipeline busy.
+//!
+//! Weak-scaling design: each standby gets a fixed client pool (2 workers)
+//! issuing routed Q1/Q2 scans at a fixed per-worker pace, the same way the
+//! OLTAP driver paces `target_ops_per_sec` — each pool models one reader
+//! node's offered load, so the aggregate offered load grows with the farm
+//! while per-standby load stays constant. A healthy farm absorbs n× the
+//! scans with flat per-standby staleness; a farm whose fan-out shipping,
+//! apply, or routing chokes falls off the pace and fails the document's
+//! scaling floor (`BenchReaderFarmDoc::MIN_SCALING`, ≥1.7× from the
+//! smallest to the largest farm).
+//!
+//! Scans carry mixed staleness tolerances (tight / relaxed / unbounded),
+//! so some fall back to the primary when the DML stream outruns a
+//! standby's published QuerySCN — those count as `scans_primary`.
+//!
+//! Flags/knobs: `--smoke` shrinks rows and run length for CI;
+//! `IMADG_BENCH_ROWS`, `IMADG_BENCH_SECS`, `IMADG_BENCH_OUT` (default
+//! `BENCH_readerfarm.json`). Validate emitted documents with
+//! `bench_scan --validate <file>`.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use imadg_bench::bench_output::{
+    write_json, BenchFarmRun, BenchFarmStandby, BenchReaderFarmDoc, BENCH_SCHEMA_VERSION,
+};
+use imadg_bench::WIDE;
+use imadg_db::{AdgCluster, NodeBuilder, Placement, QueryRequest};
+use imadg_workload::oltap::NUM_DOMAIN;
+use imadg_workload::{build, load_wide_table, wide_schema, wide_table_spec, QueryId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Client workers per standby (each farm member's modelled reader load).
+const WORKERS_PER_STANDBY: usize = 2;
+/// Paced scans per second per worker.
+const WORKER_SCANS_PER_SEC: f64 = 250.0;
+
+struct Knobs {
+    rows: usize,
+    duration: Duration,
+}
+
+fn var<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Totals one farm run accumulates across its worker threads.
+#[derive(Default)]
+struct Tally {
+    offloaded: AtomicU64,
+    primary: AtomicU64,
+}
+
+/// One farm size: build, load, run the paced routed-scan pools plus a DML
+/// stream, and report the measured run.
+fn farm_scenario(standbys: usize, knobs: &Knobs) -> BenchFarmRun {
+    let mut b = NodeBuilder::new().reader_farm(standbys);
+    b = b.dbim_on_adg(true);
+    let cluster = b.build().expect("build farm");
+    cluster.create_table(wide_table_spec(WIDE, 64)).expect("create table");
+    // Both sides hold the IMCS so staleness-bound fallbacks still scan
+    // in-memory on the primary.
+    cluster.set_placement(WIDE, Placement::Both).expect("placement");
+    load_wide_table(&cluster, WIDE, knobs.rows, 7).expect("load");
+    cluster.sync().expect("warmup sync");
+    cluster.populate_primary().expect("populate primary");
+
+    let threads = cluster.start();
+    let schema = wide_schema();
+    let tally = Arc::new(Tally::default());
+    let deadline = Instant::now() + knobs.duration;
+    let started = Instant::now();
+
+    std::thread::scope(|s| {
+        // The DML stream: single-row committed inserts keep redo fanning
+        // out so every standby's staleness histogram sees live samples.
+        s.spawn(|| {
+            let p = cluster.primary();
+            let mut rng = SmallRng::seed_from_u64(9001);
+            let mut key = knobs.rows as i64;
+            while Instant::now() < deadline {
+                let mut tx = p.txm.begin(imadg_common::TenantId::DEFAULT);
+                let row = imadg_workload::generate_row(key, &mut rng);
+                p.txm.insert(&mut tx, WIDE, row).expect("insert");
+                p.txm.commit(tx);
+                key += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+
+        for w in 0..standbys * WORKERS_PER_STANDBY {
+            let tally = Arc::clone(&tally);
+            let schema = &schema;
+            let cluster: &AdgCluster = &cluster;
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(4242 + w as u64 * 7919);
+                let period = Duration::from_secs_f64(1.0 / WORKER_SCANS_PER_SEC);
+                let mut next = Instant::now();
+                let mut i = 0u64;
+                while Instant::now() < deadline {
+                    let bind = rng.gen_range(0..NUM_DOMAIN);
+                    let id = if i.is_multiple_of(2) { QueryId::Q1 } else { QueryId::Q2 };
+                    let filter = build(id, schema, bind).expect("filter");
+                    let mut req = QueryRequest::scan(WIDE).filter(filter);
+                    // Mixed tolerances: 1/8 tight (may fall back under DML
+                    // pressure), 3/8 relaxed, the rest unbounded.
+                    match i % 8 {
+                        0 => req = req.max_staleness(Duration::from_micros(500)),
+                        1..=3 => req = req.max_staleness(Duration::from_millis(100)),
+                        _ => {}
+                    }
+                    let (_out, decision) = cluster.route_query(&req).expect("routed scan");
+                    if decision.offloaded() {
+                        tally.offloaded.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        tally.primary.fetch_add(1, Ordering::Relaxed);
+                    }
+                    i += 1;
+                    next += period;
+                    let now = Instant::now();
+                    if next > now {
+                        std::thread::sleep(next - now);
+                    } else {
+                        // Behind pace: don't bank a burst.
+                        next = now;
+                    }
+                }
+            });
+        }
+    });
+
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    cluster.sync().expect("quiesce sync");
+    drop(threads);
+
+    let offloaded = tally.offloaded.load(Ordering::Relaxed);
+    let primary = tally.primary.load(Ordering::Relaxed);
+    let members: Vec<BenchFarmStandby> = cluster
+        .standbys()
+        .iter()
+        .map(|sb| {
+            let st = sb.status();
+            let e2e = sb.e2e_staleness();
+            BenchFarmStandby {
+                name: sb.name().to_string(),
+                routed_queries: sb.routed_queries(),
+                staleness_p50_us: e2e.p50() as f64,
+                staleness_p99_us: e2e.p99() as f64,
+                applied_scn: st.applied_scn.0,
+                published_query_scn: st.query_scn.map(|s| s.0).unwrap_or(0),
+                scn_gap: st.scn_gap,
+            }
+        })
+        .collect();
+
+    let run = BenchFarmRun {
+        name: format!("farm_{standbys}"),
+        standby_count: standbys,
+        scans_total: offloaded + primary,
+        scans_offloaded: offloaded,
+        scans_primary: primary,
+        offloaded_scans_per_sec: offloaded as f64 / wall,
+        standbys: members,
+    };
+    println!(
+        "{}: {:.0} offloaded scans/s ({} offloaded, {} primary fallback) over {:.1}s",
+        run.name, run.offloaded_scans_per_sec, offloaded, primary, wall
+    );
+    for m in &run.standbys {
+        println!(
+            "  {}: routed={} staleness p50={}us p99={}us applied={} query_scn={} gap={}",
+            m.name,
+            m.routed_queries,
+            m.staleness_p50_us,
+            m.staleness_p99_us,
+            m.applied_scn,
+            m.published_query_scn,
+            m.scn_gap
+        );
+    }
+    run
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if let Some(flag) = args.iter().skip(1).find(|a| *a != "--smoke") {
+        eprintln!("exp_readerfarm: unknown flag {flag}");
+        eprintln!("usage: exp_readerfarm [--smoke]");
+        return ExitCode::FAILURE;
+    }
+    let knobs = Knobs {
+        rows: var("IMADG_BENCH_ROWS", if smoke { 2_000usize } else { 20_000 }),
+        duration: Duration::from_secs_f64(var("IMADG_BENCH_SECS", if smoke { 1.5 } else { 5.0 })),
+    };
+    let out_path =
+        std::env::var("IMADG_BENCH_OUT").unwrap_or_else(|_| "BENCH_readerfarm.json".into());
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "exp_readerfarm: {} rows, {} per farm, {WORKERS_PER_STANDBY} workers/standby at \
+         {WORKER_SCANS_PER_SEC}/s, {cores} core(s)",
+        knobs.rows,
+        imadg_bench::fmt_dur(knobs.duration)
+    );
+
+    let runs = vec![farm_scenario(1, &knobs), farm_scenario(2, &knobs), farm_scenario(4, &knobs)];
+    let doc = BenchReaderFarmDoc {
+        schema_version: BENCH_SCHEMA_VERSION,
+        bench: "readerfarm".into(),
+        rows: knobs.rows,
+        cores,
+        runs,
+    };
+    if let Err(e) = doc.validate() {
+        eprintln!("exp_readerfarm: emitted document failed validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    write_json(&out_path, &doc).expect("write BENCH_readerfarm.json");
+    println!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

@@ -92,7 +92,7 @@ fn restart_scenario(name: &str, dir: &std::path::Path, rows: usize, ckpt: u64) -
     let persisted = c.standby().metrics().durability.records_persisted;
 
     let start = Instant::now();
-    c.crash_restart_standby().expect("crash restart");
+    c.crash_restart_standby(0).expect("crash restart");
     c.sync().expect("recovery sync");
     let committed = standby_count(&c);
     let elapsed = start.elapsed();

@@ -64,6 +64,7 @@ impl ExpScale {
             mix,
             threads: self.threads,
             scans_on_standby,
+            routed_scans: false,
             seed: 42,
             cores: self.cores,
         }
@@ -78,7 +79,7 @@ pub fn setup_cluster(
 ) -> Result<Arc<AdgCluster>> {
     let cluster = builder.build()?;
     cluster.create_table(wide_table_spec(WIDE, ROWS_PER_BLOCK))?;
-    cluster.set_placement(WIDE, placement)?;
+    cluster.set_placement(WIDE, placement.clone())?;
     load_wide_table(&cluster, WIDE, rows, 7)?;
     // Deterministic warm-up: replicate everything and populate the IMCS on
     // whichever side the placement selects.

@@ -20,7 +20,9 @@ use std::collections::BTreeSet;
 
 use serde::{Content, Serialize};
 
-use crate::metrics::{LogBucket, LogHistogramSnapshot, MetricsSnapshot};
+use crate::metrics::{
+    HistogramSnapshot, LogBucket, LogHistogram, LogHistogramSnapshot, MetricsSnapshot,
+};
 
 /// Quantiles emitted for every histogram summary.
 const QUANTILES: [(f64, &str); 3] = [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99")];
@@ -158,13 +160,18 @@ fn histogram_of(fields: &[(String, Content)]) -> Option<LogHistogramSnapshot> {
                 let count = item.field("count")?.as_u64()?;
                 buckets.push(LogBucket { index: u32::try_from(index).ok()?, count });
             }
-            // Dense power-of-two bucket array: project occupied buckets
-            // onto the sparse form (both layouts bound bucket `i` by
-            // `2^i`, so the quantile math carries over).
+            // Dense power-of-two bucket array: the two layouts use
+            // different index encodings (pure octaves vs. sub-bucketed
+            // octaves), so project each occupied bucket through its
+            // upper-bound *value* into the log-linear index space. The
+            // mapped indices stay strictly increasing, so the sparse
+            // bucket list remains sorted.
             _ => {
                 let count = item.as_u64()?;
                 if count > 0 {
-                    buckets.push(LogBucket { index: i as u32, count });
+                    let bound = HistogramSnapshot::bucket_bound(i);
+                    let index = LogHistogram::bucket_index(bound) as u32;
+                    buckets.push(LogBucket { index, count });
                 }
             }
         }
@@ -256,18 +263,29 @@ mod tests {
 mod review_check {
     use super::*;
     use crate::metrics::Histogram;
+
+    /// The dense power-of-two histogram and the log-linear histogram
+    /// use different index encodings; the export shim must project
+    /// dense buckets through their bound values, not copy raw indices.
     #[test]
     fn dense_histogram_projection_quantile() {
         let h = Histogram::new();
-        for _ in 0..100 { h.record_value(250); } // 250us latencies
+        for v in [0u64, 3, 250, 250, 250, 70_000] {
+            h.record_value(v);
+        }
         let snap = h.snapshot();
-        // direct dense quantile
-        let direct = snap.quantile(0.5);
-        // via the export shim
         let content = snap.to_content();
         let fields = content.as_map().unwrap();
         let projected = histogram_of(fields).expect("recognized as histogram");
-        let via_export = projected.quantile(0.5);
-        panic!("direct={direct} via_export={via_export}");
+        assert_eq!(projected.count, snap.count);
+        assert_eq!(projected.sum, snap.sum);
+        assert_eq!(projected.max, snap.max);
+        for (q, _) in QUANTILES {
+            assert_eq!(
+                projected.quantile(q),
+                snap.quantile(q),
+                "quantile {q} must survive the dense->log projection"
+            );
+        }
     }
 }

@@ -271,7 +271,7 @@ impl LogHistogram {
     /// Bucket index for `v`: identity below `2^SUB_BITS`, then
     /// `(exp - SUB_BITS + 1) * LOG_SUBS + sub` where `exp = floor(log2 v)`
     /// and `sub` is the next `SUB_BITS` bits below the leading one.
-    fn bucket_index(v: u64) -> usize {
+    pub fn bucket_index(v: u64) -> usize {
         if v < LOG_SUBS as u64 {
             return v as usize;
         }
@@ -776,6 +776,11 @@ pub struct FlushMetrics {
     pub advances: Counter,
     /// Quiesce-period duration per advancement, in microseconds.
     pub quiesce_us: Histogram,
+    /// The currently published QuerySCN on this standby (sampled).
+    pub published_query_scn: Gauge,
+    /// SCN gap between the primary's current SCN and this standby's
+    /// published QuerySCN (sampled) — the reader farm's lag signal.
+    pub scn_gap: Gauge,
 }
 
 impl FlushMetrics {
@@ -793,6 +798,8 @@ impl FlushMetrics {
             flush_groups: self.flush_groups.get(),
             advances: self.advances.get(),
             quiesce_us: self.quiesce_us.snapshot(),
+            published_query_scn: self.published_query_scn.get(),
+            scn_gap: self.scn_gap.get(),
         }
     }
 }
@@ -818,6 +825,10 @@ pub struct FlushSnapshot {
     pub advances: u64,
     /// Quiesce-duration distribution (µs).
     pub quiesce_us: HistogramSnapshot,
+    /// The currently published QuerySCN (0 when none yet).
+    pub published_query_scn: u64,
+    /// Primary-SCN minus published QuerySCN at sample time.
+    pub scn_gap: u64,
 }
 
 /// Redo durability: the on-disk segmented log (group commit + archiver),

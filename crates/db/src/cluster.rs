@@ -1,37 +1,58 @@
-//! The full Active-Data-Guard deployment: primary cluster + standby
-//! cluster connected by redo shipping (paper Fig. 1), plus the durability
-//! lifecycle — hard standby restart from on-disk redo and standby
-//! promotion after primary loss.
+//! The full Active-Data-Guard deployment: a primary cluster fanning redo
+//! out to a farm of named standby clusters (paper Fig. 1, scaled out), plus
+//! the durability lifecycle — hard standby restart from on-disk redo and
+//! standby promotion after primary loss with survivor re-homing.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Duration;
 
 use imadg_common::{
-    Clock, Error, InstanceId, ObjectId, RedoThreadId, Result, Runtime, RuntimeHealth, Scn,
-    ScnService, StepScheduler, SystemConfig, ThreadedRuntime,
+    Clock, Error, FaultPlan, InstanceId, ObjectId, RedoThreadId, Result, Runtime, RuntimeHealth,
+    Scn, ScnService, StepScheduler, SystemConfig, ThreadedRuntime,
 };
-use imadg_net::{build_link, LinkDurability};
-use imadg_redo::{read_checkpoint, redo_link, DurableLog, LogBuffer, RedoSource, ReplaySource};
+use imadg_net::{build_fanout_link, FanoutLaneSpec};
+use imadg_redo::{read_checkpoint, DurableLog, LogBuffer, RedoSource, ReplaySource};
 use imadg_storage::{DbaAllocator, Store, TableSpec};
 use imadg_txn::{InMemoryRegistry, LockTable, TxnIdService, TxnManager};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::placement::Placement;
 use crate::primary::PrimaryInstance;
 use crate::standby::StandbyCluster;
+
+/// One named standby cluster in the reader farm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StandbySpec {
+    /// Cluster name — keys the durable-log directory, the placement
+    /// selector, and the `standby="<name>"` metrics label.
+    pub name: String,
+    /// Per-standby fault override on this standby's redo lanes; `None`
+    /// inherits the deployment-wide `TransportConfig::faults`.
+    pub faults: Option<FaultPlan>,
+}
+
+impl StandbySpec {
+    /// A spec with no fault override.
+    pub fn named(name: impl Into<String>) -> StandbySpec {
+        StandbySpec { name: name.into(), faults: None }
+    }
+}
 
 /// Deployment shape (named-setter construction via [`crate::NodeBuilder`]).
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Primary RAC instances (each gets its own redo thread).
     pub primary_instances: usize,
-    /// Standby RAC instances (instance 0 runs SIRA media recovery).
+    /// RAC instances per standby cluster (instance 0 runs SIRA media
+    /// recovery).
     pub standby_instances: usize,
+    /// The reader farm: one named standby cluster per entry. Empty means
+    /// the historical single-standby deployment (one cluster named `sb0`).
+    pub standby_clusters: Vec<StandbySpec>,
     /// Kernel configuration.
     pub system: SystemConfig,
-    /// Enable the DBIM-on-ADG infrastructure on the standby.
+    /// Enable the DBIM-on-ADG infrastructure on the standbys.
     pub dbim_on_adg: bool,
     /// Annotate commit records with the in-memory flag (§III.E).
     pub commit_annotation: bool,
@@ -46,6 +67,7 @@ impl Default for ClusterConfig {
         ClusterConfig {
             primary_instances: 1,
             standby_instances: 1,
+            standby_clusters: Vec::new(),
             system: SystemConfig::default(),
             dbim_on_adg: true,
             commit_annotation: true,
@@ -58,28 +80,42 @@ impl ClusterConfig {
     fn durability_dir(&self) -> Option<PathBuf> {
         self.system.durability.dir.as_ref().map(PathBuf::from)
     }
+
+    /// The effective farm shape: the configured specs, or the historical
+    /// single `sb0` when none were named.
+    fn farm(&self) -> Vec<StandbySpec> {
+        if self.standby_clusters.is_empty() {
+            vec![StandbySpec::named("sb0")]
+        } else {
+            self.standby_clusters.clone()
+        }
+    }
 }
 
 /// Outcome of [`AdgCluster::promote`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PromotionReport {
-    /// SCN the standby had applied through at promotion (every committed
-    /// transaction the lost primary shipped is at or below it).
+    /// SCN the freshest standby had applied through at promotion (every
+    /// committed transaction the lost primary shipped is at or below it).
     pub applied_scn: Scn,
     /// First SCN the promoted primary allocates.
     pub resume_scn: Scn,
-    /// The QuerySCN the demoted standby stays frozen at (None if it never
-    /// published one).
+    /// The QuerySCN the promoted-from standby stays frozen at (None if it
+    /// never published one).
     pub frozen_query_scn: Option<Scn>,
+    /// Name of the standby cluster that was promoted.
+    pub promoted_from: String,
+    /// Names of the surviving standbys re-homed to the new primary.
+    pub rehomed: Vec<String>,
 }
 
-/// A primary + standby deployment.
+/// A primary + reader-farm deployment.
 pub struct AdgCluster {
     /// The deployment shape.
     pub config: ClusterConfig,
     scns: RwLock<Arc<ScnService>>,
     primaries: RwLock<Vec<Arc<PrimaryInstance>>>,
-    standby: RwLock<Arc<StandbyCluster>>,
+    standbys: RwLock<Vec<Arc<StandbyCluster>>>,
     /// Objects enabled anywhere (commit-record annotation source).
     annotation: Arc<InMemoryRegistry>,
     placements: RwLock<HashMap<ObjectId, Placement>>,
@@ -95,35 +131,68 @@ impl AdgCluster {
         if config.primary_instances == 0 {
             return Err(Error::Config("need at least one primary instance".into()));
         }
+        let specs = config.farm();
+        let mut seen = HashSet::new();
+        for s in &specs {
+            if s.name.is_empty() {
+                return Err(Error::Config("standby cluster names must be non-empty".into()));
+            }
+            if !seen.insert(s.name.clone()) {
+                return Err(Error::Config(format!("duplicate standby cluster name {:?}", s.name)));
+            }
+        }
         let scns = Arc::new(ScnService::new());
         let txn_ids = Arc::new(TxnIdService::new());
         let locks = Arc::new(LockTable::new());
         let dbas = Arc::new(DbaAllocator::default());
         let annotation = Arc::new(InMemoryRegistry::new());
         let primary_store = Arc::new(Store::new());
-        let standby_store = Arc::new(Store::new());
         let dur_dir = config.durability_dir();
 
         let mut primaries = Vec::with_capacity(config.primary_instances);
-        let mut receivers = Vec::with_capacity(config.primary_instances);
+        // receivers[j] collects standby j's lane, one per primary thread.
+        let mut receivers: Vec<Vec<Box<dyn RedoSource>>> =
+            specs.iter().map(|_| Vec::with_capacity(config.primary_instances)).collect();
         for i in 0..config.primary_instances {
-            // One link per redo thread, in the configured mode. The fault
-            // seed decorrelates per-link chaos streams in multi-primary
-            // topologies while keeping the whole schedule deterministic.
+            // One fan-out link per redo thread: a shared retained-redo
+            // window on the primary side, one reliable lane per standby.
             let thread = RedoThreadId(i as u8 + 1);
-            let durability = match &dur_dir {
-                Some(dir) => Some(Self::open_link_logs(dir, &config.system, thread)?),
+            let primary_log = match &dur_dir {
+                Some(dir) => Some(Self::open_log(dir.join("primary"), &config.system, thread)?),
                 None => None,
             };
-            let (sender, receiver) = build_link(
+            let mut lanes = Vec::with_capacity(specs.len());
+            for (j, spec) in specs.iter().enumerate() {
+                let standby_log = match &dur_dir {
+                    Some(dir) => Some(Self::open_log(
+                        Self::standby_dir(dir, &spec.name),
+                        &config.system,
+                        thread,
+                    )?),
+                    None => None,
+                };
+                lanes.push(FanoutLaneSpec {
+                    name: spec.name.clone(),
+                    faults: spec.faults.clone(),
+                    // Decorrelate per-lane chaos streams: lane 0 keeps the
+                    // historical per-thread seed, later lanes mix in their
+                    // index so multi-standby schedules stay deterministic
+                    // but independent.
+                    fault_seed: (i as u64) ^ (j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    standby_log,
+                });
+            }
+            let (sender, lane_rx) = build_fanout_link(
                 config.system.transport.mode,
                 thread,
                 &config.system.transport,
                 config.clock.clone(),
-                i as u64,
-                durability,
+                primary_log,
+                lanes,
             )?;
-            receivers.push(receiver);
+            for (j, rx) in lane_rx.into_iter().enumerate() {
+                receivers[j].push(rx);
+            }
             let log = Arc::new(LogBuffer::with_clock(thread, config.clock.clone()));
             let mut txm = TxnManager::new(
                 primary_store.clone(),
@@ -148,31 +217,36 @@ impl AdgCluster {
             )?));
         }
 
-        // A pre-existing durability dir (cold start over surviving redo
-        // files) replays from disk before going live, gated at the last
-        // checkpoint.
-        let (receivers, mine_gate) = Self::prepare_receivers(receivers, dur_dir.as_deref())?;
-        let standby = StandbyCluster::new(
-            &config.system,
-            standby_store,
-            receivers,
-            config.standby_instances,
-            config.dbim_on_adg,
-            &config.clock,
-        )?;
-        standby.set_mine_gate(mine_gate);
-        if let Some(dir) = &dur_dir {
-            standby.set_checkpoint(
-                Self::checkpoint_path(dir),
-                config.system.durability.checkpoint_interval,
-            );
+        let mut standbys = Vec::with_capacity(specs.len());
+        for (j, (spec, rxs)) in specs.iter().zip(receivers).enumerate() {
+            // A pre-existing durability dir (cold start over surviving redo
+            // files) replays from disk before going live, gated at this
+            // standby's last checkpoint.
+            let ckpt = dur_dir.as_deref().map(|d| Self::checkpoint_path(d, &spec.name));
+            let (rxs, mine_gate) = Self::prepare_receivers(rxs, ckpt.as_deref())?;
+            let standby = StandbyCluster::new(
+                &config.system,
+                Arc::new(Store::new()),
+                rxs,
+                config.standby_instances,
+                config.dbim_on_adg,
+                &config.clock,
+                &spec.name,
+                j,
+            )?;
+            standby.set_mine_gate(mine_gate);
+            if let Some(path) = ckpt {
+                standby.set_checkpoint(path, config.system.durability.checkpoint_interval);
+            }
+            standby.set_primary_scn_probe(scns.clone());
+            standbys.push(standby);
         }
 
         Ok(Arc::new(AdgCluster {
             config,
             scns: RwLock::new(scns),
             primaries: RwLock::new(primaries),
-            standby: RwLock::new(standby),
+            standbys: RwLock::new(standbys),
             annotation,
             placements: RwLock::new(HashMap::new()),
             detached: Mutex::new(Vec::new()),
@@ -184,28 +258,26 @@ impl AdgCluster {
         AdgCluster::new(ClusterConfig::default())
     }
 
-    /// Open the per-thread wal/archive logs for one link's two ends.
-    fn open_link_logs(
-        dir: &Path,
+    /// Open one side's per-thread wal/archive log under `side_dir`.
+    fn open_log(
+        side_dir: PathBuf,
         system: &SystemConfig,
         thread: RedoThreadId,
-    ) -> Result<LinkDurability> {
-        let seg = system.durability.segment_max_bytes;
-        Ok(LinkDurability {
-            primary: Arc::new(DurableLog::open(
-                dir.join("primary").join(format!("t{}", thread.0)),
-                seg,
-            )?),
-            standby: Arc::new(DurableLog::open(
-                dir.join("standby").join(format!("t{}", thread.0)),
-                seg,
-            )?),
-        })
+    ) -> Result<Arc<DurableLog>> {
+        Ok(Arc::new(DurableLog::open(
+            side_dir.join(format!("t{}", thread.0)),
+            system.durability.segment_max_bytes,
+        )?))
     }
 
-    /// The standby checkpoint file inside the durability dir.
-    fn checkpoint_path(dir: &Path) -> PathBuf {
-        dir.join("standby").join("checkpoint.json")
+    /// The named standby's durability directory.
+    fn standby_dir(dir: &Path, name: &str) -> PathBuf {
+        dir.join(format!("standby-{name}"))
+    }
+
+    /// The named standby's checkpoint file inside the durability dir.
+    fn checkpoint_path(dir: &Path, name: &str) -> PathBuf {
+        Self::standby_dir(dir, name).join("checkpoint.json")
     }
 
     /// Wrap every receiver that has durable history in a [`ReplaySource`]
@@ -213,10 +285,10 @@ impl AdgCluster {
     /// the replayed mining should be gated at.
     fn prepare_receivers(
         receivers: Vec<Box<dyn RedoSource>>,
-        dir: Option<&Path>,
+        checkpoint: Option<&Path>,
     ) -> Result<(Vec<Box<dyn RedoSource>>, Scn)> {
-        let mine_gate = match dir {
-            Some(d) => read_checkpoint(Self::checkpoint_path(d))?.unwrap_or(Scn::ZERO),
+        let mine_gate = match checkpoint {
+            Some(path) => read_checkpoint(path)?.unwrap_or(Scn::ZERO),
             None => Scn::ZERO,
         };
         let mut out = Vec::with_capacity(receivers.len());
@@ -247,9 +319,33 @@ impl AdgCluster {
         self.primaries.read()[0].clone()
     }
 
-    /// The standby cluster.
+    /// The reader farm (owned snapshot: restarts swap members).
+    pub fn standbys(&self) -> Vec<Arc<StandbyCluster>> {
+        self.standbys.read().clone()
+    }
+
+    /// The first standby cluster (the historical single-standby accessor).
     pub fn standby(&self) -> Arc<StandbyCluster> {
-        self.standby.read().clone()
+        self.standbys.read()[0].clone()
+    }
+
+    /// One standby cluster by farm index.
+    pub fn standby_at(&self, idx: usize) -> Result<Arc<StandbyCluster>> {
+        self.standbys
+            .read()
+            .get(idx)
+            .cloned()
+            .ok_or_else(|| Error::Config(format!("no standby cluster at index {idx}")))
+    }
+
+    /// One standby cluster by name.
+    pub fn standby_named(&self, name: &str) -> Result<Arc<StandbyCluster>> {
+        self.standbys
+            .read()
+            .iter()
+            .find(|s| s.name() == name)
+            .cloned()
+            .ok_or_else(|| Error::Config(format!("no standby cluster named {name:?}")))
     }
 
     /// The global SCN service (replaced on promotion).
@@ -258,12 +354,13 @@ impl AdgCluster {
     }
 
     /// Create a table: applied on the primary dictionary and replicated to
-    /// the standby through a DDL redo marker.
+    /// every standby through a DDL redo marker.
     pub fn create_table(&self, spec: TableSpec) -> Result<()> {
         self.primary().txm.create_table(spec)
     }
 
-    /// Set an object's in-memory placement (services model, Fig. 2).
+    /// Set an object's in-memory placement (services model, Fig. 2): the
+    /// primary service plus the selected standby clusters populate it.
     pub fn set_placement(&self, object: ObjectId, placement: Placement) -> Result<()> {
         // Commit-record annotation covers objects enabled anywhere.
         if placement.enabled_anywhere() {
@@ -278,11 +375,12 @@ impl AdgCluster {
                 p.population.disable(object);
             }
         }
-        let standby = self.standby();
-        if placement.on_standby() {
-            standby.enable_inmemory(object);
-        } else {
-            standby.disable_inmemory(object);
+        for standby in self.standbys.read().iter() {
+            if placement.on_standby_named(standby.name()) {
+                standby.enable_inmemory(object);
+            } else {
+                standby.disable_inmemory(object);
+            }
         }
         self.placements.write().insert(object, placement);
         Ok(())
@@ -290,7 +388,7 @@ impl AdgCluster {
 
     /// The object's current placement.
     pub fn placement(&self, object: ObjectId) -> Placement {
-        self.placements.read().get(&object).copied().unwrap_or_default()
+        self.placements.read().get(&object).cloned().unwrap_or_default()
     }
 
     /// Ship all buffered redo from every primary instance.
@@ -302,25 +400,29 @@ impl AdgCluster {
         Ok(total)
     }
 
-    /// Deterministic full synchronization (step mode): ship redo, apply it,
-    /// advance the QuerySCN, and run population to a fixed point.
+    /// Deterministic full synchronization (step mode): ship redo, apply it
+    /// on every standby, advance the QuerySCNs, and run population to a
+    /// fixed point.
     ///
     /// On a lossy or latent link, "shipped nothing and populated nothing"
     /// is not quiescence: frames may still be unacked on the primary side
     /// or sitting in a receiver gap awaiting retransmission. Each loop
     /// iteration runs a shipper service quantum (inside `ship_redo`) and a
-    /// full standby pump, which is exactly the polling the NAK/ping
-    /// protocol needs to converge.
+    /// full pump on every standby, which is exactly the polling the
+    /// NAK/ping protocol needs to converge.
     pub fn sync(&self) -> Result<()> {
-        let standby = self.standby();
+        let standbys = self.standbys();
         loop {
             let shipped = self.ship_redo()?;
-            standby.pump_until_idle()?;
-            let populated = standby.populate_until_idle()?;
+            let mut populated_any = false;
+            for standby in &standbys {
+                standby.pump_until_idle()?;
+                populated_any |= standby.populate_until_idle()?.any();
+            }
             let pending = self.primaries.read().iter().any(|p| p.transport_pending())
-                || standby.recovery.transport_pending();
+                || standbys.iter().any(|s| s.recovery.transport_pending());
             // Population may race new shipping in tests; loop until stable.
-            if shipped == 0 && !populated.any() {
+            if shipped == 0 && !populated_any {
                 if !pending {
                     return Ok(());
                 }
@@ -341,8 +443,10 @@ impl AdgCluster {
                 p.imcs.register_expression(object, expr.clone());
             }
         }
-        if placement.on_standby() {
-            self.standby().register_expression(object, expr);
+        for standby in self.standbys.read().iter() {
+            if placement.on_standby_named(standby.name()) {
+                standby.register_expression(object, expr.clone());
+            }
         }
     }
 
@@ -355,11 +459,22 @@ impl AdgCluster {
         Ok(())
     }
 
-    /// Restart the standby cluster (paper §III.E): storage persists, every
-    /// in-memory structure — journal, commit table, IMCS — is lost, and
-    /// media recovery resumes on the same redo links.
+    /// Restart every standby cluster (paper §III.E): storage persists,
+    /// every in-memory structure — journal, commit table, IMCS — is lost,
+    /// and media recovery resumes on the same redo links.
     pub fn restart_standby(&self) -> Result<()> {
-        let old = self.standby();
+        // Take the length first: a `for` loop's iterator temporaries live
+        // for the whole loop, and restart_standby_at needs the write lock.
+        let farm_size = self.standbys.read().len();
+        for idx in 0..farm_size {
+            self.restart_standby_at(idx)?;
+        }
+        Ok(())
+    }
+
+    /// Restart one standby cluster by farm index.
+    pub fn restart_standby_at(&self, idx: usize) -> Result<()> {
+        let old = self.standby_at(idx)?;
         let receivers = old.recovery.take_receivers();
         let new = StandbyCluster::new(
             &self.config.system,
@@ -368,23 +483,27 @@ impl AdgCluster {
             self.config.standby_instances,
             self.config.dbim_on_adg,
             &self.config.clock,
+            old.name(),
+            old.lane(),
         )?;
+        new.set_primary_scn_probe(self.scns());
         self.arm_standby(&new)?;
-        *self.standby.write() = new;
+        self.standbys.write()[idx] = new;
         Ok(())
     }
 
-    /// Hard-crash the standby and restart it from disk: the physical store
-    /// and every in-memory structure are lost. The replacement rebuilds by
-    /// replaying the local durable redo files (mining gated at the last
-    /// checkpoint), then converges the unsynced tail through the gap
-    /// protocol — NAKs served from the primary's retained window and
-    /// archived logs. Requires durability (a framed or TCP link).
-    pub fn crash_restart_standby(&self) -> Result<()> {
+    /// Hard-crash one standby cluster and restart it from disk: the
+    /// physical store and every in-memory structure are lost. The
+    /// replacement rebuilds by replaying its own durable redo files (mining
+    /// gated at its last checkpoint), then converges the unsynced tail
+    /// through the gap protocol — NAKs served from the primary's shared
+    /// retained window and archived logs. The rest of the farm keeps
+    /// applying undisturbed. Requires durability (a framed or TCP link).
+    pub fn crash_restart_standby(&self, idx: usize) -> Result<()> {
         let dir = self.config.durability_dir().ok_or_else(|| {
             Error::Config("crash restart requires durability (NodeBuilder::durability)".into())
         })?;
-        let old = self.standby();
+        let old = self.standby_at(idx)?;
         let mut receivers = old.recovery.take_receivers();
         for rx in receivers.iter_mut() {
             // The crash loses the unsynced tee buffer and all reassembly
@@ -392,7 +511,8 @@ impl AdgCluster {
             // announces it to the sender.
             rx.reset_for_restart()?;
         }
-        let (receivers, mine_gate) = Self::prepare_receivers(receivers, Some(&dir))?;
+        let ckpt = Self::checkpoint_path(&dir, old.name());
+        let (receivers, mine_gate) = Self::prepare_receivers(receivers, Some(&ckpt))?;
         let new = StandbyCluster::new(
             &self.config.system,
             Arc::new(Store::new()),
@@ -400,53 +520,68 @@ impl AdgCluster {
             self.config.standby_instances,
             self.config.dbim_on_adg,
             &self.config.clock,
+            old.name(),
+            old.lane(),
         )?;
         new.set_mine_gate(mine_gate);
-        new.set_checkpoint(
-            Self::checkpoint_path(&dir),
-            self.config.system.durability.checkpoint_interval,
-        );
+        new.set_checkpoint(ckpt, self.config.system.durability.checkpoint_interval);
+        new.set_primary_scn_probe(self.scns());
         self.arm_standby(&new)?;
-        *self.standby.write() = new;
+        self.standbys.write()[idx] = new;
         Ok(())
     }
 
     /// Re-apply recorded placements to a fresh standby cluster.
     fn arm_standby(&self, standby: &Arc<StandbyCluster>) -> Result<()> {
-        for (&object, &placement) in self.placements.read().iter() {
-            if placement.on_standby() {
+        for (&object, placement) in self.placements.read().iter() {
+            if placement.on_standby_named(standby.name()) {
                 standby.enable_inmemory(object);
             }
         }
         Ok(())
     }
 
-    /// Promote the standby to primary after primary loss (role transition,
-    /// paper §I: the standby holds every committed transaction the lost
-    /// primary shipped).
+    /// Promote the freshest standby to primary after primary loss (role
+    /// transition, paper §I: the standby holds every committed transaction
+    /// the lost primary shipped).
     ///
-    /// Runs terminal catch-up first — remaining gaps resolve through
-    /// NAK/retransmission — then builds a new primary instance directly
-    /// over the standby's physical store: SCN allocation resumes past the
-    /// applied SCN, the space and transaction-id allocators are seeded
-    /// past everything recovery replayed, and in-flight (uncommitted)
-    /// transactions from the old primary are implicitly rolled back — their
-    /// versions carry no commit SCN and stay invisible forever. The old
-    /// standby remains queryable at its frozen QuerySCN.
+    /// Runs terminal catch-up first — remaining gaps on every lane resolve
+    /// through NAK/retransmission, so the whole farm converges to the same
+    /// applied position — then picks the standby with the highest applied
+    /// SCN (ties break to the lowest farm index) and builds a new primary
+    /// instance directly over its physical store: SCN allocation resumes
+    /// past the applied SCN, the space and transaction-id allocators are
+    /// seeded past everything recovery replayed, and in-flight
+    /// (uncommitted) transactions from the old primary are implicitly
+    /// rolled back — their versions carry no commit SCN and stay invisible
+    /// forever. The promoted-from standby remains queryable at its frozen
+    /// QuerySCN; every *other* standby re-homes to the new primary over a
+    /// fresh fan-out link and keeps serving.
     pub fn promote(&self) -> Result<PromotionReport> {
         // Terminal catch-up: everything the lost primary got onto the wire
-        // (or into its retained window / archive) lands on the standby.
+        // (or into its retained window / archive) lands on every standby.
         self.sync()?;
-        let standby = self.standby();
-        let applied = standby.recovery.applied_scn();
-        let frozen_query_scn = standby.query_scn.get();
+        let standbys = self.standbys();
+        let best_idx = standbys
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, s)| (s.recovery.applied_scn(), std::cmp::Reverse(*i)))
+            .map(|(i, _)| i)
+            .ok_or_else(|| Error::Config("no standby cluster to promote".into()))?;
+        let best = standbys[best_idx].clone();
+        let applied = best.recovery.applied_scn();
+        let frozen_query_scn = best.query_scn.get();
 
-        // The old primary is gone; its instances and links go with it. The
-        // standby's receivers are parked: no more redo will arrive.
+        // The old primary is gone; its instances and links go with it.
+        // Every standby's receivers are parked: no more redo will arrive
+        // on the old lanes.
         self.primaries.write().clear();
-        self.detached.lock().extend(standby.recovery.take_receivers());
+        for s in &standbys {
+            self.detached.lock().extend(s.recovery.take_receivers());
+        }
+        best.set_frozen(true);
 
-        let store = standby.store.clone();
+        let store = best.store.clone();
         // The replayed store has never inserted locally: rebuild every
         // segment's insert cursor from block occupancy before the first
         // local transaction, or new rows would shadow replayed slots.
@@ -476,61 +611,132 @@ impl AdgCluster {
             dbas,
         );
         txm.annotate_commits = self.config.commit_annotation;
-        // The promoted primary generates redo with no standby yet: ship
-        // into a parked in-process link (a future PR can re-attach a new
-        // standby to it).
-        let (sender, receiver) = redo_link(Duration::ZERO);
-        self.detached.lock().push(Box::new(receiver));
+
+        // Survivors re-home: a fresh in-process fan-out link from the
+        // promoted primary, one lane per surviving standby. Sequences
+        // restart at 1 on clean lanes — terminal catch-up already landed
+        // every committed transaction ≤ applied on every survivor, so only
+        // new redo (SCNs past the promotion point) ships. With no
+        // survivors the link ships into a parked lane, keeping the
+        // shipper alive for a future re-attach.
+        let survivors: Vec<usize> = (0..standbys.len()).filter(|&i| i != best_idx).collect();
+        let mut rehome_cfg = self.config.system.transport.clone();
+        rehome_cfg.mode = imadg_common::LinkMode::InProcess;
+        rehome_cfg.latency = std::time::Duration::ZERO;
+        rehome_cfg.faults = None;
+        let lanes: Vec<FanoutLaneSpec> = if survivors.is_empty() {
+            vec![FanoutLaneSpec {
+                name: "parked".into(),
+                faults: None,
+                fault_seed: 0,
+                standby_log: None,
+            }]
+        } else {
+            survivors
+                .iter()
+                .map(|&i| FanoutLaneSpec {
+                    name: standbys[i].name().to_string(),
+                    faults: None,
+                    fault_seed: 0,
+                    standby_log: None,
+                })
+                .collect()
+        };
+        let (sender, mut lane_rx) = build_fanout_link(
+            imadg_common::LinkMode::InProcess,
+            thread,
+            &rehome_cfg,
+            self.config.clock.clone(),
+            None,
+            lanes,
+        )?;
         let promoted = Arc::new(PrimaryInstance::new(
             InstanceId(0),
             store,
             txm,
             scns.clone(),
             log,
-            Box::new(sender),
+            sender,
             &self.config.system.transport,
             &self.config.system.imcs,
             &self.config.clock,
         )?);
         // The promoted side now populates its own column store for every
         // object that was in-memory anywhere.
-        for (&object, &placement) in self.placements.read().iter() {
+        for (&object, placement) in self.placements.read().iter() {
             if placement.enabled_anywhere() {
                 promoted.population.enable(object);
             }
         }
         promoted.population.run_until_idle()?;
-        *self.scns.write() = scns;
+        *self.scns.write() = scns.clone();
         *self.primaries.write() = vec![promoted];
+
+        // Rebuild each survivor over its existing store, attached to its
+        // new lane (in-memory state restarts, like a standby restart; the
+        // physical store persists).
+        let mut rehomed = Vec::with_capacity(survivors.len());
+        if survivors.is_empty() {
+            self.detached.lock().push(lane_rx.remove(0));
+        } else {
+            let mut new_farm = standbys.clone();
+            for (lane, &idx) in survivors.iter().enumerate() {
+                let old = &standbys[idx];
+                // Drop the old in-memory pipeline; keep the datafiles.
+                let replacement = StandbyCluster::new(
+                    &self.config.system,
+                    old.store.clone(),
+                    vec![lane_rx.remove(0)],
+                    self.config.standby_instances,
+                    self.config.dbim_on_adg,
+                    &self.config.clock,
+                    old.name(),
+                    lane,
+                )?;
+                replacement.set_primary_scn_probe(scns.clone());
+                self.arm_standby(&replacement)?;
+                rehomed.push(old.name().to_string());
+                new_farm[idx] = replacement;
+            }
+            *self.standbys.write() = new_farm;
+        }
         Ok(PromotionReport {
             applied_scn: applied,
             resume_scn: Scn(applied.raw() + 1),
             frozen_query_scn,
+            promoted_from: best.name().to_string(),
+            rehomed,
         })
     }
 
     /// Build the deployment-wide stage runtime: every primary's redo
-    /// shipper plus all standby stages, with the cross-side wake edge
-    /// (each shipped batch wakes the standby's ingest stage). Primary
-    /// failures land in the owning instance's registry, standby failures in
-    /// the standby's; the runtime's own cell sees both.
+    /// shipper plus all standby stages, with the cross-side wake edges
+    /// (each shipped batch wakes every standby's ingest stage through its
+    /// own lane). Primary failures land in the owning instance's registry,
+    /// standby failures in that standby's; the runtime's own cell sees all.
     pub fn build_runtime(&self) -> Runtime {
-        let standby = self.standby();
+        let standbys = self.standbys();
         let mut rt = Runtime::new();
         let primaries = self.primaries();
         for p in &primaries {
             p.register_stages(&mut rt);
         }
-        let ids = standby.register_stages(&mut rt);
-        let ingest_token = rt.wake_token(ids.ingest);
-        for p in &primaries {
-            p.set_send_waker(ingest_token.clone());
+        for standby in &standbys {
+            let ids = standby.register_stages(&mut rt);
+            if standby.is_frozen() {
+                // A frozen (promoted-from) standby has no live lane.
+                continue;
+            }
+            let ingest_token = rt.wake_token(ids.ingest);
+            for p in &primaries {
+                p.set_send_waker_for(standby.lane(), ingest_token.clone());
+            }
         }
         rt
     }
 
     /// Spawn the full threaded deployment: redo shippers on every primary
-    /// plus the standby's recovery, population and RAC stages.
+    /// plus every standby's recovery, population and RAC stages.
     pub fn start(&self) -> ClusterThreads {
         ClusterThreads { inner: self.build_runtime().start_threaded() }
     }

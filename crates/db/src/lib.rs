@@ -13,14 +13,16 @@ pub mod node;
 pub mod placement;
 pub mod primary;
 pub mod query;
+pub mod router;
 pub mod standby;
 
-pub use cluster::{AdgCluster, ClusterConfig, ClusterThreads, PromotionReport};
+pub use cluster::{AdgCluster, ClusterConfig, ClusterThreads, PromotionReport, StandbySpec};
 pub use mira::{MiraInstance, MiraStandby};
 pub use node::{Node, NodeBuilder, NodeRole};
-pub use placement::Placement;
+pub use placement::{Placement, StandbySelector};
 pub use primary::PrimaryInstance;
 pub use query::{execute_request, execute_scan, QueryOutput, QueryRequest};
+pub use router::{FallbackReason, RouteDecision, RouteTarget, StandbyEstimate};
 pub use standby::{StandbyCluster, StandbyInstance, StandbyStatus, StandbyThreads};
 
 // Re-export the vocabulary users need to drive a cluster.

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use imadg_common::{FaultPlan, LinkMode, MetricsSnapshot, Result, SystemConfig};
 
-use crate::cluster::{AdgCluster, ClusterConfig, PromotionReport};
+use crate::cluster::{AdgCluster, ClusterConfig, PromotionReport, StandbySpec};
 use crate::query::{QueryOutput, QueryRequest};
 
 /// Which side of the Data Guard configuration a [`Node`] fronts.
@@ -23,6 +23,11 @@ pub enum NodeRole {
     Primary,
     /// Media recovery + read-only analytics (queries run at the QuerySCN).
     Standby,
+    /// The staleness-bounded query router over the reader farm: each query
+    /// goes to the least-loaded standby within its
+    /// [`QueryRequest::max_staleness`] tolerance, or falls back to the
+    /// primary.
+    Router,
 }
 
 /// A role-typed handle onto one side of a deployment.
@@ -34,6 +39,8 @@ pub enum NodeRole {
 pub struct Node {
     role: NodeRole,
     cluster: Arc<AdgCluster>,
+    /// Which standby cluster a Standby-role handle fronts (farm index).
+    standby: usize,
 }
 
 impl Node {
@@ -48,20 +55,25 @@ impl Node {
     }
 
     /// Execute a query on this node. Primary nodes answer at the current
-    /// SCN; standby nodes at the published QuerySCN.
+    /// SCN; standby nodes at their published QuerySCN; router nodes
+    /// dispatch by the request's staleness tolerance.
     pub fn query(&self, req: &QueryRequest) -> Result<QueryOutput> {
         match self.role {
             NodeRole::Primary => self.cluster.primary().query(req),
-            NodeRole::Standby => self.cluster.standby().query(req),
+            NodeRole::Standby => self.cluster.standby_at(self.standby)?.query(req),
+            NodeRole::Router => self.cluster.route_query(req).map(|(out, _)| out),
         }
     }
 
-    /// Snapshot this node's metrics (first primary instance, or the
-    /// standby registry).
+    /// Snapshot this node's metrics (first primary instance, the fronted
+    /// standby's registry, or — for a router handle — the primary's
+    /// registry, since the router itself owns no pipeline).
     pub fn metrics(&self) -> MetricsSnapshot {
         match self.role {
-            NodeRole::Primary => self.cluster.primary().metrics(),
-            NodeRole::Standby => self.cluster.standby().metrics(),
+            NodeRole::Primary | NodeRole::Router => self.cluster.primary().metrics(),
+            NodeRole::Standby => {
+                self.cluster.standby_at(self.standby).map(|s| s.metrics()).unwrap_or_default()
+            }
         }
     }
 
@@ -70,13 +82,26 @@ impl Node {
         match self.role {
             NodeRole::Primary => "primary",
             NodeRole::Standby => "standby",
+            NodeRole::Router => "router",
         }
     }
 
     /// This node's metrics in the Prometheus text exposition format, every
-    /// series labelled `role="primary"`/`role="standby"`.
+    /// series labelled `role="primary"`/`role="standby"`/`role="router"`;
+    /// standby handles additionally carry `standby="<name>"` so a farm's
+    /// members stay distinguishable on one dashboard.
     pub fn metrics_prometheus(&self) -> String {
-        imadg_common::prometheus_text(&self.metrics(), &[("role", self.role_label())])
+        let snapshot = self.metrics();
+        if self.role == NodeRole::Standby {
+            if let Ok(s) = self.cluster.standby_at(self.standby) {
+                let name = s.name().to_string();
+                return imadg_common::prometheus_text(
+                    &snapshot,
+                    &[("role", self.role_label()), ("standby", &name)],
+                );
+            }
+        }
+        imadg_common::prometheus_text(&snapshot, &[("role", self.role_label())])
     }
 
     /// This node's metrics as one self-contained JSONL record
@@ -86,12 +111,13 @@ impl Node {
         imadg_common::jsonl_line(self.role_label(), &self.metrics())
     }
 
-    /// Promote the standby this node fronts to primary (primary-loss role
-    /// transition). Only valid on a standby handle; returns the new
-    /// primary-role handle alongside the report.
+    /// Promote the freshest standby to primary (primary-loss role
+    /// transition); the remaining standbys re-home to the new primary.
+    /// Only valid on a standby handle; returns the new primary-role handle
+    /// alongside the report.
     pub fn promote(&self) -> Result<(Node, PromotionReport)> {
         match self.role {
-            NodeRole::Primary => {
+            NodeRole::Primary | NodeRole::Router => {
                 Err(imadg_common::Error::Config("promote() is a standby-role operation".into()))
             }
             NodeRole::Standby => {
@@ -103,9 +129,15 @@ impl Node {
 }
 
 impl AdgCluster {
-    /// A role-typed handle onto this deployment.
+    /// A role-typed handle onto this deployment (standby role fronts farm
+    /// index 0).
     pub fn node(self: &Arc<Self>, role: NodeRole) -> Node {
-        Node { role, cluster: self.clone() }
+        Node { role, cluster: self.clone(), standby: 0 }
+    }
+
+    /// A standby-role handle onto one named farm member by index.
+    pub fn node_standby(self: &Arc<Self>, idx: usize) -> Node {
+        Node { role: NodeRole::Standby, cluster: self.clone(), standby: idx }
     }
 }
 
@@ -138,9 +170,36 @@ impl NodeBuilder {
         self
     }
 
-    /// Number of standby RAC instances.
+    /// Number of RAC instances per standby cluster.
     pub fn standbys(mut self, n: usize) -> Self {
         self.config.standby_instances = n;
+        self
+    }
+
+    /// Provision a reader farm of `n` standby clusters named
+    /// `sb0`..`sb{n-1}`, each on its own fan-out lane.
+    pub fn reader_farm(mut self, n: usize) -> Self {
+        self.config.standby_clusters =
+            (0..n).map(|i| StandbySpec::named(format!("sb{i}"))).collect();
+        self
+    }
+
+    /// Append one named standby cluster to the farm.
+    pub fn standby_cluster(mut self, name: impl Into<String>) -> Self {
+        self.config.standby_clusters.push(StandbySpec::named(name));
+        self
+    }
+
+    /// Seeded fault injection on one farm member's redo lanes only (by
+    /// farm index); the other lanes stay clean. Materializes the default
+    /// single `sb0` farm if none was configured yet.
+    pub fn standby_faults(mut self, idx: usize, plan: FaultPlan) -> Self {
+        if self.config.standby_clusters.is_empty() {
+            self.config.standby_clusters = vec![StandbySpec::named("sb0")];
+        }
+        if let Some(spec) = self.config.standby_clusters.get_mut(idx) {
+            spec.faults = Some(plan);
+        }
         self
     }
 
@@ -316,7 +375,7 @@ mod tests {
         cluster.node(NodeRole::Standby).query(&req).unwrap();
 
         let text = cluster.node(NodeRole::Standby).metrics_prometheus();
-        assert!(text.contains("imadg_scan_queries{role=\"standby\"} 1"), "{text}");
+        assert!(text.contains("imadg_scan_queries{role=\"standby\",standby=\"sb0\"} 1"), "{text}");
         assert!(text.contains("# TYPE imadg_staleness_e2e summary"));
 
         let line = cluster.node(NodeRole::Primary).metrics_jsonl();
@@ -328,6 +387,72 @@ mod tests {
     fn promote_rejected_on_primary_handle() {
         let cluster = NodeBuilder::new().build().unwrap();
         assert!(cluster.node(NodeRole::Primary).promote().is_err());
+        assert!(cluster.node(NodeRole::Router).promote().is_err());
+    }
+
+    #[test]
+    fn farm_members_are_addressable_by_name_and_index() {
+        let cluster = NodeBuilder::new().reader_farm(3).build().unwrap();
+        let obj = seeded(&cluster);
+        assert_eq!(cluster.standbys().len(), 3);
+        assert_eq!(cluster.standby_named("sb2").unwrap().lane(), 2);
+        assert!(cluster.standby_named("nope").is_err());
+        assert!(cluster.standby_at(7).is_err());
+        // Every member applied and serves the same committed data.
+        let req = QueryRequest::scan(obj).filter(Filter::all());
+        for idx in 0..3 {
+            let out = cluster.node_standby(idx).query(&req).unwrap();
+            assert_eq!(out.rows.len(), 10, "standby {idx}");
+        }
+        // Each member's export is distinguishable by its standby label.
+        let text = cluster.node_standby(1).metrics_prometheus();
+        assert!(text.contains("standby=\"sb1\""), "{text}");
+    }
+
+    #[test]
+    fn duplicate_farm_names_rejected() {
+        assert!(NodeBuilder::new().standby_cluster("a").standby_cluster("a").build().is_err());
+    }
+
+    #[test]
+    fn router_routes_by_staleness_bound() {
+        let cluster = NodeBuilder::new().reader_farm(2).build().unwrap();
+        let obj = seeded(&cluster);
+        // Fully synced farm: gap is zero, any bound routes to a standby.
+        let req =
+            QueryRequest::scan(obj).filter(Filter::all()).max_staleness(Duration::from_micros(1));
+        let (out, decision) = cluster.route_query(&req).unwrap();
+        assert_eq!(out.rows.len(), 10);
+        assert!(decision.offloaded(), "{decision:?}");
+        // Router handles answer the same data.
+        let via_node = cluster.node(NodeRole::Router).query(&req).unwrap();
+        assert_eq!(via_node.rows.len(), 10);
+        // New commits the farm has not applied open an SCN gap with no e2e
+        // history at a tight bound: the router falls back to the primary.
+        for i in 10..20 {
+            cluster.primary().insert_one(obj, TenantId(0), vec![Value::Int(i)]).unwrap();
+        }
+        let (out, decision) = cluster.route_query(&req).unwrap();
+        assert_eq!(out.rows.len(), 20, "primary serves current data");
+        assert!(!decision.offloaded(), "{decision:?}");
+        // An unbounded request still offloads.
+        let relaxed = QueryRequest::scan(obj).filter(Filter::all());
+        let (_, decision) = cluster.route_query(&relaxed).unwrap();
+        assert!(decision.offloaded(), "{decision:?}");
+    }
+
+    #[test]
+    fn router_balances_load_across_members() {
+        let cluster = NodeBuilder::new().reader_farm(2).build().unwrap();
+        let obj = seeded(&cluster);
+        let req = QueryRequest::scan(obj).filter(Filter::all());
+        for _ in 0..6 {
+            let (_, d) = cluster.route_query(&req).unwrap();
+            assert!(d.offloaded());
+        }
+        for s in cluster.standbys() {
+            assert_eq!(s.routed_queries(), 3, "least-loaded routing alternates members");
+        }
     }
 
     #[test]

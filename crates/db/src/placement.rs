@@ -5,36 +5,98 @@
 //! specifies a service that includes both" — placement decides which
 //! instances' column stores populate an object, enabling the capacity-
 //! expansion and workload-isolation deployments the paper motivates.
+//!
+//! With the reader farm (one primary → N named standbys) a placement is a
+//! *service set*: the primary service plus a selector over the named
+//! standby clusters — every standby, none, or an explicit name set. The
+//! four historical policies (`None`/`PrimaryOnly`/`StandbyOnly`/`Both`)
+//! survive as associated constants so existing callers read unchanged.
 
-/// Which services an object's in-memory population is attached to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Placement {
-    /// Not populated anywhere (row-store only).
+use std::collections::BTreeSet;
+
+/// Which standby clusters a placement covers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum StandbySelector {
+    /// No standby populates the object.
     #[default]
     None,
-    /// Populated only in the primary's IMCS.
-    PrimaryOnly,
-    /// Populated only in the standby's IMCS (offload service).
-    StandbyOnly,
-    /// Populated on both (dimension tables for join processing).
-    Both,
+    /// Every standby cluster populates the object.
+    All,
+    /// Only the named standby clusters populate the object.
+    Named(BTreeSet<String>),
 }
 
+/// Which services an object's in-memory population is attached to.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Placement {
+    primary: bool,
+    standbys: StandbySelector,
+}
+
+#[allow(non_upper_case_globals)]
 impl Placement {
-    /// Should the primary's column store populate this object?
-    pub fn on_primary(self) -> bool {
-        matches!(self, Placement::PrimaryOnly | Placement::Both)
+    /// Not populated anywhere (row-store only).
+    pub const None: Placement = Placement { primary: false, standbys: StandbySelector::None };
+    /// Populated only in the primary's IMCS.
+    pub const PrimaryOnly: Placement = Placement { primary: true, standbys: StandbySelector::None };
+    /// Populated only in the standbys' IMCS (offload service; covers every
+    /// standby in the farm).
+    pub const StandbyOnly: Placement = Placement { primary: false, standbys: StandbySelector::All };
+    /// Populated on both sides (dimension tables for join processing).
+    pub const Both: Placement = Placement { primary: true, standbys: StandbySelector::All };
+
+    /// Populate only the named standby clusters (per-service placement).
+    pub fn standbys<I, S>(names: I) -> Placement
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let set: BTreeSet<String> = names.into_iter().map(Into::into).collect();
+        Placement {
+            primary: false,
+            standbys: if set.is_empty() {
+                StandbySelector::None
+            } else {
+                StandbySelector::Named(set)
+            },
+        }
     }
 
-    /// Should the standby's column store populate this object?
-    pub fn on_standby(self) -> bool {
-        matches!(self, Placement::StandbyOnly | Placement::Both)
+    /// Extend this placement with the primary service (e.g.
+    /// `Placement::standbys(["sb0"]).and_primary()`).
+    pub fn and_primary(mut self) -> Placement {
+        self.primary = true;
+        self
+    }
+
+    /// Should the primary's column store populate this object?
+    pub fn on_primary(&self) -> bool {
+        self.primary
+    }
+
+    /// Should any standby's column store populate this object?
+    pub fn on_standby(&self) -> bool {
+        !matches!(self.standbys, StandbySelector::None)
+    }
+
+    /// Should the standby cluster called `name` populate this object?
+    pub fn on_standby_named(&self, name: &str) -> bool {
+        match &self.standbys {
+            StandbySelector::None => false,
+            StandbySelector::All => true,
+            StandbySelector::Named(set) => set.contains(name),
+        }
+    }
+
+    /// The standby selector.
+    pub fn standby_selector(&self) -> &StandbySelector {
+        &self.standbys
     }
 
     /// Is the object in-memory enabled anywhere? (drives the commit-record
     /// annotation, §III.E)
-    pub fn enabled_anywhere(self) -> bool {
-        self != Placement::None
+    pub fn enabled_anywhere(&self) -> bool {
+        self.primary || self.on_standby()
     }
 }
 
@@ -54,5 +116,30 @@ mod tests {
         assert!(Placement::Both.on_primary());
         assert!(Placement::Both.on_standby());
         assert!(Placement::Both.enabled_anywhere());
+    }
+
+    #[test]
+    fn named_standby_sets() {
+        let p = Placement::standbys(["sb1", "sb3"]);
+        assert!(!p.on_primary());
+        assert!(p.on_standby());
+        assert!(p.on_standby_named("sb1"));
+        assert!(p.on_standby_named("sb3"));
+        assert!(!p.on_standby_named("sb0"));
+        assert!(p.enabled_anywhere());
+
+        let both = Placement::standbys(["sb0"]).and_primary();
+        assert!(both.on_primary());
+        assert!(both.on_standby_named("sb0"));
+        assert!(!both.on_standby_named("sb1"));
+
+        // The legacy constants select every standby by name.
+        assert!(Placement::StandbyOnly.on_standby_named("anything"));
+        assert!(!Placement::PrimaryOnly.on_standby_named("anything"));
+
+        // An empty name set degenerates to no standby service.
+        let empty = Placement::standbys(Vec::<String>::new());
+        assert!(!empty.on_standby());
+        assert!(!empty.enabled_anywhere());
     }
 }

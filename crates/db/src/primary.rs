@@ -8,7 +8,7 @@ use imadg_common::{
     Clock, CpuAccount, ImcsConfig, InstanceId, MetricsRegistry, MetricsSnapshot, ObjectId, Result,
     Runtime, Scn, ScnService, Stage, StageId, StageOutcome, TenantId, TransportConfig, WakeToken,
 };
-use imadg_imcs::{Filter, ImcsStore, PopulationEngine, SnapshotSource};
+use imadg_imcs::{ImcsStore, PopulationEngine, SnapshotSource};
 use imadg_redo::{LogBuffer, RedoSink, Shipper};
 use imadg_storage::{Row, RowLoc, Store};
 use imadg_txn::{InvalidationSink, TxnManager};
@@ -161,13 +161,6 @@ impl PrimaryInstance {
         )
     }
 
-    /// Run a filtered full scan on this instance at the current SCN
-    /// (delegates to [`PrimaryInstance::query`]).
-    #[deprecated(note = "build a `QueryRequest` and call `query()`")]
-    pub fn scan(&self, object: ObjectId, filter: &Filter) -> Result<QueryOutput> {
-        self.query(&QueryRequest::scan(object).filter(filter.clone()))
-    }
-
     /// Snapshot this instance's metrics, refreshing the sampled gauges
     /// (log-buffer depth, populated rows) first.
     pub fn metrics(&self) -> MetricsSnapshot {
@@ -235,6 +228,12 @@ impl PrimaryInstance {
     /// shipper to the standby's ingest stage across runtimes/sides).
     pub fn set_send_waker(&self, token: WakeToken) {
         self.sender.set_waker(token);
+    }
+
+    /// Wake `token` whenever this instance ships a batch onto fan-out lane
+    /// `lane` (wires the shipper to that standby's ingest stage).
+    pub fn set_send_waker_for(&self, lane: usize, token: WakeToken) {
+        self.sender.set_lane_waker(lane, token);
     }
 
     /// Register this instance's redo-shipper stage with `rt` (metrics id

@@ -40,6 +40,7 @@ pub struct QueryRequest {
     snapshot: Option<Scn>,
     parallel: Option<usize>,
     profile: bool,
+    max_staleness: Option<Duration>,
 }
 
 impl QueryRequest {
@@ -109,6 +110,21 @@ impl QueryRequest {
     /// Whether this request asked for a phase breakdown.
     pub fn profiling(&self) -> bool {
         self.profile
+    }
+
+    /// Bound the commit-to-queryable staleness this query tolerates. The
+    /// reader-farm router ([`crate::AdgCluster::route_query`]) sends the
+    /// query to the least-loaded standby whose estimated freshness is
+    /// within the bound, falling back to the primary (staleness zero) when
+    /// none qualifies. Ignored by direct `query()` calls on a node.
+    pub fn max_staleness(mut self, bound: Duration) -> Self {
+        self.max_staleness = Some(bound);
+        self
+    }
+
+    /// The staleness tolerance, when one was set.
+    pub fn max_staleness_bound(&self) -> Option<Duration> {
+        self.max_staleness
     }
 }
 

@@ -7,16 +7,15 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use imadg_common::{
-    Clock, CpuAccount, Error, InstanceId, MetricsRegistry, MetricsSnapshot, ObjectId, ObjectSet,
-    QueryScnCell, QuiesceLock, Result, Runtime, RuntimeHealth, Scn, Stage, StageOutcome,
-    SystemConfig, ThreadedRuntime,
+    Clock, Counter, CpuAccount, Error, InstanceId, LogHistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot, ObjectId, ObjectSet, QueryScnCell, QuiesceLock, Result, Runtime,
+    RuntimeHealth, Scn, ScnService, Stage, StageOutcome, SystemConfig, ThreadedRuntime,
 };
 use imadg_core::{DbimAdg, HomeLocationMap, LocalFlushTarget, RacEndpoint, RacFlushTarget};
-use imadg_imcs::{
-    AggregateResult, ExprPredicate, Filter, ImcsStore, PopulationEngine, PopulationReport,
-    SnapshotSource,
-};
+use imadg_imcs::{ImcsStore, PopulationEngine, PopulationReport, SnapshotSource};
 use imadg_recovery::{MediaRecovery, NoopAdvanceHook, RecoveryStageIds};
 use imadg_redo::{write_checkpoint, RedoSource};
 use imadg_storage::{Row, RowLoc, Store};
@@ -28,10 +27,15 @@ use crate::query::{execute_request, QueryOutput, QueryRequest};
 /// `V$`-view-style counters an operator would watch).
 #[derive(Debug, Clone, PartialEq)]
 pub struct StandbyStatus {
+    /// This standby cluster's farm name.
+    pub name: String,
     /// Published QuerySCN (None before the first consistency point).
     pub query_scn: Option<imadg_common::Scn>,
     /// SCN media recovery has applied through (≥ QuerySCN).
     pub applied_scn: imadg_common::Scn,
+    /// SCN gap between the primary's current SCN and the published
+    /// QuerySCN at sample time (0 when fully caught up or unprobed).
+    pub scn_gap: u64,
     /// Successful QuerySCN advancements so far.
     pub advances: u64,
     /// Open transactions buffered in the IM-ADG journal.
@@ -59,9 +63,11 @@ impl std::fmt::Display for StandbyStatus {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "QuerySCN={} applied={} advances={} journal={}txn/{}rec pending_commits={}              populated_rows={} flushed={} coarse={} archive_retransmits={}",
+            "[{}] QuerySCN={} applied={} gap={} advances={} journal={}txn/{}rec pending_commits={}              populated_rows={} flushed={} coarse={} archive_retransmits={}",
+            self.name,
             self.query_scn.map(|s| s.raw()).unwrap_or(0),
             self.applied_scn.raw(),
+            self.scn_gap,
             self.advances,
             self.journal_txns,
             self.journal_records,
@@ -87,8 +93,22 @@ pub struct StandbyInstance {
     pub query_cpu: CpuAccount,
 }
 
-/// The standby deployment.
+/// One named standby cluster of the reader farm.
 pub struct StandbyCluster {
+    /// Farm name (keys placement selectors, durable-log directories, and
+    /// the `standby="<name>"` metrics label).
+    name: String,
+    /// This standby's lane index on the primary's fan-out link.
+    lane: usize,
+    /// Set when this standby was promoted to primary: it stays queryable
+    /// at its frozen QuerySCN but no longer receives redo, and the router
+    /// skips it.
+    frozen: AtomicBool,
+    /// The primary's SCN service, probed for the current-SCN gap (reset on
+    /// promotion to the new primary's service).
+    primary_scn: Mutex<Option<Arc<ScnService>>>,
+    /// Queries the staleness-bounded router sent here (its load signal).
+    routed: Counter,
     /// The shared physical standby database (datafiles — survives instance
     /// restarts, unlike the in-memory DBIM-on-ADG state).
     pub store: Arc<Store>,
@@ -131,6 +151,7 @@ impl StandbyCluster {
     ///
     /// Crate-internal: deployments are assembled through
     /// [`crate::NodeBuilder`] / [`crate::AdgCluster`].
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         config: &SystemConfig,
         store: Arc<Store>,
@@ -138,6 +159,8 @@ impl StandbyCluster {
         instances: usize,
         dbim_on_adg: bool,
         clock: &Clock,
+        name: &str,
+        lane: usize,
     ) -> Result<Arc<StandbyCluster>> {
         config.validate()?;
         let instances = instances.max(1);
@@ -229,6 +252,11 @@ impl StandbyCluster {
         }
 
         Ok(Arc::new(StandbyCluster {
+            name: name.to_string(),
+            lane,
+            frozen: AtomicBool::new(false),
+            primary_scn: Mutex::new(None),
+            routed: Counter::default(),
             store,
             recovery,
             adg,
@@ -275,6 +303,58 @@ impl StandbyCluster {
         self.metrics.durability.checkpoints.inc();
         self.metrics.durability.checkpoint_scn.set(scn.raw());
         Ok(true)
+    }
+
+    /// Install the primary's SCN service as the lag probe (re-pointed at
+    /// the new primary's service after a promotion).
+    pub(crate) fn set_primary_scn_probe(&self, scns: Arc<ScnService>) {
+        *self.primary_scn.lock() = Some(scns);
+    }
+
+    /// This standby cluster's farm name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// This standby's lane index on the primary's fan-out link.
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+
+    /// Whether this standby was promoted away (frozen at its last
+    /// QuerySCN, no longer receiving redo).
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set_frozen(&self, frozen: bool) {
+        self.frozen.store(frozen, Ordering::Release);
+    }
+
+    /// SCN gap between the primary's current SCN and the published
+    /// QuerySCN (None when no primary probe is installed). Before the
+    /// first publish the whole primary history counts as the gap.
+    pub fn scn_gap(&self) -> Option<u64> {
+        let guard = self.primary_scn.lock();
+        let scns = guard.as_ref()?;
+        let current = scns.current().raw();
+        Some(current.saturating_sub(self.query_scn.get().map(|s| s.raw()).unwrap_or(0)))
+    }
+
+    /// The commit-to-queryable staleness histogram (PR-8 e2e tracing) —
+    /// the router's freshness estimate when the SCN gap is non-zero.
+    pub fn e2e_staleness(&self) -> LogHistogramSnapshot {
+        self.metrics.staleness.e2e.snapshot()
+    }
+
+    /// Queries the router has sent here.
+    pub fn routed_queries(&self) -> u64 {
+        self.routed.get()
+    }
+
+    /// Count one router-dispatched query.
+    pub(crate) fn note_routed(&self) {
+        self.routed.inc();
     }
 
     /// The standby instances.
@@ -379,38 +459,6 @@ impl StandbyCluster {
         )
     }
 
-    /// Run a filtered full scan at the published QuerySCN (delegates to
-    /// [`StandbyCluster::query`]).
-    #[deprecated(note = "build a `QueryRequest` and call `query()`")]
-    pub fn scan(&self, object: ObjectId, filter: &Filter) -> Result<QueryOutput> {
-        self.query(&QueryRequest::scan(object).filter(filter.clone()))
-    }
-
-    /// Scan filtered by an in-memory expression (paper §V) at the
-    /// published QuerySCN (delegates to [`StandbyCluster::query`]).
-    #[deprecated(note = "build a `QueryRequest` with `.expression()` and call `query()`")]
-    pub fn scan_expression_pred(
-        &self,
-        object: ObjectId,
-        pred: &ExprPredicate,
-    ) -> Result<QueryOutput> {
-        self.query(&QueryRequest::scan(object).expression(pred.clone()))
-    }
-
-    /// Aggregate one column over the rows matching `filter` at the
-    /// published QuerySCN (delegates to [`StandbyCluster::query`]).
-    #[deprecated(note = "build a `QueryRequest` with `.aggregate()` and call `query()`")]
-    pub fn aggregate(
-        &self,
-        object: ObjectId,
-        filter: &Filter,
-        column: &str,
-    ) -> Result<AggregateResult> {
-        let out =
-            self.query(&QueryRequest::scan(object).filter(filter.clone()).aggregate(column))?;
-        Ok(out.aggregate.expect("aggregate request always carries aggregates"))
-    }
-
     /// Register an in-memory expression on every instance's column store.
     pub fn register_expression(&self, object: ObjectId, expr: imadg_imcs::ImExpression) {
         for i in &self.instances {
@@ -463,6 +511,11 @@ impl StandbyCluster {
         }
         let rows: usize = self.instances.iter().map(|i| i.imcs.populated_rows()).sum();
         self.metrics.population.populated_rows.set(rows as u64);
+        self.metrics
+            .flush
+            .published_query_scn
+            .set(self.query_scn.get().map(|s| s.raw()).unwrap_or(0));
+        self.metrics.flush.scn_gap.set(self.scn_gap().unwrap_or(0));
         self.metrics.snapshot()
     }
 
@@ -471,8 +524,10 @@ impl StandbyCluster {
     pub fn status(&self) -> StandbyStatus {
         let m = self.metrics();
         StandbyStatus {
+            name: self.name.clone(),
             query_scn: self.query_scn.get(),
             applied_scn: Scn(m.apply.applied_scn),
+            scn_gap: m.flush.scn_gap,
             advances: m.flush.advances,
             journal_txns: m.journal.journal_txns as usize,
             journal_records: m.journal.journal_records as usize,

@@ -22,11 +22,12 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use imadg_common::{FaultPlan, LinkMode, Scn, WorkerId};
 use imadg_db::{
     AdgCluster, ColumnType, Filter, NodeBuilder, ObjectId, Placement, QueryRequest, Schema,
-    TableSpec, TenantId, Value,
+    StandbyCluster, TableSpec, TenantId, Value,
 };
 
 const OBJ: ObjectId = ObjectId(7);
@@ -418,6 +419,247 @@ fn chaos_staleness_conserved_and_consistent() {
             assert_eq!(sum, t.e2e_us, "{tag}: scn {} stages must sum to e2e", t.scn);
             assert!(t.e2e_us <= s.e2e.max, "{tag}: trace exceeds histogram max");
         }
+    }
+}
+
+/// P1 on one named farm member: its scan at its own published QuerySCN
+/// matches the model exactly — a lagging sibling must never bleed into a
+/// fresh standby's snapshot.
+fn check_p1_on(s: &StandbyCluster, log: &[(Scn, Op)]) {
+    let Some(q) = s.query_scn.get() else { return };
+    let out = s.query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap();
+    let got: BTreeMap<i64, i64> =
+        out.rows.iter().map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap())).collect();
+    let want = model_at(log, q);
+    assert_eq!(got, want, "P1 violated on {} at QuerySCN {q:?}", s.name());
+}
+
+/// One seeded multi-standby chaos schedule: a 2–3 member reader farm with
+/// exactly one faulted fan-out lane. Returns (gaps the faulted member
+/// detected, observation points where a clean member's QuerySCN was ahead
+/// of the faulted member's).
+fn run_farm_chaos_seed(seed: u64) -> (u64, u64) {
+    let farm = 2 + (seed as usize % 2);
+    let faulted = seed as usize % farm;
+    let c = cluster(
+        NodeBuilder::new()
+            .reader_farm(farm)
+            .standby_faults(faulted, fault_plan(seed))
+            .link(LinkMode::Framed)
+            .nak_retry_polls(4)
+            .ping_idle_polls(8),
+    );
+    let mut step = c.step_scheduler(seed);
+    let mut rng = Mix(seed ^ 0xFA43_FA43);
+    let mut log: Vec<(Scn, Op)> = Vec::new();
+    let mut next_key = 0i64;
+    let mut ahead = 0u64;
+
+    for _round in 0..25 {
+        for _ in 0..(1 + rng.below(3)) {
+            let p = c.primary();
+            let key = next_key;
+            next_key += 1;
+            let n1 = rng.below(100) as i64;
+            let scn = p
+                .insert_one(OBJ, TenantId::DEFAULT, vec![Value::Int(key), Value::Int(n1)])
+                .unwrap();
+            log.push((scn, Op::Put { key, n1 }));
+            if key % 3 == 0 {
+                let n1 = rng.below(100) as i64;
+                let scn = p.update_one(OBJ, TenantId::DEFAULT, key, "n1", Value::Int(n1)).unwrap();
+                log.push((scn, Op::Put { key, n1 }));
+            }
+        }
+        step.step_n(1 + rng.below(40) as usize);
+        assert!(step.health().is_healthy(), "pipeline failed: {}", step.health());
+        let standbys = c.standbys();
+        let faulted_q = standbys[faulted].query_scn.get().unwrap_or(Scn::ZERO);
+        for (i, s) in standbys.iter().enumerate() {
+            // Every member individually satisfies P1 at its own SCN — the
+            // farm members advance independently.
+            check_p1_on(s, &log);
+            if i != faulted && s.query_scn.get().unwrap_or(Scn::ZERO) > faulted_q {
+                ahead += 1;
+            }
+        }
+    }
+
+    // Convergence: every member reaches the last commit and every lane
+    // quiesces (the laggard closes its gaps through NAK retransmission or
+    // the archive backstop).
+    let last_commit = log.last().map(|&(s, _)| s).unwrap_or(Scn::ZERO);
+    let mut converged = false;
+    for _ in 0..40_000 {
+        let standbys = c.standbys();
+        let all_caught_up =
+            standbys.iter().all(|s| s.query_scn.get().unwrap_or(Scn::ZERO) >= last_commit);
+        let pending = c.primaries().iter().any(|p| p.transport_pending())
+            || standbys.iter().any(|s| s.recovery.transport_pending());
+        if all_caught_up && !pending {
+            converged = true;
+            break;
+        }
+        step.step_n(25);
+        assert!(step.health().is_healthy(), "pipeline failed: {}", step.health());
+    }
+    assert!(converged, "seed {seed}: farm never converged under chaos");
+    step.drain().unwrap();
+
+    let standbys = c.standbys();
+    for (i, s) in standbys.iter().enumerate() {
+        check_p1_on(s, &log);
+        let t = s.metrics().transport;
+        assert_eq!(
+            t.gaps_detected,
+            t.gaps_resolved,
+            "seed {seed}: open gaps on {} at quiesce (detected {} vs resolved {})",
+            s.name(),
+            t.gaps_detected,
+            t.gaps_resolved
+        );
+        if i != faulted {
+            // Faults are lane-local: clean lanes must never see a gap.
+            assert_eq!(
+                t.gaps_detected,
+                0,
+                "seed {seed}: fault on lane {faulted} leaked a gap onto {}",
+                s.name()
+            );
+        }
+    }
+    (standbys[faulted].metrics().transport.gaps_detected, ahead)
+}
+
+/// The PR-9 multi-standby matrix: 16 pinned seeds over 2–3 member farms
+/// with one faulted lane each. Per-member gap accounting closes at
+/// quiesce, faults stay lane-local, and across the sweep the clean
+/// members' QuerySCNs repeatedly publish ahead of the faulted member's —
+/// the laggard never holds the farm's freshness back.
+#[test]
+fn farm_chaos_16_seeds_one_faulted_lane() {
+    let mut total_gaps = 0;
+    let mut total_ahead = 0;
+    for seed in 0..CHAOS_SEEDS {
+        let (gaps, ahead) = run_farm_chaos_seed(seed);
+        total_gaps += gaps;
+        total_ahead += ahead;
+    }
+    assert!(total_gaps > 0, "no seed produced a gap on the faulted lane — faults not biting");
+    assert!(
+        total_ahead > 0,
+        "clean members never published ahead of the laggard — fan-out is lockstep"
+    );
+}
+
+/// Router determinism: the same seed, the same scripted DML/step schedule,
+/// and the same staleness bounds must produce the identical sequence of
+/// routing decisions — the router reads only step-deterministic state
+/// (published QuerySCN, SCN gap, settled-commit counts, routed-load
+/// counters), so two replays cannot diverge.
+#[test]
+fn router_decisions_deterministic_under_step_scheduler() {
+    fn routed_trace(seed: u64) -> Vec<String> {
+        let c = cluster(
+            NodeBuilder::new()
+                .reader_farm(3)
+                .standby_faults(1, fault_plan(seed))
+                .link(LinkMode::Framed)
+                .nak_retry_polls(4)
+                .ping_idle_polls(8),
+        );
+        let mut step = c.step_scheduler(seed);
+        let mut rng = Mix(seed ^ 0x2007_E5D1);
+        let mut next_key = 0i64;
+        let mut trace = Vec::new();
+        for _round in 0..20 {
+            for _ in 0..(1 + rng.below(3)) {
+                c.primary()
+                    .insert_one(
+                        OBJ,
+                        TenantId::DEFAULT,
+                        vec![Value::Int(next_key), Value::Int(next_key % 9)],
+                    )
+                    .unwrap();
+                next_key += 1;
+            }
+            step.step_n(1 + rng.below(35) as usize);
+            for _ in 0..3 {
+                let mut req = QueryRequest::scan(OBJ).filter(Filter::all());
+                // Bounds whose eligibility depends only on deterministic
+                // state: unbounded, or wide enough that any published
+                // estimate passes.
+                if rng.below(2) == 0 {
+                    req = req.max_staleness(Duration::from_secs(30));
+                }
+                let (_out, decision) = c.route_query(&req).unwrap();
+                trace.push(format!("{:?}", decision.target));
+            }
+        }
+        step.drain().unwrap();
+        trace
+    }
+
+    for seed in [3u64, 11] {
+        let a = routed_trace(seed);
+        let b = routed_trace(seed);
+        assert_eq!(a, b, "seed {seed}: routing diverged between identical replays");
+        let distinct: std::collections::BTreeSet<&String> = a.iter().collect();
+        assert!(
+            distinct.len() > 1,
+            "seed {seed}: router pinned every query to one target — balancing dead"
+        );
+    }
+}
+
+/// Promotion under fan-out with a pinned-seed faulted lane: terminal
+/// catch-up drives every member — laggard included — to the full commit
+/// history, the freshest member becomes primary with zero committed
+/// transactions lost, and the survivors re-home to the new primary and
+/// keep converging.
+#[test]
+fn promotion_under_fanout_loses_no_committed_txns() {
+    const ROWS: i64 = 150;
+    let c = cluster(
+        NodeBuilder::new()
+            .reader_farm(3)
+            .standby_faults(1, fault_plan(7))
+            .link(LinkMode::Framed)
+            .nak_retry_polls(4)
+            .ping_idle_polls(8),
+    );
+    let p = c.primary();
+    for key in 0..ROWS {
+        p.insert_one(OBJ, TenantId::DEFAULT, vec![Value::Int(key), Value::Int(key % 9)]).unwrap();
+        // Ship without converging: the faulted lane falls behind while the
+        // clean lanes keep up.
+        c.ship_redo().unwrap();
+    }
+
+    let report = c.promote().unwrap();
+    assert_eq!(report.rehomed.len(), 2, "two survivors re-home");
+    assert!(!report.rehomed.contains(&report.promoted_from), "promoted member cannot also re-home");
+
+    // Zero committed-transaction loss: the new primary serves the full
+    // committed history.
+    let new_primary = c.primary();
+    let served = new_primary.query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap().count();
+    assert_eq!(served, ROWS as usize, "committed rows lost across promotion");
+
+    // The farm keeps working: new DML on the promoted primary reaches
+    // every re-homed survivor.
+    for key in ROWS..ROWS + 50 {
+        new_primary
+            .insert_one(OBJ, TenantId::DEFAULT, vec![Value::Int(key), Value::Int(key % 9)])
+            .unwrap();
+    }
+    c.sync().unwrap();
+    for s in c.standbys() {
+        if s.is_frozen() {
+            continue;
+        }
+        let n = s.query(&QueryRequest::scan(OBJ).filter(Filter::all())).unwrap().count();
+        assert_eq!(n, (ROWS + 50) as usize, "{} diverged after re-homing", s.name());
     }
 }
 

@@ -180,7 +180,7 @@ fn run_crash_schedule(
             // records (nothing durable yet); the matrix asserts replay
             // happened across the sweep as a whole.
             drop(step);
-            c.crash_restart_standby().unwrap();
+            c.crash_restart_standby(0).unwrap();
             step = c.step_scheduler(seed ^ 0xAF7E_12);
             crashed = true;
         }
@@ -236,7 +236,7 @@ fn restart_resumes_from_checkpoint() {
     assert!(before.checkpoints > 0, "cadence must have written checkpoints");
     assert!(before.checkpoint_scn > 0);
 
-    c.crash_restart_standby().unwrap();
+    c.crash_restart_standby(0).unwrap();
     c.sync().unwrap();
     let after = c.standby().metrics().durability;
     assert!(after.replayed_records > 0, "restart must replay from disk");
@@ -263,14 +263,14 @@ fn double_crash_still_converges() {
         model.insert(key, key);
     }
     c.sync().unwrap();
-    c.crash_restart_standby().unwrap();
+    c.crash_restart_standby(0).unwrap();
     for key in 30..60i64 {
         p.insert_one(OBJ, TenantId::DEFAULT, vec![Value::Int(key), Value::Int(key)]).unwrap();
         model.insert(key, key);
     }
     // Second crash with the tail not yet shipped: the restart protocol and
     // the archive tier must deliver it after the restart.
-    c.crash_restart_standby().unwrap();
+    c.crash_restart_standby(0).unwrap();
     c.sync().unwrap();
     assert_eq!(standby_state(&c), model, "double crash lost or duplicated commits");
 }

@@ -21,6 +21,7 @@
 //! [`LinkMode`]; `imadg-db`'s cluster wiring picks the mode from
 //! `TransportConfig`.
 
+pub mod fanout;
 pub mod fault;
 pub mod pipe;
 pub mod reliable;
@@ -30,10 +31,11 @@ pub mod wire;
 use std::sync::Arc;
 use std::time::Duration;
 
-use imadg_common::config::{LinkMode, TransportConfig};
+use imadg_common::config::{FaultPlan, LinkMode, TransportConfig};
 use imadg_common::{Clock, Error, RedoThreadId, Result};
-use imadg_redo::{redo_link_with_clock, DurableLog, RedoSink, RedoSource};
+use imadg_redo::{redo_link_with_clock, DurableLog, FanoutSink, RedoSink, RedoSource};
 
+pub use fanout::{FanoutLane, FanoutSender};
 pub use fault::FaultInjector;
 pub use reliable::{ReliableReceiver, ReliableSender};
 pub use tcp::TcpLink;
@@ -140,6 +142,123 @@ pub fn build_link(
             Ok((Box::new(tx), Box::new(rx)))
         }
     }
+}
+
+/// One standby's parameters for a fan-out link: its cluster name, an
+/// optional per-lane fault-plan override (a reader-farm chaos matrix
+/// faults one lane while the others stay clean), a decorrelation term for
+/// the seeded fault stream, and the lane's standby-side durable tee.
+pub struct FanoutLaneSpec {
+    /// Standby cluster name.
+    pub name: String,
+    /// Per-lane fault override; `None` inherits `TransportConfig::faults`.
+    pub faults: Option<FaultPlan>,
+    /// XORed into the fault-plan seed so each lane's chaos stream is
+    /// independent yet schedule-deterministic.
+    pub fault_seed: u64,
+    /// This standby's durable tee (None when durability is off).
+    pub standby_log: Option<Arc<DurableLog>>,
+}
+
+fn lane_data_tx(
+    data_tx: Box<dyn FrameTx>,
+    cfg: &TransportConfig,
+    spec: &FanoutLaneSpec,
+) -> Box<dyn FrameTx> {
+    match spec.faults.as_ref().or(cfg.faults.as_ref()) {
+        Some(plan) => {
+            let mut plan = plan.clone();
+            plan.seed ^= spec.fault_seed;
+            Box::new(FaultInjector::new(data_tx, plan))
+        }
+        None => data_tx,
+    }
+}
+
+/// A built fan-out link: the primary-side sink plus one source per lane,
+/// in lane order.
+pub type FanoutEndpoints = (Box<dyn RedoSink>, Vec<Box<dyn RedoSource>>);
+
+/// One lane's transport plumbing: data tx/rx plus the reverse control
+/// channel (ACK/NAK/Hello) tx/rx.
+type LanePipes =
+    (Box<dyn FrameTx>, Box<dyn pipe::FrameRx>, Box<dyn FrameTx>, Box<dyn pipe::FrameRx>);
+
+/// Build the configured link kind fanned out to `lanes` standbys: one
+/// [`RedoSink`] on the primary side, one [`RedoSource`] per lane in lane
+/// order. A single lane delegates to [`build_link`] — bit-identical
+/// behaviour (and fault schedules) to the pre-farm topology. Multi-lane
+/// framed/TCP links share one [`FanoutSender`] window; the in-process mode
+/// clones batches into per-lane lossless channels.
+pub fn build_fanout_link(
+    mode: LinkMode,
+    thread: RedoThreadId,
+    cfg: &TransportConfig,
+    clock: Clock,
+    primary_log: Option<Arc<DurableLog>>,
+    lanes: Vec<FanoutLaneSpec>,
+) -> Result<FanoutEndpoints> {
+    if lanes.is_empty() {
+        return Err(Error::Config("fan-out link needs at least one standby lane".into()));
+    }
+    if lanes.len() == 1 {
+        let spec = lanes.into_iter().next().expect("one lane");
+        let mut cfg1 = cfg.clone();
+        if spec.faults.is_some() {
+            cfg1.faults = spec.faults.clone();
+        }
+        let durability = match (primary_log, spec.standby_log) {
+            (Some(primary), Some(standby)) => Some(LinkDurability { primary, standby }),
+            _ => None,
+        };
+        let (tx, rx) = build_link(mode, thread, &cfg1, clock, spec.fault_seed, durability)?;
+        return Ok((tx, vec![rx]));
+    }
+    if mode == LinkMode::InProcess {
+        if primary_log.is_some() || lanes.iter().any(|l| l.standby_log.is_some()) {
+            return Err(Error::Config(
+                "durability requires a framed link (mode Framed or Tcp)".into(),
+            ));
+        }
+        let mut sinks: Vec<Box<dyn RedoSink>> = Vec::with_capacity(lanes.len());
+        let mut sources: Vec<Box<dyn RedoSource>> = Vec::with_capacity(lanes.len());
+        for _ in &lanes {
+            let (tx, rx) = redo_link_with_clock(cfg.latency, clock.clone());
+            sinks.push(Box::new(tx));
+            sources.push(Box::new(rx));
+        }
+        return Ok((Box::new(FanoutSink::new(sinks)), sources));
+    }
+    let mut built = Vec::with_capacity(lanes.len());
+    let mut sources: Vec<Box<dyn RedoSource>> = Vec::with_capacity(lanes.len());
+    for spec in &lanes {
+        let (data_tx, data_rx, ctrl_tx, ctrl_rx): LanePipes = match mode {
+            LinkMode::Framed => {
+                let (dtx, drx) = channel_pipe(cfg.latency, clock.clone());
+                let (ctx, crx) = channel_pipe(Duration::ZERO, clock.clone());
+                (Box::new(dtx), Box::new(drx), Box::new(ctx), Box::new(crx))
+            }
+            LinkMode::Tcp => {
+                let link = Arc::new(TcpLink::loopback(spec.fault_seed)?);
+                let (dtx, crx) = link.primary_halves();
+                let (drx, ctx) = link.standby_halves();
+                (Box::new(dtx), Box::new(drx), Box::new(ctx), Box::new(crx))
+            }
+            LinkMode::InProcess => unreachable!("handled above"),
+        };
+        let data_tx = lane_data_tx(data_tx, cfg, spec);
+        let mut rx = ReliableReceiver::new(thread, data_rx, ctrl_tx, cfg);
+        if let Some(log) = &spec.standby_log {
+            rx.set_durable_log(log.clone());
+        }
+        sources.push(Box::new(rx));
+        built.push(FanoutLane { name: spec.name.clone(), data_tx, ctrl_rx });
+    }
+    let tx = FanoutSender::new(thread, built, cfg);
+    if let Some(log) = primary_log {
+        tx.set_durable_log(log);
+    }
+    Ok((Box::new(tx), sources))
 }
 
 #[cfg(test)]
@@ -264,6 +383,77 @@ mod tests {
         let scns: Vec<u64> = replayed.iter().chain(caught.iter()).map(|r| r.scn.0).collect();
         assert_eq!(scns, (1..=100).collect::<Vec<_>>(), "disk replay + NAK catch-up is lossless");
         let _ = std::fs::remove_dir_all(&base);
+    }
+
+    /// A 3-lane framed fan-out with chaos on exactly one lane: every lane
+    /// converges to exact in-order delivery, the clean lanes never see a
+    /// gap, and the faulted lane's gaps all resolve.
+    #[test]
+    fn fanout_one_faulted_lane_converges_everywhere() {
+        for seed in 0..4u64 {
+            let cfg = TransportConfig {
+                mode: LinkMode::Framed,
+                nak_retry_polls: 4,
+                ping_idle_polls: 8,
+                ..TransportConfig::default()
+            };
+            let lanes = (0..3)
+                .map(|i| FanoutLaneSpec {
+                    name: format!("sb{i}"),
+                    faults: (i == 1).then(|| chaos_plan(seed)),
+                    fault_seed: i as u64,
+                    standby_log: None,
+                })
+                .collect();
+            let (tx, mut rxs) = build_fanout_link(
+                LinkMode::Framed,
+                RedoThreadId(1),
+                &cfg,
+                Clock::Real,
+                None,
+                lanes,
+            )
+            .unwrap();
+            let metrics: Vec<Arc<TransportMetrics>> = (0..3).map(|_| Arc::default()).collect();
+            for (rx, m) in rxs.iter_mut().zip(&metrics) {
+                rx.bind_metrics(m.clone());
+            }
+            let mut got = vec![Vec::new(), Vec::new(), Vec::new()];
+            for scn in 1..=300u64 {
+                tx.send(vec![rec(scn)]).unwrap();
+                for (i, rx) in rxs.iter_mut().enumerate() {
+                    got[i].extend(rx.drain_ready().unwrap());
+                }
+                tx.service().unwrap();
+            }
+            for _ in 0..50_000 {
+                if got.iter().all(|g| g.len() == 300)
+                    && !tx.pending()
+                    && rxs.iter().all(|r| !r.transport_pending())
+                {
+                    break;
+                }
+                for (i, rx) in rxs.iter_mut().enumerate() {
+                    got[i].extend(rx.drain_ready().unwrap());
+                }
+                tx.service().unwrap();
+            }
+            for (i, g) in got.iter().enumerate() {
+                assert_eq!(
+                    g.iter().map(|r| r.scn.0).collect::<Vec<_>>(),
+                    (1..=300).collect::<Vec<_>>(),
+                    "seed {seed} lane {i}: exactly-once in-order delivery"
+                );
+            }
+            assert!(!tx.pending(), "seed {seed}: all lanes acked");
+            for (i, m) in metrics.iter().enumerate() {
+                assert_eq!(m.gaps_detected.get(), m.gaps_resolved.get(), "seed {seed} lane {i}");
+                if i != 1 {
+                    assert_eq!(m.gaps_detected.get(), 0, "seed {seed}: clean lane {i} saw no gap");
+                }
+            }
+            assert!(metrics[1].gaps_detected.get() > 0, "seed {seed}: faulted lane gapped");
+        }
     }
 
     #[test]

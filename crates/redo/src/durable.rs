@@ -196,6 +196,14 @@ impl DurableLog {
             if let Some(&(seq, _)) = batches.last() {
                 durable_seq = durable_seq.max(seq);
             }
+            if batches.is_empty() {
+                // No complete entry survived (e.g. the crash tore the
+                // segment's only entry): the file holds no data, and its
+                // first-seq name would collide with the segment the
+                // re-shipped batch opens after restart — remove it.
+                fs::remove_file(path).map_err(|e| io_err("remove empty segment", e))?;
+                continue;
+            }
             if i == wal.len() - 1 {
                 let actual = fs::metadata(path).map_err(|e| io_err("stat segment", e))?.len();
                 if actual > good_len {
@@ -690,6 +698,12 @@ mod review_repro {
         }
     }
 
+    /// A big-enough batch that one synced entry exceeds the clamped
+    /// minimum segment size (`SEGMENT_HEADER + 64`), sealing per sync.
+    fn batch(scn: u64) -> Vec<RedoRecord> {
+        (0..4).map(|k| rec(scn + k)).collect()
+    }
+
     #[test]
     fn reopen_after_header_only_torn_segment_collides() {
         let dir = std::env::temp_dir().join(format!("imadg-collide-{}", std::process::id()));
@@ -698,9 +712,9 @@ mod review_repro {
         {
             // Tiny segments: every sync seals the active segment.
             let log = DurableLog::open(&dir, SEGMENT_HEADER + 1).unwrap();
-            log.append_batch(1, &[rec(1)]).unwrap();
+            log.append_batch(1, &batch(1)).unwrap();
             log.sync_if_pending().unwrap(); // seg-1 sealed
-            log.append_batch(2, &[rec(2)]).unwrap();
+            log.append_batch(2, &batch(10)).unwrap();
             log.sync_if_pending().unwrap(); // seg-2 sealed
         }
         // Crash tore seg-2's only entry: open() will truncate it to header-only.
@@ -712,8 +726,9 @@ mod review_repro {
             let log = DurableLog::open(&dir, 1 << 20).unwrap();
             assert_eq!(log.durable_seq(), 1);
             // Re-append the lost batch (arrives again via NAK), same seq 2:
-            // the new active segment is also named seg-2 -> collision.
-            log.append_batch(2, &[rec(2)]).unwrap();
+            // the new active segment is also named seg-2 — open() must
+            // have removed the entry-less torn file so this is fresh.
+            log.append_batch(2, &batch(10)).unwrap();
             log.sync_if_pending().unwrap();
             assert_eq!(log.read_from(1).unwrap().len(), 2, "both batches readable pre-reopen");
         }

@@ -22,5 +22,6 @@ pub use marker::{DdlKind, RedoMarker};
 pub use merger::LogMerger;
 pub use record::{CommitRecord, RedoPayload, RedoRecord};
 pub use transport::{
-    redo_link, redo_link_with_clock, RedoReceiver, RedoSender, RedoSink, RedoSource, Shipper,
+    redo_link, redo_link_with_clock, FanoutSink, RedoReceiver, RedoSender, RedoSink, RedoSource,
+    Shipper,
 };

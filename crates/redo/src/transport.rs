@@ -49,6 +49,18 @@ pub trait RedoSink: Send + Sync {
     /// [`RedoSource::time_to_next`].
     fn set_waker(&self, token: WakeToken);
 
+    /// Lane-addressed waker for fan-out sinks feeding several standbys:
+    /// wake `token` when lane `lane`'s shipped redo becomes deliverable.
+    /// Single-lane sinks only honour lane 0 (identical to [`set_waker`]),
+    /// so single-standby wiring is unchanged.
+    ///
+    /// [`set_waker`]: RedoSink::set_waker
+    fn set_lane_waker(&self, lane: usize, token: WakeToken) {
+        if lane == 0 {
+            self.set_waker(token);
+        }
+    }
+
     /// Attach the primary-side transport metrics (retransmits served,
     /// reconnects, pings). Links are built before the owning registry, so
     /// binding happens late.
@@ -246,6 +258,59 @@ pub fn redo_link_with_clock(latency: Duration, clock: Clock) -> (RedoSender, Red
         },
         RedoReceiver { rx, clock, pending: None },
     )
+}
+
+/// A lossless fan-out over per-lane sinks: every sent batch is cloned to
+/// each lane. This is the in-process reader-farm link — each standby gets
+/// its own channel, and there is no window/ACK protocol to share (the
+/// framed fan-out with one retained window lives in `imadg-net`).
+pub struct FanoutSink {
+    lanes: Vec<Box<dyn RedoSink>>,
+}
+
+impl FanoutSink {
+    /// Fan out over `lanes` (one per standby, in standby order).
+    pub fn new(lanes: Vec<Box<dyn RedoSink>>) -> FanoutSink {
+        FanoutSink { lanes }
+    }
+}
+
+impl RedoSink for FanoutSink {
+    fn send(&self, records: Vec<RedoRecord>) -> Result<()> {
+        let Some((last, head)) = self.lanes.split_last() else { return Ok(()) };
+        for lane in head {
+            lane.send(records.clone())?;
+        }
+        last.send(records)
+    }
+
+    fn service(&self) -> Result<bool> {
+        let mut moved = false;
+        for lane in &self.lanes {
+            moved |= lane.service()?;
+        }
+        Ok(moved)
+    }
+
+    fn pending(&self) -> bool {
+        self.lanes.iter().any(|l| l.pending())
+    }
+
+    fn set_waker(&self, token: WakeToken) {
+        self.set_lane_waker(0, token);
+    }
+
+    fn set_lane_waker(&self, lane: usize, token: WakeToken) {
+        if let Some(l) = self.lanes.get(lane) {
+            l.set_waker(token);
+        }
+    }
+
+    fn bind_metrics(&self, metrics: Arc<TransportMetrics>) {
+        for lane in &self.lanes {
+            lane.bind_metrics(metrics.clone());
+        }
+    }
 }
 
 /// The shipping process of one redo thread: drains the log buffer into the

@@ -41,6 +41,10 @@ pub struct OltapConfig {
     pub threads: usize,
     /// Run the ad-hoc scans on the standby (vs the primary, §IV.B).
     pub scans_on_standby: bool,
+    /// Issue scans through the reader-farm router with a mixed staleness
+    /// tolerance per query (tight / relaxed / unbounded) instead of
+    /// pinning them to one standby. Overrides `scans_on_standby`.
+    pub routed_scans: bool,
     /// RNG seed.
     pub seed: u64,
     /// Simulated host core count for CPU%% reporting.
@@ -56,6 +60,7 @@ impl Default for OltapConfig {
             mix: OpMix::update_only(),
             threads: 4,
             scans_on_standby: true,
+            routed_scans: false,
             seed: 42,
             cores: 16,
         }
@@ -73,6 +78,8 @@ struct SharedStats {
     conflicts: AtomicU64,
     scans_total: AtomicU64,
     scans_used_imcs: AtomicU64,
+    routed_standby: AtomicU64,
+    routed_primary: AtomicU64,
     scan_imcu_rows: AtomicU64,
     scan_fallback_rows: AtomicU64,
     scan_uncovered_rows: AtomicU64,
@@ -242,8 +249,26 @@ fn run_op(
             let bind = rng.gen_range(0..if qid == QueryId::Q1 { NUM_DOMAIN } else { STR_DOMAIN });
             let filter = build(qid, &schema, bind)?;
             let t0 = Instant::now();
-            let req = QueryRequest::scan(object).filter(filter);
-            let out = if cfg.scans_on_standby {
+            let mut req = QueryRequest::scan(object).filter(filter);
+            let out = if cfg.routed_scans {
+                // Mixed tolerance: a third of the scans demand near-fresh
+                // data, a third tolerate moderate lag, a third take any
+                // published QuerySCN — the router spreads the last two
+                // over the farm and bounces the first to the primary
+                // whenever the farm lags.
+                match rng.gen_range(0..3u8) {
+                    0 => req = req.max_staleness(Duration::from_micros(200)),
+                    1 => req = req.max_staleness(Duration::from_millis(100)),
+                    _ => {}
+                }
+                let (out, decision) = cluster.route_query(&req)?;
+                if decision.offloaded() {
+                    shared.routed_standby.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shared.routed_primary.fetch_add(1, Ordering::Relaxed);
+                }
+                out
+            } else if cfg.scans_on_standby {
                 match cluster.standby().query(&req) {
                     Ok(o) => o,
                     // Before the first QuerySCN publish: skip the sample.
@@ -331,6 +356,8 @@ fn collect_metrics(
         conflicts: shared.conflicts.load(Ordering::Relaxed),
         scans_total: shared.scans_total.load(Ordering::Relaxed),
         scans_used_imcs: shared.scans_used_imcs.load(Ordering::Relaxed),
+        routed_standby: shared.routed_standby.load(Ordering::Relaxed),
+        routed_primary: shared.routed_primary.load(Ordering::Relaxed),
         scan_imcu_rows: shared.scan_imcu_rows.load(Ordering::Relaxed),
         scan_fallback_rows: shared.scan_fallback_rows.load(Ordering::Relaxed),
         scan_uncovered_rows: shared.scan_uncovered_rows.load(Ordering::Relaxed),

@@ -28,6 +28,12 @@ pub struct OltapMetrics {
     pub scans_total: u64,
     /// Scans served by the In-Memory Scan Engine.
     pub scans_used_imcs: u64,
+    /// Routed scans the reader-farm router offloaded to a standby (0 when
+    /// `routed_scans` is off).
+    pub routed_standby: u64,
+    /// Routed scans that fell back to the primary (placement, freshness or
+    /// staleness-bound fallbacks).
+    pub routed_primary: u64,
     /// Result rows served from encoded IMCU data.
     pub scan_imcu_rows: u64,
     /// Result rows served via SMU fallback.
@@ -121,6 +127,8 @@ mod tests {
             conflicts: 0,
             scans_total: 0,
             scans_used_imcs: 0,
+            routed_standby: 0,
+            routed_primary: 0,
             scan_imcu_rows: 0,
             scan_fallback_rows: 0,
             scan_uncovered_rows: 0,

@@ -72,7 +72,7 @@ fn main() -> Result<()> {
     );
 
     // ── Disaster 1: the standby dies hard and restarts from disk. ──────
-    cluster.crash_restart_standby()?;
+    cluster.crash_restart_standby(0)?;
     println!("standby crashed and restarted: in-memory state discarded, disk kept");
 
     cluster.sync()?;

@@ -36,6 +36,16 @@ cargo test -p imadg-db --test threaded_smoke -q
 echo "==> transport chaos (pinned seeds, framed link + fault injection)"
 cargo test -p imadg-db --test chaos_transport -q
 
+# Reader-farm gate: the 16-seed multi-standby matrix (2–3 member farms,
+# one faulted fan-out lane; per-member gap accounting closes, faults stay
+# lane-local, the laggard never blocks fresh members' QuerySCN), router
+# determinism under the step scheduler, and promotion under fan-out with
+# zero committed-transaction loss.
+echo "==> reader farm (multi-standby chaos matrix + router determinism)"
+cargo test -p imadg-db --test chaos_transport farm -q
+cargo test -p imadg-db --test chaos_transport router -q
+cargo test -p imadg-db --test chaos_transport promotion_under_fanout -q
+
 # TCP-loopback smoke: the same protocol over a real socket. Sandboxes
 # without loopback sockets skip gracefully — each test detects the failed
 # bind, prints a visible NOTICE, and passes — while real protocol bugs
@@ -88,7 +98,18 @@ if [[ "$fast" == 0 ]]; then
     ./target/release/bench_scan --validate "$rec_out"
     rm -f "$rec_out"
 
-    for doc in BENCH_scan.json BENCH_oltap.json BENCH_recovery.json; do
+    # Reader-farm smoke gate: a tiny exp_readerfarm run (1/2/4-standby
+    # fan-out with routed, staleness-bounded scans) must emit a
+    # schema-valid readerfarm document — the schema itself enforces the
+    # ≥1.7× aggregate offloaded-throughput scaling floor from the
+    # smallest to the largest farm.
+    echo "==> reader-farm smoke (exp_readerfarm --smoke + schema validation)"
+    farm_out="$(mktemp)"
+    IMADG_BENCH_OUT="$farm_out" ./target/release/exp_readerfarm --smoke >/dev/null
+    ./target/release/bench_scan --validate "$farm_out"
+    rm -f "$farm_out"
+
+    for doc in BENCH_scan.json BENCH_oltap.json BENCH_recovery.json BENCH_readerfarm.json; do
         [[ -f "$doc" ]] && ./target/release/bench_scan --validate "$doc"
     done
 

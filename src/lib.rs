@@ -40,7 +40,7 @@
 //! // Analytics on the standby, served from the IMCS.
 //! let schema = p.store.table(ObjectId(1)).unwrap().schema.read().clone();
 //! let filter = Filter::of(Predicate::eq(&schema, "amount", Value::Int(500)).unwrap());
-//! let out = cluster.standby().scan(ObjectId(1), &filter).unwrap();
+//! let out = cluster.standby().query(&QueryRequest::scan(ObjectId(1)).filter(filter)).unwrap();
 //! assert!(out.used_imcs);
 //! assert_eq!(out.count(), 1);
 //! ```
@@ -128,9 +128,10 @@ pub mod prelude {
         Scn, SystemConfig, TenantId, TransportConfig, TxnId,
     };
     pub use imadg_db::{
-        AdgCluster, ClusterConfig, CmpOp, ColumnDef, ColumnType, Filter, MetricsSnapshot, Node,
-        NodeBuilder, NodeRole, Placement, Predicate, PromotionReport, QueryOutput, QueryRequest,
-        Row, Schema, StandbyCluster, TableSpec, Value,
+        AdgCluster, ClusterConfig, CmpOp, ColumnDef, ColumnType, FallbackReason, Filter,
+        MetricsSnapshot, Node, NodeBuilder, NodeRole, Placement, Predicate, PromotionReport,
+        QueryOutput, QueryRequest, RouteDecision, RouteTarget, Row, Schema, StandbyCluster,
+        StandbySelector, StandbySpec, TableSpec, Value,
     };
     pub use imadg_workload::{OltapConfig, OpMix, QueryId};
 }

@@ -26,6 +26,7 @@ fn config(rows: usize, mix: OpMix) -> OltapConfig {
         mix,
         threads: 2,
         scans_on_standby: true,
+        routed_scans: false,
         seed: 11,
         cores: 16,
     }
@@ -88,6 +89,30 @@ fn scan_only_mix_runs_on_primary_too() {
     assert_eq!(m.update.count + m.insert.count, 0);
     assert!(m.scans_total > 0);
     assert_eq!(m.scans_used_imcs, m.scans_total, "primary IMCS served the scans");
+}
+
+#[test]
+fn routed_scan_mix_offloads_to_farm() {
+    let c = NodeBuilder::new().reader_farm(2).dbim_on_adg(true).build().unwrap();
+    c.create_table(wide_table_spec(WIDE, 64)).unwrap();
+    c.set_placement(WIDE, Placement::Both).unwrap();
+    load_wide_table(&c, WIDE, 1_000, 7).unwrap();
+    c.sync().unwrap();
+    c.populate_primary().unwrap();
+    let threads = c.start();
+    let mut cfg = config(1_000, OpMix::scan_only());
+    cfg.scans_on_standby = false;
+    cfg.routed_scans = true;
+    let m = run_oltap(&c, WIDE, &cfg).unwrap();
+    drop(threads);
+
+    assert!(m.scans_total > 0, "scans executed: {}", m.scans_total);
+    assert_eq!(
+        m.routed_standby + m.routed_primary,
+        m.scans_total,
+        "every routed scan lands somewhere"
+    );
+    assert!(m.routed_standby > 0, "farm served at least one scan");
 }
 
 #[test]
