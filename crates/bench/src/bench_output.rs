@@ -444,6 +444,156 @@ impl BenchReaderFarmDoc {
     }
 }
 
+/// One memory-budget point measured by `exp_tier`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchTierRun {
+    /// Run name (`budget_100`, `budget_50`, `budget_25`).
+    pub name: String,
+    /// Memory budget as a percentage of the hot working set.
+    pub budget_pct: u32,
+    /// The budget in bytes (0 = unlimited).
+    pub budget_bytes: u64,
+    /// Units held hot after the tier engine converged.
+    pub hot_units: u64,
+    /// Units evicted to the cold columnar tier.
+    pub cold_units: u64,
+    /// Cold bytes on disk after convergence.
+    pub bytes_on_disk: u64,
+    /// Full-scan throughput at this budget, table rows per second.
+    pub rows_per_sec: f64,
+    /// Median full-scan latency, microseconds.
+    pub full_p50_us: f64,
+    /// Median selective-scan latency, microseconds.
+    pub selective_p50_us: f64,
+    /// Cold units whose pages were read for the selective predicate.
+    pub cold_read_units: u64,
+    /// Cold units skipped by footer min-max for the selective predicate.
+    pub cold_pruned_units: u64,
+    /// `cold_pruned_units / (cold_pruned_units + cold_read_units)`; 0 when
+    /// no units are cold.
+    pub pruning_ratio: f64,
+}
+
+/// The tiered-column-store benchmark document (`BENCH_tier.json`), emitted
+/// by the `exp_tier` binary: scan throughput and footer-pruning ratios at
+/// descending memory budgets, plus the restart race — instant cold-tier
+/// re-registration vs. a full row-store re-scan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchTierDoc {
+    /// Schema version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Benchmark family; always `"tier"`.
+    pub bench: String,
+    /// Table rows per run.
+    pub rows: usize,
+    /// Available CPU cores on the measuring host.
+    pub cores: usize,
+    /// The selective predicate used for the pruning measurement.
+    pub query: String,
+    /// The measured budgets, descending percentage.
+    pub runs: Vec<BenchTierRun>,
+    /// Time to a queryable column store after a crash restart via the cold
+    /// tier (footer re-registration), milliseconds.
+    pub restart_cold_ms: f64,
+    /// Time to a queryable column store after a crash restart via row-store
+    /// re-population (the cold tier disabled), milliseconds.
+    pub restart_rescan_ms: f64,
+}
+
+impl BenchTierDoc {
+    /// Minimum fraction of cold units the footer min-max check must skip on
+    /// the selective predicate (the PR-10 acceptance floor).
+    pub const MIN_PRUNING: f64 = 0.5;
+
+    /// Structural validation; returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "unknown schema_version {} (expected {BENCH_SCHEMA_VERSION})",
+                self.schema_version
+            ));
+        }
+        if self.bench != "tier" {
+            return Err(format!("bench family {:?} is not \"tier\"", self.bench));
+        }
+        if self.rows == 0 || self.cores == 0 {
+            return Err("rows and cores must be > 0".into());
+        }
+        if self.runs.is_empty() {
+            return Err("no runs".into());
+        }
+        let mut prev_pct = u32::MAX;
+        for r in &self.runs {
+            if r.name.is_empty() {
+                return Err("run with empty name".into());
+            }
+            if r.budget_pct == 0 || r.budget_pct >= prev_pct {
+                return Err(format!("{}: budgets must be positive and descending", r.name));
+            }
+            prev_pct = r.budget_pct;
+            if r.hot_units + r.cold_units == 0 {
+                return Err(format!("{}: no units at all", r.name));
+            }
+            if r.budget_pct < 100 && r.cold_units == 0 {
+                return Err(format!("{}: constrained budget evicted nothing", r.name));
+            }
+            if r.cold_units > 0 && r.bytes_on_disk == 0 {
+                return Err(format!("{}: cold units but zero bytes on disk", r.name));
+            }
+            if !(r.rows_per_sec.is_finite() && r.rows_per_sec > 0.0) {
+                return Err(format!("{}: rows_per_sec must be finite and > 0", r.name));
+            }
+            for (label, v) in
+                [("full_p50_us", r.full_p50_us), ("selective_p50_us", r.selective_p50_us)]
+            {
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!("{}: {label} must be finite and > 0", r.name));
+                }
+            }
+            if !(0.0..=1.0).contains(&r.pruning_ratio) {
+                return Err(format!("{}: pruning_ratio outside [0, 1]", r.name));
+            }
+            let cold_touched = r.cold_pruned_units + r.cold_read_units;
+            if cold_touched > 0 {
+                let ratio = r.cold_pruned_units as f64 / cold_touched as f64;
+                if (ratio - r.pruning_ratio).abs() > 1e-9 {
+                    return Err(format!(
+                        "{}: pruning_ratio {} disagrees with pruned/(pruned+read) = {ratio}",
+                        r.name, r.pruning_ratio
+                    ));
+                }
+                // The acceptance floor: the footer min-max check must skip
+                // at least half the cold units on the selective predicate.
+                if ratio < Self::MIN_PRUNING {
+                    return Err(format!(
+                        "{}: footer pruning skipped only {:.0}% of cold units (floor {:.0}%)",
+                        r.name,
+                        ratio * 100.0,
+                        Self::MIN_PRUNING * 100.0
+                    ));
+                }
+            }
+        }
+        for (label, v) in [
+            ("restart_cold_ms", self.restart_cold_ms),
+            ("restart_rescan_ms", self.restart_rescan_ms),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{label} must be finite and > 0"));
+            }
+        }
+        // The other acceptance floor: restart via footer re-registration
+        // must beat re-scanning the row store into fresh IMCUs.
+        if self.restart_cold_ms >= self.restart_rescan_ms {
+            return Err(format!(
+                "cold-tier restart ({:.2} ms) is not faster than row-store re-scan ({:.2} ms)",
+                self.restart_cold_ms, self.restart_rescan_ms
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Percentile over already-sorted samples (nearest-rank; `p` in [0,100]).
 pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
@@ -638,6 +788,64 @@ mod tests {
         let mut bad = d;
         bad.runs.swap(0, 2);
         assert!(bad.validate().is_err(), "farm sizes must ascend");
+    }
+
+    fn tier_run(name: &str, pct: u32, cold: u64, pruned: u64, read: u64) -> BenchTierRun {
+        let touched = pruned + read;
+        BenchTierRun {
+            name: name.into(),
+            budget_pct: pct,
+            budget_bytes: if pct == 100 { 0 } else { 1000 * pct as u64 },
+            hot_units: 8 - cold,
+            cold_units: cold,
+            bytes_on_disk: cold * 512,
+            rows_per_sec: 1e6,
+            full_p50_us: 500.0,
+            selective_p50_us: 120.0,
+            cold_read_units: read,
+            cold_pruned_units: pruned,
+            pruning_ratio: if touched > 0 { pruned as f64 / touched as f64 } else { 0.0 },
+        }
+    }
+
+    #[test]
+    fn tier_doc_validates() {
+        let d = BenchTierDoc {
+            schema_version: BENCH_SCHEMA_VERSION,
+            bench: "tier".into(),
+            rows: 10_000,
+            cores: 4,
+            query: "id >= 9000".into(),
+            runs: vec![
+                tier_run("budget_100", 100, 0, 0, 0),
+                tier_run("budget_50", 50, 4, 3, 1),
+                tier_run("budget_25", 25, 6, 5, 1),
+            ],
+            restart_cold_ms: 0.4,
+            restart_rescan_ms: 6.5,
+        };
+        d.validate().unwrap();
+        let s = serde_json::to_string(&d).unwrap();
+        let back: BenchTierDoc = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, d);
+
+        let mut bad = d.clone();
+        bad.schema_version = 99;
+        assert!(bad.validate().is_err(), "unknown version");
+        let mut bad = d.clone();
+        bad.runs[2].cold_units = 0;
+        assert!(bad.validate().is_err(), "constrained budget must evict");
+        let mut bad = d.clone();
+        bad.runs[1].cold_pruned_units = 0;
+        bad.runs[1].cold_read_units = 4;
+        bad.runs[1].pruning_ratio = 0.0;
+        assert!(bad.validate().is_err(), "sub-floor pruning must fail");
+        let mut bad = d.clone();
+        bad.runs.swap(1, 2);
+        assert!(bad.validate().is_err(), "budgets must descend");
+        let mut bad = d;
+        bad.restart_cold_ms = 10.0;
+        assert!(bad.validate().is_err(), "cold restart must beat re-scan");
     }
 
     #[test]

@@ -27,7 +27,7 @@ use std::time::Instant;
 
 use imadg_bench::bench_output::{
     percentile, write_json, BenchEntry, BenchOltapDoc, BenchReaderFarmDoc, BenchRecoveryDoc,
-    BenchScanDoc, BENCH_SCHEMA_VERSION,
+    BenchScanDoc, BenchTierDoc, BENCH_SCHEMA_VERSION,
 };
 use imadg_common::{ImcsConfig, ObjectId, ScnService, TenantId};
 use imadg_imcs::{scalar, ImcsStore, PopulationEngine, Predicate, SnapshotSource};
@@ -287,71 +287,93 @@ fn run_bench() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The dispatch header every benchmark document carries; the `bench` tag
+/// names the family, which selects the schema (extra fields are ignored
+/// at this probing stage).
+#[derive(serde::Deserialize)]
+struct BenchProbe {
+    schema_version: u32,
+    bench: String,
+}
+
 /// Parse + validate an existing `BENCH_*.json` document; the `bench` tag
-/// selects the schema. Non-zero exit on any structural problem.
-fn validate_file(path: &str) -> ExitCode {
-    let raw = match std::fs::read_to_string(path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("bench_scan --validate: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
+/// selects the schema, and an unknown family or schema version is an
+/// error — new document kinds must be registered here before CI accepts
+/// them.
+fn validate_file(path: &str) -> Result<String, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let probe: BenchProbe =
+        serde_json::from_str(&raw).map_err(|e| format!("no bench header: {e}"))?;
+    if probe.schema_version != BENCH_SCHEMA_VERSION {
+        return Err(format!(
+            "unknown schema_version {} (expected {BENCH_SCHEMA_VERSION})",
+            probe.schema_version
+        ));
+    }
+    fn check<T: serde::Deserialize>(
+        raw: &str,
+        validate: fn(&T) -> Result<(), String>,
+    ) -> Result<(), String> {
+        let doc: T = serde_json::from_str(raw).map_err(|e| e.to_string())?;
+        validate(&doc)
+    }
+    match probe.bench.as_str() {
+        "scan" => check(&raw, BenchScanDoc::validate),
+        "oltap" => check(&raw, BenchOltapDoc::validate),
+        "recovery" => check(&raw, BenchRecoveryDoc::validate),
+        "readerfarm" => check(&raw, BenchReaderFarmDoc::validate),
+        "tier" => check(&raw, BenchTierDoc::validate),
+        other => Err(format!("unknown bench family {other:?}")),
+    }?;
+    Ok(probe.bench)
+}
+
+/// Validate the given documents, or — with no paths — discover and
+/// validate every `BENCH_*.json` in the current directory. Any malformed,
+/// unknown-family, or unknown-version document fails the run.
+fn validate_all(paths: &[String]) -> ExitCode {
+    let discovered: Vec<String> = if paths.is_empty() {
+        let mut found: Vec<String> = std::fs::read_dir(".")
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .map(|e| e.file_name().to_string_lossy().into_owned())
+                    .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        found.sort();
+        found
+    } else {
+        paths.to_vec()
     };
-    // The `bench` tag picks the schema; try each known family in turn.
-    let as_scan = serde_json::from_str::<BenchScanDoc>(&raw)
-        .map_err(|e| format!("not a scan document: {e}"))
-        .and_then(|d| d.validate());
-    let family = match as_scan {
-        Ok(()) => "scan",
-        Err(scan_err) => {
-            let as_oltap = serde_json::from_str::<BenchOltapDoc>(&raw)
-                .map_err(|e| format!("not an oltap document: {e}"))
-                .and_then(|d| d.validate());
-            match as_oltap {
-                Ok(()) => "oltap",
-                Err(oltap_err) => {
-                    let as_recovery = serde_json::from_str::<BenchRecoveryDoc>(&raw)
-                        .map_err(|e| format!("not a recovery document: {e}"))
-                        .and_then(|d| d.validate());
-                    match as_recovery {
-                        Ok(()) => "recovery",
-                        Err(rec_err) => {
-                            let as_farm = serde_json::from_str::<BenchReaderFarmDoc>(&raw)
-                                .map_err(|e| format!("not a readerfarm document: {e}"))
-                                .and_then(|d| d.validate());
-                            match as_farm {
-                                Ok(()) => "readerfarm",
-                                Err(farm_err) => {
-                                    eprintln!(
-                                        "bench_scan --validate: {path}: {scan_err}; \
-                                         {oltap_err}; {rec_err}; {farm_err}"
-                                    );
-                                    return ExitCode::FAILURE;
-                                }
-                            }
-                        }
-                    }
-                }
+    if discovered.is_empty() {
+        eprintln!("bench_scan --validate: no BENCH_*.json documents found");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &discovered {
+        match validate_file(path) {
+            Ok(family) => println!("{path}: valid {family} document"),
+            Err(e) => {
+                eprintln!("bench_scan --validate: {path}: {e}");
+                failed = true;
             }
         }
-    };
-    println!("{path}: valid {family} document");
-    ExitCode::SUCCESS
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
-        Some("--validate") => match args.get(2) {
-            Some(path) => validate_file(path),
-            None => {
-                eprintln!("usage: bench_scan [--validate <BENCH_*.json>]");
-                ExitCode::FAILURE
-            }
-        },
+        Some("--validate") => validate_all(&args[2..]),
         Some(flag) => {
             eprintln!("bench_scan: unknown flag {flag}");
-            eprintln!("usage: bench_scan [--validate <BENCH_*.json>]");
+            eprintln!("usage: bench_scan [--validate [BENCH_*.json ...]]");
             ExitCode::FAILURE
         }
         None => run_bench(),

@@ -77,6 +77,16 @@ pub struct ImcsConfig {
     /// standby's In-Memory Scan Engine parallelizes one query across
     /// IMCUs). `1` = serial; `0` = one worker per available core.
     pub scan_parallel_degree: usize,
+    /// Memory budget for hot (in-DRAM) IMCUs, in approximate column-store
+    /// bytes. When the hot tier exceeds the budget, the coldest units are
+    /// evicted to the on-disk columnar tier (ROADMAP item 4; the paper's
+    /// Fig. 2 capacity-expansion story). `0` = unlimited, no eviction.
+    pub memory_budget_bytes: usize,
+    /// Directory for cold columnar unit files when no durability dir is
+    /// configured. With durability enabled the tier lives under
+    /// `<durability dir>/standby-<name>/coldstore/` instead so restart can
+    /// find it.
+    pub cold_tier_dir: Option<String>,
 }
 
 impl Default for ImcsConfig {
@@ -90,6 +100,8 @@ impl Default for ImcsConfig {
             build_pause_micros: 1000,
             commit_flag_annotation: true,
             scan_parallel_degree: 1,
+            memory_budget_bytes: 0,
+            cold_tier_dir: None,
         }
     }
 }
@@ -296,6 +308,16 @@ impl SystemConfig {
         self.imcs.validate()?;
         self.transport.validate()?;
         self.durability.validate()?;
+        if self.imcs.memory_budget_bytes > 0
+            && self.imcs.cold_tier_dir.is_none()
+            && !self.durability.enabled()
+        {
+            // Eviction needs somewhere to put the cold files: either the
+            // durable state tree or an explicit tier directory.
+            return Err(Error::Config(
+                "memory_budget_bytes requires cold_tier_dir or a durability dir".into(),
+            ));
+        }
         if self.durability.enabled() && self.transport.mode == LinkMode::InProcess {
             // Durable restart resumes the link at the fsynced sequence
             // number; the in-process channel has no sequence numbers to
@@ -383,6 +405,20 @@ mod tests {
         c.segment_max_bytes = 4096;
         c.checkpoint_interval = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn budget_without_tier_dir_rejected() {
+        let mut c = SystemConfig::default();
+        c.imcs.memory_budget_bytes = 1024;
+        assert!(c.validate().is_err());
+        c.imcs.cold_tier_dir = Some("/tmp/imadg-tier".into());
+        c.validate().unwrap();
+        // A durability dir also satisfies the requirement.
+        c.imcs.cold_tier_dir = None;
+        c.durability.dir = Some("/tmp/imadg".into());
+        c.transport.mode = LinkMode::Framed;
+        c.validate().unwrap();
     }
 
     #[test]

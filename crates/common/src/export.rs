@@ -201,6 +201,8 @@ mod tests {
     fn snapshot_with_data() -> MetricsSnapshot {
         let r = MetricsRegistry::default();
         r.transport.records_shipped.add(42);
+        r.tier.tier_evictions.add(7);
+        r.tier.tier_bytes_on_disk.set(4096);
         r.scan.latency_us.record(Duration::from_micros(250));
         r.staleness.set_clock(crate::Clock::manual());
         r.staleness.on_ship(1, 0);
@@ -216,6 +218,9 @@ mod tests {
         let text = prometheus_text(&snapshot_with_data(), &[("role", "standby")]);
         assert!(text.contains("# TYPE imadg_transport_records_shipped gauge"));
         assert!(text.contains("imadg_transport_records_shipped{role=\"standby\"} 42"));
+        // Cold-tier counters ride the same generic walk.
+        assert!(text.contains("imadg_tier_tier_evictions{role=\"standby\"} 7"));
+        assert!(text.contains("imadg_tier_tier_bytes_on_disk{role=\"standby\"} 4096"));
         // Histograms become summaries with quantile series.
         assert!(text.contains("# TYPE imadg_staleness_e2e summary"));
         assert!(text.contains("imadg_staleness_e2e{role=\"standby\",quantile=\"0.99\"}"));

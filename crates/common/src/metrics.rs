@@ -968,6 +968,65 @@ pub struct PopulationSnapshot {
     pub populated_rows: u64,
 }
 
+/// Cold columnar tier: eviction, recall, re-compaction, and cold-unit
+/// scan activity (ROADMAP item 4).
+#[derive(Debug, Default)]
+pub struct TierMetrics {
+    /// Hot IMCUs evicted to the on-disk columnar tier.
+    pub tier_evictions: Counter,
+    /// Cold units recalled back into DRAM.
+    pub tier_recalls: Counter,
+    /// Cold units re-compacted (journal rows merged into a fresh file).
+    pub tier_recompactions: Counter,
+    /// Cold units excluded by footer min/max without any file I/O.
+    pub tier_pruned_units: Counter,
+    /// Cold units served by decoding their columnar file.
+    pub tier_cold_reads: Counter,
+    /// Cold files that failed CRC/decode and degraded to row-store scans.
+    pub tier_read_errors: Counter,
+    /// Bytes held by the cold tier on disk (sampled).
+    pub tier_bytes_on_disk: Gauge,
+    /// Cold unit count (sampled).
+    pub cold_units: Gauge,
+}
+
+impl TierMetrics {
+    /// Project to plain data.
+    pub fn snapshot(&self) -> TierSnapshot {
+        TierSnapshot {
+            tier_evictions: self.tier_evictions.get(),
+            tier_recalls: self.tier_recalls.get(),
+            tier_recompactions: self.tier_recompactions.get(),
+            tier_pruned_units: self.tier_pruned_units.get(),
+            tier_cold_reads: self.tier_cold_reads.get(),
+            tier_read_errors: self.tier_read_errors.get(),
+            tier_bytes_on_disk: self.tier_bytes_on_disk.get(),
+            cold_units: self.cold_units.get(),
+        }
+    }
+}
+
+/// Plain-data projection of [`TierMetrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierSnapshot {
+    /// IMCUs evicted to disk.
+    pub tier_evictions: u64,
+    /// Cold units recalled to DRAM.
+    pub tier_recalls: u64,
+    /// Cold units re-compacted.
+    pub tier_recompactions: u64,
+    /// Cold units pruned by footer min/max (zero I/O).
+    pub tier_pruned_units: u64,
+    /// Cold units served from disk.
+    pub tier_cold_reads: u64,
+    /// Cold read failures degraded to the row store.
+    pub tier_read_errors: u64,
+    /// Sampled cold-tier bytes on disk.
+    pub tier_bytes_on_disk: u64,
+    /// Sampled cold unit count.
+    pub cold_units: u64,
+}
+
 /// The In-Memory Scan Engine as seen by the query API.
 #[derive(Debug, Default)]
 pub struct ScanEngineMetrics {
@@ -1486,6 +1545,8 @@ pub struct MetricsRegistry {
     pub durability: Arc<DurabilityMetrics>,
     /// Population engine.
     pub population: Arc<PopulationMetrics>,
+    /// Cold columnar tier.
+    pub tier: Arc<TierMetrics>,
     /// Scan engine / query API.
     pub scan: Arc<ScanEngineMetrics>,
     /// Scheduler observability + pipeline health.
@@ -1514,6 +1575,7 @@ impl MetricsRegistry {
             flush: self.flush.snapshot(),
             durability: self.durability.snapshot(),
             population: self.population.snapshot(),
+            tier: self.tier.snapshot(),
             scan: self.scan.snapshot(),
             runtime: self.runtime.snapshot(),
             staleness: self.staleness.snapshot(),
@@ -1545,6 +1607,8 @@ pub struct MetricsSnapshot {
     pub durability: DurabilitySnapshot,
     /// Population engine.
     pub population: PopulationSnapshot,
+    /// Cold columnar tier.
+    pub tier: TierSnapshot,
     /// Scan engine / query API.
     pub scan: ScanEngineSnapshot,
     /// Scheduler observability + pipeline health.
@@ -1638,6 +1702,18 @@ impl fmt::Display for MetricsSnapshot {
             self.population.populated_rows,
             self.population.imcus_built,
             self.population.imcus_repopulated,
+        )?;
+        writeln!(
+            f,
+            "tier: evictions={} recalls={} recompactions={} pruned_units={} cold_reads={} \
+             bytes_on_disk={} cold_units={}",
+            self.tier.tier_evictions,
+            self.tier.tier_recalls,
+            self.tier.tier_recompactions,
+            self.tier.tier_pruned_units,
+            self.tier.tier_cold_reads,
+            self.tier.tier_bytes_on_disk,
+            self.tier.cold_units,
         )?;
         writeln!(
             f,

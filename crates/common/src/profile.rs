@@ -33,6 +33,11 @@ pub struct UnitTiming {
     /// Whether the unit bypassed to the row store (pending / all-invalid /
     /// snapshot predates population).
     pub bypassed: bool,
+    /// Whether a cold (evicted) unit was excluded by its on-disk footer
+    /// min/max before any file I/O.
+    pub cold_pruned: bool,
+    /// Whether the unit was served by decoding its cold columnar file.
+    pub cold_read: bool,
 }
 
 /// A per-query phase breakdown, returned when the request set

@@ -239,6 +239,19 @@ impl AdgCluster {
                 standby.set_checkpoint(path, config.system.durability.checkpoint_interval);
             }
             standby.set_primary_scn_probe(scns.clone());
+            if let Some(d) = &dur_dir {
+                // Cold columnar files live in the durable state tree; a
+                // cold start over surviving files registers them from
+                // footers alone. The durable log replays in full, so the
+                // re-mine floor is zero; the mining gate then drops to the
+                // oldest restored snapshot so each file's post-freeze
+                // commits rebuild its SMU from redo.
+                standby.set_cold_tier_dir(Self::cold_tier_dir(d, &spec.name));
+                let (_, floor) = standby.restore_cold_tier(Scn::ZERO)?;
+                if let Some(f) = floor {
+                    standby.set_mine_gate(f.min(mine_gate));
+                }
+            }
             standbys.push(standby);
         }
 
@@ -278,6 +291,11 @@ impl AdgCluster {
     /// The named standby's checkpoint file inside the durability dir.
     fn checkpoint_path(dir: &Path, name: &str) -> PathBuf {
         Self::standby_dir(dir, name).join("checkpoint.json")
+    }
+
+    /// The named standby's cold columnar tier inside the durability dir.
+    fn cold_tier_dir(dir: &Path, name: &str) -> PathBuf {
+        Self::standby_dir(dir, name).join("coldstore")
     }
 
     /// Wrap every receiver that has durable history in a [`ReplaySource`]
@@ -527,12 +545,26 @@ impl AdgCluster {
         new.set_checkpoint(ckpt, self.config.system.durability.checkpoint_interval);
         new.set_primary_scn_probe(self.scns());
         self.arm_standby(&new)?;
+        // Instant re-population: register every surviving cold file from
+        // its footer before any redo replays. The durable log replays in
+        // full, so every file qualifies; the mining gate then drops to the
+        // oldest restored snapshot so each file's post-freeze commits
+        // re-mine into its fresh SMU (per-unit absorption discards the
+        // rest).
+        let (_, floor) = new.restore_cold_tier(Scn::ZERO)?;
+        if let Some(f) = floor {
+            new.set_mine_gate(f.min(mine_gate));
+        }
         self.standbys.write()[idx] = new;
         Ok(())
     }
 
-    /// Re-apply recorded placements to a fresh standby cluster.
+    /// Re-apply recorded placements (and the durable cold-tier directory)
+    /// to a fresh standby cluster.
     fn arm_standby(&self, standby: &Arc<StandbyCluster>) -> Result<()> {
+        if let Some(d) = self.config.durability_dir() {
+            standby.set_cold_tier_dir(Self::cold_tier_dir(&d, standby.name()));
+        }
         for (&object, placement) in self.placements.read().iter() {
             if placement.on_standby_named(standby.name()) {
                 standby.enable_inmemory(object);

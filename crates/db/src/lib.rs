@@ -32,6 +32,7 @@ pub use imadg_common::{
     TraceEvent, TraceStage, TransportConfig, TxnId, UnitTiming,
 };
 pub use imadg_imcs::{
-    AggregateResult, CmpOp, Expr, ExprPredicate, Filter, ImExpression, Predicate, ScanStats,
+    AggregateResult, CmpOp, ColdTier, Expr, ExprPredicate, Filter, ImExpression, Predicate,
+    ScanStats, TierReport,
 };
 pub use imadg_storage::{ColumnDef, ColumnType, Row, Schema, TableSpec, Value};

@@ -300,6 +300,22 @@ impl NodeBuilder {
         self
     }
 
+    /// Cap hot (in-DRAM) IMCU bytes per standby: when the hot tier
+    /// exceeds the budget, the coldest units are evicted to the on-disk
+    /// columnar tier (requires durability or [`NodeBuilder::cold_tier_dir`]).
+    /// `0` = unlimited, no eviction.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.config.system.imcs.memory_budget_bytes = bytes;
+        self
+    }
+
+    /// Directory for cold columnar unit files when durability is off (with
+    /// durability the tier lives inside the durable state tree).
+    pub fn cold_tier_dir(mut self, dir: impl Into<String>) -> Self {
+        self.config.system.imcs.cold_tier_dir = Some(dir.into());
+        self
+    }
+
     /// Install the deployment clock. Every timestamp in the system — redo
     /// generation stamps, transport pacing, staleness histograms — reads
     /// it; a [`imadg_common::Clock::manual`] clock makes latency tracing

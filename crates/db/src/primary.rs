@@ -157,6 +157,7 @@ impl PrimaryInstance {
             self.scns.current(),
             self.scan_degree,
             &self.metrics.scan,
+            &self.metrics.tier,
             &self.metrics.trace,
         )
     }

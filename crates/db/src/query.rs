@@ -11,7 +11,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use imadg_common::metrics::ScanEngineMetrics;
+use imadg_common::metrics::{ScanEngineMetrics, TierMetrics};
 use imadg_common::{ObjectId, PipelineTrace, QueryProfile, Result, Scn, TraceStage};
 use imadg_imcs::{
     scan_aggregate_parallel, scan_aggregate_profiled, scan_cluster_parallel, scan_cluster_profiled,
@@ -164,6 +164,7 @@ impl QueryOutput {
 /// `default_degree` (the instance's configured scan parallel degree) when
 /// it carries no explicit `.parallel(..)` override. Degree `0` resolves to
 /// one worker per available core.
+#[allow(clippy::too_many_arguments)]
 pub fn execute_request(
     imcs_stores: &[Arc<ImcsStore>],
     store: &Store,
@@ -171,6 +172,7 @@ pub fn execute_request(
     default_snapshot: Scn,
     default_degree: usize,
     metrics: &ScanEngineMetrics,
+    tier: &TierMetrics,
     trace: &PipelineTrace,
 ) -> Result<QueryOutput> {
     let snapshot = req.snapshot.unwrap_or(default_snapshot);
@@ -201,7 +203,7 @@ pub fn execute_request(
             req.profile,
         )?
     };
-    record_execution(metrics, &out);
+    record_execution(metrics, tier, &out);
     trace.record(
         TraceStage::Query,
         snapshot.0,
@@ -396,8 +398,8 @@ fn run_aggregate(
     })
 }
 
-/// Fold one execution into the scan-engine metrics stage.
-fn record_execution(metrics: &ScanEngineMetrics, out: &QueryOutput) {
+/// Fold one execution into the scan-engine and cold-tier metrics stages.
+fn record_execution(metrics: &ScanEngineMetrics, tier: &TierMetrics, out: &QueryOutput) {
     metrics.queries.inc();
     if out.used_imcs {
         metrics.imcs_served.inc();
@@ -414,11 +416,17 @@ fn record_execution(metrics: &ScanEngineMetrics, out: &QueryOutput) {
         metrics.pruned_units.add(stats.pruned_units as u64);
         metrics.scanned_units.add(stats.scanned_units as u64);
         metrics.parallel_tasks.add(stats.parallel_tasks as u64);
+        tier.tier_pruned_units.add(stats.cold_pruned_units as u64);
+        tier.tier_cold_reads.add(stats.cold_read_units as u64);
+        tier.tier_read_errors.add(stats.cold_read_errors as u64);
     }
     if let Some(agg) = &out.aggregate {
         metrics.fallback_rows.add(agg.stats.fallback_rows as u64);
         metrics.scanned_units.add(agg.stats.scanned_units as u64);
         metrics.parallel_tasks.add(agg.stats.parallel_tasks as u64);
+        tier.tier_pruned_units.add(agg.stats.cold_pruned_units as u64);
+        tier.tier_cold_reads.add(agg.stats.cold_read_units as u64);
+        tier.tier_read_errors.add(agg.stats.cold_read_errors as u64);
     }
     metrics.latency_us.record(out.elapsed);
 }

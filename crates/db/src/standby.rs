@@ -10,12 +10,14 @@ use std::time::Duration;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use imadg_common::{
-    Clock, Counter, CpuAccount, Error, InstanceId, LogHistogramSnapshot, MetricsRegistry,
-    MetricsSnapshot, ObjectId, ObjectSet, QueryScnCell, QuiesceLock, Result, Runtime,
-    RuntimeHealth, Scn, ScnService, Stage, StageOutcome, SystemConfig, ThreadedRuntime,
+    Clock, Counter, CpuAccount, Error, ImcsConfig, InstanceId, LogHistogramSnapshot,
+    MetricsRegistry, MetricsSnapshot, ObjectId, ObjectSet, QueryScnCell, QuiesceLock, Result,
+    Runtime, RuntimeHealth, Scn, ScnService, Stage, StageOutcome, SystemConfig, ThreadedRuntime,
 };
 use imadg_core::{DbimAdg, HomeLocationMap, LocalFlushTarget, RacEndpoint, RacFlushTarget};
-use imadg_imcs::{ImcsStore, PopulationEngine, PopulationReport, SnapshotSource};
+use imadg_imcs::{
+    ColdTier, ImcsStore, PopulationEngine, PopulationReport, SnapshotSource, TierReport,
+};
 use imadg_recovery::{MediaRecovery, NoopAdvanceHook, RecoveryStageIds};
 use imadg_redo::{write_checkpoint, RedoSource};
 use imadg_storage::{Row, RowLoc, Store};
@@ -53,6 +55,10 @@ pub struct StandbyStatus {
     /// Gap-fill batches served from archived redo logs (an operator signal
     /// that the standby fell behind the primary's retained window).
     pub archive_retransmits: u64,
+    /// IMCUs currently held in the on-disk cold columnar tier.
+    pub cold_units: u64,
+    /// Bytes the cold tier holds on disk.
+    pub tier_bytes_on_disk: u64,
     /// Pipeline health: `Failed` once any stage errored or panicked (the
     /// pipeline is then stopped — queries would otherwise serve data that
     /// silently stopped advancing).
@@ -77,6 +83,7 @@ impl std::fmt::Display for StandbyStatus {
             self.coarse_invalidations,
             self.archive_retransmits,
         )?;
+        write!(f, " cold_units={} tier_disk={}B", self.cold_units, self.tier_bytes_on_disk)?;
         write!(f, " health={}", self.health)
     }
 }
@@ -129,6 +136,12 @@ pub struct StandbyCluster {
     metrics: Arc<MetricsRegistry>,
     /// Configured scan parallel degree (0 = one worker per core).
     scan_degree: usize,
+    /// The IMCS configuration (tier engines are built from it lazily,
+    /// once a cold-tier directory is known).
+    imcs_config: ImcsConfig,
+    /// One cold-tier engine per instance (empty until a tier directory is
+    /// installed via config `cold_tier_dir` or the durability tree).
+    tiers: Mutex<Vec<Arc<ColdTier>>>,
     /// Periodic checkpoint state (None when durability is off).
     checkpoint: Mutex<Option<CheckpointState>>,
 }
@@ -251,7 +264,7 @@ impl StandbyCluster {
             }));
         }
 
-        Ok(Arc::new(StandbyCluster {
+        let cluster = Arc::new(StandbyCluster {
             name: name.to_string(),
             lane,
             frozen: AtomicBool::new(false),
@@ -268,8 +281,110 @@ impl StandbyCluster {
             home,
             metrics,
             scan_degree: config.imcs.scan_parallel_degree,
+            imcs_config: config.imcs.clone(),
+            tiers: Mutex::new(Vec::new()),
             checkpoint: Mutex::new(None),
-        }))
+        });
+        // An explicit tier directory activates tiering immediately; the
+        // durability tree (when configured) overrides it from the cluster
+        // assembly so restart can find the files.
+        if let Some(d) = &cluster.imcs_config.cold_tier_dir {
+            cluster.set_cold_tier_dir(PathBuf::from(d).join(format!("standby-{name}")));
+        }
+        Ok(cluster)
+    }
+
+    /// Install (or move) the cold-tier directory and build one tier engine
+    /// per instance under it (`<dir>/inst-<N>`).
+    pub fn set_cold_tier_dir(&self, dir: PathBuf) {
+        let mut tiers = Vec::with_capacity(self.instances.len());
+        for inst in &self.instances {
+            tiers.push(Arc::new(ColdTier::new(
+                self.store.clone(),
+                inst.imcs.clone(),
+                SnapshotSource::Standby {
+                    query_scn: self.query_scn.clone(),
+                    quiesce: self.quiesce.clone(),
+                },
+                self.imcs_config.clone(),
+                dir.join(format!("inst-{}", inst.id.0)),
+                self.metrics.tier.clone(),
+            )));
+        }
+        *self.tiers.lock() = tiers;
+    }
+
+    /// Run one cold-tier pass (orphan sweep, re-compaction, recall,
+    /// eviction) on every instance.
+    pub fn tier_once(&self) -> Result<TierReport> {
+        let tiers = self.tiers.lock().clone();
+        let mut total = TierReport::default();
+        for t in &tiers {
+            let r = t.run_once()?;
+            total.evicted += r.evicted;
+            total.recalled += r.recalled;
+            total.recompacted += r.recompacted;
+            total.orphans_cleared += r.orphans_cleared;
+        }
+        self.refresh_tier_gauges(&tiers);
+        Ok(total)
+    }
+
+    /// The shared gauges must sum over every instance's engine (each
+    /// engine's own refresh only sees its own instance).
+    fn refresh_tier_gauges(&self, tiers: &[Arc<ColdTier>]) {
+        let (mut bytes, mut units) = (0u64, 0u64);
+        for t in tiers {
+            let (b, u) = t.sample();
+            bytes += b;
+            units += u;
+        }
+        self.metrics.tier.tier_bytes_on_disk.set(bytes);
+        self.metrics.tier.cold_units.set(units);
+    }
+
+    /// Drive the cold tier to a fixed point on every instance.
+    pub fn tier_until_idle(&self) -> Result<TierReport> {
+        let mut total = TierReport::default();
+        loop {
+            let r = self.tier_once()?;
+            if !r.any() {
+                return Ok(total);
+            }
+            total.evicted += r.evicted;
+            total.recalled += r.recalled;
+            total.recompacted += r.recompacted;
+            total.orphans_cleared += r.orphans_cleared;
+        }
+    }
+
+    /// Restore the cold columnar tier after a crash restart: register
+    /// every qualifying cold file (footers only — instant) on its owning
+    /// instance's column store. `floor` is the oldest SCN the durable log
+    /// can re-mine from; files frozen before it are discarded (their
+    /// journal died with the crash and cannot be rebuilt). Returns units
+    /// restored and the minimum restored snapshot — the mining gate the
+    /// caller must lower the replay to so each file's post-freeze commits
+    /// re-mine into its fresh SMU.
+    pub fn restore_cold_tier(&self, floor: Scn) -> Result<(usize, Option<Scn>)> {
+        let tiers = self.tiers.lock().clone();
+        let mut restored = 0usize;
+        let mut min_snapshot: Option<Scn> = None;
+        for t in &tiers {
+            let (n, min) = imadg_imcs::restore_cold_tier(
+                t.imcs(),
+                &self.store,
+                t.dir(),
+                floor,
+                &self.metrics.tier,
+            )?;
+            restored += n;
+            if let Some(s) = min {
+                min_snapshot = Some(min_snapshot.map_or(s, |m| m.min(s)));
+            }
+        }
+        self.refresh_tier_gauges(&tiers);
+        Ok((restored, min_snapshot))
     }
 
     /// Install the checkpoint mining gate on every recovery worker (the
@@ -455,6 +570,7 @@ impl StandbyCluster {
             snapshot,
             self.scan_degree,
             &self.metrics.scan,
+            &self.metrics.tier,
             &self.metrics.trace,
         )
     }
@@ -536,6 +652,8 @@ impl StandbyCluster {
             flushed_records: m.flush.flushed_records,
             coarse_invalidations: m.flush.coarse_invalidations,
             archive_retransmits: m.durability.archive_retransmits,
+            cold_units: m.tier.cold_units,
+            tier_bytes_on_disk: m.tier.tier_bytes_on_disk,
             health: self.health(),
         }
     }
@@ -563,6 +681,20 @@ impl StandbyCluster {
                 health.clone(),
             );
             rt.wire(ids.coordinator, pop);
+        }
+        for (i, tier) in self.tiers.lock().iter().enumerate() {
+            let name = format!("tier.{i}");
+            let id = rt.register_with_health(
+                Arc::new(TierStage {
+                    name: name.clone(),
+                    cluster: self.clone(),
+                    tier: tier.clone(),
+                }),
+                self.metrics.runtime.stage(&name),
+                health.clone(),
+            );
+            // Advancement creates both population and eviction pressure.
+            rt.wire(ids.coordinator, id);
         }
         for ep in &self.rac_endpoints {
             let id = rt.register_with_health(
@@ -609,6 +741,38 @@ impl Stage for PopulationStage {
 
     fn run_once(&self) -> Result<StageOutcome> {
         Ok(if self.engine.run_once()?.any() { StageOutcome::Progress } else { StageOutcome::Idle })
+    }
+
+    fn park_hint(&self) -> Duration {
+        Duration::from_millis(5)
+    }
+
+    fn throttle(&self) -> Option<Duration> {
+        Some(Duration::from_millis(1))
+    }
+}
+
+/// One instance's cold-tier engine as a runtime stage (metrics id
+/// `tier.N`). Woken by QuerySCN advancement (new population is what
+/// creates memory pressure); throttled like population so tier churn — a
+/// background activity — never starves queries or redo apply.
+struct TierStage {
+    name: String,
+    cluster: Arc<StandbyCluster>,
+    tier: Arc<ColdTier>,
+}
+
+impl Stage for TierStage {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run_once(&self) -> Result<StageOutcome> {
+        let moved = self.tier.run_once()?.any();
+        // The shared gauges sum over every instance's engine.
+        let tiers = self.cluster.tiers.lock().clone();
+        self.cluster.refresh_tier_gauges(&tiers);
+        Ok(if moved { StageOutcome::Progress } else { StageOutcome::Idle })
     }
 
     fn park_hint(&self) -> Duration {

@@ -275,6 +275,65 @@ fn double_crash_still_converges() {
     assert_eq!(standby_state(&c), model, "double crash lost or duplicated commits");
 }
 
+/// Restart from the cold columnar tier (pinned seed): a memory-budgeted
+/// standby evicts every unit to disk, crashes hard, and the restart
+/// re-registers the surviving cold files from their footers *before* redo
+/// replays — so the column store is queryable without re-scanning the row
+/// store, bit-identical to the committed model, with footer pruning and
+/// cold reads visible in the tier metrics.
+#[test]
+fn restart_repopulates_from_cold_tier() {
+    let dir = Tmp::new("coldtier");
+    let c = cluster(durable_builder(&dir).memory_budget(1).tune(|s| {
+        s.imcs.imcu_max_rows = 32;
+        s.imcs.repopulate_min_scn_gap = 0;
+    }));
+    let p = c.primary();
+    let mut model = BTreeMap::new();
+    for key in 0..80i64 {
+        p.insert_one(OBJ, TenantId::DEFAULT, vec![Value::Int(key), Value::Int(key % 9)]).unwrap();
+        model.insert(key, key % 9);
+        if key % 10 == 9 {
+            c.sync().unwrap();
+        }
+    }
+    c.sync().unwrap();
+
+    // The 1-byte budget pushes every populated unit to the cold tier; the
+    // standby keeps answering bit-identically from the files.
+    let evicted = c.standby().tier_until_idle().unwrap().evicted;
+    assert!(evicted >= 2, "expected multiple units evicted, got {evicted}");
+    assert_eq!(standby_state(&c), model, "cold-tier scan diverged before the crash");
+
+    c.crash_restart_standby(0).unwrap();
+    // Instant re-population: the cold units are registered from footers at
+    // restart time, before a single redo record replays.
+    let restored = c.standby().metrics().tier.cold_units;
+    assert!(restored > 0, "restart must restore cold units from the tier directory");
+
+    c.sync().unwrap();
+    assert_eq!(standby_state(&c), model, "restart from cold tier lost or duplicated commits");
+
+    // A selective predicate is served with footer pruning + cold reads —
+    // no population pass ever re-scanned those blocks from the row store.
+    let f = Filter::of(
+        imadg_db::Predicate::new(
+            &table_spec(OBJ).schema,
+            "id",
+            imadg_db::CmpOp::Ge,
+            Value::Int(64),
+        )
+        .unwrap(),
+    );
+    let out = c.standby().query(&QueryRequest::scan(OBJ).filter(f)).unwrap();
+    assert_eq!(out.count(), 16);
+    let stats = out.stats.expect("imcs must serve the scan");
+    assert!(stats.cold_read_units > 0, "cold units must serve the matching range: {stats:?}");
+    assert!(stats.cold_pruned_units > 0, "footer min-max must prune cold units: {stats:?}");
+    let tier = c.standby().metrics().tier;
+    assert!(tier.tier_cold_reads > 0 && tier.tier_pruned_units > 0, "tier counters: {tier:?}");
+}
+
 /// The acceptance fault mix for promotion runs: 5% drop, 2% duplicate,
 /// reorder window 8, seed-rotated.
 fn promo_faults(seed: u64) -> FaultPlan {

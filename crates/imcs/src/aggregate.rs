@@ -17,10 +17,12 @@ use std::time::Instant;
 use imadg_common::{Dba, ObjectId, QueryProfile, Result, Scn, UnitTiming};
 use imadg_storage::{Store, Value};
 
+use crate::coldstore::ColdUnit;
 use crate::column::MinMax;
 use crate::imcs_store::{ImcsStore, ImcuHandle, ObjectImcs};
 use crate::parallel::run_indexed;
 use crate::predicate::Filter;
+use crate::smu::SmuReadGuard;
 
 /// Running aggregates over one column.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -107,6 +109,14 @@ pub struct AggregateStats {
     pub bypassed_units: usize,
     /// Rows aggregated via row-store fallback.
     pub fallback_rows: usize,
+    /// Cold units answered from footer metadata alone (min/max prune or
+    /// footer aggregate pushdown) — zero file I/O.
+    pub cold_pruned_units: usize,
+    /// Cold units whose file was opened and aggregated on disk.
+    pub cold_read_units: usize,
+    /// Cold files that failed to open or decode; the unit degraded to the
+    /// row-store bypass.
+    pub cold_read_errors: usize,
     /// Per-unit aggregate tasks issued to the worker pool (a function of
     /// the unit count only — identical at every parallel degree).
     pub parallel_tasks: usize,
@@ -119,6 +129,9 @@ impl AggregateStats {
         self.scanned_units += other.scanned_units;
         self.bypassed_units += other.bypassed_units;
         self.fallback_rows += other.fallback_rows;
+        self.cold_pruned_units += other.cold_pruned_units;
+        self.cold_read_units += other.cold_read_units;
+        self.cold_read_errors += other.cold_read_errors;
         self.parallel_tasks += other.parallel_tasks;
     }
 }
@@ -152,11 +165,37 @@ fn aggregate_unit(
     unit: usize,
 ) -> Result<(AggregateResult, Vec<Dba>, UnitTiming)> {
     let started = Instant::now();
+    handle.note_scan();
     let mut timing = UnitTiming { unit, ..Default::default() };
     let (imcu, smu) = handle.pair();
     let covered = imcu.dbas.clone();
     let mut result = AggregateResult::default();
     let view = smu.read();
+
+    // Cold tier: footer aggregate pushdown / min-max pruning without I/O
+    // where possible, on-disk column aggregation otherwise. Any decode
+    // failure falls through to the pending bypass below.
+    if imcu.is_pending() && !view.all_invalid() && snapshot >= imcu.snapshot {
+        if let Some(cold) = handle.cold() {
+            if cold.meta.snapshot == imcu.snapshot
+                && aggregate_unit_cold(
+                    &cold,
+                    store,
+                    filter,
+                    ordinal,
+                    snapshot,
+                    &view,
+                    &mut result,
+                    &mut timing,
+                )?
+            {
+                drop(view);
+                timing.total_us = micros(started);
+                return Ok((result, covered, timing));
+            }
+            result.stats.cold_read_errors += 1;
+        }
+    }
 
     if imcu.is_pending() || view.all_invalid() || snapshot < imcu.snapshot {
         drop(view);
@@ -243,6 +282,105 @@ fn aggregate_unit(
     timing.fallback_us += micros(t);
     timing.total_us = micros(started);
     Ok((result, covered, timing))
+}
+
+/// Aggregate one cold unit. Returns `Ok(false)` — with `result` untouched —
+/// on any open/decode failure so the caller degrades to the bypass.
+///
+/// Three tiers of work avoidance, cheapest first: an unfiltered aggregate
+/// over a journal-free unit is answered O(1) from the footer's per-column
+/// aggregates; a filter the footer min/max excludes skips the file; only
+/// the rest opens the file — and decodes just the filter columns plus the
+/// aggregated column.
+#[allow(clippy::too_many_arguments)]
+fn aggregate_unit_cold(
+    cold: &ColdUnit,
+    store: &Store,
+    filter: &Filter,
+    ordinal: usize,
+    snapshot: Scn,
+    view: &SmuReadGuard<'_>,
+    result: &mut AggregateResult,
+    timing: &mut UnitTiming,
+) -> Result<bool> {
+    let t = Instant::now();
+    let clean = filter.terms.is_empty() && view.fallback_count() == 0;
+    if clean && ordinal < cold.meta.col_aggs.len() {
+        // O(1) pushdown straight off the footer: COUNT / SUM / non-null
+        // from the serialized per-column aggregates, MIN / MAX from the
+        // persisted min/max summaries. Zero file I/O.
+        let agg = cold.meta.col_aggs[ordinal];
+        result.stats.pushdown_units = 1;
+        result.stats.cold_pruned_units = 1;
+        result.aggs.count += cold.meta.rows as u64;
+        result.aggs.non_null += agg.non_null;
+        result.aggs.sum += agg.sum;
+        if agg.non_null > 0 {
+            match cold.meta.summaries.summary(ordinal) {
+                Some(MinMax::Int(lo, hi)) => {
+                    result.aggs.merge_min(&Value::Int(*lo));
+                    result.aggs.merge_max(&Value::Int(*hi));
+                }
+                Some(MinMax::Str(lo, hi)) => {
+                    result.aggs.merge_min(&Value::Str(lo.clone()));
+                    result.aggs.merge_max(&Value::Str(hi.clone()));
+                }
+                _ => {}
+            }
+        }
+        timing.cold_pruned = true;
+        timing.kernel_us = micros(t);
+    } else if cold.meta.prunes(filter) {
+        // Footer min/max excludes every serialized row: zero file I/O;
+        // journaled rows still aggregate via the fallback pass below.
+        result.stats.scanned_units = 1;
+        result.stats.cold_pruned_units = 1;
+        timing.pruned = true;
+        timing.cold_pruned = true;
+        timing.kernel_us = micros(t);
+    } else {
+        let Some(file) = crate::coldstore::ColdUnitFile::open(&cold.path) else {
+            return Ok(false);
+        };
+        let Some(mut sel) = file.filter_bitmap(filter) else { return Ok(false) };
+        if view.fallback_count() > 0 {
+            let Some(index) = file.loc_index() else { return Ok(false) };
+            if let Some(mask) = view.validity_mask(file.meta.rows, |l| index.get(&l).copied()) {
+                sel.and_assign(&mask);
+            }
+        }
+        // Aggregate straight off the encoded column — the aggregated
+        // column is the only data decoded beyond the filter columns. All
+        // decodes complete before `result` is touched.
+        let mut aggs = Aggregates::default();
+        if ordinal < cold.meta.column_count() {
+            let Some(col) = file.decode_column(ordinal) else { return Ok(false) };
+            col.aggregate_masked(&sel, &mut aggs);
+        } else {
+            aggs.count += sel.count() as u64;
+        }
+        cold.note_read();
+        result.stats.scanned_units = 1;
+        result.stats.cold_read_units = 1;
+        result.aggs.merge(&aggs);
+        timing.cold_read = true;
+        timing.kernel_us = micros(t);
+    }
+
+    // SMU reconciliation — identical to the hot path.
+    let t = Instant::now();
+    let mut fallback: Vec<imadg_storage::RowLoc> = Vec::with_capacity(view.fallback_count());
+    view.collect_fallback(&mut fallback);
+    timing.merge_us += micros(t);
+    let t = Instant::now();
+    store.fetch_rows_batched(&mut fallback, snapshot, |_, row| {
+        if filter.eval_row(row) {
+            result.aggs.add(row.get(ordinal));
+            result.stats.fallback_rows += 1;
+        }
+    })?;
+    timing.fallback_us += micros(t);
+    Ok(true)
 }
 
 /// Aggregate column `ordinal` of `object` over rows matching `filter`, at

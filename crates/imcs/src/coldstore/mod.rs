@@ -1,0 +1,12 @@
+//! The cold tier of the column store (ROADMAP item 4): IMCUs whose DRAM
+//! the memory budget can no longer afford are serialized to an on-disk
+//! columnar format (`format`), still scannable via footer min-max pruning
+//! and decode-time predicate pushdown. The `tier` engine decides what
+//! moves in which direction and restores the tier after a crash restart.
+
+pub(crate) mod codec;
+pub mod format;
+pub mod tier;
+
+pub use format::{write_cold_file, ColdMeta, ColdUnit, ColdUnitFile};
+pub use tier::{restore_cold_tier, ColdTier, TierReport};

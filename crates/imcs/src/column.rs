@@ -121,6 +121,78 @@ impl ColumnCu {
             ColumnCu::Dict(c) => c.aggregate_masked(sel, aggs),
         }
     }
+
+    /// Approximate DRAM footprint of the encoded column (budget input for
+    /// the cold tier's eviction policy).
+    pub(crate) fn approx_bytes(&self) -> usize {
+        match self {
+            ColumnCu::Plain(c) => c.approx_bytes(),
+            ColumnCu::Rle(c) => c.approx_bytes(),
+            ColumnCu::Dict(c) => c.approx_bytes(),
+        }
+    }
+
+    /// Serialize into `buf`: a one-byte encoding tag, then the encoding's
+    /// own payload (the cold columnar page body).
+    pub(crate) fn to_bytes(&self, buf: &mut Vec<u8>) {
+        use crate::coldstore::codec::put_u8;
+        match self {
+            ColumnCu::Plain(c) => {
+                put_u8(buf, 0);
+                c.to_bytes(buf);
+            }
+            ColumnCu::Rle(c) => {
+                put_u8(buf, 1);
+                c.to_bytes(buf);
+            }
+            ColumnCu::Dict(c) => {
+                put_u8(buf, 2);
+                c.to_bytes(buf);
+            }
+        }
+    }
+
+    /// Decode a [`ColumnCu::to_bytes`] payload. `None` = corrupt.
+    pub(crate) fn from_bytes(r: &mut crate::coldstore::codec::Reader<'_>) -> Option<ColumnCu> {
+        match r.u8()? {
+            0 => Some(ColumnCu::Plain(crate::encoding::plain::PlainIntCu::from_bytes(r)?)),
+            1 => Some(ColumnCu::Rle(crate::encoding::rle::RleIntCu::from_bytes(r)?)),
+            2 => Some(ColumnCu::Dict(crate::encoding::dict::DictStrCu::from_bytes(r)?)),
+            _ => None,
+        }
+    }
+}
+
+impl MinMax {
+    /// Serialize into `buf` (cold footer summary entry). `MinMax` is not
+    /// serde-serializable (it holds `Arc<str>`), so the footer uses the
+    /// same tag-byte codec as the column pages.
+    pub(crate) fn to_bytes(&self, buf: &mut Vec<u8>) {
+        use crate::coldstore::codec::*;
+        match self {
+            MinMax::Int(lo, hi) => {
+                put_u8(buf, 0);
+                put_i64(buf, *lo);
+                put_i64(buf, *hi);
+            }
+            MinMax::Str(lo, hi) => {
+                put_u8(buf, 1);
+                put_str(buf, lo);
+                put_str(buf, hi);
+            }
+            MinMax::AllNull => put_u8(buf, 2),
+        }
+    }
+
+    /// Decode a [`MinMax::to_bytes`] payload. `None` = corrupt.
+    pub(crate) fn from_bytes(r: &mut crate::coldstore::codec::Reader<'_>) -> Option<MinMax> {
+        match r.u8()? {
+            0 => Some(MinMax::Int(r.i64()?, r.i64()?)),
+            1 => Some(MinMax::Str(r.str()?.into(), r.str()?.into())),
+            2 => Some(MinMax::AllNull),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -191,6 +191,48 @@ impl DictStrCu {
         }
     }
 
+    /// Approximate DRAM footprint of the encoded unit.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        let dict: usize = self.dict.iter().map(|s| s.len() + 16).sum();
+        dict + self.codes.len() * 4 + 16
+    }
+
+    /// Serialize into `buf` (cold columnar page payload).
+    pub(crate) fn to_bytes(&self, buf: &mut Vec<u8>) {
+        use crate::coldstore::codec::*;
+        put_u32(buf, self.dict.len() as u32);
+        for s in &self.dict {
+            put_str(buf, s);
+        }
+        put_u64(buf, self.codes.len() as u64);
+        for &c in &self.codes {
+            put_u32(buf, c);
+        }
+    }
+
+    /// Decode a [`DictStrCu::to_bytes`] payload. `None` = corrupt.
+    pub(crate) fn from_bytes(r: &mut crate::coldstore::codec::Reader<'_>) -> Option<DictStrCu> {
+        let dict_len = r.len_u32()?;
+        let mut dict: Vec<Arc<str>> = Vec::with_capacity(dict_len);
+        for _ in 0..dict_len {
+            dict.push(r.str()?.into());
+        }
+        // The dictionary must be sorted — code_bounds binary-searches it.
+        if dict.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        let rows = r.len_u64()?;
+        let mut codes = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let c = r.u32()?;
+            if c != NULL_CODE && c as usize >= dict_len {
+                return None;
+            }
+            codes.push(c);
+        }
+        Some(DictStrCu { dict, codes })
+    }
+
     /// Append rows matching `pred` to `out` — the scalar reference path
     /// (kept as the parity baseline for the bitmap kernel).
     pub fn scan(&self, pred: &Predicate, out: &mut Vec<u32>) {

@@ -206,6 +206,86 @@ impl PlainIntCu {
         }
     }
 
+    /// Approximate DRAM footprint of the encoded unit (budget accounting
+    /// for the cold tier's eviction policy).
+    pub(crate) fn approx_bytes(&self) -> usize {
+        let data = match &self.repr {
+            Repr::Wide(v) => v.len() * 8,
+            Repr::Packed { codes, .. } => codes.len() * 4,
+        };
+        data + self.nulls.as_ref().map_or(0, |b| b.len() * 8) + 24
+    }
+
+    /// Serialize into `buf` (cold columnar page payload).
+    pub(crate) fn to_bytes(&self, buf: &mut Vec<u8>) {
+        use crate::coldstore::codec::*;
+        match &self.repr {
+            Repr::Wide(values) => {
+                put_u8(buf, 0);
+                put_u64(buf, values.len() as u64);
+                for &v in values {
+                    put_i64(buf, v);
+                }
+            }
+            Repr::Packed { base, codes } => {
+                put_u8(buf, 1);
+                put_u64(buf, codes.len() as u64);
+                put_i64(buf, *base);
+                for &c in codes {
+                    put_u32(buf, c);
+                }
+            }
+        }
+        match &self.nulls {
+            None => put_u8(buf, 0),
+            Some(words) => {
+                put_u8(buf, 1);
+                for &w in words {
+                    put_u64(buf, w);
+                }
+            }
+        }
+        match self.bounds {
+            None => put_u8(buf, 0),
+            Some((lo, hi)) => {
+                put_u8(buf, 1);
+                put_i64(buf, lo);
+                put_i64(buf, hi);
+            }
+        }
+    }
+
+    /// Decode a [`PlainIntCu::to_bytes`] payload. `None` = corrupt.
+    pub(crate) fn from_bytes(r: &mut crate::coldstore::codec::Reader<'_>) -> Option<PlainIntCu> {
+        let tag = r.u8()?;
+        let rows = r.len_u64()?;
+        let repr = match tag {
+            0 => Repr::Wide((0..rows).map(|_| r.i64()).collect::<Option<Vec<_>>>()?),
+            1 => {
+                let base = r.i64()?;
+                let codes = (0..rows).map(|_| r.u32()).collect::<Option<Vec<_>>>()?;
+                Repr::Packed { base, codes }
+            }
+            _ => return None,
+        };
+        let nulls = match r.u8()? {
+            0 => None,
+            1 => Some((0..rows.div_ceil(64)).map(|_| r.u64()).collect::<Option<Vec<_>>>()?),
+            _ => return None,
+        };
+        let bounds = match r.u8()? {
+            0 => None,
+            1 => Some((r.i64()?, r.i64()?)),
+            _ => return None,
+        };
+        // A packed repr without bounds cannot exist (build derives the
+        // base from the minimum); reject rather than panic later.
+        if matches!(repr, Repr::Packed { .. }) && bounds.is_none() {
+            return None;
+        }
+        Some(PlainIntCu { repr, nulls, bounds })
+    }
+
     /// Append rows matching `pred` to `out` — the scalar reference path
     /// (row-at-a-time decode with a branch per row), kept as the parity
     /// baseline for the bitmap kernels and the BENCH trajectory.

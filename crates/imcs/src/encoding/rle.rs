@@ -169,6 +169,57 @@ impl RleIntCu {
         }
     }
 
+    /// Approximate DRAM footprint of the encoded unit.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.runs.len() * 16 + 16
+    }
+
+    /// Serialize into `buf` (cold columnar page payload).
+    pub(crate) fn to_bytes(&self, buf: &mut Vec<u8>) {
+        use crate::coldstore::codec::*;
+        put_u64(buf, self.rows as u64);
+        put_u32(buf, self.runs.len() as u32);
+        for run in &self.runs {
+            match run.value {
+                None => {
+                    put_u8(buf, 0);
+                    put_i64(buf, 0);
+                }
+                Some(x) => {
+                    put_u8(buf, 1);
+                    put_i64(buf, x);
+                }
+            }
+            put_u32(buf, run.len);
+        }
+    }
+
+    /// Decode a [`RleIntCu::to_bytes`] payload. `None` = corrupt.
+    pub(crate) fn from_bytes(r: &mut crate::coldstore::codec::Reader<'_>) -> Option<RleIntCu> {
+        let rows = r.len_u64()?;
+        let run_count = r.len_u32()?;
+        let mut runs = Vec::with_capacity(run_count);
+        let mut covered = 0u64;
+        for _ in 0..run_count {
+            let flag = r.u8()?;
+            let x = r.i64()?;
+            let len = r.u32()?;
+            let value = match flag {
+                0 => None,
+                1 => Some(x),
+                _ => return None,
+            };
+            covered = covered.checked_add(u64::from(len))?;
+            runs.push(Run { value, len });
+        }
+        // Runs must tile the row range exactly or get/gather walk off the
+        // end.
+        if covered != rows as u64 {
+            return None;
+        }
+        Some(RleIntCu { runs, rows })
+    }
+
     /// Would RLE compress `values` meaningfully? (encoding selector hook)
     ///
     /// Probes a 256-value prefix instead of the whole column: population is

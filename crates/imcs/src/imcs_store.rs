@@ -3,31 +3,51 @@
 //! DBIM-on-ADG flush component writes through.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use imadg_common::{Dba, ObjectId, Scn, TenantId};
 use imadg_storage::RowLoc;
 use parking_lot::RwLock;
 
+use crate::coldstore::ColdUnit;
 use crate::expression::ImExpression;
 use crate::imcu::Imcu;
 use crate::smu::Smu;
 
-/// A slot holding one IMCU and its SMU.
+/// A slot holding one IMCU and its SMU, plus (when evicted) the unit's
+/// cold-tier state.
 ///
 /// The pair is swapped atomically by repopulation: scans clone both Arcs
 /// under a read lock and work on a consistent pair; invalidation flushes
 /// write into whichever SMU is current; the swap itself carries over SMU
 /// entries newer than the rebuild snapshot (see [`Smu::carry_over`]).
+///
+/// Eviction replaces the hot unit with a *pending placeholder* (same
+/// snapshot, SMU untouched) and attaches a [`ColdUnit`]. The cold scan
+/// path activates only when `cold.is_some() && imcu.is_pending()`; every
+/// race or cold-read failure therefore degrades to the existing pending
+/// bypass — a correct row-store scan — never a wrong answer.
 #[derive(Debug)]
 pub struct ImcuHandle {
     pair: RwLock<(Arc<Imcu>, Arc<Smu>)>,
+    /// Cold-tier state; `Some` from eviction until recall. Lock order:
+    /// never acquire `pair` while holding `cold` — writers take `pair`
+    /// first, readers take each lock on its own.
+    cold: RwLock<Option<Arc<ColdUnit>>>,
+    /// Scan touches since the tier engine's last pass (recency input for
+    /// the eviction policy; drained by [`ImcuHandle::take_scans`]).
+    scans: AtomicU64,
 }
 
 impl ImcuHandle {
     /// Wrap a freshly built or pending unit with an empty SMU.
     pub fn new(imcu: Imcu) -> ImcuHandle {
-        ImcuHandle { pair: RwLock::new((Arc::new(imcu), Arc::new(Smu::new()))) }
+        ImcuHandle {
+            pair: RwLock::new((Arc::new(imcu), Arc::new(Smu::new()))),
+            cold: RwLock::new(None),
+            scans: AtomicU64::new(0),
+        }
     }
 
     /// Current `(imcu, smu)` pair.
@@ -57,14 +77,124 @@ impl ImcuHandle {
 
     /// Route an invalidation to this handle's SMU: rows known to the unit
     /// are marked stale; unknown rows in covered blocks are post-snapshot
-    /// inserts.
+    /// inserts. On a cold handle the placeholder holds no rownums, so
+    /// journaled DML lands as inserts — the cold scan's fallback pass and
+    /// the re-compaction merge treat invalid and inserted alike.
     pub fn invalidate(&self, loc: RowLoc, commit_scn: Scn) {
         let g = self.pair.read();
+        // A unit frozen at snapshot `S` already absorbed every change
+        // committed at or before `S` (the `Smu::carry_over` rule), so
+        // mining replayed from below the snapshot — the restart path that
+        // re-mines for restored cold units — is dropped, not recorded.
+        if commit_scn <= g.0.snapshot {
+            return;
+        }
         if g.0.rownum(loc).is_some() {
             g.1.invalidate_row(loc, commit_scn);
         } else {
             g.1.record_insert(loc, commit_scn);
         }
+    }
+
+    /// The cold-tier state, if the unit has been evicted.
+    pub fn cold(&self) -> Option<Arc<ColdUnit>> {
+        self.cold.read().clone()
+    }
+
+    /// Is this unit currently served from the cold tier? True only while
+    /// the hot slot holds the pending placeholder *and* a cold file is
+    /// attached — the activation rule that keeps every race benign.
+    pub fn is_cold(&self) -> bool {
+        let pending = self.pair.read().0.is_pending();
+        pending && self.cold.read().is_some()
+    }
+
+    /// Note one scan touch (recency input for the eviction policy).
+    pub fn note_scan(&self) {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drain the scan-activity counter (one tier pass = one decay epoch).
+    pub fn take_scans(&self) -> u64 {
+        self.scans.swap(0, Ordering::Relaxed)
+    }
+
+    /// Evict: swap the hot unit for a pending placeholder at the same
+    /// snapshot (SMU untouched — its journal still describes drift against
+    /// the serialized data) and attach the cold state. Returns `false`
+    /// without touching the handle when the slot no longer holds the unit
+    /// the cold file was serialized from (a repopulation swap raced the
+    /// eviction) — the caller discards the file.
+    pub fn evict_to_cold(&self, cold: Arc<ColdUnit>) -> bool {
+        let mut g = self.pair.write();
+        if g.0.is_pending() || g.0.snapshot != cold.meta.snapshot {
+            return false;
+        }
+        let placeholder = Imcu::pending(
+            g.0.object,
+            g.0.tenant,
+            g.0.dbas.clone(),
+            g.0.snapshot,
+            g.0.schema_version,
+        );
+        *self.cold.write() = Some(cold);
+        g.0 = Arc::new(placeholder);
+        true
+    }
+
+    /// Restart-time restore: attach cold state to a handle that was just
+    /// created from the file's own footer (pending placeholder at the
+    /// file's snapshot). Unlike [`ImcuHandle::evict_to_cold`] the file is
+    /// the authority here, so no slot validation applies.
+    pub fn restore_cold(&self, cold: Arc<ColdUnit>) {
+        let _g = self.pair.write();
+        *self.cold.write() = Some(cold);
+    }
+
+    /// Detach an orphaned cold state (a repopulation swap raced an
+    /// eviction and installed fresh hot data over the placeholder; the
+    /// cold file is obsolete). Returns the detached state so the caller
+    /// can delete the file. No-op on genuinely cold handles.
+    pub fn clear_cold_if_hot(&self) -> Option<Arc<ColdUnit>> {
+        let g = self.pair.write();
+        if g.0.is_pending() {
+            return None;
+        }
+        self.cold.write().take()
+    }
+
+    /// Detach the cold state unconditionally (a corrupt cold file found
+    /// by the tier engine). The handle is left as a plain pending unit,
+    /// which the population engine rebuilds from the row store.
+    pub fn drop_cold(&self) -> Option<Arc<ColdUnit>> {
+        let _g = self.pair.write();
+        self.cold.write().take()
+    }
+
+    /// Recall: install the decoded hot unit (same snapshot, SMU untouched)
+    /// and detach the cold state.
+    pub fn install_hot(&self, imcu: Imcu) {
+        let mut g = self.pair.write();
+        g.0 = Arc::new(imcu);
+        *self.cold.write() = None;
+    }
+
+    /// Re-compaction swap: the journal has been merged into a fresh cold
+    /// file at `rebuilt_snapshot`. Install a placeholder at that snapshot,
+    /// carry over SMU entries newer than it, and attach the new cold
+    /// state — the cold-tier analogue of [`ImcuHandle::swap`].
+    pub fn swap_to_cold(&self, rebuilt_snapshot: Scn, cold: Arc<ColdUnit>) {
+        let mut g = self.pair.write();
+        let fresh = g.1.carry_over(rebuilt_snapshot);
+        let placeholder = Imcu::pending(
+            g.0.object,
+            g.0.tenant,
+            g.0.dbas.clone(),
+            rebuilt_snapshot,
+            g.0.schema_version,
+        );
+        *self.cold.write() = Some(cold);
+        *g = (Arc::new(placeholder), Arc::new(fresh));
     }
 }
 
@@ -123,6 +253,12 @@ impl ObjectImcs {
     /// Total populated rows across non-pending units.
     pub fn populated_rows(&self) -> usize {
         self.handles.read().iter().map(|h| h.imcu().rows()).sum()
+    }
+
+    /// Approximate DRAM held by this object's hot units (cold units sit
+    /// behind pending placeholders and cost ~nothing).
+    pub fn hot_bytes(&self) -> usize {
+        self.handles.read().iter().map(|h| h.imcu().approx_bytes()).sum()
     }
 }
 
@@ -195,6 +331,12 @@ impl ImcsStore {
     /// Total populated (non-pending) rows on this instance.
     pub fn populated_rows(&self) -> usize {
         self.all_objects().iter().map(|o| o.populated_rows()).sum()
+    }
+
+    /// Approximate DRAM held by hot units on this instance (the number the
+    /// eviction policy holds under `memory_budget_bytes`).
+    pub fn hot_bytes(&self) -> usize {
+        self.all_objects().iter().map(|o| o.hot_bytes()).sum()
     }
 
     /// Register an in-memory expression for `object` (replaces an existing

@@ -310,6 +310,73 @@ impl Imcu {
     pub fn all_rows(&self) -> impl Iterator<Item = u32> + '_ {
         0..self.rows() as u32
     }
+
+    /// Approximate DRAM footprint of the encoded unit (the cold tier's
+    /// budget currency). Pending units hold no data and cost nothing.
+    pub fn approx_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.approx_bytes()).sum::<usize>()
+            + self.locs.len() * (std::mem::size_of::<RowLoc>() + 24)
+    }
+
+    /// Row locations in row-number order (cold serialization input).
+    pub(crate) fn locs(&self) -> &[RowLoc] {
+        &self.locs
+    }
+
+    /// Encoded columns, base then virtual (cold serialization input).
+    pub(crate) fn columns(&self) -> &[ColumnCu] {
+        &self.columns
+    }
+
+    /// Virtual (expression) column names, in storage order.
+    pub(crate) fn virtual_names(&self) -> &[String] {
+        &self.virtual_names
+    }
+
+    /// Number of base (schema) columns.
+    pub(crate) fn base_arity(&self) -> usize {
+        self.base_arity
+    }
+
+    /// Per-column pre-computed aggregates.
+    pub(crate) fn col_aggs(&self) -> &[ColAgg] {
+        &self.col_aggs
+    }
+
+    /// Reassemble a unit from decoded cold-tier parts. The loc index is
+    /// rebuilt; the unit comes back non-pending, byte-identical in
+    /// behavior to the unit that was serialized.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        object: ObjectId,
+        tenant: TenantId,
+        dbas: Vec<Dba>,
+        snapshot: Scn,
+        schema_version: u32,
+        locs: Vec<RowLoc>,
+        columns: Vec<ColumnCu>,
+        virtual_names: Vec<String>,
+        base_arity: usize,
+        col_aggs: Vec<ColAgg>,
+    ) -> Imcu {
+        let storage_index = StorageIndex::new(columns.iter().map(|c| c.min_max()).collect());
+        let loc_index = locs.iter().enumerate().map(|(i, &l)| (l, i as u32)).collect();
+        Imcu {
+            object,
+            tenant,
+            dbas,
+            snapshot,
+            schema_version,
+            locs,
+            loc_index,
+            columns,
+            virtual_names,
+            base_arity,
+            col_aggs,
+            storage_index,
+            pending: false,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 
 pub mod aggregate;
 pub mod bitmap;
+pub mod coldstore;
 pub mod column;
 pub mod encoding;
 pub mod expression;
@@ -26,6 +27,7 @@ pub use aggregate::{
     AggregateStats, Aggregates,
 };
 pub use bitmap::SelBitmap;
+pub use coldstore::{restore_cold_tier, ColdTier, ColdUnit, ColdUnitFile, TierReport};
 pub use column::{ColumnCu, MinMax};
 pub use expression::{Expr, ImExpression};
 pub use imcs_store::{ImcsStore, ImcuHandle, ObjectImcs};

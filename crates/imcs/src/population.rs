@@ -47,8 +47,9 @@ pub enum SnapshotSource {
 impl SnapshotSource {
     /// Capture a population snapshot, registering `pending` at the same
     /// consistency point. Returns the snapshot, or `None` when the standby
-    /// has not published a QuerySCN yet.
-    fn capture_and_register<F: FnOnce(Scn)>(&self, register: F) -> Option<Scn> {
+    /// has not published a QuerySCN yet. Shared with the cold-tier engine,
+    /// whose re-compaction rebuilds obey the same snapshot discipline.
+    pub(crate) fn capture_and_register<F: FnOnce(Scn)>(&self, register: F) -> Option<Scn> {
         match self {
             SnapshotSource::Primary(scns) => {
                 let s = scns.current();
@@ -251,6 +252,13 @@ impl PopulationEngine {
         let meta = self.store.table(object)?;
         let mut rebuilt = 0usize;
         for handle in obj_imcs.handles() {
+            // Cold units hide behind pending placeholders; rebuilding them
+            // here would defeat eviction (the pending-forced rebuild below
+            // would recall every evicted unit on the next pass). Their
+            // re-compaction is the cold-tier engine's job.
+            if handle.is_cold() {
+                continue;
+            }
             let (imcu, smu) = handle.pair();
             let stale_enough =
                 imcu.is_pending() || smu.staleness(imcu.rows()) >= self.config.repopulate_threshold;

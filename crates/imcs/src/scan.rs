@@ -23,11 +23,13 @@ use imadg_common::{Dba, ObjectId, QueryProfile, Result, Scn, UnitTiming};
 use imadg_storage::{Row, Store};
 
 use crate::bitmap::SelBitmap;
+use crate::coldstore::{ColdMeta, ColdUnit, ColdUnitFile};
 use crate::expression::Expr;
 use crate::imcs_store::{ImcsStore, ImcuHandle, ObjectImcs};
 use crate::imcu::Imcu;
 use crate::parallel::run_indexed;
 use crate::predicate::{CmpOp, Filter, Predicate};
+use crate::smu::SmuReadGuard;
 
 /// Where each result row came from (experiment instrumentation).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,6 +47,13 @@ pub struct ScanStats {
     pub scanned_units: usize,
     /// Units bypassed entirely (pending / all-invalid).
     pub bypassed_units: usize,
+    /// Cold units excluded by footer min/max alone — zero file I/O.
+    pub cold_pruned_units: usize,
+    /// Cold units whose file was opened and predicate-filtered on disk.
+    pub cold_read_units: usize,
+    /// Cold files that failed to open or decode; the unit degraded to the
+    /// row-store bypass (torn write, truncated footer, bit rot).
+    pub cold_read_errors: usize,
     /// Per-unit scan tasks issued to the worker pool. A function of the
     /// unit count only — identical at every parallel degree.
     pub parallel_tasks: usize,
@@ -64,6 +73,9 @@ impl ScanStats {
         self.pruned_units += other.pruned_units;
         self.scanned_units += other.scanned_units;
         self.bypassed_units += other.bypassed_units;
+        self.cold_pruned_units += other.cold_pruned_units;
+        self.cold_read_units += other.cold_read_units;
+        self.cold_read_errors += other.cold_read_errors;
         self.parallel_tasks += other.parallel_tasks;
     }
 }
@@ -94,6 +106,17 @@ trait RowPredicate: Sync {
     /// Column-space evaluation over one unit. `None` means the unit's
     /// min/max storage index excludes it entirely (prune).
     fn unit_bitmap(&self, imcu: &Imcu) -> Option<SelBitmap>;
+
+    /// Does the cold footer's min/max exclude every serialized row? A
+    /// `true` answer costs zero file I/O — the whole decision runs off
+    /// metadata held in memory since eviction.
+    fn cold_prunes(&self, meta: &ColdMeta) -> bool;
+
+    /// Column-space evaluation over an opened cold file, decoding only the
+    /// columns the predicate touches. Unlike [`RowPredicate::unit_bitmap`],
+    /// `None` here means *corruption* (a column entry failed its CRC) —
+    /// pruning was already decided by [`RowPredicate::cold_prunes`].
+    fn cold_bitmap(&self, file: &ColdUnitFile) -> Option<SelBitmap>;
 }
 
 impl RowPredicate for Filter {
@@ -103,6 +126,14 @@ impl RowPredicate for Filter {
 
     fn unit_bitmap(&self, imcu: &Imcu) -> Option<SelBitmap> {
         imcu.filter_bitmap(self)
+    }
+
+    fn cold_prunes(&self, meta: &ColdMeta) -> bool {
+        meta.prunes(self)
+    }
+
+    fn cold_bitmap(&self, file: &ColdUnitFile) -> Option<SelBitmap> {
+        file.filter_bitmap(self)
     }
 }
 
@@ -129,6 +160,7 @@ fn scan_unit<P: RowPredicate>(
     unit: usize,
 ) -> Result<UnitPartial> {
     let started = Instant::now();
+    handle.note_scan();
     let (imcu, smu) = handle.pair();
     let mut partial = UnitPartial {
         rows: Vec::new(),
@@ -137,6 +169,24 @@ fn scan_unit<P: RowPredicate>(
         timing: UnitTiming { unit, ..Default::default() },
     };
     let view = smu.read();
+
+    // Cold tier: the unit was evicted (pending placeholder + attached cold
+    // state). Serve it from the columnar file — footer pruning first, then
+    // predicate pushdown during the page read. Any failure (torn file,
+    // CRC mismatch) falls through to the pending bypass below, which is
+    // the plain row-store scan: degraded, never wrong.
+    if imcu.is_pending() && !view.all_invalid() && snapshot >= imcu.snapshot {
+        if let Some(cold) = handle.cold() {
+            if cold.meta.snapshot == imcu.snapshot
+                && scan_unit_cold(&cold, store, pred, snapshot, &view, &mut partial)?
+            {
+                drop(view);
+                partial.timing.total_us = micros(started);
+                return Ok(partial);
+            }
+            partial.stats.cold_read_errors += 1;
+        }
+    }
 
     if imcu.is_pending() || view.all_invalid() || snapshot < imcu.snapshot {
         // No usable columnar data (the unit may also be frozen at a
@@ -202,6 +252,93 @@ fn scan_unit<P: RowPredicate>(
     partial.timing.fallback_us += micros(t);
     partial.timing.total_us = micros(started);
     Ok(partial)
+}
+
+/// Scan one cold unit. Returns `Ok(false)` — with `partial` untouched — on
+/// any open/decode failure so the caller degrades to the row-store bypass.
+///
+/// The pruning decision runs off the in-memory footer before any I/O; only
+/// non-pruned units open the file, and only predicate + surviving base
+/// columns are ever decoded. The SMU journal is honored exactly like the
+/// hot path: serialized rows with journaled DML are masked out of the file
+/// results and re-read from the row store at the scan snapshot.
+fn scan_unit_cold<P: RowPredicate>(
+    cold: &ColdUnit,
+    store: &Store,
+    pred: &P,
+    snapshot: Scn,
+    view: &SmuReadGuard<'_>,
+    partial: &mut UnitPartial,
+) -> Result<bool> {
+    let t = Instant::now();
+    if pred.cold_prunes(&cold.meta) {
+        // Footer min/max excludes every serialized row: zero file I/O.
+        // Journaled rows may still match their *current* version — the
+        // fallback pass below re-reads them from the row store.
+        partial.stats.pruned_units = 1;
+        partial.stats.cold_pruned_units = 1;
+        partial.timing.pruned = true;
+        partial.timing.cold_pruned = true;
+        partial.timing.kernel_us = micros(t);
+    } else {
+        let Some(file) = ColdUnitFile::open(&cold.path) else { return Ok(false) };
+        let Some(mut sel) = pred.cold_bitmap(&file) else { return Ok(false) };
+        // Mask out serialized rows with journaled DML. The placeholder
+        // holds no rownums, so the loc → rownum map comes from the file's
+        // own row-location entry (decoded only when the journal is
+        // non-empty).
+        if view.fallback_count() > 0 {
+            let Some(index) = file.loc_index() else { return Ok(false) };
+            if let Some(mask) = view.validity_mask(file.meta.rows, |l| index.get(&l).copied()) {
+                sel.and_assign(&mask);
+            }
+        }
+        // Project only surviving rows: decode each base column once and
+        // gather column-at-a-time, like the hot materializer. All decodes
+        // complete before `partial` is touched, so a corrupt column still
+        // degrades to a clean bypass.
+        let rns: Vec<u32> = sel.iter_ones().collect();
+        let base = cold.meta.base_arity.min(cold.meta.column_count());
+        let mut scratch: Vec<Vec<imadg_storage::Value>> = Vec::with_capacity(base);
+        if !rns.is_empty() {
+            for ord in 0..base {
+                let Some(col) = file.decode_column(ord) else { return Ok(false) };
+                let mut values = Vec::new();
+                col.gather(&rns, &mut values);
+                scratch.push(values);
+            }
+        }
+        cold.note_read();
+        partial.stats.scanned_units = 1;
+        partial.stats.cold_read_units = 1;
+        partial.timing.cold_read = true;
+        partial.rows.reserve(rns.len());
+        for i in 0..rns.len() {
+            partial.rows.push(Row::from_iter_exact(
+                scratch
+                    .iter_mut()
+                    .map(|col| std::mem::replace(&mut col[i], imadg_storage::Value::Null)),
+            ));
+        }
+        partial.stats.imcu_rows = rns.len();
+        partial.timing.kernel_us = micros(t);
+    }
+
+    // SMU reconciliation — identical to the hot path: every journaled
+    // location re-reads from the row store at the scan snapshot.
+    let t = Instant::now();
+    let mut fallback: Vec<imadg_storage::RowLoc> = Vec::with_capacity(view.fallback_count());
+    view.collect_fallback(&mut fallback);
+    partial.timing.merge_us += micros(t);
+    let t = Instant::now();
+    store.fetch_rows_batched(&mut fallback, snapshot, |_, row| {
+        if pred.matches_row(row) {
+            partial.rows.push(row.clone());
+            partial.stats.fallback_rows += 1;
+        }
+    })?;
+    partial.timing.fallback_us += micros(t);
+    Ok(true)
 }
 
 /// The unified unit-walk driver behind every scan entry point: fan the
@@ -392,6 +529,45 @@ impl RowPredicate for ExprPredicate {
             None => {
                 // Unit predates the expression registration: evaluate over
                 // materialized rows (correct, just not accelerated).
+                let mut sel = SelBitmap::zeroes(imcu.rows());
+                for rn in imcu.all_rows() {
+                    if self.eval_row(&imcu.materialize(rn)) {
+                        sel.set(rn as usize);
+                    }
+                }
+                Some(sel)
+            }
+        }
+    }
+
+    fn cold_prunes(&self, meta: &ColdMeta) -> bool {
+        match meta.virtual_ordinal(&self.name) {
+            Some(vord) => {
+                let vpred = Predicate { ordinal: vord, op: self.op, value: self.value.clone() };
+                !meta.summaries.may_match(&vpred)
+            }
+            // No materialized virtual column: footer min/max says nothing
+            // about the expression's value range — cannot prune.
+            None => false,
+        }
+    }
+
+    fn cold_bitmap(&self, file: &ColdUnitFile) -> Option<SelBitmap> {
+        match file.meta.virtual_ordinal(&self.name) {
+            Some(vord) => {
+                // The expression was materialized at population: decode
+                // only its virtual column and filter it like a base column.
+                let vpred = Predicate { ordinal: vord, op: self.op, value: self.value.clone() };
+                let col = file.decode_column(vord)?;
+                let mut sel = SelBitmap::zeroes(file.meta.rows);
+                col.scan_bitmap(&vpred, &mut sel);
+                Some(sel)
+            }
+            None => {
+                // File predates the expression registration: decode every
+                // base column and evaluate over row images (correct, just
+                // not accelerated — mirrors the hot path's fallback).
+                let imcu = file.into_imcu()?;
                 let mut sel = SelBitmap::zeroes(imcu.rows());
                 for rn in imcu.all_rows() {
                     if self.eval_row(&imcu.materialize(rn)) {

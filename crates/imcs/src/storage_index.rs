@@ -24,6 +24,11 @@ impl StorageIndex {
         self.summaries.get(ordinal)
     }
 
+    /// All per-column summaries, ordinal-indexed (cold footer input).
+    pub fn summaries(&self) -> &[MinMax] {
+        &self.summaries
+    }
+
     /// Can any row in the unit satisfy `pred`? `true` means the unit must
     /// be scanned; `false` proves it can be skipped.
     pub fn may_match(&self, pred: &Predicate) -> bool {

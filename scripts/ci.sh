@@ -73,6 +73,17 @@ cargo test -p imadg-db --test crash_recovery -q
 echo "==> kernel parity (vectorized vs scalar reference)"
 cargo test -p imadg-imcs --test kernel_parity -q
 
+# Cold-tier gate: the evict → scan-from-disk → recall round-trip must be
+# value-identical to the always-hot scalar oracle across encodings, null
+# densities, and journaled DML on both sides of the eviction; torn files
+# must degrade to the row-store bypass without panicking. Plus the
+# pinned restart-from-cold-tier scenario (instant re-registration +
+# mine-gate absorption) from the durability suite.
+echo "==> cold-tier round-trip (proptests + restart from cold files)"
+rm -rf "${TMPDIR:-/tmp}"/imadg-coldprop-*
+cargo test -p imadg-imcs --test cold_roundtrip -q
+cargo test -p imadg-db --test crash_recovery restart_repopulates_from_cold_tier -q
+
 if [[ "$fast" == 0 ]]; then
     echo "==> cargo build --release"
     cargo build --workspace --release -q
@@ -109,9 +120,21 @@ if [[ "$fast" == 0 ]]; then
     ./target/release/bench_scan --validate "$farm_out"
     rm -f "$farm_out"
 
-    for doc in BENCH_scan.json BENCH_oltap.json BENCH_recovery.json BENCH_readerfarm.json; do
-        [[ -f "$doc" ]] && ./target/release/bench_scan --validate "$doc"
-    done
+    # Tier smoke gate: a tiny exp_tier run (budget sweep + cold-vs-rescan
+    # restart race over a real durable cluster) must emit a schema-valid
+    # tier document — the schema enforces the ≥50% footer-pruning floor
+    # on the selective predicate and that the cold-tier restart beats the
+    # wiped-tier row-store re-scan.
+    echo "==> tier smoke (exp_tier --smoke + schema validation)"
+    tier_out="$(mktemp)"
+    IMADG_BENCH_OUT="$tier_out" ./target/release/exp_tier --smoke >/dev/null
+    ./target/release/bench_scan --validate "$tier_out"
+    rm -f "$tier_out"
+
+    # Checked-in trajectory documents: discovery mode validates every
+    # BENCH_*.json in the repo root and fails on unknown or malformed
+    # families, so a new emitter can't land without a validating schema.
+    ./target/release/bench_scan --validate
 
     # Staleness trajectory fields: the OLTAP and recovery documents must
     # carry the standby's commit-to-queryable percentiles (the schema
